@@ -1,0 +1,331 @@
+//! The shared C-library catalog — identical test cases on every OS, the
+//! backbone of the paper's cross-API comparison. 94 functions across the
+//! seven C groupings; Windows CE drops the `C time` group and a dozen
+//! unsupported stdio functions and swaps `strncpy` for its preferred
+//! UNICODE twin `_tcsncpy` (Table 3's "(UNICODE) *_tcsncpy").
+
+use super::m;
+use crate::datatype::TypeRegistry;
+use crate::muts::arg::{f64_of, fd, int, ptr, uint};
+use crate::muts::{FunctionGroup as G, Mut};
+use crate::value::TestValue;
+use sim_core::cstr;
+use sim_kernel::variant::OsVariant;
+use sim_libc::{ctype, math, memory, profile::LibcProfile, stdio, stream, string, time, wide};
+
+fn prof(os: OsVariant) -> LibcProfile {
+    LibcProfile::for_os(os)
+}
+
+/// Registers the Windows-only wide-string type used by `_tcsncpy` on CE.
+pub fn register_wide_types(reg: &mut TypeRegistry) {
+    reg.register(
+        "wstring",
+        vec![
+            TestValue::with("wide \"ballista\"", false, |k, _| {
+                let p = k.alloc_user(20, "pool-wstr");
+                cstr::write_wstr(&mut k.space, p, "ballista", sim_core::addr::PrivilegeLevel::User)
+                    .expect("fresh");
+                p.addr()
+            }),
+            TestValue::with("wide empty", false, |k, _| {
+                let p = k.alloc_user(2, "pool-wempty");
+                k.space.write_u16(p, 0).expect("fresh");
+                p.addr()
+            }),
+            TestValue::constant("NULL wide", true, 0),
+            TestValue::with("unterminated wide", true, |k, _| {
+                let p = k.alloc_user(8, "pool-wunterm");
+                for i in 0..4u64 {
+                    k.space.write_u16(p.offset(i * 2), 0x4141).expect("fresh");
+                }
+                p.addr()
+            }),
+            TestValue::with("odd wide pointer", true, |k, _| {
+                k.alloc_user(16, "pool-wodd").addr() + 1
+            }),
+            TestValue::with("dangling wide", true, |k, _| {
+                let p = k.alloc_user(8, "pool-wdang");
+                k.space.unmap(p).expect("fresh");
+                p.addr()
+            }),
+        ],
+    );
+}
+
+/// stdio functions absent from the CE C runtime in this reproduction
+/// (bringing the CE C function count down to the paper's 82-of-94 scale).
+const NOT_ON_CE: [&str; 10] = [
+    "feof", "ferror", "rewind", "fgetpos", "fsetpos", "tmpfile", "tmpnam", "setbuf", "setvbuf",
+    "gets",
+];
+
+/// Builds the C-library catalog for `os`.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one entry per C function, by design
+pub fn c_library(os: OsVariant) -> Vec<Mut> {
+    let mut v: Vec<Mut> = Vec::with_capacity(96);
+
+    // ---- C char (15) --------------------------------------------------
+    m!(v, "isalnum", G::CChar, ["int"], |k, os, a| ctype::isalnum(k, prof(os), int(a[0])));
+    m!(v, "isalpha", G::CChar, ["int"], |k, os, a| ctype::isalpha(k, prof(os), int(a[0])));
+    m!(v, "isascii", G::CChar, ["int"], |k, os, a| ctype::isascii(k, prof(os), int(a[0])));
+    m!(v, "iscntrl", G::CChar, ["int"], |k, os, a| ctype::iscntrl(k, prof(os), int(a[0])));
+    m!(v, "isdigit", G::CChar, ["int"], |k, os, a| ctype::isdigit(k, prof(os), int(a[0])));
+    m!(v, "isgraph", G::CChar, ["int"], |k, os, a| ctype::isgraph(k, prof(os), int(a[0])));
+    m!(v, "islower", G::CChar, ["int"], |k, os, a| ctype::islower(k, prof(os), int(a[0])));
+    m!(v, "isprint", G::CChar, ["int"], |k, os, a| ctype::isprint(k, prof(os), int(a[0])));
+    m!(v, "ispunct", G::CChar, ["int"], |k, os, a| ctype::ispunct(k, prof(os), int(a[0])));
+    m!(v, "isspace", G::CChar, ["int"], |k, os, a| ctype::isspace(k, prof(os), int(a[0])));
+    m!(v, "isupper", G::CChar, ["int"], |k, os, a| ctype::isupper(k, prof(os), int(a[0])));
+    m!(v, "isxdigit", G::CChar, ["int"], |k, os, a| ctype::isxdigit(k, prof(os), int(a[0])));
+    m!(v, "toascii", G::CChar, ["int"], |k, os, a| ctype::toascii(k, prof(os), int(a[0])));
+    m!(v, "tolower", G::CChar, ["int"], |k, os, a| ctype::tolower(k, prof(os), int(a[0])));
+    m!(v, "toupper", G::CChar, ["int"], |k, os, a| ctype::toupper(k, prof(os), int(a[0])));
+
+    // ---- C string (14) ------------------------------------------------
+    m!(v, "strcat", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strcat(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strchr", G::CString, ["cstring", "int"], |k, os, a| {
+        string::strchr(k, prof(os), ptr(a[0]), int(a[1]))
+    });
+    m!(v, "strcmp", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strcmp(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strcpy", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strcpy(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strcspn", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strcspn(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strlen", G::CString, ["cstring"], |k, os, a| {
+        string::strlen(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "strncat", G::CString, ["cstring", "cstring", "size"], |k, os, a| {
+        string::strncat(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    m!(v, "strncmp", G::CString, ["cstring", "cstring", "size"], |k, os, a| {
+        string::strncmp(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    // On CE the preferred UNICODE twin is tested (Table 3: "*_tcsncpy").
+    if os == OsVariant::WinCe {
+        m!(v, "strncpy", G::CString, ["wstring", "wstring", "size"], |k, os, a| {
+            wide::tcsncpy(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+        });
+    } else {
+        m!(v, "strncpy", G::CString, ["cstring", "cstring", "size"], |k, os, a| {
+            string::strncpy(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+        });
+    }
+    m!(v, "strpbrk", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strpbrk(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strrchr", G::CString, ["cstring", "int"], |k, os, a| {
+        string::strrchr(k, prof(os), ptr(a[0]), int(a[1]))
+    });
+    m!(v, "strspn", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strspn(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strstr", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strstr(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "strtok", G::CString, ["cstring", "cstring"], |k, os, a| {
+        string::strtok(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+
+    // ---- C memory management (9) ---------------------------------------
+    m!(v, "malloc", G::CMemory, ["size"], |k, os, a| {
+        memory::malloc(k, prof(os), a[0])
+    });
+    m!(v, "calloc", G::CMemory, ["size", "size"], |k, os, a| {
+        memory::calloc(k, prof(os), a[0], a[1])
+    });
+    m!(v, "realloc", G::CMemory, ["buffer", "size"], |k, os, a| {
+        memory::realloc(k, prof(os), ptr(a[0]), a[1])
+    });
+    m!(v, "free", G::CMemory, ["buffer"], |k, os, a| {
+        memory::free(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "memchr", G::CMemory, ["buffer", "int", "size"], |k, os, a| {
+        memory::memchr(k, prof(os), ptr(a[0]), int(a[1]), a[2])
+    });
+    m!(v, "memcmp", G::CMemory, ["buffer", "buffer", "size"], |k, os, a| {
+        memory::memcmp(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    m!(v, "memcpy", G::CMemory, ["buffer", "buffer", "size"], |k, os, a| {
+        memory::memcpy(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    m!(v, "memmove", G::CMemory, ["buffer", "buffer", "size"], |k, os, a| {
+        memory::memmove(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    m!(v, "memset", G::CMemory, ["buffer", "int", "size"], |k, os, a| {
+        memory::memset(k, prof(os), ptr(a[0]), int(a[1]), a[2])
+    });
+
+    // ---- C file I/O management (18) -------------------------------------
+    m!(v, "fopen", G::CFileIo, ["path", "mode_string"], |k, os, a| {
+        stdio::fopen(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "freopen", G::CFileIo, ["path", "mode_string", "FILE_ptr"], |k, os, a| {
+        stdio::freopen(k, prof(os), ptr(a[0]), ptr(a[1]), ptr(a[2]))
+    });
+    m!(v, "fclose", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::fclose(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "fflush", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::fflush(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "fseek", G::CFileIo, ["FILE_ptr", "int", "int"], |k, os, a| {
+        stdio::fseek(k, prof(os), ptr(a[0]), i64::from(int(a[1])), int(a[2]))
+    });
+    m!(v, "ftell", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::ftell(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "rewind", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::rewind(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "fgetpos", G::CFileIo, ["FILE_ptr", "buffer"], |k, os, a| {
+        stdio::fgetpos(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "fsetpos", G::CFileIo, ["FILE_ptr", "buffer"], |k, os, a| {
+        stdio::fsetpos(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "clearerr", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::clearerr(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "feof", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::feof(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "ferror", G::CFileIo, ["FILE_ptr"], |k, os, a| {
+        stdio::ferror(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "remove", G::CFileIo, ["path"], |k, os, a| {
+        stdio::remove(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "rename", G::CFileIo, ["path", "path"], |k, os, a| {
+        stdio::rename(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "tmpfile", G::CFileIo, [], |k, os, a| stdio::tmpfile(k, prof(os)));
+    m!(v, "tmpnam", G::CFileIo, ["buffer"], |k, os, a| {
+        stdio::tmpnam(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "setbuf", G::CFileIo, ["FILE_ptr", "buffer"], |k, os, a| {
+        stdio::setbuf(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "setvbuf", G::CFileIo, ["FILE_ptr", "buffer", "int", "size"], |k, os, a| {
+        stdio::setvbuf(k, prof(os), ptr(a[0]), ptr(a[1]), int(a[2]), a[3])
+    });
+
+    // ---- C stream I/O (17) ----------------------------------------------
+    m!(v, "fread", G::CStreamIo, ["buffer", "size", "size", "FILE_ptr"], |k, os, a| {
+        stream::fread(k, prof(os), ptr(a[0]), a[1], a[2], ptr(a[3]))
+    });
+    m!(v, "fwrite", G::CStreamIo, ["buffer", "size", "size", "FILE_ptr"], |k, os, a| {
+        stream::fwrite(k, prof(os), ptr(a[0]), a[1], a[2], ptr(a[3]))
+    });
+    m!(v, "fgetc", G::CStreamIo, ["FILE_ptr"], |k, os, a| {
+        stream::fgetc(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "fgets", G::CStreamIo, ["buffer", "int", "FILE_ptr"], |k, os, a| {
+        stream::fgets(k, prof(os), ptr(a[0]), int(a[1]), ptr(a[2]))
+    });
+    m!(v, "fputc", G::CStreamIo, ["int", "FILE_ptr"], |k, os, a| {
+        stream::fputc(k, prof(os), int(a[0]), ptr(a[1]))
+    });
+    m!(v, "fputs", G::CStreamIo, ["cstring", "FILE_ptr"], |k, os, a| {
+        stream::fputs(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "getc", G::CStreamIo, ["FILE_ptr"], |k, os, a| {
+        stream::fgetc(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "putc", G::CStreamIo, ["int", "FILE_ptr"], |k, os, a| {
+        stream::fputc(k, prof(os), int(a[0]), ptr(a[1]))
+    });
+    m!(v, "ungetc", G::CStreamIo, ["int", "FILE_ptr"], |k, os, a| {
+        stream::ungetc(k, prof(os), int(a[0]), ptr(a[1]))
+    });
+    m!(v, "fprintf", G::CStreamIo, ["FILE_ptr", "cstring"], |k, os, a| {
+        stream::fprintf(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "fscanf", G::CStreamIo, ["FILE_ptr", "cstring"], |k, os, a| {
+        stream::fscanf(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "printf", G::CStreamIo, ["cstring"], |k, os, a| {
+        stream::printf(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "scanf", G::CStreamIo, ["cstring"], |k, os, a| {
+        stream::scanf(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "sprintf", G::CStreamIo, ["buffer", "cstring"], |k, os, a| {
+        stream::sprintf(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "sscanf", G::CStreamIo, ["cstring", "cstring"], |k, os, a| {
+        stream::sscanf(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "gets", G::CStreamIo, ["buffer"], |k, os, a| {
+        stream::gets(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "puts", G::CStreamIo, ["cstring"], |k, os, a| {
+        stream::puts(k, prof(os), ptr(a[0]))
+    });
+
+    // ---- C math (13 — the paper's grouping counts the float core) -------
+    m!(v, "sqrt", G::CMath, ["double"], |k, os, a| math::sqrt(k, prof(os), f64_of(a[0])));
+    m!(v, "log", G::CMath, ["double"], |k, os, a| math::log(k, prof(os), f64_of(a[0])));
+    m!(v, "exp", G::CMath, ["double"], |k, os, a| math::exp(k, prof(os), f64_of(a[0])));
+    m!(v, "sin", G::CMath, ["double"], |k, os, a| math::sin(k, prof(os), f64_of(a[0])));
+    m!(v, "cos", G::CMath, ["double"], |k, os, a| math::cos(k, prof(os), f64_of(a[0])));
+    m!(v, "asin", G::CMath, ["double"], |k, os, a| math::asin(k, prof(os), f64_of(a[0])));
+    m!(v, "atan", G::CMath, ["double"], |k, os, a| math::atan(k, prof(os), f64_of(a[0])));
+    m!(v, "floor", G::CMath, ["double"], |k, os, a| math::floor(k, prof(os), f64_of(a[0])));
+    m!(v, "fabs", G::CMath, ["double"], |k, os, a| math::fabs(k, prof(os), f64_of(a[0])));
+    m!(v, "pow", G::CMath, ["double", "double"], |k, os, a| {
+        math::pow(k, prof(os), f64_of(a[0]), f64_of(a[1]))
+    });
+    m!(v, "fmod", G::CMath, ["double", "double"], |k, os, a| {
+        math::fmod(k, prof(os), f64_of(a[0]), f64_of(a[1]))
+    });
+    m!(v, "frexp", G::CMath, ["double", "buffer"], |k, os, a| {
+        math::frexp(k, prof(os), f64_of(a[0]), ptr(a[1]))
+    });
+    m!(v, "div", G::CMath, ["int", "int"], |k, os, a| {
+        math::div(k, prof(os), int(a[0]), int(a[1]))
+    });
+
+    // ---- C time (8; absent on CE) ---------------------------------------
+    if prof(os).has_time_group() {
+        m!(v, "time", G::CTime, ["time_t_ptr"], |k, os, a| {
+            time::time(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "clock", G::CTime, [], |k, os, a| time::clock(k, prof(os)));
+        m!(v, "difftime", G::CTime, ["int", "int"], |k, os, a| {
+            time::difftime(k, prof(os), fd(a[0]), fd(a[1]))
+        });
+        m!(v, "gmtime", G::CTime, ["time_t_ptr"], |k, os, a| {
+            time::gmtime(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "localtime", G::CTime, ["time_t_ptr"], |k, os, a| {
+            time::localtime(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "mktime", G::CTime, ["tm_ptr"], |k, os, a| {
+            time::mktime(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "asctime", G::CTime, ["tm_ptr"], |k, os, a| {
+            time::asctime(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "ctime", G::CTime, ["time_t_ptr"], |k, os, a| {
+            time::ctime(k, prof(os), ptr(a[0]))
+        });
+        m!(v, "strftime", G::CTime, ["buffer", "size", "cstring", "tm_ptr"], |k, os, a| {
+            time::strftime(k, prof(os), ptr(a[0]), a[1], ptr(a[2]), ptr(a[3]))
+        });
+    }
+
+    // CE's reduced stdio surface.
+    if os == OsVariant::WinCe {
+        v.retain(|entry| !NOT_ON_CE.contains(&entry.name));
+    }
+    let _ = uint(0); // helper shared with the other catalogs
+    v
+}

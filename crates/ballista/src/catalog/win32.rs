@@ -1,0 +1,583 @@
+//! The Win32 system-call catalog: 143 calls across the five system-call
+//! groupings (133 on Windows 95, which lacks ten calls; 71 on Windows CE's
+//! subset). Group membership follows the paper where stated (e.g. the
+//! I/O Primitives list in §3.3 and the Table 3 rows) and standard SDK
+//! organization elsewhere.
+
+use super::m;
+use crate::muts::arg::{fd, handle, int, ptr, uint};
+use crate::muts::{FunctionGroup as G, Mut};
+use sim_kernel::variant::OsVariant;
+use sim_win32::{
+    dirapi, envapi, fileapi, handleapi, heapapi, memoryapi, processapi, syncapi, threadapi,
+    timeapi, Win32Profile,
+};
+
+fn prof(os: OsVariant) -> Win32Profile {
+    Win32Profile::for_os(os)
+}
+
+/// The 71-call Windows CE subset (every Table 3 CE entry included).
+const ON_CE: [&str; 71] = [
+    // handles & I/O primitives
+    "CloseHandle",
+    "DuplicateHandle",
+    "ReadFile",
+    "WriteFile",
+    "SetFilePointer",
+    "FlushFileBuffers",
+    "GetStdHandle",
+    "GetHandleInformation",
+    // file/directory
+    "CreateFile",
+    "CreateDirectory",
+    "RemoveDirectory",
+    "DeleteFile",
+    "MoveFile",
+    "FindFirstFile",
+    "FindNextFile",
+    "FindClose",
+    "GetFileAttributes",
+    "SetFileAttributes",
+    "GetFileSize",
+    "GetTempPath",
+    "GetFullPathName",
+    // memory
+    "VirtualAlloc",
+    "VirtualFree",
+    "VirtualProtect",
+    "ReadProcessMemory",
+    "CreateFileMapping",
+    "MapViewOfFile",
+    "UnmapViewOfFile",
+    "HeapCreate",
+    "HeapDestroy",
+    "HeapAlloc",
+    "HeapFree",
+    "HeapReAlloc",
+    "HeapSize",
+    "GetProcessHeap",
+    "LocalAlloc",
+    "LocalFree",
+    // process/thread/sync
+    "CreateProcess",
+    "TerminateProcess",
+    "GetCurrentProcess",
+    "GetCurrentProcessId",
+    "CreateThread",
+    "TerminateThread",
+    "SuspendThread",
+    "ResumeThread",
+    "GetThreadContext",
+    "SetThreadContext",
+    "GetCurrentThread",
+    "GetCurrentThreadId",
+    "InterlockedIncrement",
+    "InterlockedDecrement",
+    "InterlockedExchange",
+    "Sleep",
+    "CreateEvent",
+    "SetEvent",
+    "ResetEvent",
+    "CreateMutex",
+    "ReleaseMutex",
+    "CreateSemaphore",
+    "ReleaseSemaphore",
+    "WaitForSingleObject",
+    "WaitForMultipleObjects",
+    "MsgWaitForMultipleObjects",
+    "MsgWaitForMultipleObjectsEx",
+    // environment
+    "GetVersion",
+    "GetTickCount",
+    "GetEnvironmentVariable",
+    "SetEnvironmentVariable",
+    "GetModuleFileName",
+    "GetModuleHandle",
+    "GetCommandLine",
+];
+
+/// Builds the Win32 system-call catalog for `os`.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one entry per call, by design
+pub fn win32_calls(os: OsVariant) -> Vec<Mut> {
+    let mut v: Vec<Mut> = Vec::with_capacity(143);
+
+    // ---- I/O Primitives (17) --------------------------------------------
+    m!(v, "AttachThreadInput", G::IoPrimitives, ["int", "int", "flags"], |k, os, a| {
+        threadapi::AttachThreadInput(k, prof(os), uint(a[0]), uint(a[1]), uint(a[2]))
+    });
+    m!(v, "CloseHandle", G::IoPrimitives, ["HANDLE"], |k, os, a| {
+        handleapi::CloseHandle(k, prof(os), handle(a[0]))
+    });
+    m!(v, "DuplicateHandle", G::IoPrimitives, ["HANDLE", "HANDLE", "HANDLE", "buffer"], |k, os, a| {
+        handleapi::DuplicateHandle(
+            k, prof(os), handle(a[0]), handle(a[1]), handle(a[2]), ptr(a[3]), 0, 0, 0,
+        )
+    });
+    m!(v, "FlushFileBuffers", G::IoPrimitives, ["HANDLE"], |k, os, a| {
+        fileapi::FlushFileBuffers(k, prof(os), handle(a[0]))
+    });
+    m!(v, "GetStdHandle", G::IoPrimitives, ["int"], |k, os, a| {
+        handleapi::GetStdHandle(k, prof(os), int(a[0]))
+    });
+    m!(v, "SetStdHandle", G::IoPrimitives, ["int", "HANDLE"], |k, os, a| {
+        handleapi::SetStdHandle(k, prof(os), int(a[0]), handle(a[1]))
+    });
+    m!(v, "GetHandleInformation", G::IoPrimitives, ["HANDLE", "buffer"], |k, os, a| {
+        handleapi::GetHandleInformation(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "SetHandleInformation", G::IoPrimitives, ["HANDLE", "flags", "flags"], |k, os, a| {
+        handleapi::SetHandleInformation(k, prof(os), handle(a[0]), uint(a[1]), uint(a[2]))
+    });
+    m!(v, "LockFile", G::IoPrimitives, ["HANDLE", "size", "size"], |k, os, a| {
+        fileapi::LockFile(k, prof(os), handle(a[0]), uint(a[1]), 0, uint(a[2]), 0)
+    });
+    m!(v, "LockFileEx", G::IoPrimitives, ["HANDLE", "flags", "size", "buffer"], |k, os, a| {
+        fileapi::LockFileEx(k, prof(os), handle(a[0]), uint(a[1]), 0, uint(a[2]), 0, ptr(a[3]))
+    });
+    m!(v, "UnlockFile", G::IoPrimitives, ["HANDLE", "size", "size"], |k, os, a| {
+        fileapi::UnlockFile(k, prof(os), handle(a[0]), uint(a[1]), 0, uint(a[2]), 0)
+    });
+    m!(v, "UnlockFileEx", G::IoPrimitives, ["HANDLE", "size", "buffer"], |k, os, a| {
+        fileapi::UnlockFileEx(k, prof(os), handle(a[0]), 0, uint(a[1]), 0, ptr(a[2]))
+    });
+    m!(v, "ReadFile", G::IoPrimitives, ["HANDLE", "buffer", "size", "buffer"], |k, os, a| {
+        fileapi::ReadFile(
+            k, prof(os), handle(a[0]), ptr(a[1]), uint(a[2]), ptr(a[3]), sim_core::SimPtr::NULL,
+        )
+    });
+    m!(v, "ReadFileEx", G::IoPrimitives, ["HANDLE", "buffer", "size", "buffer", "buffer"], |k, os, a| {
+        fileapi::ReadFileEx(k, prof(os), handle(a[0]), ptr(a[1]), uint(a[2]), ptr(a[3]), ptr(a[4]))
+    });
+    m!(v, "SetFilePointer", G::IoPrimitives, ["HANDLE", "int", "buffer", "flags"], |k, os, a| {
+        fileapi::SetFilePointer(k, prof(os), handle(a[0]), int(a[1]), ptr(a[2]), uint(a[3]))
+    });
+    m!(v, "WriteFile", G::IoPrimitives, ["HANDLE", "buffer", "size", "buffer"], |k, os, a| {
+        fileapi::WriteFile(
+            k, prof(os), handle(a[0]), ptr(a[1]), uint(a[2]), ptr(a[3]), sim_core::SimPtr::NULL,
+        )
+    });
+    m!(v, "WriteFileEx", G::IoPrimitives, ["HANDLE", "buffer", "size", "buffer", "buffer"], |k, os, a| {
+        fileapi::WriteFileEx(k, prof(os), handle(a[0]), ptr(a[1]), uint(a[2]), ptr(a[3]), ptr(a[4]))
+    });
+
+    // ---- File/Directory Access (34) ---------------------------------------
+    m!(v, "CreateFile", G::FileDirAccess, ["path", "flags", "flags", "buffer", "flags"], |k, os, a| {
+        fileapi::CreateFile(
+            k,
+            prof(os),
+            ptr(a[0]),
+            // Map the small flags pool onto access bits so both read and
+            // write dispositions occur.
+            if uint(a[1]) & 1 != 0 { 0xC000_0000 } else { 0x8000_0000 },
+            uint(a[2]),
+            ptr(a[3]),
+            uint(a[4]).clamp(1, 5),
+            0,
+            sim_kernel::objects::Handle::NULL,
+        )
+    });
+    m!(v, "CreateDirectory", G::FileDirAccess, ["path", "buffer"], |k, os, a| {
+        dirapi::CreateDirectory(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "CreateDirectoryEx", G::FileDirAccess, ["path", "path", "buffer"], |k, os, a| {
+        dirapi::CreateDirectoryEx(k, prof(os), ptr(a[0]), ptr(a[1]), ptr(a[2]))
+    });
+    m!(v, "RemoveDirectory", G::FileDirAccess, ["path"], |k, os, a| {
+        dirapi::RemoveDirectory(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "DeleteFile", G::FileDirAccess, ["path"], |k, os, a| {
+        dirapi::DeleteFile(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "CopyFile", G::FileDirAccess, ["path", "path", "flags"], |k, os, a| {
+        dirapi::CopyFile(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "MoveFile", G::FileDirAccess, ["path", "path"], |k, os, a| {
+        dirapi::MoveFile(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "MoveFileEx", G::FileDirAccess, ["path", "path", "flags"], |k, os, a| {
+        dirapi::MoveFileEx(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "FindFirstFile", G::FileDirAccess, ["path", "buffer"], |k, os, a| {
+        dirapi::FindFirstFile(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "FindNextFile", G::FileDirAccess, ["HANDLE", "buffer"], |k, os, a| {
+        dirapi::FindNextFile(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "FindClose", G::FileDirAccess, ["HANDLE"], |k, os, a| {
+        dirapi::FindClose(k, prof(os), handle(a[0]))
+    });
+    m!(v, "GetFileAttributes", G::FileDirAccess, ["path"], |k, os, a| {
+        dirapi::GetFileAttributes(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "SetFileAttributes", G::FileDirAccess, ["path", "flags"], |k, os, a| {
+        dirapi::SetFileAttributes(k, prof(os), ptr(a[0]), uint(a[1]))
+    });
+    m!(v, "GetFileSize", G::FileDirAccess, ["HANDLE", "buffer"], |k, os, a| {
+        fileapi::GetFileSize(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetFileType", G::FileDirAccess, ["HANDLE"], |k, os, a| {
+        handleapi::GetFileType(k, prof(os), handle(a[0]))
+    });
+    m!(v, "GetFileInformationByHandle", G::FileDirAccess, ["HANDLE", "buffer"], |k, os, a| {
+        fileapi::GetFileInformationByHandle(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "SetEndOfFile", G::FileDirAccess, ["HANDLE"], |k, os, a| {
+        fileapi::SetEndOfFile(k, prof(os), handle(a[0]))
+    });
+    m!(v, "GetCurrentDirectory", G::FileDirAccess, ["size", "buffer"], |k, os, a| {
+        dirapi::GetCurrentDirectory(k, prof(os), uint(a[0]), ptr(a[1]))
+    });
+    m!(v, "SetCurrentDirectory", G::FileDirAccess, ["path"], |k, os, a| {
+        dirapi::SetCurrentDirectory(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetFullPathName", G::FileDirAccess, ["path", "size", "buffer", "buffer"], |k, os, a| {
+        dirapi::GetFullPathName(k, prof(os), ptr(a[0]), uint(a[1]), ptr(a[2]), ptr(a[3]))
+    });
+    m!(v, "GetTempPath", G::FileDirAccess, ["size", "buffer"], |k, os, a| {
+        dirapi::GetTempPath(k, prof(os), uint(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetTempFileName", G::FileDirAccess, ["path", "cstring", "flags", "buffer"], |k, os, a| {
+        dirapi::GetTempFileName(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]), ptr(a[3]))
+    });
+    m!(v, "SearchPath", G::FileDirAccess, ["path", "cstring", "size", "buffer"], |k, os, a| {
+        dirapi::SearchPath(
+            k, prof(os), ptr(a[0]), ptr(a[1]), sim_core::SimPtr::NULL, uint(a[2]), ptr(a[3]),
+            sim_core::SimPtr::NULL,
+        )
+    });
+    m!(v, "GetDriveType", G::FileDirAccess, ["path"], |k, os, a| {
+        dirapi::GetDriveType(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetDiskFreeSpace", G::FileDirAccess, ["path", "buffer", "buffer", "buffer", "buffer"], |k, os, a| {
+        dirapi::GetDiskFreeSpace(k, prof(os), ptr(a[0]), ptr(a[1]), ptr(a[2]), ptr(a[3]), ptr(a[4]))
+    });
+    m!(v, "GetLogicalDrives", G::FileDirAccess, [], |k, os, a| {
+        dirapi::GetLogicalDrives(k, prof(os))
+    });
+    m!(v, "GetShortPathName", G::FileDirAccess, ["path", "buffer", "size"], |k, os, a| {
+        dirapi::GetShortPathName(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "FileTimeToSystemTime", G::FileDirAccess, ["filetime_ptr", "systemtime_ptr"], |k, os, a| {
+        timeapi::FileTimeToSystemTime(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "SystemTimeToFileTime", G::FileDirAccess, ["systemtime_ptr", "filetime_ptr"], |k, os, a| {
+        timeapi::SystemTimeToFileTime(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "FileTimeToLocalFileTime", G::FileDirAccess, ["filetime_ptr", "filetime_ptr"], |k, os, a| {
+        timeapi::FileTimeToLocalFileTime(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "LocalFileTimeToFileTime", G::FileDirAccess, ["filetime_ptr", "filetime_ptr"], |k, os, a| {
+        timeapi::LocalFileTimeToFileTime(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "CompareFileTime", G::FileDirAccess, ["filetime_ptr", "filetime_ptr"], |k, os, a| {
+        timeapi::CompareFileTime(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "DosDateTimeToFileTime", G::FileDirAccess, ["int", "int", "filetime_ptr"], |k, os, a| {
+        timeapi::DosDateTimeToFileTime(k, prof(os), uint(a[0]) as u16, uint(a[1]) as u16, ptr(a[2]))
+    });
+    m!(v, "FileTimeToDosDateTime", G::FileDirAccess, ["filetime_ptr", "buffer", "buffer"], |k, os, a| {
+        timeapi::FileTimeToDosDateTime(k, prof(os), ptr(a[0]), ptr(a[1]), ptr(a[2]))
+    });
+
+    // ---- Memory Management (32) -------------------------------------------
+    m!(v, "VirtualAlloc", G::MemoryManagement, ["buffer", "size", "flags", "flags"], |k, os, a| {
+        memoryapi::VirtualAlloc(k, prof(os), ptr(a[0]), a[1], uint(a[2]), uint(a[3]).max(1))
+    });
+    m!(v, "VirtualFree", G::MemoryManagement, ["buffer", "size", "flags"], |k, os, a| {
+        memoryapi::VirtualFree(k, prof(os), ptr(a[0]), a[1], uint(a[2]))
+    });
+    m!(v, "VirtualProtect", G::MemoryManagement, ["buffer", "size", "flags", "buffer"], |k, os, a| {
+        memoryapi::VirtualProtect(k, prof(os), ptr(a[0]), a[1], uint(a[2]).max(1), ptr(a[3]))
+    });
+    m!(v, "VirtualQuery", G::MemoryManagement, ["buffer", "buffer", "size"], |k, os, a| {
+        memoryapi::VirtualQuery(k, prof(os), ptr(a[0]), ptr(a[1]), a[2])
+    });
+    m!(v, "IsBadReadPtr", G::MemoryManagement, ["buffer", "size"], |k, os, a| {
+        memoryapi::IsBadReadPtr(k, prof(os), ptr(a[0]), a[1])
+    });
+    m!(v, "IsBadWritePtr", G::MemoryManagement, ["buffer", "size"], |k, os, a| {
+        memoryapi::IsBadWritePtr(k, prof(os), ptr(a[0]), a[1])
+    });
+    m!(v, "IsBadStringPtr", G::MemoryManagement, ["cstring", "size"], |k, os, a| {
+        memoryapi::IsBadStringPtr(k, prof(os), ptr(a[0]), a[1])
+    });
+    m!(v, "ReadProcessMemory", G::MemoryManagement, ["HANDLE", "buffer", "buffer", "size"], |k, os, a| {
+        memoryapi::ReadProcessMemory(
+            k, prof(os), handle(a[0]), ptr(a[1]), ptr(a[2]), a[3].min(4096),
+            sim_core::SimPtr::NULL,
+        )
+    });
+    m!(v, "WriteProcessMemory", G::MemoryManagement, ["HANDLE", "buffer", "buffer", "size"], |k, os, a| {
+        memoryapi::WriteProcessMemory(
+            k, prof(os), handle(a[0]), ptr(a[1]), ptr(a[2]), a[3].min(4096),
+            sim_core::SimPtr::NULL,
+        )
+    });
+    m!(v, "CreateFileMapping", G::MemoryManagement, ["HANDLE", "flags", "size", "cstring"], |k, os, a| {
+        memoryapi::CreateFileMapping(
+            k, prof(os), handle(a[0]), sim_core::SimPtr::NULL, uint(a[1]).clamp(1, 4),
+            0, uint(a[2]), ptr(a[3]),
+        )
+    });
+    m!(v, "MapViewOfFile", G::MemoryManagement, ["HANDLE", "flags", "size", "size"], |k, os, a| {
+        memoryapi::MapViewOfFile(k, prof(os), handle(a[0]), uint(a[1]), 0, uint(a[2]), a[3].min(1 << 20))
+    });
+    m!(v, "UnmapViewOfFile", G::MemoryManagement, ["buffer"], |k, os, a| {
+        memoryapi::UnmapViewOfFile(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "FlushViewOfFile", G::MemoryManagement, ["buffer", "size"], |k, os, a| {
+        memoryapi::FlushViewOfFile(k, prof(os), ptr(a[0]), a[1])
+    });
+    m!(v, "HeapCreate", G::MemoryManagement, ["flags", "size", "size"], |k, os, a| {
+        heapapi::HeapCreate(k, prof(os), uint(a[0]), a[1], a[2])
+    });
+    m!(v, "HeapDestroy", G::MemoryManagement, ["HANDLE"], |k, os, a| {
+        heapapi::HeapDestroy(k, prof(os), handle(a[0]))
+    });
+    m!(v, "HeapAlloc", G::MemoryManagement, ["HANDLE", "flags", "size"], |k, os, a| {
+        heapapi::HeapAlloc(k, prof(os), handle(a[0]), uint(a[1]), a[2])
+    });
+    m!(v, "HeapFree", G::MemoryManagement, ["HANDLE", "flags", "buffer"], |k, os, a| {
+        heapapi::HeapFree(k, prof(os), handle(a[0]), uint(a[1]), ptr(a[2]))
+    });
+    m!(v, "HeapReAlloc", G::MemoryManagement, ["HANDLE", "flags", "buffer", "size"], |k, os, a| {
+        heapapi::HeapReAlloc(k, prof(os), handle(a[0]), uint(a[1]), ptr(a[2]), a[3])
+    });
+    m!(v, "HeapSize", G::MemoryManagement, ["HANDLE", "flags", "buffer"], |k, os, a| {
+        heapapi::HeapSize(k, prof(os), handle(a[0]), uint(a[1]), ptr(a[2]))
+    });
+    m!(v, "HeapValidate", G::MemoryManagement, ["HANDLE", "flags", "buffer"], |k, os, a| {
+        heapapi::HeapValidate(k, prof(os), handle(a[0]), uint(a[1]), ptr(a[2]))
+    });
+    m!(v, "HeapCompact", G::MemoryManagement, ["HANDLE", "flags"], |k, os, a| {
+        heapapi::HeapCompact(k, prof(os), handle(a[0]), uint(a[1]))
+    });
+    m!(v, "GetProcessHeap", G::MemoryManagement, [], |k, os, a| {
+        heapapi::GetProcessHeap(k, prof(os))
+    });
+    m!(v, "GlobalAlloc", G::MemoryManagement, ["flags", "size"], |k, os, a| {
+        heapapi::GlobalAlloc(k, prof(os), uint(a[0]), a[1])
+    });
+    m!(v, "GlobalFree", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::GlobalFree(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GlobalReAlloc", G::MemoryManagement, ["buffer", "size", "flags"], |k, os, a| {
+        heapapi::GlobalReAlloc(k, prof(os), ptr(a[0]), a[1], uint(a[2]))
+    });
+    m!(v, "GlobalSize", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::GlobalSize(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GlobalLock", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::GlobalLock(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GlobalUnlock", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::GlobalUnlock(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "LocalAlloc", G::MemoryManagement, ["flags", "size"], |k, os, a| {
+        heapapi::LocalAlloc(k, prof(os), uint(a[0]), a[1])
+    });
+    m!(v, "LocalFree", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::LocalFree(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "LocalReAlloc", G::MemoryManagement, ["buffer", "size", "flags"], |k, os, a| {
+        heapapi::LocalReAlloc(k, prof(os), ptr(a[0]), a[1], uint(a[2]))
+    });
+    m!(v, "LocalSize", G::MemoryManagement, ["buffer"], |k, os, a| {
+        heapapi::LocalSize(k, prof(os), ptr(a[0]))
+    });
+
+    // ---- Process Primitives (35) --------------------------------------------
+    m!(v, "CreateProcess", G::ProcessPrimitives, ["path", "cstring", "flags", "buffer", "buffer"], |k, os, a| {
+        processapi::CreateProcess(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]), sim_core::SimPtr::NULL, ptr(a[3]), ptr(a[4]))
+    });
+    m!(v, "OpenProcess", G::ProcessPrimitives, ["flags", "flags", "int"], |k, os, a| {
+        processapi::OpenProcess(k, prof(os), uint(a[0]), uint(a[1]), uint(a[2]))
+    });
+    m!(v, "TerminateProcess", G::ProcessPrimitives, ["HANDLE", "int"], |k, os, a| {
+        processapi::TerminateProcess(k, prof(os), handle(a[0]), uint(a[1]))
+    });
+    m!(v, "GetExitCodeProcess", G::ProcessPrimitives, ["HANDLE", "buffer"], |k, os, a| {
+        processapi::GetExitCodeProcess(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetCurrentProcess", G::ProcessPrimitives, [], |k, os, a| {
+        processapi::GetCurrentProcess(k, prof(os))
+    });
+    m!(v, "GetCurrentProcessId", G::ProcessPrimitives, [], |k, os, a| {
+        processapi::GetCurrentProcessId(k, prof(os))
+    });
+    m!(v, "GetPriorityClass", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        processapi::GetPriorityClass(k, prof(os), handle(a[0]))
+    });
+    m!(v, "SetPriorityClass", G::ProcessPrimitives, ["HANDLE", "flags"], |k, os, a| {
+        processapi::SetPriorityClass(k, prof(os), handle(a[0]), uint(a[1]))
+    });
+    m!(v, "CreateThread", G::ProcessPrimitives, ["buffer", "size", "buffer", "buffer"], |k, os, a| {
+        threadapi::CreateThread(k, prof(os), sim_core::SimPtr::NULL, a[1], ptr(a[0]), ptr(a[2]), 0, ptr(a[3]))
+    });
+    m!(v, "TerminateThread", G::ProcessPrimitives, ["HANDLE", "int"], |k, os, a| {
+        threadapi::TerminateThread(k, prof(os), handle(a[0]), uint(a[1]))
+    });
+    m!(v, "SuspendThread", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        threadapi::SuspendThread(k, prof(os), handle(a[0]))
+    });
+    m!(v, "ResumeThread", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        threadapi::ResumeThread(k, prof(os), handle(a[0]))
+    });
+    m!(v, "GetThreadContext", G::ProcessPrimitives, ["HANDLE", "buffer"], |k, os, a| {
+        threadapi::GetThreadContext(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "SetThreadContext", G::ProcessPrimitives, ["HANDLE", "buffer"], |k, os, a| {
+        threadapi::SetThreadContext(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetThreadPriority", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        threadapi::GetThreadPriority(k, prof(os), handle(a[0]))
+    });
+    m!(v, "SetThreadPriority", G::ProcessPrimitives, ["HANDLE", "int"], |k, os, a| {
+        threadapi::SetThreadPriority(k, prof(os), handle(a[0]), int(a[1]))
+    });
+    m!(v, "GetExitCodeThread", G::ProcessPrimitives, ["HANDLE", "buffer"], |k, os, a| {
+        threadapi::GetExitCodeThread(k, prof(os), handle(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetCurrentThread", G::ProcessPrimitives, [], |k, os, a| {
+        threadapi::GetCurrentThread(k, prof(os))
+    });
+    m!(v, "GetCurrentThreadId", G::ProcessPrimitives, [], |k, os, a| {
+        threadapi::GetCurrentThreadId(k, prof(os))
+    });
+    m!(v, "InterlockedIncrement", G::ProcessPrimitives, ["buffer"], |k, os, a| {
+        threadapi::InterlockedIncrement(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "InterlockedDecrement", G::ProcessPrimitives, ["buffer"], |k, os, a| {
+        threadapi::InterlockedDecrement(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "InterlockedExchange", G::ProcessPrimitives, ["buffer", "int"], |k, os, a| {
+        threadapi::InterlockedExchange(k, prof(os), ptr(a[0]), int(a[1]))
+    });
+    m!(v, "Sleep", G::ProcessPrimitives, ["msec"], |k, os, a| {
+        threadapi::Sleep(k, prof(os), uint(a[0]))
+    });
+    m!(v, "CreateEvent", G::ProcessPrimitives, ["buffer", "flags", "flags", "cstring"], |k, os, a| {
+        syncapi::CreateEvent(k, prof(os), ptr(a[0]), uint(a[1]), uint(a[2]), ptr(a[3]))
+    });
+    m!(v, "SetEvent", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        syncapi::SetEvent(k, prof(os), handle(a[0]))
+    });
+    m!(v, "ResetEvent", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        syncapi::ResetEvent(k, prof(os), handle(a[0]))
+    });
+    m!(v, "PulseEvent", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        syncapi::PulseEvent(k, prof(os), handle(a[0]))
+    });
+    m!(v, "CreateMutex", G::ProcessPrimitives, ["buffer", "flags", "cstring"], |k, os, a| {
+        syncapi::CreateMutex(k, prof(os), ptr(a[0]), uint(a[1]), ptr(a[2]))
+    });
+    m!(v, "ReleaseMutex", G::ProcessPrimitives, ["HANDLE"], |k, os, a| {
+        syncapi::ReleaseMutex(k, prof(os), handle(a[0]))
+    });
+    m!(v, "CreateSemaphore", G::ProcessPrimitives, ["buffer", "int", "int", "cstring"], |k, os, a| {
+        syncapi::CreateSemaphore(k, prof(os), ptr(a[0]), int(a[1]), int(a[2]), ptr(a[3]))
+    });
+    m!(v, "ReleaseSemaphore", G::ProcessPrimitives, ["HANDLE", "int", "buffer"], |k, os, a| {
+        syncapi::ReleaseSemaphore(k, prof(os), handle(a[0]), int(a[1]), ptr(a[2]))
+    });
+    m!(v, "WaitForSingleObject", G::ProcessPrimitives, ["HANDLE", "msec"], |k, os, a| {
+        syncapi::WaitForSingleObject(k, prof(os), handle(a[0]), uint(a[1]))
+    });
+    m!(v, "WaitForMultipleObjects", G::ProcessPrimitives, ["int", "buffer", "flags", "msec"], |k, os, a| {
+        syncapi::WaitForMultipleObjects(k, prof(os), uint(a[0]).min(80), ptr(a[1]), uint(a[2]), uint(a[3]))
+    });
+    m!(v, "MsgWaitForMultipleObjects", G::ProcessPrimitives, ["int", "buffer", "flags", "msec"], |k, os, a| {
+        syncapi::MsgWaitForMultipleObjects(k, prof(os), uint(a[0]).min(80), ptr(a[1]), 0, uint(a[2]), uint(a[3]))
+    });
+    m!(v, "MsgWaitForMultipleObjectsEx", G::ProcessPrimitives, ["int", "buffer", "msec", "flags"], |k, os, a| {
+        syncapi::MsgWaitForMultipleObjectsEx(k, prof(os), uint(a[0]).min(80), ptr(a[1]), uint(a[2]), uint(a[3]), 0)
+    });
+
+    // ---- Process Environment (25) -------------------------------------------
+    m!(v, "GetEnvironmentVariable", G::ProcessEnvironment, ["cstring", "buffer", "size"], |k, os, a| {
+        envapi::GetEnvironmentVariable(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "SetEnvironmentVariable", G::ProcessEnvironment, ["cstring", "cstring"], |k, os, a| {
+        envapi::SetEnvironmentVariable(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "ExpandEnvironmentStrings", G::ProcessEnvironment, ["cstring", "buffer", "size"], |k, os, a| {
+        envapi::ExpandEnvironmentStrings(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "GetCommandLine", G::ProcessEnvironment, [], |k, os, a| {
+        envapi::GetCommandLine(k, prof(os))
+    });
+    m!(v, "GetModuleFileName", G::ProcessEnvironment, ["buffer", "buffer", "size"], |k, os, a| {
+        envapi::GetModuleFileName(k, prof(os), ptr(a[0]), ptr(a[1]), uint(a[2]))
+    });
+    m!(v, "GetModuleHandle", G::ProcessEnvironment, ["cstring"], |k, os, a| {
+        envapi::GetModuleHandle(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetVersion", G::ProcessEnvironment, [], |k, os, a| {
+        envapi::GetVersion(k, prof(os))
+    });
+    m!(v, "GetVersionEx", G::ProcessEnvironment, ["buffer"], |k, os, a| {
+        envapi::GetVersionEx(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetSystemInfo", G::ProcessEnvironment, ["buffer"], |k, os, a| {
+        envapi::GetSystemInfo(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetComputerName", G::ProcessEnvironment, ["buffer", "buffer"], |k, os, a| {
+        envapi::GetComputerName(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "GetSystemDirectory", G::ProcessEnvironment, ["buffer", "size"], |k, os, a| {
+        envapi::GetSystemDirectory(k, prof(os), ptr(a[0]), uint(a[1]))
+    });
+    m!(v, "GetWindowsDirectory", G::ProcessEnvironment, ["buffer", "size"], |k, os, a| {
+        envapi::GetWindowsDirectory(k, prof(os), ptr(a[0]), uint(a[1]))
+    });
+    m!(v, "GetStartupInfo", G::ProcessEnvironment, ["buffer"], |k, os, a| {
+        envapi::GetStartupInfo(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetTickCount", G::ProcessEnvironment, [], |k, os, a| {
+        timeapi::GetTickCount(k, prof(os))
+    });
+    m!(v, "GetSystemTime", G::ProcessEnvironment, ["systemtime_ptr"], |k, os, a| {
+        timeapi::GetSystemTime(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetLocalTime", G::ProcessEnvironment, ["systemtime_ptr"], |k, os, a| {
+        timeapi::GetLocalTime(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "SetSystemTime", G::ProcessEnvironment, ["systemtime_ptr"], |k, os, a| {
+        timeapi::SetSystemTime(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetSystemTimeAsFileTime", G::ProcessEnvironment, ["filetime_ptr"], |k, os, a| {
+        timeapi::GetSystemTimeAsFileTime(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "GetTimeZoneInformation", G::ProcessEnvironment, ["buffer"], |k, os, a| {
+        timeapi::GetTimeZoneInformation(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "lstrlen", G::ProcessEnvironment, ["cstring"], |k, os, a| {
+        envapi::lstrlen(k, prof(os), ptr(a[0]))
+    });
+    m!(v, "lstrcpy", G::ProcessEnvironment, ["cstring", "cstring"], |k, os, a| {
+        envapi::lstrcpy(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "lstrcpyn", G::ProcessEnvironment, ["cstring", "cstring", "int"], |k, os, a| {
+        envapi::lstrcpyn(k, prof(os), ptr(a[0]), ptr(a[1]), int(a[2]))
+    });
+    m!(v, "lstrcat", G::ProcessEnvironment, ["cstring", "cstring"], |k, os, a| {
+        envapi::lstrcat(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "lstrcmp", G::ProcessEnvironment, ["cstring", "cstring"], |k, os, a| {
+        envapi::lstrcmp(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+    m!(v, "lstrcmpi", G::ProcessEnvironment, ["cstring", "cstring"], |k, os, a| {
+        envapi::lstrcmpi(k, prof(os), ptr(a[0]), ptr(a[1]))
+    });
+
+    // Per-variant availability.
+    let profile = prof(os);
+    v.retain(|entry| profile.supports_call(entry.name));
+    if os == OsVariant::WinCe {
+        v.retain(|entry| ON_CE.contains(&entry.name));
+    }
+    let _ = fd(0); // helper shared with the other catalogs
+    v
+}

@@ -1,0 +1,225 @@
+//! The CRASH severity scale and the raw outcome vocabulary.
+//!
+//! CRASH (Kropp, Koopman & Siewiorek, FTCS-28) is an acronym for the five
+//! robustness-failure classes: **C**atastrophic (whole-system crash),
+//! **R**estart (task hang), **A**bort (abnormal task termination),
+//! **S**ilent (invalid call reports success) and **H**indering (wrong
+//! error code). The harness observes a [`RawOutcome`] per test case and
+//! classifies it; Silent and Hindering need an oracle (the simulator knows
+//! whether inputs were exceptional — the paper estimated Silent rates by
+//! voting across Windows variants instead, which the report layer also
+//! implements).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the harness directly observed for one test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawOutcome {
+    /// The call returned and reported success (no error indication).
+    ReturnedSuccess,
+    /// The call returned an error indication (`errno` / `GetLastError` /
+    /// error return value).
+    ReturnedError,
+    /// The task died on a signal or unhandled structured exception.
+    TaskAbort,
+    /// The call never returned (watchdog fired).
+    TaskHang,
+    /// The whole simulated machine died.
+    SystemCrash,
+}
+
+impl RawOutcome {
+    /// Compact one-byte encoding (used for the cross-variant voting
+    /// tables).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            RawOutcome::ReturnedSuccess => 0,
+            RawOutcome::ReturnedError => 1,
+            RawOutcome::TaskAbort => 2,
+            RawOutcome::TaskHang => 3,
+            RawOutcome::SystemCrash => 4,
+        }
+    }
+
+    /// Inverse of [`RawOutcome::to_byte`].
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RawOutcome::ReturnedSuccess,
+            1 => RawOutcome::ReturnedError,
+            2 => RawOutcome::TaskAbort,
+            3 => RawOutcome::TaskHang,
+            4 => RawOutcome::SystemCrash,
+            _ => return None,
+        })
+    }
+}
+
+/// The CRASH classification of one test case.
+///
+/// Ordered by severity: `Catastrophic > Restart > Abort > Silent >
+/// Hindering > Pass`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// The call behaved robustly (correct error report, or legitimate
+    /// success on non-exceptional inputs).
+    Pass,
+    /// The call returned an error, but the wrong one.
+    Hindering,
+    /// Exceptional inputs, yet the call reported success.
+    Silent,
+    /// Abnormal task termination.
+    Abort,
+    /// Task hang; restart required.
+    Restart,
+    /// Whole-system crash; reboot required.
+    Catastrophic,
+}
+
+impl FailureClass {
+    /// Whether this is a robustness failure at all.
+    #[must_use]
+    pub fn is_failure(self) -> bool {
+        self != FailureClass::Pass
+    }
+
+    /// The one-letter CRASH code (`-` for a pass).
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            FailureClass::Catastrophic => 'C',
+            FailureClass::Restart => 'R',
+            FailureClass::Abort => 'A',
+            FailureClass::Silent => 'S',
+            FailureClass::Hindering => 'H',
+            FailureClass::Pass => '-',
+        }
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureClass::Catastrophic => "Catastrophic",
+            FailureClass::Restart => "Restart",
+            FailureClass::Abort => "Abort",
+            FailureClass::Silent => "Silent",
+            FailureClass::Hindering => "Hindering",
+            FailureClass::Pass => "Pass",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a raw outcome given the oracle bit "at least one input value
+/// was exceptional".
+///
+/// * `SystemCrash` → Catastrophic, `TaskHang` → Restart, `TaskAbort` →
+///   Abort, regardless of inputs (the call had robust alternatives).
+/// * `ReturnedSuccess` with exceptional inputs → **Silent** (ground
+///   truth; the paper could only estimate this by voting).
+/// * `ReturnedError` → Pass (a graceful error report). With
+///   non-exceptional inputs this *could* be a Hindering false error, which
+///   [`classify_with_expectation`] refines.
+#[must_use]
+pub fn classify(raw: RawOutcome, any_exceptional_input: bool) -> FailureClass {
+    match raw {
+        RawOutcome::SystemCrash => FailureClass::Catastrophic,
+        RawOutcome::TaskHang => FailureClass::Restart,
+        RawOutcome::TaskAbort => FailureClass::Abort,
+        RawOutcome::ReturnedSuccess => {
+            if any_exceptional_input {
+                FailureClass::Silent
+            } else {
+                FailureClass::Pass
+            }
+        }
+        RawOutcome::ReturnedError => FailureClass::Pass,
+    }
+}
+
+/// Refinement of [`classify`]: an error report on *entirely benign* inputs
+/// is a Hindering failure (the call cried wolf).
+#[must_use]
+pub fn classify_with_expectation(raw: RawOutcome, any_exceptional_input: bool) -> FailureClass {
+    match raw {
+        RawOutcome::ReturnedError if !any_exceptional_input => FailureClass::Hindering,
+        _ => classify(raw, any_exceptional_input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_totally_ordered() {
+        assert!(FailureClass::Catastrophic > FailureClass::Restart);
+        assert!(FailureClass::Restart > FailureClass::Abort);
+        assert!(FailureClass::Abort > FailureClass::Silent);
+        assert!(FailureClass::Silent > FailureClass::Hindering);
+        assert!(FailureClass::Hindering > FailureClass::Pass);
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            classify(RawOutcome::SystemCrash, false),
+            FailureClass::Catastrophic
+        );
+        assert_eq!(classify(RawOutcome::TaskHang, true), FailureClass::Restart);
+        assert_eq!(classify(RawOutcome::TaskAbort, true), FailureClass::Abort);
+        assert_eq!(
+            classify(RawOutcome::ReturnedSuccess, true),
+            FailureClass::Silent
+        );
+        assert_eq!(
+            classify(RawOutcome::ReturnedSuccess, false),
+            FailureClass::Pass
+        );
+        assert_eq!(
+            classify(RawOutcome::ReturnedError, true),
+            FailureClass::Pass
+        );
+    }
+
+    #[test]
+    fn hindering_refinement() {
+        assert_eq!(
+            classify_with_expectation(RawOutcome::ReturnedError, false),
+            FailureClass::Hindering
+        );
+        assert_eq!(
+            classify_with_expectation(RawOutcome::ReturnedError, true),
+            FailureClass::Pass
+        );
+        assert_eq!(
+            classify_with_expectation(RawOutcome::SystemCrash, false),
+            FailureClass::Catastrophic
+        );
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for raw in [
+            RawOutcome::ReturnedSuccess,
+            RawOutcome::ReturnedError,
+            RawOutcome::TaskAbort,
+            RawOutcome::TaskHang,
+            RawOutcome::SystemCrash,
+        ] {
+            assert_eq!(RawOutcome::from_byte(raw.to_byte()), Some(raw));
+        }
+        assert_eq!(RawOutcome::from_byte(99), None);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(FailureClass::Catastrophic.letter(), 'C');
+        assert_eq!(FailureClass::Pass.letter(), '-');
+        assert!(FailureClass::Silent.is_failure());
+        assert!(!FailureClass::Pass.is_failure());
+    }
+}

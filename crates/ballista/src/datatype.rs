@@ -1,0 +1,161 @@
+//! The data-type lattice: named pools with inheritance.
+//!
+//! Ballista's scalability comes from attaching tests to *types*, not
+//! functions: define the `HANDLE` pool once and every call taking a
+//! `HANDLE` is covered. Types inherit their parents' pools — the paper
+//! describes creating the Windows `HANDLE` type "largely ... by inheriting
+//! tests from existing types and adding test cases in the same general
+//! vein".
+
+use crate::value::TestValue;
+use std::collections::BTreeMap;
+
+/// A named data type with its value pool and optional parent.
+#[derive(Debug, Clone)]
+pub struct DataType {
+    /// Type name used in MuT signatures (e.g. `"cstring"`, `"HANDLE"`).
+    pub name: &'static str,
+    /// Parent type whose pool is inherited, if any.
+    pub parent: Option<&'static str>,
+    /// This type's own values (inherited values are added on resolution).
+    pub own_values: Vec<TestValue>,
+}
+
+/// The registry of all data types for one API world.
+#[derive(Debug, Default, Clone)]
+pub struct TypeRegistry {
+    types: BTreeMap<&'static str, DataType>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Registers a root type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (a wiring bug worth failing loudly on).
+    pub fn register(&mut self, name: &'static str, values: Vec<TestValue>) {
+        self.register_child(name, None, values);
+    }
+
+    /// Registers a type inheriting `parent`'s pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn register_child(
+        &mut self,
+        name: &'static str,
+        parent: Option<&'static str>,
+        values: Vec<TestValue>,
+    ) {
+        let prev = self.types.insert(
+            name,
+            DataType {
+                name,
+                parent,
+                own_values: values,
+            },
+        );
+        assert!(prev.is_none(), "duplicate data type {name}");
+    }
+
+    /// Resolves a type's full pool: its own values plus all ancestors',
+    /// own values first (the paper's specialized cases take precedence in
+    /// reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown type names or inheritance cycles — both are
+    /// wiring bugs in the catalog.
+    #[must_use]
+    pub fn pool(&self, name: &str) -> Vec<TestValue> {
+        let mut out = Vec::new();
+        let mut cursor = Some(name);
+        let mut hops = 0;
+        while let Some(n) = cursor {
+            let ty = self
+                .types
+                .get(n)
+                .unwrap_or_else(|| panic!("unknown data type {n}"));
+            out.extend(ty.own_values.iter().cloned());
+            cursor = ty.parent;
+            hops += 1;
+            assert!(hops < 16, "inheritance cycle at {name}");
+        }
+        out
+    }
+
+    /// Number of distinct values across all types (the paper reports
+    /// 3 430 for POSIX and 1 073 for Windows — ours are smaller but
+    /// structured identically).
+    #[must_use]
+    pub fn distinct_values(&self) -> usize {
+        self.types.values().map(|t| t.own_values.len()).sum()
+    }
+
+    /// Number of registered types.
+    #[must_use]
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &'static str) -> TestValue {
+        TestValue::constant(name, false, 0)
+    }
+
+    #[test]
+    fn inheritance_concatenates_pools() {
+        let mut reg = TypeRegistry::new();
+        reg.register("int", vec![v("zero"), v("one")]);
+        reg.register_child("HANDLE", Some("int"), vec![v("valid handle")]);
+        let pool = reg.pool("HANDLE");
+        let names: Vec<_> = pool.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["valid handle", "zero", "one"]);
+        assert_eq!(reg.pool("int").len(), 2);
+        assert_eq!(reg.distinct_values(), 3);
+        assert_eq!(reg.type_count(), 2);
+        assert!(reg.contains("HANDLE"));
+        assert!(!reg.contains("nope"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown data type")]
+    fn unknown_type_panics() {
+        let reg = TypeRegistry::new();
+        let _ = reg.pool("ghost");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate data type")]
+    fn duplicate_registration_panics() {
+        let mut reg = TypeRegistry::new();
+        reg.register("int", vec![]);
+        reg.register("int", vec![]);
+    }
+
+    #[test]
+    fn grandparent_resolution() {
+        let mut reg = TypeRegistry::new();
+        reg.register("base", vec![v("b")]);
+        reg.register_child("mid", Some("base"), vec![v("m")]);
+        reg.register_child("leaf", Some("mid"), vec![v("l")]);
+        assert_eq!(reg.pool("leaf").len(), 3);
+    }
+}

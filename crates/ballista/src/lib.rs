@@ -1,0 +1,68 @@
+//! # ballista — data-type-based API robustness testing
+//!
+//! A full reimplementation of the Ballista robustness-testing methodology
+//! of Koopman, DeVale, Kropp et al., as applied to the Win32 API in
+//! *"Robustness Testing of the Microsoft Win32 API"* (DSN 2000): for every
+//! parameter **data type** there is a pool of exceptional and
+//! non-exceptional test values; every function or system call under test
+//! (a *Module under Test*, [`Mut`] is called with all
+//! combinations of test values drawn from its parameter types — capped at
+//! 5 000 pseudo-randomly sampled combinations with an identical sampling
+//! order on every OS variant — and each test case runs on a **fresh
+//! simulated machine** (the paper's process-per-test isolation). Outcomes
+//! are classified on the **CRASH** scale.
+//!
+//! * [`crash`] — the CRASH severity scale and raw outcome vocabulary.
+//! * [`value`] / [`datatype`] — test values and the data-type lattice
+//!   (types inherit their parents' pools, like the paper's `HANDLE` type
+//!   inheriting the integer tests).
+//! * [`pools`] — the concrete POSIX and Windows test-value pools.
+//! * [`muts`] — MuT descriptors: name, functional group, parameter types
+//!   and the dispatcher into the simulated API.
+//! * [`catalog`] — the full Win32 (143 calls + C library) and Linux (91
+//!   calls + C library) catalogs.
+//! * [`sampling`] — exhaustive vs. capped pseudo-random test-case
+//!   selection, deterministic per MuT and identical across variants.
+//! * [`exec`] — single-test execution: isolation, interception of
+//!   signals/exceptions/hangs/system-crashes, inter-test residue, and the
+//!   in-isolation reproduction probe behind Table 3's `*` marks.
+//! * [`campaign`] — full-API campaigns and per-MuT tallies.
+//! * [`sequence`] — the paper's future-work extension: two-call
+//!   sequence-dependent failure testing.
+//! * [`load`] — the paper's other future-work extension: heavy-load
+//!   testing against resource-exhausted machines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ballista::campaign::{run_mut_campaign, CampaignConfig};
+//! use ballista::catalog;
+//! use sim_kernel::variant::OsVariant;
+//!
+//! // Test one call on two OSes and compare.
+//! let cfg = CampaignConfig { cap: 200, ..CampaignConfig::default() };
+//! for os in [OsVariant::Win98, OsVariant::WinNt4] {
+//!     let muts = catalog::catalog_for(os);
+//!     let gtc = muts.iter().find(|m| m.name == "GetThreadContext").unwrap();
+//!     let tally = run_mut_campaign(os, gtc, &cfg);
+//!     println!("{os}: {}", tally.summary_line());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod catalog;
+pub mod crash;
+pub mod datatype;
+pub mod exec;
+pub mod load;
+pub mod muts;
+pub mod pools;
+pub mod sampling;
+pub mod sequence;
+pub mod value;
+
+pub use crash::{FailureClass, RawOutcome};
+pub use muts::{FunctionGroup, Mut};

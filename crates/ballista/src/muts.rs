@@ -1,0 +1,208 @@
+//! Modules under Test: name, functional group, parameter signature and
+//! dispatcher.
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::outcome::ApiResult;
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use std::fmt;
+use std::sync::Arc;
+
+/// The paper's twelve functional groupings (Table 2 / Figure 1): five
+/// system-call groups plus seven C-library groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FunctionGroup {
+    /// Process creation/control system calls.
+    ProcessPrimitives,
+    /// Descriptor/handle-level I/O system calls.
+    IoPrimitives,
+    /// Path-level file and directory system calls.
+    FileDirAccess,
+    /// Virtual-memory and heap system calls.
+    MemoryManagement,
+    /// Environment/identity/system-information calls.
+    ProcessEnvironment,
+    /// `<ctype.h>`.
+    CChar,
+    /// `<string.h>` `str*`.
+    CString,
+    /// `malloc` family plus `mem*`.
+    CMemory,
+    /// `FILE` management (`fopen`, `fseek`, …).
+    CFileIo,
+    /// Stream I/O (`fread`, `printf`, …).
+    CStreamIo,
+    /// `<math.h>`.
+    CMath,
+    /// `<time.h>`.
+    CTime,
+}
+
+impl FunctionGroup {
+    /// All twelve groups, in the paper's Figure 1 order.
+    pub const ALL: [FunctionGroup; 12] = [
+        FunctionGroup::ProcessPrimitives,
+        FunctionGroup::IoPrimitives,
+        FunctionGroup::FileDirAccess,
+        FunctionGroup::MemoryManagement,
+        FunctionGroup::ProcessEnvironment,
+        FunctionGroup::CChar,
+        FunctionGroup::CFileIo,
+        FunctionGroup::CMemory,
+        FunctionGroup::CStreamIo,
+        FunctionGroup::CString,
+        FunctionGroup::CTime,
+        FunctionGroup::CMath,
+    ];
+
+    /// Whether this is one of the seven C-library groups (identical test
+    /// cases on every OS).
+    #[must_use]
+    pub fn is_c_library(self) -> bool {
+        matches!(
+            self,
+            FunctionGroup::CChar
+                | FunctionGroup::CString
+                | FunctionGroup::CMemory
+                | FunctionGroup::CFileIo
+                | FunctionGroup::CStreamIo
+                | FunctionGroup::CMath
+                | FunctionGroup::CTime
+        )
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FunctionGroup::ProcessPrimitives => "Process Primitives",
+            FunctionGroup::IoPrimitives => "I/O Primitives",
+            FunctionGroup::FileDirAccess => "File/Directory Access",
+            FunctionGroup::MemoryManagement => "Memory Management",
+            FunctionGroup::ProcessEnvironment => "Process Environment",
+            FunctionGroup::CChar => "C char",
+            FunctionGroup::CString => "C string",
+            FunctionGroup::CMemory => "C memory management",
+            FunctionGroup::CFileIo => "C file I/O management",
+            FunctionGroup::CStreamIo => "C stream I/O",
+            FunctionGroup::CMath => "C math",
+            FunctionGroup::CTime => "C time",
+        }
+    }
+}
+
+impl fmt::Display for FunctionGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The dispatcher: invokes the simulated API with raw argument words.
+pub type Dispatcher = Arc<dyn Fn(&mut Kernel, OsVariant, &[u64]) -> ApiResult + Send + Sync>;
+
+/// One Module under Test.
+#[derive(Clone)]
+pub struct Mut {
+    /// The call's name, exactly as the API spells it.
+    pub name: &'static str,
+    /// Functional grouping for the comparison methodology.
+    pub group: FunctionGroup,
+    /// Parameter data-type names, resolved against the world's
+    /// [`TypeRegistry`](crate::datatype::TypeRegistry).
+    pub params: Vec<&'static str>,
+    /// Invokes the call.
+    pub dispatch: Dispatcher,
+}
+
+impl fmt::Debug for Mut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mut")
+            .field("name", &self.name)
+            .field("group", &self.group)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Argument-decoding helpers for dispatchers.
+pub mod arg {
+    use sim_core::SimPtr;
+    use sim_kernel::objects::Handle;
+
+    /// Raw word → pointer.
+    #[must_use]
+    pub fn ptr(a: u64) -> SimPtr {
+        SimPtr::new(a)
+    }
+
+    /// Raw word → signed 32-bit.
+    #[must_use]
+    pub fn int(a: u64) -> i32 {
+        a as u32 as i32
+    }
+
+    /// Raw word → unsigned 32-bit.
+    #[must_use]
+    pub fn uint(a: u64) -> u32 {
+        a as u32
+    }
+
+    /// Raw word → `f64` (bit pattern).
+    #[must_use]
+    pub fn f64_of(a: u64) -> f64 {
+        f64::from_bits(a)
+    }
+
+    /// Raw word → Win32 handle.
+    #[must_use]
+    pub fn handle(a: u64) -> Handle {
+        Handle(a as u32)
+    }
+
+    /// Raw word → POSIX descriptor (sign-extended from 32 bits).
+    #[must_use]
+    pub fn fd(a: u64) -> i64 {
+        i64::from(a as u32 as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::outcome::ApiReturn;
+
+    #[test]
+    fn twelve_groups_split_5_7() {
+        assert_eq!(FunctionGroup::ALL.len(), 12);
+        let c = FunctionGroup::ALL.iter().filter(|g| g.is_c_library()).count();
+        assert_eq!(c, 7);
+        assert_eq!(FunctionGroup::IoPrimitives.label(), "I/O Primitives");
+    }
+
+    #[test]
+    fn mut_dispatch_works() {
+        let m = Mut {
+            name: "identity",
+            group: FunctionGroup::CMath,
+            params: vec!["int"],
+            dispatch: Arc::new(|k, _, a| {
+                k.charge_call();
+                Ok(ApiReturn::ok(a[0] as i64))
+            }),
+        };
+        let mut k = Kernel::new();
+        let r = (m.dispatch)(&mut k, OsVariant::Linux, &[42]).unwrap();
+        assert_eq!(r.value, 42);
+        assert!(format!("{m:?}").contains("identity"));
+    }
+
+    #[test]
+    fn arg_helpers() {
+        assert_eq!(arg::int(u64::from(u32::MAX)), -1);
+        assert_eq!(arg::fd(u64::from(u32::MAX)), -1);
+        assert_eq!(arg::uint(0x1_0000_0001), 1);
+        assert_eq!(arg::f64_of(1.5f64.to_bits()), 1.5);
+        assert_eq!(arg::ptr(0x10).addr(), 0x10);
+        assert_eq!(arg::handle(5).raw(), 5);
+    }
+}

@@ -1,0 +1,635 @@
+//! The concrete test-value pools for the POSIX and Windows worlds.
+//!
+//! These follow the paper's construction: scalar pools shared between the
+//! two APIs ("most of the Windows data types required were minor
+//! specializations of fairly generic C data types ... the same test values
+//! used in POSIX were simply used for testing Windows"), plus the one
+//! genuinely new Windows type — `HANDLE` — "largely created by inheriting
+//! tests from existing types and adding test cases in the same general
+//! vein". Our pools are smaller than the paper's (3 430 POSIX / 1 073
+//! Windows values) but structurally identical; EXPERIMENTS.md records the
+//! difference.
+//!
+//! The `exceptional` oracle marks values outside the parameter's valid
+//! domain. For context-dependent values (a huge-but-legal integer) the
+//! marking is approximate — the same reason the paper needed manual
+//! analysis or cross-version voting for Silent failures.
+
+use crate::datatype::TypeRegistry;
+use crate::value::TestValue;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::memory::Protection;
+use sim_core::SimPtr;
+use sim_kernel::fs::OpenOptions;
+use sim_kernel::objects::ObjectKind;
+use sim_kernel::sync::SyncState;
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use sim_libc::time::{write_tm, Tm, TM_SIZE};
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+fn alloc_with(k: &mut Kernel, bytes: &[u8]) -> SimPtr {
+    let p = k.alloc_user(bytes.len() as u64, "pool-buf");
+    k.space.write_bytes(p, bytes).expect("fresh buffer");
+    p
+}
+
+fn alloc_cstr(k: &mut Kernel, s: &str) -> SimPtr {
+    let p = k.alloc_user(s.len() as u64 + 1, "pool-str");
+    cstr::write_cstr(&mut k.space, p, s, U).expect("fresh buffer");
+    p
+}
+
+fn dangling(k: &mut Kernel, len: u64) -> SimPtr {
+    let p = k.alloc_user(len, "pool-dangling");
+    k.space.unmap(p).expect("fresh region");
+    p
+}
+
+/// Existing-file path for the variant's world.
+fn existing_file(os: OsVariant) -> &'static str {
+    if os == OsVariant::Linux {
+        "/etc/motd"
+    } else {
+        "C:\\WINDOWS\\README.TXT"
+    }
+}
+
+/// Existing-directory path for the variant's world.
+fn existing_dir(os: OsVariant) -> &'static str {
+    if os == OsVariant::Linux {
+        "/tmp"
+    } else {
+        "C:\\TEMP"
+    }
+}
+
+fn int_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::constant("0", false, 0),
+        TestValue::constant("1", false, 1),
+        TestValue::constant("-1", false, (-1i32 as u32).into()),
+        TestValue::constant("'a'", false, 97),
+        TestValue::constant("255", false, 255),
+        TestValue::constant("1024", false, 1024),
+        TestValue::constant("65536", true, 65536),
+        TestValue::constant("INT_MAX", true, i32::MAX as u32 as u64),
+        TestValue::constant("INT_MIN", true, i32::MIN as u32 as u64),
+        TestValue::constant("-70000", true, (-70_000i32 as u32).into()),
+    ]
+}
+
+fn size_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::constant("0", false, 0),
+        TestValue::constant("1", false, 1),
+        TestValue::constant("16", false, 16),
+        TestValue::constant("4096", false, 4096),
+        TestValue::constant("65536", false, 65536),
+        TestValue::constant("SIZE_MAX", true, u32::MAX as u64),
+        TestValue::constant("2^31", true, 0x8000_0000),
+        TestValue::constant("SIZE_MAX-1", true, (u32::MAX - 1) as u64),
+    ]
+}
+
+fn buffer_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("page buffer", false, |k, _| {
+            k.alloc_user(4096, "pool-page").addr()
+        }),
+        TestValue::with("16-byte buffer", false, |k, _| {
+            k.alloc_user(16, "pool-small").addr()
+        }),
+        TestValue::with("odd (unaligned) buffer", false, |k, _| {
+            k.alloc_user(64, "pool-odd").addr() + 1
+        }),
+        TestValue::with("64-byte buffer", false, |k, _| {
+            k.alloc_user(64, "pool-64").addr()
+        }),
+        TestValue::with("256-byte zeroed buffer", false, |k, _| {
+            k.alloc_user(256, "pool-256").addr()
+        }),
+        TestValue::with("mid-page pointer", false, |k, _| {
+            k.alloc_user(4096, "pool-mid").addr() + 2048
+        }),
+        TestValue::constant("NULL", true, 0),
+        TestValue::constant("(void*)-1", true, u32::MAX as u64),
+        TestValue::constant("low unmapped 0x1000", true, 0x1000),
+        TestValue::with("kernel pointer", true, |k, _| {
+            k.space
+                .map_kernel(64, Protection::READ_WRITE, "pool-kernel")
+                .map(SimPtr::addr)
+                .unwrap_or(0x8000_1000)
+        }),
+        TestValue::with("dangling heap pointer", true, |k, _| {
+            dangling(k, 64).addr()
+        }),
+        TestValue::with("read-only buffer", true, |k, _| {
+            let p = k.alloc_user(64, "pool-ro");
+            k.space.protect(p, Protection::READ).expect("fresh region");
+            p.addr()
+        }),
+    ]
+}
+
+fn cstring_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("\"ballista\"", false, |k, _| alloc_cstr(k, "ballista").addr()),
+        TestValue::with("empty string", false, |k, _| alloc_cstr(k, "").addr()),
+        TestValue::with("512-byte string", false, |k, _| {
+            alloc_cstr(k, &"x".repeat(512)).addr()
+        }),
+        TestValue::with("format-directive string", false, |k, _| {
+            alloc_cstr(k, "pre %s %n post").addr()
+        }),
+        TestValue::with("\"a b c\" tokens", false, |k, _| {
+            alloc_cstr(k, "a b c").addr()
+        }),
+        TestValue::with("single char \"x\"", false, |k, _| alloc_cstr(k, "x").addr()),
+        TestValue::with("numeric \"42\"", false, |k, _| alloc_cstr(k, "42").addr()),
+        TestValue::constant("NULL", true, 0),
+        TestValue::with("unterminated buffer", true, |k, _| {
+            alloc_with(k, &[b'A'; 32]).addr()
+        }),
+        TestValue::with("dangling string", true, |k, _| dangling(k, 16).addr()),
+        TestValue::with("kernel-space string", true, |k, _| {
+            let p = k
+                .space
+                .map_kernel(16, Protection::READ_WRITE, "pool-kstr")
+                .unwrap_or(SimPtr::new(0x8000_2000));
+            let _ = cstr::write_cstr(&mut k.space, p, "krnl", PrivilegeLevel::Kernel);
+            p.addr()
+        }),
+    ]
+}
+
+fn path_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("existing file", false, |k, os| {
+            alloc_cstr(k, existing_file(os)).addr()
+        }),
+        TestValue::with("existing directory", false, |k, os| {
+            alloc_cstr(k, existing_dir(os)).addr()
+        }),
+        TestValue::with("creatable name", false, |k, os| {
+            let p = if os == OsVariant::Linux {
+                "/tmp/ballista-new"
+            } else {
+                "C:\\TEMP\\BALNEW.TXT"
+            };
+            alloc_cstr(k, p).addr()
+        }),
+        TestValue::with("nonexistent path", true, |k, os| {
+            let p = if os == OsVariant::Linux {
+                "/no/such/path"
+            } else {
+                "C:\\NO\\SUCH\\PATH"
+            };
+            alloc_cstr(k, p).addr()
+        }),
+        TestValue::with("empty path", true, |k, _| alloc_cstr(k, "").addr()),
+        TestValue::with("330-char path", true, |k, _| {
+            alloc_cstr(k, &"d/".repeat(165)).addr()
+        }),
+        TestValue::constant("NULL", true, 0),
+        TestValue::with("unterminated path", true, |k, _| {
+            alloc_with(k, &[b'p'; 24]).addr()
+        }),
+        TestValue::with("dangling path", true, |k, _| dangling(k, 24).addr()),
+    ]
+}
+
+fn double_pool() -> Vec<TestValue> {
+    let d = |name, exceptional, v: f64| TestValue::constant(name, exceptional, v.to_bits());
+    vec![
+        d("0.0", false, 0.0),
+        d("1.0", false, 1.0),
+        d("-1.0", false, -1.0),
+        d("pi", false, std::f64::consts::PI),
+        d("0.5", false, 0.5),
+        d("DBL_MAX", false, f64::MAX),
+        d("denormal", false, f64::MIN_POSITIVE / 2.0),
+        d("NaN", true, f64::NAN),
+        d("+Inf", true, f64::INFINITY),
+        d("-Inf", true, f64::NEG_INFINITY),
+    ]
+}
+
+fn msec_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::constant("0ms", false, 0),
+        TestValue::constant("1ms", false, 1),
+        TestValue::constant("100ms", false, 100),
+        TestValue::constant("INFINITE", false, u32::MAX as u64),
+        TestValue::constant("0xFFFFFFFE", true, (u32::MAX - 1) as u64),
+    ]
+}
+
+fn flags_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::constant("0", false, 0),
+        TestValue::constant("1", false, 1),
+        TestValue::constant("2", false, 2),
+        TestValue::constant("4", false, 4),
+        TestValue::constant("0xFF", true, 0xFF),
+        TestValue::constant("0x80000000", true, 0x8000_0000),
+        TestValue::constant("0xFFFFFFFF", true, u32::MAX as u64),
+    ]
+}
+
+/// A live `FILE*` bound to a real open stream. On a resource-exhausted
+/// machine (the heavy-load extension) the open can fail; the constructor
+/// degrades to a NULL `FILE*` rather than dying — the same value the
+/// pools carry anyway.
+fn make_live_file(k: &mut Kernel, os: OsVariant) -> SimPtr {
+    let path = if os == OsVariant::Linux {
+        "/tmp/.pool-file"
+    } else {
+        "C:\\TEMP\\POOLFILE.TMP"
+    };
+    if !k.fs.exists(path) {
+        let _ = k.fs.create_file(path, b"pool file contents\n".to_vec());
+    }
+    match k.fs.open(path, OpenOptions::read_write()) {
+        Ok(ofd) => sim_libc::stdio::make_file(k, ofd),
+        Err(_) => SimPtr::NULL,
+    }
+}
+
+fn file_ptr_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("open FILE*", false, |k, os| make_live_file(k, os).addr()),
+        TestValue::with("closed FILE*", true, |k, os| {
+            let fp = make_live_file(k, os);
+            // Close the underlying stream; the structure stays readable.
+            // (On a resource-exhausted machine the live FILE degraded to
+            // NULL already, which stands in fine for a dead stream.)
+            if let Ok(ofd) = k.space.read_u32(fp.offset(4)) {
+                let _ = k.fs.close(u64::from(ofd));
+            }
+            fp.addr()
+        }),
+        TestValue::constant("NULL FILE*", true, 0),
+        TestValue::constant("(FILE*)-1", true, u32::MAX as u64),
+        TestValue::with("string buffer typecast to FILE*", true, |k, _| {
+            // The exact test value the paper blames for seventeen of CE's
+            // eighteen Catastrophic C functions.
+            alloc_cstr(k, "this is a string buffer, not a FILE structure").addr()
+        }),
+        TestValue::with("freed FILE*", true, |k, os| {
+            let fp = make_live_file(k, os);
+            if let Ok(ofd) = k.space.read_u32(fp.offset(4)) {
+                let _ = k.fs.close(u64::from(ofd));
+            }
+            let _ = k.space.unmap(fp);
+            fp.addr()
+        }),
+        TestValue::with("zeroed FILE struct", true, |k, _| {
+            k.alloc_user(16, "pool-zero-file").addr()
+        }),
+    ]
+}
+
+fn tm_ptr_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("valid struct tm", false, |k, _| {
+            let p = k.alloc_user(TM_SIZE, "pool-tm");
+            let tm = Tm {
+                sec: 15,
+                min: 30,
+                hour: 9,
+                mday: 25,
+                mon: 5,
+                year: 100,
+                wday: 0,
+                yday: 176,
+                isdst: 0,
+            };
+            write_tm(k, p, &tm).expect("fresh tm");
+            p.addr()
+        }),
+        TestValue::with("garbage-field struct tm", true, |k, _| {
+            let p = k.alloc_user(TM_SIZE, "pool-tm-garbage");
+            let tm = Tm {
+                sec: i32::MAX,
+                min: -1,
+                hour: 99,
+                mday: 0,
+                mon: 13,
+                year: 999_999,
+                wday: -5,
+                yday: 9999,
+                isdst: 7,
+            };
+            write_tm(k, p, &tm).expect("fresh tm");
+            p.addr()
+        }),
+        TestValue::constant("NULL tm*", true, 0),
+        TestValue::with("short tm buffer", true, |k, _| {
+            k.alloc_user(8, "pool-tm-short").addr()
+        }),
+        TestValue::with("dangling tm*", true, |k, _| dangling(k, TM_SIZE).addr()),
+    ]
+}
+
+fn time_t_ptr_pool() -> Vec<TestValue> {
+    vec![
+        TestValue::with("time_t* = now", false, |k, _| {
+            let p = k.alloc_user(4, "pool-timet");
+            let now = k.clock.unix_secs() as u32;
+            k.space.write_u32(p, now).expect("fresh");
+            p.addr()
+        }),
+        TestValue::with("time_t* = 0", false, |k, _| {
+            k.alloc_user(4, "pool-timet0").addr()
+        }),
+        TestValue::with("time_t* = UINT_MAX", true, |k, _| {
+            let p = k.alloc_user(4, "pool-timet-max");
+            k.space.write_u32(p, u32::MAX).expect("fresh");
+            p.addr()
+        }),
+        TestValue::constant("NULL time_t*", true, 0),
+    ]
+}
+
+/// Shared scalar + C-library types registered into both worlds.
+fn register_shared(reg: &mut TypeRegistry) {
+    reg.register("int", int_pool());
+    reg.register("size", size_pool());
+    reg.register("buffer", buffer_pool());
+    reg.register("cstring", cstring_pool());
+    reg.register("path", path_pool());
+    reg.register("double", double_pool());
+    reg.register("msec", msec_pool());
+    reg.register("flags", flags_pool());
+    reg.register("FILE_ptr", file_ptr_pool());
+    reg.register("tm_ptr", tm_ptr_pool());
+    reg.register("time_t_ptr", time_t_ptr_pool());
+    // fopen-style mode strings: a cstring specialization.
+    reg.register_child(
+        "mode_string",
+        Some("cstring"),
+        vec![
+            TestValue::with("\"r\"", false, |k, _| alloc_cstr(k, "r").addr()),
+            TestValue::with("\"w+\"", false, |k, _| alloc_cstr(k, "w+").addr()),
+            TestValue::with("\"q\" (bad mode)", true, |k, _| alloc_cstr(k, "q").addr()),
+        ],
+    );
+}
+
+/// The POSIX world's types (the paper: 37 types, 3 430 values).
+#[must_use]
+pub fn posix_types() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    register_shared(&mut reg);
+    reg.register(
+        "fd",
+        vec![
+            TestValue::with("open rw fd", false, |k, _| {
+                let _ = k.fs.create_file("/tmp/.pool-fd", b"fd pool contents".to_vec());
+                k.fs
+                    .open("/tmp/.pool-fd", OpenOptions::read_write())
+                    // Exhausted machine (heavy-load extension): degrade to
+                    // an invalid descriptor.
+                    .unwrap_or(u32::MAX.into())
+            }),
+            TestValue::with("read-only fd", false, |k, _| {
+                k.fs
+                    .open("/etc/motd", OpenOptions::read_only())
+                    .unwrap_or(u32::MAX.into())
+            }),
+            TestValue::constant("stdin (0)", false, 0),
+            TestValue::constant("stdout (1)", false, 1),
+            TestValue::with("closed fd", true, |k, _| {
+                let _ = k.fs.create_file("/tmp/.pool-closed", vec![]);
+                match k.fs.open("/tmp/.pool-closed", OpenOptions::read_only()) {
+                    Ok(fd) => {
+                        let _ = k.fs.close(fd);
+                        fd
+                    }
+                    Err(_) => u32::MAX.into(),
+                }
+            }),
+            TestValue::constant("-1", true, (-1i32 as u32).into()),
+            TestValue::constant("9999", true, 9999),
+            TestValue::constant("INT_MAX fd", true, i32::MAX as u64),
+            TestValue::with("empty-pipe read end", true, |k, _| {
+                let _ = k.fs.create_file("/tmp/.pool-pipe", vec![]);
+                match k.fs.open("/tmp/.pool-pipe", OpenOptions::read_only()) {
+                    Ok(fd) => {
+                        sim_posix::fd::prime_pipe(k, fd as i64, 0);
+                        fd
+                    }
+                    Err(_) => u32::MAX.into(),
+                }
+            }),
+        ],
+    );
+    reg
+}
+
+/// The Windows world's types (the paper: 43 types, 1 073 values). The
+/// `HANDLE` type inherits the generic integer pool, exactly as the paper
+/// built it.
+#[must_use]
+pub fn windows_types() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    register_shared(&mut reg);
+    reg.register_child(
+        "HANDLE",
+        Some("int"),
+        vec![
+            TestValue::with("event handle", false, |k, _| {
+                u64::from(
+                    k.objects
+                        .insert(ObjectKind::Event(SyncState::event(false, true)))
+                        .raw(),
+                )
+            }),
+            TestValue::with("file handle", false, |k, os| {
+                let _ = os;
+                let path = "C:\\TEMP\\POOLH.TMP";
+                if !k.fs.exists(path) {
+                    let _ = k.fs.create_file(path, b"handle pool".to_vec());
+                }
+                match k.fs.open(path, OpenOptions::read_write()) {
+                    Ok(ofd) => u64::from(k.objects.insert(ObjectKind::File(ofd)).raw()),
+                    Err(_) => 0,
+                }
+            }),
+            TestValue::with("thread handle", false, |k, _| {
+                let tid = k
+                    .procs
+                    .spawn_thread(k.procs.current_pid())
+                    .expect("current process is alive");
+                u64::from(k.objects.insert(ObjectKind::Thread(tid)).raw())
+            }),
+            TestValue::with("unsignaled event handle", false, |k, _| {
+                u64::from(
+                    k.objects
+                        .insert(ObjectKind::Event(SyncState::event(false, false)))
+                        .raw(),
+                )
+            }),
+            TestValue::with("closed handle", true, |k, _| {
+                let h = k
+                    .objects
+                    .insert(ObjectKind::Event(SyncState::event(false, false)));
+                let _ = k.objects.close(h);
+                u64::from(h.raw())
+            }),
+            TestValue::constant("NULL handle", true, 0),
+            TestValue::constant("INVALID_HANDLE_VALUE", true, u32::MAX as u64),
+            TestValue::constant("pseudo current thread", false, (u32::MAX - 1) as u64),
+            TestValue::constant("garbage 0xABCD", true, 0xABCD),
+        ],
+    );
+    reg.register(
+        "filetime_ptr",
+        vec![
+            TestValue::with("valid FILETIME*", false, |k, _| {
+                let p = k.alloc_user(8, "pool-ft");
+                let (lo, hi) = k.clock.filetime().to_parts();
+                k.space.write_u32(p, lo).expect("fresh");
+                k.space.write_u32(p.offset(4), hi).expect("fresh");
+                p.addr()
+            }),
+            TestValue::with("huge FILETIME*", true, |k, _| {
+                let p = k.alloc_user(8, "pool-ft-huge");
+                k.space.write_u32(p, u32::MAX).expect("fresh");
+                k.space.write_u32(p.offset(4), u32::MAX).expect("fresh");
+                p.addr()
+            }),
+            TestValue::constant("NULL FILETIME*", true, 0),
+            TestValue::with("dangling FILETIME*", true, |k, _| dangling(k, 8).addr()),
+        ],
+    );
+    reg.register(
+        "systemtime_ptr",
+        vec![
+            TestValue::with("valid SYSTEMTIME*", false, |k, _| {
+                // 2000-06-25 09:30:15.250, a Sunday.
+                let p = k.alloc_user(16, "pool-st");
+                for (i, v) in [2000u16, 6, 0, 25, 9, 30, 15, 250].into_iter().enumerate() {
+                    k.space.write_u16(p.offset(i as u64 * 2), v).expect("fresh");
+                }
+                p.addr()
+            }),
+            TestValue::with("garbage SYSTEMTIME*", true, |k, _| {
+                let p = k.alloc_user(16, "pool-st-garbage");
+                for i in 0..8u64 {
+                    k.space.write_u16(p.offset(i * 2), u16::MAX).expect("fresh");
+                }
+                p.addr()
+            }),
+            TestValue::constant("NULL SYSTEMTIME*", true, 0),
+            TestValue::with("short SYSTEMTIME buffer", true, |k, _| {
+                k.alloc_user(6, "pool-st-short").addr()
+            }),
+        ],
+    );
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_libc::profile::LibcProfile;
+
+    #[test]
+    fn registries_build() {
+        let posix = posix_types();
+        let win = windows_types();
+        assert!(posix.distinct_values() >= 80, "POSIX pool too small");
+        assert!(win.distinct_values() >= 90, "Windows pool too small");
+        assert!(posix.contains("fd"));
+        assert!(!posix.contains("HANDLE"));
+        assert!(win.contains("HANDLE"));
+        assert!(win.contains("filetime_ptr"));
+    }
+
+    #[test]
+    fn handle_inherits_int_pool() {
+        let win = windows_types();
+        let pool = win.pool("HANDLE");
+        let names: Vec<_> = pool.iter().map(|v| v.name).collect();
+        assert!(names.contains(&"event handle"));
+        assert!(names.contains(&"INT_MAX"), "inherited integer cases present");
+    }
+
+    #[test]
+    fn every_pool_mixes_exceptional_and_benign() {
+        // The paper: pools contain "exceptional as well as non-exceptional
+        // cases" so one parameter's error handling can't mask another's.
+        for (reg, tys) in [
+            (
+                posix_types(),
+                vec![
+                    "int", "size", "buffer", "cstring", "path", "double", "FILE_ptr", "tm_ptr",
+                    "fd",
+                ],
+            ),
+            (
+                windows_types(),
+                vec!["HANDLE", "filetime_ptr", "systemtime_ptr", "msec", "flags"],
+            ),
+        ] {
+            for ty in tys {
+                let pool = reg.pool(ty);
+                let exc = pool.iter().filter(|v| v.exceptional).count();
+                let ben = pool.len() - exc;
+                assert!(exc > 0, "{ty} has no exceptional values");
+                assert!(ben > 0, "{ty} has no benign values");
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_run_on_fresh_kernels() {
+        // Every single value must be constructible without panicking on a
+        // fresh machine of its world.
+        let posix = posix_types();
+        for ty in ["int", "size", "buffer", "cstring", "path", "double", "msec",
+                   "flags", "FILE_ptr", "tm_ptr", "time_t_ptr", "mode_string", "fd"] {
+            for v in posix.pool(ty) {
+                let mut k = Kernel::new();
+                let _ = (v.make)(&mut k, OsVariant::Linux);
+            }
+        }
+        let win = windows_types();
+        for ty in ["HANDLE", "filetime_ptr", "systemtime_ptr", "FILE_ptr", "path"] {
+            for v in win.pool(ty) {
+                for os in [OsVariant::Win95, OsVariant::WinNt4, OsVariant::WinCe] {
+                    let mut k = Kernel::with_flavor(os.machine_flavor());
+                    let _ = (v.make)(&mut k, os);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_file_value_is_usable() {
+        let win = windows_types();
+        let pool = win.pool("FILE_ptr");
+        let live = pool.iter().find(|v| v.name == "open FILE*").unwrap();
+        let mut k = Kernel::with_flavor(OsVariant::Win98.machine_flavor());
+        let fp = SimPtr::new((live.make)(&mut k, OsVariant::Win98));
+        // The magic is in place and the stream is open.
+        assert_eq!(
+            k.space.read_u32(fp).unwrap(),
+            sim_libc::stdio::FILE_MAGIC
+        );
+        let ofd = u64::from(k.space.read_u32(fp.offset(4)).unwrap());
+        assert!(k.fs.is_open(ofd));
+    }
+
+    #[test]
+    fn profile_reachable_from_pools_crate() {
+        // Compile-time sanity that the libc profile types are visible here
+        // (the executor needs them for dispatch).
+        let p = LibcProfile::for_os(OsVariant::Linux);
+        assert!(!p.ctype_bounds_checked());
+    }
+}

@@ -1,0 +1,92 @@
+//! Test values: named, typed, constructed fresh on each machine.
+//!
+//! A Ballista test value is more than a constant: it is a *constructor*
+//! that sets up whatever machine state the value needs (create a file and
+//! open it for the "valid fd" value; allocate and free a buffer for the
+//! "dangling pointer" value) and then yields the raw argument word. The
+//! paper's pools contain "exceptional as well as non-exceptional cases to
+//! avoid successful exception handling on one parameter from masking the
+//! potential effects of unsuccessful exception handling on some other
+//! parameter value" — the `exceptional` flag records which is which, the
+//! oracle for ground-truth Silent classification.
+
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use std::fmt;
+use std::sync::Arc;
+
+/// The constructor: builds any needed state on the fresh machine and
+/// returns the raw 64-bit argument (a pointer address, an integer, a
+/// handle value, raw `f64` bits — whatever the parameter slot needs).
+pub type Constructor = Arc<dyn Fn(&mut Kernel, OsVariant) -> u64 + Send + Sync>;
+
+/// One entry in a data type's pool.
+#[derive(Clone)]
+pub struct TestValue {
+    /// Human-readable name, e.g. `"NULL"`, `"dangling heap pointer"`.
+    pub name: &'static str,
+    /// Whether this value is exceptional (outside the parameter's valid
+    /// domain).
+    pub exceptional: bool,
+    /// Builds the value on a fresh machine.
+    pub make: Constructor,
+}
+
+impl TestValue {
+    /// A value needing no machine state.
+    #[must_use]
+    pub fn constant(name: &'static str, exceptional: bool, value: u64) -> Self {
+        TestValue {
+            name,
+            exceptional,
+            make: Arc::new(move |_, _| value),
+        }
+    }
+
+    /// A value built by a constructor closure.
+    pub fn with<F>(name: &'static str, exceptional: bool, f: F) -> Self
+    where
+        F: Fn(&mut Kernel, OsVariant) -> u64 + Send + Sync + 'static,
+    {
+        TestValue {
+            name,
+            exceptional,
+            make: Arc::new(f),
+        }
+    }
+}
+
+impl fmt::Debug for TestValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestValue")
+            .field("name", &self.name)
+            .field("exceptional", &self.exceptional)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_values_need_no_state() {
+        let v = TestValue::constant("zero", false, 0);
+        let mut k = Kernel::new();
+        assert_eq!((v.make)(&mut k, OsVariant::Linux), 0);
+        assert!(!v.exceptional);
+        assert!(format!("{v:?}").contains("zero"));
+    }
+
+    #[test]
+    fn constructors_can_build_state() {
+        let v = TestValue::with("fresh buffer", false, |k, _| {
+            k.alloc_user(64, "tv").addr()
+        });
+        let mut k = Kernel::new();
+        let a = (v.make)(&mut k, OsVariant::Linux);
+        let b = (v.make)(&mut k, OsVariant::Linux);
+        assert_ne!(a, 0);
+        assert_ne!(a, b, "each construction yields fresh state");
+    }
+}

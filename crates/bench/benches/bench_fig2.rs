@@ -1,0 +1,38 @@
+//! Regenerates and benchmarks **Figure 2** (cross-version voting for
+//! estimated Silent failure rates over the desktop Windows variants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::variant::OsVariant;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let results = report::MultiOsResults {
+        reports: OsVariant::DESKTOP_WINDOWS
+            .into_iter()
+            .map(|os| bench::bench_campaign(os, true))
+            .collect(),
+    };
+    println!("{}", report::figures::figure2(&results));
+
+    let desktop: Vec<&ballista::campaign::CampaignReport> = results.reports.iter().collect();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    // The vote itself: every shared case of every shared MuT, five ways.
+    group.bench_function("vote_all_variants", |b| {
+        b.iter(|| {
+            for os in OsVariant::DESKTOP_WINDOWS {
+                black_box(report::voting::vote_silent(black_box(&desktop), os));
+            }
+        })
+    });
+    group.bench_function("figure2_series", |b| {
+        b.iter(|| black_box(report::figures::figure2_series(black_box(&results))))
+    });
+    group.bench_function("figure2_csv", |b| {
+        b.iter(|| black_box(report::figures::figure2_csv(black_box(&results))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

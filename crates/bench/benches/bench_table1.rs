@@ -1,0 +1,34 @@
+//! Regenerates and benchmarks **Table 1** (per-MuT failure statistics) at
+//! the bench cap, printing the rows it produces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::variant::OsVariant;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated rows once, so the bench doubles as the
+    // artifact generator the paper's Table 1 corresponds to.
+    let results = bench::bench_all_oses();
+    println!("{}", report::tables::table1(&results));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // The dominant cost: one OS campaign (Linux: no crashes, full case
+    // lists).
+    group.bench_function("campaign_linux", |b| {
+        b.iter(|| black_box(bench::bench_campaign(OsVariant::Linux, false)))
+    });
+    // A 9x campaign (crash handling + isolation-free path).
+    group.bench_function("campaign_win98", |b| {
+        b.iter(|| black_box(bench::bench_campaign(OsVariant::Win98, false)))
+    });
+    // The statistics layer alone.
+    let report_nt = bench::bench_campaign(OsVariant::WinNt4, false);
+    group.bench_function("table1_row_stats", |b| {
+        b.iter(|| black_box(report::normalize::table1_row(black_box(&report_nt))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

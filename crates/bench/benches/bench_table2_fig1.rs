@@ -1,0 +1,38 @@
+//! Regenerates and benchmarks **Table 2 / Figure 1** (failure rates by
+//! functional grouping across the seven OS targets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::normalize::{group_rate, overall_group_weighted, Metric};
+use std::hint::black_box;
+
+fn bench_table2_fig1(c: &mut Criterion) {
+    let results = bench::bench_all_oses();
+    println!("{}", report::tables::table2(&results));
+    println!("{}", report::figures::figure1(&results));
+
+    let mut group = c.benchmark_group("table2_fig1");
+    group.sample_size(20);
+    group.bench_function("group_normalization_all", |b| {
+        b.iter(|| {
+            for report in &results.reports {
+                for g in ballista::muts::FunctionGroup::ALL {
+                    black_box(group_rate(report, g, Metric::AbortPlusRestart));
+                }
+                black_box(overall_group_weighted(report, Metric::AbortPlusRestart));
+            }
+        })
+    });
+    group.bench_function("render_table2", |b| {
+        b.iter(|| black_box(report::tables::table2(black_box(&results))))
+    });
+    group.bench_function("render_figure1", |b| {
+        b.iter(|| black_box(report::figures::figure1(black_box(&results))))
+    });
+    group.bench_function("figure1_csv", |b| {
+        b.iter(|| black_box(report::figures::figure1_csv(black_box(&results))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_fig1);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates and benchmarks **Table 3** (Catastrophic-failure discovery
+//! with the `*` isolation probe) on the crash-prone variants.
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::variant::OsVariant;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let results = report::MultiOsResults {
+        reports: [OsVariant::Win95, OsVariant::Win98, OsVariant::Win98Se, OsVariant::WinCe]
+            .into_iter()
+            .map(|os| {
+                run_campaign(
+                    os,
+                    &CampaignConfig {
+                        cap: bench::BENCH_CAP,
+                        record_raw: false,
+                        isolation_probe: true,
+                        perfect_cleanup: false,
+                    },
+                )
+            })
+            .collect(),
+    };
+    println!("{}", report::tables::table3(&results));
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    // Crash-set discovery on the most crash-prone target.
+    group.bench_function("crash_discovery_wince", |b| {
+        b.iter(|| {
+            black_box(run_campaign(
+                OsVariant::WinCe,
+                &CampaignConfig {
+                    cap: bench::BENCH_CAP,
+                    record_raw: false,
+                    isolation_probe: true,
+                    perfect_cleanup: false,
+                },
+            ))
+        })
+    });
+    // The isolation probe alone (re-running one crashing case).
+    let muts = ballista::catalog::catalog_for(OsVariant::Win98);
+    let registry = ballista::catalog::registry_for(OsVariant::Win98);
+    let gtc = muts
+        .iter()
+        .find(|m| m.name == "GetThreadContext")
+        .expect("in catalog");
+    let pools = ballista::campaign::resolve_pools(&registry, gtc);
+    // Listing 1's combo: pseudo-handle + NULL.
+    let pseudo = pools[0]
+        .iter()
+        .position(|v| v.name == "pseudo current thread")
+        .expect("pool value");
+    let null = pools[1].iter().position(|v| v.name == "NULL").expect("pool value");
+    group.bench_function("isolation_probe_listing1", |b| {
+        b.iter(|| {
+            black_box(ballista::exec::reproduce_in_isolation(
+                OsVariant::Win98,
+                gtc,
+                &pools,
+                &[pseudo, null],
+            ))
+        })
+    });
+    group.bench_function("collect_entries", |b| {
+        b.iter(|| black_box(report::tables::catastrophic_entries(black_box(&results))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

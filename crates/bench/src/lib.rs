@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each `bench_*` target regenerates one paper artifact (table or figure)
+//! at a reduced cap and benchmarks the regeneration; `bench_harness`
+//! micro-benchmarks the testing machinery itself. The bench cap is small
+//! so `cargo bench` stays fast; the `experiments` binaries run the
+//! full-cap versions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use sim_kernel::variant::OsVariant;
+
+/// The reduced per-MuT cap used inside benches.
+pub const BENCH_CAP: usize = 100;
+
+/// Runs a reduced campaign for one OS (optionally recording raw outcomes
+/// for voting benches).
+#[must_use]
+pub fn bench_campaign(os: OsVariant, record_raw: bool) -> CampaignReport {
+    run_campaign(
+        os,
+        &CampaignConfig {
+            cap: BENCH_CAP,
+            record_raw,
+            isolation_probe: false,
+            perfect_cleanup: false,
+        },
+    )
+}
+
+/// Reduced campaigns for every OS (raw recording on desktop Windows).
+#[must_use]
+pub fn bench_all_oses() -> report::MultiOsResults {
+    report::MultiOsResults {
+        reports: OsVariant::ALL
+            .into_iter()
+            .map(|os| bench_campaign(os, OsVariant::DESKTOP_WINDOWS.contains(&os)))
+            .collect(),
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Figure 2**: Abort+Restart plus *estimated* Silent failure
+//! rates for the desktop Windows variants, via the paper's cross-version
+//! voting — with the reproduction's bonus column comparing the estimate
+//! against the simulator's ground truth.
+
+fn main() {
+    let cap = experiments::cap_from_env();
+    let results = experiments::load_or_run(cap);
+    let figure = report::figures::figure2(&results);
+    println!("{figure}");
+    experiments::write_artifact("figure2.txt", &figure);
+    experiments::write_artifact("figure2.csv", &report::figures::figure2_csv(&results));
+}

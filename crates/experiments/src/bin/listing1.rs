@@ -1,0 +1,51 @@
+//! Reproduces **Listing 1** of the paper — the one-line program
+//!
+//! ```c
+//! GetThreadContext(GetCurrentThread(), NULL);
+//! ```
+//!
+//! which crashed Windows 95, Windows 98 and Windows CE every time it ran,
+//! and is a plain access-violation Abort on Windows NT / 2000.
+
+use sim_core::SimPtr;
+use sim_kernel::objects::Handle;
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use sim_win32::threadapi::{GetCurrentThread, GetThreadContext};
+use sim_win32::Win32Profile;
+
+fn main() {
+    println!("Listing 1: GetThreadContext(GetCurrentThread(), NULL);\n");
+    for os in [
+        OsVariant::Win95,
+        OsVariant::Win98,
+        OsVariant::Win98Se,
+        OsVariant::WinNt4,
+        OsVariant::Win2000,
+        OsVariant::WinCe,
+    ] {
+        let mut k = Kernel::with_flavor(os.machine_flavor());
+        let profile = Win32Profile::for_os(os);
+        let h = Handle(
+            GetCurrentThread(&mut k, profile)
+                .expect("pseudo-handle call cannot fail")
+                .value as u32,
+        );
+        let result = GetThreadContext(&mut k, profile, h, SimPtr::NULL);
+        let verdict = if !k.is_alive() {
+            format!(
+                "CATASTROPHIC — {}",
+                k.crash.info().expect("crash recorded")
+            )
+        } else {
+            match result {
+                Err(abort) => format!("Abort — {abort}"),
+                Ok(ret) if ret.reported_error() => {
+                    format!("robust error (code {})", ret.error.unwrap_or(0))
+                }
+                Ok(_) => "returned success".to_owned(),
+            }
+        };
+        println!("  {os:<18} {verdict}");
+    }
+}

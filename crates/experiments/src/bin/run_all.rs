@@ -1,0 +1,59 @@
+//! Runs the complete reproduction: the seven-OS campaign plus every table
+//! and figure, writing all artifacts under `results/`.
+
+fn main() {
+    let cap = experiments::cap_from_env();
+    eprintln!("=== Ballista Win32/Linux robustness reproduction (cap = {cap}) ===");
+    let results = experiments::load_or_run(cap);
+
+    let table1 = report::tables::table1(&results);
+    let table2 = report::tables::table2(&results);
+    let table3 = report::tables::table3(&results);
+    let figure1 = report::figures::figure1(&results);
+    let figure2 = report::figures::figure2(&results);
+
+    println!("{table1}");
+    println!("{table2}");
+    println!("{table3}");
+    println!("{figure1}");
+    println!("{figure2}");
+
+    experiments::write_artifact("table1.txt", &table1);
+    experiments::write_artifact("table2.txt", &table2);
+    experiments::write_artifact("table3.txt", &table3);
+    experiments::write_artifact("figure1.txt", &figure1);
+    experiments::write_artifact("figure2.txt", &figure2);
+    experiments::write_artifact("figure1.csv", &report::figures::figure1_csv(&results));
+    experiments::write_artifact("figure2.csv", &report::figures::figure2_csv(&results));
+    experiments::write_artifact("muts.csv", &muts_csv(&results));
+}
+
+/// Per-MuT raw tallies for downstream analysis.
+fn muts_csv(results: &report::MultiOsResults) -> String {
+    let mut out = String::from(
+        "os,mut,group,cases,planned,aborts,restarts,silents,error_reports,\
+         passes,suspected_hindering,catastrophic,crash_reproducible_in_isolation\n",
+    );
+    for r in &results.reports {
+        for m in &r.muts {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.os.short_name(),
+                m.name,
+                m.group.label().replace(',', ";"),
+                m.cases,
+                m.planned,
+                m.aborts,
+                m.restarts,
+                m.silents,
+                m.error_reports,
+                m.passes,
+                m.suspected_hindering,
+                m.catastrophic,
+                m.crash_reproducible_in_isolation
+                    .map_or(String::new(), |b| b.to_string()),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,69 @@
+//! The paper's **future work**, implemented: state- and
+//! sequence-dependent failure discovery. Runs two-call sequences on a
+//! shared machine and reports calls whose behaviour changes — including
+//! escalations where a sequence turns an error into an abort or a crash.
+
+use ballista::catalog;
+use ballista::sequence::{run_sequence_sweep, SequenceConfig};
+use sim_kernel::variant::OsVariant;
+use std::fmt::Write as _;
+
+fn main() {
+    let cfg = SequenceConfig {
+        cases_per_pair: 6,
+        max_pairs: 600,
+        warmup_calls: 4,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sequence-dependent failure sweep ({} pairs x {} cases per OS)\n",
+        cfg.max_pairs, cfg.cases_per_pair
+    );
+    for os in [OsVariant::Linux, OsVariant::Win98, OsVariant::WinNt4, OsVariant::WinCe] {
+        let registry = catalog::registry_for(os);
+        let muts = catalog::catalog_for(os);
+        let findings = run_sequence_sweep(os, &muts, &registry, &cfg);
+        let escalations: Vec<_> = findings.iter().filter(|f| f.is_escalation()).collect();
+        let _ = writeln!(
+            out,
+            "{os}: {} sequence dependences, {} escalations",
+            findings.len(),
+            escalations.len()
+        );
+        for f in escalations.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  ESCALATION  {} ; {}({})  alone={:?} → sequenced={:?} [{}]",
+                f.first,
+                f.second,
+                f.second_values.join(", "),
+                f.alone,
+                f.sequenced,
+                f.sequenced_class
+            );
+        }
+        for f in findings.iter().filter(|f| !f.is_escalation()).take(4) {
+            let _ = writeln!(
+                out,
+                "  state-dep   {} ; {}({})  alone={:?} → sequenced={:?}",
+                f.first,
+                f.second,
+                f.second_values.join(", "),
+                f.alone,
+                f.sequenced
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "Escalations on the 9x family are the paper's \"elusive crashes\": residue"
+    );
+    let _ = writeln!(
+        out,
+        "from the first call pushes the second over an interference threshold."
+    );
+    println!("{out}");
+    experiments::write_artifact("sequences.txt", &out);
+}

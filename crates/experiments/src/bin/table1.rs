@@ -1,0 +1,10 @@
+//! Regenerates **Table 1** of the paper: robustness failure rates by
+//! Module under Test for the six Windows variants and Linux.
+
+fn main() {
+    let cap = experiments::cap_from_env();
+    let results = experiments::load_or_run(cap);
+    let table = report::tables::table1(&results);
+    println!("{table}");
+    experiments::write_artifact("table1.txt", &table);
+}

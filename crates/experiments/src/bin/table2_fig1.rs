@@ -1,0 +1,14 @@
+//! Regenerates **Table 2** and **Figure 1**: robustness failure rates by
+//! functional category across the seven OS targets.
+
+fn main() {
+    let cap = experiments::cap_from_env();
+    let results = experiments::load_or_run(cap);
+    let table = report::tables::table2(&results);
+    let figure = report::figures::figure1(&results);
+    println!("{table}");
+    println!("{figure}");
+    experiments::write_artifact("table2.txt", &table);
+    experiments::write_artifact("figure1.txt", &figure);
+    experiments::write_artifact("figure1.csv", &report::figures::figure1_csv(&results));
+}

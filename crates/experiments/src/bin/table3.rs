@@ -1,0 +1,11 @@
+//! Regenerates **Table 3**: the exact set of functions with Catastrophic
+//! failures per OS, with the `*` mark for crashes that only reproduce
+//! inside the full test harness (inter-test interference).
+
+fn main() {
+    let cap = experiments::cap_from_env();
+    let results = experiments::load_or_run(cap);
+    let table = report::tables::table3(&results);
+    println!("{table}");
+    experiments::write_artifact("table3.txt", &table);
+}

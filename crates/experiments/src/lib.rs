@@ -1,0 +1,119 @@
+//! Shared driver for the experiment binaries: runs (or loads cached)
+//! campaigns for all seven OS targets and writes results under
+//! `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `BALLISTA_CAP` — per-MuT test-case cap (default: the paper's 5000).
+//! * `BALLISTA_RESULTS_DIR` — cache/output directory (default `results`).
+//! * `BALLISTA_FRESH` — set to any value to ignore a cached campaign.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use report::MultiOsResults;
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Reads the per-MuT cap from `BALLISTA_CAP` (default 5000).
+#[must_use]
+pub fn cap_from_env() -> usize {
+    std::env::var("BALLISTA_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ballista::sampling::PAPER_CAP)
+}
+
+/// The results/cache directory.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("BALLISTA_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+fn cache_path(cap: usize) -> PathBuf {
+    results_dir().join(format!("campaign-cap{cap}.json"))
+}
+
+/// Runs the full seven-OS campaign at `cap`, printing progress.
+///
+/// Raw per-case outcomes are recorded for the desktop Windows variants
+/// (the Figure 2 voting set).
+#[must_use]
+pub fn run_all_oses(cap: usize) -> MultiOsResults {
+    let mut reports = Vec::new();
+    for os in OsVariant::ALL {
+        let cfg = CampaignConfig {
+            cap,
+            record_raw: OsVariant::DESKTOP_WINDOWS.contains(&os),
+            isolation_probe: true,
+            perfect_cleanup: false,
+        };
+        let t0 = Instant::now();
+        let report = run_campaign(os, &cfg);
+        eprintln!(
+            "  [{}] {} MuTs, {} cases, {} catastrophic, {:.1}s",
+            os.short_name(),
+            report.muts.len(),
+            report.total_cases,
+            report.catastrophic_muts().len(),
+            t0.elapsed().as_secs_f64()
+        );
+        reports.push(report);
+    }
+    MultiOsResults { reports }
+}
+
+/// Loads the cached campaign for `cap`, or runs it and caches the result.
+///
+/// # Panics
+///
+/// Panics when the results directory is not writable — the experiment
+/// cannot record its outputs, which is fatal for reproduction runs.
+#[must_use]
+pub fn load_or_run(cap: usize) -> MultiOsResults {
+    let path = cache_path(cap);
+    if std::env::var("BALLISTA_FRESH").is_err() {
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(results) = serde_json::from_slice::<MultiOsResults>(&bytes) {
+                eprintln!("loaded cached campaign from {}", path.display());
+                return results;
+            }
+        }
+    }
+    eprintln!("running full campaign (cap = {cap}) …");
+    let results = run_all_oses(cap);
+    fs::create_dir_all(results_dir()).expect("results dir must be creatable");
+    fs::write(&path, serde_json::to_vec(&results).expect("serializable"))
+        .expect("results cache must be writable");
+    eprintln!("cached campaign to {}", path.display());
+    results
+}
+
+/// Writes a named artifact (table text / CSV) under the results dir.
+///
+/// # Panics
+///
+/// Panics when the artifact cannot be written.
+pub fn write_artifact(name: &str, contents: &str) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("results dir must be creatable");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("artifact must be writable");
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_default_is_paper_cap() {
+        // (Environment-dependent overrides are exercised by the binaries.)
+        if std::env::var("BALLISTA_CAP").is_err() {
+            assert_eq!(cap_from_env(), 5000);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! ASCII renderings and CSV series for the paper's Figures 1 and 2.
+
+use crate::normalize::{self, Metric};
+use crate::voting::{self, VotedSilent};
+use crate::MultiOsResults;
+use ballista::muts::FunctionGroup;
+use sim_kernel::variant::OsVariant;
+use std::fmt::Write as _;
+
+const BAR_WIDTH: usize = 50;
+
+fn bar(rate: f64) -> String {
+    let filled = ((rate.clamp(0.0, 1.0)) * BAR_WIDTH as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(BAR_WIDTH - filled))
+}
+
+/// Figure 1: comparative robustness failure rates (Abort+Restart) by
+/// functional category, one bar per OS per group.
+#[must_use]
+pub fn figure1(results: &MultiOsResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1. Comparative Windows and Linux robustness failure rates by functional category."
+    );
+    let _ = writeln!(out, "(bar = group Abort+Restart rate, 0%..100%; 'X' = no data)");
+    for group in FunctionGroup::ALL {
+        let _ = writeln!(out, "\n{}:", group.label());
+        for report in &results.reports {
+            let g = normalize::group_rate(report, group, Metric::AbortPlusRestart);
+            if g.present {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} |{}| {:5.1}%{}",
+                    report.os.short_name(),
+                    bar(g.rate),
+                    100.0 * g.rate,
+                    if g.has_catastrophic { " *" } else { "" }
+                );
+            } else {
+                let _ = writeln!(out, "  {:<10}  X (no data)", report.os.short_name());
+            }
+        }
+    }
+    out
+}
+
+/// The Figure 1 data as CSV: `group,os,abort_restart_rate,has_catastrophic`.
+#[must_use]
+pub fn figure1_csv(results: &MultiOsResults) -> String {
+    let mut out = String::from("group,os,abort_restart_rate,has_catastrophic,present\n");
+    for group in FunctionGroup::ALL {
+        for report in &results.reports {
+            let g = normalize::group_rate(report, group, Metric::AbortPlusRestart);
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{},{}",
+                group.label(),
+                report.os.short_name(),
+                g.rate,
+                g.has_catastrophic,
+                g.present
+            );
+        }
+    }
+    out
+}
+
+/// Per-OS voted-Silent analysis used by Figure 2.
+#[derive(Debug, Clone)]
+pub struct Figure2Series {
+    /// The OS.
+    pub os: OsVariant,
+    /// Per-group `(abort+restart, voted silent, ground-truth silent)`.
+    pub by_group: Vec<(FunctionGroup, f64, f64, f64)>,
+}
+
+/// Computes the Figure 2 series: Abort+Restart plus estimated (voted)
+/// Silent rates for the desktop Windows variants.
+#[must_use]
+pub fn figure2_series(results: &MultiOsResults) -> Vec<Figure2Series> {
+    let desktop: Vec<&ballista::campaign::CampaignReport> = results
+        .reports
+        .iter()
+        .filter(|r| OsVariant::DESKTOP_WINDOWS.contains(&r.os))
+        .collect();
+    let mut out = Vec::new();
+    for &report in &desktop {
+        let votes: Vec<VotedSilent> = voting::vote_silent(&desktop, report.os);
+        let by_group = FunctionGroup::ALL
+            .iter()
+            .map(|&g| {
+                let ar = normalize::group_rate(report, g, Metric::AbortPlusRestart).rate;
+                let voted = voting::group_voted_rate(&votes, g);
+                let truth = voting::group_truth_rate(&votes, g);
+                (g, ar, voted, truth)
+            })
+            .collect();
+        out.push(Figure2Series {
+            os: report.os,
+            by_group,
+        });
+    }
+    out
+}
+
+/// Figure 2: Abort, Restart and estimated Silent failure rates for the
+/// desktop Windows variants, as stacked ASCII bars.
+#[must_use]
+pub fn figure2(results: &MultiOsResults) -> String {
+    let series = figure2_series(results);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2. Abort+Restart and estimated Silent failure rates, desktop Windows variants."
+    );
+    let _ = writeln!(out, "(# = Abort+Restart, s = voted Silent estimate)");
+    for group in FunctionGroup::ALL {
+        let _ = writeln!(out, "\n{}:", group.label());
+        for s in &series {
+            let Some(&(_, ar, voted, truth)) = s.by_group.iter().find(|(g, ..)| *g == group)
+            else {
+                continue;
+            };
+            let a_chars = ((ar.clamp(0.0, 1.0)) * BAR_WIDTH as f64).round() as usize;
+            let s_chars = ((voted.clamp(0.0, 1.0)) * BAR_WIDTH as f64).round() as usize;
+            let rest = BAR_WIDTH.saturating_sub(a_chars + s_chars);
+            let _ = writeln!(
+                out,
+                "  {:<10} |{}{}{}| abort+restart {:4.1}%  silent(est) {:4.1}%  silent(truth) {:4.1}%",
+                s.os.short_name(),
+                "#".repeat(a_chars),
+                "s".repeat(s_chars.min(BAR_WIDTH - a_chars)),
+                ".".repeat(rest),
+                100.0 * ar,
+                100.0 * voted,
+                100.0 * truth,
+            );
+        }
+    }
+    out
+}
+
+/// Figure 2 data as CSV:
+/// `os,group,abort_restart,silent_voted,silent_truth`.
+#[must_use]
+pub fn figure2_csv(results: &MultiOsResults) -> String {
+    let mut out = String::from("os,group,abort_restart,silent_voted,silent_truth\n");
+    for s in figure2_series(results) {
+        for (g, ar, voted, truth) in s.by_group {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{:.6}",
+                s.os.short_name(),
+                g.label(),
+                ar,
+                voted,
+                truth
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballista::campaign::{CampaignReport, MutTally};
+    use ballista::crash::RawOutcome;
+    use ballista::muts::FunctionGroup as G;
+
+    fn tally(name: &str, raw: &[RawOutcome], aborts: usize, silents: usize) -> MutTally {
+        MutTally {
+            name: name.to_owned(),
+            group: G::IoPrimitives,
+            cases: raw.len(),
+            planned: raw.len(),
+            aborts,
+            restarts: 0,
+            silents,
+            error_reports: 0,
+            passes: raw.len() - aborts - silents,
+            suspected_hindering: 0,
+            catastrophic: false,
+            crash_reproducible_in_isolation: None,
+            raw_outcomes: raw.iter().map(|r| r.to_byte()).collect(),
+        }
+    }
+
+    fn results() -> MultiOsResults {
+        use RawOutcome::{ReturnedError as E, ReturnedSuccess as S, TaskAbort as A};
+        MultiOsResults {
+            reports: vec![
+                CampaignReport {
+                    os: OsVariant::Win98,
+                    muts: vec![tally("CloseHandle", &[S, S, A, S], 1, 3)],
+                    total_cases: 4,
+                },
+                CampaignReport {
+                    os: OsVariant::WinNt4,
+                    muts: vec![tally("CloseHandle", &[E, E, A, S], 1, 1)],
+                    total_cases: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure1_renders_and_csv_parses() {
+        let r = results();
+        let fig = figure1(&r);
+        assert!(fig.contains("I/O Primitives"));
+        assert!(fig.contains("win98"));
+        assert!(fig.contains("X (no data)"), "absent groups are marked");
+        let csv = figure1_csv(&r);
+        assert!(csv.lines().count() > 12);
+        assert!(csv.starts_with("group,os,"));
+    }
+
+    #[test]
+    fn figure2_votes_flag_9x_silence() {
+        let r = results();
+        let series = figure2_series(&r);
+        let w98 = series.iter().find(|s| s.os == OsVariant::Win98).unwrap();
+        let (_, _, voted, truth) = w98
+            .by_group
+            .iter()
+            .find(|(g, ..)| *g == G::IoPrimitives)
+            .copied()
+            .unwrap();
+        // Cases 0 and 1 succeed on 98 but error on NT: voted 2/4.
+        assert!((voted - 0.5).abs() < 1e-12);
+        // Ground truth says 3/4: the unanimous case 3 is the blind spot.
+        assert!((truth - 0.75).abs() < 1e-12);
+        let nt = series.iter().find(|s| s.os == OsVariant::WinNt4).unwrap();
+        let (_, _, nt_voted, _) = nt
+            .by_group
+            .iter()
+            .find(|(g, ..)| *g == G::IoPrimitives)
+            .copied()
+            .unwrap();
+        assert_eq!(nt_voted, 0.0, "NT's lone success is unanimous → no vote");
+        let fig = figure2(&r);
+        assert!(fig.contains("silent(est)"));
+        let csv = figure2_csv(&r);
+        assert!(csv.contains("win98"));
+    }
+}

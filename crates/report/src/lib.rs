@@ -1,0 +1,52 @@
+//! # report — the paper's comparison methodology
+//!
+//! Turns raw [`CampaignReport`]s into
+//! the paper's tables and figures:
+//!
+//! * [`normalize`] — per-MuT failure rates averaged with uniform weights
+//!   into the twelve functional groupings, Catastrophic MuTs excluded
+//!   ("functions with Catastrophic failures are excluded because the
+//!   system crash interrupts the testing process"), plus the Table 1
+//!   overall statistics.
+//! * [`voting`] — the Figure 2 estimated-Silent-failure analysis: "if one
+//!   system reports a pass with no error reported for one particular test
+//!   case and another system reports a pass with an error or a failure for
+//!   that identical test case, then we can declare the system that
+//!   reported no error as having a Silent failure." Because the simulator
+//!   also knows ground truth, the voted estimate can be compared against
+//!   it — an analysis the paper could not run.
+//! * [`tables`] — text renderers for Tables 1, 2 and 3.
+//! * [`figures`] — ASCII bar charts and CSV series for Figures 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod normalize;
+pub mod tables;
+pub mod voting;
+
+use ballista::campaign::CampaignReport;
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+
+/// Campaign results for every OS under comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiOsResults {
+    /// One report per OS, in [`OsVariant::ALL`] order for full runs.
+    pub reports: Vec<CampaignReport>,
+}
+
+impl MultiOsResults {
+    /// The report for one OS, if present.
+    #[must_use]
+    pub fn for_os(&self, os: OsVariant) -> Option<&CampaignReport> {
+        self.reports.iter().find(|r| r.os == os)
+    }
+
+    /// The OSes present, in stored order.
+    #[must_use]
+    pub fn oses(&self) -> Vec<OsVariant> {
+        self.reports.iter().map(|r| r.os).collect()
+    }
+}

@@ -1,0 +1,252 @@
+//! Normalized failure rates: the paper's §3.3 comparison methodology.
+//!
+//! "Normalization is performed by computing the robustness failure rate on
+//! a per-MuT basis (number of test cases failed divided by number of test
+//! cases executed for each individual MuT). Then, the MuTs are grouped
+//! into comparable classes by functionality ... The individual failure
+//! rates within each such group are averaged with uniform weights to
+//! provide a group failure rate."
+
+use ballista::campaign::{CampaignReport, MutTally};
+use ballista::muts::FunctionGroup;
+use serde::{Deserialize, Serialize};
+
+/// Which per-MuT rate is being aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Abort failures / cases.
+    Abort,
+    /// Restart failures / cases.
+    Restart,
+    /// Ground-truth Silent failures / cases.
+    SilentTruth,
+    /// Abort + Restart (the paper's non-Silent failure rate).
+    AbortPlusRestart,
+}
+
+fn rate(t: &MutTally, metric: Metric) -> f64 {
+    match metric {
+        Metric::Abort => t.abort_rate(),
+        Metric::Restart => t.restart_rate(),
+        Metric::SilentTruth => t.silent_rate(),
+        Metric::AbortPlusRestart => t.failure_rate(),
+    }
+}
+
+/// A group's aggregated rate for one OS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupRate {
+    /// The rate (0..=1), uniform-weighted over non-Catastrophic MuTs.
+    pub rate: f64,
+    /// MuTs contributing to the average.
+    pub muts_counted: usize,
+    /// Whether the group contains at least one Catastrophic MuT (rendered
+    /// as the paper's `*` in Table 2).
+    pub has_catastrophic: bool,
+    /// Whether the group has any MuTs at all on this OS (CE gaps).
+    pub present: bool,
+}
+
+/// Uniform-weight group average, excluding Catastrophic MuTs.
+#[must_use]
+pub fn group_rate(report: &CampaignReport, group: FunctionGroup, metric: Metric) -> GroupRate {
+    let members: Vec<&MutTally> = report.muts.iter().filter(|m| m.group == group).collect();
+    let has_catastrophic = members.iter().any(|m| m.catastrophic);
+    let counted: Vec<&&MutTally> = members.iter().filter(|m| !m.catastrophic).collect();
+    let rate_value = if counted.is_empty() {
+        0.0
+    } else {
+        counted.iter().map(|m| rate(m, metric)).sum::<f64>() / counted.len() as f64
+    };
+    GroupRate {
+        rate: rate_value,
+        muts_counted: counted.len(),
+        has_catastrophic,
+        present: !members.is_empty(),
+    }
+}
+
+/// Overall rate with each *group* evenly weighted (the Table 2 "total"
+/// convention: "the total failure rates give each group's failure rate an
+/// even weighting to compensate for the effects caused by different APIs
+/// having different numbers of functions").
+#[must_use]
+pub fn overall_group_weighted(report: &CampaignReport, metric: Metric) -> f64 {
+    let rates: Vec<f64> = FunctionGroup::ALL
+        .iter()
+        .map(|&g| group_rate(report, g, metric))
+        .filter(|g| g.present && g.muts_counted > 0)
+        .map(|g| g.rate)
+        .collect();
+    if rates.is_empty() {
+        0.0
+    } else {
+        rates.iter().sum::<f64>() / rates.len() as f64
+    }
+}
+
+/// Overall rate with each *MuT* evenly weighted (the Table 1 convention),
+/// restricted to a MuT predicate (system calls vs C library).
+#[must_use]
+pub fn overall_by_mut(
+    report: &CampaignReport,
+    metric: Metric,
+    filter: impl Fn(&MutTally) -> bool,
+) -> f64 {
+    let rates: Vec<f64> = report
+        .muts
+        .iter()
+        .filter(|m| !m.catastrophic && filter(m))
+        .map(|m| rate(m, metric))
+        .collect();
+    if rates.is_empty() {
+        0.0
+    } else {
+        rates.iter().sum::<f64>() / rates.len() as f64
+    }
+}
+
+/// The Table 1 row for one OS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// System calls tested.
+    pub sys_tested: usize,
+    /// System calls with Catastrophic failures.
+    pub sys_catastrophic: usize,
+    /// System-call percent Restart (catastrophic MuTs excluded).
+    pub sys_restart: f64,
+    /// System-call percent Abort.
+    pub sys_abort: f64,
+    /// C functions tested.
+    pub c_tested: usize,
+    /// C functions with Catastrophic failures.
+    pub c_catastrophic: usize,
+    /// C-library percent Restart.
+    pub c_restart: f64,
+    /// C-library percent Abort.
+    pub c_abort: f64,
+    /// Total MuTs tested.
+    pub total_tested: usize,
+    /// Total MuTs with Catastrophic failures.
+    pub total_catastrophic: usize,
+    /// Overall percent Restart (per-MuT weighting).
+    pub overall_restart: f64,
+    /// Overall percent Abort (per-MuT weighting).
+    pub overall_abort: f64,
+}
+
+/// Computes the Table 1 statistics for one OS.
+#[must_use]
+pub fn table1_row(report: &CampaignReport) -> Table1Row {
+    let is_sys = |m: &MutTally| !m.group.is_c_library();
+    let is_c = |m: &MutTally| m.group.is_c_library();
+    let count = |f: &dyn Fn(&MutTally) -> bool| report.muts.iter().filter(|m| f(m)).count();
+    let cat = |f: &dyn Fn(&MutTally) -> bool| {
+        report
+            .muts
+            .iter()
+            .filter(|m| f(m) && m.catastrophic)
+            .count()
+    };
+    Table1Row {
+        sys_tested: count(&is_sys),
+        sys_catastrophic: cat(&is_sys),
+        sys_restart: overall_by_mut(report, Metric::Restart, is_sys),
+        sys_abort: overall_by_mut(report, Metric::Abort, is_sys),
+        c_tested: count(&is_c),
+        c_catastrophic: cat(&is_c),
+        c_restart: overall_by_mut(report, Metric::Restart, is_c),
+        c_abort: overall_by_mut(report, Metric::Abort, is_c),
+        total_tested: report.muts.len(),
+        total_catastrophic: report.muts.iter().filter(|m| m.catastrophic).count(),
+        overall_restart: overall_by_mut(report, Metric::Restart, |_| true),
+        overall_abort: overall_by_mut(report, Metric::Abort, |_| true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballista::muts::FunctionGroup as G;
+    use sim_kernel::variant::OsVariant;
+
+    fn tally(name: &str, group: G, cases: usize, aborts: usize, catastrophic: bool) -> MutTally {
+        MutTally {
+            name: name.to_owned(),
+            group,
+            cases,
+            planned: cases,
+            aborts,
+            restarts: 0,
+            silents: 0,
+            error_reports: cases - aborts,
+            passes: 0,
+            suspected_hindering: 0,
+            catastrophic,
+            crash_reproducible_in_isolation: None,
+            raw_outcomes: Vec::new(),
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            os: OsVariant::Linux,
+            muts: vec![
+                tally("a", G::CChar, 100, 30, false),
+                tally("b", G::CChar, 100, 50, false),
+                tally("c", G::CChar, 100, 10, true), // excluded
+                tally("d", G::IoPrimitives, 200, 20, false),
+            ],
+            total_cases: 500,
+        }
+    }
+
+    #[test]
+    fn group_average_is_uniform_and_excludes_catastrophic() {
+        let r = report();
+        let g = group_rate(&r, G::CChar, Metric::Abort);
+        assert!((g.rate - 0.40).abs() < 1e-12, "mean of 30% and 50%, not 10%-polluted");
+        assert_eq!(g.muts_counted, 2);
+        assert!(g.has_catastrophic);
+        let io = group_rate(&r, G::IoPrimitives, Metric::Abort);
+        assert!((io.rate - 0.10).abs() < 1e-12);
+        assert!(!io.has_catastrophic);
+        // An absent group.
+        let absent = group_rate(&r, G::CTime, Metric::Abort);
+        assert!(!absent.present);
+    }
+
+    #[test]
+    fn group_average_invariant_under_mut_permutation() {
+        let mut r = report();
+        let before = group_rate(&r, G::CChar, Metric::Abort).rate;
+        r.muts.reverse();
+        let after = group_rate(&r, G::CChar, Metric::Abort).rate;
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_weightings_differ() {
+        let r = report();
+        // Per-MuT: (0.3 + 0.5 + 0.1)/3 over non-catastrophic = 0.3.
+        let by_mut = overall_by_mut(&r, Metric::Abort, |_| true);
+        assert!((by_mut - 0.3).abs() < 1e-12);
+        // Group-weighted: (0.4 + 0.1)/2 = 0.25.
+        let by_group = overall_group_weighted(&r, Metric::Abort);
+        assert!((by_group - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_row_counts() {
+        let r = report();
+        let row = table1_row(&r);
+        assert_eq!(row.c_tested, 3);
+        assert_eq!(row.c_catastrophic, 1);
+        assert_eq!(row.sys_tested, 1);
+        assert_eq!(row.sys_catastrophic, 0);
+        assert_eq!(row.total_tested, 4);
+        assert_eq!(row.total_catastrophic, 1);
+        assert!((row.c_abort - 0.40).abs() < 1e-12);
+        assert!((row.sys_abort - 0.10).abs() < 1e-12);
+    }
+}

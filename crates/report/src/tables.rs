@@ -1,0 +1,282 @@
+//! Text renderers for the paper's Tables 1, 2 and 3.
+
+use crate::normalize::{self, Metric};
+use crate::MultiOsResults;
+use ballista::muts::FunctionGroup;
+use sim_kernel::variant::OsVariant;
+use std::fmt::Write as _;
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Renders Table 1: robustness failure rates by MuT, one row per OS.
+#[must_use]
+pub fn table1(results: &MultiOsResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1. Robustness failure rates by Module under Test (MuT)."
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>6} {:>9} {:>9} | {:>6} {:>6} {:>9} {:>9} | {:>6} {:>6} {:>9} {:>9}",
+        "OS",
+        "SysN",
+        "SysCat",
+        "Sys%Rst",
+        "Sys%Abt",
+        "C N",
+        "C Cat",
+        "C %Rst",
+        "C %Abt",
+        "TotN",
+        "TotCat",
+        "Tot%Rst",
+        "Tot%Abt",
+    );
+    let _ = writeln!(out, "{}", "-".repeat(132));
+    for report in &results.reports {
+        let r = normalize::table1_row(report);
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>6} {:>9} {:>9} | {:>6} {:>6} {:>9} {:>9} | {:>6} {:>6} {:>9} {:>9}",
+            report.os.to_string(),
+            r.sys_tested,
+            r.sys_catastrophic,
+            pct(r.sys_restart),
+            pct(r.sys_abort),
+            r.c_tested,
+            r.c_catastrophic,
+            pct(r.c_restart),
+            pct(r.c_abort),
+            r.total_tested,
+            r.total_catastrophic,
+            pct(r.overall_restart),
+            pct(r.overall_abort),
+        );
+    }
+    out
+}
+
+/// Renders Table 2: Abort+Restart failure rates by functional grouping.
+/// A `*` marks groups containing Catastrophic MuTs (whose rates are
+/// excluded, as in the paper); `N/A` marks groups absent on that OS.
+#[must_use]
+pub fn table2(results: &MultiOsResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2. Overall robustness failure rates by functional category."
+    );
+    let _ = writeln!(
+        out,
+        "Catastrophic failure rates are excluded; their presence is indicated by '*'."
+    );
+    let _ = write!(out, "{:<26}", "Group");
+    for report in &results.reports {
+        let _ = write!(out, " {:>10}", report.os.short_name());
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(26 + 11 * results.reports.len()));
+    for group in FunctionGroup::ALL {
+        let _ = write!(out, "{:<26}", group.label());
+        for report in &results.reports {
+            let g = normalize::group_rate(report, group, Metric::AbortPlusRestart);
+            let cell = if !g.present {
+                "N/A".to_owned()
+            } else {
+                format!(
+                    "{}{}",
+                    if g.has_catastrophic { "*" } else { "" },
+                    pct(g.rate)
+                )
+            };
+            let _ = write!(out, " {cell:>10}");
+        }
+        let _ = writeln!(out);
+    }
+    // The evenly-weighted totals row.
+    let _ = write!(out, "{:<26}", "Total (group-weighted)");
+    for report in &results.reports {
+        let total = normalize::overall_group_weighted(report, Metric::AbortPlusRestart);
+        let _ = write!(out, " {:>10}", pct(total));
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// One Table 3 entry: a function with Catastrophic failures somewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatastrophicEntry {
+    /// Function name.
+    pub name: String,
+    /// Functional group.
+    pub group: FunctionGroup,
+    /// Per-OS presence; `Some(reproducible)` when Catastrophic on that OS,
+    /// with `false` meaning the paper's `*` (harness-only).
+    pub by_os: Vec<(OsVariant, Option<bool>)>,
+}
+
+/// Collects the Table 3 entries across all OSes.
+#[must_use]
+pub fn catastrophic_entries(results: &MultiOsResults) -> Vec<CatastrophicEntry> {
+    let mut names: Vec<(String, FunctionGroup)> = Vec::new();
+    for report in &results.reports {
+        for m in report.catastrophic_muts() {
+            if !names.iter().any(|(n, _)| n == &m.name) {
+                names.push((m.name.clone(), m.group));
+            }
+        }
+    }
+    names.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    names
+        .into_iter()
+        .map(|(name, group)| {
+            let by_os = results
+                .reports
+                .iter()
+                .map(|r| {
+                    let status = r
+                        .muts
+                        .iter()
+                        .find(|m| m.name == name && m.catastrophic)
+                        .map(|m| m.crash_reproducible_in_isolation.unwrap_or(true));
+                    (r.os, status)
+                })
+                .collect();
+            CatastrophicEntry { name, group, by_os }
+        })
+        .collect()
+}
+
+/// Renders Table 3: functions with Catastrophic failures by OS and group.
+/// `X` = crashes and reproduces in isolation; `*X` = crashes only under
+/// harness-accumulated state (the paper's `*`).
+#[must_use]
+pub fn table3(results: &MultiOsResults) -> String {
+    let entries = catastrophic_entries(results);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3. Functions that exhibited Catastrophic failures by OS and function group."
+    );
+    let _ = writeln!(
+        out,
+        "'X' = reproducible in isolation; '*X' = only inside the full test harness."
+    );
+    let _ = write!(out, "{:<30} {:<26}", "Function", "Group");
+    for report in &results.reports {
+        let _ = write!(out, " {:>8}", report.os.short_name());
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(58 + 9 * results.reports.len()));
+    for e in &entries {
+        let _ = write!(out, "{:<30} {:<26}", e.name, e.group.label());
+        for (_, status) in &e.by_os {
+            let cell = match status {
+                Some(true) => "X",
+                Some(false) => "*X",
+                None => "",
+            };
+            let _ = write!(out, " {cell:>8}");
+        }
+        let _ = writeln!(out);
+    }
+    if entries.is_empty() {
+        let _ = writeln!(out, "(no Catastrophic failures observed)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballista::campaign::{CampaignReport, MutTally};
+    use ballista::muts::FunctionGroup as G;
+
+    fn tally(name: &str, group: G, catastrophic: bool, iso: Option<bool>) -> MutTally {
+        MutTally {
+            name: name.to_owned(),
+            group,
+            cases: 100,
+            planned: 100,
+            aborts: 10,
+            restarts: 1,
+            silents: 5,
+            error_reports: 50,
+            passes: 34,
+            suspected_hindering: 0,
+            catastrophic,
+            crash_reproducible_in_isolation: iso,
+            raw_outcomes: Vec::new(),
+        }
+    }
+
+    fn tiny_results() -> MultiOsResults {
+        MultiOsResults {
+            reports: vec![
+                CampaignReport {
+                    os: OsVariant::Win98,
+                    muts: vec![
+                        tally("GetThreadContext", G::ProcessPrimitives, true, Some(true)),
+                        tally("DuplicateHandle", G::IoPrimitives, true, Some(false)),
+                        tally("CloseHandle", G::IoPrimitives, false, None),
+                    ],
+                    total_cases: 300,
+                },
+                CampaignReport {
+                    os: OsVariant::WinNt4,
+                    muts: vec![
+                        tally("GetThreadContext", G::ProcessPrimitives, false, None),
+                        tally("DuplicateHandle", G::IoPrimitives, false, None),
+                        tally("CloseHandle", G::IoPrimitives, false, None),
+                    ],
+                    total_cases: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table1_renders_rows() {
+        let t = table1(&tiny_results());
+        assert!(t.contains("Windows 98"));
+        assert!(t.contains("Windows NT 4.0"));
+        assert!(t.contains("10.00%")); // 10% abort per MuT
+        assert!(t.contains("1.00%")); // 1% restart per MuT
+    }
+
+    #[test]
+    fn table2_marks_catastrophic_groups() {
+        let t = table2(&tiny_results());
+        assert!(t.contains('*'), "catastrophic groups carry a star");
+        assert!(t.contains("N/A"), "absent groups are N/A");
+        assert!(t.contains("Total (group-weighted)"));
+    }
+
+    #[test]
+    fn table3_distinguishes_isolation() {
+        let r = tiny_results();
+        let entries = catastrophic_entries(&r);
+        assert_eq!(entries.len(), 2);
+        let t = table3(&r);
+        assert!(t.contains("GetThreadContext"));
+        // DuplicateHandle only crashes inside the harness: *X.
+        assert!(t.contains("*X"));
+        // NT column has no marks.
+        let dup_line = t
+            .lines()
+            .find(|l| l.starts_with("DuplicateHandle"))
+            .unwrap();
+        assert!(dup_line.contains("*X"));
+    }
+
+    #[test]
+    fn for_os_lookup() {
+        let r = tiny_results();
+        assert!(r.for_os(OsVariant::Win98).is_some());
+        assert!(r.for_os(OsVariant::Linux).is_none());
+        assert_eq!(r.oses(), vec![OsVariant::Win98, OsVariant::WinNt4]);
+    }
+}

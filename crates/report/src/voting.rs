@@ -1,0 +1,248 @@
+//! Estimated Silent failure rates by cross-version voting — the paper's
+//! Figure 2 methodology.
+//!
+//! "If one presumes that the Win32 API is supposed to be identical in
+//! exception handling as well as functionality across implementations, if
+//! one system reports a pass with no error reported for one particular
+//! test case and another system reports a pass with an error or a failure
+//! for that identical test case, then we can declare the system that
+//! reported no error as having a Silent failure."
+//!
+//! The vote runs over the five desktop Windows variants only (the paper
+//! excludes Linux — different API — and CE — similar but not identical).
+//! Because the simulator also has ground truth (the exceptional-input
+//! oracle), [`VotedSilent::truth_rate`] lets the reproduction quantify the
+//! hidden-Silent blind spot the paper could only acknowledge: cases where
+//! *all* variants fail silently are invisible to the vote.
+
+use ballista::campaign::CampaignReport;
+use ballista::crash::RawOutcome;
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+
+/// Voting result for one MuT on one OS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VotedSilent {
+    /// Call name.
+    pub name: String,
+    /// Functional group.
+    pub group: ballista::muts::FunctionGroup,
+    /// Cases that participated (present on every voting variant).
+    pub cases: usize,
+    /// Cases voted Silent on this OS.
+    pub voted_silent: usize,
+    /// Ground-truth Silent cases on this OS (oracle), for calibration.
+    pub truth_silent: usize,
+}
+
+impl VotedSilent {
+    /// Voted Silent rate.
+    #[must_use]
+    pub fn voted_rate(&self) -> f64 {
+        if self.cases == 0 {
+            0.0
+        } else {
+            self.voted_silent as f64 / self.cases as f64
+        }
+    }
+
+    /// Ground-truth Silent rate.
+    #[must_use]
+    pub fn truth_rate(&self) -> f64 {
+        if self.cases == 0 {
+            0.0
+        } else {
+            self.truth_silent as f64 / self.cases as f64
+        }
+    }
+}
+
+/// Runs the vote for `target` against the other desktop Windows reports.
+///
+/// Only MuTs that are present, non-Catastrophic and fully recorded on
+/// *every* participating variant vote (a crash truncates the case list, so
+/// the identical-test-case premise no longer holds).
+#[must_use]
+pub fn vote_silent(reports: &[&CampaignReport], target: OsVariant) -> Vec<VotedSilent> {
+    let Some(target_report) = reports.iter().find(|r| r.os == target) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for tm in &target_report.muts {
+        if tm.catastrophic || tm.raw_outcomes.is_empty() {
+            continue;
+        }
+        // Gather the same MuT from every other variant.
+        let mut peers = Vec::new();
+        let mut ok = true;
+        for r in reports {
+            if r.os == target {
+                continue;
+            }
+            match r.muts.iter().find(|m| m.name == tm.name) {
+                Some(pm)
+                    if !pm.catastrophic
+                        && pm.raw_outcomes.len() == tm.raw_outcomes.len() =>
+                {
+                    peers.push(pm);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || peers.is_empty() {
+            continue;
+        }
+        let mut voted = 0usize;
+        for (i, &mine) in tm.raw_outcomes.iter().enumerate() {
+            if RawOutcome::from_byte(mine) != Some(RawOutcome::ReturnedSuccess) {
+                continue;
+            }
+            // Someone else flagged this identical case.
+            let flagged = peers.iter().any(|p| {
+                matches!(
+                    RawOutcome::from_byte(p.raw_outcomes[i]),
+                    Some(
+                        RawOutcome::ReturnedError
+                            | RawOutcome::TaskAbort
+                            | RawOutcome::TaskHang
+                            | RawOutcome::SystemCrash
+                    )
+                )
+            });
+            if flagged {
+                voted += 1;
+            }
+        }
+        out.push(VotedSilent {
+            name: tm.name.clone(),
+            group: tm.group,
+            cases: tm.raw_outcomes.len(),
+            voted_silent: voted,
+            truth_silent: tm.silents,
+        });
+    }
+    out
+}
+
+/// Uniform-weight group average of the voted Silent rate.
+#[must_use]
+pub fn group_voted_rate(votes: &[VotedSilent], group: ballista::muts::FunctionGroup) -> f64 {
+    let members: Vec<&VotedSilent> = votes.iter().filter(|v| v.group == group).collect();
+    if members.is_empty() {
+        0.0
+    } else {
+        members.iter().map(|v| v.voted_rate()).sum::<f64>() / members.len() as f64
+    }
+}
+
+/// Uniform-weight group average of the ground-truth Silent rate (the
+/// calibration the paper could not compute).
+#[must_use]
+pub fn group_truth_rate(votes: &[VotedSilent], group: ballista::muts::FunctionGroup) -> f64 {
+    let members: Vec<&VotedSilent> = votes.iter().filter(|v| v.group == group).collect();
+    if members.is_empty() {
+        0.0
+    } else {
+        members.iter().map(|v| v.truth_rate()).sum::<f64>() / members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballista::campaign::MutTally;
+    use ballista::muts::FunctionGroup as G;
+
+    fn tally(name: &str, raw: &[RawOutcome], silents: usize) -> MutTally {
+        MutTally {
+            name: name.to_owned(),
+            group: G::IoPrimitives,
+            cases: raw.len(),
+            planned: raw.len(),
+            aborts: 0,
+            restarts: 0,
+            silents,
+            error_reports: 0,
+            passes: 0,
+            suspected_hindering: 0,
+            catastrophic: false,
+            crash_reproducible_in_isolation: None,
+            raw_outcomes: raw.iter().map(|r| r.to_byte()).collect(),
+        }
+    }
+
+    fn report(os: OsVariant, muts: Vec<MutTally>) -> CampaignReport {
+        CampaignReport {
+            os,
+            total_cases: muts.iter().map(|m| m.cases).sum(),
+            muts,
+        }
+    }
+
+    use RawOutcome::{ReturnedError as E, ReturnedSuccess as S, TaskAbort as A};
+
+    #[test]
+    fn vote_flags_lone_success() {
+        // 98 succeeds where NT errors/aborts on cases 0 and 2.
+        let w98 = report(OsVariant::Win98, vec![tally("CloseHandle", &[S, S, S], 2)]);
+        let nt = report(OsVariant::WinNt4, vec![tally("CloseHandle", &[E, S, A], 0)]);
+        let reports = [&w98, &nt];
+        let votes = vote_silent(&reports, OsVariant::Win98);
+        assert_eq!(votes.len(), 1);
+        assert_eq!(votes[0].voted_silent, 2);
+        assert!((votes[0].voted_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // NT has no lone successes: case 1 succeeded everywhere.
+        let votes_nt = vote_silent(&reports, OsVariant::WinNt4);
+        assert_eq!(votes_nt[0].voted_silent, 0);
+    }
+
+    #[test]
+    fn unanimous_silent_is_invisible_to_the_vote() {
+        // Every variant silently succeeds: the paper's acknowledged blind
+        // spot — ground truth sees it, the vote cannot.
+        let w98 = report(OsVariant::Win98, vec![tally("X", &[S], 1)]);
+        let nt = report(OsVariant::WinNt4, vec![tally("X", &[S], 1)]);
+        let reports = [&w98, &nt];
+        let votes = vote_silent(&reports, OsVariant::Win98);
+        assert_eq!(votes[0].voted_silent, 0);
+        assert_eq!(votes[0].truth_silent, 1);
+    }
+
+    #[test]
+    fn catastrophic_and_mismatched_muts_excluded() {
+        let mut crash_tally = tally("Y", &[S, S], 0);
+        crash_tally.catastrophic = true;
+        let w98 = report(OsVariant::Win98, vec![crash_tally.clone(), tally("Z", &[S], 0)]);
+        // NT lacks Z entirely.
+        let nt = report(OsVariant::WinNt4, vec![crash_tally]);
+        let reports = [&w98, &nt];
+        let votes = vote_silent(&reports, OsVariant::Win98);
+        assert!(votes.is_empty());
+    }
+
+    #[test]
+    fn group_rates() {
+        let votes = vec![
+            VotedSilent {
+                name: "a".into(),
+                group: G::IoPrimitives,
+                cases: 10,
+                voted_silent: 5,
+                truth_silent: 6,
+            },
+            VotedSilent {
+                name: "b".into(),
+                group: G::IoPrimitives,
+                cases: 10,
+                voted_silent: 1,
+                truth_silent: 2,
+            },
+        ];
+        assert!((group_voted_rate(&votes, G::IoPrimitives) - 0.3).abs() < 1e-12);
+        assert!((group_truth_rate(&votes, G::IoPrimitives) - 0.4).abs() < 1e-12);
+        assert_eq!(group_voted_rate(&votes, G::CChar), 0.0);
+    }
+}

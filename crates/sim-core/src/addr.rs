@@ -1,0 +1,202 @@
+//! Simulated pointers and the user/kernel address split.
+//!
+//! The simulated machine uses a flat 32-bit-style address space (held in a
+//! `u64` so that test values such as `-1` cast to a pointer stay
+//! representable). Addresses at or above [`KERNEL_BASE`] belong to the
+//! simulated kernel, mirroring the classic Win32 2 GB split; user-mode code
+//! touching them faults, while kernel-mode code may touch them freely — and a
+//! *kernel*-mode touch of an unmapped or user-hostile address is precisely
+//! the mechanism by which the Windows 9x family dies in this reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// First address belonging to the simulated kernel half of the address space.
+///
+/// Mirrors the classic Win32 2 GB user / 2 GB kernel split.
+pub const KERNEL_BASE: u64 = 0x8000_0000;
+
+/// Last valid simulated address (inclusive). Anything above this is treated
+/// as non-canonical garbage such as `(void*)-1`.
+pub const ADDR_MAX: u64 = 0xFFFF_FFFF;
+
+/// A pointer value inside the simulated address space.
+///
+/// `SimPtr` is a plain value — copying it never implies any access. All
+/// dereferencing goes through [`AddressSpace`](crate::memory::AddressSpace),
+/// which performs the checks a real MMU would.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::addr::SimPtr;
+///
+/// let p = SimPtr::new(0x1000);
+/// assert_eq!(p.offset(16).addr(), 0x1010);
+/// assert!(SimPtr::NULL.is_null());
+/// assert!(SimPtr::INVALID.is_kernel());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimPtr(u64);
+
+impl SimPtr {
+    /// The null pointer.
+    pub const NULL: SimPtr = SimPtr(0);
+
+    /// The all-ones pointer, i.e. `(void*)-1` / `INVALID_HANDLE_VALUE`-style
+    /// sentinel when interpreted as an address.
+    pub const INVALID: SimPtr = SimPtr(ADDR_MAX);
+
+    /// Creates a pointer from a raw simulated address.
+    #[must_use]
+    pub const fn new(addr: u64) -> Self {
+        SimPtr(addr)
+    }
+
+    /// Raw simulated address.
+    #[must_use]
+    pub const fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null pointer.
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the address lies in the simulated kernel half.
+    #[must_use]
+    pub const fn is_kernel(self) -> bool {
+        self.0 >= KERNEL_BASE
+    }
+
+    /// Whether the address is outside the representable simulated space
+    /// entirely (e.g. a 64-bit garbage value).
+    #[must_use]
+    pub const fn is_non_canonical(self) -> bool {
+        self.0 > ADDR_MAX
+    }
+
+    /// Pointer arithmetic: `self + bytes`, wrapping like C pointer math on a
+    /// flat machine would.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        SimPtr(self.0.wrapping_add(bytes))
+    }
+
+    /// Whether the address is a multiple of `align` (which must be a power
+    /// of two; non-power-of-two alignments are rejected as unaligned).
+    #[must_use]
+    pub const fn is_aligned(self, align: u64) -> bool {
+        align.is_power_of_two() && self.0.is_multiple_of(align)
+    }
+}
+
+impl fmt::Display for SimPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for SimPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for SimPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for SimPtr {
+    fn from(addr: u64) -> Self {
+        SimPtr(addr)
+    }
+}
+
+impl From<SimPtr> for u64 {
+    fn from(ptr: SimPtr) -> Self {
+        ptr.0
+    }
+}
+
+/// Privilege level of a simulated memory access.
+///
+/// User-mode accesses to kernel addresses fault (the task dies with an
+/// access violation). Kernel-mode accesses bypass the user/kernel check —
+/// which is exactly why an OS that passes an unvalidated user pointer into
+/// kernel code can be crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrivilegeLevel {
+    /// Access performed by application code.
+    User,
+    /// Access performed by (simulated) kernel code on behalf of a call.
+    Kernel,
+}
+
+impl fmt::Display for PrivilegeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivilegeLevel::User => f.write_str("user"),
+            PrivilegeLevel::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(SimPtr::NULL.is_null());
+        assert!(!SimPtr::new(4).is_null());
+    }
+
+    #[test]
+    fn kernel_split() {
+        assert!(!SimPtr::new(KERNEL_BASE - 1).is_kernel());
+        assert!(SimPtr::new(KERNEL_BASE).is_kernel());
+        assert!(SimPtr::INVALID.is_kernel());
+    }
+
+    #[test]
+    fn non_canonical() {
+        assert!(!SimPtr::INVALID.is_non_canonical());
+        assert!(SimPtr::new(ADDR_MAX + 1).is_non_canonical());
+        assert!(SimPtr::new(u64::MAX).is_non_canonical());
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(SimPtr::new(u64::MAX).offset(1), SimPtr::NULL);
+        assert_eq!(SimPtr::new(0x100).offset(0x10).addr(), 0x110);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(SimPtr::new(0x1000).is_aligned(8));
+        assert!(!SimPtr::new(0x1001).is_aligned(2));
+        // Non-power-of-two alignment is never satisfied.
+        assert!(!SimPtr::new(0x9).is_aligned(3));
+        // Everything is 1-aligned.
+        assert!(SimPtr::new(0x7).is_aligned(1));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(SimPtr::new(0xdead_beef).to_string(), "0xdeadbeef");
+        assert_eq!(format!("{:x}", SimPtr::new(0xff)), "ff");
+        assert_eq!(format!("{:X}", SimPtr::new(0xff)), "FF");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p: SimPtr = 0x1234u64.into();
+        let back: u64 = p.into();
+        assert_eq!(back, 0x1234);
+    }
+}

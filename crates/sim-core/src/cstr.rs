@@ -1,0 +1,245 @@
+//! Checked access to C-style narrow and wide strings in simulated memory.
+//!
+//! C string handling is where most of the paper's Abort failures come from:
+//! an unterminated buffer, a dangling `char*`, or a `NULL` passed to a
+//! function that blindly scans for the terminator. These helpers perform the
+//! scan exactly the way the C code would — byte by byte — so the fault
+//! happens at the same place it would on real hardware (e.g. when the scan
+//! runs off the end of the region into the guard gap).
+
+use crate::addr::{PrivilegeLevel, SimPtr};
+use crate::fault::Fault;
+use crate::memory::AddressSpace;
+
+/// Longest string any simulated routine will scan before concluding the
+/// buffer is effectively unterminated garbage. Real hardware has no such
+/// limit, but a fault always occurs first in practice because regions are
+/// guard-gapped; this is a belt-and-braces bound for the simulator itself.
+pub const MAX_SCAN: u64 = 1 << 20;
+
+/// Reads a NUL-terminated narrow string starting at `ptr`.
+///
+/// The scan is performed byte-by-byte with full access checking, so a
+/// missing terminator faults at the region boundary exactly like `strlen`
+/// walking off the end of a buffer.
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while scanning (including the guard-page fault for
+/// unterminated buffers).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{AddressSpace, Protection, SimPtr};
+/// use sim_core::cstr;
+/// use sim_core::addr::PrivilegeLevel;
+///
+/// let mut space = AddressSpace::new();
+/// let p = space.map(16, Protection::READ_WRITE, "str").unwrap();
+/// cstr::write_cstr(&mut space, p, "hi", PrivilegeLevel::User).unwrap();
+/// assert_eq!(cstr::read_cstr(&space, p, PrivilegeLevel::User).unwrap(), b"hi");
+/// ```
+pub fn read_cstr(
+    space: &AddressSpace,
+    ptr: SimPtr,
+    privilege: PrivilegeLevel,
+) -> Result<Vec<u8>, Fault> {
+    let mut out = Vec::new();
+    let mut cursor = ptr;
+    for _ in 0..MAX_SCAN {
+        let byte = space.read_u8_priv(cursor, privilege)?;
+        if byte == 0 {
+            return Ok(out);
+        }
+        out.push(byte);
+        cursor = cursor.offset(1);
+    }
+    Ok(out)
+}
+
+/// Computes the length of a NUL-terminated narrow string (a checked
+/// `strlen`).
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while scanning.
+pub fn strlen(space: &AddressSpace, ptr: SimPtr, privilege: PrivilegeLevel) -> Result<u64, Fault> {
+    Ok(read_cstr(space, ptr, privilege)?.len() as u64)
+}
+
+/// Writes `s` plus a NUL terminator at `ptr`.
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while writing (the destination must have room for
+/// `s.len() + 1` bytes).
+pub fn write_cstr(
+    space: &mut AddressSpace,
+    ptr: SimPtr,
+    s: &str,
+    privilege: PrivilegeLevel,
+) -> Result<(), Fault> {
+    write_bytes_nul(space, ptr, s.as_bytes(), privilege)
+}
+
+/// Writes raw `bytes` plus a NUL terminator at `ptr`.
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while writing.
+pub fn write_bytes_nul(
+    space: &mut AddressSpace,
+    ptr: SimPtr,
+    bytes: &[u8],
+    privilege: PrivilegeLevel,
+) -> Result<(), Fault> {
+    let mut buf = Vec::with_capacity(bytes.len() + 1);
+    buf.extend_from_slice(bytes);
+    buf.push(0);
+    space.write_bytes_at(ptr, &buf, privilege)
+}
+
+/// Reads a NUL-terminated UTF-16 ("wide", `wchar_t*` on Windows) string
+/// starting at `ptr`. Used by the Windows CE UNICODE C library twins.
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while scanning, including misalignment faults on
+/// strict-alignment targets when `ptr` is odd.
+pub fn read_wstr(
+    space: &AddressSpace,
+    ptr: SimPtr,
+    privilege: PrivilegeLevel,
+) -> Result<Vec<u16>, Fault> {
+    let mut out = Vec::new();
+    let mut cursor = ptr;
+    for _ in 0..MAX_SCAN {
+        let unit = space.read_u16_priv(cursor, privilege)?;
+        if unit == 0 {
+            return Ok(out);
+        }
+        out.push(unit);
+        cursor = cursor.offset(2);
+    }
+    Ok(out)
+}
+
+/// Writes `s` as UTF-16 plus a NUL terminator at `ptr`.
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while writing.
+pub fn write_wstr(
+    space: &mut AddressSpace,
+    ptr: SimPtr,
+    s: &str,
+    privilege: PrivilegeLevel,
+) -> Result<(), Fault> {
+    let mut cursor = ptr;
+    for unit in s.encode_utf16() {
+        space.write_u16_priv(cursor, unit, privilege)?;
+        cursor = cursor.offset(2);
+    }
+    space.write_u16_priv(cursor, 0, privilege)
+}
+
+/// Length in code units of a NUL-terminated wide string (`wcslen`).
+///
+/// # Errors
+///
+/// Any [`Fault`] raised while scanning.
+pub fn wcslen(space: &AddressSpace, ptr: SimPtr, privilege: PrivilegeLevel) -> Result<u64, Fault> {
+    Ok(read_wstr(space, ptr, privilege)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Protection;
+
+    const U: PrivilegeLevel = PrivilegeLevel::User;
+
+    fn space_with(s: &str) -> (AddressSpace, SimPtr) {
+        let mut space = AddressSpace::new();
+        let p = space
+            .map(s.len() as u64 + 1, Protection::READ_WRITE, "str")
+            .unwrap();
+        write_cstr(&mut space, p, s, U).unwrap();
+        (space, p)
+    }
+
+    #[test]
+    fn roundtrip_narrow() {
+        let (space, p) = space_with("ballista");
+        assert_eq!(read_cstr(&space, p, U).unwrap(), b"ballista");
+        assert_eq!(strlen(&space, p, U).unwrap(), 8);
+    }
+
+    #[test]
+    fn empty_string() {
+        let (space, p) = space_with("");
+        assert_eq!(read_cstr(&space, p, U).unwrap(), b"");
+        assert_eq!(strlen(&space, p, U).unwrap(), 0);
+    }
+
+    #[test]
+    fn unterminated_string_faults_at_region_end() {
+        let mut space = AddressSpace::new();
+        let p = space.map(4, Protection::READ_WRITE, "raw").unwrap();
+        space.write_bytes(p, b"abcd").unwrap(); // no terminator fits
+        // The byte-wise scan steps one past the region end and hits the
+        // unmapped guard gap.
+        let err = read_cstr(&space, p, U).unwrap_err();
+        assert_eq!(err.addr(), Some(p.addr() + 4));
+        assert!(err.is_access_violation());
+    }
+
+    #[test]
+    fn null_string_faults() {
+        let space = AddressSpace::new();
+        assert!(read_cstr(&space, SimPtr::NULL, U).is_err());
+        assert!(strlen(&space, SimPtr::NULL, U).is_err());
+    }
+
+    #[test]
+    fn write_into_too_small_buffer_faults() {
+        let mut space = AddressSpace::new();
+        let p = space.map(3, Protection::READ_WRITE, "tiny").unwrap();
+        // "abc" + NUL needs 4 bytes.
+        assert!(write_cstr(&mut space, p, "abc", U).is_err());
+        assert!(write_cstr(&mut space, p, "ab", U).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_wide() {
+        let mut space = AddressSpace::new();
+        let p = space.map(32, Protection::READ_WRITE, "wstr").unwrap();
+        write_wstr(&mut space, p, "wide", U).unwrap();
+        let units = read_wstr(&space, p, U).unwrap();
+        assert_eq!(String::from_utf16(&units).unwrap(), "wide");
+        assert_eq!(wcslen(&space, p, U).unwrap(), 4);
+    }
+
+    #[test]
+    fn wide_scan_on_odd_pointer_faults_on_strict_target() {
+        let mut space = AddressSpace::with_strict_alignment();
+        let p = space.map(16, Protection::READ_WRITE, "wstr").unwrap();
+        write_wstr(&mut space, p, "x", U).unwrap();
+        let err = read_wstr(&space, p.offset(1), U).unwrap_err();
+        assert!(matches!(err, Fault::Misalignment { .. }));
+    }
+
+    #[test]
+    fn narrow_string_via_kernel_privilege_reads_kernel_half() {
+        let mut space = AddressSpace::new();
+        let k = space.map_kernel(8, Protection::READ_WRITE, "kstr").unwrap();
+        write_cstr(&mut space, k, "krn", PrivilegeLevel::Kernel).unwrap();
+        // User scan faults; kernel scan succeeds.
+        assert!(read_cstr(&space, k, U).is_err());
+        assert_eq!(
+            read_cstr(&space, k, PrivilegeLevel::Kernel).unwrap(),
+            b"krn"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Hardware-level faults raised by the simulated machine.
+//!
+//! A [`Fault`] is the simulator's analog of a CPU exception: the price of
+//! touching memory you do not own. What a fault *means* depends on who was
+//! executing when it happened — the layers above translate user-mode faults
+//! into POSIX signals (`SIGSEGV`, `SIGBUS`) or Win32 structured exceptions
+//! (`EXCEPTION_ACCESS_VIOLATION`, …), and unhandled kernel-mode faults into a
+//! whole-system crash (the paper's *Catastrophic* outcome).
+
+use crate::addr::PrivilegeLevel;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Direction of the memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An instruction fetch (jumping through a bad function pointer).
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+            AccessKind::Execute => f.write_str("execute"),
+        }
+    }
+}
+
+/// Why an address was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationCause {
+    /// The address has never been mapped.
+    Unmapped,
+    /// The address was mapped once but has been freed (a dangling pointer).
+    Dangling,
+    /// The region is mapped but its protection forbids this access kind.
+    Protection,
+    /// A user-mode access touched a kernel-half address.
+    KernelAddress,
+    /// The address does not fit in the simulated address space at all.
+    NonCanonical,
+}
+
+impl fmt::Display for ViolationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationCause::Unmapped => "unmapped address",
+            ViolationCause::Dangling => "freed (dangling) region",
+            ViolationCause::Protection => "protection violation",
+            ViolationCause::KernelAddress => "user access to kernel address",
+            ViolationCause::NonCanonical => "non-canonical address",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A simulated CPU exception.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::fault::{Fault, AccessKind, ViolationCause};
+/// use sim_core::addr::PrivilegeLevel;
+///
+/// let f = Fault::AccessViolation {
+///     addr: 0,
+///     access: AccessKind::Write,
+///     cause: ViolationCause::Unmapped,
+///     privilege: PrivilegeLevel::User,
+/// };
+/// assert!(f.is_access_violation());
+/// assert!(!f.in_kernel_mode());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fault {
+    /// Memory access to an address the executing code may not touch.
+    AccessViolation {
+        /// The faulting address.
+        addr: u64,
+        /// Load, store or fetch.
+        access: AccessKind,
+        /// Why the address was refused.
+        cause: ViolationCause,
+        /// Who was executing.
+        privilege: PrivilegeLevel,
+    },
+    /// Misaligned access on a strict-alignment target (the Windows CE
+    /// device; x86 targets never raise this).
+    Misalignment {
+        /// The faulting address.
+        addr: u64,
+        /// Alignment the access required.
+        required: u32,
+        /// Who was executing.
+        privilege: PrivilegeLevel,
+    },
+    /// The simulated task ran out of stack (deep recursion driven by a
+    /// hostile argument).
+    StackOverflow,
+    /// Integer division by zero.
+    DivideByZero,
+    /// A guard page was hit (one past a heap allocation).
+    GuardPage {
+        /// The faulting address.
+        addr: u64,
+    },
+}
+
+impl Fault {
+    /// Whether this is an access violation of any cause.
+    #[must_use]
+    pub fn is_access_violation(&self) -> bool {
+        matches!(self, Fault::AccessViolation { .. })
+    }
+
+    /// Whether the fault was raised while executing in kernel mode.
+    ///
+    /// Unhandled kernel-mode faults crash the whole simulated system; the
+    /// user-mode equivalents merely kill the task.
+    #[must_use]
+    pub fn in_kernel_mode(&self) -> bool {
+        matches!(
+            self,
+            Fault::AccessViolation {
+                privilege: PrivilegeLevel::Kernel,
+                ..
+            } | Fault::Misalignment {
+                privilege: PrivilegeLevel::Kernel,
+                ..
+            }
+        )
+    }
+
+    /// The faulting address, when the fault has one.
+    #[must_use]
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Fault::AccessViolation { addr, .. }
+            | Fault::Misalignment { addr, .. }
+            | Fault::GuardPage { addr } => Some(*addr),
+            Fault::StackOverflow | Fault::DivideByZero => None,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::AccessViolation {
+                addr,
+                access,
+                cause,
+                privilege,
+            } => write!(
+                f,
+                "access violation: {privilege}-mode {access} at 0x{addr:08x} ({cause})"
+            ),
+            Fault::Misalignment {
+                addr,
+                required,
+                privilege,
+            } => write!(
+                f,
+                "datatype misalignment: {privilege}-mode access at 0x{addr:08x} requires {required}-byte alignment"
+            ),
+            Fault::StackOverflow => f.write_str("stack overflow"),
+            Fault::DivideByZero => f.write_str("integer divide by zero"),
+            Fault::GuardPage { addr } => write!(f, "guard page hit at 0x{addr:08x}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn av(privilege: PrivilegeLevel) -> Fault {
+        Fault::AccessViolation {
+            addr: 0x10,
+            access: AccessKind::Read,
+            cause: ViolationCause::Unmapped,
+            privilege,
+        }
+    }
+
+    #[test]
+    fn kernel_mode_detection() {
+        assert!(!av(PrivilegeLevel::User).in_kernel_mode());
+        assert!(av(PrivilegeLevel::Kernel).in_kernel_mode());
+        assert!(!Fault::StackOverflow.in_kernel_mode());
+        assert!(Fault::Misalignment {
+            addr: 1,
+            required: 4,
+            privilege: PrivilegeLevel::Kernel
+        }
+        .in_kernel_mode());
+    }
+
+    #[test]
+    fn addr_extraction() {
+        assert_eq!(av(PrivilegeLevel::User).addr(), Some(0x10));
+        assert_eq!(Fault::StackOverflow.addr(), None);
+        assert_eq!(Fault::GuardPage { addr: 0x99 }.addr(), Some(0x99));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = av(PrivilegeLevel::User).to_string();
+        assert!(msg.contains("access violation"));
+        assert!(msg.contains("0x00000010"));
+        assert!(msg.contains("unmapped"));
+        assert!(Fault::DivideByZero.to_string().contains("divide"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(Fault::StackOverflow);
+        assert_eq!(e.to_string(), "stack overflow");
+    }
+}

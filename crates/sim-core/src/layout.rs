@@ -1,0 +1,264 @@
+//! Cursor-style codecs for C `struct`s living in simulated memory.
+//!
+//! The Win32 API traffics in pointer-to-struct parameters (`SYSTEMTIME*`,
+//! `FILETIME*`, `CONTEXT*`, `SECURITY_ATTRIBUTES*`, …). Simulated API code
+//! must read and write those structs *field by field through the checked
+//! address space*, because the interesting robustness behaviour is exactly
+//! what happens when the pointer is bad: on which field access the fault
+//! occurs, and in whose privilege level.
+//!
+//! [`StructReader`] and [`StructWriter`] are sequential cursors that advance
+//! through a struct layout, faulting at the first inaccessible field —
+//! mirroring the order in which compiled C code would touch memory.
+
+use crate::addr::{PrivilegeLevel, SimPtr};
+use crate::fault::Fault;
+use crate::memory::AddressSpace;
+
+/// Sequential field reader over a struct at a simulated address.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{AddressSpace, Protection, SimPtr};
+/// use sim_core::layout::{StructReader, StructWriter};
+/// use sim_core::addr::PrivilegeLevel;
+///
+/// let mut space = AddressSpace::new();
+/// let p = space.map(8, Protection::READ_WRITE, "FILETIME").unwrap();
+///
+/// let mut w = StructWriter::new(p, PrivilegeLevel::User);
+/// w.put_u32(&mut space, 0x1111_2222).unwrap();
+/// w.put_u32(&mut space, 0x3333_4444).unwrap();
+///
+/// let mut r = StructReader::new(p, PrivilegeLevel::User);
+/// assert_eq!(r.get_u32(&space).unwrap(), 0x1111_2222);
+/// assert_eq!(r.get_u32(&space).unwrap(), 0x3333_4444);
+/// assert_eq!(r.bytes_consumed(), 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StructReader {
+    cursor: SimPtr,
+    start: SimPtr,
+    privilege: PrivilegeLevel,
+}
+
+impl StructReader {
+    /// Starts reading a struct at `base` with the given privilege.
+    #[must_use]
+    pub fn new(base: SimPtr, privilege: PrivilegeLevel) -> Self {
+        StructReader {
+            cursor: base,
+            start: base,
+            privilege,
+        }
+    }
+
+    /// Bytes consumed so far.
+    #[must_use]
+    pub fn bytes_consumed(&self) -> u64 {
+        self.cursor.addr().wrapping_sub(self.start.addr())
+    }
+
+    /// Skips `n` padding bytes.
+    pub fn skip(&mut self, n: u64) {
+        self.cursor = self.cursor.offset(n);
+    }
+
+    /// Reads the next `u16` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn get_u16(&mut self, space: &AddressSpace) -> Result<u16, Fault> {
+        let v = space.read_u16_priv(self.cursor, self.privilege)?;
+        self.cursor = self.cursor.offset(2);
+        Ok(v)
+    }
+
+    /// Reads the next `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn get_u32(&mut self, space: &AddressSpace) -> Result<u32, Fault> {
+        let v = space.read_u32_priv(self.cursor, self.privilege)?;
+        self.cursor = self.cursor.offset(4);
+        Ok(v)
+    }
+
+    /// Reads the next `i32` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn get_i32(&mut self, space: &AddressSpace) -> Result<i32, Fault> {
+        let v = space.read_i32_priv(self.cursor, self.privilege)?;
+        self.cursor = self.cursor.offset(4);
+        Ok(v)
+    }
+
+    /// Reads the next `u64` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn get_u64(&mut self, space: &AddressSpace) -> Result<u64, Fault> {
+        let v = space.read_u64_priv(self.cursor, self.privilege)?;
+        self.cursor = self.cursor.offset(8);
+        Ok(v)
+    }
+
+    /// Reads the next pointer-sized (32-bit) field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn get_ptr(&mut self, space: &AddressSpace) -> Result<SimPtr, Fault> {
+        Ok(SimPtr::new(u64::from(self.get_u32(space)?)))
+    }
+}
+
+/// Sequential field writer over a struct at a simulated address.
+///
+/// See [`StructReader`] for an example.
+#[derive(Debug, Clone, Copy)]
+pub struct StructWriter {
+    cursor: SimPtr,
+    start: SimPtr,
+    privilege: PrivilegeLevel,
+}
+
+impl StructWriter {
+    /// Starts writing a struct at `base` with the given privilege.
+    #[must_use]
+    pub fn new(base: SimPtr, privilege: PrivilegeLevel) -> Self {
+        StructWriter {
+            cursor: base,
+            start: base,
+            privilege,
+        }
+    }
+
+    /// Bytes produced so far.
+    #[must_use]
+    pub fn bytes_produced(&self) -> u64 {
+        self.cursor.addr().wrapping_sub(self.start.addr())
+    }
+
+    /// Skips `n` padding bytes (leaves them untouched).
+    pub fn skip(&mut self, n: u64) {
+        self.cursor = self.cursor.offset(n);
+    }
+
+    /// Writes the next `u16` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn put_u16(&mut self, space: &mut AddressSpace, v: u16) -> Result<(), Fault> {
+        space.write_u16_priv(self.cursor, v, self.privilege)?;
+        self.cursor = self.cursor.offset(2);
+        Ok(())
+    }
+
+    /// Writes the next `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn put_u32(&mut self, space: &mut AddressSpace, v: u32) -> Result<(), Fault> {
+        space.write_u32_priv(self.cursor, v, self.privilege)?;
+        self.cursor = self.cursor.offset(4);
+        Ok(())
+    }
+
+    /// Writes the next `i32` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn put_i32(&mut self, space: &mut AddressSpace, v: i32) -> Result<(), Fault> {
+        space.write_i32_priv(self.cursor, v, self.privilege)?;
+        self.cursor = self.cursor.offset(4);
+        Ok(())
+    }
+
+    /// Writes the next `u64` field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn put_u64(&mut self, space: &mut AddressSpace, v: u64) -> Result<(), Fault> {
+        space.write_u64_priv(self.cursor, v, self.privilege)?;
+        self.cursor = self.cursor.offset(8);
+        Ok(())
+    }
+
+    /// Writes the next pointer-sized (32-bit) field.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from the underlying access.
+    pub fn put_ptr(&mut self, space: &mut AddressSpace, v: SimPtr) -> Result<(), Fault> {
+        self.put_u32(space, v.addr() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Protection;
+
+    #[test]
+    fn reader_faults_at_first_bad_field() {
+        let mut space = AddressSpace::new();
+        // Only 6 bytes: the second u32 runs into the guard gap.
+        let p = space.map(6, Protection::READ_WRITE, "partial").unwrap();
+        let mut r = StructReader::new(p, PrivilegeLevel::User);
+        assert!(r.get_u32(&space).is_ok());
+        assert!(r.get_u32(&space).is_err());
+        assert_eq!(r.bytes_consumed(), 4);
+    }
+
+    #[test]
+    fn writer_kernel_privilege_faults_user_visible() {
+        let mut space = AddressSpace::new();
+        // A kernel-mode writer hitting an unmapped user address produces a
+        // kernel-mode fault — the seed of a Catastrophic outcome.
+        let mut w = StructWriter::new(SimPtr::new(0x100), PrivilegeLevel::Kernel);
+        let err = w.put_u32(&mut space, 7).unwrap_err();
+        assert!(err.in_kernel_mode());
+    }
+
+    #[test]
+    fn skip_advances_cursor() {
+        let mut space = AddressSpace::new();
+        let p = space.map(16, Protection::READ_WRITE, "padded").unwrap();
+        let mut w = StructWriter::new(p, PrivilegeLevel::User);
+        w.put_u16(&mut space, 1).unwrap();
+        w.skip(2);
+        w.put_u32(&mut space, 2).unwrap();
+        assert_eq!(w.bytes_produced(), 8);
+
+        let mut r = StructReader::new(p, PrivilegeLevel::User);
+        assert_eq!(r.get_u16(&space).unwrap(), 1);
+        r.skip(2);
+        assert_eq!(r.get_u32(&space).unwrap(), 2);
+    }
+
+    #[test]
+    fn mixed_field_roundtrip() {
+        let mut space = AddressSpace::new();
+        let p = space.map(32, Protection::READ_WRITE, "mixed").unwrap();
+        let mut w = StructWriter::new(p, PrivilegeLevel::User);
+        w.put_i32(&mut space, -5).unwrap();
+        w.put_u64(&mut space, 0xAABB_CCDD_EEFF_0011).unwrap();
+        w.put_ptr(&mut space, SimPtr::new(0xFEED)).unwrap();
+
+        let mut r = StructReader::new(p, PrivilegeLevel::User);
+        assert_eq!(r.get_i32(&space).unwrap(), -5);
+        assert_eq!(r.get_u64(&space).unwrap(), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(r.get_ptr(&space).unwrap(), SimPtr::new(0xFEED));
+    }
+}

@@ -1,0 +1,55 @@
+//! # sim-core — simulated machine substrate
+//!
+//! This crate provides the lowest layer of the Ballista/Win32 reproduction: a
+//! deterministic, fully checked **simulated address space** on which the
+//! simulated kernel (`sim-kernel`), C libraries and API personalities are
+//! built.
+//!
+//! The real Ballista experiment fed wild pointers, bogus handles and
+//! out-of-range integers into live operating systems and watched what the OS
+//! did. Our substitute needs exactly one property to make that measurement
+//! meaningful: *memory access through an invalid pointer must be detected and
+//! reported the same way real hardware would report it* — as an access
+//! violation, misalignment or stack-overflow fault, at the precise point of
+//! the access, distinguishing user-mode from kernel-mode accesses (a
+//! kernel-mode wild write is how Windows 9x dies; a user-mode one is how a
+//! task aborts).
+//!
+//! # Layers
+//!
+//! * [`addr`] — the [`SimPtr`] pointer newtype and the
+//!   user/kernel address split.
+//! * [`fault`] — hardware-level [`Fault`]s.
+//! * [`memory`] — the [`AddressSpace`]: region table,
+//!   page protections, checked typed access, dangling-region tracking.
+//! * [`cstr`] — checked narrow (`char*`) and wide (`wchar_t*`) string access.
+//! * [`layout`] — codecs for reading and writing C `struct`s field-wise.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::memory::{AddressSpace, Protection};
+//! use sim_core::addr::SimPtr;
+//! use sim_core::fault::Fault;
+//!
+//! let mut space = AddressSpace::new();
+//! let buf = space.map(16, Protection::READ_WRITE, "example").unwrap();
+//! space.write_u32(buf, 0xdead_beef).unwrap();
+//! assert_eq!(space.read_u32(buf).unwrap(), 0xdead_beef);
+//!
+//! // Dereferencing NULL faults instead of corrupting anything.
+//! assert!(matches!(space.read_u32(SimPtr::NULL), Err(Fault::AccessViolation { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cstr;
+pub mod fault;
+pub mod layout;
+pub mod memory;
+
+pub use addr::SimPtr;
+pub use fault::{AccessKind, Fault};
+pub use memory::{AddressSpace, Protection, RegionState};

@@ -1,0 +1,853 @@
+//! The simulated address space: region table, protections, checked access.
+//!
+//! [`AddressSpace`] is the simulator's MMU plus physical memory. Every load
+//! and store made by simulated application code, C-library code or kernel
+//! code goes through it and is checked the way real hardware would check it:
+//!
+//! * unmapped addresses fault,
+//! * freed regions stay on the books so dangling pointers fault (and can be
+//!   diagnosed as such),
+//! * page protections are enforced,
+//! * user-mode accesses to the kernel half fault,
+//! * on strict-alignment targets (Windows CE's hardware in the paper),
+//!   misaligned typed accesses fault.
+//!
+//! Allocations are separated by unmapped guard gaps, so walking off the end
+//! of a buffer faults instead of silently reading a neighbour — matching the
+//! behaviour Ballista's buffer test values rely on.
+
+use crate::addr::{PrivilegeLevel, SimPtr, ADDR_MAX, KERNEL_BASE};
+use crate::fault::{AccessKind, Fault, ViolationCause};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Page-protection flags for a mapped region.
+///
+/// A tiny hand-rolled flag set (the `bitflags` crate is not among the
+/// approved dependencies). Supports the combinations the Win32 and POSIX
+/// memory APIs need.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::memory::Protection;
+///
+/// let p = Protection::READ_WRITE;
+/// assert!(p.can_read() && p.can_write() && !p.can_execute());
+/// assert_eq!(format!("{p}"), "rw-");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Protection(u8);
+
+impl Protection {
+    /// No access at all (`PAGE_NOACCESS` / `PROT_NONE`).
+    pub const NONE: Protection = Protection(0);
+    /// Read-only.
+    pub const READ: Protection = Protection(1);
+    /// Write-only is not a thing on real MMUs; write implies read here.
+    pub const READ_WRITE: Protection = Protection(1 | 2);
+    /// Read + execute.
+    pub const READ_EXECUTE: Protection = Protection(1 | 4);
+    /// Read + write + execute.
+    pub const READ_WRITE_EXECUTE: Protection = Protection(1 | 2 | 4);
+
+    /// Whether loads are permitted.
+    #[must_use]
+    pub const fn can_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether stores are permitted.
+    #[must_use]
+    pub const fn can_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Whether instruction fetches are permitted.
+    #[must_use]
+    pub const fn can_execute(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Whether `kind` is permitted under this protection.
+    #[must_use]
+    pub const fn permits(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.can_read(),
+            AccessKind::Write => self.can_write(),
+            AccessKind::Execute => self.can_execute(),
+        }
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_execute() { 'x' } else { '-' },
+        )
+    }
+}
+
+/// Lifecycle state of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionState {
+    /// Mapped and usable (subject to protection).
+    Allocated,
+    /// Unmapped; kept on the books so dangling pointers are diagnosable.
+    Freed,
+}
+
+/// One mapped (or historically mapped) region.
+#[derive(Debug, Clone)]
+struct Region {
+    base: u64,
+    len: u64,
+    prot: Protection,
+    state: RegionState,
+    tag: String,
+    bytes: Vec<u8>,
+}
+
+impl Region {
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+
+    fn contains_range(&self, addr: u64, len: u64) -> bool {
+        self.contains(addr) && len <= self.len - (addr - self.base)
+    }
+}
+
+/// Error returned when the simulated machine cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocError {
+    /// The user half of the address space is exhausted.
+    OutOfMemory,
+    /// An explicit placement collided with an existing region.
+    Collision {
+        /// Requested base address.
+        base: u64,
+    },
+    /// Zero-length or kernel-crossing request.
+    BadRequest,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("simulated address space exhausted"),
+            AllocError::Collision { base } => {
+                write!(f, "placement at 0x{base:08x} collides with an existing region")
+            }
+            AllocError::BadRequest => f.write_str("invalid allocation request"),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// Gap of unmapped addresses left between consecutive allocations so that
+/// buffer overruns fault.
+const GUARD_GAP: u64 = 0x1000;
+
+/// Base of the bump allocator for user allocations. Everything below this
+/// (including page zero) is permanently unmapped, so small-integer "pointers"
+/// always fault.
+const USER_ALLOC_BASE: u64 = 0x0001_0000;
+
+/// The simulated flat address space.
+///
+/// See the [module documentation](self) for the checking rules.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    regions: BTreeMap<u64, Region>,
+    next_user: u64,
+    next_kernel: u64,
+    strict_alignment: bool,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with x86-style (lenient) alignment.
+    #[must_use]
+    pub fn new() -> Self {
+        AddressSpace {
+            regions: BTreeMap::new(),
+            next_user: USER_ALLOC_BASE,
+            next_kernel: KERNEL_BASE + GUARD_GAP,
+            strict_alignment: false,
+        }
+    }
+
+    /// Creates an address space that faults on misaligned typed accesses,
+    /// modelling the StrongARM hardware of the paper's Windows CE device.
+    #[must_use]
+    pub fn with_strict_alignment() -> Self {
+        AddressSpace {
+            strict_alignment: true,
+            ..Self::new()
+        }
+    }
+
+    /// Whether this space enforces strict alignment.
+    #[must_use]
+    pub fn strict_alignment(&self) -> bool {
+        self.strict_alignment
+    }
+
+    /// Number of live (allocated) regions.
+    #[must_use]
+    pub fn live_regions(&self) -> usize {
+        self.regions
+            .values()
+            .filter(|r| r.state == RegionState::Allocated)
+            .count()
+    }
+
+    /// Total bytes currently mapped.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.regions
+            .values()
+            .filter(|r| r.state == RegionState::Allocated)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Maps a fresh region of `len` bytes in the user half and returns its
+    /// base address. Regions are zero-initialized and separated from their
+    /// neighbours by unmapped guard gaps.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadRequest`] for zero-length requests,
+    /// [`AllocError::OutOfMemory`] when the user half is exhausted.
+    pub fn map(&mut self, len: u64, prot: Protection, tag: &str) -> Result<SimPtr, AllocError> {
+        if len == 0 {
+            return Err(AllocError::BadRequest);
+        }
+        let base = self.next_user;
+        let end = base.checked_add(len).ok_or(AllocError::OutOfMemory)?;
+        if end >= KERNEL_BASE {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.next_user = (end + GUARD_GAP + 0xF) & !0xF;
+        self.insert_region(base, len, prot, tag);
+        Ok(SimPtr::new(base))
+    }
+
+    /// Maps a fresh region in the *kernel* half (for kernel data structures
+    /// and for Ballista's "kernel pointer" test values).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::map`].
+    pub fn map_kernel(
+        &mut self,
+        len: u64,
+        prot: Protection,
+        tag: &str,
+    ) -> Result<SimPtr, AllocError> {
+        if len == 0 {
+            return Err(AllocError::BadRequest);
+        }
+        let base = self.next_kernel;
+        let end = base.checked_add(len).ok_or(AllocError::OutOfMemory)?;
+        if end > ADDR_MAX {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.next_kernel = (end + GUARD_GAP + 0xF) & !0xF;
+        self.insert_region(base, len, prot, tag);
+        Ok(SimPtr::new(base))
+    }
+
+    /// Maps a region at an explicit base address (used by loaders and by
+    /// `mmap(addr, MAP_FIXED)`-style calls).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Collision`] if the range overlaps any region (live or
+    /// freed), [`AllocError::BadRequest`] for degenerate ranges.
+    pub fn map_at(
+        &mut self,
+        base: SimPtr,
+        len: u64,
+        prot: Protection,
+        tag: &str,
+    ) -> Result<(), AllocError> {
+        let base = base.addr();
+        if len == 0 || base.checked_add(len).is_none() || base + len > ADDR_MAX + 1 {
+            return Err(AllocError::BadRequest);
+        }
+        if self.range_overlaps(base, len) {
+            return Err(AllocError::Collision { base });
+        }
+        self.insert_region(base, len, prot, tag);
+        Ok(())
+    }
+
+    fn range_overlaps(&self, base: u64, len: u64) -> bool {
+        let end = base + len;
+        // Any region starting before `end` and ending after `base`.
+        self.regions
+            .range(..end)
+            .next_back()
+            .is_some_and(|(_, r)| r.base + r.len > base)
+    }
+
+    fn insert_region(&mut self, base: u64, len: u64, prot: Protection, tag: &str) {
+        self.regions.insert(
+            base,
+            Region {
+                base,
+                len,
+                prot,
+                state: RegionState::Allocated,
+                tag: tag.to_owned(),
+                bytes: vec![0; len as usize],
+            },
+        );
+    }
+
+    /// Unmaps the region whose *base* is `ptr`. The region is remembered as
+    /// freed so later dereferences report a dangling pointer.
+    ///
+    /// # Errors
+    ///
+    /// A user-mode read access violation if `ptr` is not the base of a live
+    /// region (mirroring how `free`/`VirtualFree` misuse surfaces).
+    pub fn unmap(&mut self, ptr: SimPtr) -> Result<(), Fault> {
+        match self.regions.get_mut(&ptr.addr()) {
+            Some(r) if r.state == RegionState::Allocated => {
+                r.state = RegionState::Freed;
+                r.bytes = Vec::new();
+                Ok(())
+            }
+            Some(_) | None => Err(Fault::AccessViolation {
+                addr: ptr.addr(),
+                access: AccessKind::Read,
+                cause: ViolationCause::Unmapped,
+                privilege: PrivilegeLevel::User,
+            }),
+        }
+    }
+
+    /// Changes the protection of the live region whose base is `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// An access-violation fault if there is no live region based at `ptr`.
+    pub fn protect(&mut self, ptr: SimPtr, prot: Protection) -> Result<(), Fault> {
+        match self.regions.get_mut(&ptr.addr()) {
+            Some(r) if r.state == RegionState::Allocated => {
+                r.prot = prot;
+                Ok(())
+            }
+            _ => Err(Fault::AccessViolation {
+                addr: ptr.addr(),
+                access: AccessKind::Read,
+                cause: ViolationCause::Unmapped,
+                privilege: PrivilegeLevel::User,
+            }),
+        }
+    }
+
+    /// Looks up the live region containing `ptr`, returning `(base, len,
+    /// prot, tag)`. Freed regions are not returned.
+    #[must_use]
+    pub fn region_containing(&self, ptr: SimPtr) -> Option<(SimPtr, u64, Protection, &str)> {
+        let (_, r) = self.regions.range(..=ptr.addr()).next_back()?;
+        if r.state == RegionState::Allocated && r.contains(ptr.addr()) {
+            Some((SimPtr::new(r.base), r.len, r.prot, r.tag.as_str()))
+        } else {
+            None
+        }
+    }
+
+    /// Central access check: validates that `[ptr, ptr+len)` may be accessed
+    /// as `kind` at `privilege`, with `align`-byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// The precise [`Fault`] real hardware would raise, without performing
+    /// any access.
+    pub fn check_access(
+        &self,
+        ptr: SimPtr,
+        len: u64,
+        align: u32,
+        kind: AccessKind,
+        privilege: PrivilegeLevel,
+    ) -> Result<(), Fault> {
+        let addr = ptr.addr();
+        let violation = |cause| Fault::AccessViolation {
+            addr,
+            access: kind,
+            cause,
+            privilege,
+        };
+        if ptr.is_non_canonical() {
+            return Err(violation(ViolationCause::NonCanonical));
+        }
+        if privilege == PrivilegeLevel::User && ptr.is_kernel() {
+            return Err(violation(ViolationCause::KernelAddress));
+        }
+        if self.strict_alignment && align > 1 && !ptr.is_aligned(u64::from(align)) {
+            return Err(Fault::Misalignment {
+                addr,
+                required: align,
+                privilege,
+            });
+        }
+        let Some((_, region)) = self.regions.range(..=addr).next_back() else {
+            return Err(violation(ViolationCause::Unmapped));
+        };
+        if !region.contains(addr) {
+            return Err(violation(ViolationCause::Unmapped));
+        }
+        if region.state == RegionState::Freed {
+            return Err(violation(ViolationCause::Dangling));
+        }
+        if !region.contains_range(addr, len) {
+            // Running off the end of a region into the guard gap.
+            return Err(Fault::GuardPage {
+                addr: region.base + region.len,
+            });
+        }
+        if !region.prot.permits(kind) {
+            return Err(violation(ViolationCause::Protection));
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `ptr` with full checking.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn read_bytes_at(
+        &self,
+        ptr: SimPtr,
+        len: u64,
+        privilege: PrivilegeLevel,
+    ) -> Result<Vec<u8>, Fault> {
+        self.check_access(ptr, len, 1, AccessKind::Read, privilege)?;
+        let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        Ok(r.bytes[off..off + len as usize].to_vec())
+    }
+
+    /// Writes `bytes` at `ptr` with full checking.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn write_bytes_at(
+        &mut self,
+        ptr: SimPtr,
+        bytes: &[u8],
+        privilege: PrivilegeLevel,
+    ) -> Result<(), Fault> {
+        self.check_access(ptr, bytes.len() as u64, 1, AccessKind::Write, privilege)?;
+        let (_, r) = self
+            .regions
+            .range_mut(..=ptr.addr())
+            .next_back()
+            .expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `ptr` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn fill(
+        &mut self,
+        ptr: SimPtr,
+        value: u8,
+        len: u64,
+        privilege: PrivilegeLevel,
+    ) -> Result<(), Fault> {
+        self.write_bytes_at(ptr, &vec![value; len as usize], privilege)
+    }
+
+    fn read_scalar<const N: usize>(
+        &self,
+        ptr: SimPtr,
+        privilege: PrivilegeLevel,
+    ) -> Result<[u8; N], Fault> {
+        self.check_access(ptr, N as u64, N as u32, AccessKind::Read, privilege)?;
+        let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&r.bytes[off..off + N]);
+        Ok(out)
+    }
+
+    fn write_scalar<const N: usize>(
+        &mut self,
+        ptr: SimPtr,
+        bytes: [u8; N],
+        privilege: PrivilegeLevel,
+    ) -> Result<(), Fault> {
+        self.check_access(ptr, N as u64, N as u32, AccessKind::Write, privilege)?;
+        let (_, r) = self
+            .regions
+            .range_mut(..=ptr.addr())
+            .next_back()
+            .expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        r.bytes[off..off + N].copy_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+/// Generates user-mode typed accessors plus `_priv` variants taking an
+/// explicit privilege level.
+macro_rules! typed_access {
+    ($read:ident, $read_priv:ident, $write:ident, $write_priv:ident, $ty:ty, $n:expr) => {
+        impl AddressSpace {
+            #[doc = concat!("Reads a little-endian `", stringify!($ty), "` at `ptr` as user-mode code.")]
+            ///
+            /// # Errors
+            ///
+            /// Any [`Fault`] from [`AddressSpace::check_access`].
+            pub fn $read(&self, ptr: SimPtr) -> Result<$ty, Fault> {
+                self.$read_priv(ptr, PrivilegeLevel::User)
+            }
+
+            #[doc = concat!("Reads a little-endian `", stringify!($ty), "` at `ptr` at the given privilege.")]
+            ///
+            /// # Errors
+            ///
+            /// Any [`Fault`] from [`AddressSpace::check_access`].
+            pub fn $read_priv(&self, ptr: SimPtr, privilege: PrivilegeLevel) -> Result<$ty, Fault> {
+                Ok(<$ty>::from_le_bytes(self.read_scalar::<$n>(ptr, privilege)?))
+            }
+
+            #[doc = concat!("Writes a little-endian `", stringify!($ty), "` at `ptr` as user-mode code.")]
+            ///
+            /// # Errors
+            ///
+            /// Any [`Fault`] from [`AddressSpace::check_access`].
+            pub fn $write(&mut self, ptr: SimPtr, value: $ty) -> Result<(), Fault> {
+                self.$write_priv(ptr, value, PrivilegeLevel::User)
+            }
+
+            #[doc = concat!("Writes a little-endian `", stringify!($ty), "` at `ptr` at the given privilege.")]
+            ///
+            /// # Errors
+            ///
+            /// Any [`Fault`] from [`AddressSpace::check_access`].
+            pub fn $write_priv(
+                &mut self,
+                ptr: SimPtr,
+                value: $ty,
+                privilege: PrivilegeLevel,
+            ) -> Result<(), Fault> {
+                self.write_scalar::<$n>(ptr, value.to_le_bytes(), privilege)
+            }
+        }
+    };
+}
+
+typed_access!(read_u8, read_u8_priv, write_u8, write_u8_priv, u8, 1);
+typed_access!(read_u16, read_u16_priv, write_u16, write_u16_priv, u16, 2);
+typed_access!(read_u32, read_u32_priv, write_u32, write_u32_priv, u32, 4);
+typed_access!(read_u64, read_u64_priv, write_u64, write_u64_priv, u64, 8);
+typed_access!(read_i8, read_i8_priv, write_i8, write_i8_priv, i8, 1);
+typed_access!(read_i16, read_i16_priv, write_i16, write_i16_priv, i16, 2);
+typed_access!(read_i32, read_i32_priv, write_i32, write_i32_priv, i32, 4);
+typed_access!(read_i64, read_i64_priv, write_i64, write_i64_priv, i64, 8);
+typed_access!(read_f64, read_f64_priv, write_f64, write_f64_priv, f64, 8);
+
+impl AddressSpace {
+    /// Reads a 32-bit pointer-sized value (the simulated machine is ILP32).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn read_ptr(&self, ptr: SimPtr) -> Result<SimPtr, Fault> {
+        Ok(SimPtr::new(u64::from(self.read_u32(ptr)?)))
+    }
+
+    /// Writes a 32-bit pointer-sized value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn write_ptr(&mut self, ptr: SimPtr, value: SimPtr) -> Result<(), Fault> {
+        self.write_u32(ptr, value.addr() as u32)
+    }
+
+    /// Convenience: user-mode read of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn read_bytes(&self, ptr: SimPtr, len: u64) -> Result<Vec<u8>, Fault> {
+        self.read_bytes_at(ptr, len, PrivilegeLevel::User)
+    }
+
+    /// Convenience: user-mode write of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`].
+    pub fn write_bytes(&mut self, ptr: SimPtr, bytes: &[u8]) -> Result<(), Fault> {
+        self.write_bytes_at(ptr, bytes, PrivilegeLevel::User)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut space = AddressSpace::new();
+        let p = space.map(64, Protection::READ_WRITE, "buf").unwrap();
+        space.write_bytes(p, b"hello").unwrap();
+        assert_eq!(space.read_bytes(p, 5).unwrap(), b"hello");
+        assert_eq!(space.read_u8(p.offset(1)).unwrap(), b'e');
+    }
+
+    #[test]
+    fn null_deref_faults() {
+        let space = AddressSpace::new();
+        let err = space.read_u32(SimPtr::NULL).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::AccessViolation {
+                cause: ViolationCause::Unmapped,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn near_null_faults() {
+        // Page zero is never mapped: offset-from-NULL pointers fault too.
+        let space = AddressSpace::new();
+        assert!(space.read_u8(SimPtr::new(0x10)).is_err());
+        assert!(space.read_u8(SimPtr::new(0xFFFF)).is_err());
+    }
+
+    #[test]
+    fn user_access_to_kernel_faults() {
+        let mut space = AddressSpace::new();
+        let k = space.map_kernel(32, Protection::READ_WRITE, "kdata").unwrap();
+        let err = space.read_u8(k).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::AccessViolation {
+                cause: ViolationCause::KernelAddress,
+                ..
+            }
+        ));
+        // Kernel-mode access succeeds.
+        assert!(space.read_u8_priv(k, PrivilegeLevel::Kernel).is_ok());
+    }
+
+    #[test]
+    fn kernel_access_to_unmapped_faults_in_kernel_mode() {
+        let space = AddressSpace::new();
+        let err = space
+            .read_u32_priv(SimPtr::new(KERNEL_BASE + 0x100), PrivilegeLevel::Kernel)
+            .unwrap_err();
+        assert!(err.in_kernel_mode());
+    }
+
+    #[test]
+    fn dangling_pointer_faults_as_dangling() {
+        let mut space = AddressSpace::new();
+        let p = space.map(16, Protection::READ_WRITE, "short-lived").unwrap();
+        space.unmap(p).unwrap();
+        let err = space.read_u8(p).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::AccessViolation {
+                cause: ViolationCause::Dangling,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn double_free_faults() {
+        let mut space = AddressSpace::new();
+        let p = space.map(16, Protection::READ_WRITE, "x").unwrap();
+        space.unmap(p).unwrap();
+        assert!(space.unmap(p).is_err());
+        assert!(space.unmap(SimPtr::new(0x5555)).is_err());
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut space = AddressSpace::new();
+        let p = space.map(16, Protection::READ, "ro").unwrap();
+        assert!(space.read_u8(p).is_ok());
+        let err = space.write_u8(p, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::AccessViolation {
+                cause: ViolationCause::Protection,
+                access: AccessKind::Write,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn noaccess_region_faults_on_read() {
+        let mut space = AddressSpace::new();
+        let p = space.map(16, Protection::NONE, "guard").unwrap();
+        assert!(space.read_u8(p).is_err());
+        space.protect(p, Protection::READ).unwrap();
+        assert!(space.read_u8(p).is_ok());
+    }
+
+    #[test]
+    fn overrun_hits_guard_page() {
+        let mut space = AddressSpace::new();
+        let p = space.map(8, Protection::READ_WRITE, "small").unwrap();
+        let err = space.read_bytes(p, 9).unwrap_err();
+        assert!(matches!(err, Fault::GuardPage { .. }));
+        // One past the end is plain unmapped.
+        assert!(space.read_u8(p.offset(8)).is_err());
+    }
+
+    #[test]
+    fn allocations_are_separated() {
+        let mut space = AddressSpace::new();
+        let a = space.map(16, Protection::READ_WRITE, "a").unwrap();
+        let b = space.map(16, Protection::READ_WRITE, "b").unwrap();
+        assert!(b.addr() >= a.addr() + 16 + GUARD_GAP);
+    }
+
+    #[test]
+    fn strict_alignment_faults_misaligned_typed_access() {
+        let mut space = AddressSpace::with_strict_alignment();
+        let p = space.map(16, Protection::READ_WRITE, "buf").unwrap();
+        assert!(space.read_u32(p).is_ok());
+        let err = space.read_u32(p.offset(1)).unwrap_err();
+        assert!(matches!(err, Fault::Misalignment { required: 4, .. }));
+        // Byte access is always fine.
+        assert!(space.read_u8(p.offset(1)).is_ok());
+        // Lenient (x86) space does not fault.
+        let mut x86 = AddressSpace::new();
+        let q = x86.map(16, Protection::READ_WRITE, "buf").unwrap();
+        assert!(x86.read_u32(q.offset(1)).is_ok());
+    }
+
+    #[test]
+    fn non_canonical_pointer_faults() {
+        let space = AddressSpace::new();
+        let err = space.read_u8(SimPtr::new(u64::MAX - 10)).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::AccessViolation {
+                cause: ViolationCause::NonCanonical,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn map_at_collision_detected() {
+        let mut space = AddressSpace::new();
+        space
+            .map_at(SimPtr::new(0x4000_0000), 0x100, Protection::READ_WRITE, "fixed")
+            .unwrap();
+        let err = space
+            .map_at(SimPtr::new(0x4000_0080), 0x100, Protection::READ, "overlap")
+            .unwrap_err();
+        assert!(matches!(err, AllocError::Collision { .. }));
+        // Adjacent is fine.
+        space
+            .map_at(SimPtr::new(0x4000_0100), 0x100, Protection::READ, "adjacent")
+            .unwrap();
+    }
+
+    #[test]
+    fn zero_length_map_rejected() {
+        let mut space = AddressSpace::new();
+        assert_eq!(
+            space.map(0, Protection::READ, "nil").unwrap_err(),
+            AllocError::BadRequest
+        );
+    }
+
+    #[test]
+    fn typed_values_roundtrip() {
+        let mut space = AddressSpace::new();
+        let p = space.map(64, Protection::READ_WRITE, "scalars").unwrap();
+        space.write_u16(p, 0xBEEF).unwrap();
+        assert_eq!(space.read_u16(p).unwrap(), 0xBEEF);
+        space.write_i32(p.offset(4), -7).unwrap();
+        assert_eq!(space.read_i32(p.offset(4)).unwrap(), -7);
+        space.write_u64(p.offset(8), u64::MAX).unwrap();
+        assert_eq!(space.read_u64(p.offset(8)).unwrap(), u64::MAX);
+        space.write_f64(p.offset(16), -0.5).unwrap();
+        assert_eq!(space.read_f64(p.offset(16)).unwrap(), -0.5);
+        space.write_ptr(p.offset(24), SimPtr::new(0x1234)).unwrap();
+        assert_eq!(space.read_ptr(p.offset(24)).unwrap(), SimPtr::new(0x1234));
+    }
+
+    #[test]
+    fn region_containing_reports_metadata() {
+        let mut space = AddressSpace::new();
+        let p = space.map(32, Protection::READ, "tagged").unwrap();
+        let (base, len, prot, tag) = space.region_containing(p.offset(5)).unwrap();
+        assert_eq!(base, p);
+        assert_eq!(len, 32);
+        assert_eq!(prot, Protection::READ);
+        assert_eq!(tag, "tagged");
+        assert!(space.region_containing(SimPtr::new(0x30)).is_none());
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut space = AddressSpace::new();
+        assert_eq!(space.live_regions(), 0);
+        let a = space.map(10, Protection::READ_WRITE, "a").unwrap();
+        let _b = space.map(20, Protection::READ_WRITE, "b").unwrap();
+        assert_eq!(space.live_regions(), 2);
+        assert_eq!(space.live_bytes(), 30);
+        space.unmap(a).unwrap();
+        assert_eq!(space.live_regions(), 1);
+        assert_eq!(space.live_bytes(), 20);
+    }
+
+    #[test]
+    fn protection_display_and_permits() {
+        assert_eq!(Protection::NONE.to_string(), "---");
+        assert_eq!(Protection::READ.to_string(), "r--");
+        assert_eq!(Protection::READ_WRITE.to_string(), "rw-");
+        assert_eq!(Protection::READ_WRITE_EXECUTE.to_string(), "rwx");
+        assert!(Protection::READ_EXECUTE.permits(AccessKind::Execute));
+        assert!(!Protection::READ.permits(AccessKind::Write));
+    }
+
+    #[test]
+    fn fill_fills() {
+        let mut space = AddressSpace::new();
+        let p = space.map(8, Protection::READ_WRITE, "f").unwrap();
+        space.fill(p, 0xAA, 8, PrivilegeLevel::User).unwrap();
+        assert_eq!(space.read_bytes(p, 8).unwrap(), vec![0xAA; 8]);
+    }
+}

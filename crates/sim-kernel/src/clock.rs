@@ -1,0 +1,361 @@
+//! Simulated time and the calendar math behind `FILETIME`, `SYSTEMTIME`
+//! and `time_t`.
+//!
+//! Time-conversion calls are one of the paper's Catastrophic findings
+//! (`FileTimeToSystemTime` crashes Windows 95 when handed hostile
+//! arguments), so the substrate implements the real conversions — proleptic
+//! Gregorian calendar math, not stubs — plus the validation boundaries
+//! between the three representations.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds between the `FILETIME` epoch (1601-01-01) and the Unix epoch
+/// (1970-01-01).
+pub const FILETIME_UNIX_DELTA_SECS: u64 = 11_644_473_600;
+
+/// `FILETIME` ticks (100 ns) per second.
+pub const TICKS_PER_SEC: u64 = 10_000_000;
+
+/// A `FILETIME`: 100-nanosecond intervals since 1601-01-01 00:00 UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct FileTime(pub u64);
+
+impl FileTime {
+    /// Builds from the `(dwLowDateTime, dwHighDateTime)` pair Win32 uses.
+    #[must_use]
+    pub fn from_parts(low: u32, high: u32) -> Self {
+        FileTime((u64::from(high) << 32) | u64::from(low))
+    }
+
+    /// The `(low, high)` pair.
+    #[must_use]
+    pub fn to_parts(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+
+    /// Conversion from Unix seconds.
+    #[must_use]
+    pub fn from_unix_secs(secs: u64) -> Self {
+        FileTime((secs + FILETIME_UNIX_DELTA_SECS) * TICKS_PER_SEC)
+    }
+
+    /// Conversion to Unix seconds; `None` for times before 1970.
+    #[must_use]
+    pub fn to_unix_secs(self) -> Option<u64> {
+        (self.0 / TICKS_PER_SEC).checked_sub(FILETIME_UNIX_DELTA_SECS)
+    }
+}
+
+/// A broken-down civil time (`SYSTEMTIME`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names mirror the Win32 struct
+pub struct SystemTime {
+    pub year: u16,
+    pub month: u16,
+    pub day_of_week: u16,
+    pub day: u16,
+    pub hour: u16,
+    pub minute: u16,
+    pub second: u16,
+    pub milliseconds: u16,
+}
+
+impl SystemTime {
+    /// Whether all fields are within their documented ranges (including
+    /// real month lengths and leap years). `day_of_week` is ignored on
+    /// input, as real `SystemTimeToFileTime` ignores it.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        if self.month < 1 || self.month > 12 {
+            return false;
+        }
+        if self.year < 1601 || self.year > 30827 {
+            return false;
+        }
+        let dim = days_in_month(i64::from(self.year), u32::from(self.month));
+        if self.day < 1 || u32::from(self.day) > dim {
+            return false;
+        }
+        self.hour < 24 && self.minute < 60 && self.second < 60 && self.milliseconds < 1000
+    }
+}
+
+/// Days in `month` of `year` (proleptic Gregorian).
+#[must_use]
+pub fn days_in_month(year: i64, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+#[must_use]
+pub fn is_leap_year(year: i64) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+#[must_use]
+pub fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((month + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+#[must_use]
+pub fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Converts a `FILETIME` to a `SYSTEMTIME`.
+///
+/// Returns `None` for tick values past the representable `SYSTEMTIME` range
+/// (year 30827), which is the error the robust implementations report.
+#[must_use]
+pub fn filetime_to_systemtime(ft: FileTime) -> Option<SystemTime> {
+    let total_ms = ft.0 / 10_000;
+    let ms = (total_ms % 1000) as u16;
+    let total_secs = total_ms / 1000;
+    let secs_of_day = total_secs % 86_400;
+    let days_since_1601 = (total_secs / 86_400) as i64;
+    // Days from 1601-01-01 to 1970-01-01:
+    let unix_day_offset = -days_from_civil(1601, 1, 1);
+    let days_since_unix = days_since_1601 - unix_day_offset;
+    let (year, month, day) = civil_from_days(days_since_unix);
+    if !(1601..=30_827).contains(&year) {
+        return None;
+    }
+    // 1601-01-01 was a Monday (dow 1 in SYSTEMTIME encoding Sun=0).
+    let dow = ((days_since_1601 % 7) + 1) % 7;
+    Some(SystemTime {
+        year: year as u16,
+        month: month as u16,
+        day_of_week: dow as u16,
+        day: day as u16,
+        hour: (secs_of_day / 3600) as u16,
+        minute: (secs_of_day % 3600 / 60) as u16,
+        second: (secs_of_day % 60) as u16,
+        milliseconds: ms,
+    })
+}
+
+/// Converts a `SYSTEMTIME` to a `FILETIME`, validating every field.
+#[must_use]
+pub fn systemtime_to_filetime(st: &SystemTime) -> Option<FileTime> {
+    if !st.is_valid() {
+        return None;
+    }
+    let days_since_unix = days_from_civil(i64::from(st.year), u32::from(st.month), u32::from(st.day));
+    let days_since_1601 = days_since_unix - days_from_civil(1601, 1, 1);
+    let secs = days_since_1601 as u64 * 86_400
+        + u64::from(st.hour) * 3600
+        + u64::from(st.minute) * 60
+        + u64::from(st.second);
+    Some(FileTime(secs * TICKS_PER_SEC + u64::from(st.milliseconds) * 10_000))
+}
+
+/// The simulated wall clock and monotonic tick counter.
+///
+/// Starts at a fixed, deterministic instant (2000-01-01 00:00 UTC — the
+/// year the paper was published) so campaigns are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    /// Milliseconds since simulated boot.
+    boot_ms: u64,
+    /// Unix seconds at simulated boot.
+    epoch_at_boot: u64,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock {
+    /// Unix timestamp of the deterministic boot instant (2000-01-01).
+    pub const BOOT_UNIX_SECS: u64 = 946_684_800;
+
+    /// A clock at the boot instant.
+    #[must_use]
+    pub fn new() -> Self {
+        Clock {
+            boot_ms: 0,
+            epoch_at_boot: Self::BOOT_UNIX_SECS,
+        }
+    }
+
+    /// Milliseconds since simulated boot (`GetTickCount`).
+    #[must_use]
+    pub fn tick_count_ms(&self) -> u64 {
+        self.boot_ms
+    }
+
+    /// Current Unix time in seconds (`time()`).
+    #[must_use]
+    pub fn unix_secs(&self) -> u64 {
+        self.epoch_at_boot + self.boot_ms / 1000
+    }
+
+    /// Current time as a `FILETIME` (`GetSystemTimeAsFileTime`).
+    #[must_use]
+    pub fn filetime(&self) -> FileTime {
+        FileTime::from_unix_secs(self.unix_secs())
+    }
+
+    /// Advances simulated time (the executor charges each call a tick so
+    /// timestamps move).
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.boot_ms += ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 1, 1), 10_957);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(10_957), (2000, 1, 1));
+        assert_eq!(civil_from_days(days_from_civil(1601, 1, 1)), (1601, 1, 1));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1999));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1999, 2), 28);
+        assert_eq!(days_in_month(2000, 4), 30);
+        assert_eq!(days_in_month(2000, 13), 0);
+    }
+
+    #[test]
+    fn filetime_unix_conversion() {
+        let ft = FileTime::from_unix_secs(0);
+        assert_eq!(ft.0, FILETIME_UNIX_DELTA_SECS * TICKS_PER_SEC);
+        assert_eq!(ft.to_unix_secs(), Some(0));
+        assert_eq!(FileTime(0).to_unix_secs(), None); // before 1970
+    }
+
+    #[test]
+    fn filetime_parts_roundtrip() {
+        let ft = FileTime(0x0123_4567_89AB_CDEF);
+        let (lo, hi) = ft.to_parts();
+        assert_eq!(FileTime::from_parts(lo, hi), ft);
+        assert_eq!(lo, 0x89AB_CDEF);
+        assert_eq!(hi, 0x0123_4567);
+    }
+
+    #[test]
+    fn filetime_to_systemtime_epoch() {
+        // The FILETIME epoch itself.
+        let st = filetime_to_systemtime(FileTime(0)).unwrap();
+        assert_eq!((st.year, st.month, st.day), (1601, 1, 1));
+        assert_eq!(st.day_of_week, 1); // Monday
+        assert_eq!((st.hour, st.minute, st.second, st.milliseconds), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn known_date_roundtrip() {
+        let st = SystemTime {
+            year: 2000,
+            month: 6,
+            day_of_week: 0,
+            day: 25, // DSN 2000 began June 25 — a Sunday
+            hour: 9,
+            minute: 30,
+            second: 15,
+            milliseconds: 250,
+        };
+        let ft = systemtime_to_filetime(&st).unwrap();
+        let back = filetime_to_systemtime(ft).unwrap();
+        assert_eq!((back.year, back.month, back.day), (2000, 6, 25));
+        assert_eq!(back.day_of_week, 0); // Sunday
+        assert_eq!(
+            (back.hour, back.minute, back.second, back.milliseconds),
+            (9, 30, 15, 250)
+        );
+    }
+
+    #[test]
+    fn invalid_systemtime_rejected() {
+        let mut st = SystemTime {
+            year: 2000,
+            month: 2,
+            day: 30, // February 30 does not exist
+            ..SystemTime::default()
+        };
+        assert!(systemtime_to_filetime(&st).is_none());
+        st.day = 29; // leap year: fine
+        assert!(systemtime_to_filetime(&st).is_some());
+        st.year = 1999;
+        assert!(systemtime_to_filetime(&st).is_none()); // not a leap year
+        st = SystemTime {
+            year: 2000,
+            month: 13,
+            day: 1,
+            ..SystemTime::default()
+        };
+        assert!(systemtime_to_filetime(&st).is_none());
+        st = SystemTime {
+            year: 1600,
+            month: 1,
+            day: 1,
+            ..SystemTime::default()
+        };
+        assert!(systemtime_to_filetime(&st).is_none()); // before FILETIME epoch
+        st = SystemTime {
+            year: 2000,
+            month: 1,
+            day: 1,
+            hour: 24,
+            ..SystemTime::default()
+        };
+        assert!(systemtime_to_filetime(&st).is_none());
+    }
+
+    #[test]
+    fn huge_filetime_out_of_range() {
+        assert!(filetime_to_systemtime(FileTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn clock_advances_deterministically() {
+        let mut c = Clock::new();
+        assert_eq!(c.unix_secs(), Clock::BOOT_UNIX_SECS);
+        let st = filetime_to_systemtime(c.filetime()).unwrap();
+        assert_eq!((st.year, st.month, st.day), (2000, 1, 1));
+        c.advance_ms(2_500);
+        assert_eq!(c.tick_count_ms(), 2_500);
+        assert_eq!(c.unix_secs(), Clock::BOOT_UNIX_SECS + 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! The kernel-panic latch: how *Catastrophic* failures are recorded.
+//!
+//! On real Windows 9x, a kernel-mode write through an unvalidated user
+//! pointer scribbles over kernel structures and the machine dies (or hangs,
+//! or triple-faults). The simulator can't lose control of the host, so the
+//! moment of no return is recorded instead: once [`CrashLatch::panic`] fires,
+//! the simulated system is dead — every later inspection sees the crash and
+//! the Ballista executor classifies the test case as **Catastrophic**.
+
+use serde::{Deserialize, Serialize};
+use sim_core::fault::Fault;
+use std::fmt;
+
+/// What killed the simulated system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashInfo {
+    /// The API call executing when the system died.
+    pub call: String,
+    /// Human-readable description of the death (e.g. the kernel fault).
+    pub reason: String,
+    /// The underlying machine fault, when the crash came from one.
+    pub fault: Option<Fault>,
+}
+
+impl fmt::Display for CrashInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "system crash in {}: {}", self.call, self.reason)
+    }
+}
+
+/// One-way latch recording whether the simulated system has crashed.
+///
+/// # Example
+///
+/// ```
+/// use sim_kernel::crash::CrashLatch;
+///
+/// let mut latch = CrashLatch::new();
+/// assert!(latch.is_alive());
+/// latch.panic("GetThreadContext", "kernel write through NULL context pointer", None);
+/// assert!(!latch.is_alive());
+/// assert!(latch.info().unwrap().reason.contains("NULL"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashLatch {
+    info: Option<CrashInfo>,
+}
+
+impl CrashLatch {
+    /// A latch in the "system running" state.
+    #[must_use]
+    pub fn new() -> Self {
+        CrashLatch::default()
+    }
+
+    /// Whether the simulated system is still running.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.info.is_none()
+    }
+
+    /// Kills the simulated system. The first crash wins; later panics on an
+    /// already-dead system are ignored (the machine can only die once).
+    pub fn panic(&mut self, call: &str, reason: &str, fault: Option<Fault>) {
+        if self.info.is_none() {
+            self.info = Some(CrashInfo {
+                call: call.to_owned(),
+                reason: reason.to_owned(),
+                fault,
+            });
+        }
+    }
+
+    /// Crash details, if the system has died.
+    #[must_use]
+    pub fn info(&self) -> Option<&CrashInfo> {
+        self.info.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::addr::PrivilegeLevel;
+    use sim_core::fault::{AccessKind, ViolationCause};
+
+    #[test]
+    fn fresh_latch_is_alive() {
+        assert!(CrashLatch::new().is_alive());
+        assert!(CrashLatch::default().info().is_none());
+    }
+
+    #[test]
+    fn panic_latches() {
+        let mut latch = CrashLatch::new();
+        latch.panic("HeapCreate", "unchecked size wrapped allocator", None);
+        assert!(!latch.is_alive());
+        assert_eq!(latch.info().unwrap().call, "HeapCreate");
+    }
+
+    #[test]
+    fn first_crash_wins() {
+        let mut latch = CrashLatch::new();
+        latch.panic("first", "a", None);
+        latch.panic("second", "b", None);
+        assert_eq!(latch.info().unwrap().call, "first");
+    }
+
+    #[test]
+    fn crash_with_fault_keeps_fault() {
+        let mut latch = CrashLatch::new();
+        let fault = Fault::AccessViolation {
+            addr: 0,
+            access: AccessKind::Write,
+            cause: ViolationCause::Unmapped,
+            privilege: PrivilegeLevel::Kernel,
+        };
+        latch.panic("GetThreadContext", "kernel fault", Some(fault));
+        assert_eq!(latch.info().unwrap().fault, Some(fault));
+        assert!(latch.info().unwrap().to_string().contains("GetThreadContext"));
+    }
+}

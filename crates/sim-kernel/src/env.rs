@@ -1,0 +1,219 @@
+//! The process environment block.
+//!
+//! Environment calls (`getenv`/`GetEnvironmentVariable`, …) form the paper's
+//! *Process Environment* grouping. The block is a plain name→value map with
+//! the validation quirks the APIs expose: empty names are invalid, setting a
+//! variable to an empty value deletes it on Win32, and names containing `=`
+//! are rejected.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from environment operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvError {
+    /// Variable not present.
+    NotFound,
+    /// Empty name, or name containing `=` or NUL.
+    InvalidName,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::NotFound => f.write_str("environment variable not found"),
+            EnvError::InvalidName => f.write_str("invalid environment variable name"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// The environment block.
+///
+/// # Example
+///
+/// ```
+/// use sim_kernel::env::Environment;
+///
+/// let mut env = Environment::with_defaults();
+/// env.set("ANSWER", "42").unwrap();
+/// assert_eq!(env.get("ANSWER").unwrap(), "42");
+/// assert!(env.get("PATH").is_ok()); // defaults are present
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Environment {
+    vars: BTreeMap<String, String>,
+}
+
+impl Environment {
+    /// An empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// An environment pre-populated with the variables the paper's test
+    /// programs could rely on.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let mut env = Environment::new();
+        for (k, v) in [
+            ("PATH", "/bin:/usr/bin"),
+            ("HOME", "/home/ballista"),
+            ("TEMP", "/tmp"),
+            ("TMP", "/tmp"),
+            ("USER", "ballista"),
+            ("COMPUTERNAME", "TESTBED"),
+            ("SYSTEMROOT", "C:\\WINDOWS"),
+        ] {
+            env.vars.insert(k.to_owned(), v.to_owned());
+        }
+        env
+    }
+
+    fn check_name(name: &str) -> Result<(), EnvError> {
+        if name.is_empty() || name.contains('=') || name.contains('\0') {
+            Err(EnvError::InvalidName)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a variable.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidName`] / [`EnvError::NotFound`].
+    pub fn get(&self, name: &str) -> Result<&str, EnvError> {
+        Self::check_name(name)?;
+        self.vars.get(name).map(String::as_str).ok_or(EnvError::NotFound)
+    }
+
+    /// Sets a variable.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidName`] for malformed names.
+    pub fn set(&mut self, name: &str, value: &str) -> Result<(), EnvError> {
+        Self::check_name(name)?;
+        self.vars.insert(name.to_owned(), value.to_owned());
+        Ok(())
+    }
+
+    /// Removes a variable (idempotent, as both `unsetenv` and the Win32
+    /// delete-by-NULL behave).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidName`] for malformed names.
+    pub fn unset(&mut self, name: &str) -> Result<(), EnvError> {
+        Self::check_name(name)?;
+        self.vars.remove(name);
+        Ok(())
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the block is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Expands `%NAME%` references in `input` (Win32
+    /// `ExpandEnvironmentStrings`). Unknown names are left verbatim,
+    /// including their percent signs, matching the real call.
+    #[must_use]
+    pub fn expand(&self, input: &str) -> String {
+        let mut out = String::with_capacity(input.len());
+        let mut rest = input;
+        while let Some(start) = rest.find('%') {
+            out.push_str(&rest[..start]);
+            let after = &rest[start + 1..];
+            match after.find('%') {
+                Some(end) => {
+                    let name = &after[..end];
+                    match self.vars.get(name) {
+                        Some(v) => out.push_str(v),
+                        None => {
+                            out.push('%');
+                            out.push_str(name);
+                            out.push('%');
+                        }
+                    }
+                    rest = &after[end + 1..];
+                }
+                None => {
+                    out.push('%');
+                    rest = after;
+                }
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut env = Environment::new();
+        env.set("A", "1").unwrap();
+        assert_eq!(env.get("A").unwrap(), "1");
+        env.set("A", "2").unwrap();
+        assert_eq!(env.get("A").unwrap(), "2");
+        env.unset("A").unwrap();
+        assert_eq!(env.get("A").unwrap_err(), EnvError::NotFound);
+        env.unset("A").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut env = Environment::new();
+        assert_eq!(env.set("", "x").unwrap_err(), EnvError::InvalidName);
+        assert_eq!(env.set("A=B", "x").unwrap_err(), EnvError::InvalidName);
+        assert_eq!(env.get("A\0B").unwrap_err(), EnvError::InvalidName);
+    }
+
+    #[test]
+    fn defaults_present() {
+        let env = Environment::with_defaults();
+        assert!(!env.is_empty());
+        assert!(env.len() >= 5);
+        assert_eq!(env.get("TEMP").unwrap(), "/tmp");
+    }
+
+    #[test]
+    fn expansion() {
+        let mut env = Environment::new();
+        env.set("NAME", "world").unwrap();
+        assert_eq!(env.expand("hello %NAME%!"), "hello world!");
+        assert_eq!(env.expand("%MISSING% stays"), "%MISSING% stays");
+        assert_eq!(env.expand("dangling % sign"), "dangling % sign");
+        assert_eq!(env.expand("%NAME%%NAME%"), "worldworld");
+        assert_eq!(env.expand("no refs"), "no refs");
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let mut env = Environment::new();
+        env.set("B", "2").unwrap();
+        env.set("A", "1").unwrap();
+        let pairs: Vec<_> = env.iter().collect();
+        assert_eq!(pairs, vec![("A", "1"), ("B", "2")]);
+    }
+}

@@ -1,0 +1,989 @@
+//! The in-memory filesystem with open-file descriptions.
+//!
+//! File and directory calls make up three of the paper's twelve functional
+//! groupings (File/Directory Access, I/O Primitives, C file I/O), so the
+//! substrate needs a real filesystem: hierarchical directories, file
+//! attributes, seek offsets, sharing of open-file descriptions between
+//! duplicated descriptors, and the full error vocabulary (`ENOENT`,
+//! `ENOTDIR`, `EISDIR`, `EEXIST`, `EACCES`, …) that robust implementations
+//! return where fragile ones fault.
+//!
+//! Paths accept both POSIX (`/tmp/x`) and Windows (`C:\tmp\x`) spellings;
+//! name lookup is case-insensitive when constructed with
+//! [`FileSystem::new_windows`] and case-sensitive with
+//! [`FileSystem::new_posix`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Filesystem-level errors (mapped to `errno` / `GetLastError` codes by the
+/// API personalities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsError {
+    /// Path component does not exist.
+    NotFound,
+    /// A non-final path component is not a directory.
+    NotADirectory,
+    /// Directory used where a file was required.
+    IsADirectory,
+    /// Target already exists.
+    Exists,
+    /// Write to a read-only file, or similar permission trouble.
+    AccessDenied,
+    /// Bad open-file-description id.
+    BadDescriptor,
+    /// Descriptor not opened for the attempted direction.
+    BadAccessMode,
+    /// Empty path, embedded NUL, or other malformed name.
+    InvalidPath,
+    /// Directory not empty on remove.
+    NotEmpty,
+    /// Seek before the start of the file.
+    InvalidSeek,
+    /// The file is open and the operation requires exclusivity.
+    SharingViolation,
+    /// The per-process open-file limit is exhausted (`EMFILE` /
+    /// `ERROR_TOO_MANY_OPEN_FILES`) — only reported when a limit is set,
+    /// e.g. by the heavy-load testing extension.
+    TooManyOpen,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::NotADirectory => "not a directory",
+            FsError::IsADirectory => "is a directory",
+            FsError::Exists => "file exists",
+            FsError::AccessDenied => "permission denied",
+            FsError::BadDescriptor => "bad file descriptor",
+            FsError::BadAccessMode => "descriptor not open for this access",
+            FsError::InvalidPath => "invalid path",
+            FsError::NotEmpty => "directory not empty",
+            FsError::InvalidSeek => "invalid seek",
+            FsError::SharingViolation => "sharing violation",
+            FsError::TooManyOpen => "too many open files",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for FsError {}
+
+/// Per-file metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct FileAttrs {
+    /// Read-only bit (`FILE_ATTRIBUTE_READONLY` / mode `0444`).
+    pub readonly: bool,
+    /// Creation time, simulated-clock milliseconds.
+    pub created_ms: u64,
+    /// Last-modification time, simulated-clock milliseconds.
+    pub modified_ms: u64,
+}
+
+
+/// Metadata returned by [`FileSystem::stat`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Directory or regular file.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Attributes.
+    pub attrs: FileAttrs,
+    /// Stable node id (inode analogue).
+    pub node_id: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    File {
+        content: Vec<u8>,
+        attrs: FileAttrs,
+    },
+    Dir {
+        children: BTreeMap<String, u64>,
+        attrs: FileAttrs,
+    },
+}
+
+/// How to open a file. A small builder mirroring the union of `open(2)`
+/// flags and `CreateFile` dispositions.
+///
+/// # Example
+///
+/// ```
+/// use sim_kernel::fs::OpenOptions;
+///
+/// let opts = OpenOptions::read_write().create(true).truncate(true);
+/// assert!(opts.write && opts.create && opts.truncate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[allow(missing_docs)] // the flag fields mirror open(2) flags 1:1
+pub struct OpenOptions {
+    pub read: bool,
+    pub write: bool,
+    pub append: bool,
+    pub create: bool,
+    pub create_new: bool,
+    pub truncate: bool,
+}
+
+impl OpenOptions {
+    /// Read-only access.
+    #[must_use]
+    pub fn read_only() -> Self {
+        OpenOptions {
+            read: true,
+            ..Self::default()
+        }
+    }
+
+    /// Write-only access.
+    #[must_use]
+    pub fn write_only() -> Self {
+        OpenOptions {
+            write: true,
+            ..Self::default()
+        }
+    }
+
+    /// Read + write access.
+    #[must_use]
+    pub fn read_write() -> Self {
+        OpenOptions {
+            read: true,
+            write: true,
+            ..Self::default()
+        }
+    }
+
+    /// Create the file if missing.
+    #[must_use]
+    pub fn create(mut self, yes: bool) -> Self {
+        self.create = yes;
+        self
+    }
+
+    /// Fail if the file already exists (`O_EXCL` / `CREATE_NEW`).
+    #[must_use]
+    pub fn create_new(mut self, yes: bool) -> Self {
+        self.create_new = yes;
+        self.create |= yes;
+        self
+    }
+
+    /// Truncate on open.
+    #[must_use]
+    pub fn truncate(mut self, yes: bool) -> Self {
+        self.truncate = yes;
+        self
+    }
+
+    /// Append mode: every write goes to end-of-file.
+    #[must_use]
+    pub fn append(mut self, yes: bool) -> Self {
+        self.append = yes;
+        self.write = true;
+        self
+    }
+}
+
+/// Where a seek is measured from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeekFrom {
+    /// From offset 0.
+    Start(u64),
+    /// From the current position.
+    Current(i64),
+    /// From end-of-file.
+    End(i64),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpenFile {
+    node: u64,
+    offset: u64,
+    opts: OpenOptions,
+}
+
+/// Identifier of an open-file description.
+pub type OfdId = u64;
+
+/// The in-memory filesystem.
+///
+/// See the [module documentation](self) for scope and an example on the
+/// crate root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileSystem {
+    nodes: Vec<Option<Node>>,
+    open: BTreeMap<OfdId, OpenFile>,
+    next_ofd: OfdId,
+    case_insensitive: bool,
+    now_ms: u64,
+    open_limit: Option<usize>,
+}
+
+impl FileSystem {
+    fn with_case(case_insensitive: bool) -> Self {
+        let root = Node::Dir {
+            children: BTreeMap::new(),
+            attrs: FileAttrs::default(),
+        };
+        FileSystem {
+            nodes: vec![Some(root)],
+            open: BTreeMap::new(),
+            next_ofd: 3, // leave room for std streams
+            case_insensitive,
+            now_ms: 0,
+            open_limit: None,
+        }
+    }
+
+    /// A case-sensitive filesystem (the Linux target).
+    #[must_use]
+    pub fn new_posix() -> Self {
+        Self::with_case(false)
+    }
+
+    /// A case-insensitive filesystem (the Windows targets).
+    #[must_use]
+    pub fn new_windows() -> Self {
+        Self::with_case(true)
+    }
+
+    /// Advances the filesystem's notion of time (drives timestamps).
+    pub fn set_now_ms(&mut self, now_ms: u64) {
+        self.now_ms = now_ms;
+    }
+
+    /// Caps the number of simultaneously open file descriptions (`None` =
+    /// unlimited, the default). Used by the heavy-load testing extension
+    /// to make descriptor exhaustion observable.
+    pub fn set_open_limit(&mut self, limit: Option<usize>) {
+        self.open_limit = limit;
+    }
+
+    fn at_open_limit(&self) -> bool {
+        self.open_limit.is_some_and(|l| self.open.len() >= l)
+    }
+
+    fn fold_case(&self, name: &str) -> String {
+        if self.case_insensitive {
+            name.to_ascii_lowercase()
+        } else {
+            name.to_owned()
+        }
+    }
+
+    /// Splits a path into normalized components. Accepts `/a/b`, `C:\a\b`,
+    /// `a\b`, and mixed separators; `.` components are dropped and `..`
+    /// pops (stopping at the root, as real kernels do).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidPath`] for empty paths or embedded NULs.
+    pub fn split_path(&self, path: &str) -> Result<Vec<String>, FsError> {
+        if path.is_empty() || path.contains('\0') {
+            return Err(FsError::InvalidPath);
+        }
+        // Strip drive letter ("C:") if present.
+        let body = match path.as_bytes() {
+            [d, b':', rest @ ..] if d.is_ascii_alphabetic() => {
+                std::str::from_utf8(rest).expect("sliced at byte boundary")
+            }
+            _ => path,
+        };
+        let mut parts: Vec<String> = Vec::new();
+        for raw in body.split(['/', '\\']) {
+            match raw {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                name => parts.push(self.fold_case(name)),
+            }
+        }
+        Ok(parts)
+    }
+
+    fn lookup(&self, path: &str) -> Result<u64, FsError> {
+        let parts = self.split_path(path)?;
+        let mut cur = 0u64;
+        for part in &parts {
+            let node = self.nodes[cur as usize].as_ref().ok_or(FsError::NotFound)?;
+            match node {
+                Node::Dir { children, .. } => {
+                    cur = *children.get(part).ok_or(FsError::NotFound)?;
+                }
+                Node::File { .. } => return Err(FsError::NotADirectory),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(parent_id,
+    /// final_component)`.
+    fn lookup_parent(&self, path: &str) -> Result<(u64, String), FsError> {
+        let mut parts = self.split_path(path)?;
+        let last = parts.pop().ok_or(FsError::InvalidPath)?;
+        let mut cur = 0u64;
+        for part in &parts {
+            let node = self.nodes[cur as usize].as_ref().ok_or(FsError::NotFound)?;
+            match node {
+                Node::Dir { children, .. } => {
+                    cur = *children.get(part).ok_or(FsError::NotFound)?;
+                }
+                Node::File { .. } => return Err(FsError::NotADirectory),
+            }
+        }
+        match self.nodes[cur as usize] {
+            Some(Node::Dir { .. }) => Ok((cur, last)),
+            _ => Err(FsError::NotADirectory),
+        }
+    }
+
+    fn alloc_node(&mut self, node: Node) -> u64 {
+        self.nodes.push(Some(node));
+        (self.nodes.len() - 1) as u64
+    }
+
+    /// Whether `path` names an existing file or directory.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.lookup(path).is_ok()
+    }
+
+    /// Creates a regular file with `content`, creating no directories.
+    /// Overwrites nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the name is taken, plus path-resolution
+    /// errors.
+    pub fn create_file(&mut self, path: &str, content: Vec<u8>) -> Result<(), FsError> {
+        let (parent, name) = self.lookup_parent(path)?;
+        let attrs = FileAttrs {
+            readonly: false,
+            created_ms: self.now_ms,
+            modified_ms: self.now_ms,
+        };
+        let Some(Node::Dir { children, .. }) = &self.nodes[parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        if children.contains_key(&name) {
+            return Err(FsError::Exists);
+        }
+        let id = self.alloc_node(Node::File { content, attrs });
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.insert(name, id);
+        Ok(())
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the name is taken, plus path-resolution
+    /// errors.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.lookup_parent(path)?;
+        let Some(Node::Dir { children, .. }) = &self.nodes[parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        if children.contains_key(&name) {
+            return Err(FsError::Exists);
+        }
+        let attrs = FileAttrs {
+            readonly: false,
+            created_ms: self.now_ms,
+            modified_ms: self.now_ms,
+        };
+        let id = self.alloc_node(Node::Dir {
+            children: BTreeMap::new(),
+            attrs,
+        });
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.insert(name, id);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotEmpty`] for non-empty directories,
+    /// [`FsError::NotADirectory`] for files, plus resolution errors.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.lookup_parent(path)?;
+        let Some(Node::Dir { children, .. }) = &self.nodes[parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        let id = *children.get(&name).ok_or(FsError::NotFound)?;
+        match &self.nodes[id as usize] {
+            Some(Node::Dir { children: c, .. }) if !c.is_empty() => return Err(FsError::NotEmpty),
+            Some(Node::Dir { .. }) => {}
+            _ => return Err(FsError::NotADirectory),
+        }
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.remove(&name);
+        self.nodes[id as usize] = None;
+        Ok(())
+    }
+
+    /// Removes a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] for directories,
+    /// [`FsError::AccessDenied`] for read-only files, plus resolution
+    /// errors.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.lookup_parent(path)?;
+        let Some(Node::Dir { children, .. }) = &self.nodes[parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        let id = *children.get(&name).ok_or(FsError::NotFound)?;
+        match &self.nodes[id as usize] {
+            Some(Node::File { attrs, .. }) => {
+                if attrs.readonly {
+                    return Err(FsError::AccessDenied);
+                }
+            }
+            Some(Node::Dir { .. }) => return Err(FsError::IsADirectory),
+            None => return Err(FsError::NotFound),
+        }
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.remove(&name);
+        self.nodes[id as usize] = None;
+        Ok(())
+    }
+
+    /// Renames/moves a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] when the destination is taken, plus resolution
+    /// errors on either path.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        let (from_parent, from_name) = self.lookup_parent(from)?;
+        let (to_parent, to_name) = self.lookup_parent(to)?;
+        let Some(Node::Dir { children, .. }) = &self.nodes[from_parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        let id = *children.get(&from_name).ok_or(FsError::NotFound)?;
+        let Some(Node::Dir { children, .. }) = &self.nodes[to_parent as usize] else {
+            return Err(FsError::NotADirectory);
+        };
+        if children.contains_key(&to_name) {
+            return Err(FsError::Exists);
+        }
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[from_parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.remove(&from_name);
+        let Some(Node::Dir { children, .. }) = &mut self.nodes[to_parent as usize] else {
+            unreachable!("checked above");
+        };
+        children.insert(to_name, id);
+        Ok(())
+    }
+
+    /// Metadata for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Path-resolution errors.
+    pub fn stat(&self, path: &str) -> Result<Stat, FsError> {
+        let id = self.lookup(path)?;
+        Ok(self.stat_node(id))
+    }
+
+    fn stat_node(&self, id: u64) -> Stat {
+        match self.nodes[id as usize].as_ref().expect("live node") {
+            Node::File { content, attrs } => Stat {
+                is_dir: false,
+                size: content.len() as u64,
+                attrs: *attrs,
+                node_id: id,
+            },
+            Node::Dir { attrs, .. } => Stat {
+                is_dir: true,
+                size: 0,
+                attrs: *attrs,
+                node_id: id,
+            },
+        }
+    }
+
+    /// Sets or clears the read-only attribute.
+    ///
+    /// # Errors
+    ///
+    /// Path-resolution errors.
+    pub fn set_readonly(&mut self, path: &str, readonly: bool) -> Result<(), FsError> {
+        let id = self.lookup(path)?;
+        match self.nodes[id as usize].as_mut().expect("live node") {
+            Node::File { attrs, .. } | Node::Dir { attrs, .. } => attrs.readonly = readonly,
+        }
+        Ok(())
+    }
+
+    /// Lists the names in a directory, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`] for files, plus resolution errors.
+    pub fn list_dir(&self, path: &str) -> Result<Vec<String>, FsError> {
+        let id = self.lookup(path)?;
+        match self.nodes[id as usize].as_ref().expect("live node") {
+            Node::Dir { children, .. } => Ok(children.keys().cloned().collect()),
+            Node::File { .. } => Err(FsError::NotADirectory),
+        }
+    }
+
+    /// Opens a file, returning an open-file-description id.
+    ///
+    /// # Errors
+    ///
+    /// The usual `open(2)` error vocabulary: [`FsError::NotFound`] without
+    /// `create`, [`FsError::Exists`] with `create_new`,
+    /// [`FsError::IsADirectory`], [`FsError::AccessDenied`] for writing a
+    /// read-only file, plus resolution errors.
+    pub fn open(&mut self, path: &str, opts: OpenOptions) -> Result<OfdId, FsError> {
+        if !opts.read && !opts.write {
+            return Err(FsError::BadAccessMode);
+        }
+        if self.at_open_limit() {
+            return Err(FsError::TooManyOpen);
+        }
+        let node_id = match self.lookup(path) {
+            Ok(id) => {
+                if opts.create_new {
+                    return Err(FsError::Exists);
+                }
+                id
+            }
+            Err(FsError::NotFound) if opts.create => {
+                self.create_file(path, Vec::new())?;
+                self.lookup(path)?
+            }
+            Err(e) => return Err(e),
+        };
+        match self.nodes[node_id as usize].as_mut().expect("live node") {
+            Node::Dir { .. } => return Err(FsError::IsADirectory),
+            Node::File { content, attrs } => {
+                if opts.write && attrs.readonly {
+                    return Err(FsError::AccessDenied);
+                }
+                if opts.truncate && opts.write {
+                    content.clear();
+                    attrs.modified_ms = self.now_ms;
+                }
+            }
+        }
+        let ofd = self.next_ofd;
+        self.next_ofd += 1;
+        self.open.insert(
+            ofd,
+            OpenFile {
+                node: node_id,
+                offset: 0,
+                opts,
+            },
+        );
+        Ok(ofd)
+    }
+
+    /// Closes an open-file description.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn close(&mut self, ofd: OfdId) -> Result<(), FsError> {
+        self.open.remove(&ofd).map(|_| ()).ok_or(FsError::BadDescriptor)
+    }
+
+    /// Whether `ofd` names a live open-file description.
+    #[must_use]
+    pub fn is_open(&self, ofd: OfdId) -> bool {
+        self.open.contains_key(&ofd)
+    }
+
+    /// Reads from the current offset into `buf`, returning the byte count
+    /// (0 at end-of-file).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] / [`FsError::BadAccessMode`].
+    pub fn read(&mut self, ofd: OfdId, buf: &mut [u8]) -> Result<usize, FsError> {
+        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        if !of.opts.read {
+            return Err(FsError::BadAccessMode);
+        }
+        let Some(Node::File { content, .. }) = self.nodes[of.node as usize].as_ref() else {
+            return Err(FsError::BadDescriptor);
+        };
+        let start = (of.offset as usize).min(content.len());
+        let n = buf.len().min(content.len() - start);
+        buf[..n].copy_from_slice(&content[start..start + n]);
+        of.offset += n as u64;
+        Ok(n)
+    }
+
+    /// Writes `data` at the current offset (end-of-file in append mode),
+    /// returning the byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] / [`FsError::BadAccessMode`].
+    pub fn write(&mut self, ofd: OfdId, data: &[u8]) -> Result<usize, FsError> {
+        let now = self.now_ms;
+        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        if !of.opts.write {
+            return Err(FsError::BadAccessMode);
+        }
+        let Some(Node::File { content, attrs }) = self.nodes[of.node as usize].as_mut() else {
+            return Err(FsError::BadDescriptor);
+        };
+        if of.opts.append {
+            of.offset = content.len() as u64;
+        }
+        let off = of.offset as usize;
+        if off > content.len() {
+            content.resize(off, 0); // sparse fill
+        }
+        let overlap = (content.len() - off).min(data.len());
+        content[off..off + overlap].copy_from_slice(&data[..overlap]);
+        content.extend_from_slice(&data[overlap..]);
+        of.offset += data.len() as u64;
+        attrs.modified_ms = now;
+        Ok(data.len())
+    }
+
+    /// Moves the offset of an open-file description.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidSeek`] for seeks before offset 0,
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn seek(&mut self, ofd: OfdId, from: SeekFrom) -> Result<u64, FsError> {
+        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        let Some(Node::File { content, .. }) = self.nodes[of.node as usize].as_ref() else {
+            return Err(FsError::BadDescriptor);
+        };
+        let len = content.len() as i64;
+        let target = match from {
+            SeekFrom::Start(o) => o as i64,
+            SeekFrom::Current(d) => of.offset as i64 + d,
+            SeekFrom::End(d) => len + d,
+        };
+        if target < 0 {
+            return Err(FsError::InvalidSeek);
+        }
+        of.offset = target as u64;
+        Ok(of.offset)
+    }
+
+    /// Current size of the file behind an open-file description.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn size_of(&self, ofd: OfdId) -> Result<u64, FsError> {
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
+        let Some(Node::File { content, .. }) = self.nodes[of.node as usize].as_ref() else {
+            return Err(FsError::BadDescriptor);
+        };
+        Ok(content.len() as u64)
+    }
+
+    /// Stat through an open-file description.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn fstat(&self, ofd: OfdId) -> Result<Stat, FsError> {
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
+        Ok(self.stat_node(of.node))
+    }
+
+    /// Number of live open-file descriptions (for leak checks between test
+    /// cases).
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Duplicates an open-file description (shares the node, copies the
+    /// offset — matching `dup(2)` closely enough for robustness testing).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn dup(&mut self, ofd: OfdId) -> Result<OfdId, FsError> {
+        if self.at_open_limit() {
+            return Err(FsError::TooManyOpen);
+        }
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?.clone();
+        let id = self.next_ofd;
+        self.next_ofd += 1;
+        self.open.insert(id, of);
+        Ok(id)
+    }
+
+    /// Duplicates `ofd` *at* descriptor id `target` (the `dup2(2)`
+    /// protocol): any description already open at `target` is closed
+    /// first; duplicating onto itself is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] when `ofd` is not open.
+    pub fn dup_at(&mut self, ofd: OfdId, target: OfdId) -> Result<OfdId, FsError> {
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?.clone();
+        if ofd == target {
+            return Ok(target);
+        }
+        self.open.insert(target, of);
+        self.next_ofd = self.next_ofd.max(target + 1);
+        Ok(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with_file(path: &str, content: &[u8]) -> FileSystem {
+        let mut fs = FileSystem::new_posix();
+        fs.create_file(path, content.to_vec()).unwrap();
+        fs
+    }
+
+    #[test]
+    fn create_open_read() {
+        let mut fs = fs_with_file("/hello.txt", b"hello world");
+        let ofd = fs.open("/hello.txt", OpenOptions::read_only()).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read(ofd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(fs.read(ofd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b" worl");
+        fs.close(ofd).unwrap();
+        assert!(!fs.is_open(ofd));
+    }
+
+    #[test]
+    fn windows_paths_and_case_folding() {
+        let mut fs = FileSystem::new_windows();
+        fs.mkdir("C:\\Temp").unwrap();
+        fs.create_file("C:\\Temp\\File.TXT", b"x".to_vec()).unwrap();
+        assert!(fs.exists("c:/temp/file.txt"));
+        // POSIX flavour stays case-sensitive.
+        let mut pfs = FileSystem::new_posix();
+        pfs.create_file("/File", vec![]).unwrap();
+        assert!(!pfs.exists("/file"));
+    }
+
+    #[test]
+    fn dotdot_stops_at_root() {
+        let fs = FileSystem::new_posix();
+        assert_eq!(fs.split_path("/../../etc").unwrap(), vec!["etc"]);
+        assert_eq!(fs.split_path("a/./b/../c").unwrap(), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let fs = FileSystem::new_posix();
+        assert_eq!(fs.split_path("").unwrap_err(), FsError::InvalidPath);
+        assert_eq!(fs.split_path("a\0b").unwrap_err(), FsError::InvalidPath);
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let mut fs = FileSystem::new_posix();
+        assert_eq!(
+            fs.open("/nope", OpenOptions::read_only()).unwrap_err(),
+            FsError::NotFound
+        );
+        let ofd = fs
+            .open("/nope", OpenOptions::read_write().create(true))
+            .unwrap();
+        assert!(fs.is_open(ofd));
+    }
+
+    #[test]
+    fn create_new_fails_on_existing() {
+        let mut fs = fs_with_file("/f", b"");
+        assert_eq!(
+            fs.open("/f", OpenOptions::write_only().create_new(true))
+                .unwrap_err(),
+            FsError::Exists
+        );
+    }
+
+    #[test]
+    fn write_readonly_file_denied() {
+        let mut fs = fs_with_file("/ro", b"data");
+        fs.set_readonly("/ro", true).unwrap();
+        assert_eq!(
+            fs.open("/ro", OpenOptions::write_only()).unwrap_err(),
+            FsError::AccessDenied
+        );
+        assert_eq!(fs.unlink("/ro").unwrap_err(), FsError::AccessDenied);
+        fs.set_readonly("/ro", false).unwrap();
+        assert!(fs.unlink("/ro").is_ok());
+    }
+
+    #[test]
+    fn directories_are_not_files() {
+        let mut fs = FileSystem::new_posix();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(
+            fs.open("/d", OpenOptions::read_only()).unwrap_err(),
+            FsError::IsADirectory
+        );
+        assert_eq!(fs.unlink("/d").unwrap_err(), FsError::IsADirectory);
+        fs.create_file("/f", vec![]).unwrap();
+        assert_eq!(fs.rmdir("/f").unwrap_err(), FsError::NotADirectory);
+        assert_eq!(fs.list_dir("/f").unwrap_err(), FsError::NotADirectory);
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut fs = FileSystem::new_posix();
+        fs.mkdir("/d").unwrap();
+        fs.create_file("/d/x", vec![]).unwrap();
+        assert_eq!(fs.rmdir("/d").unwrap_err(), FsError::NotEmpty);
+        fs.unlink("/d/x").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn rename_moves_and_respects_existing() {
+        let mut fs = fs_with_file("/a", b"1");
+        fs.create_file("/b", b"2".to_vec()).unwrap();
+        assert_eq!(fs.rename("/a", "/b").unwrap_err(), FsError::Exists);
+        fs.rename("/a", "/c").unwrap();
+        assert!(!fs.exists("/a"));
+        assert_eq!(fs.stat("/c").unwrap().size, 1);
+    }
+
+    #[test]
+    fn seek_semantics() {
+        let mut fs = fs_with_file("/s", b"0123456789");
+        let ofd = fs.open("/s", OpenOptions::read_write()).unwrap();
+        assert_eq!(fs.seek(ofd, SeekFrom::End(-2)).unwrap(), 8);
+        let mut b = [0u8; 2];
+        fs.read(ofd, &mut b).unwrap();
+        assert_eq!(&b, b"89");
+        assert_eq!(fs.seek(ofd, SeekFrom::Current(-4)).unwrap(), 6);
+        assert_eq!(
+            fs.seek(ofd, SeekFrom::Current(-100)).unwrap_err(),
+            FsError::InvalidSeek
+        );
+        // Seeking past EOF then writing produces a sparse (zero-filled) gap.
+        fs.seek(ofd, SeekFrom::Start(12)).unwrap();
+        fs.write(ofd, b"XY").unwrap();
+        assert_eq!(fs.size_of(ofd).unwrap(), 14);
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof() {
+        let mut fs = fs_with_file("/log", b"start");
+        let ofd = fs.open("/log", OpenOptions::write_only().append(true)).unwrap();
+        fs.seek(ofd, SeekFrom::Start(0)).unwrap();
+        fs.write(ofd, b"+more").unwrap();
+        let r = fs.open("/log", OpenOptions::read_only()).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(fs.read(r, &mut buf).unwrap(), 10);
+        assert_eq!(&buf, b"start+more");
+    }
+
+    #[test]
+    fn read_on_write_only_descriptor_fails() {
+        let mut fs = fs_with_file("/f", b"x");
+        let w = fs.open("/f", OpenOptions::write_only()).unwrap();
+        let mut b = [0u8; 1];
+        assert_eq!(fs.read(w, &mut b).unwrap_err(), FsError::BadAccessMode);
+        assert_eq!(fs.write(w, b"y").unwrap(), 1);
+        let r = fs.open("/f", OpenOptions::read_only()).unwrap();
+        assert_eq!(fs.write(r, b"z").unwrap_err(), FsError::BadAccessMode);
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let mut fs = FileSystem::new_posix();
+        let mut b = [0u8; 1];
+        assert_eq!(fs.read(999, &mut b).unwrap_err(), FsError::BadDescriptor);
+        assert_eq!(fs.close(999).unwrap_err(), FsError::BadDescriptor);
+        assert_eq!(fs.dup(999).unwrap_err(), FsError::BadDescriptor);
+    }
+
+    #[test]
+    fn dup_shares_file_but_copies_offset() {
+        let mut fs = fs_with_file("/f", b"abcdef");
+        let a = fs.open("/f", OpenOptions::read_only()).unwrap();
+        let mut b1 = [0u8; 2];
+        fs.read(a, &mut b1).unwrap();
+        let b = fs.dup(a).unwrap();
+        let mut b2 = [0u8; 2];
+        fs.read(b, &mut b2).unwrap();
+        assert_eq!(&b2, b"cd"); // continues from copied offset
+        assert_eq!(fs.open_count(), 2);
+    }
+
+    #[test]
+    fn list_dir_sorted() {
+        let mut fs = FileSystem::new_posix();
+        fs.mkdir("/d").unwrap();
+        fs.create_file("/d/zeta", vec![]).unwrap();
+        fs.create_file("/d/alpha", vec![]).unwrap();
+        assert_eq!(fs.list_dir("/d").unwrap(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn open_limit_enforced() {
+        let mut fs = fs_with_file("/limited", b"x");
+        fs.set_open_limit(Some(2));
+        let a = fs.open("/limited", OpenOptions::read_only()).unwrap();
+        let _b = fs.open("/limited", OpenOptions::read_only()).unwrap();
+        assert_eq!(
+            fs.open("/limited", OpenOptions::read_only()).unwrap_err(),
+            FsError::TooManyOpen
+        );
+        assert_eq!(fs.dup(a).unwrap_err(), FsError::TooManyOpen);
+        // Closing frees a slot.
+        fs.close(a).unwrap();
+        assert!(fs.open("/limited", OpenOptions::read_only()).is_ok());
+        // Lifting the limit restores unlimited behaviour.
+        fs.set_open_limit(None);
+        for _ in 0..10 {
+            fs.open("/limited", OpenOptions::read_only()).unwrap();
+        }
+    }
+
+    #[test]
+    fn timestamps_follow_clock() {
+        let mut fs = FileSystem::new_posix();
+        fs.set_now_ms(100);
+        fs.create_file("/t", vec![]).unwrap();
+        assert_eq!(fs.stat("/t").unwrap().attrs.created_ms, 100);
+        fs.set_now_ms(200);
+        let ofd = fs.open("/t", OpenOptions::write_only()).unwrap();
+        fs.write(ofd, b"x").unwrap();
+        assert_eq!(fs.stat("/t").unwrap().attrs.modified_ms, 200);
+    }
+}

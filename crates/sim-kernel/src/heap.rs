@@ -1,0 +1,347 @@
+//! Heap managers built on the checked address space.
+//!
+//! Each heap (the process default heap, heaps from `HeapCreate`, and the C
+//! library's `malloc` arena) tracks its own allocations. Every allocation is
+//! backed by its own guard-gapped region in the
+//! [`AddressSpace`], so off-by-one writes
+//! fault exactly as Ballista's "buffer one byte too small" test values
+//! require, and frees of pointers the heap never issued are detected rather
+//! than corrupting the arena.
+
+use serde::{Deserialize, Serialize};
+use sim_core::memory::{AddressSpace, AllocError, Protection};
+use sim_core::SimPtr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a heap within a [`HeapManager`].
+pub type HeapId = u32;
+
+/// Errors from heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeapError {
+    /// Unknown heap id.
+    NoHeap,
+    /// Allocation failed (size 0 is allowed and returns a minimal block;
+    /// this is address-space exhaustion or a size beyond the heap maximum).
+    OutOfMemory,
+    /// `free` of a pointer this heap never returned (or already freed).
+    NotAllocated,
+    /// Degenerate request (e.g. maximum smaller than initial size).
+    InvalidArgument,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HeapError::NoHeap => "no such heap",
+            HeapError::OutOfMemory => "out of heap memory",
+            HeapError::NotAllocated => "pointer was not allocated by this heap",
+            HeapError::InvalidArgument => "invalid heap request",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Heap {
+    /// Allocation base → size.
+    allocations: BTreeMap<u64, u64>,
+    /// Bytes currently allocated.
+    in_use: u64,
+    /// 0 = growable without bound.
+    max_size: u64,
+}
+
+/// All heaps of a simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use sim_kernel::heap::HeapManager;
+/// use sim_core::memory::AddressSpace;
+///
+/// let mut space = AddressSpace::new();
+/// let mut heaps = HeapManager::new();
+/// let heap = heaps.create(0, 0).unwrap(); // growable
+/// let p = heaps.alloc(heap, 64, &mut space).unwrap();
+/// space.write_u8(p, 42).unwrap();
+/// heaps.free(heap, p, &mut space).unwrap();
+/// assert!(space.read_u8(p).is_err()); // dangling now faults
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HeapManager {
+    heaps: BTreeMap<HeapId, Heap>,
+    next_id: HeapId,
+}
+
+impl HeapManager {
+    /// Creates a manager with no heaps. The process default heap is
+    /// conventionally the first one created (id 1).
+    #[must_use]
+    pub fn new() -> Self {
+        HeapManager {
+            heaps: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Creates a heap with `initial` reserved bytes and `max_size` maximum
+    /// (0 = growable). Mirrors `HeapCreate(flags, initial, max)`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidArgument`] when `max_size` is nonzero but below
+    /// `initial`.
+    pub fn create(&mut self, initial: u64, max_size: u64) -> Result<HeapId, HeapError> {
+        if max_size != 0 && max_size < initial {
+            return Err(HeapError::InvalidArgument);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heaps.insert(
+            id,
+            Heap {
+                allocations: BTreeMap::new(),
+                in_use: 0,
+                max_size,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Destroys a heap and frees all its allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoHeap`] for unknown ids.
+    pub fn destroy(&mut self, id: HeapId, space: &mut AddressSpace) -> Result<(), HeapError> {
+        let heap = self.heaps.remove(&id).ok_or(HeapError::NoHeap)?;
+        for &base in heap.allocations.keys() {
+            // Ignore individual failures: the address space may already have
+            // been torn down in some shutdown orders.
+            let _ = space.unmap(SimPtr::new(base));
+        }
+        Ok(())
+    }
+
+    /// Whether `id` names a live heap.
+    #[must_use]
+    pub fn exists(&self, id: HeapId) -> bool {
+        self.heaps.contains_key(&id)
+    }
+
+    /// Allocates `size` bytes (zero-size requests get a minimal 1-byte
+    /// block, as both `malloc(0)` and `HeapAlloc(..., 0)` return unique
+    /// pointers).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoHeap`] / [`HeapError::OutOfMemory`].
+    pub fn alloc(
+        &mut self,
+        id: HeapId,
+        size: u64,
+        space: &mut AddressSpace,
+    ) -> Result<SimPtr, HeapError> {
+        let heap = self.heaps.get_mut(&id).ok_or(HeapError::NoHeap)?;
+        let eff = size.max(1);
+        if heap.max_size != 0 && heap.in_use.saturating_add(eff) > heap.max_size {
+            return Err(HeapError::OutOfMemory);
+        }
+        let ptr = space
+            .map(eff, Protection::READ_WRITE, "heap-alloc")
+            .map_err(|e| match e {
+                AllocError::OutOfMemory | AllocError::Collision { .. } => HeapError::OutOfMemory,
+                AllocError::BadRequest => HeapError::InvalidArgument,
+            })?;
+        heap.allocations.insert(ptr.addr(), eff);
+        heap.in_use += eff;
+        Ok(ptr)
+    }
+
+    /// Frees a pointer previously returned by [`HeapManager::alloc`] on the
+    /// same heap.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NotAllocated`] for foreign, interior or already-freed
+    /// pointers — the detection a robust `HeapFree`/`free` performs.
+    pub fn free(
+        &mut self,
+        id: HeapId,
+        ptr: SimPtr,
+        space: &mut AddressSpace,
+    ) -> Result<(), HeapError> {
+        let heap = self.heaps.get_mut(&id).ok_or(HeapError::NoHeap)?;
+        let size = heap
+            .allocations
+            .remove(&ptr.addr())
+            .ok_or(HeapError::NotAllocated)?;
+        heap.in_use -= size;
+        let _ = space.unmap(ptr);
+        Ok(())
+    }
+
+    /// Size of a live allocation (`HeapSize` / `_msize`).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoHeap`] / [`HeapError::NotAllocated`].
+    pub fn size_of(&self, id: HeapId, ptr: SimPtr) -> Result<u64, HeapError> {
+        let heap = self.heaps.get(&id).ok_or(HeapError::NoHeap)?;
+        heap.allocations
+            .get(&ptr.addr())
+            .copied()
+            .ok_or(HeapError::NotAllocated)
+    }
+
+    /// Reallocates to `new_size`, copying the overlapping prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same vocabulary as [`HeapManager::alloc`] / [`HeapManager::free`].
+    pub fn realloc(
+        &mut self,
+        id: HeapId,
+        ptr: SimPtr,
+        new_size: u64,
+        space: &mut AddressSpace,
+    ) -> Result<SimPtr, HeapError> {
+        let old_size = self.size_of(id, ptr)?;
+        let new_ptr = self.alloc(id, new_size, space)?;
+        let copy = old_size.min(new_size.max(1));
+        let bytes = space
+            .read_bytes(ptr, copy)
+            .map_err(|_| HeapError::NotAllocated)?;
+        space
+            .write_bytes(new_ptr, &bytes)
+            .map_err(|_| HeapError::OutOfMemory)?;
+        self.free(id, ptr, space)?;
+        Ok(new_ptr)
+    }
+
+    /// Bytes currently allocated from heap `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoHeap`] for unknown ids.
+    pub fn in_use(&self, id: HeapId) -> Result<u64, HeapError> {
+        Ok(self.heaps.get(&id).ok_or(HeapError::NoHeap)?.in_use)
+    }
+
+    /// Number of live heaps.
+    #[must_use]
+    pub fn heap_count(&self) -> usize {
+        self.heaps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, HeapManager, HeapId) {
+        let space = AddressSpace::new();
+        let mut heaps = HeapManager::new();
+        let id = heaps.create(0, 0).unwrap();
+        (space, heaps, id)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 32, &mut space).unwrap();
+        space.write_bytes(p, b"12345678").unwrap();
+        assert_eq!(heaps.size_of(id, p).unwrap(), 32);
+        assert_eq!(heaps.in_use(id).unwrap(), 32);
+        heaps.free(id, p, &mut space).unwrap();
+        assert_eq!(heaps.in_use(id).unwrap(), 0);
+        assert!(space.read_u8(p).is_err());
+    }
+
+    #[test]
+    fn zero_size_alloc_returns_unique_pointers() {
+        let (mut space, mut heaps, id) = setup();
+        let a = heaps.alloc(id, 0, &mut space).unwrap();
+        let b = heaps.alloc(id, 0, &mut space).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 8, &mut space).unwrap();
+        heaps.free(id, p, &mut space).unwrap();
+        assert_eq!(heaps.free(id, p, &mut space).unwrap_err(), HeapError::NotAllocated);
+    }
+
+    #[test]
+    fn foreign_and_interior_pointers_rejected() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 8, &mut space).unwrap();
+        assert_eq!(
+            heaps.free(id, p.offset(4), &mut space).unwrap_err(),
+            HeapError::NotAllocated
+        );
+        assert_eq!(
+            heaps.free(id, SimPtr::new(0x123), &mut space).unwrap_err(),
+            HeapError::NotAllocated
+        );
+        // The block survives those failed frees.
+        assert!(heaps.size_of(id, p).is_ok());
+    }
+
+    #[test]
+    fn max_size_enforced() {
+        let mut space = AddressSpace::new();
+        let mut heaps = HeapManager::new();
+        let id = heaps.create(0, 100).unwrap();
+        let _a = heaps.alloc(id, 60, &mut space).unwrap();
+        assert_eq!(
+            heaps.alloc(id, 60, &mut space).unwrap_err(),
+            HeapError::OutOfMemory
+        );
+        let _b = heaps.alloc(id, 40, &mut space).unwrap();
+    }
+
+    #[test]
+    fn bad_create_rejected() {
+        let mut heaps = HeapManager::new();
+        assert_eq!(heaps.create(100, 50).unwrap_err(), HeapError::InvalidArgument);
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 16, &mut space).unwrap();
+        let q = heaps.alloc(id, 16, &mut space).unwrap();
+        heaps.destroy(id, &mut space).unwrap();
+        assert!(!heaps.exists(id));
+        assert!(space.read_u8(p).is_err());
+        assert!(space.read_u8(q).is_err());
+        assert_eq!(heaps.alloc(id, 8, &mut space).unwrap_err(), HeapError::NoHeap);
+    }
+
+    #[test]
+    fn realloc_preserves_prefix() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 4, &mut space).unwrap();
+        space.write_bytes(p, b"abcd").unwrap();
+        let q = heaps.realloc(id, p, 8, &mut space).unwrap();
+        assert_eq!(space.read_bytes(q, 4).unwrap(), b"abcd");
+        assert!(space.read_u8(p).is_err()); // old block gone
+        // Shrinking keeps the prefix that fits.
+        let r = heaps.realloc(id, q, 2, &mut space).unwrap();
+        assert_eq!(space.read_bytes(r, 2).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn overrun_of_heap_block_faults() {
+        let (mut space, mut heaps, id) = setup();
+        let p = heaps.alloc(id, 8, &mut space).unwrap();
+        assert!(space.write_bytes(p, &[0u8; 9]).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`Kernel`] facade: one simulated machine per test case.
+//!
+//! A `Kernel` bundles every subsystem into the unit of isolation the
+//! Ballista executor creates and discards per test case — the simulator's
+//! analog of the paper's process-per-test harness. It also carries the
+//! *residue* counter that models the inter-test interference behind the
+//! paper's `*`-marked Catastrophic failures (crashes reproducible only when
+//! running the full test harness, not a single isolated case).
+
+use crate::clock::Clock;
+use crate::crash::CrashLatch;
+use crate::env::Environment;
+use crate::fs::FileSystem;
+use crate::heap::{HeapId, HeapManager};
+use crate::objects::{Handle, ObjectKind, ObjectTable};
+use crate::process::ProcessTable;
+use sim_core::memory::{AddressSpace, Protection};
+use sim_core::SimPtr;
+
+/// Filesystem / path personality of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineFlavor {
+    /// Case-sensitive paths, lenient alignment (the Linux target).
+    Posix,
+    /// Case-insensitive paths, lenient alignment (desktop Windows).
+    Windows,
+    /// Case-insensitive paths, strict alignment (the Windows CE device).
+    WindowsStrictAlign,
+}
+
+/// The complete simulated machine.
+///
+/// Fields are public by design: the API personality crates *are* the kernel
+/// code and manipulate the subsystems directly, the way kernel modules
+/// share a single address space.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The checked flat address space.
+    pub space: AddressSpace,
+    /// Kernel objects + handle table.
+    pub objects: ObjectTable,
+    /// The in-memory filesystem.
+    pub fs: FileSystem,
+    /// Processes and threads.
+    pub procs: ProcessTable,
+    /// All heaps.
+    pub heaps: HeapManager,
+    /// Simulated wall clock.
+    pub clock: Clock,
+    /// Environment block.
+    pub env: Environment,
+    /// The kernel-panic latch (Catastrophic outcomes).
+    pub crash: CrashLatch,
+    /// Accumulated uncleaned state from earlier test cases in the same
+    /// harness run. Zero on a fresh machine; the executor raises it when
+    /// cleanup between cases is imperfect. Vulnerabilities marked
+    /// "interference-dependent" only fire above a threshold, reproducing
+    /// the paper's `*` entries.
+    pub residue: u32,
+    /// The process default heap (`GetProcessHeap` / `malloc` arena).
+    pub default_heap: HeapId,
+    /// Standard-stream handles (`GetStdHandle`).
+    pub std_handles: [Handle; 3],
+    /// Scratch state for user-space runtime libraries built on this kernel
+    /// (e.g. the C library's `strtok` saved pointer or `tmpnam` counter),
+    /// keyed by a library-chosen name.
+    pub scratch: std::collections::BTreeMap<String, u64>,
+}
+
+impl Kernel {
+    /// Boots a POSIX-flavoured machine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_flavor(MachineFlavor::Posix)
+    }
+
+    /// Boots a machine with the given flavour.
+    #[must_use]
+    pub fn with_flavor(flavor: MachineFlavor) -> Self {
+        let space = match flavor {
+            MachineFlavor::WindowsStrictAlign => AddressSpace::with_strict_alignment(),
+            _ => AddressSpace::new(),
+        };
+        let fs = match flavor {
+            MachineFlavor::Posix => FileSystem::new_posix(),
+            _ => FileSystem::new_windows(),
+        };
+        let mut heaps = HeapManager::new();
+        let default_heap = heaps.create(0, 0).expect("growable heap is always valid");
+        let mut objects = ObjectTable::new();
+        let std_handles = [
+            objects.insert(ObjectKind::ConsoleStream { stream: 0 }),
+            objects.insert(ObjectKind::ConsoleStream { stream: 1 }),
+            objects.insert(ObjectKind::ConsoleStream { stream: 2 }),
+        ];
+        let mut kernel = Kernel {
+            space,
+            objects,
+            fs,
+            procs: ProcessTable::new(),
+            heaps,
+            clock: Clock::new(),
+            env: Environment::with_defaults(),
+            crash: CrashLatch::new(),
+            residue: 0,
+            default_heap,
+            std_handles,
+            scratch: std::collections::BTreeMap::new(),
+        };
+        kernel.populate_fs(flavor);
+        kernel
+    }
+
+    fn populate_fs(&mut self, flavor: MachineFlavor) {
+        // A minimal world for path-based calls to act on.
+        let dirs: &[&str] = match flavor {
+            MachineFlavor::Posix => &["/tmp", "/home", "/home/ballista", "/etc"],
+            _ => &["C:\\TEMP", "C:\\WINDOWS", "C:\\WINDOWS\\SYSTEM"],
+        };
+        for d in dirs {
+            self.fs.mkdir(d).expect("fresh filesystem");
+        }
+        let readme = match flavor {
+            MachineFlavor::Posix => "/etc/motd",
+            _ => "C:\\WINDOWS\\README.TXT",
+        };
+        self.fs
+            .create_file(readme, b"simulated machine for ballista testing\n".to_vec())
+            .expect("fresh filesystem");
+    }
+
+    /// Allocates scratch user memory (helper for test-value constructors).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulated address space is exhausted, which a
+    /// fresh-per-test machine never hits.
+    pub fn alloc_user(&mut self, len: u64, tag: &str) -> SimPtr {
+        self.space
+            .map(len, Protection::READ_WRITE, tag)
+            .expect("fresh machine never exhausts user space")
+    }
+
+    /// Keeps the clock moving: every simulated call costs a tick, so
+    /// timestamps and `GetTickCount` behave plausibly.
+    pub fn charge_call(&mut self) {
+        self.clock.advance_ms(1);
+        let now = self.clock.tick_count_ms();
+        self.fs.set_now_ms(now);
+    }
+
+    /// Whether the machine is still alive (no Catastrophic event yet).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.crash.is_alive()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boots_alive_with_world() {
+        let k = Kernel::new();
+        assert!(k.is_alive());
+        assert!(k.fs.exists("/tmp"));
+        assert!(k.fs.exists("/etc/motd"));
+        assert_eq!(k.residue, 0);
+        assert!(k.heaps.exists(k.default_heap));
+    }
+
+    #[test]
+    fn windows_flavor_world() {
+        let k = Kernel::with_flavor(MachineFlavor::Windows);
+        assert!(k.fs.exists("c:\\temp"));
+        assert!(k.fs.exists("C:\\WINDOWS\\README.TXT"));
+        assert!(!k.space.strict_alignment());
+    }
+
+    #[test]
+    fn ce_flavor_is_strict_aligned() {
+        let k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        assert!(k.space.strict_alignment());
+    }
+
+    #[test]
+    fn std_handles_resolve() {
+        let k = Kernel::with_flavor(MachineFlavor::Windows);
+        for (i, h) in k.std_handles.iter().enumerate() {
+            match k.objects.get(*h).unwrap() {
+                ObjectKind::ConsoleStream { stream } => assert_eq!(*stream as usize, i),
+                other => panic!("expected console stream, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn charge_call_advances_clock_and_fs_time() {
+        let mut k = Kernel::new();
+        let t0 = k.clock.tick_count_ms();
+        k.charge_call();
+        k.charge_call();
+        assert_eq!(k.clock.tick_count_ms(), t0 + 2);
+        k.fs.create_file("/tmp/stamped", vec![]).unwrap();
+        assert_eq!(k.fs.stat("/tmp/stamped").unwrap().attrs.created_ms, t0 + 2);
+    }
+
+    #[test]
+    fn alloc_user_is_usable() {
+        let mut k = Kernel::new();
+        let p = k.alloc_user(16, "scratch");
+        k.space.write_u32(p, 5).unwrap();
+        assert_eq!(k.space.read_u32(p).unwrap(), 5);
+    }
+}

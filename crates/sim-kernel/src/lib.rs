@@ -1,0 +1,53 @@
+//! # sim-kernel — the simulated operating-system kernel
+//!
+//! A deterministic, in-process operating system substrate shared by the two
+//! API personalities of this reproduction (`sim-win32` and `sim-posix`).
+//! It owns everything a kernel owns:
+//!
+//! * [`objects`] — kernel objects and a generation-checked handle table,
+//! * [`fs`] — an in-memory filesystem with open-file descriptions,
+//! * [`process`] — processes, threads and register contexts,
+//! * [`heap`] — heap managers built on the checked address space,
+//! * [`sync`] — events, mutexes, semaphores and waits with hang detection,
+//! * [`clock`] — simulated time plus `FILETIME`/`SYSTEMTIME`/`time_t` math,
+//! * [`env`](mod@env) — the environment block,
+//! * [`crash`] — the kernel-panic latch that records *Catastrophic* outcomes.
+//!
+//! The central type is [`Kernel`]: one instance per test
+//! case, which is how the Ballista harness gets the process-per-test
+//! isolation the paper achieved with `fork` and memory-mapped files.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_kernel::kernel::Kernel;
+//! use sim_kernel::fs::OpenOptions;
+//!
+//! let mut k = Kernel::new();
+//! k.fs.create_file("/tmp/demo", b"hello".to_vec()).unwrap();
+//! let ofd = k.fs.open("/tmp/demo", OpenOptions::read_only()).unwrap();
+//! let mut buf = [0u8; 5];
+//! let n = k.fs.read(ofd, &mut buf).unwrap();
+//! assert_eq!(&buf[..n], b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod crash;
+pub mod env;
+pub mod fs;
+pub mod heap;
+pub mod kernel;
+pub mod objects;
+pub mod outcome;
+pub mod process;
+pub mod sync;
+pub mod variant;
+
+pub use crash::{CrashInfo, CrashLatch};
+pub use kernel::Kernel;
+pub use objects::{Handle, ObjectKind, ObjectTable};
+pub use outcome::{ApiAbort, ApiResult, ApiReturn};
+pub use variant::OsVariant;

@@ -1,0 +1,238 @@
+//! The common call-outcome type shared by all simulated APIs.
+//!
+//! Every simulated C-library function, Win32 call and POSIX call returns an
+//! [`ApiResult`]: either the call *returned* to the application (with a
+//! value and possibly an error code — the robust path, or a Silent failure
+//! when the inputs were exceptional), or it *aborted* the task (a signal or
+//! structured exception — an Abort failure) or *never returned* (a hang — a
+//! Restart failure). Catastrophic outcomes are out of band: they latch the
+//! kernel's [`CrashLatch`](crate::crash::CrashLatch), which the executor
+//! checks before believing any return value.
+
+use serde::{Deserialize, Serialize};
+use sim_core::fault::Fault;
+use std::fmt;
+
+/// Win32 structured-exception codes observed by the paper's harness.
+pub mod seh {
+    /// `EXCEPTION_ACCESS_VIOLATION`.
+    pub const ACCESS_VIOLATION: u32 = 0xC000_0005;
+    /// `EXCEPTION_DATATYPE_MISALIGNMENT`.
+    pub const DATATYPE_MISALIGNMENT: u32 = 0x8000_0002;
+    /// `EXCEPTION_STACK_OVERFLOW`.
+    pub const STACK_OVERFLOW: u32 = 0xC000_00FD;
+    /// `EXCEPTION_INT_DIVIDE_BY_ZERO`.
+    pub const INT_DIVIDE_BY_ZERO: u32 = 0xC000_0094;
+    /// `EXCEPTION_GUARD_PAGE`.
+    pub const GUARD_PAGE: u32 = 0x8000_0001;
+    /// `EXCEPTION_FLT_INVALID_OPERATION` (unmasked x87 invalid-operation —
+    /// how MSVCRT-era math domain errors surface).
+    pub const FLT_INVALID_OPERATION: u32 = 0xC000_0090;
+    /// `EXCEPTION_FLT_DIVIDE_BY_ZERO`.
+    pub const FLT_DIVIDE_BY_ZERO: u32 = 0xC000_008E;
+    /// `EXCEPTION_FLT_OVERFLOW`.
+    pub const FLT_OVERFLOW: u32 = 0xC000_0091;
+}
+
+/// POSIX signal numbers the paper's harness monitored.
+pub mod sig {
+    /// `SIGBUS` (misalignment on real hardware).
+    pub const SIGBUS: u32 = 7;
+    /// `SIGFPE`.
+    pub const SIGFPE: u32 = 8;
+    /// `SIGSEGV`.
+    pub const SIGSEGV: u32 = 11;
+}
+
+/// A call that returned to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiReturn {
+    /// The raw return value (cast to the call's return type by the caller).
+    pub value: i64,
+    /// Error code reported through the personality's side channel
+    /// (`errno` / `GetLastError`), when the call set one.
+    pub error: Option<u32>,
+}
+
+impl ApiReturn {
+    /// A successful return with `value` and no error indication.
+    #[must_use]
+    pub fn ok(value: i64) -> Self {
+        ApiReturn { value, error: None }
+    }
+
+    /// An error return: `value` plus a reported error code.
+    #[must_use]
+    pub fn err(value: i64, code: u32) -> Self {
+        ApiReturn {
+            value,
+            error: Some(code),
+        }
+    }
+
+    /// Whether an error was reported through the side channel.
+    #[must_use]
+    pub fn reported_error(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// A call that did not return normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiAbort {
+    /// The task died on a signal (POSIX personality).
+    Signal {
+        /// Signal number (see [`sig`]).
+        signo: u32,
+        /// The machine fault behind it, when there was one.
+        fault: Option<Fault>,
+    },
+    /// The task died on a structured exception (Win32 personality).
+    Exception {
+        /// SEH code (see [`seh`]).
+        code: u32,
+        /// The machine fault behind it, when there was one.
+        fault: Option<Fault>,
+    },
+    /// The call never returns (unsatisfiable infinite wait).
+    Hang,
+}
+
+impl ApiAbort {
+    /// Translates a machine fault into the POSIX signal the paper's harness
+    /// would have observed.
+    #[must_use]
+    pub fn signal_from_fault(fault: Fault) -> Self {
+        let signo = match fault {
+            Fault::Misalignment { .. } => sig::SIGBUS,
+            Fault::DivideByZero => sig::SIGFPE,
+            _ => sig::SIGSEGV,
+        };
+        ApiAbort::Signal {
+            signo,
+            fault: Some(fault),
+        }
+    }
+
+    /// Translates a machine fault into the Win32 structured exception the
+    /// paper's harness intercepted.
+    #[must_use]
+    pub fn exception_from_fault(fault: Fault) -> Self {
+        let code = match fault {
+            Fault::Misalignment { .. } => seh::DATATYPE_MISALIGNMENT,
+            Fault::StackOverflow => seh::STACK_OVERFLOW,
+            Fault::DivideByZero => seh::INT_DIVIDE_BY_ZERO,
+            Fault::GuardPage { .. } => seh::GUARD_PAGE,
+            Fault::AccessViolation { .. } => seh::ACCESS_VIOLATION,
+        };
+        ApiAbort::Exception {
+            code,
+            fault: Some(fault),
+        }
+    }
+
+    /// Whether this is a hang (Restart failure) rather than a termination
+    /// (Abort failure).
+    #[must_use]
+    pub fn is_hang(&self) -> bool {
+        matches!(self, ApiAbort::Hang)
+    }
+}
+
+impl fmt::Display for ApiAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiAbort::Signal { signo, .. } => write!(f, "terminated by signal {signo}"),
+            ApiAbort::Exception { code, .. } => {
+                write!(f, "unhandled structured exception 0x{code:08X}")
+            }
+            ApiAbort::Hang => f.write_str("call hangs forever"),
+        }
+    }
+}
+
+impl std::error::Error for ApiAbort {}
+
+/// What every simulated API entry point returns.
+pub type ApiResult = Result<ApiReturn, ApiAbort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::addr::PrivilegeLevel;
+    use sim_core::fault::{AccessKind, ViolationCause};
+
+    fn av() -> Fault {
+        Fault::AccessViolation {
+            addr: 0x10,
+            access: AccessKind::Read,
+            cause: ViolationCause::Unmapped,
+            privilege: PrivilegeLevel::User,
+        }
+    }
+
+    #[test]
+    fn fault_to_signal_mapping() {
+        assert!(matches!(
+            ApiAbort::signal_from_fault(av()),
+            ApiAbort::Signal {
+                signo: sig::SIGSEGV,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ApiAbort::signal_from_fault(Fault::DivideByZero),
+            ApiAbort::Signal {
+                signo: sig::SIGFPE,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ApiAbort::signal_from_fault(Fault::Misalignment {
+                addr: 1,
+                required: 4,
+                privilege: PrivilegeLevel::User
+            }),
+            ApiAbort::Signal {
+                signo: sig::SIGBUS,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_to_seh_mapping() {
+        assert!(matches!(
+            ApiAbort::exception_from_fault(av()),
+            ApiAbort::Exception {
+                code: seh::ACCESS_VIOLATION,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ApiAbort::exception_from_fault(Fault::StackOverflow),
+            ApiAbort::Exception {
+                code: seh::STACK_OVERFLOW,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn returns_and_errors() {
+        assert!(!ApiReturn::ok(5).reported_error());
+        let e = ApiReturn::err(-1, 22);
+        assert!(e.reported_error());
+        assert_eq!(e.value, -1);
+    }
+
+    #[test]
+    fn hang_detection_and_display() {
+        assert!(ApiAbort::Hang.is_hang());
+        assert!(!ApiAbort::exception_from_fault(av()).is_hang());
+        assert!(ApiAbort::Hang.to_string().contains("hang"));
+        assert!(ApiAbort::exception_from_fault(av())
+            .to_string()
+            .contains("C0000005"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Synchronization objects and waits, with hang detection.
+//!
+//! The paper's **Restart** failures are tasks that never return from a call.
+//! In a single-threaded simulation nothing can signal an object while the
+//! test case is blocked, so the rule is exact: *a wait that cannot be
+//! satisfied immediately and has an infinite timeout will never return* —
+//! the kernel reports it as [`WaitOutcome::Hang`] and the harness classifies
+//! the test case as Restart, precisely what the paper's watchdog did.
+
+use serde::{Deserialize, Serialize};
+
+/// Timeout value meaning "wait forever" (`INFINITE` / no `timespec`).
+pub const INFINITE: u32 = u32::MAX;
+
+/// Which flavour of waitable object a [`SyncState`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// Event: signaled/unsignaled, manual- or auto-reset.
+    Event,
+    /// Mutex: owned by at most one thread, re-entrant for the owner.
+    Mutex,
+    /// Semaphore: counted.
+    Semaphore,
+}
+
+/// State carried by an event, mutex or semaphore object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncState {
+    /// Object flavour.
+    pub kind: SyncKind,
+    /// Signaled right now? (Events; derived for the other kinds.)
+    pub signaled: bool,
+    /// Events: manual-reset (stays signaled) vs auto-reset.
+    pub manual_reset: bool,
+    /// Semaphores: current count. Mutexes: recursion count.
+    pub count: u32,
+    /// Semaphores: maximum count.
+    pub max_count: u32,
+    /// Mutexes: owning thread id, 0 = unowned.
+    pub owner: u32,
+    /// Mutexes: abandoned by a terminated owner.
+    pub abandoned: bool,
+}
+
+impl SyncState {
+    /// State for a new event.
+    #[must_use]
+    pub fn event(manual_reset: bool, initially_signaled: bool) -> Self {
+        SyncState {
+            kind: SyncKind::Event,
+            signaled: initially_signaled,
+            manual_reset,
+            count: 0,
+            max_count: 0,
+            owner: 0,
+            abandoned: false,
+        }
+    }
+
+    /// State for a new mutex; `initially_owned_by` of 0 means unowned.
+    #[must_use]
+    pub fn mutex(initially_owned_by: u32) -> Self {
+        SyncState {
+            kind: SyncKind::Mutex,
+            signaled: initially_owned_by == 0,
+            manual_reset: false,
+            count: u32::from(initially_owned_by != 0),
+            max_count: 0,
+            owner: initially_owned_by,
+            abandoned: false,
+        }
+    }
+
+    /// State for a new semaphore.
+    #[must_use]
+    pub fn semaphore(initial: u32, max: u32) -> Self {
+        SyncState {
+            kind: SyncKind::Semaphore,
+            signaled: initial > 0,
+            manual_reset: false,
+            count: initial,
+            max_count: max,
+            owner: 0,
+            abandoned: false,
+        }
+    }
+
+    /// Attempts to acquire/consume the object for thread `tid`. Returns
+    /// `true` when the wait would be satisfied, applying the usual
+    /// side-effects (auto-reset events clear; semaphores decrement; mutexes
+    /// recurse for the owner).
+    pub fn try_acquire(&mut self, tid: u32) -> bool {
+        match self.kind {
+            SyncKind::Event => {
+                if self.signaled {
+                    if !self.manual_reset {
+                        self.signaled = false;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            SyncKind::Mutex => {
+                if self.owner == tid && self.count > 0 {
+                    self.count += 1;
+                    true
+                } else if self.owner == 0 {
+                    self.owner = tid;
+                    self.count = 1;
+                    self.signaled = false;
+                    true
+                } else {
+                    false
+                }
+            }
+            SyncKind::Semaphore => {
+                if self.count > 0 {
+                    self.count -= 1;
+                    self.signaled = self.count > 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Signals the object (`SetEvent` / `ReleaseMutex` / `ReleaseSemaphore`).
+    ///
+    /// For mutexes, one `signal` undoes one level of recursion; the object
+    /// becomes free when the count reaches zero.
+    pub fn signal(&mut self) {
+        match self.kind {
+            SyncKind::Event => self.signaled = true,
+            SyncKind::Mutex => {
+                if self.count > 0 {
+                    self.count -= 1;
+                    if self.count == 0 {
+                        self.owner = 0;
+                        self.signaled = true;
+                    }
+                }
+            }
+            SyncKind::Semaphore => {
+                if self.count < self.max_count {
+                    self.count += 1;
+                }
+                self.signaled = self.count > 0;
+            }
+        }
+    }
+
+    /// Resets an event to unsignaled (`ResetEvent`). No effect on other
+    /// kinds.
+    pub fn reset(&mut self) {
+        if self.kind == SyncKind::Event {
+            self.signaled = false;
+        }
+    }
+}
+
+/// Result of a (possibly multi-object) wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitOutcome {
+    /// Object `index` satisfied the wait.
+    Signaled(usize),
+    /// The wait timed out.
+    Timeout,
+    /// A mutex in the set was abandoned by its owner; `index` names it.
+    Abandoned(usize),
+    /// The wait can never be satisfied and the timeout is infinite — the
+    /// calling task hangs forever (a **Restart** failure on the CRASH
+    /// scale).
+    Hang,
+}
+
+/// Evaluates a wait over `objects` (wait-any semantics, as in
+/// `WaitForMultipleObjects(..., FALSE, ...)`).
+///
+/// In the single-threaded simulation no third party can signal an object
+/// once the caller blocks, so an unsatisfiable wait either times out (finite
+/// timeout) or hangs (infinite timeout).
+pub fn wait_any(objects: &mut [&mut SyncState], tid: u32, timeout_ms: u32) -> WaitOutcome {
+    for (i, obj) in objects.iter_mut().enumerate() {
+        if obj.abandoned {
+            obj.abandoned = false;
+            obj.owner = tid;
+            return WaitOutcome::Abandoned(i);
+        }
+    }
+    for (i, obj) in objects.iter_mut().enumerate() {
+        if obj.try_acquire(tid) {
+            return WaitOutcome::Signaled(i);
+        }
+    }
+    if timeout_ms == INFINITE {
+        WaitOutcome::Hang
+    } else {
+        WaitOutcome::Timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_reset_event_consumed_once() {
+        let mut e = SyncState::event(false, true);
+        assert!(e.try_acquire(1));
+        assert!(!e.try_acquire(1));
+        e.signal();
+        assert!(e.try_acquire(2));
+    }
+
+    #[test]
+    fn manual_reset_event_stays_signaled() {
+        let mut e = SyncState::event(true, true);
+        assert!(e.try_acquire(1));
+        assert!(e.try_acquire(2));
+        e.reset();
+        assert!(!e.try_acquire(1));
+    }
+
+    #[test]
+    fn semaphore_counts_down() {
+        let mut s = SyncState::semaphore(2, 5);
+        assert!(s.try_acquire(1));
+        assert!(s.try_acquire(1));
+        assert!(!s.try_acquire(1));
+        s.signal();
+        assert!(s.try_acquire(1));
+    }
+
+    #[test]
+    fn semaphore_respects_max() {
+        let mut s = SyncState::semaphore(0, 1);
+        s.signal();
+        s.signal(); // saturates at max
+        assert!(s.try_acquire(1));
+        assert!(!s.try_acquire(1));
+    }
+
+    #[test]
+    fn mutex_reentrant_for_owner_blocked_for_others() {
+        let mut m = SyncState::mutex(0);
+        assert!(m.try_acquire(1));
+        assert!(m.try_acquire(1)); // recursion
+        assert!(!m.try_acquire(2));
+        m.signal();
+        assert!(!m.try_acquire(2)); // still held once
+        m.signal();
+        assert!(m.try_acquire(2)); // released
+    }
+
+    #[test]
+    fn initially_owned_mutex() {
+        let mut m = SyncState::mutex(7);
+        assert!(!m.try_acquire(2));
+        assert!(m.try_acquire(7)); // owner recursion
+    }
+
+    #[test]
+    fn wait_any_signaled_index() {
+        let mut a = SyncState::event(false, false);
+        let mut b = SyncState::event(false, true);
+        let outcome = wait_any(&mut [&mut a, &mut b], 1, 100);
+        assert_eq!(outcome, WaitOutcome::Signaled(1));
+    }
+
+    #[test]
+    fn unsatisfiable_finite_wait_times_out() {
+        let mut a = SyncState::event(false, false);
+        assert_eq!(wait_any(&mut [&mut a], 1, 50), WaitOutcome::Timeout);
+    }
+
+    #[test]
+    fn unsatisfiable_infinite_wait_hangs() {
+        let mut a = SyncState::event(false, false);
+        assert_eq!(wait_any(&mut [&mut a], 1, INFINITE), WaitOutcome::Hang);
+    }
+
+    #[test]
+    fn abandoned_mutex_reported_then_owned() {
+        let mut m = SyncState::mutex(9);
+        m.abandoned = true;
+        assert_eq!(wait_any(&mut [&mut m], 3, 0), WaitOutcome::Abandoned(0));
+        assert_eq!(m.owner, 3);
+        assert!(!m.abandoned);
+    }
+
+    #[test]
+    fn empty_wait_set_hangs_on_infinite() {
+        assert_eq!(wait_any(&mut [], 1, INFINITE), WaitOutcome::Hang);
+        assert_eq!(wait_any(&mut [], 1, 10), WaitOutcome::Timeout);
+    }
+}

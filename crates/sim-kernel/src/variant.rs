@@ -1,0 +1,162 @@
+//! The seven operating-system targets of the paper.
+//!
+//! [`OsVariant`] is the shared vocabulary between the kernel substrate, the
+//! C-library and API personalities, the Ballista harness and the report
+//! layer: Windows 95 revision B, Windows 98 (SP1), Windows 98 Second
+//! Edition, Windows NT 4.0 Workstation (SP5), Windows 2000 Professional
+//! (Beta 3), Windows CE 2.11, and RedHat Linux 6.0 — the exact systems
+//! Table 1 of the paper covers.
+
+use crate::kernel::MachineFlavor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the seven operating systems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OsVariant {
+    /// RedHat Linux 6.0, kernel 2.2.5, glibc 2.1.
+    Linux,
+    /// Windows 95 revision B.
+    Win95,
+    /// Windows 98 with Service Pack 1.
+    Win98,
+    /// Windows 98 Second Edition.
+    Win98Se,
+    /// Windows NT 4.0 Workstation, Service Pack 5.
+    WinNt4,
+    /// Windows 2000 Professional, Beta 3 (Build 2031).
+    Win2000,
+    /// Windows CE 2.11 (HP Jornada 820).
+    WinCe,
+}
+
+impl OsVariant {
+    /// All seven variants, in the paper's table order.
+    pub const ALL: [OsVariant; 7] = [
+        OsVariant::Linux,
+        OsVariant::Win95,
+        OsVariant::Win98,
+        OsVariant::Win98Se,
+        OsVariant::WinNt4,
+        OsVariant::Win2000,
+        OsVariant::WinCe,
+    ];
+
+    /// The five desktop Windows variants (the Figure 2 voting set).
+    pub const DESKTOP_WINDOWS: [OsVariant; 5] = [
+        OsVariant::Win95,
+        OsVariant::Win98,
+        OsVariant::Win98Se,
+        OsVariant::WinNt4,
+        OsVariant::Win2000,
+    ];
+
+    /// Whether this is any Windows flavour.
+    #[must_use]
+    pub fn is_windows(self) -> bool {
+        self != OsVariant::Linux
+    }
+
+    /// The consumer Windows 95/98/98 SE family.
+    #[must_use]
+    pub fn is_9x(self) -> bool {
+        matches!(self, OsVariant::Win95 | OsVariant::Win98 | OsVariant::Win98Se)
+    }
+
+    /// The NT-kernel family (NT 4.0 and 2000).
+    #[must_use]
+    pub fn is_nt(self) -> bool {
+        matches!(self, OsVariant::WinNt4 | OsVariant::Win2000)
+    }
+
+    /// Windows CE.
+    #[must_use]
+    pub fn is_ce(self) -> bool {
+        self == OsVariant::WinCe
+    }
+
+    /// The machine flavour (path rules + alignment strictness) this OS ran
+    /// on in the paper's testbed.
+    #[must_use]
+    pub fn machine_flavor(self) -> MachineFlavor {
+        match self {
+            OsVariant::Linux => MachineFlavor::Posix,
+            OsVariant::WinCe => MachineFlavor::WindowsStrictAlign,
+            _ => MachineFlavor::Windows,
+        }
+    }
+
+    /// Short identifier used in reports and CSV output.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            OsVariant::Linux => "linux",
+            OsVariant::Win95 => "win95",
+            OsVariant::Win98 => "win98",
+            OsVariant::Win98Se => "win98se",
+            OsVariant::WinNt4 => "winnt",
+            OsVariant::Win2000 => "win2000",
+            OsVariant::WinCe => "wince",
+        }
+    }
+}
+
+impl fmt::Display for OsVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OsVariant::Linux => "Linux (RedHat 6.0)",
+            OsVariant::Win95 => "Windows 95",
+            OsVariant::Win98 => "Windows 98",
+            OsVariant::Win98Se => "Windows 98 SE",
+            OsVariant::WinNt4 => "Windows NT 4.0",
+            OsVariant::Win2000 => "Windows 2000",
+            OsVariant::WinCe => "Windows CE 2.11",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_predicates_partition_windows() {
+        for v in OsVariant::ALL {
+            if v.is_windows() {
+                assert_eq!(
+                    u8::from(v.is_9x()) + u8::from(v.is_nt()) + u8::from(v.is_ce()),
+                    1,
+                    "{v} must be in exactly one Windows family"
+                );
+            } else {
+                assert!(!v.is_9x() && !v.is_nt() && !v.is_ce());
+            }
+        }
+    }
+
+    #[test]
+    fn desktop_windows_excludes_ce_and_linux() {
+        assert!(!OsVariant::DESKTOP_WINDOWS.contains(&OsVariant::WinCe));
+        assert!(!OsVariant::DESKTOP_WINDOWS.contains(&OsVariant::Linux));
+        assert_eq!(OsVariant::DESKTOP_WINDOWS.len(), 5);
+    }
+
+    #[test]
+    fn flavors() {
+        assert_eq!(OsVariant::Linux.machine_flavor(), MachineFlavor::Posix);
+        assert_eq!(OsVariant::Win98.machine_flavor(), MachineFlavor::Windows);
+        assert_eq!(
+            OsVariant::WinCe.machine_flavor(),
+            MachineFlavor::WindowsStrictAlign
+        );
+    }
+
+    #[test]
+    fn short_names_unique() {
+        let mut names: Vec<_> = OsVariant::ALL.iter().map(|v| v.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

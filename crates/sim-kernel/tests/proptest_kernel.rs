@@ -1,0 +1,117 @@
+//! Property-based tests for kernel invariants: stale handles never resolve,
+//! filesystem read/write behaves like a byte store, heaps never hand out
+//! aliasing blocks.
+
+use proptest::prelude::*;
+use sim_core::memory::AddressSpace;
+use sim_kernel::fs::{FileSystem, OpenOptions, SeekFrom};
+use sim_kernel::heap::HeapManager;
+use sim_kernel::objects::{HandleError, ObjectKind, ObjectTable};
+use sim_kernel::sync::SyncState;
+
+proptest! {
+    /// However handles are opened and closed, a closed handle never
+    /// resolves again — even after its slot is reused many times.
+    #[test]
+    fn stale_handles_never_resolve(script in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut table = ObjectTable::new();
+        let mut live = Vec::new();
+        let mut dead = Vec::new();
+        for (i, open) in script.into_iter().enumerate() {
+            if open || live.is_empty() {
+                live.push(table.insert(ObjectKind::Thread(i as u32)));
+            } else {
+                let h = live.swap_remove(i % live.len());
+                table.close(h).unwrap();
+                dead.push(h);
+            }
+            for &h in &dead {
+                prop_assert_eq!(table.get(h).unwrap_err(), HandleError::Closed);
+            }
+            for &h in &live {
+                prop_assert!(table.get(h).is_ok());
+            }
+        }
+    }
+
+    /// File write-then-read-back through arbitrary seek positions matches a
+    /// reference Vec<u8> model.
+    #[test]
+    fn file_io_matches_byte_store_model(
+        ops in proptest::collection::vec(
+            (0u64..256, proptest::collection::vec(any::<u8>(), 0..32)),
+            1..40,
+        )
+    ) {
+        let mut fs = FileSystem::new_posix();
+        fs.create_file("/model", vec![]).unwrap();
+        let ofd = fs.open("/model", OpenOptions::read_write()).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (pos, data) in ops {
+            fs.seek(ofd, SeekFrom::Start(pos)).unwrap();
+            fs.write(ofd, &data).unwrap();
+            let end = pos as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[pos as usize..end].copy_from_slice(&data);
+        }
+        fs.seek(ofd, SeekFrom::Start(0)).unwrap();
+        let mut buf = vec![0u8; model.len() + 8];
+        let n = fs.read(ofd, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..n], model.as_slice());
+    }
+
+    /// Heap allocations never alias and sizes are tracked exactly.
+    #[test]
+    fn heap_blocks_disjoint(sizes in proptest::collection::vec(0u64..512, 1..30)) {
+        let mut space = AddressSpace::new();
+        let mut heaps = HeapManager::new();
+        let id = heaps.create(0, 0).unwrap();
+        let mut blocks = Vec::new();
+        for &s in &sizes {
+            let p = heaps.alloc(id, s, &mut space).unwrap();
+            blocks.push((p, s.max(1)));
+        }
+        for (i, &(a, alen)) in blocks.iter().enumerate() {
+            prop_assert_eq!(heaps.size_of(id, a).unwrap(), alen);
+            for &(b, blen) in &blocks[i + 1..] {
+                let disjoint = a.addr() + alen <= b.addr() || b.addr() + blen <= a.addr();
+                prop_assert!(disjoint, "blocks {a} (+{alen}) and {b} (+{blen}) overlap");
+            }
+        }
+        let total: u64 = blocks.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(heaps.in_use(id).unwrap(), total);
+    }
+
+    /// wait-style acquire/signal on a semaphore never exceeds its maximum
+    /// and never goes negative.
+    #[test]
+    fn semaphore_count_bounded(
+        initial in 0u32..10,
+        max_extra in 0u32..10,
+        ops in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let max = initial + max_extra.max(1);
+        let mut s = SyncState::semaphore(initial, max);
+        for signal in ops {
+            if signal {
+                s.signal();
+            } else {
+                let _ = s.try_acquire(1);
+            }
+            prop_assert!(s.count <= max);
+        }
+    }
+
+    /// Path splitting is idempotent under re-joining: split(join(split(p)))
+    /// == split(p), and `..` never escapes the root.
+    #[test]
+    fn path_normalization_idempotent(parts in proptest::collection::vec("[a-zA-Z0-9.]{1,8}", 0..8)) {
+        let fs = FileSystem::new_posix();
+        let path = format!("/{}", parts.join("/"));
+        let split = fs.split_path(&path).unwrap();
+        let rejoined = format!("/{}", split.join("/"));
+        prop_assert_eq!(fs.split_path(&rejoined).unwrap(), split);
+    }
+}

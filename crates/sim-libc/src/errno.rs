@@ -1,0 +1,124 @@
+//! The `errno` vocabulary shared by the C library and the POSIX
+//! personality, plus mapping from kernel subsystem errors.
+
+use sim_kernel::env::EnvError;
+use sim_kernel::fs::FsError;
+use sim_kernel::heap::HeapError;
+use sim_kernel::process::ProcessError;
+
+/// Operation not permitted.
+pub const EPERM: u32 = 1;
+/// No such file or directory.
+pub const ENOENT: u32 = 2;
+/// No such process.
+pub const ESRCH: u32 = 3;
+/// Interrupted system call.
+pub const EINTR: u32 = 4;
+/// I/O error.
+pub const EIO: u32 = 5;
+/// Bad file descriptor.
+pub const EBADF: u32 = 9;
+/// No child processes.
+pub const ECHILD: u32 = 10;
+/// Try again / resource temporarily unavailable.
+pub const EAGAIN: u32 = 11;
+/// Out of memory.
+pub const ENOMEM: u32 = 12;
+/// Permission denied.
+pub const EACCES: u32 = 13;
+/// Bad address.
+pub const EFAULT: u32 = 14;
+/// Device or resource busy.
+pub const EBUSY: u32 = 16;
+/// File exists.
+pub const EEXIST: u32 = 17;
+/// Not a directory.
+pub const ENOTDIR: u32 = 20;
+/// Is a directory.
+pub const EISDIR: u32 = 21;
+/// Invalid argument.
+pub const EINVAL: u32 = 22;
+/// Too many open files.
+pub const EMFILE: u32 = 24;
+/// File too large.
+pub const EFBIG: u32 = 27;
+/// No space left on device.
+pub const ENOSPC: u32 = 28;
+/// Illegal seek.
+pub const ESPIPE: u32 = 29;
+/// Read-only file system.
+pub const EROFS: u32 = 30;
+/// Math argument out of domain.
+pub const EDOM: u32 = 33;
+/// Math result not representable.
+pub const ERANGE: u32 = 34;
+/// Directory not empty.
+pub const ENOTEMPTY: u32 = 39;
+
+/// Maps a filesystem error to its `errno`.
+#[must_use]
+pub fn from_fs(e: FsError) -> u32 {
+    match e {
+        FsError::NotFound => ENOENT,
+        FsError::NotADirectory => ENOTDIR,
+        FsError::IsADirectory => EISDIR,
+        FsError::Exists => EEXIST,
+        FsError::AccessDenied => EACCES,
+        FsError::BadDescriptor => EBADF,
+        FsError::BadAccessMode => EBADF,
+        FsError::InvalidPath => ENOENT,
+        FsError::NotEmpty => ENOTEMPTY,
+        FsError::InvalidSeek => EINVAL,
+        FsError::SharingViolation => EBUSY,
+        FsError::TooManyOpen => EMFILE,
+    }
+}
+
+/// Maps a heap error to its `errno`.
+#[must_use]
+pub fn from_heap(e: HeapError) -> u32 {
+    match e {
+        HeapError::OutOfMemory => ENOMEM,
+        HeapError::NoHeap | HeapError::NotAllocated | HeapError::InvalidArgument => EINVAL,
+    }
+}
+
+/// Maps a process-table error to its `errno`.
+#[must_use]
+pub fn from_process(e: ProcessError) -> u32 {
+    match e {
+        ProcessError::NoProcess | ProcessError::NoThread => ESRCH,
+        ProcessError::NoChildren => ECHILD,
+        ProcessError::AlreadyExited => ESRCH,
+        ProcessError::InvalidArgument => EINVAL,
+    }
+}
+
+/// Maps an environment error to its `errno`.
+#[must_use]
+pub fn from_env(e: EnvError) -> u32 {
+    match e {
+        EnvError::NotFound => ENOENT,
+        EnvError::InvalidName => EINVAL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_mapping_covers_core_cases() {
+        assert_eq!(from_fs(FsError::NotFound), ENOENT);
+        assert_eq!(from_fs(FsError::IsADirectory), EISDIR);
+        assert_eq!(from_fs(FsError::NotEmpty), ENOTEMPTY);
+        assert_eq!(from_fs(FsError::BadDescriptor), EBADF);
+    }
+
+    #[test]
+    fn other_mappings() {
+        assert_eq!(from_heap(HeapError::OutOfMemory), ENOMEM);
+        assert_eq!(from_process(ProcessError::NoChildren), ECHILD);
+        assert_eq!(from_env(EnvError::NotFound), ENOENT);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sim-libc — simulated C libraries
+//!
+//! The paper tests 94 C library functions with *identical* test cases on
+//! every operating system, because the C library is the one API the Win32
+//! and POSIX worlds share. The interesting result is that the
+//! implementations differ wildly in robustness: glibc's `ctype` macros
+//! index a lookup table without bounds checks (>30 % Abort failures on
+//! Linux, 0 % on Windows), MSVCRT raises hardware exceptions on
+//! floating-point domain errors where glibc quietly sets `errno`, the
+//! Windows CE CRT passes unvalidated `FILE*`-derived handles into kernel
+//! code and *kills the whole machine*, and `fwrite`/`strncpy` could crash
+//! Windows 98 outright.
+//!
+//! This crate implements those C libraries over the simulated kernel:
+//!
+//! * [`profile`] — [`LibcProfile`]: which validation
+//!   each OS's C library performs (the source of every behavioural
+//!   difference; nothing here hard-codes a failure *rate*),
+//! * [`errno`] — the `errno` vocabulary,
+//! * [`ctype`] — character classification (`isalpha`, `toupper`, …),
+//! * [`string`] — `str*` functions,
+//! * [`memory`] — `malloc`/`free` family plus `mem*`,
+//! * [`stdio`] — the `FILE` machinery and file-management calls,
+//! * [`stream`] — stream I/O (`fread`, `fprintf`, `getc`, …),
+//! * [`math`] — `<math.h>`,
+//! * [`time`] — `<time.h>`,
+//! * [`wide`] — Windows CE UNICODE twins (`_tcsncpy`, `_wfreopen`, …).
+//!
+//! Every function takes the simulated [`Kernel`](sim_kernel::Kernel), a
+//! [`LibcProfile`] and raw argument values, and
+//! returns the shared [`ApiResult`](sim_kernel::outcome::ApiResult).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctype;
+pub mod errno;
+pub mod math;
+pub mod memory;
+pub mod profile;
+pub mod stdio;
+pub mod stream;
+pub mod string;
+pub mod time;
+pub mod wide;
+
+pub use profile::LibcProfile;

@@ -1,0 +1,439 @@
+//! `<math.h>` and the integer arithmetic helpers of `<stdlib.h>`.
+//!
+//! One of the groups where *Windows* aborts more than Linux in the paper.
+//! The mechanism: the MSVC CRTs of the era run with x87 floating-point
+//! exceptions unmasked for invalid operations, so a domain error
+//! (`sqrt(-1)`, `log(0)`, `asin(2)`, NaN inputs) raises
+//! `EXCEPTION_FLT_INVALID_OPERATION` and kills the task, while glibc masks
+//! them, sets `errno = EDOM`/`ERANGE` and returns NaN/±Inf — the robust
+//! response. The out-parameter functions (`frexp`, `modf`) and the integer
+//! divisions (`div`, `ldiv`) abort identically everywhere.
+
+use crate::errno::{EDOM, ERANGE};
+use crate::profile::LibcProfile;
+use crate::string::abort;
+use sim_core::fault::Fault;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{seh, ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// How a math result is reported: the raw bits of the `f64` are returned in
+/// `value` so the harness can reconstruct the number.
+fn ret_f64(x: f64) -> ApiReturn {
+    ApiReturn::ok(x.to_bits() as i64)
+}
+
+fn ret_f64_err(x: f64, code: u32) -> ApiReturn {
+    ApiReturn::err(x.to_bits() as i64, code)
+}
+
+/// Raises the MSVCRT floating-point exception for a domain error.
+fn flt_invalid() -> ApiAbort {
+    ApiAbort::Exception {
+        code: seh::FLT_INVALID_OPERATION,
+        fault: None,
+    }
+}
+
+/// Shared handling of a one-argument function with a domain predicate:
+/// `domain_error(x)` says the input is outside the mathematical domain.
+fn unary(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    x: f64,
+    domain_error: bool,
+    compute: impl FnOnce(f64) -> f64,
+) -> ApiResult {
+    k.charge_call();
+    if x.is_nan() || domain_error {
+        if profile.math_domain_raises() {
+            return Err(flt_invalid());
+        }
+        return Ok(ret_f64_err(f64::NAN, EDOM));
+    }
+    let y = compute(x);
+    if y.is_infinite() && x.is_finite() {
+        // Range error (overflow): errno = ERANGE on glibc; MSVCRT-era CRTs
+        // typically returned HUGE_VAL quietly.
+        if !profile.math_domain_raises() {
+            return Ok(ret_f64_err(y, ERANGE));
+        }
+    }
+    Ok(ret_f64(y))
+}
+
+macro_rules! unary_fn {
+    ($(#[$doc:meta])* $name:ident, $domain:expr, $compute:expr) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Raises `EXCEPTION_FLT_INVALID_OPERATION` on the MSVCRT profiles
+        /// for NaN/domain-error inputs; glibc reports `errno` instead.
+        #[allow(clippy::redundant_closure_call)]
+        pub fn $name(k: &mut Kernel, profile: LibcProfile, x: f64) -> ApiResult {
+            unary(k, profile, x, ($domain)(x), $compute)
+        }
+    };
+}
+
+unary_fn!(
+    /// `sqrt(x)` — domain error for `x < 0`.
+    sqrt,
+    |x: f64| x < 0.0,
+    f64::sqrt
+);
+unary_fn!(
+    /// `log(x)` — domain error for `x <= 0`.
+    log,
+    |x: f64| x <= 0.0,
+    f64::ln
+);
+unary_fn!(
+    /// `log10(x)` — domain error for `x <= 0`.
+    log10,
+    |x: f64| x <= 0.0,
+    f64::log10
+);
+unary_fn!(
+    /// `exp(x)` — never a domain error; overflows to +Inf.
+    exp,
+    |_x: f64| false,
+    f64::exp
+);
+unary_fn!(
+    /// `sin(x)` — domain error only for ±Inf.
+    sin,
+    |x: f64| x.is_infinite(),
+    f64::sin
+);
+unary_fn!(
+    /// `cos(x)` — domain error only for ±Inf.
+    cos,
+    |x: f64| x.is_infinite(),
+    f64::cos
+);
+unary_fn!(
+    /// `tan(x)` — domain error only for ±Inf.
+    tan,
+    |x: f64| x.is_infinite(),
+    f64::tan
+);
+unary_fn!(
+    /// `asin(x)` — domain error for |x| > 1.
+    asin,
+    |x: f64| !(-1.0..=1.0).contains(&x),
+    f64::asin
+);
+unary_fn!(
+    /// `acos(x)` — domain error for |x| > 1.
+    acos,
+    |x: f64| !(-1.0..=1.0).contains(&x),
+    f64::acos
+);
+unary_fn!(
+    /// `atan(x)` — total; never a domain error.
+    atan,
+    |_x: f64| false,
+    f64::atan
+);
+unary_fn!(
+    /// `ceil(x)` — total.
+    ceil,
+    |_x: f64| false,
+    f64::ceil
+);
+unary_fn!(
+    /// `floor(x)` — total.
+    floor,
+    |_x: f64| false,
+    f64::floor
+);
+unary_fn!(
+    /// `fabs(x)` — total.
+    fabs,
+    |_x: f64| false,
+    f64::abs
+);
+
+/// `pow(x, y)` — domain error for negative base with non-integer exponent
+/// and for `0^negative`.
+///
+/// # Errors
+///
+/// Raises on MSVCRT for domain errors; `errno` on glibc.
+pub fn pow(k: &mut Kernel, profile: LibcProfile, x: f64, y: f64) -> ApiResult {
+    k.charge_call();
+    let domain = (x < 0.0 && y.fract() != 0.0 && y.is_finite())
+        || (x == 0.0 && y < 0.0)
+        || x.is_nan()
+        || y.is_nan();
+    if domain {
+        if profile.math_domain_raises() {
+            return Err(flt_invalid());
+        }
+        return Ok(ret_f64_err(f64::NAN, EDOM));
+    }
+    Ok(ret_f64(x.powf(y)))
+}
+
+/// `fmod(x, y)` — domain error for `y == 0` or infinite `x`.
+///
+/// # Errors
+///
+/// Raises on MSVCRT for domain errors; `errno` on glibc.
+pub fn fmod(k: &mut Kernel, profile: LibcProfile, x: f64, y: f64) -> ApiResult {
+    k.charge_call();
+    let domain = y == 0.0 || x.is_infinite() || x.is_nan() || y.is_nan();
+    if domain {
+        if profile.math_domain_raises() {
+            return Err(flt_invalid());
+        }
+        return Ok(ret_f64_err(f64::NAN, EDOM));
+    }
+    Ok(ret_f64(x % y))
+}
+
+/// `atan2(y, x)` — total except NaN inputs.
+///
+/// # Errors
+///
+/// Raises on MSVCRT for NaN inputs.
+pub fn atan2(k: &mut Kernel, profile: LibcProfile, y: f64, x: f64) -> ApiResult {
+    k.charge_call();
+    if y.is_nan() || x.is_nan() {
+        if profile.math_domain_raises() {
+            return Err(flt_invalid());
+        }
+        return Ok(ret_f64_err(f64::NAN, EDOM));
+    }
+    Ok(ret_f64(y.atan2(x)))
+}
+
+/// `frexp(x, exp)` — writes the binary exponent through `exp`.
+///
+/// # Errors
+///
+/// Aborts on every profile when `exp` faults (the C out-parameter hazard).
+pub fn frexp(k: &mut Kernel, profile: LibcProfile, x: f64, exp: SimPtr) -> ApiResult {
+    k.charge_call();
+    let (mantissa, exponent) = if x == 0.0 || !x.is_finite() {
+        (x, 0)
+    } else {
+        let e = x.abs().log2().floor() as i32 + 1;
+        (x / f64::powi(2.0, e), e)
+    };
+    k.space
+        .write_i32(exp, exponent)
+        .map_err(|f| abort(profile, f))?;
+    Ok(ret_f64(mantissa))
+}
+
+/// `ldexp(x, n)` — total.
+///
+/// # Errors
+///
+/// None; robust on every profile.
+pub fn ldexp(k: &mut Kernel, _profile: LibcProfile, x: f64, n: i32) -> ApiResult {
+    k.charge_call();
+    Ok(ret_f64(x * f64::powi(2.0, n.clamp(-2000, 2000))))
+}
+
+/// `modf(x, iptr)` — writes the integral part through `iptr`.
+///
+/// # Errors
+///
+/// Aborts on every profile when `iptr` faults.
+pub fn modf(k: &mut Kernel, profile: LibcProfile, x: f64, iptr: SimPtr) -> ApiResult {
+    k.charge_call();
+    let int_part = x.trunc();
+    k.space
+        .write_f64(iptr, int_part)
+        .map_err(|f| abort(profile, f))?;
+    Ok(ret_f64(x - int_part))
+}
+
+/// `abs(n)` — note `abs(INT_MIN)` is UB in C; both CRTs return `INT_MIN`
+/// quietly (a Silent wrong answer, not a failure the harness can see).
+///
+/// # Errors
+///
+/// None.
+pub fn abs(k: &mut Kernel, _profile: LibcProfile, n: i32) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(n.wrapping_abs())))
+}
+
+/// `labs(n)` — 32-bit long on every paper target.
+///
+/// # Errors
+///
+/// None.
+pub fn labs(k: &mut Kernel, _profile: LibcProfile, n: i32) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(n.wrapping_abs())))
+}
+
+/// `div(numer, denom)` — x86 `idiv` faults on a zero divisor and on the
+/// `INT_MIN / -1` overflow, on every OS.
+///
+/// # Errors
+///
+/// A divide fault (SIGFPE / `EXCEPTION_INT_DIVIDE_BY_ZERO`) for `denom ==
+/// 0` or the overflowing pair.
+pub fn div(k: &mut Kernel, profile: LibcProfile, numer: i32, denom: i32) -> ApiResult {
+    k.charge_call();
+    if denom == 0 || (numer == i32::MIN && denom == -1) {
+        return Err(abort(profile, Fault::DivideByZero));
+    }
+    // Quotient in the low 32 bits, remainder in the high 32 (the div_t pair).
+    let q = numer / denom;
+    let r = numer % denom;
+    Ok(ApiReturn::ok(
+        (i64::from(r) << 32) | i64::from(q as u32),
+    ))
+}
+
+/// `ldiv(numer, denom)` — same hazards as [`div`].
+///
+/// # Errors
+///
+/// A divide fault for `denom == 0` or the overflowing pair.
+pub fn ldiv(k: &mut Kernel, profile: LibcProfile, numer: i32, denom: i32) -> ApiResult {
+    div(k, profile, numer, denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn msvcrt() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Win95)
+    }
+
+    fn as_f64(r: ApiReturn) -> f64 {
+        f64::from_bits(r.value as u64)
+    }
+
+    #[test]
+    fn happy_paths_agree() {
+        let mut k = Kernel::new();
+        for p in [glibc(), msvcrt()] {
+            assert_eq!(as_f64(sqrt(&mut k, p, 9.0).unwrap()), 3.0);
+            assert_eq!(as_f64(fabs(&mut k, p, -2.5).unwrap()), 2.5);
+            assert_eq!(as_f64(floor(&mut k, p, 1.9).unwrap()), 1.0);
+            assert_eq!(as_f64(pow(&mut k, p, 2.0, 10.0).unwrap()), 1024.0);
+            assert!((as_f64(log(&mut k, p, std::f64::consts::E).unwrap()) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn domain_errors_split_by_profile() {
+        let mut k = Kernel::new();
+        // glibc: errno + NaN.
+        for (f, x) in [
+            (sqrt as fn(&mut Kernel, LibcProfile, f64) -> ApiResult, -1.0),
+            (log, 0.0),
+            (log10, -5.0),
+            (asin, 2.0),
+            (acos, -2.0),
+        ] {
+            let r = f(&mut k, glibc(), x).unwrap();
+            assert_eq!(r.error, Some(EDOM));
+            assert!(as_f64(r).is_nan());
+            // MSVCRT: floating-point exception → Abort.
+            let e = f(&mut k, msvcrt(), x).unwrap_err();
+            assert!(matches!(
+                e,
+                ApiAbort::Exception {
+                    code: seh::FLT_INVALID_OPERATION,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn nan_inputs_raise_on_msvcrt_only() {
+        let mut k = Kernel::new();
+        assert!(sin(&mut k, msvcrt(), f64::NAN).is_err());
+        assert!(sin(&mut k, glibc(), f64::NAN).is_ok());
+        assert!(atan2(&mut k, msvcrt(), f64::NAN, 1.0).is_err());
+        assert!(atan2(&mut k, glibc(), f64::NAN, 1.0).is_ok());
+    }
+
+    #[test]
+    fn infinities() {
+        let mut k = Kernel::new();
+        // sin(Inf) is a domain error.
+        assert_eq!(
+            sin(&mut k, glibc(), f64::INFINITY).unwrap().error,
+            Some(EDOM)
+        );
+        assert!(sin(&mut k, msvcrt(), f64::INFINITY).is_err());
+        // atan(Inf) is fine everywhere.
+        assert!(
+            (as_f64(atan(&mut k, glibc(), f64::INFINITY).unwrap())
+                - std::f64::consts::FRAC_PI_2)
+                .abs()
+                < 1e-12
+        );
+        // exp overflow: glibc reports ERANGE.
+        assert_eq!(exp(&mut k, glibc(), 1e10).unwrap().error, Some(ERANGE));
+    }
+
+    #[test]
+    fn pow_and_fmod_domains() {
+        let mut k = Kernel::new();
+        assert_eq!(pow(&mut k, glibc(), -2.0, 0.5).unwrap().error, Some(EDOM));
+        assert!(pow(&mut k, msvcrt(), -2.0, 0.5).is_err());
+        assert_eq!(pow(&mut k, glibc(), 0.0, -1.0).unwrap().error, Some(EDOM));
+        assert_eq!(as_f64(pow(&mut k, glibc(), -2.0, 3.0).unwrap()), -8.0);
+        assert_eq!(fmod(&mut k, glibc(), 5.0, 0.0).unwrap().error, Some(EDOM));
+        assert!(fmod(&mut k, msvcrt(), 5.0, 0.0).is_err());
+        assert_eq!(as_f64(fmod(&mut k, glibc(), 7.5, 2.0).unwrap()), 1.5);
+    }
+
+    #[test]
+    fn out_parameters_abort_on_bad_pointers_everywhere() {
+        let mut k = Kernel::new();
+        for p in [glibc(), msvcrt()] {
+            assert!(frexp(&mut k, p, 8.0, SimPtr::NULL).is_err());
+            assert!(modf(&mut k, p, 3.5, SimPtr::NULL).is_err());
+        }
+        let out = k.alloc_user(8, "exp");
+        let r = frexp(&mut k, glibc(), 8.0, out).unwrap();
+        assert_eq!(as_f64(r), 0.5);
+        assert_eq!(k.space.read_i32(out).unwrap(), 4);
+        let r = modf(&mut k, glibc(), 3.25, out).unwrap();
+        assert_eq!(as_f64(r), 0.25);
+        assert_eq!(k.space.read_f64(out).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn integer_division_faults() {
+        let mut k = Kernel::new();
+        for p in [glibc(), msvcrt()] {
+            assert!(div(&mut k, p, 5, 0).is_err());
+            assert!(div(&mut k, p, i32::MIN, -1).is_err());
+            assert!(ldiv(&mut k, p, 1, 0).is_err());
+        }
+        let r = div(&mut k, glibc(), 17, 5).unwrap();
+        assert_eq!(r.value & 0xFFFF_FFFF, 3); // quotient
+        assert_eq!(r.value >> 32, 2); // remainder
+    }
+
+    #[test]
+    fn abs_functions_are_total() {
+        let mut k = Kernel::new();
+        assert_eq!(abs(&mut k, glibc(), -7).unwrap().value, 7);
+        assert_eq!(abs(&mut k, glibc(), i32::MIN).unwrap().value, i64::from(i32::MIN));
+        assert_eq!(labs(&mut k, msvcrt(), -9).unwrap().value, 9);
+        assert_eq!(as_f64(ldexp(&mut k, glibc(), 1.5, 4).unwrap()), 24.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! `<stdlib.h>`/`<string.h>` memory management — `malloc` family and
+//! `mem*`.
+//!
+//! The paper's "C memory management" grouping has a *higher* Abort rate on
+//! Linux than on Windows. The mechanism encoded here: glibc's `free` and
+//! `realloc` read the chunk header stored just below the user pointer, so a
+//! wild pointer faults immediately (Abort), while MSVCRT validates the
+//! block against heap metadata and quietly ignores foreign pointers (a
+//! Silent failure — no fault, no error report). Era-accurate `calloc`
+//! multiplication overflow on glibc is also modelled.
+
+use crate::errno::ENOMEM;
+use crate::profile::LibcProfile;
+use crate::string::abort;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// `malloc(size)`. Returns the block address, or NULL with `errno ENOMEM`
+/// for unsatisfiable sizes — a robust error on every profile.
+///
+/// # Errors
+///
+/// None. `malloc` is robust against hostile sizes on all profiles.
+pub fn malloc(k: &mut Kernel, _profile: LibcProfile, size: u64) -> ApiResult {
+    k.charge_call();
+    let heap = k.default_heap;
+    // Borrow split: heaps and space are independent fields.
+    let Kernel { heaps, space, .. } = k;
+    match heaps.alloc(heap, size, space) {
+        Ok(ptr) => Ok(ApiReturn::ok(ptr.addr() as i64)),
+        Err(_) => Ok(ApiReturn::err(0, ENOMEM)),
+    }
+}
+
+/// `calloc(nmemb, size)` — allocate and zero `nmemb * size` bytes.
+///
+/// glibc 2.1-era `calloc` multiplied without an overflow check: a huge
+/// `nmemb × size` pair wraps to a small allocation that is *returned as if
+/// it were the requested size* (a Silent failure). MSVCRT detects the
+/// overflow and returns NULL with `errno`.
+///
+/// # Errors
+///
+/// None; misbehaviour is silent by nature here.
+pub fn calloc(k: &mut Kernel, profile: LibcProfile, nmemb: u64, size: u64) -> ApiResult {
+    k.charge_call();
+    let requested = (nmemb as u32 as u64).wrapping_mul(size as u32 as u64) as u32 as u64;
+    let overflowed = nmemb
+        .checked_mul(size)
+        .is_none_or(|full| full > u64::from(u32::MAX));
+    if overflowed && profile.os.is_windows() {
+        return Ok(ApiReturn::err(0, ENOMEM));
+    }
+    let heap = k.default_heap;
+    let Kernel { heaps, space, .. } = k;
+    match heaps.alloc(heap, requested, space) {
+        Ok(ptr) => {
+            // Zero fill; the region is fresh so this cannot fault.
+            let _ = space.fill(
+                ptr,
+                0,
+                requested.max(1),
+                sim_core::addr::PrivilegeLevel::User,
+            );
+            Ok(ApiReturn::ok(ptr.addr() as i64))
+        }
+        Err(_) => Ok(ApiReturn::err(0, ENOMEM)),
+    }
+}
+
+/// Classification of a pointer handed to `free`/`realloc`.
+enum BlockCheck {
+    /// A live block of the default heap.
+    Live,
+    /// Not a block, but the memory around it is readable (interior or
+    /// foreign pointer into mapped memory).
+    ReadableGarbage,
+    /// Unreadable (NULL page, dangling, kernel, unmapped).
+    Unreadable,
+}
+
+fn check_block(k: &Kernel, ptr: SimPtr) -> BlockCheck {
+    if k.heaps.size_of(k.default_heap, ptr).is_ok() {
+        return BlockCheck::Live;
+    }
+    // glibc reads the chunk header at ptr−8.
+    let header = if ptr.addr() >= 8 {
+        ptr.offset(u64::MAX - 7) // wrapping −8
+    } else {
+        SimPtr::NULL
+    };
+    match k.space.read_u32(header) {
+        Ok(_) => BlockCheck::ReadableGarbage,
+        Err(_) => BlockCheck::Unreadable,
+    }
+}
+
+
+/// The fault glibc's chunk-header probe raises for an unreadable block
+/// header (the word just below the user pointer).
+fn header_fault(k: &Kernel, ptr: SimPtr) -> sim_core::Fault {
+    let header = SimPtr::new(ptr.addr().wrapping_sub(8));
+    k.space
+        .check_access(
+            header,
+            4,
+            1,
+            sim_core::AccessKind::Read,
+            sim_core::addr::PrivilegeLevel::User,
+        )
+        .err()
+        .unwrap_or(sim_core::Fault::AccessViolation {
+            addr: header.addr(),
+            access: sim_core::AccessKind::Read,
+            cause: sim_core::fault::ViolationCause::Unmapped,
+            privilege: sim_core::addr::PrivilegeLevel::User,
+        })
+}
+
+/// `free(ptr)`.
+///
+/// `free(NULL)` is legal everywhere. For wild pointers, glibc's header
+/// probe faults (**Abort**) on unreadable memory and silently corrupts the
+/// arena on readable garbage; MSVCRT validates and ignores (**Silent**).
+///
+/// # Errors
+///
+/// Aborts on the glibc profile when the chunk-header probe faults.
+pub fn free(k: &mut Kernel, profile: LibcProfile, ptr: SimPtr) -> ApiResult {
+    k.charge_call();
+    if ptr.is_null() {
+        return Ok(ApiReturn::ok(0));
+    }
+    match check_block(k, ptr) {
+        BlockCheck::Live => {
+            let heap = k.default_heap;
+            let Kernel { heaps, space, .. } = k;
+            heaps.free(heap, ptr, space).expect("checked live");
+            Ok(ApiReturn::ok(0))
+        }
+        BlockCheck::ReadableGarbage => {
+            // glibc: quiet arena corruption; MSVCRT: validated no-op.
+            // Either way the call *returns successfully* — Silent.
+            Ok(ApiReturn::ok(0))
+        }
+        BlockCheck::Unreadable => {
+            if profile.heap_free_validates() {
+                Ok(ApiReturn::ok(0)) // MSVCRT: lookup fails, quietly ignored
+            } else {
+                // glibc probes the chunk header below the pointer and
+                // faults there.
+                Err(abort(profile, header_fault(k, ptr)))
+            }
+        }
+    }
+}
+
+/// `realloc(ptr, size)`.
+///
+/// Same pointer-validation split as [`free`]; `realloc(NULL, n)` behaves as
+/// `malloc(n)` everywhere.
+///
+/// # Errors
+///
+/// Aborts on the glibc profile when the chunk-header probe faults.
+pub fn realloc(k: &mut Kernel, profile: LibcProfile, ptr: SimPtr, size: u64) -> ApiResult {
+    k.charge_call();
+    if ptr.is_null() {
+        return malloc(k, profile, size);
+    }
+    match check_block(k, ptr) {
+        BlockCheck::Live => {
+            let heap = k.default_heap;
+            let Kernel { heaps, space, .. } = k;
+            match heaps.realloc(heap, ptr, size, space) {
+                Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+                Err(_) => Ok(ApiReturn::err(0, ENOMEM)),
+            }
+        }
+        BlockCheck::ReadableGarbage => Ok(ApiReturn::ok(0)), // silent NULL
+        BlockCheck::Unreadable => {
+            if profile.heap_free_validates() {
+                Ok(ApiReturn::err(0, ENOMEM))
+            } else {
+                Err(abort(profile, header_fault(k, ptr)))
+            }
+        }
+    }
+}
+
+/// `memcpy(dst, src, n)` — byte copy, faulting where the hardware would.
+///
+/// # Errors
+///
+/// Aborts when any byte access faults.
+pub fn memcpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr, n: u64) -> ApiResult {
+    k.charge_call();
+    for i in 0..n {
+        let b = k
+            .space
+            .read_u8(src.offset(i))
+            .map_err(|f| abort(profile, f))?;
+        k.space
+            .write_u8(dst.offset(i), b)
+            .map_err(|f| abort(profile, f))?;
+    }
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `memmove(dst, src, n)` — overlap-safe copy.
+///
+/// # Errors
+///
+/// Aborts when any byte access faults.
+pub fn memmove(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    dst: SimPtr,
+    src: SimPtr,
+    n: u64,
+) -> ApiResult {
+    k.charge_call();
+    let bytes = k
+        .space
+        .read_bytes(src, n)
+        .map_err(|f| abort(profile, f))?;
+    k.space
+        .write_bytes(dst, &bytes)
+        .map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `memset(s, c, n)`.
+///
+/// # Errors
+///
+/// Aborts when a write faults.
+pub fn memset(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32, n: u64) -> ApiResult {
+    k.charge_call();
+    for i in 0..n {
+        k.space
+            .write_u8(s.offset(i), (c & 0xFF) as u8)
+            .map_err(|f| abort(profile, f))?;
+    }
+    Ok(ApiReturn::ok(s.addr() as i64))
+}
+
+/// `memcmp(a, b, n)` — early-exit comparison.
+///
+/// # Errors
+///
+/// Aborts when a read faults before a deciding mismatch.
+pub fn memcmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr, n: u64) -> ApiResult {
+    k.charge_call();
+    for i in 0..n {
+        let ca = k
+            .space
+            .read_u8(a.offset(i))
+            .map_err(|f| abort(profile, f))?;
+        let cb = k
+            .space
+            .read_u8(b.offset(i))
+            .map_err(|f| abort(profile, f))?;
+        if ca != cb {
+            return Ok(ApiReturn::ok(if ca < cb { -1 } else { 1 }));
+        }
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `memchr(s, c, n)`.
+///
+/// # Errors
+///
+/// Aborts when a read faults before the byte is found.
+pub fn memchr(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32, n: u64) -> ApiResult {
+    k.charge_call();
+    let needle = (c & 0xFF) as u8;
+    for i in 0..n {
+        let b = k
+            .space
+            .read_u8(s.offset(i))
+            .map_err(|f| abort(profile, f))?;
+        if b == needle {
+            return Ok(ApiReturn::ok(s.offset(i).addr() as i64));
+        }
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn msvcrt() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Win98)
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let mut k = Kernel::new();
+        let r = malloc(&mut k, glibc(), 64).unwrap();
+        assert!(r.value != 0);
+        let p = SimPtr::new(r.value as u64);
+        k.space.write_u8(p, 9).unwrap();
+        assert_eq!(free(&mut k, glibc(), p).unwrap().value, 0);
+        assert!(k.space.read_u8(p).is_err());
+    }
+
+    #[test]
+    fn malloc_huge_returns_null_with_errno() {
+        let mut k = Kernel::new();
+        let r = malloc(&mut k, glibc(), u64::from(u32::MAX)).unwrap();
+        assert_eq!(r.value, 0);
+        assert_eq!(r.error, Some(ENOMEM));
+    }
+
+    #[test]
+    fn free_null_is_legal() {
+        let mut k = Kernel::new();
+        assert!(free(&mut k, glibc(), SimPtr::NULL).is_ok());
+        assert!(free(&mut k, msvcrt(), SimPtr::NULL).is_ok());
+    }
+
+    #[test]
+    fn wild_free_aborts_on_glibc_silent_on_msvcrt() {
+        let mut k = Kernel::new();
+        // Unreadable pointer: glibc probes the chunk header and faults.
+        let wild = SimPtr::new(0x4000);
+        assert!(free(&mut k, glibc(), wild).is_err());
+        // MSVCRT validates and quietly succeeds — the Silent failure.
+        let r = free(&mut k, msvcrt(), wild).unwrap();
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn dangling_free_differs_by_profile() {
+        let mut k = Kernel::new();
+        let r = malloc(&mut k, glibc(), 16).unwrap();
+        let p = SimPtr::new(r.value as u64);
+        free(&mut k, glibc(), p).unwrap();
+        // Double free: the region is unmapped now → glibc faults.
+        assert!(free(&mut k, glibc(), p).is_err());
+        assert!(free(&mut k, msvcrt(), p).is_ok());
+    }
+
+    #[test]
+    fn interior_pointer_free_is_silent_everywhere() {
+        let mut k = Kernel::new();
+        let r = malloc(&mut k, glibc(), 32).unwrap();
+        let interior = SimPtr::new(r.value as u64 + 8);
+        let out = free(&mut k, glibc(), interior).unwrap();
+        assert!(!out.reported_error()); // quiet corruption, no fault
+    }
+
+    #[test]
+    fn calloc_overflow_split() {
+        let mut k = Kernel::new();
+        // 0x10000 * 0x10001 overflows 32 bits.
+        let nm = 0x10000u64;
+        let sz = 0x10001u64;
+        let lin = calloc(&mut k, glibc(), nm, sz).unwrap();
+        // glibc: wrapped small allocation returned as if valid — silent.
+        assert_ne!(lin.value, 0);
+        assert!(!lin.reported_error());
+        let win = calloc(&mut k, msvcrt(), nm, sz).unwrap();
+        assert_eq!(win.value, 0);
+        assert_eq!(win.error, Some(ENOMEM));
+    }
+
+    #[test]
+    fn calloc_zeroes() {
+        let mut k = Kernel::new();
+        let r = calloc(&mut k, glibc(), 4, 4).unwrap();
+        let p = SimPtr::new(r.value as u64);
+        assert_eq!(k.space.read_bytes(p, 16).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn realloc_null_acts_as_malloc_and_grows() {
+        let mut k = Kernel::new();
+        let a = realloc(&mut k, glibc(), SimPtr::NULL, 8).unwrap();
+        assert_ne!(a.value, 0);
+        let p = SimPtr::new(a.value as u64);
+        k.space.write_bytes(p, b"12345678").unwrap();
+        let b = realloc(&mut k, glibc(), p, 16).unwrap();
+        let q = SimPtr::new(b.value as u64);
+        assert_eq!(k.space.read_bytes(q, 8).unwrap(), b"12345678");
+        assert!(realloc(&mut k, glibc(), SimPtr::new(0x40), 8).is_err());
+        assert_eq!(
+            realloc(&mut k, msvcrt(), SimPtr::new(0x40), 8)
+                .unwrap()
+                .error,
+            Some(ENOMEM)
+        );
+    }
+
+    #[test]
+    fn mem_functions_roundtrip() {
+        let mut k = Kernel::new();
+        let a = k.alloc_user(16, "a");
+        let b = k.alloc_user(16, "b");
+        k.space.write_bytes(a, b"hello world!!!!\0").unwrap();
+        memcpy(&mut k, glibc(), b, a, 16).unwrap();
+        assert_eq!(k.space.read_bytes(b, 5).unwrap(), b"hello");
+        assert_eq!(memcmp(&mut k, glibc(), a, b, 16).unwrap().value, 0);
+        memset(&mut k, glibc(), b, i32::from(b'x'), 4).unwrap();
+        assert_eq!(k.space.read_bytes(b, 5).unwrap(), b"xxxxo");
+        assert_eq!(memcmp(&mut k, glibc(), a, b, 16).unwrap().value, -1);
+        let hit = memchr(&mut k, glibc(), a, i32::from(b'w'), 16).unwrap().value as u64;
+        assert_eq!(hit, a.offset(6).addr());
+        assert_eq!(memchr(&mut k, glibc(), a, i32::from(b'z'), 16).unwrap().value, 0);
+    }
+
+    #[test]
+    fn memmove_handles_overlap() {
+        let mut k = Kernel::new();
+        let a = k.alloc_user(16, "a");
+        k.space.write_bytes(a, b"abcdef").unwrap();
+        memmove(&mut k, glibc(), a.offset(2), a, 4).unwrap();
+        assert_eq!(k.space.read_bytes(a, 6).unwrap(), b"ababcd");
+    }
+
+    #[test]
+    fn mem_functions_fault_on_wild_pointers() {
+        let mut k = Kernel::new();
+        let good = k.alloc_user(8, "g");
+        assert!(memcpy(&mut k, glibc(), SimPtr::NULL, good, 1).is_err());
+        assert!(memcpy(&mut k, glibc(), good, SimPtr::NULL, 1).is_err());
+        assert!(memset(&mut k, glibc(), SimPtr::INVALID, 0, 1).is_err());
+        assert!(memcmp(&mut k, glibc(), good, SimPtr::NULL, 1).is_err());
+        // n == 0 touches nothing: robust with any pointers.
+        assert!(memcpy(&mut k, glibc(), SimPtr::NULL, SimPtr::NULL, 0).is_ok());
+        assert!(memcmp(&mut k, glibc(), SimPtr::NULL, SimPtr::NULL, 0).is_ok());
+    }
+}

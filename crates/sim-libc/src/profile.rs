@@ -1,0 +1,213 @@
+//! Per-OS C-library behaviour profiles.
+//!
+//! Every robustness difference between the C libraries is expressed here as
+//! a *validation policy*, never as a failure rate: the rates in the
+//! reproduction's tables **emerge** from running Ballista's test pools
+//! against functions that consult these predicates. Each predicate is a
+//! documented, paper-sourced behavioural fact (e.g. "glibc ctype macros do
+//! unchecked table lookups", "the Windows 98 CRT's `fwrite` can take down
+//! the OS", "the CE CRT trusts `FILE*`-derived handles in kernel mode").
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+
+/// Residue threshold above which interference-dependent vulnerabilities
+/// (the `*` entries of the paper's Table 3) fire. Below it they behave like
+/// their non-catastrophic fallback, which is why the paper could not
+/// reproduce them outside the full test harness.
+pub const RESIDUE_THRESHOLD: u32 = 3;
+
+/// How a C library treats the `FILE*` argument of a stdio call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilePtrPolicy {
+    /// Dereference blindly; whatever fault happens, happens (glibc): bad
+    /// pointers abort the task.
+    Probe,
+    /// Check the magic/handle table first and return `EOF`+`errno` for
+    /// garbage that is at least readable; unreadable pointers still fault
+    /// (MSVCRT on desktop Windows).
+    Validate,
+    /// Read the stream's "handle" field from user memory and hand it to a
+    /// kernel helper *without validation*: a readable-garbage `FILE*`
+    /// becomes a kernel-mode wild dereference — a whole-system crash
+    /// (the Windows CE CRT; the root cause of 17 of its 18 Catastrophic C
+    /// functions).
+    KernelTrust,
+}
+
+/// The C-library personality of one OS target.
+///
+/// # Example
+///
+/// ```
+/// use sim_libc::profile::LibcProfile;
+/// use sim_kernel::variant::OsVariant;
+///
+/// let glibc = LibcProfile::for_os(OsVariant::Linux);
+/// let msvcrt = LibcProfile::for_os(OsVariant::WinNt4);
+/// assert!(!glibc.ctype_bounds_checked());
+/// assert!(msvcrt.ctype_bounds_checked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LibcProfile {
+    /// The operating system this C library ships with.
+    pub os: OsVariant,
+}
+
+impl LibcProfile {
+    /// The profile for an OS target.
+    #[must_use]
+    pub fn for_os(os: OsVariant) -> Self {
+        LibcProfile { os }
+    }
+
+    /// glibc's `ctype` macros index `__ctype_b[]` without bounds checking,
+    /// so out-of-range `int` arguments read wild memory; every MSVC CRT
+    /// bounds-checks the lookup (the paper: "Linux has more than a 30 %
+    /// Abort failure rate for C character operations, whereas all the
+    /// Windows systems have zero percent ... Windows does boundary checking
+    /// on character table-lookup operations").
+    #[must_use]
+    pub fn ctype_bounds_checked(&self) -> bool {
+        self.os.is_windows()
+    }
+
+    /// MSVC CRTs of the era leave floating-point exceptions that glibc
+    /// masks: domain errors on several `<math.h>` entry points surface as
+    /// hardware exceptions (Abort) instead of `errno = EDOM` + NaN.
+    #[must_use]
+    pub fn math_domain_raises(&self) -> bool {
+        self.os.is_windows()
+    }
+
+    /// MSVCRT's `free`/`realloc` validate the block against heap metadata
+    /// and silently ignore wild pointers (a **Silent** failure); glibc
+    /// reads the chunk header next to the pointer, so wild `free` faults
+    /// (an **Abort**). This is why the paper's C-memory Abort rates are
+    /// higher on Linux.
+    #[must_use]
+    pub fn heap_free_validates(&self) -> bool {
+        self.os.is_windows()
+    }
+
+    /// How `FILE*` arguments are treated (see [`FilePtrPolicy`]).
+    #[must_use]
+    pub fn file_ptr_policy(&self) -> FilePtrPolicy {
+        match self.os {
+            OsVariant::Linux => FilePtrPolicy::Probe,
+            OsVariant::WinCe => FilePtrPolicy::KernelTrust,
+            _ => FilePtrPolicy::Validate,
+        }
+    }
+
+    /// glibc's `strtok` tolerates a `NULL` string argument when no token
+    /// scan is in progress (returns `NULL`); MSVCRT dereferences it. One of
+    /// the C-string differences that leaves Linux with the *lower* Abort
+    /// rate in that group.
+    #[must_use]
+    pub fn strtok_null_checked(&self) -> bool {
+        !self.os.is_windows()
+    }
+
+    /// glibc normalizes out-of-range `struct tm` fields in `asctime` and
+    /// `mktime`; MSVC's `asctime` formats them into a fixed 26-byte static
+    /// buffer, and absurd field values overrun it (Abort). Another
+    /// Windows-higher C-library group (C time).
+    #[must_use]
+    pub fn asctime_checks_ranges(&self) -> bool {
+        !self.os.is_windows()
+    }
+
+    /// The Windows 98 CRT's `fwrite` could crash the machine, but only
+    /// under harness-accumulated state (Table 3 entry `*fwrite`, Windows 98
+    /// column only — fixed in 98 SE, absent on 95).
+    #[must_use]
+    pub fn fwrite_can_crash_system(&self, residue: u32) -> bool {
+        self.os == OsVariant::Win98 && residue >= RESIDUE_THRESHOLD
+    }
+
+    /// `strncpy` (and on CE the UNICODE `_tcsncpy`) could crash Windows 98
+    /// and 98 SE under harness-accumulated state (Table 3 `*strncpy`). On
+    /// CE the UNICODE twin crashes outright.
+    #[must_use]
+    pub fn strncpy_can_crash_system(&self, residue: u32) -> bool {
+        matches!(self.os, OsVariant::Win98 | OsVariant::Win98Se) && residue >= RESIDUE_THRESHOLD
+    }
+
+    /// CE's UNICODE `_tcsncpy` Catastrophic failure (Table 3: "(UNICODE)
+    /// *_tcsncpy") — interference-dependent like its narrow sibling.
+    #[must_use]
+    pub fn tcsncpy_can_crash_system(&self, residue: u32) -> bool {
+        self.os == OsVariant::WinCe && residue >= RESIDUE_THRESHOLD
+    }
+
+    /// Windows CE does not implement the C time group at all (the paper
+    /// reports no C-time results for CE).
+    #[must_use]
+    pub fn has_time_group(&self) -> bool {
+        self.os != OsVariant::WinCe
+    }
+
+    /// Which CE stream-I/O functions die *immediately* (not
+    /// interference-dependent) on a readable-garbage `FILE*`. On desktop
+    /// OSes this returns false for everything.
+    #[must_use]
+    pub fn stdio_kernel_trust(&self) -> bool {
+        self.file_ptr_policy() == FilePtrPolicy::KernelTrust
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctype_split_matches_paper() {
+        assert!(!LibcProfile::for_os(OsVariant::Linux).ctype_bounds_checked());
+        for os in OsVariant::ALL.into_iter().filter(|o| o.is_windows()) {
+            assert!(LibcProfile::for_os(os).ctype_bounds_checked());
+        }
+    }
+
+    #[test]
+    fn file_ptr_policies() {
+        assert_eq!(
+            LibcProfile::for_os(OsVariant::Linux).file_ptr_policy(),
+            FilePtrPolicy::Probe
+        );
+        assert_eq!(
+            LibcProfile::for_os(OsVariant::Win98).file_ptr_policy(),
+            FilePtrPolicy::Validate
+        );
+        assert_eq!(
+            LibcProfile::for_os(OsVariant::WinCe).file_ptr_policy(),
+            FilePtrPolicy::KernelTrust
+        );
+    }
+
+    #[test]
+    fn fwrite_crash_is_98_only_and_residue_gated() {
+        let p98 = LibcProfile::for_os(OsVariant::Win98);
+        assert!(!p98.fwrite_can_crash_system(0));
+        assert!(p98.fwrite_can_crash_system(RESIDUE_THRESHOLD));
+        for os in [OsVariant::Win95, OsVariant::Win98Se, OsVariant::WinNt4, OsVariant::Linux] {
+            assert!(!LibcProfile::for_os(os).fwrite_can_crash_system(10));
+        }
+    }
+
+    #[test]
+    fn strncpy_crash_is_98_family_only() {
+        assert!(LibcProfile::for_os(OsVariant::Win98).strncpy_can_crash_system(5));
+        assert!(LibcProfile::for_os(OsVariant::Win98Se).strncpy_can_crash_system(5));
+        assert!(!LibcProfile::for_os(OsVariant::Win95).strncpy_can_crash_system(5));
+        assert!(!LibcProfile::for_os(OsVariant::Win2000).strncpy_can_crash_system(5));
+        assert!(LibcProfile::for_os(OsVariant::WinCe).tcsncpy_can_crash_system(5));
+        assert!(!LibcProfile::for_os(OsVariant::Win98).tcsncpy_can_crash_system(5));
+    }
+
+    #[test]
+    fn ce_lacks_time_group() {
+        assert!(!LibcProfile::for_os(OsVariant::WinCe).has_time_group());
+        assert!(LibcProfile::for_os(OsVariant::Linux).has_time_group());
+    }
+}

@@ -1,0 +1,872 @@
+//! `<stdio.h>` — the `FILE` machinery and file-management calls.
+//!
+//! A simulated `FILE` is a real structure in simulated user memory (magic,
+//! kernel open-file id, flags, ungetc slot), because the paper's deadliest
+//! test value is *"a string buffer typecast to a `FILE*`"* — readable
+//! memory with garbage contents. What each C library does with that value
+//! is the profile split:
+//!
+//! * **glibc** uses the garbage fields (buffer pointers, descriptors) and
+//!   usually dies on the resulting wild dereference → Abort;
+//! * **desktop MSVCRT** validates against its stream table and returns
+//!   `EOF` with `errno` → robust;
+//! * **the Windows CE CRT** hands the garbage "handle" field to a kernel
+//!   helper with no probing → kernel-mode wild dereference → the whole
+//!   machine dies. This is the single root cause of seventeen of CE's
+//!   eighteen Catastrophic C functions (paper §5).
+
+use crate::errno::{self, EBADF, EINVAL};
+use crate::profile::{FilePtrPolicy, LibcProfile};
+use crate::string::abort;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::SimPtr;
+use sim_kernel::fs::{OpenOptions, SeekFrom};
+use sim_kernel::outcome::{ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+/// Magic tag stored in the first word of a live simulated `FILE`.
+pub const FILE_MAGIC: u32 = 0x4649_4C45; // "FILE"
+
+/// Byte size of the simulated `FILE` structure.
+pub const FILE_SIZE: u64 = 16;
+
+/// `EOF`.
+pub const EOF: i64 = -1;
+
+/// Field offsets within the simulated `FILE`.
+mod off {
+    pub const MAGIC: u64 = 0;
+    pub const OFD: u64 = 4;
+    pub const FLAGS: u64 = 8;
+    pub const UNGETC: u64 = 12;
+}
+
+/// Flag bits in the `FILE.flags` word.
+mod flag {
+    pub const ERROR: u32 = 1;
+    pub const EOF: u32 = 2;
+}
+
+/// Creates a `FILE` structure in user memory bound to kernel open-file
+/// description `ofd`. Public so the Ballista pools can build live-stream
+/// test values.
+pub fn make_file(k: &mut Kernel, ofd: u64) -> SimPtr {
+    let fp = k.alloc_user(FILE_SIZE, "FILE");
+    k.space.write_u32(fp.offset(off::MAGIC), FILE_MAGIC).expect("fresh");
+    k.space.write_u32(fp.offset(off::OFD), ofd as u32).expect("fresh");
+    k.space.write_u32(fp.offset(off::FLAGS), 0).expect("fresh");
+    k.space.write_i32(fp.offset(off::UNGETC), -1).expect("fresh");
+    fp
+}
+
+/// What resolving a `FILE*` argument produced.
+pub(crate) enum FileRef {
+    /// A live stream bound to this kernel open-file description.
+    Live(u64),
+    /// The call should return `EOF` with the given `errno` (validated
+    /// garbage, or a closed stream on a validating CRT).
+    Error(u32),
+    /// The system has crashed (CE kernel-trust path); return value is
+    /// meaningless.
+    SystemDead,
+}
+
+/// Resolves a `FILE*` according to the profile's policy.
+///
+/// `kernel_trust_sensitive` marks the seventeen CE functions whose
+/// implementation passes the stream's handle into kernel code — the ones
+/// Table 3 lists as Catastrophic on CE.
+pub(crate) fn resolve_file(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    fp: SimPtr,
+    func: &'static str,
+    kernel_trust_sensitive: bool,
+) -> Result<FileRef, ApiAbort> {
+    // Every CRT reads the first words of the struct in user mode: an
+    // unreadable pointer (NULL, dangling, kernel address) faults here for
+    // all profiles — an Abort, not a crash.
+    let magic = k
+        .space
+        .read_u32(fp.offset(off::MAGIC))
+        .map_err(|f| abort(profile, f))?;
+    let ofd = u64::from(
+        k.space
+            .read_u32(fp.offset(off::OFD))
+            .map_err(|f| abort(profile, f))?,
+    );
+    if magic == FILE_MAGIC && k.fs.is_open(ofd) {
+        return Ok(FileRef::Live(ofd));
+    }
+    // Readable garbage (or a closed stream slot).
+    match profile.file_ptr_policy() {
+        FilePtrPolicy::Validate => Ok(FileRef::Error(EBADF)),
+        FilePtrPolicy::Probe => {
+            // glibc trusts the struct: it treats the second word as a
+            // buffer pointer and dereferences it in user mode.
+            let bogus_buf = SimPtr::new(ofd);
+            match k.space.read_u8(bogus_buf) {
+                Ok(_) => Ok(FileRef::Error(EBADF)), // lucky garbage: survives
+                Err(fault) => Err(abort(profile, fault)),
+            }
+        }
+        FilePtrPolicy::KernelTrust => {
+            if kernel_trust_sensitive {
+                // The CE CRT passes the garbage handle to the kernel, which
+                // dereferences it at kernel privilege.
+                let fault = k
+                    .space
+                    .read_u8_priv(SimPtr::new(ofd), PrivilegeLevel::Kernel)
+                    .err();
+                match fault {
+                    Some(f) => {
+                        k.crash.panic(
+                            func,
+                            "CE CRT passed unvalidated FILE handle into kernel",
+                            Some(f),
+                        );
+                        Ok(FileRef::SystemDead)
+                    }
+                    // The garbage happened to point at mapped memory: the
+                    // kernel scribbles over it — still a system corruption.
+                    None => {
+                        k.crash.panic(
+                            func,
+                            "CE kernel wrote through garbage FILE handle",
+                            None,
+                        );
+                        Ok(FileRef::SystemDead)
+                    }
+                }
+            } else {
+                Ok(FileRef::Error(EBADF))
+            }
+        }
+    }
+}
+
+/// Reads and clears the stream's pushed-back character.
+pub(crate) fn take_ungetc(k: &mut Kernel, fp: SimPtr) -> Option<u8> {
+    let v = k.space.read_i32(fp.offset(off::UNGETC)).ok()?;
+    if v < 0 {
+        return None;
+    }
+    let _ = k.space.write_i32(fp.offset(off::UNGETC), -1);
+    Some(v as u8)
+}
+
+/// Stores a pushed-back character; fails (returns false) if one is present.
+pub(crate) fn push_ungetc(k: &mut Kernel, fp: SimPtr, c: u8) -> bool {
+    match k.space.read_i32(fp.offset(off::UNGETC)) {
+        Ok(v) if v < 0 => k
+            .space
+            .write_i32(fp.offset(off::UNGETC), i32::from(c))
+            .is_ok(),
+        _ => false,
+    }
+}
+
+pub(crate) fn set_flag(k: &mut Kernel, fp: SimPtr, bit: u32) {
+    if let Ok(f) = k.space.read_u32(fp.offset(off::FLAGS)) {
+        let _ = k.space.write_u32(fp.offset(off::FLAGS), f | bit);
+    }
+}
+
+fn get_flags(k: &Kernel, fp: SimPtr) -> Result<u32, sim_core::Fault> {
+    k.space.read_u32(fp.offset(off::FLAGS))
+}
+
+/// Marks the stream's error flag (used by [`stream`](crate::stream)).
+pub(crate) fn mark_error(k: &mut Kernel, fp: SimPtr) {
+    set_flag(k, fp, flag::ERROR);
+}
+
+/// Marks the stream's end-of-file flag.
+pub(crate) fn mark_eof(k: &mut Kernel, fp: SimPtr) {
+    set_flag(k, fp, flag::EOF);
+}
+
+fn parse_mode(mode: &[u8]) -> Option<OpenOptions> {
+    let plus = mode.contains(&b'+');
+    match mode.first()? {
+        b'r' => Some(if plus {
+            OpenOptions::read_write()
+        } else {
+            OpenOptions::read_only()
+        }),
+        b'w' => Some(
+            if plus {
+                OpenOptions::read_write()
+            } else {
+                OpenOptions::write_only()
+            }
+            .create(true)
+            .truncate(true),
+        ),
+        b'a' => Some(
+            if plus {
+                OpenOptions::read_write()
+            } else {
+                OpenOptions::write_only()
+            }
+            .create(true)
+            .append(true),
+        ),
+        _ => None,
+    }
+}
+
+/// `fopen(path, mode)`. Returns a `FILE*` or NULL with `errno`.
+///
+/// # Errors
+///
+/// Aborts when either string argument faults (every CRT dereferences
+/// both).
+pub fn fopen(k: &mut Kernel, profile: LibcProfile, path: SimPtr, mode: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path_bytes = cstr::read_cstr(&k.space, path, U).map_err(|f| abort(profile, f))?;
+    let mode_bytes = cstr::read_cstr(&k.space, mode, U).map_err(|f| abort(profile, f))?;
+    let Some(opts) = parse_mode(&mode_bytes) else {
+        return Ok(ApiReturn::err(0, EINVAL));
+    };
+    let path_str = String::from_utf8_lossy(&path_bytes).into_owned();
+    match k.fs.open(&path_str, opts) {
+        Ok(ofd) => {
+            let fp = make_file(k, ofd);
+            Ok(ApiReturn::ok(fp.addr() as i64))
+        }
+        Err(e) => Ok(ApiReturn::err(0, errno::from_fs(e))),
+    }
+}
+
+/// `freopen(path, mode, stream)` — closes `stream` and rebinds it.
+///
+/// On CE this is the UNICODE `_wfreopen`, one of the seventeen
+/// kernel-trusting Catastrophic functions.
+///
+/// # Errors
+///
+/// Aborts on faulting string or stream arguments.
+pub fn freopen(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    path: SimPtr,
+    mode: SimPtr,
+    stream: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "freopen", true)? {
+        FileRef::SystemDead => return Ok(ApiReturn::ok(0)),
+        FileRef::Live(ofd) => {
+            let _ = k.fs.close(ofd);
+        }
+        FileRef::Error(_) => {}
+    }
+    let path_bytes = cstr::read_cstr(&k.space, path, U).map_err(|f| abort(profile, f))?;
+    let mode_bytes = cstr::read_cstr(&k.space, mode, U).map_err(|f| abort(profile, f))?;
+    let Some(opts) = parse_mode(&mode_bytes) else {
+        return Ok(ApiReturn::err(0, EINVAL));
+    };
+    let path_str = String::from_utf8_lossy(&path_bytes).into_owned();
+    match k.fs.open(&path_str, opts) {
+        Ok(ofd) => {
+            // Rebind the same FILE structure.
+            k.space
+                .write_u32(stream.offset(off::OFD), ofd as u32)
+                .map_err(|f| abort(profile, f))?;
+            k.space
+                .write_u32(stream.offset(off::MAGIC), FILE_MAGIC)
+                .map_err(|f| abort(profile, f))?;
+            Ok(ApiReturn::ok(stream.addr() as i64))
+        }
+        Err(e) => Ok(ApiReturn::err(0, errno::from_fs(e))),
+    }
+}
+
+/// `fclose(stream)`.
+///
+/// glibc frees the `FILE` allocation (so a later use faults); MSVCRT keeps
+/// the slot and only clears the magic (later use is validated to `EOF`).
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers; Catastrophic on CE garbage streams.
+pub fn fclose(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fclose", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => {
+            let _ = k.fs.close(ofd);
+            if profile.os.is_windows() {
+                // Slot is kept; magic cleared so reuse is detectable.
+                let _ = k.space.write_u32(stream.offset(off::MAGIC), 0);
+            } else {
+                // glibc frees the FILE: reuse is a dangling dereference.
+                let _ = k.space.unmap(stream);
+            }
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+/// `fflush(stream)`. `fflush(NULL)` flushes everything and is legal.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers; Catastrophic on CE garbage streams.
+pub fn fflush(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    if stream.is_null() {
+        return Ok(ApiReturn::ok(0)); // flush all open streams
+    }
+    match resolve_file(k, profile, stream, "fflush", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(_) => Ok(ApiReturn::ok(0)), // in-memory fs: always flushed
+    }
+}
+
+/// `fseek(stream, offset, whence)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers; Catastrophic on CE garbage streams.
+pub fn fseek(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    stream: SimPtr,
+    offset: i64,
+    whence: i32,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fseek", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(-1, e)),
+        FileRef::Live(ofd) => {
+            let from = match whence {
+                0 if offset >= 0 => SeekFrom::Start(offset as u64),
+                0 => return Ok(ApiReturn::err(-1, EINVAL)),
+                1 => SeekFrom::Current(offset),
+                2 => SeekFrom::End(offset),
+                _ => return Ok(ApiReturn::err(-1, EINVAL)),
+            };
+            match k.fs.seek(ofd, from) {
+                Ok(_) => Ok(ApiReturn::ok(0)),
+                Err(e) => Ok(ApiReturn::err(-1, errno::from_fs(e))),
+            }
+        }
+    }
+}
+
+/// `ftell(stream)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers; Catastrophic on CE garbage streams.
+pub fn ftell(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "ftell", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(-1, e)),
+        FileRef::Live(ofd) => match k.fs.seek(ofd, SeekFrom::Current(0)) {
+            Ok(pos) => Ok(ApiReturn::ok(pos as i64)),
+            Err(e) => Ok(ApiReturn::err(-1, errno::from_fs(e))),
+        },
+    }
+}
+
+/// `rewind(stream)` — `fseek(stream, 0, SEEK_SET)` with flags cleared.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers.
+pub fn rewind(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "rewind", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(ofd) => {
+            let _ = k.fs.seek(ofd, SeekFrom::Start(0));
+            let _ = k.space.write_u32(stream.offset(off::FLAGS), 0);
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+/// `fgetpos(stream, pos)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream or position pointers.
+pub fn fgetpos(k: &mut Kernel, profile: LibcProfile, stream: SimPtr, pos: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fgetpos", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(-1, e)),
+        FileRef::Live(ofd) => {
+            let cur = k
+                .fs
+                .seek(ofd, SeekFrom::Current(0))
+                .map_err(errno::from_fs);
+            match cur {
+                Ok(v) => {
+                    k.space
+                        .write_u64(pos, v)
+                        .map_err(|f| abort(profile, f))?;
+                    Ok(ApiReturn::ok(0))
+                }
+                Err(e) => Ok(ApiReturn::err(-1, e)),
+            }
+        }
+    }
+}
+
+/// `fsetpos(stream, pos)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream or position pointers.
+pub fn fsetpos(k: &mut Kernel, profile: LibcProfile, stream: SimPtr, pos: SimPtr) -> ApiResult {
+    k.charge_call();
+    let target = k.space.read_u64(pos).map_err(|f| abort(profile, f))?;
+    match resolve_file(k, profile, stream, "fsetpos", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(-1, e)),
+        FileRef::Live(ofd) => match k.fs.seek(ofd, SeekFrom::Start(target)) {
+            Ok(_) => Ok(ApiReturn::ok(0)),
+            Err(e) => Ok(ApiReturn::err(-1, errno::from_fs(e))),
+        },
+    }
+}
+
+/// `clearerr(stream)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers; Catastrophic on CE garbage streams
+/// (first entry in Table 3's CE C-file-I/O row).
+pub fn clearerr(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "clearerr", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(_) => {
+            let _ = k.space.write_u32(stream.offset(off::FLAGS), 0);
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+/// `feof(stream)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers.
+pub fn feof(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "feof", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(_) => {
+            let flags = get_flags(k, stream).map_err(|f| abort(profile, f))?;
+            Ok(ApiReturn::ok(i64::from(flags & flag::EOF != 0)))
+        }
+    }
+}
+
+/// `ferror(stream)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers.
+pub fn ferror(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "ferror", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(_) => {
+            let flags = get_flags(k, stream).map_err(|f| abort(profile, f))?;
+            Ok(ApiReturn::ok(i64::from(flags & flag::ERROR != 0)))
+        }
+    }
+}
+
+/// `remove(path)`.
+///
+/// # Errors
+///
+/// Aborts when the path string faults.
+pub fn remove(k: &mut Kernel, profile: LibcProfile, path: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = cstr::read_cstr(&k.space, path, U).map_err(|f| abort(profile, f))?;
+    let p = String::from_utf8_lossy(&bytes).into_owned();
+    match k.fs.unlink(&p) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(ApiReturn::err(-1, errno::from_fs(e))),
+    }
+}
+
+/// `rename(from, to)`.
+///
+/// # Errors
+///
+/// Aborts when either path string faults.
+pub fn rename(k: &mut Kernel, profile: LibcProfile, from: SimPtr, to: SimPtr) -> ApiResult {
+    k.charge_call();
+    let f = cstr::read_cstr(&k.space, from, U).map_err(|x| abort(profile, x))?;
+    let t = cstr::read_cstr(&k.space, to, U).map_err(|x| abort(profile, x))?;
+    let from_s = String::from_utf8_lossy(&f).into_owned();
+    let to_s = String::from_utf8_lossy(&t).into_owned();
+    match k.fs.rename(&from_s, &to_s) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(ApiReturn::err(-1, errno::from_fs(e))),
+    }
+}
+
+/// `tmpfile()` — a fresh unnamed temporary stream.
+///
+/// # Errors
+///
+/// None; this call takes no hostile arguments.
+pub fn tmpfile(k: &mut Kernel, profile: LibcProfile) -> ApiResult {
+    k.charge_call();
+    let n = k.scratch.entry("libc.tmpfile".to_owned()).or_insert(0);
+    *n += 1;
+    let name = if profile.os.is_windows() {
+        format!("C:\\TEMP\\tmp{n:04}.tmp")
+    } else {
+        format!("/tmp/tmpfile.{n:04}")
+    };
+    match k
+        .fs
+        .open(&name, OpenOptions::read_write().create(true).truncate(true))
+    {
+        Ok(ofd) => {
+            let fp = make_file(k, ofd);
+            Ok(ApiReturn::ok(fp.addr() as i64))
+        }
+        Err(e) => Ok(ApiReturn::err(0, errno::from_fs(e))),
+    }
+}
+
+/// `tmpnam(buf)` — writes a fresh temporary name into `buf` (or returns an
+/// internal static buffer for NULL, which is legal).
+///
+/// # Errors
+///
+/// Aborts when writing to a faulting non-NULL buffer.
+pub fn tmpnam(k: &mut Kernel, profile: LibcProfile, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    let n = k.scratch.entry("libc.tmpnam".to_owned()).or_insert(0);
+    *n += 1;
+    let name = if profile.os.is_windows() {
+        format!("C:\\TEMP\\t{n:06}")
+    } else {
+        format!("/tmp/tmpnam{n:06}")
+    };
+    if buf.is_null() {
+        // Return the CRT's static buffer.
+        let stat = k.alloc_user(name.len() as u64 + 1, "tmpnam-static");
+        cstr::write_cstr(&mut k.space, stat, &name, U).map_err(|f| abort(profile, f))?;
+        return Ok(ApiReturn::ok(stat.addr() as i64));
+    }
+    cstr::write_cstr(&mut k.space, buf, &name, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(buf.addr() as i64))
+}
+
+/// `setbuf(stream, buf)` — `buf` may legally be NULL (unbuffered).
+///
+/// # Errors
+///
+/// Aborts on faulting stream pointers.
+pub fn setbuf(k: &mut Kernel, profile: LibcProfile, stream: SimPtr, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "setbuf", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(_) => {
+            if !buf.is_null() {
+                // The CRT stores into the new buffer's first byte.
+                k.space.write_u8(buf, 0).map_err(|f| abort(profile, f))?;
+            }
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+/// `setvbuf(stream, buf, mode, size)`.
+///
+/// # Errors
+///
+/// Aborts on faulting stream/buffer pointers.
+pub fn setvbuf(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    stream: SimPtr,
+    buf: SimPtr,
+    mode: i32,
+    size: u64,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "setvbuf", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(-1, e)),
+        FileRef::Live(_) => {
+            // _IOFBF=0, _IOLBF=1, _IONBF=2.
+            if !(0..=2).contains(&mode) {
+                return Ok(ApiReturn::err(-1, EINVAL));
+            }
+            if !buf.is_null() && size > 0 {
+                k.space.write_u8(buf, 0).map_err(|f| abort(profile, f))?;
+            }
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn msvcrt() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Win98)
+    }
+
+    fn ce() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::WinCe)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, U).unwrap();
+        p
+    }
+
+    /// A "string buffer typecast to FILE*": readable garbage.
+    fn garbage_file(k: &mut Kernel) -> SimPtr {
+        put(k, "this is not a FILE structure at all")
+    }
+
+    fn open_file(k: &mut Kernel, profile: LibcProfile, path: &str) -> SimPtr {
+        let p = put(k, path);
+        let m = put(k, "w+");
+        let r = fopen(k, profile, p, m).unwrap();
+        assert_ne!(r.value, 0, "fopen failed: {:?}", r.error);
+        SimPtr::new(r.value as u64)
+    }
+
+    #[test]
+    fn fopen_fclose_roundtrip() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/a.txt");
+        assert!(k.fs.exists("/tmp/a.txt"));
+        assert_eq!(fclose(&mut k, glibc(), fp).unwrap().value, 0);
+        // glibc freed the FILE: reuse faults.
+        assert!(ftell(&mut k, glibc(), fp).is_err());
+    }
+
+    #[test]
+    fn msvcrt_fclose_keeps_slot_detectable() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let fp = open_file(&mut k, msvcrt(), "C:\\TEMP\\b.txt");
+        fclose(&mut k, msvcrt(), fp).unwrap();
+        // Reuse is validated to EOF, not a fault.
+        let r = ftell(&mut k, msvcrt(), fp).unwrap();
+        assert_eq!(r.value, -1);
+        assert_eq!(r.error, Some(EBADF));
+    }
+
+    #[test]
+    fn fopen_bad_mode_and_missing_file() {
+        let mut k = Kernel::new();
+        let p = put(&mut k, "/tmp/x");
+        let bad_mode = put(&mut k, "q");
+        assert_eq!(fopen(&mut k, glibc(), p, bad_mode).unwrap().error, Some(EINVAL));
+        let rd = put(&mut k, "r");
+        let missing = put(&mut k, "/tmp/nonexistent");
+        let r = fopen(&mut k, glibc(), missing, rd).unwrap();
+        assert_eq!(r.value, 0);
+        assert_eq!(r.error, Some(errno::ENOENT));
+    }
+
+    #[test]
+    fn fopen_null_path_aborts() {
+        let mut k = Kernel::new();
+        let m = put(&mut k, "r");
+        assert!(fopen(&mut k, glibc(), SimPtr::NULL, m).is_err());
+        assert!(fopen(&mut k, msvcrt(), SimPtr::NULL, m).is_err());
+    }
+
+    #[test]
+    fn garbage_file_ptr_splits_three_ways() {
+        // glibc: probes the garbage buffer pointer → abort.
+        let mut k1 = Kernel::new();
+        let g1 = garbage_file(&mut k1);
+        assert!(ftell(&mut k1, glibc(), g1).is_err());
+        assert!(k1.is_alive());
+
+        // MSVCRT: validates → EOF + errno, machine fine.
+        let mut k2 = Kernel::with_flavor(MachineFlavor::Windows);
+        let g2 = garbage_file(&mut k2);
+        let r = ftell(&mut k2, msvcrt(), g2).unwrap();
+        assert_eq!(r.error, Some(EBADF));
+        assert!(k2.is_alive());
+
+        // CE: kernel trusts the garbage handle → the machine dies.
+        let mut k3 = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        let g3 = garbage_file(&mut k3);
+        let _ = ftell(&mut k3, ce(), g3).unwrap();
+        assert!(!k3.is_alive());
+        assert_eq!(k3.crash.info().unwrap().call, "ftell");
+    }
+
+    #[test]
+    fn ce_crashes_on_all_sensitive_file_functions() {
+        for func in ["fclose", "fflush", "fseek", "ftell", "clearerr", "freopen"] {
+            let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+            let g = garbage_file(&mut k);
+            let path = put(&mut k, "C:\\TEMP\\f");
+            let mode = put(&mut k, "w");
+            let _ = match func {
+                "fclose" => fclose(&mut k, ce(), g),
+                "fflush" => fflush(&mut k, ce(), g),
+                "fseek" => fseek(&mut k, ce(), g, 0, 0),
+                "ftell" => ftell(&mut k, ce(), g),
+                "clearerr" => clearerr(&mut k, ce(), g),
+                "freopen" => freopen(&mut k, ce(), path, mode, g),
+                _ => unreachable!(),
+            };
+            assert!(!k.is_alive(), "{func} should crash CE");
+        }
+    }
+
+    #[test]
+    fn ce_insensitive_functions_survive_garbage() {
+        // feof/ferror/rewind are not in Table 3's CE rows.
+        let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        let g = garbage_file(&mut k);
+        let _ = feof(&mut k, ce(), g).unwrap();
+        let _ = ferror(&mut k, ce(), g).unwrap();
+        assert!(k.is_alive());
+    }
+
+    #[test]
+    fn null_file_ptr_aborts_not_crashes_even_on_ce() {
+        let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        assert!(ftell(&mut k, ce(), SimPtr::NULL).is_err());
+        assert!(k.is_alive());
+    }
+
+    #[test]
+    fn seek_tell_roundtrip() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/seek.txt");
+        assert_eq!(fseek(&mut k, glibc(), fp, 0, 2).unwrap().value, 0); // SEEK_END
+        assert_eq!(ftell(&mut k, glibc(), fp).unwrap().value, 0);
+        assert_eq!(fseek(&mut k, glibc(), fp, 100, 0).unwrap().value, 0);
+        assert_eq!(ftell(&mut k, glibc(), fp).unwrap().value, 100);
+        // Bad whence is a robust error.
+        let r = fseek(&mut k, glibc(), fp, 0, 99).unwrap();
+        assert_eq!(r.error, Some(EINVAL));
+        rewind(&mut k, glibc(), fp).unwrap();
+        assert_eq!(ftell(&mut k, glibc(), fp).unwrap().value, 0);
+    }
+
+    #[test]
+    fn fgetpos_fsetpos() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/pos.txt");
+        fseek(&mut k, glibc(), fp, 42, 0).unwrap();
+        let pos = k.alloc_user(8, "fpos_t");
+        assert_eq!(fgetpos(&mut k, glibc(), fp, pos).unwrap().value, 0);
+        fseek(&mut k, glibc(), fp, 0, 0).unwrap();
+        assert_eq!(fsetpos(&mut k, glibc(), fp, pos).unwrap().value, 0);
+        assert_eq!(ftell(&mut k, glibc(), fp).unwrap().value, 42);
+        // NULL pos pointer aborts.
+        assert!(fgetpos(&mut k, glibc(), fp, SimPtr::NULL).is_err());
+        assert!(fsetpos(&mut k, glibc(), fp, SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn flags_feof_ferror_clearerr() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/flags.txt");
+        assert_eq!(feof(&mut k, glibc(), fp).unwrap().value, 0);
+        mark_eof(&mut k, fp);
+        mark_error(&mut k, fp);
+        assert_eq!(feof(&mut k, glibc(), fp).unwrap().value, 1);
+        assert_eq!(ferror(&mut k, glibc(), fp).unwrap().value, 1);
+        clearerr(&mut k, glibc(), fp).unwrap();
+        assert_eq!(feof(&mut k, glibc(), fp).unwrap().value, 0);
+        assert_eq!(ferror(&mut k, glibc(), fp).unwrap().value, 0);
+    }
+
+    #[test]
+    fn remove_and_rename() {
+        let mut k = Kernel::new();
+        k.fs.create_file("/tmp/r1", vec![]).unwrap();
+        let from = put(&mut k, "/tmp/r1");
+        let to = put(&mut k, "/tmp/r2");
+        assert_eq!(rename(&mut k, glibc(), from, to).unwrap().value, 0);
+        assert!(k.fs.exists("/tmp/r2"));
+        assert_eq!(remove(&mut k, glibc(), to).unwrap().value, 0);
+        assert!(!k.fs.exists("/tmp/r2"));
+        let r = remove(&mut k, glibc(), to).unwrap();
+        assert_eq!(r.error, Some(errno::ENOENT));
+        assert!(remove(&mut k, glibc(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn tmpfile_and_tmpnam() {
+        let mut k = Kernel::new();
+        let r1 = tmpfile(&mut k, glibc()).unwrap();
+        let r2 = tmpfile(&mut k, glibc()).unwrap();
+        assert_ne!(r1.value, 0);
+        assert_ne!(r1.value, r2.value);
+        let buf = k.alloc_user(64, "name");
+        let r = tmpnam(&mut k, glibc(), buf).unwrap();
+        assert_eq!(r.value as u64, buf.addr());
+        let name = cstr::read_cstr(&k.space, buf, U).unwrap();
+        assert!(name.starts_with(b"/tmp/"));
+        // NULL buffer is legal (static buffer).
+        let r = tmpnam(&mut k, glibc(), SimPtr::NULL).unwrap();
+        assert_ne!(r.value, 0);
+    }
+
+    #[test]
+    fn setbuf_setvbuf() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/buf.txt");
+        assert_eq!(setbuf(&mut k, glibc(), fp, SimPtr::NULL).unwrap().value, 0);
+        let buf = k.alloc_user(512, "iobuf");
+        assert_eq!(setbuf(&mut k, glibc(), fp, buf).unwrap().value, 0);
+        assert_eq!(setvbuf(&mut k, glibc(), fp, buf, 0, 512).unwrap().value, 0);
+        assert_eq!(
+            setvbuf(&mut k, glibc(), fp, buf, 9, 512).unwrap().error,
+            Some(EINVAL)
+        );
+        // Writing through a bad buffer pointer aborts.
+        assert!(setbuf(&mut k, glibc(), fp, SimPtr::new(0x20)).is_err());
+    }
+
+    #[test]
+    fn ungetc_slot() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/u.txt");
+        assert!(take_ungetc(&mut k, fp).is_none());
+        assert!(push_ungetc(&mut k, fp, b'z'));
+        assert!(!push_ungetc(&mut k, fp, b'y')); // one slot only
+        assert_eq!(take_ungetc(&mut k, fp), Some(b'z'));
+        assert!(take_ungetc(&mut k, fp).is_none());
+    }
+}

@@ -1,0 +1,716 @@
+//! `<stdio.h>` stream I/O — `fread`/`fwrite`, character I/O and the
+//! `printf`/`scanf` families.
+//!
+//! This group supplies two of the paper's headline Catastrophic findings:
+//! `fwrite` could take down Windows 98 (Table 3 `*fwrite`, gone in 98 SE),
+//! and on Windows CE ten stream functions die on the garbage-`FILE*` test
+//! value. The format-string engines model the classic varargs hazard: a
+//! conversion directive with no corresponding argument consumes a garbage
+//! stack word, and pointer-consuming directives (`%s`, `%n`, every `scanf`
+//! conversion) dereference it.
+
+use crate::errno::EINVAL;
+use crate::profile::LibcProfile;
+use crate::stdio::{
+    mark_eof, mark_error, push_ungetc, resolve_file, take_ungetc, FileRef, EOF,
+};
+use crate::string::abort;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+/// The garbage stack word a varargs function reads when the caller passed
+/// no corresponding argument (deterministic, and — like real stack garbage
+/// — not a mapped address).
+const STACK_GARBAGE: u64 = 0x0BAD_F00D;
+
+/// The fixed line the simulated console feeds `stdin` readers.
+pub const CONSOLE_INPUT: &[u8] = b"ballista test input\n";
+
+/// `fread(buf, size, nmemb, stream)`.
+///
+/// `size * nmemb` is computed in 32-bit arithmetic as the era's CRTs did,
+/// so a huge pair wraps and quietly reads less than asked — a Silent
+/// failure the pools can trigger.
+///
+/// # Errors
+///
+/// Aborts when the stream or buffer faults; on CE a garbage stream is
+/// Catastrophic.
+pub fn fread(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    buf: SimPtr,
+    size: u64,
+    nmemb: u64,
+    stream: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fread", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(ofd) => {
+            let total = (size as u32).wrapping_mul(nmemb as u32) as usize;
+            if total == 0 {
+                return Ok(ApiReturn::ok(0));
+            }
+            let mut data = vec![0u8; total];
+            let n = match k.fs.read(ofd, &mut data) {
+                Ok(n) => n,
+                Err(e) => {
+                    mark_error(k, stream);
+                    return Ok(ApiReturn::err(0, crate::errno::from_fs(e)));
+                }
+            };
+            if n < total {
+                mark_eof(k, stream);
+            }
+            k.space
+                .write_bytes(buf, &data[..n])
+                .map_err(|f| abort(profile, f))?;
+            let items = (n as u64).checked_div(size).unwrap_or(0);
+            Ok(ApiReturn::ok(items as i64))
+        }
+    }
+}
+
+/// `fwrite(buf, size, nmemb, stream)`.
+///
+/// On Windows 98 with harness-accumulated state, a garbage stream sends
+/// the write down a kernel path that corrupts system memory — the paper's
+/// `*fwrite` Catastrophic entry, fixed in 98 SE.
+///
+/// # Errors
+///
+/// Aborts when the stream or buffer faults.
+pub fn fwrite(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    buf: SimPtr,
+    size: u64,
+    nmemb: u64,
+    stream: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fwrite", false)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => {
+            if profile.fwrite_can_crash_system(k.residue) {
+                k.crash.panic(
+                    "fwrite",
+                    "Win98 CRT passed unvalidated stream into kernel write path",
+                    None,
+                );
+                return Ok(ApiReturn::ok(nmemb as i64));
+            }
+            Ok(ApiReturn::err(0, e))
+        }
+        FileRef::Live(ofd) => {
+            let total = (size as u32).wrapping_mul(nmemb as u32) as u64;
+            if total == 0 {
+                return Ok(ApiReturn::ok(0));
+            }
+            let data = k
+                .space
+                .read_bytes(buf, total)
+                .map_err(|f| abort(profile, f))?;
+            match k.fs.write(ofd, &data) {
+                Ok(_) => Ok(ApiReturn::ok(nmemb as i64)),
+                Err(e) => {
+                    mark_error(k, stream);
+                    Ok(ApiReturn::err(0, crate::errno::from_fs(e)))
+                }
+            }
+        }
+    }
+}
+
+fn read_one_byte(k: &mut Kernel, stream: SimPtr, ofd: u64) -> Option<u8> {
+    if let Some(c) = take_ungetc(k, stream) {
+        return Some(c);
+    }
+    let mut b = [0u8; 1];
+    match k.fs.read(ofd, &mut b) {
+        Ok(1) => Some(b[0]),
+        _ => {
+            mark_eof(k, stream);
+            None
+        }
+    }
+}
+
+/// `fgetc(stream)` (and `getc`, which the catalog registers separately).
+///
+/// # Errors
+///
+/// Aborts on faulting streams; Catastrophic on CE garbage streams.
+pub fn fgetc(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fgetc", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => match read_one_byte(k, stream, ofd) {
+            Some(b) => Ok(ApiReturn::ok(i64::from(b))),
+            None => Ok(ApiReturn::ok(EOF)),
+        },
+    }
+}
+
+/// `fputc(c, stream)` (and `putc`).
+///
+/// # Errors
+///
+/// Aborts on faulting streams; Catastrophic on CE garbage streams.
+pub fn fputc(k: &mut Kernel, profile: LibcProfile, c: i32, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fputc", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => match k.fs.write(ofd, &[(c & 0xFF) as u8]) {
+            Ok(_) => Ok(ApiReturn::ok(i64::from((c & 0xFF) as u8))),
+            Err(e) => {
+                mark_error(k, stream);
+                Ok(ApiReturn::err(EOF, crate::errno::from_fs(e)))
+            }
+        },
+    }
+}
+
+/// `ungetc(c, stream)`.
+///
+/// # Errors
+///
+/// Aborts on faulting streams; Catastrophic on CE garbage streams.
+pub fn ungetc(k: &mut Kernel, profile: LibcProfile, c: i32, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "ungetc", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(_) => {
+            if c == -1 {
+                return Ok(ApiReturn::ok(EOF)); // pushing back EOF is a no-op
+            }
+            if push_ungetc(k, stream, (c & 0xFF) as u8) {
+                Ok(ApiReturn::ok(i64::from((c & 0xFF) as u8)))
+            } else {
+                Ok(ApiReturn::ok(EOF))
+            }
+        }
+    }
+}
+
+/// `fgets(buf, n, stream)`.
+///
+/// # Errors
+///
+/// Aborts when the stream or destination buffer faults; Catastrophic on CE
+/// garbage streams.
+pub fn fgets(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    buf: SimPtr,
+    n: i32,
+    stream: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fgets", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(0, e)),
+        FileRef::Live(ofd) => {
+            if n <= 0 {
+                // glibc returns NULL; MSVCRT too — robust degenerate case.
+                return Ok(ApiReturn::err(0, EINVAL));
+            }
+            let mut written = 0u64;
+            let limit = (n - 1) as u64;
+            while written < limit {
+                let Some(b) = read_one_byte(k, stream, ofd) else {
+                    break;
+                };
+                k.space
+                    .write_u8(buf.offset(written), b)
+                    .map_err(|f| abort(profile, f))?;
+                written += 1;
+                if b == b'\n' {
+                    break;
+                }
+            }
+            if written == 0 {
+                return Ok(ApiReturn::ok(0)); // EOF before anything read
+            }
+            k.space
+                .write_u8(buf.offset(written), 0)
+                .map_err(|f| abort(profile, f))?;
+            Ok(ApiReturn::ok(buf.addr() as i64))
+        }
+    }
+}
+
+/// `fputs(s, stream)`.
+///
+/// # Errors
+///
+/// Aborts when the string or stream faults; Catastrophic on CE garbage
+/// streams.
+pub fn fputs(k: &mut Kernel, profile: LibcProfile, s: SimPtr, stream: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = cstr::read_cstr(&k.space, s, U).map_err(|f| abort(profile, f))?;
+    match resolve_file(k, profile, stream, "fputs", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => match k.fs.write(ofd, &bytes) {
+            Ok(n) => Ok(ApiReturn::ok(n as i64)),
+            Err(e) => Ok(ApiReturn::err(EOF, crate::errno::from_fs(e))),
+        },
+    }
+}
+
+/// Result of running the `printf` engine over a format string.
+struct Formatted {
+    out: Vec<u8>,
+}
+
+/// The shared `printf`-family engine. Conversion directives consume
+/// varargs the caller did not pass, so integer conversions print the
+/// garbage stack word and pointer conversions dereference it.
+fn format_engine(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    fmt: SimPtr,
+) -> Result<Formatted, sim_kernel::outcome::ApiAbort> {
+    let fmt_bytes = cstr::read_cstr(&k.space, fmt, U).map_err(|f| abort(profile, f))?;
+    let mut out = Vec::new();
+    let mut it = fmt_bytes.iter().copied().peekable();
+    while let Some(b) = it.next() {
+        if b != b'%' {
+            out.push(b);
+            continue;
+        }
+        // Skip flags/width/precision.
+        let mut conv = None;
+        for c in it.by_ref() {
+            if c.is_ascii_alphabetic() || c == b'%' {
+                conv = Some(c);
+                break;
+            }
+        }
+        match conv {
+            Some(b'%') => out.push(b'%'),
+            Some(b's') | Some(b'n') => {
+                // Pointer-consuming directive with a garbage stack word.
+                let garbage = SimPtr::new(STACK_GARBAGE);
+                if matches!(conv, Some(b'n')) {
+                    k.space
+                        .write_u32(garbage, out.len() as u32)
+                        .map_err(|f| abort(profile, f))?;
+                } else {
+                    let s = cstr::read_cstr(&k.space, garbage, U).map_err(|f| abort(profile, f))?;
+                    out.extend_from_slice(&s);
+                }
+            }
+            Some(b'd') | Some(b'i') | Some(b'u') | Some(b'x') | Some(b'X') | Some(b'o')
+            | Some(b'c') | Some(b'p') => {
+                // Integer-consuming directive: prints stack garbage, no fault.
+                out.extend_from_slice(format!("{STACK_GARBAGE}").as_bytes());
+            }
+            Some(b'f') | Some(b'e') | Some(b'g') | Some(b'E') | Some(b'G') => {
+                out.extend_from_slice(b"0.000000");
+            }
+            _ => {}
+        }
+    }
+    Ok(Formatted { out })
+}
+
+/// `fprintf(stream, fmt)` — two-argument form, as Ballista tests it; any
+/// conversion directive consumes garbage varargs.
+///
+/// # Errors
+///
+/// Aborts when the stream or format faults, or when `%s`/`%n` dereference
+/// the garbage stack word; Catastrophic on CE garbage streams.
+pub fn fprintf(k: &mut Kernel, profile: LibcProfile, stream: SimPtr, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fprintf", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => {
+            let formatted = format_engine(k, profile, fmt)?;
+            match k.fs.write(ofd, &formatted.out) {
+                Ok(n) => Ok(ApiReturn::ok(n as i64)),
+                Err(e) => Ok(ApiReturn::err(EOF, crate::errno::from_fs(e))),
+            }
+        }
+    }
+}
+
+/// `printf(fmt)` — formats to the console sink.
+///
+/// # Errors
+///
+/// Aborts when the format faults or `%s`/`%n` dereference garbage.
+pub fn printf(k: &mut Kernel, profile: LibcProfile, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    let formatted = format_engine(k, profile, fmt)?;
+    Ok(ApiReturn::ok(formatted.out.len() as i64))
+}
+
+/// `sprintf(buf, fmt)`.
+///
+/// # Errors
+///
+/// Aborts when the format, varargs garbage, or destination buffer faults.
+pub fn sprintf(k: &mut Kernel, profile: LibcProfile, buf: SimPtr, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    let formatted = format_engine(k, profile, fmt)?;
+    cstr::write_bytes_nul(&mut k.space, buf, &formatted.out, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(formatted.out.len() as i64))
+}
+
+/// The shared `scanf`-family engine: every conversion writes through a
+/// garbage varargs pointer — the reason `scanf` functions abort so heavily
+/// everywhere.
+fn scan_engine(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    fmt: SimPtr,
+    input: &[u8],
+) -> Result<i64, sim_kernel::outcome::ApiAbort> {
+    let fmt_bytes = cstr::read_cstr(&k.space, fmt, U).map_err(|f| abort(profile, f))?;
+    let mut converted = 0i64;
+    let mut it = fmt_bytes.iter().copied().peekable();
+    while let Some(b) = it.next() {
+        if b != b'%' {
+            continue;
+        }
+        let mut conv = None;
+        for c in it.by_ref() {
+            if c.is_ascii_alphabetic() || c == b'%' {
+                conv = Some(c);
+                break;
+            }
+        }
+        match conv {
+            Some(b'%') | None => {}
+            Some(_) => {
+                // Any conversion writes to the garbage target pointer.
+                let garbage = SimPtr::new(STACK_GARBAGE);
+                k.space
+                    .write_u32(garbage, input.len() as u32)
+                    .map_err(|f| abort(profile, f))?;
+                converted += 1;
+            }
+        }
+    }
+    Ok(converted)
+}
+
+/// `fscanf(stream, fmt)`.
+///
+/// # Errors
+///
+/// Aborts when the stream or format faults, or on any conversion (garbage
+/// target pointer); Catastrophic on CE garbage streams.
+pub fn fscanf(k: &mut Kernel, profile: LibcProfile, stream: SimPtr, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    match resolve_file(k, profile, stream, "fscanf", true)? {
+        FileRef::SystemDead => Ok(ApiReturn::ok(0)),
+        FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
+        FileRef::Live(ofd) => {
+            let mut data = vec![0u8; 256];
+            let n = k.fs.read(ofd, &mut data).unwrap_or(0);
+            data.truncate(n);
+            let converted = scan_engine(k, profile, fmt, &data)?;
+            Ok(ApiReturn::ok(converted))
+        }
+    }
+}
+
+/// `scanf(fmt)` — reads the console line.
+///
+/// # Errors
+///
+/// Aborts when the format faults or on any conversion.
+pub fn scanf(k: &mut Kernel, profile: LibcProfile, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    let converted = scan_engine(k, profile, fmt, CONSOLE_INPUT)?;
+    Ok(ApiReturn::ok(converted))
+}
+
+/// `sscanf(s, fmt)`.
+///
+/// # Errors
+///
+/// Aborts when either string faults or on any conversion.
+pub fn sscanf(k: &mut Kernel, profile: LibcProfile, s: SimPtr, fmt: SimPtr) -> ApiResult {
+    k.charge_call();
+    let input = cstr::read_cstr(&k.space, s, U).map_err(|f| abort(profile, f))?;
+    let converted = scan_engine(k, profile, fmt, &input)?;
+    Ok(ApiReturn::ok(converted))
+}
+
+/// `gets(buf)` — the classic unbounded console read.
+///
+/// # Errors
+///
+/// Aborts when the destination cannot hold the console line (the API has
+/// no way to know the buffer size — this is the function's famous defect).
+pub fn gets(k: &mut Kernel, profile: LibcProfile, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    let line: Vec<u8> = CONSOLE_INPUT
+        .iter()
+        .copied()
+        .take_while(|&b| b != b'\n')
+        .collect();
+    cstr::write_bytes_nul(&mut k.space, buf, &line, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(buf.addr() as i64))
+}
+
+/// `puts(s)`.
+///
+/// # Errors
+///
+/// Aborts when the string faults.
+pub fn puts(k: &mut Kernel, profile: LibcProfile, s: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = cstr::read_cstr(&k.space, s, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(bytes.len() as i64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdio::{fopen, fseek};
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn w98() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Win98)
+    }
+
+    fn ce() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::WinCe)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, U).unwrap();
+        p
+    }
+
+    fn open_file(k: &mut Kernel, profile: LibcProfile, path: &str) -> SimPtr {
+        let p = put(k, path);
+        let m = put(k, "w+");
+        SimPtr::new(fopen(k, profile, p, m).unwrap().value as u64)
+    }
+
+    #[test]
+    fn fwrite_fread_roundtrip() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/rw.bin");
+        let data = put(&mut k, "0123456789");
+        assert_eq!(fwrite(&mut k, glibc(), data, 1, 10, fp).unwrap().value, 10);
+        fseek(&mut k, glibc(), fp, 0, 0).unwrap();
+        let buf = k.alloc_user(16, "buf");
+        assert_eq!(fread(&mut k, glibc(), buf, 1, 10, fp).unwrap().value, 10);
+        assert_eq!(k.space.read_bytes(buf, 10).unwrap(), b"0123456789");
+        // Partial read sets EOF.
+        assert_eq!(fread(&mut k, glibc(), buf, 1, 10, fp).unwrap().value, 0);
+    }
+
+    #[test]
+    fn fread_into_bad_buffer_aborts() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/b.bin");
+        let data = put(&mut k, "payload");
+        fwrite(&mut k, glibc(), data, 1, 7, fp).unwrap();
+        fseek(&mut k, glibc(), fp, 0, 0).unwrap();
+        assert!(fread(&mut k, glibc(), SimPtr::NULL, 1, 7, fp).is_err());
+    }
+
+    #[test]
+    fn fwrite_crashes_win98_only_with_residue() {
+        // Garbage stream + residue on Win98 → system crash.
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        k.residue = 5;
+        let garbage = put(&mut k, "not a FILE at all, just a string");
+        let data = put(&mut k, "x");
+        let _ = fwrite(&mut k, w98(), data, 1, 1, garbage).unwrap();
+        assert!(!k.is_alive());
+        assert_eq!(k.crash.info().unwrap().call, "fwrite");
+
+        // Without residue: robust error.
+        let mut k2 = Kernel::with_flavor(MachineFlavor::Windows);
+        let garbage2 = put(&mut k2, "not a FILE at all, just a string");
+        let data2 = put(&mut k2, "x");
+        let r = fwrite(&mut k2, w98(), data2, 1, 1, garbage2).unwrap();
+        assert!(r.reported_error());
+        assert!(k2.is_alive());
+
+        // 98 SE fixed it: residue or not, no crash.
+        let mut k3 = Kernel::with_flavor(MachineFlavor::Windows);
+        k3.residue = 5;
+        let garbage3 = put(&mut k3, "not a FILE at all, just a string");
+        let data3 = put(&mut k3, "x");
+        let se = LibcProfile::for_os(OsVariant::Win98Se);
+        let _ = fwrite(&mut k3, se, data3, 1, 1, garbage3).unwrap();
+        assert!(k3.is_alive());
+    }
+
+    #[test]
+    fn size_nmemb_overflow_wraps_silently() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/of.bin");
+        let buf = k.alloc_user(8, "buf");
+        // 0x10000 * 0x10000 wraps to 0 in 32-bit: reads nothing, reports 0,
+        // no error — silent.
+        let r = fread(&mut k, glibc(), buf, 0x10000, 0x10000, fp).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn char_io_and_ungetc() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/c.txt");
+        assert_eq!(fputc(&mut k, glibc(), i32::from(b'A'), fp).unwrap().value, 65);
+        fseek(&mut k, glibc(), fp, 0, 0).unwrap();
+        assert_eq!(fgetc(&mut k, glibc(), fp).unwrap().value, 65);
+        assert_eq!(fgetc(&mut k, glibc(), fp).unwrap().value, EOF);
+        assert_eq!(ungetc(&mut k, glibc(), i32::from(b'z'), fp).unwrap().value, 122);
+        assert_eq!(fgetc(&mut k, glibc(), fp).unwrap().value, 122);
+        // Pushing back EOF is a no-op returning EOF.
+        assert_eq!(ungetc(&mut k, glibc(), -1, fp).unwrap().value, EOF);
+    }
+
+    #[test]
+    fn fgets_reads_lines() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/l.txt");
+        let data = put(&mut k, "line1\nline2\n");
+        fwrite(&mut k, glibc(), data, 1, 12, fp).unwrap();
+        fseek(&mut k, glibc(), fp, 0, 0).unwrap();
+        let buf = k.alloc_user(32, "line");
+        let r = fgets(&mut k, glibc(), buf, 32, fp).unwrap();
+        assert_eq!(r.value as u64, buf.addr());
+        assert_eq!(cstr::read_cstr(&k.space, buf, U).unwrap(), b"line1\n");
+        // n <= 0 is a robust error.
+        assert!(fgets(&mut k, glibc(), buf, 0, fp).unwrap().reported_error());
+        // Tiny destination for a long line faults.
+        let tiny = k.alloc_user(2, "tiny");
+        assert!(fgets(&mut k, glibc(), tiny, 32, fp).is_err());
+    }
+
+    #[test]
+    fn fputs_and_puts() {
+        let mut k = Kernel::new();
+        let fp = open_file(&mut k, glibc(), "/tmp/p.txt");
+        let s = put(&mut k, "hello");
+        assert_eq!(fputs(&mut k, glibc(), s, fp).unwrap().value, 5);
+        assert_eq!(puts(&mut k, glibc(), s).unwrap().value, 6);
+        assert!(puts(&mut k, glibc(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn printf_plain_and_integer_directives_survive() {
+        let mut k = Kernel::new();
+        let plain = put(&mut k, "no directives here");
+        assert_eq!(printf(&mut k, glibc(), plain).unwrap().value, 18);
+        let ints = put(&mut k, "x=%d y=%08x");
+        assert!(printf(&mut k, glibc(), ints).is_ok());
+    }
+
+    #[test]
+    fn printf_pointer_directives_abort() {
+        let mut k = Kernel::new();
+        let s_dir = put(&mut k, "name=%s");
+        assert!(printf(&mut k, glibc(), s_dir).is_err());
+        let n_dir = put(&mut k, "count%n");
+        assert!(printf(&mut k, glibc(), n_dir).is_err());
+        // Same through fprintf on a live stream.
+        let fp = open_file(&mut k, glibc(), "/tmp/fmt.txt");
+        let s_dir2 = put(&mut k, "%s");
+        assert!(fprintf(&mut k, glibc(), fp, s_dir2).is_err());
+    }
+
+    #[test]
+    fn sprintf_writes_destination() {
+        let mut k = Kernel::new();
+        let buf = k.alloc_user(64, "out");
+        let fmt = put(&mut k, "ab%%cd");
+        assert_eq!(sprintf(&mut k, glibc(), buf, fmt).unwrap().value, 5);
+        assert_eq!(cstr::read_cstr(&k.space, buf, U).unwrap(), b"ab%cd");
+        assert!(sprintf(&mut k, glibc(), SimPtr::NULL, fmt).is_err());
+    }
+
+    #[test]
+    fn scanf_family_aborts_on_conversions() {
+        let mut k = Kernel::new();
+        let fmt = put(&mut k, "%d");
+        assert!(scanf(&mut k, glibc(), fmt).is_err());
+        let input = put(&mut k, "42");
+        assert!(sscanf(&mut k, glibc(), input, fmt).is_err());
+        // No conversions → robust.
+        let plain = put(&mut k, "literal");
+        assert_eq!(sscanf(&mut k, glibc(), input, plain).unwrap().value, 0);
+    }
+
+    #[test]
+    fn gets_overflows_small_buffers() {
+        let mut k = Kernel::new();
+        let big = k.alloc_user(64, "big");
+        assert!(gets(&mut k, glibc(), big).is_ok());
+        assert_eq!(
+            cstr::read_cstr(&k.space, big, U).unwrap(),
+            b"ballista test input"
+        );
+        let small = k.alloc_user(4, "small");
+        assert!(gets(&mut k, glibc(), small).is_err());
+        assert!(gets(&mut k, glibc(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn ce_stream_functions_crash_on_garbage_file() {
+        type TwoPtrCall = fn(&mut Kernel, LibcProfile, SimPtr, SimPtr) -> ApiResult;
+        let funcs: Vec<(&str, TwoPtrCall)> = vec![
+            ("fprintf", |k, p, g, aux| fprintf(k, p, g, aux)),
+            ("fscanf", |k, p, g, aux| fscanf(k, p, g, aux)),
+            ("fputs", |k, p, aux, g| fputs(k, p, aux, g)),
+        ];
+        for (name, f) in funcs {
+            let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+            let garbage = put(&mut k, "a string buffer typecast to FILE*");
+            // Long enough that when it lands in the FILE*-position the
+            // struct fields are readable garbage (the paper's test value).
+            let aux = put(&mut k, "another plain string, comfortably long");
+            let _ = f(&mut k, ce(), garbage, aux);
+            assert!(!k.is_alive(), "{name} should crash CE");
+        }
+        for simple in ["fgetc", "ungetc", "fread"] {
+            let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+            let garbage = put(&mut k, "a string buffer typecast to FILE*");
+            let buf = k.alloc_user(8, "buf");
+            let _ = match simple {
+                "fgetc" => fgetc(&mut k, ce(), garbage),
+                "ungetc" => ungetc(&mut k, ce(), 65, garbage),
+                "fread" => fread(&mut k, ce(), buf, 1, 1, garbage),
+                _ => unreachable!(),
+            };
+            assert!(!k.is_alive(), "{simple} should crash CE");
+        }
+        // fwrite on CE validates (the 98-only crash is elsewhere).
+        let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        let garbage = put(&mut k, "a string buffer typecast to FILE*");
+        let buf = k.alloc_user(8, "buf");
+        let _ = fwrite(&mut k, ce(), buf, 1, 1, garbage).unwrap();
+        assert!(k.is_alive());
+    }
+}

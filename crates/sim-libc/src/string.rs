@@ -1,0 +1,524 @@
+//! `<string.h>` — the `str*` functions.
+//!
+//! String functions take raw pointers and scan for terminators, so they
+//! abort heavily on *every* OS when handed Ballista's pointer pool (NULL,
+//! dangling, unterminated, kernel-space, …). The per-OS differences the
+//! paper found are encoded as profile predicates: MSVCRT's `strtok`
+//! dereferences a NULL string that glibc tolerates, and `strncpy`'s pad
+//! loop could take down Windows 98/98 SE under harness-accumulated state
+//! (a `*`-marked Catastrophic entry in Table 3).
+
+use crate::profile::LibcProfile;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::fault::Fault;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+/// Translates a user-mode fault into the personality-appropriate abort.
+pub(crate) fn abort(profile: LibcProfile, fault: Fault) -> ApiAbort {
+    if profile.os.is_windows() {
+        ApiAbort::exception_from_fault(fault)
+    } else {
+        ApiAbort::signal_from_fault(fault)
+    }
+}
+
+fn read_str(k: &Kernel, profile: LibcProfile, ptr: SimPtr) -> Result<Vec<u8>, ApiAbort> {
+    cstr::read_cstr(&k.space, ptr, U).map_err(|f| abort(profile, f))
+}
+
+/// `strlen(s)`.
+///
+/// # Errors
+///
+/// Aborts when the scan faults (NULL, dangling or unterminated `s`).
+pub fn strlen(k: &mut Kernel, profile: LibcProfile, s: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = read_str(k, profile, s)?;
+    Ok(ApiReturn::ok(bytes.len() as i64))
+}
+
+/// `strcpy(dst, src)`. Returns `dst`.
+///
+/// # Errors
+///
+/// Aborts when reading `src` or writing `dst` faults.
+pub fn strcpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = read_str(k, profile, src)?;
+    cstr::write_bytes_nul(&mut k.space, dst, &bytes, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `strcat(dst, src)`. Returns `dst`.
+///
+/// # Errors
+///
+/// Aborts when scanning either string or writing the concatenation faults.
+pub fn strcat(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let head = read_str(k, profile, dst)?;
+    let tail = read_str(k, profile, src)?;
+    cstr::write_bytes_nul(
+        &mut k.space,
+        dst.offset(head.len() as u64),
+        &tail,
+        U,
+    )
+    .map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `strncat(dst, src, n)`: appends at most `n` bytes of `src` plus a NUL.
+///
+/// # Errors
+///
+/// Aborts on faulting scans or writes.
+pub fn strncat(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    dst: SimPtr,
+    src: SimPtr,
+    n: u64,
+) -> ApiResult {
+    k.charge_call();
+    let head = read_str(k, profile, dst)?;
+    let mut tail = read_str(k, profile, src)?;
+    tail.truncate(n as usize);
+    cstr::write_bytes_nul(&mut k.space, dst.offset(head.len() as u64), &tail, U)
+        .map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `strcmp(a, b)`.
+///
+/// # Errors
+///
+/// Aborts when either scan faults.
+pub fn strcmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr) -> ApiResult {
+    k.charge_call();
+    // Byte-by-byte with early exit, exactly like the C loop: a mismatch
+    // before the bad page means no fault.
+    let mut off = 0u64;
+    loop {
+        let ca = k.space.read_u8(a.offset(off)).map_err(|f| abort(profile, f))?;
+        let cb = k.space.read_u8(b.offset(off)).map_err(|f| abort(profile, f))?;
+        if ca != cb {
+            return Ok(ApiReturn::ok(if ca < cb { -1 } else { 1 }));
+        }
+        if ca == 0 {
+            return Ok(ApiReturn::ok(0));
+        }
+        off += 1;
+    }
+}
+
+/// `strncmp(a, b, n)`.
+///
+/// # Errors
+///
+/// Aborts when a scanned byte faults (note `n == 0` compares nothing and is
+/// robust even with wild pointers — the early-exit the paper's pools probe).
+pub fn strncmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr, n: u64) -> ApiResult {
+    k.charge_call();
+    let mut off = 0u64;
+    while off < n {
+        let ca = k.space.read_u8(a.offset(off)).map_err(|f| abort(profile, f))?;
+        let cb = k.space.read_u8(b.offset(off)).map_err(|f| abort(profile, f))?;
+        if ca != cb {
+            return Ok(ApiReturn::ok(if ca < cb { -1 } else { 1 }));
+        }
+        if ca == 0 {
+            break;
+        }
+        off += 1;
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `strncpy(dst, src, n)`: copies and then **pads `dst` with NULs out to
+/// `n` bytes** — the pad loop is the dangerous part with a huge `n`.
+///
+/// # Errors
+///
+/// Aborts when a read or write faults — except on Windows 98/98 SE under
+/// accumulated harness state, where the runaway pad write corrupts system
+/// memory and latches a Catastrophic crash instead (Table 3 `*strncpy`).
+pub fn strncpy(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    dst: SimPtr,
+    src: SimPtr,
+    n: u64,
+) -> ApiResult {
+    k.charge_call();
+    let src_bytes = read_str(k, profile, src)?;
+    for i in 0..n {
+        let byte = src_bytes.get(i as usize).copied().unwrap_or(0);
+        if let Err(fault) = k.space.write_u8(dst.offset(i), byte) {
+            if profile.strncpy_can_crash_system(k.residue) {
+                k.crash.panic(
+                    "strncpy",
+                    "runaway pad write corrupted system memory",
+                    Some(fault),
+                );
+                return Ok(ApiReturn::ok(dst.addr() as i64));
+            }
+            return Err(abort(profile, fault));
+        }
+    }
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `strchr(s, c)`. Returns a pointer to the first occurrence (the
+/// terminator counts when `c == 0`) or NULL.
+///
+/// # Errors
+///
+/// Aborts when the scan faults.
+pub fn strchr(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32) -> ApiResult {
+    k.charge_call();
+    let needle = (c & 0xFF) as u8;
+    let mut off = 0u64;
+    loop {
+        let byte = k.space.read_u8(s.offset(off)).map_err(|f| abort(profile, f))?;
+        if byte == needle {
+            return Ok(ApiReturn::ok(s.offset(off).addr() as i64));
+        }
+        if byte == 0 {
+            return Ok(ApiReturn::ok(0));
+        }
+        off += 1;
+    }
+}
+
+/// `strrchr(s, c)`.
+///
+/// # Errors
+///
+/// Aborts when the scan faults.
+pub fn strrchr(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32) -> ApiResult {
+    k.charge_call();
+    let bytes = read_str(k, profile, s)?;
+    let needle = (c & 0xFF) as u8;
+    if needle == 0 {
+        return Ok(ApiReturn::ok(s.offset(bytes.len() as u64).addr() as i64));
+    }
+    match bytes.iter().rposition(|&b| b == needle) {
+        Some(i) => Ok(ApiReturn::ok(s.offset(i as u64).addr() as i64)),
+        None => Ok(ApiReturn::ok(0)),
+    }
+}
+
+/// `strstr(haystack, needle)`.
+///
+/// # Errors
+///
+/// Aborts when either scan faults.
+pub fn strstr(k: &mut Kernel, profile: LibcProfile, hay: SimPtr, needle: SimPtr) -> ApiResult {
+    k.charge_call();
+    let h = read_str(k, profile, hay)?;
+    let n = read_str(k, profile, needle)?;
+    if n.is_empty() {
+        return Ok(ApiReturn::ok(hay.addr() as i64));
+    }
+    for i in 0..=h.len().saturating_sub(n.len()) {
+        if h.len() - i >= n.len() && h[i..i + n.len()] == n[..] {
+            return Ok(ApiReturn::ok(hay.offset(i as u64).addr() as i64));
+        }
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `strspn(s, accept)`.
+///
+/// # Errors
+///
+/// Aborts when either scan faults.
+pub fn strspn(k: &mut Kernel, profile: LibcProfile, s: SimPtr, accept: SimPtr) -> ApiResult {
+    k.charge_call();
+    let string = read_str(k, profile, s)?;
+    let set = read_str(k, profile, accept)?;
+    let n = string.iter().take_while(|b| set.contains(b)).count();
+    Ok(ApiReturn::ok(n as i64))
+}
+
+/// `strcspn(s, reject)`.
+///
+/// # Errors
+///
+/// Aborts when either scan faults.
+pub fn strcspn(k: &mut Kernel, profile: LibcProfile, s: SimPtr, reject: SimPtr) -> ApiResult {
+    k.charge_call();
+    let string = read_str(k, profile, s)?;
+    let set = read_str(k, profile, reject)?;
+    let n = string.iter().take_while(|b| !set.contains(b)).count();
+    Ok(ApiReturn::ok(n as i64))
+}
+
+/// `strpbrk(s, accept)`.
+///
+/// # Errors
+///
+/// Aborts when either scan faults.
+pub fn strpbrk(k: &mut Kernel, profile: LibcProfile, s: SimPtr, accept: SimPtr) -> ApiResult {
+    k.charge_call();
+    let string = read_str(k, profile, s)?;
+    let set = read_str(k, profile, accept)?;
+    match string.iter().position(|b| set.contains(b)) {
+        Some(i) => Ok(ApiReturn::ok(s.offset(i as u64).addr() as i64)),
+        None => Ok(ApiReturn::ok(0)),
+    }
+}
+
+/// Scratch key holding `strtok`'s saved continuation pointer.
+const STRTOK_KEY: &str = "libc.strtok";
+
+/// `strtok(s, delim)` — stateful tokenizer.
+///
+/// glibc checks for "NULL `s` with no scan in progress" and returns NULL;
+/// MSVCRT dereferences the saved pointer, which on a fresh process is NULL
+/// — one of the differences that leaves Linux with a lower C-string Abort
+/// rate in the paper.
+///
+/// # Errors
+///
+/// Aborts when scanning either argument faults.
+pub fn strtok(k: &mut Kernel, profile: LibcProfile, s: SimPtr, delim: SimPtr) -> ApiResult {
+    k.charge_call();
+    let cursor = if s.is_null() {
+        match k.scratch.get(STRTOK_KEY).copied() {
+            Some(saved) if saved != 0 => SimPtr::new(saved),
+            _ if profile.strtok_null_checked() => return Ok(ApiReturn::ok(0)),
+            _ => SimPtr::NULL, // MSVCRT: proceed to dereference NULL
+        }
+    } else {
+        s
+    };
+    let set = read_str(k, profile, delim)?;
+    // Skip leading delimiters.
+    let mut start = cursor;
+    loop {
+        let b = k.space.read_u8(start).map_err(|f| abort(profile, f))?;
+        if b == 0 {
+            k.scratch.insert(STRTOK_KEY.to_owned(), 0);
+            return Ok(ApiReturn::ok(0));
+        }
+        if !set.contains(&b) {
+            break;
+        }
+        start = start.offset(1);
+    }
+    // Find the token end.
+    let mut end = start;
+    loop {
+        let b = k.space.read_u8(end).map_err(|f| abort(profile, f))?;
+        if b == 0 {
+            k.scratch.insert(STRTOK_KEY.to_owned(), 0);
+            return Ok(ApiReturn::ok(start.addr() as i64));
+        }
+        if set.contains(&b) {
+            k.space.write_u8(end, 0).map_err(|f| abort(profile, f))?;
+            k.scratch.insert(STRTOK_KEY.to_owned(), end.offset(1).addr());
+            return Ok(ApiReturn::ok(start.addr() as i64));
+        }
+        end = end.offset(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::memory::Protection;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn msvcrt() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::WinNt4)
+    }
+
+    fn kernel_with(s: &str) -> (Kernel, SimPtr) {
+        let mut k = Kernel::new();
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, U).unwrap();
+        (k, p)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, U).unwrap();
+        p
+    }
+
+    #[test]
+    fn strlen_and_strcpy() {
+        let (mut k, src) = kernel_with("ballista");
+        assert_eq!(strlen(&mut k, glibc(), src).unwrap().value, 8);
+        let dst = k.alloc_user(16, "dst");
+        let r = strcpy(&mut k, glibc(), dst, src).unwrap();
+        assert_eq!(r.value as u64, dst.addr());
+        assert_eq!(cstr::read_cstr(&k.space, dst, U).unwrap(), b"ballista");
+    }
+
+    #[test]
+    fn null_pointers_abort() {
+        let mut k = Kernel::new();
+        assert!(strlen(&mut k, glibc(), SimPtr::NULL).is_err());
+        let p = put(&mut k, "x");
+        assert!(strcpy(&mut k, glibc(), SimPtr::NULL, p).is_err());
+        assert!(strcmp(&mut k, msvcrt(), p, SimPtr::NULL).is_err());
+        // Windows profile produces exceptions, Linux signals.
+        match strlen(&mut k, msvcrt(), SimPtr::NULL).unwrap_err() {
+            ApiAbort::Exception { .. } => {}
+            other => panic!("expected SEH exception, got {other:?}"),
+        }
+        match strlen(&mut k, glibc(), SimPtr::NULL).unwrap_err() {
+            ApiAbort::Signal { signo: 11, .. } => {}
+            other => panic!("expected SIGSEGV, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strcat_and_strncat() {
+        let mut k = Kernel::new();
+        let dst = k.alloc_user(32, "dst");
+        cstr::write_cstr(&mut k.space, dst, "foo", U).unwrap();
+        let src = put(&mut k, "barbaz");
+        strcat(&mut k, glibc(), dst, src).unwrap();
+        assert_eq!(cstr::read_cstr(&k.space, dst, U).unwrap(), b"foobarbaz");
+        strncat(&mut k, glibc(), dst, src, 3).unwrap();
+        assert_eq!(cstr::read_cstr(&k.space, dst, U).unwrap(), b"foobarbazbar");
+    }
+
+    #[test]
+    fn strcmp_orderings() {
+        let mut k = Kernel::new();
+        let a = put(&mut k, "apple");
+        let b = put(&mut k, "apricot");
+        let a2 = put(&mut k, "apple");
+        assert_eq!(strcmp(&mut k, glibc(), a, b).unwrap().value, -1);
+        assert_eq!(strcmp(&mut k, glibc(), b, a).unwrap().value, 1);
+        assert_eq!(strcmp(&mut k, glibc(), a, a2).unwrap().value, 0);
+        assert_eq!(strncmp(&mut k, glibc(), a, b, 2).unwrap().value, 0);
+    }
+
+    #[test]
+    fn strncmp_zero_n_is_robust_with_wild_pointers() {
+        let mut k = Kernel::new();
+        assert_eq!(
+            strncmp(&mut k, glibc(), SimPtr::NULL, SimPtr::INVALID, 0)
+                .unwrap()
+                .value,
+            0
+        );
+    }
+
+    #[test]
+    fn strncpy_pads_and_crashes_only_on_98_family_with_residue() {
+        let mut k = Kernel::new();
+        let dst = k.alloc_user(8, "dst");
+        let src = put(&mut k, "ab");
+        strncpy(&mut k, glibc(), dst, src, 8).unwrap();
+        assert_eq!(k.space.read_bytes(dst, 8).unwrap(), b"ab\0\0\0\0\0\0");
+
+        // Huge n overruns: plain abort without residue…
+        let p98 = LibcProfile::for_os(OsVariant::Win98);
+        assert!(strncpy(&mut k, p98, dst, src, 1 << 20).is_err());
+        assert!(k.is_alive());
+        // …Catastrophic with residue on Win98.
+        k.residue = 5;
+        strncpy(&mut k, p98, dst, src, 1 << 20).unwrap();
+        assert!(!k.is_alive());
+
+        // NT with residue still only aborts.
+        let mut k2 = Kernel::new();
+        k2.residue = 5;
+        let dst2 = k2.alloc_user(8, "dst");
+        let src2 = put(&mut k2, "ab");
+        assert!(strncpy(&mut k2, msvcrt(), dst2, src2, 1 << 20).is_err());
+        assert!(k2.is_alive());
+    }
+
+    #[test]
+    fn searching_functions() {
+        let mut k = Kernel::new();
+        let s = put(&mut k, "hello world");
+        let h = strchr(&mut k, glibc(), s, i32::from(b'o')).unwrap().value as u64;
+        assert_eq!(h, s.offset(4).addr());
+        let r = strrchr(&mut k, glibc(), s, i32::from(b'o')).unwrap().value as u64;
+        assert_eq!(r, s.offset(7).addr());
+        assert_eq!(strchr(&mut k, glibc(), s, i32::from(b'z')).unwrap().value, 0);
+        // strchr with c == 0 finds the terminator.
+        let t = strchr(&mut k, glibc(), s, 0).unwrap().value as u64;
+        assert_eq!(t, s.offset(11).addr());
+
+        let needle = put(&mut k, "wor");
+        let f = strstr(&mut k, glibc(), s, needle).unwrap().value as u64;
+        assert_eq!(f, s.offset(6).addr());
+        let missing = put(&mut k, "xyz");
+        assert_eq!(strstr(&mut k, glibc(), s, missing).unwrap().value, 0);
+
+        let vowels = put(&mut k, "aeiou");
+        assert_eq!(strcspn(&mut k, glibc(), s, vowels).unwrap().value, 1);
+        let hl = put(&mut k, "hel");
+        assert_eq!(strspn(&mut k, glibc(), s, hl).unwrap().value, 4);
+        let pb = strpbrk(&mut k, glibc(), s, vowels).unwrap().value as u64;
+        assert_eq!(pb, s.offset(1).addr());
+    }
+
+    #[test]
+    fn strtok_null_first_arg_differs_by_profile() {
+        let mut k = Kernel::new();
+        let delim = put(&mut k, " ");
+        // glibc: NULL with no scan in progress → NULL return.
+        assert_eq!(strtok(&mut k, glibc(), SimPtr::NULL, delim).unwrap().value, 0);
+        // MSVCRT: dereferences the (NULL) saved pointer → abort.
+        let mut k2 = Kernel::new();
+        let delim2 = put(&mut k2, " ");
+        assert!(strtok(&mut k2, msvcrt(), SimPtr::NULL, delim2).is_err());
+    }
+
+    #[test]
+    fn strtok_tokenizes_statefully() {
+        let mut k = Kernel::new();
+        let s = put(&mut k, "a bc  d");
+        let delim = put(&mut k, " ");
+        let t1 = strtok(&mut k, glibc(), s, delim).unwrap().value as u64;
+        assert_eq!(t1, s.addr());
+        let t2 = strtok(&mut k, glibc(), SimPtr::NULL, delim).unwrap().value as u64;
+        assert_eq!(cstr::read_cstr(&k.space, SimPtr::new(t2), U).unwrap(), b"bc");
+        let t3 = strtok(&mut k, glibc(), SimPtr::NULL, delim).unwrap().value as u64;
+        assert_eq!(cstr::read_cstr(&k.space, SimPtr::new(t3), U).unwrap(), b"d");
+        assert_eq!(strtok(&mut k, glibc(), SimPtr::NULL, delim).unwrap().value, 0);
+    }
+
+    #[test]
+    fn unterminated_buffer_aborts() {
+        let mut k = Kernel::new();
+        let raw = k
+            .space
+            .map(4, Protection::READ_WRITE, "unterminated")
+            .unwrap();
+        k.space.write_bytes(raw, b"abcd").unwrap();
+        assert!(strlen(&mut k, glibc(), raw).is_err());
+    }
+
+    #[test]
+    fn early_mismatch_avoids_fault() {
+        // strcmp stops at the first differing byte, so comparing a valid
+        // short string against a longer unterminated buffer whose first
+        // byte differs never touches bad memory.
+        let mut k = Kernel::new();
+        let good = put(&mut k, "zzz");
+        let raw = k.space.map(2, Protection::READ_WRITE, "short").unwrap();
+        k.space.write_bytes(raw, b"ab").unwrap();
+        assert_eq!(strcmp(&mut k, glibc(), good, raw).unwrap().value, 1);
+    }
+}

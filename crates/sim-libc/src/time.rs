@@ -1,0 +1,486 @@
+//! `<time.h>`.
+//!
+//! Another group where Windows aborts more than Linux in the paper. The
+//! encoded mechanism: MSVC's `asctime` formats the caller's `struct tm`
+//! into a fixed 26-byte static buffer with no field-range checks, so absurd
+//! field values overrun it and fault, while glibc range-checks (returning
+//! NULL) — plus the universal out-pointer hazards of `time`, `gmtime`,
+//! `localtime` and `strftime`. Windows CE does not implement this group at
+//! all (the paper reports no CE C-time results).
+
+use crate::errno::EINVAL;
+use crate::profile::LibcProfile;
+use crate::string::abort;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::fault::{AccessKind, Fault, ViolationCause};
+use sim_core::SimPtr;
+use sim_kernel::clock::{civil_from_days, days_from_civil};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+/// Field count of the simulated `struct tm` (sec, min, hour, mday, mon,
+/// year, wday, yday, isdst — all `int`).
+pub const TM_FIELDS: usize = 9;
+
+/// Byte size of the simulated `struct tm`.
+pub const TM_SIZE: u64 = (TM_FIELDS as u64) * 4;
+
+/// A decoded `struct tm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // mirrors the C struct 1:1
+pub struct Tm {
+    pub sec: i32,
+    pub min: i32,
+    pub hour: i32,
+    pub mday: i32,
+    pub mon: i32,
+    pub year: i32,
+    pub wday: i32,
+    pub yday: i32,
+    pub isdst: i32,
+}
+
+impl Tm {
+    /// Whether every field is in its documented range (what glibc's
+    /// formatting entry points verify).
+    #[must_use]
+    pub fn in_range(&self) -> bool {
+        (0..=61).contains(&self.sec)
+            && (0..=59).contains(&self.min)
+            && (0..=23).contains(&self.hour)
+            && (1..=31).contains(&self.mday)
+            && (0..=11).contains(&self.mon)
+            && (-1900..=8099).contains(&self.year)
+            && (0..=6).contains(&self.wday)
+            && (0..=365).contains(&self.yday)
+    }
+}
+
+/// Reads a `struct tm` from user memory, field by field.
+///
+/// # Errors
+///
+/// The machine fault of the first inaccessible field.
+pub fn read_tm(k: &Kernel, ptr: SimPtr) -> Result<Tm, Fault> {
+    let mut f = [0i32; TM_FIELDS];
+    for (i, slot) in f.iter_mut().enumerate() {
+        *slot = k.space.read_i32(ptr.offset(i as u64 * 4))?;
+    }
+    Ok(Tm {
+        sec: f[0],
+        min: f[1],
+        hour: f[2],
+        mday: f[3],
+        mon: f[4],
+        year: f[5],
+        wday: f[6],
+        yday: f[7],
+        isdst: f[8],
+    })
+}
+
+/// Writes a `struct tm` into user memory.
+///
+/// # Errors
+///
+/// The machine fault of the first inaccessible field.
+pub fn write_tm(k: &mut Kernel, ptr: SimPtr, tm: &Tm) -> Result<(), Fault> {
+    let f = [
+        tm.sec, tm.min, tm.hour, tm.mday, tm.mon, tm.year, tm.wday, tm.yday, tm.isdst,
+    ];
+    for (i, v) in f.into_iter().enumerate() {
+        k.space.write_i32(ptr.offset(i as u64 * 4), v)?;
+    }
+    Ok(())
+}
+
+fn unix_to_tm(secs: i64) -> Tm {
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (year, month, day) = civil_from_days(days);
+    let yday = days - days_from_civil(year, 1, 1);
+    // 1970-01-01 was a Thursday (wday 4).
+    let wday = (days + 4).rem_euclid(7);
+    Tm {
+        sec: (rem % 60) as i32,
+        min: (rem / 60 % 60) as i32,
+        hour: (rem / 3600) as i32,
+        mday: day as i32,
+        mon: month as i32 - 1,
+        year: (year - 1900) as i32,
+        wday: wday as i32,
+        yday: yday as i32,
+        isdst: 0,
+    }
+}
+
+/// `time(tloc)` — returns seconds since the epoch; stores through `tloc`
+/// when non-NULL (NULL is legal).
+///
+/// # Errors
+///
+/// Aborts when a non-NULL `tloc` faults, on every profile.
+pub fn time(k: &mut Kernel, profile: LibcProfile, tloc: SimPtr) -> ApiResult {
+    k.charge_call();
+    let now = k.clock.unix_secs();
+    if !tloc.is_null() {
+        k.space
+            .write_u32(tloc, now as u32)
+            .map_err(|f| abort(profile, f))?;
+    }
+    Ok(ApiReturn::ok(now as i64))
+}
+
+/// `clock()` — processor time used; robust by construction.
+///
+/// # Errors
+///
+/// None.
+pub fn clock(k: &mut Kernel, _profile: LibcProfile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(k.clock.tick_count_ms() as i64))
+}
+
+/// `difftime(t1, t0)` — pure arithmetic, robust everywhere.
+///
+/// # Errors
+///
+/// None.
+pub fn difftime(k: &mut Kernel, _profile: LibcProfile, t1: i64, t0: i64) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(((t1 - t0) as f64).to_bits() as i64))
+}
+
+fn gmtime_impl(k: &mut Kernel, profile: LibcProfile, tptr: SimPtr, name: &str) -> ApiResult {
+    k.charge_call();
+    let secs = k.space.read_u32(tptr).map_err(|f| abort(profile, f))?;
+    let tm = unix_to_tm(i64::from(secs));
+    // Returns a pointer to the CRT's static tm.
+    let stat = k.alloc_user(TM_SIZE, name);
+    write_tm(k, stat, &tm).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(stat.addr() as i64))
+}
+
+/// `gmtime(timep)`.
+///
+/// # Errors
+///
+/// Aborts when `timep` faults (every CRT dereferences it — including for
+/// NULL, the classic crash).
+pub fn gmtime(k: &mut Kernel, profile: LibcProfile, timep: SimPtr) -> ApiResult {
+    gmtime_impl(k, profile, timep, "gmtime-static")
+}
+
+/// `localtime(timep)` — the simulated machine runs in UTC.
+///
+/// # Errors
+///
+/// Aborts when `timep` faults.
+pub fn localtime(k: &mut Kernel, profile: LibcProfile, timep: SimPtr) -> ApiResult {
+    gmtime_impl(k, profile, timep, "localtime-static")
+}
+
+/// `mktime(tm)` — normalizes the fields and returns the epoch time, or −1
+/// for un-normalizable garbage.
+///
+/// # Errors
+///
+/// Aborts when `tm` faults.
+pub fn mktime(k: &mut Kernel, profile: LibcProfile, tm_ptr: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tm = read_tm(k, tm_ptr).map_err(|f| abort(profile, f))?;
+    let year = i64::from(tm.year) + 1900;
+    if !(1..=9999).contains(&year) || !(0..=11).contains(&tm.mon) {
+        return Ok(ApiReturn::err(-1, EINVAL));
+    }
+    let days = days_from_civil(year, tm.mon as u32 + 1, tm.mday.clamp(1, 31) as u32);
+    let secs = days * 86_400 + i64::from(tm.hour) * 3600 + i64::from(tm.min) * 60 + i64::from(tm.sec);
+    if secs < 0 {
+        return Ok(ApiReturn::err(-1, EINVAL));
+    }
+    // Normalize wday/yday back into the caller's struct, as real mktime does.
+    let normalized = unix_to_tm(secs);
+    write_tm(k, tm_ptr, &normalized).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(secs))
+}
+
+/// The 26-byte static buffer MSVC's `asctime` formats into.
+const ASCTIME_BUF: u64 = 26;
+
+/// `asctime(tm)`.
+///
+/// glibc range-checks the fields and returns NULL for garbage; MSVC
+/// `sprintf`s them into a fixed 26-byte static buffer, which absurd values
+/// overrun — a fault (the Windows-higher C-time Abort rate of Figure 1).
+///
+/// # Errors
+///
+/// Aborts when `tm` faults, or on the MSVCRT profiles when out-of-range
+/// fields overrun the static buffer.
+pub fn asctime(k: &mut Kernel, profile: LibcProfile, tm_ptr: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tm = read_tm(k, tm_ptr).map_err(|f| abort(profile, f))?;
+    if !tm.in_range() {
+        if profile.asctime_checks_ranges() {
+            return Ok(ApiReturn::err(0, EINVAL));
+        }
+        // The formatted text exceeds 26 bytes and scribbles past the static
+        // buffer into the page boundary.
+        return Err(abort(
+            profile,
+            Fault::AccessViolation {
+                addr: 0x0802_0000 + ASCTIME_BUF,
+                access: AccessKind::Write,
+                cause: ViolationCause::Unmapped,
+                privilege: PrivilegeLevel::User,
+            },
+        ));
+    }
+    const WDAY: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+    const MON: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    let text = format!(
+        "{} {} {:2} {:02}:{:02}:{:02} {}\n",
+        WDAY[tm.wday.rem_euclid(7) as usize],
+        MON[tm.mon.rem_euclid(12) as usize],
+        tm.mday,
+        tm.hour,
+        tm.min,
+        tm.sec,
+        i64::from(tm.year) + 1900
+    );
+    let stat = k.alloc_user(ASCTIME_BUF, "asctime-static");
+    cstr::write_cstr(&mut k.space, stat, &text, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(stat.addr() as i64))
+}
+
+/// `ctime(timep)` — `asctime(localtime(timep))`.
+///
+/// # Errors
+///
+/// Aborts when `timep` faults.
+pub fn ctime(k: &mut Kernel, profile: LibcProfile, timep: SimPtr) -> ApiResult {
+    k.charge_call();
+    let secs = k.space.read_u32(timep).map_err(|f| abort(profile, f))?;
+    let tm = unix_to_tm(i64::from(secs));
+    let scratch = k.alloc_user(TM_SIZE, "ctime-tm");
+    write_tm(k, scratch, &tm).map_err(|f| abort(profile, f))?;
+    asctime(k, profile, scratch)
+}
+
+/// `strftime(buf, maxsize, format, tm)`.
+///
+/// Bounded by design: too-small `maxsize` yields a robust 0 return. The
+/// hazards are the three pointers.
+///
+/// # Errors
+///
+/// Aborts when `buf`, `format` or `tm` fault.
+pub fn strftime(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    buf: SimPtr,
+    maxsize: u64,
+    format: SimPtr,
+    tm_ptr: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let fmt = cstr::read_cstr(&k.space, format, U).map_err(|f| abort(profile, f))?;
+    let tm = read_tm(k, tm_ptr).map_err(|f| abort(profile, f))?;
+    let mut out: Vec<u8> = Vec::new();
+    let mut it = fmt.iter().copied().peekable();
+    while let Some(b) = it.next() {
+        if b != b'%' {
+            out.push(b);
+            continue;
+        }
+        match it.next() {
+            Some(b'Y') => out.extend(format!("{}", i64::from(tm.year) + 1900).into_bytes()),
+            Some(b'm') => out.extend(format!("{:02}", tm.mon + 1).into_bytes()),
+            Some(b'd') => out.extend(format!("{:02}", tm.mday).into_bytes()),
+            Some(b'H') => out.extend(format!("{:02}", tm.hour).into_bytes()),
+            Some(b'M') => out.extend(format!("{:02}", tm.min).into_bytes()),
+            Some(b'S') => out.extend(format!("{:02}", tm.sec).into_bytes()),
+            Some(b'%') => out.push(b'%'),
+            Some(other) => {
+                out.push(b'%');
+                out.push(other);
+            }
+            None => break,
+        }
+    }
+    if out.len() as u64 + 1 > maxsize {
+        return Ok(ApiReturn::ok(0)); // documented "doesn't fit" result
+    }
+    cstr::write_bytes_nul(&mut k.space, buf, &out, U).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(out.len() as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::variant::OsVariant;
+
+    fn glibc() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Linux)
+    }
+
+    fn msvcrt() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::Win2000)
+    }
+
+    #[test]
+    fn time_null_is_legal() {
+        let mut k = Kernel::new();
+        let r = time(&mut k, glibc(), SimPtr::NULL).unwrap();
+        assert_eq!(r.value, sim_kernel::clock::Clock::BOOT_UNIX_SECS as i64);
+    }
+
+    #[test]
+    fn time_stores_through_pointer() {
+        let mut k = Kernel::new();
+        let p = k.alloc_user(4, "time_t");
+        let r = time(&mut k, glibc(), p).unwrap();
+        assert_eq!(i64::from(k.space.read_u32(p).unwrap()), r.value);
+        assert!(time(&mut k, glibc(), SimPtr::new(0x33)).is_err());
+    }
+
+    #[test]
+    fn gmtime_decodes_epoch() {
+        let mut k = Kernel::new();
+        let p = k.alloc_user(4, "time_t");
+        k.space.write_u32(p, 0).unwrap(); // 1970-01-01 00:00 UTC
+        let r = gmtime(&mut k, glibc(), p).unwrap();
+        let tm = read_tm(&k, SimPtr::new(r.value as u64)).unwrap();
+        assert_eq!((tm.year, tm.mon, tm.mday), (70, 0, 1));
+        assert_eq!(tm.wday, 4); // Thursday
+        assert_eq!(tm.yday, 0);
+    }
+
+    #[test]
+    fn gmtime_null_aborts_everywhere() {
+        let mut k = Kernel::new();
+        assert!(gmtime(&mut k, glibc(), SimPtr::NULL).is_err());
+        assert!(gmtime(&mut k, msvcrt(), SimPtr::NULL).is_err());
+        assert!(localtime(&mut k, msvcrt(), SimPtr::NULL).is_err());
+        assert!(ctime(&mut k, glibc(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn mktime_roundtrips_gmtime() {
+        let mut k = Kernel::new();
+        let tm = Tm {
+            sec: 15,
+            min: 30,
+            hour: 9,
+            mday: 25,
+            mon: 5,
+            year: 100, // 2000
+            ..Tm::default()
+        };
+        let p = k.alloc_user(TM_SIZE, "tm");
+        write_tm(&mut k, p, &tm).unwrap();
+        let secs = mktime(&mut k, glibc(), p).unwrap().value;
+        let tp = k.alloc_user(4, "time_t");
+        k.space.write_u32(tp, secs as u32).unwrap();
+        let r = gmtime(&mut k, glibc(), tp).unwrap();
+        let back = read_tm(&k, SimPtr::new(r.value as u64)).unwrap();
+        assert_eq!((back.year, back.mon, back.mday), (100, 5, 25));
+        assert_eq!((back.hour, back.min, back.sec), (9, 30, 15));
+        assert_eq!(back.wday, 0); // 2000-06-25 was a Sunday
+        // mktime normalized wday/yday in place.
+        let inplace = read_tm(&k, p).unwrap();
+        assert_eq!(inplace.wday, 0);
+    }
+
+    #[test]
+    fn mktime_rejects_garbage() {
+        let mut k = Kernel::new();
+        let tm = Tm {
+            year: i32::MAX,
+            mon: 99,
+            ..Tm::default()
+        };
+        let p = k.alloc_user(TM_SIZE, "tm");
+        write_tm(&mut k, p, &tm).unwrap();
+        let r = mktime(&mut k, glibc(), p).unwrap();
+        assert_eq!(r.value, -1);
+        assert!(mktime(&mut k, glibc(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn asctime_garbage_fields_split_by_profile() {
+        let mut k = Kernel::new();
+        let garbage = Tm {
+            sec: i32::MAX,
+            hour: -5,
+            year: 999_999,
+            ..Tm::default()
+        };
+        let p = k.alloc_user(TM_SIZE, "tm");
+        write_tm(&mut k, p, &garbage).unwrap();
+        // glibc: NULL return, no fault.
+        let r = asctime(&mut k, glibc(), p).unwrap();
+        assert_eq!(r.value, 0);
+        // MSVCRT: static-buffer overrun → abort.
+        assert!(asctime(&mut k, msvcrt(), p).is_err());
+    }
+
+    #[test]
+    fn asctime_formats_valid_tm() {
+        let mut k = Kernel::new();
+        let tm = Tm {
+            sec: 1,
+            min: 2,
+            hour: 3,
+            mday: 25,
+            mon: 5,
+            year: 100,
+            wday: 0,
+            yday: 176,
+            isdst: 0,
+        };
+        let p = k.alloc_user(TM_SIZE, "tm");
+        write_tm(&mut k, p, &tm).unwrap();
+        let r = asctime(&mut k, msvcrt(), p).unwrap();
+        let text = cstr::read_cstr(&k.space, SimPtr::new(r.value as u64), U).unwrap();
+        assert_eq!(String::from_utf8(text).unwrap(), "Sun Jun 25 03:02:01 2000\n");
+    }
+
+    #[test]
+    fn strftime_bounded_and_pointer_hazards() {
+        let mut k = Kernel::new();
+        let tm = Tm {
+            mday: 25,
+            mon: 5,
+            year: 100,
+            ..Tm::default()
+        };
+        let tp = k.alloc_user(TM_SIZE, "tm");
+        write_tm(&mut k, tp, &tm).unwrap();
+        let fmt = k.alloc_user(16, "fmt");
+        cstr::write_cstr(&mut k.space, fmt, "%Y-%m-%d", U).unwrap();
+        let buf = k.alloc_user(32, "buf");
+        let r = strftime(&mut k, glibc(), buf, 32, fmt, tp).unwrap();
+        assert_eq!(r.value, 10);
+        assert_eq!(cstr::read_cstr(&k.space, buf, U).unwrap(), b"2000-06-25");
+        // Too small: robust 0.
+        assert_eq!(strftime(&mut k, glibc(), buf, 4, fmt, tp).unwrap().value, 0);
+        // Bad pointers: abort.
+        assert!(strftime(&mut k, glibc(), SimPtr::NULL, 32, fmt, tp).is_err());
+        assert!(strftime(&mut k, glibc(), buf, 32, SimPtr::NULL, tp).is_err());
+        assert!(strftime(&mut k, glibc(), buf, 32, fmt, SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn difftime_and_clock_robust() {
+        let mut k = Kernel::new();
+        let r = difftime(&mut k, glibc(), 100, 40).unwrap();
+        assert_eq!(f64::from_bits(r.value as u64), 60.0);
+        assert!(clock(&mut k, glibc()).unwrap().value >= 0);
+    }
+}

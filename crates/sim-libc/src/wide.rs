@@ -1,0 +1,306 @@
+//! UNICODE (wide-character) twins for Windows CE.
+//!
+//! Windows CE prefers the 16-bit UNICODE character set; 26 of the paper's C
+//! functions exist in both ASCII and UNICODE forms there, and the paper
+//! reports the UNICODE rates. Behaviour tracked from the paper: the wide
+//! functions fail like their narrow siblings *plus* misalignment hazards on
+//! the strict-alignment CE hardware, and `_tcsncpy` — the UNICODE
+//! `strncpy` — has a Catastrophic failure the ASCII version does not
+//! (Table 3, "(UNICODE) *_tcsncpy").
+
+use crate::profile::LibcProfile;
+use crate::string::abort;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+fn read_wide(k: &Kernel, profile: LibcProfile, p: SimPtr) -> Result<Vec<u16>, sim_kernel::ApiAbort> {
+    cstr::read_wstr(&k.space, p, U).map_err(|f| abort(profile, f))
+}
+
+/// `wcslen(s)`.
+///
+/// # Errors
+///
+/// Aborts when the scan faults (including misalignment on CE hardware).
+pub fn wcslen(k: &mut Kernel, profile: LibcProfile, s: SimPtr) -> ApiResult {
+    k.charge_call();
+    let units = read_wide(k, profile, s)?;
+    Ok(ApiReturn::ok(units.len() as i64))
+}
+
+/// `wcscpy(dst, src)`.
+///
+/// # Errors
+///
+/// Aborts when reading `src` or writing `dst` faults.
+pub fn wcscpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let units = read_wide(k, profile, src)?;
+    let mut cursor = dst;
+    for u in &units {
+        k.space.write_u16(cursor, *u).map_err(|f| abort(profile, f))?;
+        cursor = cursor.offset(2);
+    }
+    k.space.write_u16(cursor, 0).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `wcscat(dst, src)`.
+///
+/// # Errors
+///
+/// Aborts when any scan or write faults.
+pub fn wcscat(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let head = read_wide(k, profile, dst)?;
+    let tail = read_wide(k, profile, src)?;
+    let mut cursor = dst.offset(head.len() as u64 * 2);
+    for u in &tail {
+        k.space.write_u16(cursor, *u).map_err(|f| abort(profile, f))?;
+        cursor = cursor.offset(2);
+    }
+    k.space.write_u16(cursor, 0).map_err(|f| abort(profile, f))?;
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `wcscmp(a, b)`.
+///
+/// # Errors
+///
+/// Aborts when a scanned unit faults before a deciding mismatch.
+pub fn wcscmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr) -> ApiResult {
+    k.charge_call();
+    let mut off = 0u64;
+    loop {
+        let ua = k
+            .space
+            .read_u16(a.offset(off))
+            .map_err(|f| abort(profile, f))?;
+        let ub = k
+            .space
+            .read_u16(b.offset(off))
+            .map_err(|f| abort(profile, f))?;
+        if ua != ub {
+            return Ok(ApiReturn::ok(if ua < ub { -1 } else { 1 }));
+        }
+        if ua == 0 {
+            return Ok(ApiReturn::ok(0));
+        }
+        off += 2;
+    }
+}
+
+/// `wcschr(s, c)`.
+///
+/// # Errors
+///
+/// Aborts when the scan faults.
+pub fn wcschr(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32) -> ApiResult {
+    k.charge_call();
+    let needle = (c & 0xFFFF) as u16;
+    let mut off = 0u64;
+    loop {
+        let u = k
+            .space
+            .read_u16(s.offset(off))
+            .map_err(|f| abort(profile, f))?;
+        if u == needle {
+            return Ok(ApiReturn::ok(s.offset(off).addr() as i64));
+        }
+        if u == 0 {
+            return Ok(ApiReturn::ok(0));
+        }
+        off += 2;
+    }
+}
+
+/// `_tcsncpy(dst, src, n)` — the UNICODE `strncpy`: copies and pads out to
+/// `n` *units*.
+///
+/// On Windows CE under harness-accumulated state, the runaway pad write
+/// corrupts system memory and crashes the machine — the Table 3 entry
+/// "(UNICODE) `*_tcsncpy`", which the ASCII `strncpy` on CE does **not**
+/// share.
+///
+/// # Errors
+///
+/// Aborts when a read or write faults (except on the CE Catastrophic
+/// path).
+pub fn tcsncpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr, n: u64) -> ApiResult {
+    k.charge_call();
+    let units = read_wide(k, profile, src)?;
+    for i in 0..n {
+        let u = units.get(i as usize).copied().unwrap_or(0);
+        if let Err(fault) = k.space.write_u16(dst.offset(i * 2), u) {
+            if profile.tcsncpy_can_crash_system(k.residue) {
+                k.crash.panic(
+                    "_tcsncpy",
+                    "runaway UNICODE pad write corrupted system memory",
+                    Some(fault),
+                );
+                return Ok(ApiReturn::ok(dst.addr() as i64));
+            }
+            return Err(abort(profile, fault));
+        }
+    }
+    Ok(ApiReturn::ok(dst.addr() as i64))
+}
+
+/// `_wfopen(path, mode)` — wide-path `fopen`.
+///
+/// # Errors
+///
+/// Aborts when either wide string faults.
+pub fn wfopen(k: &mut Kernel, profile: LibcProfile, path: SimPtr, mode: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path_units = read_wide(k, profile, path)?;
+    let mode_units = read_wide(k, profile, mode)?;
+    let path_s: String = char::decode_utf16(path_units.iter().copied())
+        .map(|c| c.unwrap_or('?'))
+        .collect();
+    let mode_s: String = char::decode_utf16(mode_units.iter().copied())
+        .map(|c| c.unwrap_or('?'))
+        .collect();
+    // Reuse the narrow fopen by writing temporaries.
+    let pn = k.alloc_user(path_s.len() as u64 + 1, "wfopen-path");
+    cstr::write_cstr(&mut k.space, pn, &path_s, U).map_err(|f| abort(profile, f))?;
+    let pm = k.alloc_user(mode_s.len() as u64 + 1, "wfopen-mode");
+    cstr::write_cstr(&mut k.space, pm, &mode_s, U).map_err(|f| abort(profile, f))?;
+    crate::stdio::fopen(k, profile, pn, pm)
+}
+
+/// `_wfreopen(path, mode, stream)` — the CE Catastrophic file-management
+/// entry of Table 3.
+///
+/// # Errors
+///
+/// Aborts on faulting arguments; Catastrophic on CE garbage streams.
+pub fn wfreopen(
+    k: &mut Kernel,
+    profile: LibcProfile,
+    path: SimPtr,
+    mode: SimPtr,
+    stream: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let path_units = read_wide(k, profile, path)?;
+    let mode_units = read_wide(k, profile, mode)?;
+    let path_s: String = char::decode_utf16(path_units.iter().copied())
+        .map(|c| c.unwrap_or('?'))
+        .collect();
+    let mode_s: String = char::decode_utf16(mode_units.iter().copied())
+        .map(|c| c.unwrap_or('?'))
+        .collect();
+    let pn = k.alloc_user(path_s.len() as u64 + 1, "wfreopen-path");
+    cstr::write_cstr(&mut k.space, pn, &path_s, U).map_err(|f| abort(profile, f))?;
+    let pm = k.alloc_user(mode_s.len() as u64 + 1, "wfreopen-mode");
+    cstr::write_cstr(&mut k.space, pm, &mode_s, U).map_err(|f| abort(profile, f))?;
+    crate::stdio::freopen(k, profile, pn, pm, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn ce() -> LibcProfile {
+        LibcProfile::for_os(OsVariant::WinCe)
+    }
+
+    fn ce_kernel() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::WindowsStrictAlign)
+    }
+
+    fn put_wide(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user((s.len() as u64 + 1) * 2, "wstr");
+        cstr::write_wstr(&mut k.space, p, s, U).unwrap();
+        p
+    }
+
+    #[test]
+    fn wide_roundtrip() {
+        let mut k = ce_kernel();
+        let s = put_wide(&mut k, "jornada");
+        assert_eq!(wcslen(&mut k, ce(), s).unwrap().value, 7);
+        let dst = k.alloc_user(32, "dst");
+        wcscpy(&mut k, ce(), dst, s).unwrap();
+        assert_eq!(wcscmp(&mut k, ce(), dst, s).unwrap().value, 0);
+        let extra = put_wide(&mut k, "820");
+        wcscat(&mut k, ce(), dst, extra).unwrap();
+        assert_eq!(wcslen(&mut k, ce(), dst).unwrap().value, 10);
+        let hit = wcschr(&mut k, ce(), dst, i32::from(b'8')).unwrap().value as u64;
+        assert_eq!(hit, dst.addr() + 14);
+    }
+
+    #[test]
+    fn null_and_misaligned_pointers_abort() {
+        let mut k = ce_kernel();
+        assert!(wcslen(&mut k, ce(), SimPtr::NULL).is_err());
+        let s = put_wide(&mut k, "x");
+        // Odd pointer on strict-alignment hardware: misalignment abort.
+        let err = wcslen(&mut k, ce(), s.offset(1)).unwrap_err();
+        match err {
+            sim_kernel::ApiAbort::Exception { code, .. } => {
+                assert_eq!(code, sim_kernel::outcome::seh::DATATYPE_MISALIGNMENT);
+            }
+            other => panic!("expected misalignment exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcsncpy_crashes_ce_with_residue_only() {
+        let mut k = ce_kernel();
+        let dst = k.alloc_user(8, "dst");
+        let src = put_wide(&mut k, "ab");
+        // Normal case works.
+        tcsncpy(&mut k, ce(), dst, src, 4).unwrap();
+        assert_eq!(wcslen(&mut k, ce(), dst).unwrap().value, 2);
+        // Huge n without residue: abort.
+        assert!(tcsncpy(&mut k, ce(), dst, src, 1 << 20).is_err());
+        assert!(k.is_alive());
+        // With residue: Catastrophic.
+        k.residue = 5;
+        tcsncpy(&mut k, ce(), dst, src, 1 << 20).unwrap();
+        assert!(!k.is_alive());
+        assert_eq!(k.crash.info().unwrap().call, "_tcsncpy");
+    }
+
+    #[test]
+    fn tcsncpy_narrow_os_never_crashes() {
+        let mut k = Kernel::new();
+        k.residue = 9;
+        let dst = k.alloc_user(8, "dst");
+        let src = put_wide(&mut k, "ab");
+        let lin = LibcProfile::for_os(OsVariant::Linux);
+        assert!(tcsncpy(&mut k, lin, dst, src, 1 << 20).is_err());
+        assert!(k.is_alive());
+    }
+
+    #[test]
+    fn wfopen_opens_files() {
+        let mut k = ce_kernel();
+        let path = put_wide(&mut k, "C:\\TEMP\\wide.txt");
+        let mode = put_wide(&mut k, "w");
+        let r = wfopen(&mut k, ce(), path, mode).unwrap();
+        assert_ne!(r.value, 0);
+        assert!(k.fs.exists("C:\\TEMP\\wide.txt"));
+    }
+
+    #[test]
+    fn wfreopen_crashes_ce_on_garbage_stream() {
+        let mut k = ce_kernel();
+        let path = put_wide(&mut k, "C:\\TEMP\\w2.txt");
+        let mode = put_wide(&mut k, "w");
+        // A narrow string buffer typecast to FILE*.
+        let garbage = k.alloc_user(40, "garbage");
+        cstr::write_cstr(&mut k.space, garbage, "not a FILE structure here at all", U).unwrap();
+        let _ = wfreopen(&mut k, ce(), path, mode, garbage);
+        assert!(!k.is_alive());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests: the simulated C library agrees with Rust's own
+//! string/memory semantics on valid inputs, for every profile — the
+//! "functional correctness on the happy path" baseline that makes the
+//! robustness differences meaningful.
+
+use proptest::prelude::*;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::{cstr, SimPtr};
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use sim_libc::profile::LibcProfile;
+use sim_libc::{ctype, math, memory, string};
+
+const U: PrivilegeLevel = PrivilegeLevel::User;
+
+fn put(k: &mut Kernel, s: &str) -> SimPtr {
+    let p = k.alloc_user(s.len() as u64 + 1, "pt");
+    cstr::write_cstr(&mut k.space, p, s, U).unwrap();
+    p
+}
+
+fn ascii_string() -> impl Strategy<Value = String> {
+    // NUL-free printable ASCII, the domain where C and Rust semantics
+    // coincide exactly.
+    proptest::collection::vec(32u8..127, 0..48)
+        .prop_map(|v| String::from_utf8(v).expect("printable ASCII"))
+}
+
+proptest! {
+    /// strlen/strcpy/strcmp agree with Rust on valid strings, on both the
+    /// glibc and MSVCRT profiles.
+    #[test]
+    fn string_functions_match_rust(a in ascii_string(), b in ascii_string()) {
+        for os in [OsVariant::Linux, OsVariant::WinNt4] {
+            let profile = LibcProfile::for_os(os);
+            let mut k = Kernel::with_flavor(os.machine_flavor());
+            let pa = put(&mut k, &a);
+            let pb = put(&mut k, &b);
+            prop_assert_eq!(
+                string::strlen(&mut k, profile, pa).unwrap().value,
+                a.len() as i64
+            );
+            let cmp = string::strcmp(&mut k, profile, pa, pb).unwrap().value;
+            prop_assert_eq!(cmp.signum(), match a.as_bytes().cmp(b.as_bytes()) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            });
+            // strcpy into a large-enough buffer reproduces the source.
+            let dst = k.alloc_user(a.len() as u64 + 1, "dst");
+            string::strcpy(&mut k, profile, dst, pa).unwrap();
+            prop_assert_eq!(cstr::read_cstr(&k.space, dst, U).unwrap(), a.as_bytes());
+            // strstr agrees with Rust's find.
+            let hit = string::strstr(&mut k, profile, pa, pb).unwrap().value as u64;
+            match a.find(&b) {
+                Some(off) => prop_assert_eq!(hit, pa.addr() + off as u64),
+                None => prop_assert_eq!(hit, 0),
+            }
+        }
+    }
+
+    /// strncpy with n ≥ len+1 equals strcpy plus zero padding; the result
+    /// is never unterminated when n > len.
+    #[test]
+    fn strncpy_pads(a in ascii_string(), extra in 1u64..16) {
+        let profile = LibcProfile::for_os(OsVariant::Linux);
+        let mut k = Kernel::new();
+        let src = put(&mut k, &a);
+        let n = a.len() as u64 + extra;
+        let dst = k.alloc_user(n, "dst");
+        string::strncpy(&mut k, profile, dst, src, n).unwrap();
+        let bytes = k.space.read_bytes(dst, n).unwrap();
+        prop_assert_eq!(&bytes[..a.len()], a.as_bytes());
+        prop_assert!(bytes[a.len()..].iter().all(|&b| b == 0), "pad must be NUL");
+    }
+
+    /// ctype classification matches Rust for every in-range input on every
+    /// profile, and toupper∘tolower is idempotent on ASCII.
+    #[test]
+    fn ctype_matches_rust(c in 0i32..=255) {
+        for os in [OsVariant::Linux, OsVariant::Win98, OsVariant::WinCe] {
+            let profile = LibcProfile::for_os(os);
+            let mut k = Kernel::with_flavor(os.machine_flavor());
+            let ch = c as u8 as char;
+            prop_assert_eq!(
+                ctype::isdigit(&mut k, profile, c).unwrap().value != 0,
+                ch.is_ascii_digit()
+            );
+            prop_assert_eq!(
+                ctype::isalpha(&mut k, profile, c).unwrap().value != 0,
+                ch.is_ascii_alphabetic()
+            );
+            prop_assert_eq!(
+                ctype::isspace(&mut k, profile, c).unwrap().value != 0,
+                ch.is_ascii_whitespace() || c == 0x0b
+            );
+            let up = ctype::toupper(&mut k, profile, c).unwrap().value as u8 as char;
+            prop_assert_eq!(up, ch.to_ascii_uppercase());
+            let back = ctype::tolower(&mut k, profile, i64::from(up as u8) as i32)
+                .unwrap()
+                .value as u8 as char;
+            prop_assert_eq!(back, ch.to_ascii_lowercase());
+        }
+    }
+
+    /// malloc/free round-trips of arbitrary sizes keep blocks disjoint and
+    /// the memory usable; mem* functions match Rust slices.
+    #[test]
+    fn memory_functions_match_rust(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        needle in any::<u8>(),
+    ) {
+        let profile = LibcProfile::for_os(OsVariant::Linux);
+        let mut k = Kernel::new();
+        let n = data.len() as u64;
+        let a = SimPtr::new(memory::malloc(&mut k, profile, n).unwrap().value as u64);
+        let b = SimPtr::new(memory::malloc(&mut k, profile, n).unwrap().value as u64);
+        k.space.write_bytes(a, &data).unwrap();
+        memory::memcpy(&mut k, profile, b, a, n).unwrap();
+        prop_assert_eq!(memory::memcmp(&mut k, profile, a, b, n).unwrap().value, 0);
+        let hit = memory::memchr(&mut k, profile, a, i32::from(needle), n).unwrap().value as u64;
+        match data.iter().position(|&x| x == needle) {
+            Some(off) => prop_assert_eq!(hit, a.addr() + off as u64),
+            None => prop_assert_eq!(hit, 0),
+        }
+        memory::free(&mut k, profile, a).unwrap();
+        memory::free(&mut k, profile, b).unwrap();
+        prop_assert!(k.space.read_u8(a).is_err(), "freed memory faults");
+    }
+
+    /// Math functions match Rust's on benign finite inputs for every
+    /// profile (the domain-error split only appears off the happy path).
+    #[test]
+    fn math_matches_rust(x in 0.001f64..1000.0) {
+        for os in [OsVariant::Linux, OsVariant::Win95] {
+            let profile = LibcProfile::for_os(os);
+            let mut k = Kernel::with_flavor(os.machine_flavor());
+            let got = f64::from_bits(math::sqrt(&mut k, profile, x).unwrap().value as u64);
+            prop_assert!((got - x.sqrt()).abs() < 1e-9);
+            let got = f64::from_bits(math::log(&mut k, profile, x).unwrap().value as u64);
+            prop_assert!((got - x.ln()).abs() < 1e-9);
+            let got = f64::from_bits(math::floor(&mut k, profile, x).unwrap().value as u64);
+            prop_assert_eq!(got, x.floor());
+        }
+    }
+
+    /// The CRT never kills a *machine* on the NT/Linux profiles no matter
+    /// which (possibly wild) argument word is passed to strlen — the
+    /// plateau-of-robustness invariant.
+    #[test]
+    fn nt_and_linux_machines_survive_wild_strlen(addr in any::<u64>()) {
+        for os in [OsVariant::Linux, OsVariant::WinNt4] {
+            let profile = LibcProfile::for_os(os);
+            let mut k = Kernel::with_flavor(os.machine_flavor());
+            let _ = string::strlen(&mut k, profile, SimPtr::new(addr));
+            prop_assert!(k.is_alive(), "{os} must never crash on strlen");
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Process environment: identity, limits, time-of-day and `uname` — the
+//! paper's POSIX *Process Environment* grouping.
+
+use crate::{errno_return, signal};
+use sim_core::addr::PrivilegeLevel;
+use sim_core::{cstr, AccessKind, SimPtr};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+use sim_libc::errno;
+
+/// The unprivileged uid/gid the simulated test task runs as.
+pub const TEST_UID: u32 = 1000;
+
+/// `getuid()` / `geteuid()` share this result.
+///
+/// # Errors
+///
+/// None.
+pub fn getuid(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(TEST_UID)))
+}
+
+/// `geteuid()`.
+///
+/// # Errors
+///
+/// None.
+pub fn geteuid(k: &mut Kernel) -> ApiResult {
+    getuid(k)
+}
+
+/// `getgid()`.
+///
+/// # Errors
+///
+/// None.
+pub fn getgid(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(TEST_UID)))
+}
+
+/// `getegid()`.
+///
+/// # Errors
+///
+/// None.
+pub fn getegid(k: &mut Kernel) -> ApiResult {
+    getgid(k)
+}
+
+/// `setuid(uid)` — unprivileged: only the current uid is permitted.
+///
+/// # Errors
+///
+/// None.
+pub fn setuid(k: &mut Kernel, uid: i64) -> ApiResult {
+    k.charge_call();
+    if uid == i64::from(TEST_UID) {
+        Ok(ApiReturn::ok(0))
+    } else {
+        Ok(errno_return(errno::EPERM))
+    }
+}
+
+/// `setgid(gid)`.
+///
+/// # Errors
+///
+/// None.
+pub fn setgid(k: &mut Kernel, gid: i64) -> ApiResult {
+    k.charge_call();
+    if gid == i64::from(TEST_UID) {
+        Ok(ApiReturn::ok(0))
+    } else {
+        Ok(errno_return(errno::EPERM))
+    }
+}
+
+/// `getgroups(size, list)` — size 0 queries the count; the kernel
+/// copy-out makes wild lists `EFAULT`.
+///
+/// # Errors
+///
+/// None.
+pub fn getgroups(k: &mut Kernel, size: i32, list: SimPtr) -> ApiResult {
+    k.charge_call();
+    if size < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if size == 0 {
+        return Ok(ApiReturn::ok(1));
+    }
+    if k
+        .space
+        .check_access(list, 4, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let _ = k.space.write_u32(list, TEST_UID);
+    Ok(ApiReturn::ok(1))
+}
+
+/// `getrlimit(resource, rlim)` — kernel copy-out (`EFAULT` when bad).
+///
+/// # Errors
+///
+/// None.
+pub fn getrlimit(k: &mut Kernel, resource: i32, rlim: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !(0..=10).contains(&resource) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if k
+        .space
+        .check_access(rlim, 8, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let _ = k.space.write_u32(rlim, u32::MAX); // soft: RLIM_INFINITY
+    let _ = k.space.write_u32(rlim.offset(4), u32::MAX); // hard
+    Ok(ApiReturn::ok(0))
+}
+
+/// `setrlimit(resource, rlim)` — raising the hard limit unprivileged is
+/// `EPERM`.
+///
+/// # Errors
+///
+/// None.
+pub fn setrlimit(k: &mut Kernel, resource: i32, rlim: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !(0..=10).contains(&resource) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if k
+        .space
+        .check_access(rlim, 8, 4, AccessKind::Read, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let soft = k.space.read_u32(rlim).unwrap_or(0);
+    let hard = k.space.read_u32(rlim.offset(4)).unwrap_or(0);
+    if soft > hard {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `getrusage(who, usage)` — `RUSAGE_SELF`(0) / `RUSAGE_CHILDREN`(−1).
+///
+/// # Errors
+///
+/// None.
+pub fn getrusage(k: &mut Kernel, who: i32, usage: SimPtr) -> ApiResult {
+    k.charge_call();
+    if who != 0 && who != -1 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    // A 72-byte rusage block, kernel copy-out.
+    if k
+        .space
+        .check_access(usage, 72, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let _ = k.space.write_u32(usage, (k.clock.tick_count_ms() / 1000) as u32);
+    Ok(ApiReturn::ok(0))
+}
+
+/// `gettimeofday(tv, tz)` — both pointers may be NULL; kernel copy-out.
+///
+/// # Errors
+///
+/// None.
+pub fn gettimeofday(k: &mut Kernel, tv: SimPtr, tz: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !tv.is_null() {
+        if k
+            .space
+            .check_access(tv, 8, 4, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+        {
+            return Ok(errno_return(errno::EFAULT));
+        }
+        let _ = k.space.write_u32(tv, k.clock.unix_secs() as u32);
+        let _ = k
+            .space
+            .write_u32(tv.offset(4), (k.clock.tick_count_ms() % 1000 * 1000) as u32);
+    }
+    if !tz.is_null() {
+        if k
+            .space
+            .check_access(tz, 8, 4, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+        {
+            return Ok(errno_return(errno::EFAULT));
+        }
+        let _ = k.space.write_u32(tz, 0);
+        let _ = k.space.write_u32(tz.offset(4), 0);
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `times(buf)` — returns the tick count; the struct copy-out is kernel
+/// side (`EFAULT` when bad); NULL is tolerated by Linux.
+///
+/// # Errors
+///
+/// None.
+pub fn times(k: &mut Kernel, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    let ticks = k.clock.tick_count_ms() / 10; // 100 Hz clock ticks
+    if !buf.is_null() {
+        if k
+            .space
+            .check_access(buf, 16, 4, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+        {
+            return Ok(errno_return(errno::EFAULT));
+        }
+        for i in 0..4u64 {
+            let _ = k.space.write_u32(buf.offset(i * 4), (ticks / 4) as u32);
+        }
+    }
+    Ok(ApiReturn::ok(ticks as i64))
+}
+
+/// `uname(buf)` — glibc passes the buffer straight to the kernel:
+/// `EFAULT` when bad.
+///
+/// # Errors
+///
+/// None.
+pub fn uname(k: &mut Kernel, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    // 5 fields × 65 bytes.
+    if k
+        .space
+        .check_access(buf, 325, 1, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    for (i, field) in ["Linux", "testbed", "2.2.5", "#1 SMP", "i686"].iter().enumerate() {
+        let _ = cstr::write_cstr(
+            &mut k.space,
+            buf.offset(i as u64 * 65),
+            field,
+            PrivilegeLevel::User,
+        );
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sysconf(name)` — a few well-known names; unknown names are `EINVAL`
+/// with −1 (the documented protocol).
+///
+/// # Errors
+///
+/// None.
+pub fn sysconf(k: &mut Kernel, name: i32) -> ApiResult {
+    k.charge_call();
+    let value = match name {
+        0 => 1024,        // _SC_ARG_MAX-ish
+        1 => 999,         // _SC_CHILD_MAX
+        2 => 100,         // _SC_CLK_TCK
+        4 => 256,         // _SC_OPEN_MAX
+        30 => 0x1000,     // _SC_PAGESIZE
+        _ => return Ok(ApiReturn::err(-1, errno::EINVAL)),
+    };
+    Ok(ApiReturn::ok(value))
+}
+
+/// `getenv(name)` — strictly a C-library call, but the paper groups it
+/// with Process Environment; glibc scans `environ` comparing strings in
+/// user mode, so a wild name pointer aborts.
+///
+/// # Errors
+///
+/// A SIGSEGV abort when `name` is unreadable.
+pub fn getenv(k: &mut Kernel, name: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = cstr::read_cstr(&k.space, name, PrivilegeLevel::User).map_err(signal)?;
+    let key = String::from_utf8_lossy(&bytes).into_owned();
+    match k.env.get(&key) {
+        Ok(v) => {
+            let value = v.to_owned();
+            let p = k.alloc_user(value.len() as u64 + 1, "getenv");
+            let _ = cstr::write_cstr(&mut k.space, p, &value, PrivilegeLevel::User);
+            Ok(ApiReturn::ok(p.addr() as i64))
+        }
+        Err(_) => Ok(ApiReturn::ok(0)),
+    }
+}
+
+/// `putenv(string)` — glibc stores the caller's pointer after scanning
+/// for `=` in user mode.
+///
+/// # Errors
+///
+/// A SIGSEGV abort when the string is unreadable.
+pub fn putenv(k: &mut Kernel, string: SimPtr) -> ApiResult {
+    k.charge_call();
+    let bytes = cstr::read_cstr(&k.space, string, PrivilegeLevel::User).map_err(signal)?;
+    let s = String::from_utf8_lossy(&bytes).into_owned();
+    match s.split_once('=') {
+        Some((name, value)) => match k.env.set(name, value) {
+            Ok(()) => Ok(ApiReturn::ok(0)),
+            Err(_) => Ok(errno_return(errno::EINVAL)),
+        },
+        None => {
+            let _ = k.env.unset(&s);
+            Ok(ApiReturn::ok(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_calls() {
+        let mut k = Kernel::new();
+        assert_eq!(getuid(&mut k).unwrap().value, 1000);
+        assert_eq!(geteuid(&mut k).unwrap().value, 1000);
+        assert_eq!(getgid(&mut k).unwrap().value, 1000);
+        assert_eq!(getegid(&mut k).unwrap().value, 1000);
+        assert_eq!(setuid(&mut k, 1000).unwrap().value, 0);
+        assert_eq!(setuid(&mut k, 0).unwrap().error, Some(errno::EPERM));
+        assert_eq!(setgid(&mut k, i64::from(u32::MAX)).unwrap().error, Some(errno::EPERM));
+    }
+
+    #[test]
+    fn groups_and_limits() {
+        let mut k = Kernel::new();
+        assert_eq!(getgroups(&mut k, 0, SimPtr::NULL).unwrap().value, 1);
+        assert_eq!(
+            getgroups(&mut k, 4, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        assert_eq!(getgroups(&mut k, -1, SimPtr::NULL).unwrap().error, Some(errno::EINVAL));
+        let list = k.alloc_user(16, "groups");
+        assert_eq!(getgroups(&mut k, 4, list).unwrap().value, 1);
+
+        let rlim = k.alloc_user(8, "rlim");
+        assert_eq!(getrlimit(&mut k, 2, rlim).unwrap().value, 0);
+        assert_eq!(getrlimit(&mut k, 99, rlim).unwrap().error, Some(errno::EINVAL));
+        assert_eq!(
+            getrlimit(&mut k, 2, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        assert_eq!(setrlimit(&mut k, 2, rlim).unwrap().value, 0);
+        // soft > hard is EINVAL.
+        k.space.write_u32(rlim, 100).unwrap();
+        k.space.write_u32(rlim.offset(4), 50).unwrap();
+        assert_eq!(setrlimit(&mut k, 2, rlim).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn time_calls() {
+        let mut k = Kernel::new();
+        let tv = k.alloc_user(8, "tv");
+        assert_eq!(gettimeofday(&mut k, tv, SimPtr::NULL).unwrap().value, 0);
+        assert_eq!(
+            u64::from(k.space.read_u32(tv).unwrap()),
+            sim_kernel::clock::Clock::BOOT_UNIX_SECS
+        );
+        // NULL/NULL legal; wild pointer EFAULT.
+        assert_eq!(gettimeofday(&mut k, SimPtr::NULL, SimPtr::NULL).unwrap().value, 0);
+        assert_eq!(
+            gettimeofday(&mut k, SimPtr::new(0x30), SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        let buf = k.alloc_user(16, "tms");
+        assert!(times(&mut k, buf).unwrap().value >= 0);
+        assert!(times(&mut k, SimPtr::NULL).unwrap().value >= 0);
+        assert_eq!(
+            times(&mut k, SimPtr::new(0x30)).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        let ru = k.alloc_user(72, "rusage");
+        assert_eq!(getrusage(&mut k, 0, ru).unwrap().value, 0);
+        assert_eq!(getrusage(&mut k, 5, ru).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn uname_and_sysconf() {
+        let mut k = Kernel::new();
+        let buf = k.alloc_user(325, "utsname");
+        assert_eq!(uname(&mut k, buf).unwrap().value, 0);
+        assert_eq!(
+            cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap(),
+            b"Linux"
+        );
+        assert_eq!(
+            uname(&mut k, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        assert_eq!(sysconf(&mut k, 30).unwrap().value, 0x1000);
+        assert_eq!(sysconf(&mut k, 9999).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn env_calls() {
+        let mut k = Kernel::new();
+        let name = k.alloc_user(8, "name");
+        cstr::write_cstr(&mut k.space, name, "HOME", PrivilegeLevel::User).unwrap();
+        let r = getenv(&mut k, name).unwrap();
+        assert!(r.value != 0);
+        let value = cstr::read_cstr(&k.space, SimPtr::new(r.value as u64), PrivilegeLevel::User)
+            .unwrap();
+        assert_eq!(value, b"/home/ballista");
+        // Missing variable: NULL, no error.
+        cstr::write_cstr(&mut k.space, name, "NOPE", PrivilegeLevel::User).unwrap();
+        assert_eq!(getenv(&mut k, name).unwrap().value, 0);
+        // Wild name: abort (glibc scan).
+        assert!(getenv(&mut k, SimPtr::NULL).is_err());
+
+        let assign = k.alloc_user(16, "assign");
+        cstr::write_cstr(&mut k.space, assign, "NEW=yes", PrivilegeLevel::User).unwrap();
+        assert_eq!(putenv(&mut k, assign).unwrap().value, 0);
+        assert_eq!(k.env.get("NEW").unwrap(), "yes");
+        assert!(putenv(&mut k, SimPtr::INVALID).is_err());
+    }
+}

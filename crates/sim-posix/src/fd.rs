@@ -1,0 +1,639 @@
+//! I/O primitives: `read`, `write`, `close`, `dup`/`dup2`, `lseek`,
+//! `pipe`, `fcntl`, `fsync`, `fdatasync` — the paper's POSIX *I/O
+//! Primitives* grouping.
+//!
+//! The Linux kernel's copy-in/copy-out boundary makes these calls
+//! graceful: a wild buffer pointer is `EFAULT`, not a fault — the heart of
+//! the paper's "Linux is significantly more graceful at handling
+//! exceptions from system calls" finding.
+
+use crate::{errno_return, signal};
+use sim_core::addr::PrivilegeLevel;
+use sim_core::{AccessKind, SimPtr};
+use sim_kernel::fs::{FsError, SeekFrom};
+use sim_kernel::outcome::{ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::sync::INFINITE;
+use sim_kernel::Kernel;
+use sim_libc::errno;
+
+/// Descriptor ids 0–2 are the standard streams; filesystem descriptions
+/// start at 3 (the simulated filesystem allocates them that way).
+pub const FIRST_FILE_FD: i64 = 3;
+
+/// Key prefix recording pipe read-ends and their buffered byte counts.
+fn pipe_key(fd: i64) -> String {
+    format!("posix.pipe.{fd}")
+}
+
+fn fd_ok(k: &Kernel, fd: i64) -> bool {
+    (0..=2).contains(&fd) || (fd >= FIRST_FILE_FD && k.fs.is_open(fd as u64))
+}
+
+/// `read(fd, buf, count)`.
+///
+/// A wild `buf` is `EFAULT` (the kernel checks before copying). Reading a
+/// pipe with no data and a live writer **blocks forever** — the paper's
+/// Restart failure.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`] for the empty-pipe case.
+pub fn read(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    // Kernel probes the destination before copying: EFAULT, not a fault.
+    if count > 0
+        && k.space
+            .check_access(buf, count.min(4096), 1, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    if fd == 0 {
+        // stdin: the console line.
+        let line: &[u8] = sim_libc::stream::CONSOLE_INPUT;
+        let n = line.len().min(count as usize);
+        let _ = k.space.write_bytes(buf, &line[..n]);
+        return Ok(ApiReturn::ok(n as i64));
+    }
+    if fd == 1 || fd == 2 {
+        return Ok(errno_return(errno::EBADF));
+    }
+    // Pipe read-end with no data: block.
+    if let Some(&buffered) = k.scratch.get(&pipe_key(fd)) {
+        if buffered == 0 {
+            return Err(ApiAbort::Hang);
+        }
+    }
+    let mut data = vec![0u8; count as usize];
+    match k.fs.read(fd as u64, &mut data) {
+        Ok(n) => {
+            if k.space.write_bytes(buf, &data[..n]).is_err() {
+                return Ok(errno_return(errno::EFAULT));
+            }
+            if let Some(b) = k.scratch.get_mut(&pipe_key(fd)) {
+                *b = b.saturating_sub(n as u64);
+            }
+            Ok(ApiReturn::ok(n as i64))
+        }
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `write(fd, buf, count)`.
+///
+/// # Errors
+///
+/// None; hostile pointers are `EFAULT`.
+pub fn write(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    let data = match k.space.read_bytes_at(buf, count, PrivilegeLevel::User) {
+        Ok(d) => d,
+        Err(_) => return Ok(errno_return(errno::EFAULT)),
+    };
+    if fd == 1 || fd == 2 {
+        return Ok(ApiReturn::ok(count as i64)); // console sink
+    }
+    if fd == 0 {
+        return Ok(errno_return(errno::EBADF));
+    }
+    match k.fs.write(fd as u64, &data) {
+        Ok(n) => Ok(ApiReturn::ok(n as i64)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `close(fd)`.
+///
+/// # Errors
+///
+/// None.
+pub fn close(k: &mut Kernel, fd: i64) -> ApiResult {
+    k.charge_call();
+    if (0..=2).contains(&fd) {
+        return Ok(ApiReturn::ok(0)); // closing a std stream "works"
+    }
+    match k.fs.close(fd as u64) {
+        Ok(()) => {
+            k.scratch.remove(&pipe_key(fd));
+            Ok(ApiReturn::ok(0))
+        }
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `dup(oldfd)`.
+///
+/// # Errors
+///
+/// None.
+pub fn dup(k: &mut Kernel, oldfd: i64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, oldfd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    if (0..=2).contains(&oldfd) {
+        // Duplicating a std stream: hand back a fresh console-ish fd id by
+        // duplicating nothing — model as a higher unused fd bound to the
+        // same sink. Keep it simple and robust: return EBADF-free success
+        // with the same semantics as the stream itself.
+        return Ok(ApiReturn::ok(oldfd));
+    }
+    match k.fs.dup(oldfd as u64) {
+        Ok(newfd) => Ok(ApiReturn::ok(newfd as i64)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `dup2(oldfd, newfd)`.
+///
+/// # Errors
+///
+/// None; out-of-range targets are `EBADF`.
+pub fn dup2(k: &mut Kernel, oldfd: i64, newfd: i64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, oldfd) || !(0..=1024).contains(&newfd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    if (0..=2).contains(&oldfd) || (0..=2).contains(&newfd) {
+        return Ok(ApiReturn::ok(newfd)); // std-stream redirection: accepted
+    }
+    match k.fs.dup_at(oldfd as u64, newfd as u64) {
+        Ok(fd) => Ok(ApiReturn::ok(fd as i64)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `lseek(fd, offset, whence)`.
+///
+/// # Errors
+///
+/// None; seeking a pipe is `ESPIPE`, bad whence is `EINVAL`.
+pub fn lseek(k: &mut Kernel, fd: i64, offset: i64, whence: i32) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    if (0..=2).contains(&fd) || k.scratch.contains_key(&pipe_key(fd)) {
+        return Ok(errno_return(errno::ESPIPE));
+    }
+    let from = match whence {
+        0 if offset >= 0 => SeekFrom::Start(offset as u64),
+        0 => return Ok(errno_return(errno::EINVAL)),
+        1 => SeekFrom::Current(offset),
+        2 => SeekFrom::End(offset),
+        _ => return Ok(errno_return(errno::EINVAL)),
+    };
+    match k.fs.seek(fd as u64, from) {
+        Ok(pos) => Ok(ApiReturn::ok(pos as i64)),
+        Err(FsError::InvalidSeek) => Ok(errno_return(errno::EINVAL)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `pipe(pipefd)` — the two descriptor ids are written through the
+/// caller's array: the kernel does it with copy-out (`EFAULT` when bad).
+///
+/// # Errors
+///
+/// None.
+pub fn pipe(k: &mut Kernel, pipefd: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k
+        .space
+        .check_access(pipefd, 8, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    // Back the pipe with an unnamed file: read end + write end.
+    let n = k.scratch.entry("posix.pipe.count".to_owned()).or_insert(0);
+    *n += 1;
+    let name = format!("/tmp/.pipe{n}");
+    let _ = k.fs.create_file(&name, Vec::new());
+    let rd = match k.fs.open(&name, sim_kernel::fs::OpenOptions::read_only()) {
+        Ok(fd) => fd,
+        Err(e) => return Ok(errno_return(errno::from_fs(e))),
+    };
+    let wr = match k
+        .fs
+        .open(&name, sim_kernel::fs::OpenOptions::write_only().append(true))
+    {
+        Ok(fd) => fd,
+        Err(e) => {
+            let _ = k.fs.close(rd);
+            return Ok(errno_return(errno::from_fs(e)));
+        }
+    };
+    k.scratch.insert(pipe_key(rd as i64), 0); // empty read end: blocking
+    let _ = k.space.write_u32(pipefd, rd as u32);
+    let _ = k.space.write_u32(pipefd.offset(4), wr as u32);
+    Ok(ApiReturn::ok(0))
+}
+
+/// Registers `n` buffered bytes on a pipe read-end (used by test-value
+/// constructors to build non-blocking pipes).
+pub fn prime_pipe(k: &mut Kernel, fd: i64, n: u64) {
+    k.scratch.insert(pipe_key(fd), n);
+}
+
+/// `fcntl(fd, cmd, arg)` — `F_DUPFD`(0), `F_GETFD`(1), `F_SETFD`(2),
+/// `F_GETFL`(3), `F_SETFL`(4), `F_GETLK`(5), `F_SETLK`(6), `F_SETLKW`(7).
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`] for `F_SETLKW` on a contended range (the blocking
+/// lock — a Restart source).
+pub fn fcntl(k: &mut Kernel, fd: i64, cmd: i32, arg: i64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    match cmd {
+        0 => dup(k, fd),
+        1 | 3 => Ok(ApiReturn::ok(0)),
+        2 | 4 => Ok(ApiReturn::ok(0)),
+        5 | 6 => {
+            // Lock queries/attempts need a valid struct flock pointer —
+            // the kernel copy-in makes bad ones EFAULT.
+            let p = SimPtr::new(arg as u64);
+            if k
+                .space
+                .check_access(p, 16, 1, AccessKind::Read, PrivilegeLevel::User)
+                .is_err()
+            {
+                return Ok(errno_return(errno::EFAULT));
+            }
+            Ok(ApiReturn::ok(0))
+        }
+        7 => {
+            let p = SimPtr::new(arg as u64);
+            if k
+                .space
+                .check_access(p, 16, 1, AccessKind::Read, PrivilegeLevel::User)
+                .is_err()
+            {
+                return Ok(errno_return(errno::EFAULT));
+            }
+            // A blocking lock on a range someone holds: the simulated
+            // harness marked the range contended when the fd came from the
+            // "locked file" test value.
+            if k.scratch.contains_key(&format!("posix.contended.{fd}")) {
+                return Err(ApiAbort::Hang);
+            }
+            Ok(ApiReturn::ok(0))
+        }
+        _ => Ok(errno_return(errno::EINVAL)),
+    }
+}
+
+/// Marks an fd's lock range contended (test-value constructor hook).
+pub fn mark_contended(k: &mut Kernel, fd: i64) {
+    k.scratch.insert(format!("posix.contended.{fd}"), 1);
+}
+
+/// `fsync(fd)`.
+///
+/// # Errors
+///
+/// None.
+pub fn fsync(k: &mut Kernel, fd: i64) -> ApiResult {
+    k.charge_call();
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `fdatasync(fd)`.
+///
+/// # Errors
+///
+/// None.
+pub fn fdatasync(k: &mut Kernel, fd: i64) -> ApiResult {
+    fsync(k, fd)
+}
+
+/// `readv(fd, iov, iovcnt)` — glibc assembles the scatter list in **user
+/// mode** before trapping: a wild `iov` pointer faults (one of the few
+/// Linux syscall Aborts).
+///
+/// # Errors
+///
+/// A SIGSEGV abort when the iovec array itself is unreadable.
+pub fn readv(k: &mut Kernel, fd: i64, iov: SimPtr, iovcnt: i32) -> ApiResult {
+    k.charge_call();
+    if !(0..=1024).contains(&iovcnt) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    let mut total = 0i64;
+    for i in 0..iovcnt {
+        // User-mode walk of the array: faults abort.
+        let base = k
+            .space
+            .read_ptr(iov.offset(u64::from(i as u32) * 8))
+            .map_err(signal)?;
+        let len = k
+            .space
+            .read_u32(iov.offset(u64::from(i as u32) * 8 + 4))
+            .map_err(signal)?;
+        let r = read(k, fd, base, u64::from(len))?;
+        if r.reported_error() {
+            return Ok(r);
+        }
+        total += r.value;
+        if (r.value as u64) < u64::from(len) {
+            break;
+        }
+    }
+    Ok(ApiReturn::ok(total))
+}
+
+/// `writev(fd, iov, iovcnt)` — same user-mode array walk as [`readv`].
+///
+/// # Errors
+///
+/// A SIGSEGV abort when the iovec array is unreadable.
+pub fn writev(k: &mut Kernel, fd: i64, iov: SimPtr, iovcnt: i32) -> ApiResult {
+    k.charge_call();
+    if !(0..=1024).contains(&iovcnt) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if !fd_ok(k, fd) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    let mut total = 0i64;
+    for i in 0..iovcnt {
+        let base = k
+            .space
+            .read_ptr(iov.offset(u64::from(i as u32) * 8))
+            .map_err(signal)?;
+        let len = k
+            .space
+            .read_u32(iov.offset(u64::from(i as u32) * 8 + 4))
+            .map_err(signal)?;
+        let r = write(k, fd, base, u64::from(len))?;
+        if r.reported_error() {
+            return Ok(r);
+        }
+        total += r.value;
+    }
+    Ok(ApiReturn::ok(total))
+}
+
+/// `select(nfds, readfds, writefds, exceptfds, timeout)` — glibc touches
+/// the `fd_set` bitmaps in user mode (abort on wild pointers); a NULL
+/// timeout with nothing ready blocks forever.
+///
+/// # Errors
+///
+/// A SIGSEGV abort for unreadable `fd_set`s; [`ApiAbort::Hang`] for an
+/// indefinite wait with nothing ready.
+pub fn select(
+    k: &mut Kernel,
+    nfds: i32,
+    readfds: SimPtr,
+    writefds: SimPtr,
+    exceptfds: SimPtr,
+    timeout: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !(0..=1024).contains(&nfds) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let mut ready = 0i64;
+    for set in [readfds, writefds, exceptfds] {
+        if set.is_null() {
+            continue;
+        }
+        // glibc FD_ISSET walks the bitmap in user mode.
+        let bits = k.space.read_u32(set).map_err(signal)?;
+        // Regular files and std streams are always ready.
+        ready += i64::from(bits.count_ones());
+    }
+    if ready == 0 {
+        if timeout.is_null() {
+            return Err(ApiAbort::Hang);
+        }
+        let secs = k.space.read_u32(timeout).map_err(signal)?;
+        if secs == INFINITE {
+            return Err(ApiAbort::Hang);
+        }
+        k.clock.advance_ms(u64::from(secs.min(60)) * 1000);
+        return Ok(ApiReturn::ok(0));
+    }
+    Ok(ApiReturn::ok(ready))
+}
+
+/// `poll(fds, nfds, timeout)` — the kernel copy-in version: `EFAULT` for
+/// bad arrays, indefinite block for `timeout == -1` with nothing ready.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`] for an indefinite wait over an empty set.
+pub fn poll(k: &mut Kernel, fds: SimPtr, nfds: u32, timeout: i32) -> ApiResult {
+    k.charge_call();
+    if nfds > 1024 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if nfds > 0
+        && k.space
+            .check_access(fds, u64::from(nfds) * 8, 1, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let mut ready = 0i64;
+    for i in 0..nfds {
+        let fd = k
+            .space
+            .read_i32(fds.offset(u64::from(i) * 8))
+            .unwrap_or(-1);
+        if fd_ok(k, i64::from(fd)) {
+            // revents = POLLIN|POLLOUT
+            let _ = k.space.write_u16(fds.offset(u64::from(i) * 8 + 6), 0x5);
+            ready += 1;
+        }
+    }
+    if ready == 0 && timeout < 0 {
+        return Err(ApiAbort::Hang);
+    }
+    if ready == 0 {
+        k.clock.advance_ms(u64::from(timeout.max(0) as u32));
+    }
+    Ok(ApiReturn::ok(ready))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::fs::OpenOptions;
+
+    fn kernel_with_file(path: &str, content: &[u8]) -> (Kernel, i64) {
+        let mut k = Kernel::new();
+        k.fs.create_file(path, content.to_vec()).unwrap();
+        let fd = k.fs.open(path, OpenOptions::read_write()).unwrap() as i64;
+        (k, fd)
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (mut k, fd) = kernel_with_file("/tmp/io", b"");
+        let buf = k.alloc_user(16, "buf");
+        k.space.write_bytes(buf, b"0123456789").unwrap();
+        assert_eq!(write(&mut k, fd, buf, 10).unwrap().value, 10);
+        assert_eq!(lseek(&mut k, fd, 0, 0).unwrap().value, 0);
+        let out = k.alloc_user(16, "out");
+        assert_eq!(read(&mut k, fd, out, 10).unwrap().value, 10);
+        assert_eq!(k.space.read_bytes(out, 10).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn wild_buffers_are_efault_not_abort() {
+        let (mut k, fd) = kernel_with_file("/tmp/g", b"data");
+        let r = read(&mut k, fd, SimPtr::NULL, 4).unwrap();
+        assert_eq!(r.error, Some(errno::EFAULT));
+        let r = write(&mut k, fd, SimPtr::INVALID, 4).unwrap();
+        assert_eq!(r.error, Some(errno::EFAULT));
+        // This is the key Linux-vs-Win32 contrast: graceful, no signal.
+    }
+
+    #[test]
+    fn bad_fds_are_ebadf() {
+        let mut k = Kernel::new();
+        let buf = k.alloc_user(4, "b");
+        for fd in [-1i64, 99, i64::from(i32::MAX)] {
+            assert_eq!(read(&mut k, fd, buf, 4).unwrap().error, Some(errno::EBADF));
+            assert_eq!(write(&mut k, fd, buf, 4).unwrap().error, Some(errno::EBADF));
+            assert_eq!(close(&mut k, fd).unwrap().error, Some(errno::EBADF));
+            assert_eq!(fsync(&mut k, fd).unwrap().error, Some(errno::EBADF));
+        }
+    }
+
+    #[test]
+    fn std_streams() {
+        let mut k = Kernel::new();
+        let buf = k.alloc_user(32, "b");
+        // stdin read returns the console line.
+        let n = read(&mut k, 0, buf, 32).unwrap().value;
+        assert!(n > 0);
+        // stdout/stderr writes sink.
+        k.space.write_bytes(buf, b"hello").unwrap();
+        assert_eq!(write(&mut k, 1, buf, 5).unwrap().value, 5);
+        assert_eq!(write(&mut k, 2, buf, 5).unwrap().value, 5);
+        // Writing stdin / reading stdout are EBADF.
+        assert!(write(&mut k, 0, buf, 1).unwrap().reported_error());
+        assert!(read(&mut k, 1, buf, 1).unwrap().reported_error());
+        // Seeking a stream: ESPIPE.
+        assert_eq!(lseek(&mut k, 1, 0, 0).unwrap().error, Some(errno::ESPIPE));
+    }
+
+    #[test]
+    fn dup_family() {
+        let (mut k, fd) = kernel_with_file("/tmp/d", b"abcdef");
+        let d = dup(&mut k, fd).unwrap().value;
+        assert!(d > fd);
+        let buf = k.alloc_user(4, "b");
+        assert_eq!(read(&mut k, d, buf, 2).unwrap().value, 2);
+        let target = 77;
+        assert_eq!(dup2(&mut k, fd, target).unwrap().value, 77);
+        assert_eq!(read(&mut k, target, buf, 2).unwrap().value, 2);
+        assert_eq!(dup(&mut k, 999).unwrap().error, Some(errno::EBADF));
+        assert_eq!(dup2(&mut k, fd, -1).unwrap().error, Some(errno::EBADF));
+    }
+
+    #[test]
+    fn pipe_blocks_when_empty() {
+        let mut k = Kernel::new();
+        let fds = k.alloc_user(8, "pipefd");
+        assert_eq!(pipe(&mut k, fds).unwrap().value, 0);
+        let rd = i64::from(k.space.read_u32(fds).unwrap());
+        let wr = i64::from(k.space.read_u32(fds.offset(4)).unwrap());
+        let buf = k.alloc_user(8, "b");
+        // Empty pipe: read blocks forever → Restart.
+        assert!(read(&mut k, rd, buf, 4).unwrap_err().is_hang());
+        // After writing, the primed read works.
+        k.space.write_bytes(buf, b"ping").unwrap();
+        assert_eq!(write(&mut k, wr, buf, 4).unwrap().value, 4);
+        prime_pipe(&mut k, rd, 4);
+        assert_eq!(read(&mut k, rd, buf, 4).unwrap().value, 4);
+        // Bad pipefd pointer: EFAULT.
+        assert_eq!(pipe(&mut k, SimPtr::NULL).unwrap().error, Some(errno::EFAULT));
+    }
+
+    #[test]
+    fn fcntl_protocol() {
+        let (mut k, fd) = kernel_with_file("/tmp/f", b"x");
+        assert!(fcntl(&mut k, fd, 0, 0).unwrap().value > fd); // F_DUPFD
+        assert_eq!(fcntl(&mut k, fd, 1, 0).unwrap().value, 0);
+        assert_eq!(fcntl(&mut k, fd, 99, 0).unwrap().error, Some(errno::EINVAL));
+        // Lock commands validate the struct pointer via copy-in.
+        assert_eq!(fcntl(&mut k, fd, 6, 0).unwrap().error, Some(errno::EFAULT));
+        let flock = k.alloc_user(16, "flock");
+        assert_eq!(fcntl(&mut k, fd, 6, flock.addr() as i64).unwrap().value, 0);
+        // Blocking lock on a contended fd hangs.
+        mark_contended(&mut k, fd);
+        assert!(fcntl(&mut k, fd, 7, flock.addr() as i64).unwrap_err().is_hang());
+    }
+
+    #[test]
+    fn vector_io_walks_array_in_user_mode() {
+        let (mut k, fd) = kernel_with_file("/tmp/v", b"");
+        // Hostile iovec array: SIGSEGV abort (glibc glue).
+        let err = writev(&mut k, fd, SimPtr::NULL, 2).unwrap_err();
+        assert!(matches!(err, ApiAbort::Signal { signo: 11, .. }));
+        // Valid iovec writes both segments.
+        let a = k.alloc_user(4, "a");
+        let b = k.alloc_user(4, "b");
+        k.space.write_bytes(a, b"abcd").unwrap();
+        k.space.write_bytes(b, b"efgh").unwrap();
+        let iov = k.alloc_user(16, "iov");
+        k.space.write_ptr(iov, a).unwrap();
+        k.space.write_u32(iov.offset(4), 4).unwrap();
+        k.space.write_ptr(iov.offset(8), b).unwrap();
+        k.space.write_u32(iov.offset(12), 4).unwrap();
+        assert_eq!(writev(&mut k, fd, iov, 2).unwrap().value, 8);
+        lseek(&mut k, fd, 0, 0).unwrap();
+        assert_eq!(readv(&mut k, fd, iov, 2).unwrap().value, 8);
+        assert_eq!(k.space.read_bytes(a, 4).unwrap(), b"abcd");
+        // Degenerate counts.
+        assert_eq!(writev(&mut k, fd, iov, -1).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn select_and_poll() {
+        let mut k = Kernel::new();
+        // Wild fd_set: abort (glibc user-mode bitmap walk).
+        assert!(select(&mut k, 4, SimPtr::new(0x30), SimPtr::NULL, SimPtr::NULL, SimPtr::NULL).is_err());
+        // Nothing ready + NULL timeout: hang.
+        let empty = k.alloc_user(128, "fdset");
+        assert!(
+            select(&mut k, 4, empty, SimPtr::NULL, SimPtr::NULL, SimPtr::NULL)
+                .unwrap_err()
+                .is_hang()
+        );
+        // Something ready returns promptly.
+        k.space.write_u32(empty, 0b1010).unwrap();
+        assert_eq!(
+            select(&mut k, 4, empty, SimPtr::NULL, SimPtr::NULL, SimPtr::NULL)
+                .unwrap()
+                .value,
+            2
+        );
+        // poll: EFAULT for wild array; hang for infinite empty wait.
+        assert_eq!(poll(&mut k, SimPtr::NULL, 2, 0).unwrap().error, Some(errno::EFAULT));
+        let pfd = k.alloc_user(8, "pollfd");
+        k.space.write_i32(pfd, 999).unwrap(); // unknown fd: never ready
+        assert!(poll(&mut k, pfd, 1, -1).unwrap_err().is_hang());
+        k.space.write_i32(pfd, 1).unwrap(); // stdout: ready
+        assert_eq!(poll(&mut k, pfd, 1, -1).unwrap().value, 1);
+    }
+}

@@ -1,0 +1,726 @@
+//! File and directory access: `open`, the `stat` family, links, modes and
+//! working directories — the paper's POSIX *File/Directory Access*
+//! grouping.
+//!
+//! Path arguments are copied in by the kernel (`EFAULT` for wild
+//! pointers), but the **`stat` family aborts**: glibc's `xstat` wrapper
+//! translates between kernel and libc struct layouts by writing the
+//! caller's buffer in user mode — the main source of Linux's (small)
+//! system-call Abort rate in Table 1.
+
+use crate::{errno_return, signal};
+use sim_core::addr::PrivilegeLevel;
+use sim_core::{cstr, AccessKind, SimPtr};
+use sim_kernel::fs::OpenOptions;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+use sim_libc::errno;
+
+/// Reads a path argument the way the kernel does: copy-in with `EFAULT`
+/// on fault (never a signal).
+fn read_path(k: &Kernel, ptr: SimPtr) -> Result<String, ApiReturn> {
+    match cstr::read_cstr(&k.space, ptr, PrivilegeLevel::User) {
+        Ok(bytes) => Ok(String::from_utf8_lossy(&bytes).into_owned()),
+        Err(_) => Err(errno_return(errno::EFAULT)),
+    }
+}
+
+macro_rules! path_arg {
+    ($k:expr, $ptr:expr) => {
+        match read_path($k, $ptr) {
+            Ok(p) => p,
+            Err(e) => return Ok(e),
+        }
+    };
+}
+
+/// `open(pathname, flags, mode)` — `O_RDONLY`(0) / `O_WRONLY`(1) /
+/// `O_RDWR`(2), `O_CREAT`(0x40), `O_EXCL`(0x80), `O_TRUNC`(0x200),
+/// `O_APPEND`(0x400).
+///
+/// # Errors
+///
+/// None; every hostile argument maps to an `errno`.
+pub fn open(k: &mut Kernel, pathname: SimPtr, flags: i32, _mode: u32) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    let mut opts = match flags & 0x3 {
+        0 => OpenOptions::read_only(),
+        1 => OpenOptions::write_only(),
+        2 => OpenOptions::read_write(),
+        _ => return Ok(errno_return(errno::EINVAL)),
+    };
+    if flags & 0x40 != 0 {
+        opts = opts.create(true);
+    }
+    if flags & 0x80 != 0 {
+        opts = opts.create_new(true);
+    }
+    if flags & 0x200 != 0 {
+        opts = opts.truncate(true);
+    }
+    if flags & 0x400 != 0 {
+        opts = opts.append(true);
+    }
+    match k.fs.open(&path, opts) {
+        Ok(fd) => Ok(ApiReturn::ok(fd as i64)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `creat(pathname, mode)` — `open(path, O_WRONLY|O_CREAT|O_TRUNC, mode)`.
+///
+/// # Errors
+///
+/// None.
+pub fn creat(k: &mut Kernel, pathname: SimPtr, mode: u32) -> ApiResult {
+    open(k, pathname, 0x1 | 0x40 | 0x200, mode)
+}
+
+/// Simulated `struct stat` size (a compact 32-byte layout: dev, ino, mode,
+/// nlink, uid, gid, size, mtime — each 32-bit).
+pub const STAT_SIZE: u64 = 32;
+
+fn write_stat(
+    k: &mut Kernel,
+    buf: SimPtr,
+    is_dir: bool,
+    size: u64,
+    ino: u64,
+    mtime_ms: u64,
+) -> Result<(), sim_core::Fault> {
+    // glibc's xstat wrapper writes the libc-layout struct in USER mode —
+    // this is where bad buffers abort instead of EFAULTing.
+    let mode: u32 = if is_dir { 0o040_755 } else { 0o100_644 };
+    let fields = [
+        1u32,
+        ino as u32,
+        mode,
+        1,
+        1000,
+        1000,
+        size as u32,
+        (mtime_ms / 1000) as u32,
+    ];
+    for (i, f) in fields.into_iter().enumerate() {
+        k.space.write_u32(buf.offset(i as u64 * 4), f)?;
+    }
+    Ok(())
+}
+
+/// `stat(pathname, statbuf)`.
+///
+/// # Errors
+///
+/// A SIGSEGV abort when `statbuf` faults (glibc's user-mode struct
+/// translation — the paper's main Linux syscall Abort source).
+pub fn stat(k: &mut Kernel, pathname: SimPtr, statbuf: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    let st = match k.fs.stat(&path) {
+        Ok(s) => s,
+        Err(e) => return Ok(errno_return(errno::from_fs(e))),
+    };
+    write_stat(k, statbuf, st.is_dir, st.size, st.node_id, st.attrs.modified_ms)
+        .map_err(signal)?;
+    Ok(ApiReturn::ok(0))
+}
+
+/// `lstat(pathname, statbuf)` — no symlinks in the simulated filesystem:
+/// identical to [`stat`] including the abort behaviour.
+///
+/// # Errors
+///
+/// Same conditions as [`stat`].
+pub fn lstat(k: &mut Kernel, pathname: SimPtr, statbuf: SimPtr) -> ApiResult {
+    stat(k, pathname, statbuf)
+}
+
+/// `fstat(fd, statbuf)`.
+///
+/// # Errors
+///
+/// Same abort conditions as [`stat`].
+pub fn fstat(k: &mut Kernel, fd: i64, statbuf: SimPtr) -> ApiResult {
+    k.charge_call();
+    if (0..=2).contains(&fd) {
+        write_stat(k, statbuf, false, 0, fd as u64, 0).map_err(signal)?;
+        return Ok(ApiReturn::ok(0));
+    }
+    let st = match k.fs.fstat(fd as u64) {
+        Ok(s) => s,
+        Err(e) => return Ok(errno_return(errno::from_fs(e))),
+    };
+    write_stat(k, statbuf, st.is_dir, st.size, st.node_id, st.attrs.modified_ms)
+        .map_err(signal)?;
+    Ok(ApiReturn::ok(0))
+}
+
+/// `access(pathname, mode)` — `F_OK`(0), `R_OK`(4), `W_OK`(2), `X_OK`(1).
+///
+/// # Errors
+///
+/// None.
+pub fn access(k: &mut Kernel, pathname: SimPtr, mode: i32) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    if !(0..=7).contains(&mode) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    match k.fs.stat(&path) {
+        Ok(st) => {
+            if mode & 2 != 0 && st.attrs.readonly {
+                return Ok(errno_return(errno::EACCES));
+            }
+            Ok(ApiReturn::ok(0))
+        }
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `mkdir(pathname, mode)`.
+///
+/// # Errors
+///
+/// None.
+pub fn mkdir(k: &mut Kernel, pathname: SimPtr, _mode: u32) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    match k.fs.mkdir(&path) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `rmdir(pathname)`.
+///
+/// # Errors
+///
+/// None.
+pub fn rmdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    match k.fs.rmdir(&path) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `unlink(pathname)`.
+///
+/// # Errors
+///
+/// None.
+pub fn unlink(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    match k.fs.unlink(&path) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `rename(oldpath, newpath)`.
+///
+/// # Errors
+///
+/// None.
+pub fn rename(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
+    k.charge_call();
+    let from = path_arg!(k, oldpath);
+    let to = path_arg!(k, newpath);
+    match k.fs.rename(&from, &to) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `link(oldpath, newpath)` — the simulated filesystem has no hard links;
+/// modelled as a copy (identical robustness surface: two path arguments).
+///
+/// # Errors
+///
+/// None.
+pub fn link(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
+    k.charge_call();
+    let from = path_arg!(k, oldpath);
+    let to = path_arg!(k, newpath);
+    let ofd = match k.fs.open(&from, OpenOptions::read_only()) {
+        Ok(f) => f,
+        Err(e) => return Ok(errno_return(errno::from_fs(e))),
+    };
+    let size = k.fs.size_of(ofd).unwrap_or(0);
+    let mut content = vec![0u8; size as usize];
+    let _ = k.fs.read(ofd, &mut content);
+    let _ = k.fs.close(ofd);
+    match k.fs.create_file(&to, content) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `symlink(target, linkpath)` — stored as a small regular file holding
+/// the target (resolution is out of scope; the robustness surface is the
+/// two pointers).
+///
+/// # Errors
+///
+/// None.
+pub fn symlink(k: &mut Kernel, target: SimPtr, linkpath: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tgt = path_arg!(k, target);
+    let lnk = path_arg!(k, linkpath);
+    match k.fs.create_file(&lnk, tgt.into_bytes()) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `chmod(pathname, mode)`.
+///
+/// # Errors
+///
+/// None.
+pub fn chmod(k: &mut Kernel, pathname: SimPtr, mode: u32) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    match k.fs.set_readonly(&path, mode & 0o200 == 0) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `fchmod(fd, mode)`.
+///
+/// # Errors
+///
+/// None.
+pub fn fchmod(k: &mut Kernel, fd: i64, _mode: u32) -> ApiResult {
+    k.charge_call();
+    if fd >= 3 && k.fs.is_open(fd as u64) {
+        Ok(ApiReturn::ok(0))
+    } else {
+        Ok(errno_return(errno::EBADF))
+    }
+}
+
+/// `chown(pathname, owner, group)` — the simulated machine runs as a
+/// non-root user: changing to another uid is `EPERM`, chowning to your own
+/// uid succeeds.
+///
+/// # Errors
+///
+/// None.
+pub fn chown(k: &mut Kernel, pathname: SimPtr, owner: u32, _group: u32) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    if !k.fs.exists(&path) {
+        return Ok(errno_return(errno::ENOENT));
+    }
+    if owner != 1000 && owner != u32::MAX {
+        return Ok(errno_return(errno::EPERM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `chdir(path)`.
+///
+/// # Errors
+///
+/// None.
+pub fn chdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    match k.fs.stat(&path) {
+        Ok(st) if st.is_dir => {
+            let _ = k.env.set("__POSIX_CWD", &path);
+            Ok(ApiReturn::ok(0))
+        }
+        Ok(_) => Ok(errno_return(errno::ENOTDIR)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `getcwd(buf, size)` — glibc copies the path into `buf` in user mode:
+/// a wild buffer aborts (another glibc-glue Abort source).
+///
+/// # Errors
+///
+/// A SIGSEGV abort when the buffer faults.
+pub fn getcwd(k: &mut Kernel, buf: SimPtr, size: u64) -> ApiResult {
+    k.charge_call();
+    let cwd = k.env.get("__POSIX_CWD").unwrap_or("/home/ballista").to_owned();
+    if buf.is_null() {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if size < cwd.len() as u64 + 1 {
+        return Ok(errno_return(errno::ERANGE));
+    }
+    cstr::write_cstr(&mut k.space, buf, &cwd, PrivilegeLevel::User).map_err(signal)?;
+    Ok(ApiReturn::ok(buf.addr() as i64))
+}
+
+/// `truncate(pathname, length)`.
+///
+/// # Errors
+///
+/// None.
+pub fn truncate(k: &mut Kernel, pathname: SimPtr, length: i64) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    if length < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    match k.fs.open(&path, OpenOptions::write_only()) {
+        Ok(fd) => {
+            let size = k.fs.size_of(fd).unwrap_or(0);
+            if (length as u64) < size {
+                // Rewrite the prefix.
+                let mut content = vec![0u8; length as usize];
+                let rfd = k.fs.open(&path, OpenOptions::read_only()).expect("just opened");
+                let _ = k.fs.read(rfd, &mut content);
+                let _ = k.fs.close(rfd);
+                let _ = k.fs.close(fd);
+                let _ = k.fs.unlink(&path);
+                let _ = k.fs.create_file(&path, content);
+            } else {
+                let _ = k.fs.close(fd);
+            }
+            Ok(ApiReturn::ok(0))
+        }
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `ftruncate(fd, length)`.
+///
+/// # Errors
+///
+/// None.
+pub fn ftruncate(k: &mut Kernel, fd: i64, length: i64) -> ApiResult {
+    k.charge_call();
+    if length < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if fd >= 3 && k.fs.is_open(fd as u64) {
+        Ok(ApiReturn::ok(0))
+    } else {
+        Ok(errno_return(errno::EBADF))
+    }
+}
+
+/// `umask(mask)` — returns the previous mask; total.
+///
+/// # Errors
+///
+/// None.
+pub fn umask(k: &mut Kernel, mask: u32) -> ApiResult {
+    k.charge_call();
+    let prev = k.scratch.insert("posix.umask".to_owned(), u64::from(mask & 0o777));
+    Ok(ApiReturn::ok(prev.unwrap_or(0o022) as i64))
+}
+
+/// `utime(pathname, times)` — NULL `times` (meaning "now") is legal; the
+/// kernel copies the struct in (`EFAULT` when bad).
+///
+/// # Errors
+///
+/// None.
+pub fn utime(k: &mut Kernel, pathname: SimPtr, times: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    if !k.fs.exists(&path) {
+        return Ok(errno_return(errno::ENOENT));
+    }
+    if !times.is_null()
+        && k.space
+            .check_access(times, 8, 4, AccessKind::Read, PrivilegeLevel::User)
+            .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `fchown(fd, owner, group)`.
+///
+/// # Errors
+///
+/// None.
+pub fn fchown(k: &mut Kernel, fd: i64, owner: u32, _group: u32) -> ApiResult {
+    k.charge_call();
+    if fd < 3 || !k.fs.is_open(fd as u64) {
+        return Ok(errno_return(errno::EBADF));
+    }
+    if owner != 1000 && owner != u32::MAX {
+        return Ok(errno_return(errno::EPERM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `lchown(pathname, owner, group)` — no symlink distinction in the
+/// simulated filesystem.
+///
+/// # Errors
+///
+/// None.
+pub fn lchown(k: &mut Kernel, pathname: SimPtr, owner: u32, group: u32) -> ApiResult {
+    chown(k, pathname, owner, group)
+}
+
+/// `mknod(pathname, mode, dev)` — regular files only for unprivileged
+/// callers; device nodes are `EPERM`.
+///
+/// # Errors
+///
+/// None.
+pub fn mknod(k: &mut Kernel, pathname: SimPtr, mode: u32, _dev: u64) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    const S_IFREG: u32 = 0o100_000;
+    const S_IFMT: u32 = 0o170_000;
+    if mode & S_IFMT != S_IFREG && mode & S_IFMT != 0 {
+        return Ok(errno_return(errno::EPERM));
+    }
+    match k.fs.create_file(&path, Vec::new()) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => Ok(errno_return(errno::from_fs(e))),
+    }
+}
+
+/// `statfs(path, buf)` — kernel copy-out of a 64-byte block (`EFAULT`
+/// for wild buffers, unlike the glibc-glue `stat` family).
+///
+/// # Errors
+///
+/// None.
+pub fn statfs(k: &mut Kernel, pathname: SimPtr, buf: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    if !k.fs.exists(&path) {
+        return Ok(errno_return(errno::ENOENT));
+    }
+    if k
+        .space
+        .check_access(buf, 64, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    for (i, v) in [0xEF53u32, 4096, 0x10_0000, 0x8_0000].into_iter().enumerate() {
+        let _ = k.space.write_u32(buf.offset(i as u64 * 4), v);
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `readlink(pathname, buf, bufsiz)` — glibc copies the target into the
+/// caller's buffer in user mode (abort on wild buffers).
+///
+/// # Errors
+///
+/// A SIGSEGV abort when the destination buffer faults.
+pub fn readlink(k: &mut Kernel, pathname: SimPtr, buf: SimPtr, bufsiz: u64) -> ApiResult {
+    k.charge_call();
+    let path = path_arg!(k, pathname);
+    // Symlinks are stored as small files holding their target (see
+    // `symlink`); everything else is EINVAL as on real Linux.
+    let ofd = match k.fs.open(&path, OpenOptions::read_only()) {
+        Ok(f) => f,
+        Err(e) => return Ok(errno_return(errno::from_fs(e))),
+    };
+    let mut target = vec![0u8; 256];
+    let n = k.fs.read(ofd, &mut target).unwrap_or(0);
+    let _ = k.fs.close(ofd);
+    if n == 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let copy = n.min(bufsiz as usize);
+    k.space
+        .write_bytes(buf, &target[..copy])
+        .map_err(signal)?;
+    Ok(ApiReturn::ok(copy as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::ApiAbort;
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "path");
+        cstr::write_cstr(&mut k.space, p, s, PrivilegeLevel::User).unwrap();
+        p
+    }
+
+    #[test]
+    fn open_close_flags() {
+        let mut k = Kernel::new();
+        let path = put(&mut k, "/tmp/file");
+        // O_RDONLY on missing file: ENOENT.
+        assert_eq!(open(&mut k, path, 0, 0).unwrap().error, Some(errno::ENOENT));
+        // O_CREAT|O_RDWR.
+        let fd = open(&mut k, path, 0x42, 0o644).unwrap().value;
+        assert!(fd >= 3);
+        // O_EXCL on existing: EEXIST.
+        assert_eq!(
+            open(&mut k, path, 0x42 | 0x80, 0).unwrap().error,
+            Some(errno::EEXIST)
+        );
+        // creat truncates.
+        assert!(creat(&mut k, path, 0o644).unwrap().value >= 3);
+        // Wild path: EFAULT, not a signal.
+        assert_eq!(
+            open(&mut k, SimPtr::NULL, 0, 0).unwrap().error,
+            Some(errno::EFAULT)
+        );
+    }
+
+    #[test]
+    fn stat_family_aborts_on_bad_buffer() {
+        let mut k = Kernel::new();
+        let path = put(&mut k, "/etc/motd");
+        // Valid buffer works.
+        let buf = k.alloc_user(STAT_SIZE, "stat");
+        assert_eq!(stat(&mut k, path, buf).unwrap().value, 0);
+        let mode = k.space.read_u32(buf.offset(8)).unwrap();
+        assert_eq!(mode & 0o170_000, 0o100_000); // regular file
+        // Wild buffer: SIGSEGV (glibc xstat glue), NOT EFAULT.
+        let err = stat(&mut k, path, SimPtr::NULL).unwrap_err();
+        assert!(matches!(err, ApiAbort::Signal { signo: 11, .. }));
+        assert!(lstat(&mut k, path, SimPtr::NULL).is_err());
+        // fstat through an open fd.
+        let fd = k
+            .fs
+            .open("/etc/motd", OpenOptions::read_only())
+            .unwrap() as i64;
+        assert_eq!(fstat(&mut k, fd, buf).unwrap().value, 0);
+        assert!(fstat(&mut k, fd, SimPtr::new(0x10)).is_err());
+        assert_eq!(fstat(&mut k, 999, buf).unwrap().error, Some(errno::EBADF));
+        // Missing file: ENOENT with a fine buffer.
+        let missing = put(&mut k, "/no/such");
+        assert_eq!(stat(&mut k, missing, buf).unwrap().error, Some(errno::ENOENT));
+    }
+
+    #[test]
+    fn directory_lifecycle() {
+        let mut k = Kernel::new();
+        let d = put(&mut k, "/tmp/dir");
+        assert_eq!(mkdir(&mut k, d, 0o755).unwrap().value, 0);
+        assert_eq!(mkdir(&mut k, d, 0o755).unwrap().error, Some(errno::EEXIST));
+        let f = put(&mut k, "/tmp/dir/file");
+        creat(&mut k, f, 0o644).unwrap();
+        assert_eq!(rmdir(&mut k, d).unwrap().error, Some(errno::ENOTEMPTY));
+        assert_eq!(unlink(&mut k, f).unwrap().value, 0);
+        assert_eq!(rmdir(&mut k, d).unwrap().value, 0);
+    }
+
+    #[test]
+    fn rename_link_symlink() {
+        let mut k = Kernel::new();
+        let a = put(&mut k, "/tmp/a");
+        let b = put(&mut k, "/tmp/b");
+        let c = put(&mut k, "/tmp/c");
+        creat(&mut k, a, 0o644).unwrap();
+        assert_eq!(link(&mut k, a, b).unwrap().value, 0);
+        assert!(k.fs.exists("/tmp/b"));
+        assert_eq!(rename(&mut k, b, c).unwrap().value, 0);
+        assert!(!k.fs.exists("/tmp/b") && k.fs.exists("/tmp/c"));
+        let s = put(&mut k, "/tmp/s");
+        assert_eq!(symlink(&mut k, a, s).unwrap().value, 0);
+        assert!(k.fs.exists("/tmp/s"));
+    }
+
+    #[test]
+    fn access_and_chmod() {
+        let mut k = Kernel::new();
+        let p = put(&mut k, "/etc/motd");
+        assert_eq!(access(&mut k, p, 0).unwrap().value, 0); // F_OK
+        assert_eq!(access(&mut k, p, 4).unwrap().value, 0); // R_OK
+        assert_eq!(access(&mut k, p, 99).unwrap().error, Some(errno::EINVAL));
+        chmod(&mut k, p, 0o444).unwrap(); // remove write bit
+        assert_eq!(access(&mut k, p, 2).unwrap().error, Some(errno::EACCES));
+        chmod(&mut k, p, 0o644).unwrap();
+        assert_eq!(access(&mut k, p, 2).unwrap().value, 0);
+        let ghost = put(&mut k, "/ghost");
+        assert_eq!(access(&mut k, ghost, 0).unwrap().error, Some(errno::ENOENT));
+        assert_eq!(chown(&mut k, p, 0, 0).unwrap().error, Some(errno::EPERM));
+        assert_eq!(chown(&mut k, p, 1000, 1000).unwrap().value, 0);
+    }
+
+    #[test]
+    fn cwd_protocol() {
+        let mut k = Kernel::new();
+        let d = put(&mut k, "/tmp");
+        assert_eq!(chdir(&mut k, d).unwrap().value, 0);
+        let buf = k.alloc_user(64, "cwd");
+        let r = getcwd(&mut k, buf, 64).unwrap();
+        assert_eq!(r.value as u64, buf.addr());
+        assert_eq!(
+            cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap(),
+            b"/tmp"
+        );
+        // Small buffer: ERANGE. NULL: EINVAL. Wild: SIGSEGV.
+        assert_eq!(getcwd(&mut k, buf, 2).unwrap().error, Some(errno::ERANGE));
+        assert_eq!(getcwd(&mut k, SimPtr::NULL, 64).unwrap().error, Some(errno::EINVAL));
+        assert!(getcwd(&mut k, SimPtr::new(0x30), 64).is_err());
+        // chdir to a file: ENOTDIR.
+        let f = put(&mut k, "/etc/motd");
+        assert_eq!(chdir(&mut k, f).unwrap().error, Some(errno::ENOTDIR));
+    }
+
+    #[test]
+    fn extended_fs_calls() {
+        let mut k = Kernel::new();
+        let p = put(&mut k, "/etc/motd");
+        // fchown / lchown follow the chown privilege rules.
+        let fd = k.fs.open("/etc/motd", OpenOptions::read_only()).unwrap() as i64;
+        assert_eq!(fchown(&mut k, fd, 1000, 1000).unwrap().value, 0);
+        assert_eq!(fchown(&mut k, fd, 0, 0).unwrap().error, Some(errno::EPERM));
+        assert_eq!(fchown(&mut k, 999, 1000, 1000).unwrap().error, Some(errno::EBADF));
+        assert_eq!(lchown(&mut k, p, 1000, 1000).unwrap().value, 0);
+        // mknod: regular files fine, devices EPERM.
+        let n = put(&mut k, "/tmp/node");
+        assert_eq!(mknod(&mut k, n, 0o100_644, 0).unwrap().value, 0);
+        assert!(k.fs.exists("/tmp/node"));
+        let d = put(&mut k, "/tmp/dev");
+        assert_eq!(mknod(&mut k, d, 0o020_644, 0x0101).unwrap().error, Some(errno::EPERM));
+        // statfs: kernel copy-out (EFAULT for wild buffers).
+        let buf = k.alloc_user(64, "statfs");
+        assert_eq!(statfs(&mut k, p, buf).unwrap().value, 0);
+        assert_eq!(k.space.read_u32(buf).unwrap(), 0xEF53);
+        assert_eq!(statfs(&mut k, p, SimPtr::NULL).unwrap().error, Some(errno::EFAULT));
+        // readlink: reads a symlink target; glibc user-copy aborts on wild
+        // buffers.
+        let tgt = put(&mut k, "/etc/motd");
+        let lnk = put(&mut k, "/tmp/lnk");
+        symlink(&mut k, tgt, lnk).unwrap();
+        let out = k.alloc_user(64, "rl");
+        let r = readlink(&mut k, lnk, out, 64).unwrap();
+        assert!(r.value > 0);
+        assert!(readlink(&mut k, lnk, SimPtr::new(0x30), 64).is_err());
+        let ghost = put(&mut k, "/tmp/ghost");
+        assert_eq!(readlink(&mut k, ghost, out, 64).unwrap().error, Some(errno::ENOENT));
+    }
+
+    #[test]
+    fn truncate_and_misc() {
+        let mut k = Kernel::new();
+        k.fs.create_file("/tmp/t", b"0123456789".to_vec()).unwrap();
+        let p = put(&mut k, "/tmp/t");
+        assert_eq!(truncate(&mut k, p, 4).unwrap().value, 0);
+        assert_eq!(k.fs.stat("/tmp/t").unwrap().size, 4);
+        assert_eq!(truncate(&mut k, p, -1).unwrap().error, Some(errno::EINVAL));
+        let fd = k.fs.open("/tmp/t", OpenOptions::write_only()).unwrap() as i64;
+        assert_eq!(ftruncate(&mut k, fd, 2).unwrap().value, 0);
+        assert_eq!(ftruncate(&mut k, 999, 2).unwrap().error, Some(errno::EBADF));
+        assert_eq!(fchmod(&mut k, fd, 0o600).unwrap().value, 0);
+        assert_eq!(umask(&mut k, 0o077).unwrap().value, 0o022);
+        assert_eq!(umask(&mut k, 0o022).unwrap().value, 0o077);
+        // utime with NULL times is legal; wild times is EFAULT.
+        assert_eq!(utime(&mut k, p, SimPtr::NULL).unwrap().value, 0);
+        assert_eq!(
+            utime(&mut k, p, SimPtr::new(0x30)).unwrap().error,
+            Some(errno::EFAULT)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # sim-posix — the simulated POSIX/Linux API
+//!
+//! Implements the 91 POSIX system calls of the paper's Linux catalog
+//! (RedHat 6.0, kernel 2.2.5) over the simulated kernel.
+//!
+//! The Linux robustness model, from the paper's numbers: system calls are
+//! *mostly graceful* — the kernel validates user pointers at the
+//! copy-in/copy-out boundary and returns `EFAULT`, so Linux has the lowest
+//! system-call Abort rate in Table 1 and zero crashes. The Aborts that do
+//! exist come from **glibc wrapper glue** that touches caller memory in
+//! user mode before trapping: the `stat` family's struct-version
+//! translation, `sigaction`'s struct copy, `select`'s `fd_set` handling,
+//! and `getcwd`'s user-mode copy. Those are modelled explicitly (see
+//! [`fsops`] and [`procops`]).
+//!
+//! Restart failures are the blocking calls: `read` on an empty pipe,
+//! `waitpid` on a live child without `WNOHANG`, `pause`, and blocking
+//! `fcntl` locks.
+//!
+//! Entry points follow the same convention as the other personalities:
+//! `fn call(k: &mut Kernel, raw args…) -> ApiResult`, with errors reported
+//! as `-1` + `errno` and aborts as POSIX signals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envops;
+pub mod fd;
+pub mod fsops;
+pub mod memops;
+pub mod procops;
+
+use sim_core::fault::Fault;
+use sim_kernel::outcome::{ApiAbort, ApiReturn};
+
+/// Converts a user-mode fault into the signal the paper's harness
+/// monitored (`SIGSEGV`/`SIGBUS`/`SIGFPE`).
+#[must_use]
+pub fn signal(fault: Fault) -> ApiAbort {
+    ApiAbort::signal_from_fault(fault)
+}
+
+/// The POSIX error-return convention: `-1` with `errno`.
+#[must_use]
+pub fn errno_return(errno: u32) -> ApiReturn {
+    ApiReturn::err(-1, errno)
+}

@@ -1,0 +1,316 @@
+//! Memory management: `mmap`/`munmap`/`mprotect`/`msync`, `brk`/`sbrk`
+//! and the locking calls — the paper's POSIX *Memory Management* grouping.
+//!
+//! All of these are true system calls: the kernel validates everything and
+//! returns `EINVAL`/`ENOMEM`/`EFAULT`, which is why Linux's Memory
+//! Management group is among its most graceful in Figure 1.
+
+use crate::errno_return;
+use sim_core::memory::Protection;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+use sim_libc::errno;
+
+/// `MAP_FAILED` as returned by `mmap`.
+pub const MAP_FAILED: i64 = -1;
+
+fn prot_from_bits(prot: i32) -> Option<Protection> {
+    // PROT_NONE=0, PROT_READ=1, PROT_WRITE=2, PROT_EXEC=4.
+    match prot {
+        0 => Some(Protection::NONE),
+        1 => Some(Protection::READ),
+        2 | 3 => Some(Protection::READ_WRITE),
+        4 | 5 => Some(Protection::READ_EXECUTE),
+        6 | 7 => Some(Protection::READ_WRITE_EXECUTE),
+        _ => None,
+    }
+}
+
+/// `mmap(addr, length, prot, flags, fd, offset)`.
+///
+/// # Errors
+///
+/// None; every hostile argument maps to an `errno`.
+pub fn mmap(
+    k: &mut Kernel,
+    addr: SimPtr,
+    length: u64,
+    prot: i32,
+    flags: i32,
+    fd: i64,
+    offset: i64,
+) -> ApiResult {
+    k.charge_call();
+    let Some(protection) = prot_from_bits(prot) else {
+        return Ok(ApiReturn::err(MAP_FAILED, errno::EINVAL));
+    };
+    if length == 0 || offset < 0 || offset % 0x1000 != 0 {
+        return Ok(ApiReturn::err(MAP_FAILED, errno::EINVAL));
+    }
+    const MAP_ANONYMOUS: i32 = 0x20;
+    const MAP_FIXED: i32 = 0x10;
+    let file_backed = flags & MAP_ANONYMOUS == 0;
+    if file_backed && (fd < 3 || !k.fs.is_open(fd as u64)) {
+        return Ok(ApiReturn::err(MAP_FAILED, errno::EBADF));
+    }
+    let base = if flags & MAP_FIXED != 0 && !addr.is_null() {
+        match k.space.map_at(addr, length, protection, "mmap-fixed") {
+            Ok(()) => addr,
+            Err(_) => return Ok(ApiReturn::err(MAP_FAILED, errno::EINVAL)),
+        }
+    } else {
+        match k.space.map(length, protection, "mmap") {
+            Ok(p) => p,
+            Err(_) => return Ok(ApiReturn::err(MAP_FAILED, errno::ENOMEM)),
+        }
+    };
+    if file_backed && protection.can_read() {
+        let _ = k.fs.seek(fd as u64, sim_kernel::fs::SeekFrom::Start(offset as u64));
+        let mut data = vec![0u8; length.min(1 << 20) as usize];
+        if let Ok(n) = k.fs.read(fd as u64, &mut data) {
+            if protection.can_write() {
+                let _ = k.space.write_bytes(base, &data[..n]);
+            } else {
+                // Populate then re-protect.
+                let _ = k.space.protect(base, Protection::READ_WRITE);
+                let _ = k.space.write_bytes(base, &data[..n]);
+                let _ = k.space.protect(base, protection);
+            }
+        }
+    }
+    Ok(ApiReturn::ok(base.addr() as i64))
+}
+
+/// `munmap(addr, length)`.
+///
+/// # Errors
+///
+/// None; unmapping garbage is `EINVAL`.
+pub fn munmap(k: &mut Kernel, addr: SimPtr, _length: u64) -> ApiResult {
+    k.charge_call();
+    match k.space.unmap(addr) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(_) => Ok(errno_return(errno::EINVAL)),
+    }
+}
+
+/// `mprotect(addr, len, prot)`.
+///
+/// # Errors
+///
+/// None.
+pub fn mprotect(k: &mut Kernel, addr: SimPtr, _len: u64, prot: i32) -> ApiResult {
+    k.charge_call();
+    let Some(protection) = prot_from_bits(prot) else {
+        return Ok(errno_return(errno::EINVAL));
+    };
+    let Some((base, _, _, _)) = k.space.region_containing(addr) else {
+        return Ok(errno_return(errno::ENOMEM)); // the documented errno
+    };
+    match k.space.protect(base, protection) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(_) => Ok(errno_return(errno::EINVAL)),
+    }
+}
+
+/// `msync(addr, length, flags)`.
+///
+/// # Errors
+///
+/// None.
+pub fn msync(k: &mut Kernel, addr: SimPtr, _length: u64, flags: i32) -> ApiResult {
+    k.charge_call();
+    // MS_ASYNC=1, MS_SYNC=4, MS_INVALIDATE=2; ASYNC+SYNC together invalid.
+    if flags & 1 != 0 && flags & 4 != 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if k.space.region_containing(addr).is_none() {
+        return Ok(errno_return(errno::ENOMEM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `brk(addr)` — the simulated program break is tracked but fixed-budget:
+/// absurd values are rejected with `ENOMEM`, exactly the graceful path.
+///
+/// # Errors
+///
+/// None.
+pub fn brk(k: &mut Kernel, addr: SimPtr) -> ApiResult {
+    k.charge_call();
+    let current = k
+        .scratch
+        .get("posix.brk")
+        .copied()
+        .unwrap_or(0x0800_0000);
+    if addr.is_null() {
+        return Ok(ApiReturn::ok(current as i64));
+    }
+    if addr.addr() < 0x0800_0000 || addr.addr() >= 0x2000_0000 {
+        return Ok(errno_return(errno::ENOMEM));
+    }
+    k.scratch.insert("posix.brk".to_owned(), addr.addr());
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sbrk(increment)`.
+///
+/// # Errors
+///
+/// None.
+pub fn sbrk(k: &mut Kernel, increment: i64) -> ApiResult {
+    k.charge_call();
+    let current = k
+        .scratch
+        .get("posix.brk")
+        .copied()
+        .unwrap_or(0x0800_0000) as i64;
+    let next = current.saturating_add(increment);
+    if !(0x0800_0000..0x2000_0000).contains(&next) {
+        return Ok(errno_return(errno::ENOMEM));
+    }
+    k.scratch.insert("posix.brk".to_owned(), next as u64);
+    Ok(ApiReturn::ok(current))
+}
+
+/// `mlock(addr, len)` — needs the range mapped; unprivileged callers get
+/// `EPERM` over the RLIMIT_MEMLOCK budget (modelled as 64 KiB).
+///
+/// # Errors
+///
+/// None.
+pub fn mlock(k: &mut Kernel, addr: SimPtr, len: u64) -> ApiResult {
+    k.charge_call();
+    if len > 0x1_0000 {
+        return Ok(errno_return(errno::EPERM));
+    }
+    if k.space.region_containing(addr).is_none() {
+        return Ok(errno_return(errno::ENOMEM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `munlock(addr, len)`.
+///
+/// # Errors
+///
+/// None.
+pub fn munlock(k: &mut Kernel, addr: SimPtr, _len: u64) -> ApiResult {
+    k.charge_call();
+    if k.space.region_containing(addr).is_none() {
+        return Ok(errno_return(errno::ENOMEM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::fs::OpenOptions;
+
+    #[test]
+    fn anonymous_mmap_roundtrip() {
+        let mut k = Kernel::new();
+        let r = mmap(&mut k, SimPtr::NULL, 0x2000, 3, 0x22, -1, 0).unwrap();
+        assert!(r.value > 0);
+        let p = SimPtr::new(r.value as u64);
+        k.space.write_u32(p, 7).unwrap();
+        assert_eq!(mprotect(&mut k, p, 0x2000, 1).unwrap().value, 0);
+        assert!(k.space.write_u32(p, 8).is_err()); // now read-only
+        assert_eq!(msync(&mut k, p, 0x2000, 4).unwrap().value, 0);
+        assert_eq!(munmap(&mut k, p, 0x2000).unwrap().value, 0);
+        assert_eq!(munmap(&mut k, p, 0x2000).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn mmap_validates_gracefully() {
+        let mut k = Kernel::new();
+        // Zero length.
+        assert_eq!(
+            mmap(&mut k, SimPtr::NULL, 0, 3, 0x22, -1, 0).unwrap().error,
+            Some(errno::EINVAL)
+        );
+        // Bad prot bits.
+        assert_eq!(
+            mmap(&mut k, SimPtr::NULL, 0x1000, 0x99, 0x22, -1, 0).unwrap().error,
+            Some(errno::EINVAL)
+        );
+        // Unaligned offset.
+        assert_eq!(
+            mmap(&mut k, SimPtr::NULL, 0x1000, 3, 0x22, -1, 17).unwrap().error,
+            Some(errno::EINVAL)
+        );
+        // File-backed with a bad fd.
+        assert_eq!(
+            mmap(&mut k, SimPtr::NULL, 0x1000, 3, 0x02, 999, 0).unwrap().error,
+            Some(errno::EBADF)
+        );
+    }
+
+    #[test]
+    fn file_backed_mmap_reads_contents() {
+        let mut k = Kernel::new();
+        k.fs.create_file("/tmp/m", b"mapped bytes".to_vec()).unwrap();
+        let fd = k.fs.open("/tmp/m", OpenOptions::read_only()).unwrap() as i64;
+        let r = mmap(&mut k, SimPtr::NULL, 12, 1, 0x02, fd, 0).unwrap();
+        let p = SimPtr::new(r.value as u64);
+        assert_eq!(k.space.read_bytes(p, 6).unwrap(), b"mapped");
+        assert!(k.space.write_u8(p, 0).is_err()); // PROT_READ
+    }
+
+    #[test]
+    fn fixed_mapping_collision() {
+        let mut k = Kernel::new();
+        let at = SimPtr::new(0x4000_0000);
+        assert!(mmap(&mut k, at, 0x1000, 3, 0x32, -1, 0).unwrap().value > 0);
+        assert_eq!(
+            mmap(&mut k, at, 0x1000, 3, 0x32, -1, 0).unwrap().error,
+            Some(errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn brk_and_sbrk() {
+        let mut k = Kernel::new();
+        let base = brk(&mut k, SimPtr::NULL).unwrap().value;
+        assert_eq!(base, 0x0800_0000);
+        assert_eq!(sbrk(&mut k, 0x1000).unwrap().value, base);
+        assert_eq!(brk(&mut k, SimPtr::NULL).unwrap().value, base + 0x1000);
+        // Absurd break: graceful ENOMEM.
+        assert_eq!(
+            brk(&mut k, SimPtr::new(u64::from(u32::MAX))).unwrap().error,
+            Some(errno::ENOMEM)
+        );
+        assert_eq!(sbrk(&mut k, i64::MAX).unwrap().error, Some(errno::ENOMEM));
+        assert_eq!(sbrk(&mut k, i64::MIN).unwrap().error, Some(errno::ENOMEM));
+    }
+
+    #[test]
+    fn mlock_budget() {
+        let mut k = Kernel::new();
+        let p = k.alloc_user(0x1000, "lockme");
+        assert_eq!(mlock(&mut k, p, 0x1000).unwrap().value, 0);
+        assert_eq!(mlock(&mut k, p, 1 << 20).unwrap().error, Some(errno::EPERM));
+        assert_eq!(
+            mlock(&mut k, SimPtr::new(0x40), 8).unwrap().error,
+            Some(errno::ENOMEM)
+        );
+        assert_eq!(munlock(&mut k, p, 0x1000).unwrap().value, 0);
+    }
+
+    #[test]
+    fn mprotect_unmapped_is_enomem() {
+        let mut k = Kernel::new();
+        assert_eq!(
+            mprotect(&mut k, SimPtr::new(0x30), 0x1000, 1).unwrap().error,
+            Some(errno::ENOMEM)
+        );
+        assert_eq!(
+            msync(&mut k, SimPtr::new(0x30), 0x1000, 4).unwrap().error,
+            Some(errno::ENOMEM)
+        );
+        let p = k.alloc_user(64, "x");
+        assert_eq!(msync(&mut k, p, 64, 5).unwrap().error, Some(errno::EINVAL));
+    }
+}

@@ -1,0 +1,714 @@
+//! Process primitives: `fork`/`exec`/`wait`, signals and scheduling — the
+//! paper's POSIX *Process Primitives* grouping.
+//!
+//! Hazards modelled: `waitpid` without `WNOHANG` on a live child blocks
+//! (Restart); `pause` always blocks; `sigaction` copies the caller's
+//! struct in glibc glue (Abort on wild pointers); everything else is
+//! kernel-graceful.
+
+use crate::{errno_return, signal};
+use sim_core::addr::PrivilegeLevel;
+use sim_core::{cstr, AccessKind, SimPtr};
+use sim_kernel::outcome::{ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::process::ProcessError;
+use sim_kernel::Kernel;
+use sim_libc::errno;
+
+/// `fork()` — spawns a child record; the (simulated) child immediately
+/// runs to completion and exits 0, so `wait` can reap it.
+///
+/// # Errors
+///
+/// None.
+pub fn fork(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    let parent = k.procs.current_pid();
+    let pid = k.procs.spawn_process(parent, "forked-child");
+    // The child "runs" between now and the parent's next wait.
+    let _ = k.procs.terminate(pid, 0);
+    Ok(ApiReturn::ok(i64::from(pid)))
+}
+
+/// `execve(pathname, argv, envp)` — on success never returns; in the
+/// harness a *successful* exec is reported as a normal return so the test
+/// can be scored. Bad images are `ENOENT`; the argv/envp arrays are walked
+/// by glibc in user mode (Abort on wild pointers).
+///
+/// # Errors
+///
+/// A SIGSEGV abort when `argv`/`envp` are unreadable non-NULL pointers.
+pub fn execve(k: &mut Kernel, pathname: SimPtr, argv: SimPtr, envp: SimPtr) -> ApiResult {
+    k.charge_call();
+    let path = match cstr::read_cstr(&k.space, pathname, PrivilegeLevel::User) {
+        Ok(b) => String::from_utf8_lossy(&b).into_owned(),
+        Err(_) => return Ok(errno_return(errno::EFAULT)),
+    };
+    for array in [argv, envp] {
+        if !array.is_null() {
+            // Walk until NULL terminator, reading each pointer in user mode.
+            let mut cursor = array;
+            for _ in 0..64 {
+                let entry = k.space.read_ptr(cursor).map_err(signal)?;
+                if entry.is_null() {
+                    break;
+                }
+                cursor = cursor.offset(4);
+            }
+        }
+    }
+    if !k.fs.exists(&path) {
+        return Ok(errno_return(errno::ENOENT));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `waitpid(pid, wstatus, options)` — `WNOHANG` is bit 0.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`] when waiting (without `WNOHANG`) and no child will
+/// ever exit; a SIGSEGV abort when `wstatus` is a wild non-NULL pointer
+/// (glibc writes the status word in user mode).
+pub fn waitpid(k: &mut Kernel, pid: i64, wstatus: SimPtr, options: i32) -> ApiResult {
+    k.charge_call();
+    let me = k.procs.current_pid();
+    let nohang = options & 1 != 0;
+    let reaped = match k.procs.reap_child(me) {
+        Ok(Some((child, code))) => {
+            if pid > 0 && child != pid as u32 {
+                // Asked for a specific other child that hasn't exited.
+                if nohang {
+                    return Ok(ApiReturn::ok(0));
+                }
+                return Err(ApiAbort::Hang);
+            }
+            Some((child, code))
+        }
+        Ok(None) => None,
+        Err(ProcessError::NoChildren) => return Ok(errno_return(errno::ECHILD)),
+        Err(e) => return Ok(errno_return(errno::from_process(e))),
+    };
+    match reaped {
+        Some((child, code)) => {
+            if !wstatus.is_null() {
+                // Exit status encoding: (code << 8).
+                k.space
+                    .write_u32(wstatus, code << 8)
+                    .map_err(signal)?;
+            }
+            Ok(ApiReturn::ok(i64::from(child)))
+        }
+        None => {
+            if nohang {
+                Ok(ApiReturn::ok(0))
+            } else {
+                // Live children that never run to exit: block forever.
+                Err(ApiAbort::Hang)
+            }
+        }
+    }
+}
+
+/// `wait(wstatus)` — `waitpid(-1, wstatus, 0)`.
+///
+/// # Errors
+///
+/// Same conditions as [`waitpid`].
+pub fn wait(k: &mut Kernel, wstatus: SimPtr) -> ApiResult {
+    waitpid(k, -1, wstatus, 0)
+}
+
+/// `kill(pid, sig)`.
+///
+/// # Errors
+///
+/// None; bad pids are `ESRCH`, bad signals `EINVAL`.
+pub fn kill(k: &mut Kernel, pid: i64, sig: i32) -> ApiResult {
+    k.charge_call();
+    if !(0..=64).contains(&sig) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if pid <= 0 {
+        // Process groups: accepted for the caller's own group.
+        return Ok(ApiReturn::ok(0));
+    }
+    match k.procs.process(pid as u32) {
+        Ok(_) => {
+            if sig != 0 {
+                let _ = k.procs.terminate(pid as u32, 128 + sig as u32);
+            }
+            Ok(ApiReturn::ok(0))
+        }
+        Err(_) => Ok(errno_return(errno::ESRCH)),
+    }
+}
+
+/// `getpid()`.
+///
+/// # Errors
+///
+/// None.
+pub fn getpid(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
+}
+
+/// `getppid()`.
+///
+/// # Errors
+///
+/// None.
+pub fn getppid(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    let me = k.procs.current_pid();
+    let parent = k.procs.process(me).map(|p| p.parent).unwrap_or(1);
+    Ok(ApiReturn::ok(i64::from(parent.max(1))))
+}
+
+/// `setpgid(pid, pgid)`.
+///
+/// # Errors
+///
+/// None.
+pub fn setpgid(k: &mut Kernel, pid: i64, pgid: i64) -> ApiResult {
+    k.charge_call();
+    if pid < 0 || pgid < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let target = if pid == 0 { k.procs.current_pid() } else { pid as u32 };
+    if k.procs.process(target).is_err() {
+        return Ok(errno_return(errno::ESRCH));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `getpgrp()`.
+///
+/// # Errors
+///
+/// None.
+pub fn getpgrp(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
+}
+
+/// `setsid()` — the test task is already a group leader: `EPERM`, the
+/// documented graceful answer.
+///
+/// # Errors
+///
+/// None.
+pub fn setsid(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(errno_return(errno::EPERM))
+}
+
+/// `nice(inc)`.
+///
+/// # Errors
+///
+/// None; lowering niceness without privilege is `EPERM`.
+pub fn nice(k: &mut Kernel, inc: i32) -> ApiResult {
+    k.charge_call();
+    if inc < 0 {
+        return Ok(errno_return(errno::EPERM));
+    }
+    let tid = k.procs.current_tid();
+    if let Ok(t) = k.procs.thread_mut(tid) {
+        t.priority = (t.priority + inc.min(19)).min(19);
+        return Ok(ApiReturn::ok(i64::from(t.priority)));
+    }
+    Ok(errno_return(errno::ESRCH))
+}
+
+/// `pause()` — blocks until a signal arrives; no signal ever arrives in a
+/// single test case: a guaranteed Restart.
+///
+/// # Errors
+///
+/// Always [`ApiAbort::Hang`].
+pub fn pause(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Err(ApiAbort::Hang)
+}
+
+/// `alarm(seconds)` — returns the remaining time of a previous alarm.
+///
+/// # Errors
+///
+/// None; total for every input.
+pub fn alarm(k: &mut Kernel, seconds: u32) -> ApiResult {
+    k.charge_call();
+    let prev = k
+        .scratch
+        .insert("posix.alarm".to_owned(), u64::from(seconds))
+        .unwrap_or(0);
+    Ok(ApiReturn::ok(prev as i64))
+}
+
+/// `sleep(seconds)` — returns 0 after "sleeping" (simulated time).
+///
+/// # Errors
+///
+/// None (finite argument domain: `u32`).
+pub fn sleep(k: &mut Kernel, seconds: u32) -> ApiResult {
+    k.charge_call();
+    k.clock.advance_ms(u64::from(seconds.min(3600)) * 1000);
+    Ok(ApiReturn::ok(0))
+}
+
+/// `signal(signum, handler)` — returns the previous handler; `SIG_ERR`
+/// (−1) with `EINVAL` for unblockable signals.
+///
+/// # Errors
+///
+/// None. The handler pointer is *stored, not dereferenced* — exactly why
+/// `signal` itself is robust even with wild handlers.
+pub fn signal_call(k: &mut Kernel, signum: i32, handler: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !(1..=64).contains(&signum) || signum == 9 || signum == 19 {
+        // SIGKILL/SIGSTOP cannot be caught.
+        if signum == 9 || signum == 19 {
+            return Ok(ApiReturn::err(-1, errno::EINVAL));
+        }
+        return Ok(ApiReturn::err(-1, errno::EINVAL));
+    }
+    let prev = k
+        .scratch
+        .insert(format!("posix.sighandler.{signum}"), handler.addr())
+        .unwrap_or(0);
+    Ok(ApiReturn::ok(prev as i64))
+}
+
+/// `sigaction(signum, act, oldact)` — glibc translates between kernel and
+/// libc `sigaction` layouts by copying in user mode: wild non-NULL struct
+/// pointers abort (a glibc-glue Abort source).
+///
+/// # Errors
+///
+/// A SIGSEGV abort when `act`/`oldact` are unreadable/unwritable non-NULL
+/// pointers.
+pub fn sigaction(k: &mut Kernel, signum: i32, act: SimPtr, oldact: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !(1..=64).contains(&signum) || signum == 9 || signum == 19 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let new_handler = if act.is_null() {
+        None
+    } else {
+        Some(k.space.read_ptr(act).map_err(signal)?)
+    };
+    let key = format!("posix.sighandler.{signum}");
+    let prev = k.scratch.get(&key).copied().unwrap_or(0);
+    if !oldact.is_null() {
+        k.space
+            .write_ptr(oldact, SimPtr::new(prev))
+            .map_err(signal)?;
+    }
+    if let Some(h) = new_handler {
+        k.scratch.insert(key, h.addr());
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sigprocmask(how, set, oldset)` — kernel copy-in/out: `EFAULT` for wild
+/// pointers.
+///
+/// # Errors
+///
+/// None.
+pub fn sigprocmask(k: &mut Kernel, how: i32, set: SimPtr, oldset: SimPtr) -> ApiResult {
+    k.charge_call();
+    if !(0..=2).contains(&how) && !set.is_null() {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    if !set.is_null()
+        && k.space
+            .check_access(set, 8, 1, AccessKind::Read, PrivilegeLevel::User)
+            .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    if !oldset.is_null() {
+        if k
+            .space
+            .check_access(oldset, 8, 1, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+        {
+            return Ok(errno_return(errno::EFAULT));
+        }
+        let _ = k.space.write_u64(oldset, 0);
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sched_yield()`.
+///
+/// # Errors
+///
+/// None.
+pub fn sched_yield(k: &mut Kernel) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sched_get_priority_max(policy)` — SCHED_OTHER=0, SCHED_FIFO=1,
+/// SCHED_RR=2.
+///
+/// # Errors
+///
+/// None.
+pub fn sched_get_priority_max(k: &mut Kernel, policy: i32) -> ApiResult {
+    k.charge_call();
+    match policy {
+        0 => Ok(ApiReturn::ok(0)),
+        1 | 2 => Ok(ApiReturn::ok(99)),
+        _ => Ok(errno_return(errno::EINVAL)),
+    }
+}
+
+/// `sched_get_priority_min(policy)`.
+///
+/// # Errors
+///
+/// None.
+pub fn sched_get_priority_min(k: &mut Kernel, policy: i32) -> ApiResult {
+    k.charge_call();
+    match policy {
+        0 => Ok(ApiReturn::ok(0)),
+        1 | 2 => Ok(ApiReturn::ok(1)),
+        _ => Ok(errno_return(errno::EINVAL)),
+    }
+}
+
+/// `sched_getparam(pid, param)` — kernel copy-out: `EFAULT` for wild
+/// pointers.
+///
+/// # Errors
+///
+/// None.
+pub fn sched_getparam(k: &mut Kernel, pid: i64, param: SimPtr) -> ApiResult {
+    k.charge_call();
+    if pid < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let target = if pid == 0 { k.procs.current_pid() } else { pid as u32 };
+    if k.procs.process(target).is_err() {
+        return Ok(errno_return(errno::ESRCH));
+    }
+    if k
+        .space
+        .check_access(param, 4, 4, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let _ = k.space.write_u32(param, 0);
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sched_setparam(pid, param)`.
+///
+/// # Errors
+///
+/// None.
+pub fn sched_setparam(k: &mut Kernel, pid: i64, param: SimPtr) -> ApiResult {
+    k.charge_call();
+    if pid < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let target = if pid == 0 { k.procs.current_pid() } else { pid as u32 };
+    if k.procs.process(target).is_err() {
+        return Ok(errno_return(errno::ESRCH));
+    }
+    if k
+        .space
+        .check_access(param, 4, 4, AccessKind::Read, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let prio = k.space.read_i32(param).unwrap_or(0);
+    if !(0..=99).contains(&prio) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    // Unprivileged: only SCHED_OTHER/prio 0 allowed.
+    if prio != 0 {
+        return Ok(errno_return(errno::EPERM));
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `vfork()` — same observable protocol as [`fork`] in the simulation.
+///
+/// # Errors
+///
+/// None.
+pub fn vfork(k: &mut Kernel) -> ApiResult {
+    fork(k)
+}
+
+/// `getpgid(pid)`.
+///
+/// # Errors
+///
+/// None.
+pub fn getpgid(k: &mut Kernel, pid: i64) -> ApiResult {
+    k.charge_call();
+    if pid < 0 {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    let target = if pid == 0 { k.procs.current_pid() } else { pid as u32 };
+    if k.procs.process(target).is_err() {
+        return Ok(errno_return(errno::ESRCH));
+    }
+    Ok(ApiReturn::ok(i64::from(target)))
+}
+
+/// `sigpending(set)` — kernel copy-out (`EFAULT` for wild pointers).
+///
+/// # Errors
+///
+/// None.
+pub fn sigpending(k: &mut Kernel, set: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k
+        .space
+        .check_access(set, 8, 1, AccessKind::Write, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let _ = k.space.write_u64(set, 0);
+    Ok(ApiReturn::ok(0))
+}
+
+/// `sigsuspend(mask)` — waits for a signal that never arrives: a
+/// guaranteed Restart (after the mask copy-in, which is `EFAULT` for wild
+/// pointers).
+///
+/// # Errors
+///
+/// Always [`ApiAbort::Hang`] when the mask is readable.
+pub fn sigsuspend(k: &mut Kernel, mask: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k
+        .space
+        .check_access(mask, 8, 1, AccessKind::Read, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    Err(ApiAbort::Hang)
+}
+
+/// `nanosleep(req, rem)` — kernel copy-in/out; negative or absurd
+/// `tv_nsec` is `EINVAL`.
+///
+/// # Errors
+///
+/// None.
+pub fn nanosleep(k: &mut Kernel, req: SimPtr, rem: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k
+        .space
+        .check_access(req, 8, 4, AccessKind::Read, PrivilegeLevel::User)
+        .is_err()
+    {
+        return Ok(errno_return(errno::EFAULT));
+    }
+    let secs = k.space.read_i32(req).unwrap_or(0);
+    let nanos = k.space.read_i32(req.offset(4)).unwrap_or(0);
+    if secs < 0 || !(0..1_000_000_000).contains(&nanos) {
+        return Ok(errno_return(errno::EINVAL));
+    }
+    k.clock.advance_ms(u64::from(secs.min(3600) as u32) * 1000);
+    if !rem.is_null() {
+        if k
+            .space
+            .check_access(rem, 8, 4, AccessKind::Write, PrivilegeLevel::User)
+            .is_err()
+        {
+            return Ok(errno_return(errno::EFAULT));
+        }
+        let _ = k.space.write_u64(rem, 0);
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_calls() {
+        let mut k = Kernel::new();
+        assert!(vfork(&mut k).unwrap().value > 0);
+        let me = i64::from(k.procs.current_pid());
+        assert_eq!(getpgid(&mut k, 0).unwrap().value, me);
+        assert_eq!(getpgid(&mut k, 99_999).unwrap().error, Some(errno::ESRCH));
+        let set = k.alloc_user(8, "set");
+        assert_eq!(sigpending(&mut k, set).unwrap().value, 0);
+        assert_eq!(
+            sigpending(&mut k, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        assert!(sigsuspend(&mut k, set).unwrap_err().is_hang());
+        assert_eq!(
+            sigsuspend(&mut k, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        let ts = k.alloc_user(8, "timespec");
+        k.space.write_i32(ts, 1).unwrap();
+        k.space.write_i32(ts.offset(4), 0).unwrap();
+        assert_eq!(nanosleep(&mut k, ts, SimPtr::NULL).unwrap().value, 0);
+        k.space.write_i32(ts.offset(4), -5).unwrap();
+        assert_eq!(nanosleep(&mut k, ts, SimPtr::NULL).unwrap().error, Some(errno::EINVAL));
+        assert_eq!(
+            nanosleep(&mut k, SimPtr::NULL, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+    }
+
+    #[test]
+    fn fork_and_wait_protocol() {
+        let mut k = Kernel::new();
+        let child = fork(&mut k).unwrap().value;
+        assert!(child > 0);
+        let status = k.alloc_user(4, "status");
+        let reaped = waitpid(&mut k, -1, status, 0).unwrap().value;
+        assert_eq!(reaped, child);
+        assert_eq!(k.space.read_u32(status).unwrap(), 0);
+        // No more children: ECHILD.
+        assert_eq!(wait(&mut k, status).unwrap().error, Some(errno::ECHILD));
+    }
+
+    #[test]
+    fn waitpid_hazards() {
+        let mut k = Kernel::new();
+        // No children at all: ECHILD immediately, never a hang.
+        assert_eq!(
+            waitpid(&mut k, -1, SimPtr::NULL, 0).unwrap().error,
+            Some(errno::ECHILD)
+        );
+        // A live child that never exits (spawned directly, not via fork):
+        let live = k.procs.spawn_process(k.procs.current_pid(), "sleeper");
+        assert!(waitpid(&mut k, i64::from(live), SimPtr::NULL, 0).unwrap_err().is_hang());
+        // WNOHANG: graceful 0.
+        assert_eq!(waitpid(&mut k, i64::from(live), SimPtr::NULL, 1).unwrap().value, 0);
+        // Wild status pointer with a reapable child: glibc abort.
+        let _ = fork(&mut k).unwrap();
+        assert!(waitpid(&mut k, -1, SimPtr::new(0x30), 0).is_err());
+    }
+
+    #[test]
+    fn execve_behaviour() {
+        let mut k = Kernel::new();
+        let path = k.alloc_user(16, "p");
+        cstr::write_cstr(&mut k.space, path, "/etc/motd", PrivilegeLevel::User).unwrap();
+        // NULL argv/envp tolerated.
+        assert_eq!(execve(&mut k, path, SimPtr::NULL, SimPtr::NULL).unwrap().value, 0);
+        // Missing image: ENOENT.
+        let ghost = k.alloc_user(8, "g");
+        cstr::write_cstr(&mut k.space, ghost, "/ghost", PrivilegeLevel::User).unwrap();
+        assert_eq!(
+            execve(&mut k, ghost, SimPtr::NULL, SimPtr::NULL).unwrap().error,
+            Some(errno::ENOENT)
+        );
+        // Wild path: EFAULT (kernel copy-in).
+        assert_eq!(
+            execve(&mut k, SimPtr::NULL, SimPtr::NULL, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        // Wild argv: SIGSEGV (glibc walks it).
+        assert!(execve(&mut k, path, SimPtr::new(0x30), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn kill_and_identity() {
+        let mut k = Kernel::new();
+        let victim = k.procs.spawn_process(k.procs.current_pid(), "victim");
+        assert_eq!(kill(&mut k, i64::from(victim), 15).unwrap().value, 0);
+        assert!(!k.procs.live_pids().contains(&victim));
+        assert_eq!(kill(&mut k, 99_999, 15).unwrap().error, Some(errno::ESRCH));
+        let me = i64::from(k.procs.current_pid());
+        assert_eq!(kill(&mut k, me, 999).unwrap().error, Some(errno::EINVAL));
+        // Signal 0 probes without killing.
+        let probe = k.procs.spawn_process(k.procs.current_pid(), "probe");
+        assert_eq!(kill(&mut k, i64::from(probe), 0).unwrap().value, 0);
+        assert!(k.procs.live_pids().contains(&probe));
+        assert!(getpid(&mut k).unwrap().value > 0);
+        assert!(getppid(&mut k).unwrap().value > 0);
+        assert!(getpgrp(&mut k).unwrap().value > 0);
+    }
+
+    #[test]
+    fn pause_always_hangs() {
+        let mut k = Kernel::new();
+        assert!(pause(&mut k).unwrap_err().is_hang());
+    }
+
+    #[test]
+    fn alarm_sleep_nice() {
+        let mut k = Kernel::new();
+        assert_eq!(alarm(&mut k, 30).unwrap().value, 0);
+        assert_eq!(alarm(&mut k, 0).unwrap().value, 30);
+        let t0 = k.clock.unix_secs();
+        assert_eq!(sleep(&mut k, 2).unwrap().value, 0);
+        assert_eq!(k.clock.unix_secs(), t0 + 2);
+        assert!(nice(&mut k, 5).unwrap().value >= 5);
+        assert_eq!(nice(&mut k, -5).unwrap().error, Some(errno::EPERM));
+        assert_eq!(setsid(&mut k).unwrap().error, Some(errno::EPERM));
+        assert_eq!(setpgid(&mut k, 0, 0).unwrap().value, 0);
+        assert_eq!(setpgid(&mut k, -1, 0).unwrap().error, Some(errno::EINVAL));
+    }
+
+    #[test]
+    fn signal_and_sigaction() {
+        let mut k = Kernel::new();
+        let handler = SimPtr::new(0x0040_2000);
+        // signal() stores without dereferencing: robust even for garbage.
+        assert_eq!(signal_call(&mut k, 2, handler).unwrap().value, 0);
+        assert_eq!(signal_call(&mut k, 2, SimPtr::NULL).unwrap().value as u64, handler.addr());
+        assert!(signal_call(&mut k, 9, handler).unwrap().reported_error()); // SIGKILL
+        assert!(signal_call(&mut k, 99, handler).unwrap().reported_error());
+        // sigaction: struct copy in user mode → abort for wild pointers.
+        let act = k.alloc_user(16, "act");
+        k.space.write_ptr(act, handler).unwrap();
+        let old = k.alloc_user(16, "old");
+        assert_eq!(sigaction(&mut k, 10, act, old).unwrap().value, 0);
+        assert!(sigaction(&mut k, 10, SimPtr::new(0x30), SimPtr::NULL).is_err());
+        assert!(sigaction(&mut k, 10, SimPtr::NULL, SimPtr::new(0x30)).is_err());
+        // NULL/NULL query form is legal.
+        assert_eq!(sigaction(&mut k, 10, SimPtr::NULL, SimPtr::NULL).unwrap().value, 0);
+        // sigprocmask: kernel EFAULT.
+        assert_eq!(
+            sigprocmask(&mut k, 0, SimPtr::new(0x30), SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        let set = k.alloc_user(8, "set");
+        assert_eq!(sigprocmask(&mut k, 0, set, SimPtr::NULL).unwrap().value, 0);
+    }
+
+    #[test]
+    fn scheduling() {
+        let mut k = Kernel::new();
+        assert_eq!(sched_yield(&mut k).unwrap().value, 0);
+        assert_eq!(sched_get_priority_max(&mut k, 1).unwrap().value, 99);
+        assert_eq!(sched_get_priority_min(&mut k, 1).unwrap().value, 1);
+        assert!(sched_get_priority_max(&mut k, 77).unwrap().reported_error());
+        let param = k.alloc_user(4, "param");
+        assert_eq!(sched_getparam(&mut k, 0, param).unwrap().value, 0);
+        assert_eq!(
+            sched_getparam(&mut k, 0, SimPtr::NULL).unwrap().error,
+            Some(errno::EFAULT)
+        );
+        assert_eq!(sched_getparam(&mut k, 99_999, param).unwrap().error, Some(errno::ESRCH));
+        k.space.write_i32(param, 0).unwrap();
+        assert_eq!(sched_setparam(&mut k, 0, param).unwrap().value, 0);
+        k.space.write_i32(param, 50).unwrap();
+        assert_eq!(sched_setparam(&mut k, 0, param).unwrap().error, Some(errno::EPERM));
+        k.space.write_i32(param, 1000).unwrap();
+        assert_eq!(sched_setparam(&mut k, 0, param).unwrap().error, Some(errno::EINVAL));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the POSIX personality's central invariants:
+//! kernel-boundary gracefulness (wild buffers are `EFAULT`, never a
+//! machine death), descriptor-domain totality, and file-I/O correctness
+//! for arbitrary payloads.
+
+use proptest::prelude::*;
+use sim_core::{cstr, SimPtr};
+use sim_kernel::Kernel;
+use sim_libc::errno;
+use sim_posix::{envops, fd as fdops, fsops, memops, procops};
+
+proptest! {
+    /// The simulated Linux machine survives any single system call with
+    /// arbitrary raw arguments — Table 1's zero-Catastrophic row as a
+    /// property.
+    #[test]
+    fn linux_machine_never_dies(a in any::<u64>(), b in any::<u64>(), c in any::<u32>()) {
+        let mut k = Kernel::new();
+        let _ = fdops::read(&mut k, a as i64, SimPtr::new(b), u64::from(c));
+        let _ = fdops::write(&mut k, (a as u32 as i32).into(), SimPtr::new(b), u64::from(c));
+        let _ = fsops::stat(&mut k, SimPtr::new(a), SimPtr::new(b));
+        let _ = fsops::open(&mut k, SimPtr::new(a), c as i32, 0);
+        let _ = memops::mmap(&mut k, SimPtr::new(a), u64::from(c), 3, 0x22, -1, 0);
+        let _ = procops::sigaction(&mut k, c as i32 % 70, SimPtr::new(a), SimPtr::new(b));
+        let _ = envops::uname(&mut k, SimPtr::new(a));
+        prop_assert!(k.is_alive());
+    }
+
+    /// For every descriptor value outside the live set, I/O calls report
+    /// EBADF — never a fault, never a panic (descriptor totality).
+    #[test]
+    fn bad_fds_always_ebadf(raw_fd in any::<i32>()) {
+        prop_assume!(!(0..=2).contains(&raw_fd)); // std streams are live
+        let mut k = Kernel::new();
+        prop_assume!(!k.fs.is_open(raw_fd as u64));
+        let buf = k.alloc_user(8, "buf");
+        let fd = i64::from(raw_fd);
+        prop_assert_eq!(fdops::read(&mut k, fd, buf, 4).unwrap().error, Some(errno::EBADF));
+        prop_assert_eq!(fdops::close(&mut k, fd).unwrap().error, Some(errno::EBADF));
+        prop_assert_eq!(fdops::fsync(&mut k, fd).unwrap().error, Some(errno::EBADF));
+        prop_assert_eq!(fdops::dup(&mut k, fd).unwrap().error, Some(errno::EBADF));
+        prop_assert_eq!(fdops::lseek(&mut k, fd, 0, 0).unwrap().error, Some(errno::EBADF));
+    }
+
+    /// A wild buffer on the kernel boundary is EFAULT with a *live*
+    /// process — Linux's gracefulness, as a property over addresses.
+    #[test]
+    fn kernel_boundary_is_efault_not_abort(addr in any::<u64>()) {
+        let mut k = Kernel::new();
+        prop_assume!(k.space
+            .check_access(SimPtr::new(addr), 8, 1, sim_core::AccessKind::Write,
+                          sim_core::addr::PrivilegeLevel::User)
+            .is_err());
+        let path = k.alloc_user(16, "p");
+        cstr::write_cstr(&mut k.space, path, "/etc/motd", sim_core::addr::PrivilegeLevel::User).unwrap();
+        let fd = fsops::open(&mut k, path, 0, 0).unwrap().value;
+        let r = fdops::read(&mut k, fd, SimPtr::new(addr), 8).unwrap();
+        prop_assert_eq!(r.error, Some(errno::EFAULT));
+        let r = envops::gettimeofday(&mut k, SimPtr::new(addr), SimPtr::NULL).unwrap();
+        prop_assert_eq!(r.error, Some(errno::EFAULT));
+    }
+
+    /// write-then-read round-trips arbitrary payloads through the POSIX
+    /// descriptor layer.
+    #[test]
+    fn posix_file_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let mut k = Kernel::new();
+        let path = k.alloc_user(16, "p");
+        cstr::write_cstr(&mut k.space, path, "/tmp/prop", sim_core::addr::PrivilegeLevel::User).unwrap();
+        let fd = fsops::open(&mut k, path, 0x42, 0o644).unwrap().value; // O_RDWR|O_CREAT
+        let buf = k.alloc_user(data.len() as u64, "in");
+        k.space.write_bytes(buf, &data).unwrap();
+        prop_assert_eq!(
+            fdops::write(&mut k, fd, buf, data.len() as u64).unwrap().value,
+            data.len() as i64
+        );
+        fdops::lseek(&mut k, fd, 0, 0).unwrap();
+        let out = k.alloc_user(data.len() as u64, "out");
+        prop_assert_eq!(
+            fdops::read(&mut k, fd, out, data.len() as u64).unwrap().value,
+            data.len() as i64
+        );
+        prop_assert_eq!(k.space.read_bytes(out, data.len() as u64).unwrap(), data.clone());
+    }
+
+    /// umask round-trips arbitrary masks (mod 0o777) — a tiny totality
+    /// check on the pure-state calls.
+    #[test]
+    fn umask_roundtrip(m1 in any::<u32>(), m2 in any::<u32>()) {
+        let mut k = Kernel::new();
+        let _ = fsops::umask(&mut k, m1).unwrap();
+        let prev = fsops::umask(&mut k, m2).unwrap().value;
+        prop_assert_eq!(prev as u32, m1 & 0o777);
+    }
+}

@@ -1,0 +1,868 @@
+//! File and directory access: create/remove/copy/move, attribute and path
+//! queries, and the `FindFirstFile` search family — the paper's
+//! *File/Directory Access* grouping.
+
+use crate::errors::{
+    self, ERROR_FILE_NOT_FOUND, ERROR_INSUFFICIENT_BUFFER, ERROR_NO_MORE_FILES,
+};
+use crate::marshal::{bad_handle_return, finish_out, read_string, write_out, FALSE, TRUE};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::fs::OpenOptions;
+use sim_kernel::objects::{Handle, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// `INVALID_FILE_ATTRIBUTES`.
+pub const INVALID_FILE_ATTRIBUTES: i64 = -1;
+/// `FILE_ATTRIBUTE_READONLY`.
+pub const FILE_ATTRIBUTE_READONLY: u32 = 0x1;
+/// `FILE_ATTRIBUTE_DIRECTORY`.
+pub const FILE_ATTRIBUTE_DIRECTORY: u32 = 0x10;
+/// `FILE_ATTRIBUTE_NORMAL`.
+pub const FILE_ATTRIBUTE_NORMAL: u32 = 0x80;
+
+/// Offset of the filename field in the simulated `WIN32_FIND_DATA`.
+pub const FIND_DATA_NAME_OFFSET: u64 = 44;
+/// Size of the simulated `WIN32_FIND_DATA` (attributes word + reserved
+/// area + 260-byte `cFileName`).
+pub const FIND_DATA_SIZE: u64 = FIND_DATA_NAME_OFFSET + 260;
+
+const CWD_KEY: &str = "__WIN32_CWD";
+
+fn cwd(k: &Kernel) -> String {
+    k.env.get(CWD_KEY).unwrap_or("C:\\TEMP").to_owned()
+}
+
+/// `CreateDirectory(lpPathName, lpSecurityAttributes)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn CreateDirectory(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    path: SimPtr,
+    _security: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.mkdir(&name) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `CreateDirectoryEx(lpTemplateDirectory, lpNewDirectory, lpSecurity)` —
+/// the template's attributes are copied; it must exist.
+///
+/// # Errors
+///
+/// An SEH abort when either path faults.
+pub fn CreateDirectoryEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    template: SimPtr,
+    new_dir: SimPtr,
+    security: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let tmpl = read_string(k, template)?;
+    match k.fs.stat(&tmpl) {
+        Ok(s) if s.is_dir => {}
+        Ok(_) => return Ok(ApiReturn::err(FALSE, errors::ERROR_PATH_NOT_FOUND)),
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+    CreateDirectory(k, profile, new_dir, security)
+}
+
+/// `RemoveDirectory(lpPathName)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn RemoveDirectory(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.rmdir(&name) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `DeleteFile(lpFileName)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn DeleteFile(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.unlink(&name) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `CopyFile(lpExisting, lpNew, bFailIfExists)`.
+///
+/// # Errors
+///
+/// An SEH abort when either path faults.
+pub fn CopyFile(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    existing: SimPtr,
+    new: SimPtr,
+    fail_if_exists: u32,
+) -> ApiResult {
+    k.charge_call();
+    let from = read_string(k, existing)?;
+    let to = read_string(k, new)?;
+    let ofd = match k.fs.open(&from, OpenOptions::read_only()) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    };
+    let size = k.fs.size_of(ofd).unwrap_or(0);
+    let mut content = vec![0u8; size as usize];
+    let _ = k.fs.read(ofd, &mut content);
+    let _ = k.fs.close(ofd);
+    if k.fs.exists(&to) {
+        if fail_if_exists != 0 {
+            return Ok(ApiReturn::err(FALSE, errors::ERROR_FILE_EXISTS));
+        }
+        let _ = k.fs.unlink(&to);
+    }
+    match k.fs.create_file(&to, content) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `MoveFile(lpExisting, lpNew)`.
+///
+/// # Errors
+///
+/// An SEH abort when either path faults.
+pub fn MoveFile(k: &mut Kernel, _profile: Win32Profile, existing: SimPtr, new: SimPtr) -> ApiResult {
+    k.charge_call();
+    let from = read_string(k, existing)?;
+    let to = read_string(k, new)?;
+    match k.fs.rename(&from, &to) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `MoveFileEx(lpExisting, lpNew, dwFlags)` — `MOVEFILE_REPLACE_EXISTING`
+/// (1) is honoured.
+///
+/// # Errors
+///
+/// An SEH abort when either path faults.
+pub fn MoveFileEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    existing: SimPtr,
+    new: SimPtr,
+    flags: u32,
+) -> ApiResult {
+    k.charge_call();
+    if flags & 1 != 0 {
+        let to = read_string(k, new)?;
+        if k.fs.exists(&to) {
+            let _ = k.fs.unlink(&to);
+        }
+    }
+    MoveFile(k, profile, existing, new)
+}
+
+fn write_find_data(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    out: SimPtr,
+    name: &str,
+    is_dir: bool,
+) -> Result<crate::marshal::OutWrite, sim_kernel::ApiAbort> {
+    let mut block = vec![0u8; FIND_DATA_SIZE as usize];
+    let attrs = if is_dir {
+        FILE_ATTRIBUTE_DIRECTORY
+    } else {
+        FILE_ATTRIBUTE_NORMAL
+    };
+    block[..4].copy_from_slice(&attrs.to_le_bytes());
+    let name_bytes = name.as_bytes();
+    let n = name_bytes.len().min(259);
+    block[FIND_DATA_NAME_OFFSET as usize..FIND_DATA_NAME_OFFSET as usize + n]
+        .copy_from_slice(&name_bytes[..n]);
+    write_out(k, profile, "FindFirstFile", false, out, &block)
+}
+
+/// `FindFirstFile(lpFileName, lpFindFileData)` — supports a literal path
+/// or a trailing `\*` wildcard.
+///
+/// # Errors
+///
+/// An SEH abort when the pattern string or the find-data block faults.
+pub fn FindFirstFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    pattern: SimPtr,
+    find_data_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let pat = read_string(k, pattern)?;
+    let invalid = i64::from(Handle::INVALID.raw());
+    let (dir, leaf_filter): (String, Option<String>) = match pat.rsplit_once(['\\', '/']) {
+        Some((d, leaf)) if leaf.contains('*') => (d.to_owned(), None),
+        _ => {
+            // Literal file.
+            match k.fs.stat(&pat) {
+                Ok(s) => {
+                    let leaf = pat
+                        .rsplit(['\\', '/'])
+                        .next()
+                        .unwrap_or(&pat)
+                        .to_owned();
+                    let out = write_find_data(k, profile, find_data_out, &leaf, s.is_dir)?;
+                    if let crate::marshal::OutWrite::ErrorReturn(code) = out {
+                        return Ok(ApiReturn::err(invalid, code));
+                    }
+                    let h = k.objects.insert(ObjectKind::FindSearch {
+                        entries: Vec::new(),
+                        cursor: 0,
+                    });
+                    return Ok(ApiReturn::ok(i64::from(h.raw())));
+                }
+                Err(e) => return Ok(ApiReturn::err(invalid, errors::from_fs(e))),
+            }
+        }
+    };
+    let _ = leaf_filter;
+    let names = match k.fs.list_dir(&dir) {
+        Ok(n) => n,
+        Err(e) => return Ok(ApiReturn::err(invalid, errors::from_fs(e))),
+    };
+    if names.is_empty() {
+        return Ok(ApiReturn::err(invalid, ERROR_FILE_NOT_FOUND));
+    }
+    let full_first = format!("{dir}\\{}", names[0]);
+    let first_is_dir = k.fs.stat(&full_first).map(|s| s.is_dir).unwrap_or(false);
+    let out = write_find_data(k, profile, find_data_out, &names[0], first_is_dir)?;
+    if let crate::marshal::OutWrite::ErrorReturn(code) = out {
+        return Ok(ApiReturn::err(invalid, code));
+    }
+    let h = k.objects.insert(ObjectKind::FindSearch {
+        entries: names,
+        cursor: 1,
+    });
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `FindNextFile(hFindFile, lpFindFileData)`.
+///
+/// # Errors
+///
+/// An SEH abort when the find-data block faults under probing.
+pub fn FindNextFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    find_data_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let next = match k.objects.get_mut(h) {
+        Ok(ObjectKind::FindSearch { entries, cursor }) => {
+            if *cursor >= entries.len() {
+                None
+            } else {
+                let name = entries[*cursor].clone();
+                *cursor += 1;
+                Some(name)
+            }
+        }
+        Ok(_) => return Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    match next {
+        Some(name) => {
+            let out = write_find_data(k, profile, find_data_out, &name, false)?;
+            Ok(finish_out(out, TRUE))
+        }
+        None => Ok(ApiReturn::err(FALSE, ERROR_NO_MORE_FILES)),
+    }
+}
+
+/// `FindClose(hFindFile)`.
+///
+/// # Errors
+///
+/// None; bad handles return errors (or 9x silence).
+pub fn FindClose(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match k.objects.get(h) {
+        Ok(ObjectKind::FindSearch { .. }) => {
+            let _ = k.objects.close(h);
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Ok(_) => Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `GetFileAttributes(lpFileName)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn GetFileAttributes(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.stat(&name) {
+        Ok(s) => {
+            let mut attrs = 0u32;
+            if s.is_dir {
+                attrs |= FILE_ATTRIBUTE_DIRECTORY;
+            }
+            if s.attrs.readonly {
+                attrs |= FILE_ATTRIBUTE_READONLY;
+            }
+            if attrs == 0 {
+                attrs = FILE_ATTRIBUTE_NORMAL;
+            }
+            Ok(ApiReturn::ok(i64::from(attrs)))
+        }
+        Err(e) => Ok(ApiReturn::err(INVALID_FILE_ATTRIBUTES, errors::from_fs(e))),
+    }
+}
+
+/// `SetFileAttributes(lpFileName, dwFileAttributes)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn SetFileAttributes(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    path: SimPtr,
+    attrs: u32,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.set_readonly(&name, attrs & FILE_ATTRIBUTE_READONLY != 0) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// Delivers a string result into a `(buffer, size)` pair with the Win32
+/// "required length" convention.
+fn string_result(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    call: &'static str,
+    buffer: SimPtr,
+    size: u32,
+    value: &str,
+) -> ApiResult {
+    let needed = value.len() as u32 + 1;
+    if u64::from(size) < u64::from(needed) {
+        // Documented robust response: report the required size.
+        return Ok(ApiReturn::err(i64::from(needed), ERROR_INSUFFICIENT_BUFFER));
+    }
+    let mut bytes = value.as_bytes().to_vec();
+    bytes.push(0);
+    let out = write_out(k, profile, call, true, buffer, &bytes)?;
+    Ok(finish_out(out, i64::from(value.len() as u32)))
+}
+
+/// `GetCurrentDirectory(nBufferLength, lpBuffer)`.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer faults under probing.
+pub fn GetCurrentDirectory(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    size: u32,
+    buffer: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let dir = cwd(k);
+    string_result(k, profile, "GetCurrentDirectory", buffer, size, &dir)
+}
+
+/// `SetCurrentDirectory(lpPathName)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path faults.
+pub fn SetCurrentDirectory(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    match k.fs.stat(&name) {
+        Ok(s) if s.is_dir => {
+            let _ = k.env.set(CWD_KEY, &name);
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Ok(_) => Ok(ApiReturn::err(FALSE, errors::ERROR_PATH_NOT_FOUND)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    }
+}
+
+/// `GetFullPathName(lpFileName, nBufferLength, lpBuffer, lpFilePart)`.
+///
+/// # Errors
+///
+/// An SEH abort when the filename or buffer faults.
+pub fn GetFullPathName(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    path: SimPtr,
+    size: u32,
+    buffer: SimPtr,
+    file_part_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    let full = if name.starts_with('\\') || name.starts_with('/') || name.get(1..2) == Some(":") {
+        name.clone()
+    } else {
+        format!("{}\\{}", cwd(k), name)
+    };
+    let r = string_result(k, profile, "GetFullPathName", buffer, size, &full)?;
+    if r.error.is_none() && !file_part_out.is_null() {
+        let leaf_off = full.rfind(['\\', '/']).map(|i| i + 1).unwrap_or(0);
+        let leaf_ptr = buffer.offset(leaf_off as u64);
+        let out = write_out(
+            k,
+            profile,
+            "GetFullPathName",
+            true,
+            file_part_out,
+            &(leaf_ptr.addr() as u32).to_le_bytes(),
+        )?;
+        return Ok(finish_out(out, r.value));
+    }
+    Ok(r)
+}
+
+/// `GetTempPath(nBufferLength, lpBuffer)`.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer faults under probing.
+pub fn GetTempPath(k: &mut Kernel, profile: Win32Profile, size: u32, buffer: SimPtr) -> ApiResult {
+    k.charge_call();
+    string_result(k, profile, "GetTempPath", buffer, size, "C:\\TEMP\\")
+}
+
+/// `GetTempFileName(lpPathName, lpPrefixString, uUnique, lpTempFileName)` —
+/// creates the file when `uUnique` is 0.
+///
+/// # Errors
+///
+/// An SEH abort when any of the three string pointers fault.
+pub fn GetTempFileName(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    path: SimPtr,
+    prefix: SimPtr,
+    unique: u32,
+    out_name: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let dir = read_string(k, path)?;
+    let pre = read_string(k, prefix)?;
+    if !k.fs.exists(&dir) {
+        return Ok(ApiReturn::err(0, errors::ERROR_PATH_NOT_FOUND));
+    }
+    let n = if unique == 0 {
+        let c = k.scratch.entry("win32.tempfile".to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    } else {
+        u64::from(unique)
+    };
+    let pre3: String = pre.chars().take(3).collect();
+    let name = format!("{dir}\\{pre3}{n:04X}.TMP");
+    if unique == 0 && !k.fs.exists(&name) {
+        let _ = k.fs.create_file(&name, Vec::new());
+    }
+    let mut bytes = name.clone().into_bytes();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetTempFileName", false, out_name, &bytes)?;
+    Ok(finish_out(out, n as i64 & 0xFFFF))
+}
+
+/// `SearchPath(lpPath, lpFileName, lpExtension, nBufferLength, lpBuffer,
+/// lpFilePart)`.
+///
+/// # Errors
+///
+/// An SEH abort when the filename or buffer faults.
+pub fn SearchPath(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    search_path: SimPtr,
+    file_name: SimPtr,
+    _extension: SimPtr,
+    size: u32,
+    buffer: SimPtr,
+    _file_part_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, file_name)?;
+    let dirs: Vec<String> = if search_path.is_null() {
+        vec![cwd(k), "C:\\WINDOWS".to_owned(), "C:\\WINDOWS\\SYSTEM".to_owned()]
+    } else {
+        let p = read_string(k, search_path)?;
+        p.split(';').map(str::to_owned).collect()
+    };
+    for d in dirs {
+        let candidate = format!("{d}\\{name}");
+        if k.fs.exists(&candidate) {
+            return string_result(k, profile, "SearchPath", buffer, size, &candidate);
+        }
+    }
+    Ok(ApiReturn::err(0, ERROR_FILE_NOT_FOUND))
+}
+
+/// `GetDriveType(lpRootPathName)` — `DRIVE_FIXED` (3) for the simulated
+/// volume, `DRIVE_NO_ROOT_DIR` (1) otherwise. NULL means "current root"
+/// and is legal.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL root path faults.
+pub fn GetDriveType(k: &mut Kernel, _profile: Win32Profile, root: SimPtr) -> ApiResult {
+    k.charge_call();
+    if root.is_null() {
+        return Ok(ApiReturn::ok(3));
+    }
+    let name = read_string(k, root)?;
+    let upper = name.to_ascii_uppercase();
+    if upper.starts_with("C:") || upper.starts_with('\\') || upper.starts_with('/') {
+        Ok(ApiReturn::ok(3))
+    } else {
+        Ok(ApiReturn::ok(1))
+    }
+}
+
+/// `GetDiskFreeSpace(lpRoot, lpSectorsPerCluster, lpBytesPerSector,
+/// lpFreeClusters, lpTotalClusters)`.
+///
+/// # Errors
+///
+/// An SEH abort when the root path or an out-pointer faults under probing.
+pub fn GetDiskFreeSpace(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    root: SimPtr,
+    sectors_per_cluster: SimPtr,
+    bytes_per_sector: SimPtr,
+    free_clusters: SimPtr,
+    total_clusters: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !root.is_null() {
+        let _ = read_string(k, root)?;
+    }
+    for (ptr, value) in [
+        (sectors_per_cluster, 8u32),
+        (bytes_per_sector, 512),
+        (free_clusters, 0x10_0000),
+        (total_clusters, 0x20_0000),
+    ] {
+        let out = write_out(
+            k,
+            profile,
+            "GetDiskFreeSpace",
+            true,
+            ptr,
+            &value.to_le_bytes(),
+        )?;
+        if let crate::marshal::OutWrite::ErrorReturn(code) = out {
+            return Ok(ApiReturn::err(FALSE, code));
+        }
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `GetLogicalDrives()` — bit mask of present drives (C: only).
+///
+/// # Errors
+///
+/// None.
+pub fn GetLogicalDrives(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(0b100)) // drive C:
+}
+
+/// `GetShortPathName(lpszLongPath, lpszShortPath, cchBuffer)`.
+///
+/// # Errors
+///
+/// An SEH abort when either path buffer faults.
+pub fn GetShortPathName(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    long_path: SimPtr,
+    short_out: SimPtr,
+    size: u32,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, long_path)?;
+    if !k.fs.exists(&name) {
+        return Ok(ApiReturn::err(0, ERROR_FILE_NOT_FOUND));
+    }
+    // The simulated filesystem has no long-name aliasing: identity mapping.
+    string_result(k, profile, "GetShortPathName", short_out, size, &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::addr::PrivilegeLevel;
+    use sim_core::cstr;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, PrivilegeLevel::User).unwrap();
+        p
+    }
+
+    #[test]
+    fn directory_lifecycle() {
+        let mut k = wk();
+        let d = put(&mut k, "C:\\TEMP\\newdir");
+        assert_eq!(CreateDirectory(&mut k, nt(), d, SimPtr::NULL).unwrap().value, TRUE);
+        assert!(k.fs.exists("C:\\TEMP\\newdir"));
+        // Creating again: ERROR_ALREADY_EXISTS.
+        assert_eq!(
+            CreateDirectory(&mut k, nt(), d, SimPtr::NULL).unwrap().error,
+            Some(errors::ERROR_ALREADY_EXISTS)
+        );
+        assert_eq!(RemoveDirectory(&mut k, nt(), d).unwrap().value, TRUE);
+        assert!(!k.fs.exists("C:\\TEMP\\newdir"));
+        assert!(CreateDirectory(&mut k, nt(), SimPtr::NULL, SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn create_directory_ex_requires_template() {
+        let mut k = wk();
+        let bad_tmpl = put(&mut k, "C:\\TEMP\\missing");
+        let newd = put(&mut k, "C:\\TEMP\\made");
+        assert!(CreateDirectoryEx(&mut k, nt(), bad_tmpl, newd, SimPtr::NULL)
+            .unwrap()
+            .reported_error());
+        let tmpl = put(&mut k, "C:\\WINDOWS");
+        assert_eq!(
+            CreateDirectoryEx(&mut k, nt(), tmpl, newd, SimPtr::NULL).unwrap().value,
+            TRUE
+        );
+    }
+
+    #[test]
+    fn delete_copy_move() {
+        let mut k = wk();
+        k.fs.create_file("C:\\TEMP\\a.txt", b"data".to_vec()).unwrap();
+        let a = put(&mut k, "C:\\TEMP\\a.txt");
+        let b = put(&mut k, "C:\\TEMP\\b.txt");
+        assert_eq!(CopyFile(&mut k, nt(), a, b, 1).unwrap().value, TRUE);
+        assert!(k.fs.exists("C:\\TEMP\\b.txt"));
+        // fail-if-exists honoured.
+        assert!(CopyFile(&mut k, nt(), a, b, 1).unwrap().reported_error());
+        assert_eq!(CopyFile(&mut k, nt(), a, b, 0).unwrap().value, TRUE);
+        let c = put(&mut k, "C:\\TEMP\\c.txt");
+        assert_eq!(MoveFile(&mut k, nt(), b, c).unwrap().value, TRUE);
+        assert!(!k.fs.exists("C:\\TEMP\\b.txt"));
+        // MoveFileEx with replace flag.
+        assert_eq!(MoveFileEx(&mut k, nt(), a, c, 1).unwrap().value, TRUE);
+        assert_eq!(DeleteFile(&mut k, nt(), c).unwrap().value, TRUE);
+        assert!(DeleteFile(&mut k, nt(), c).unwrap().reported_error());
+    }
+
+    #[test]
+    fn find_first_next_close() {
+        let mut k = wk();
+        k.fs.create_file("C:\\TEMP\\f1", vec![]).unwrap();
+        k.fs.create_file("C:\\TEMP\\f2", vec![]).unwrap();
+        let pat = put(&mut k, "C:\\TEMP\\*");
+        let data = k.alloc_user(FIND_DATA_SIZE, "find");
+        let r = FindFirstFile(&mut k, nt(), pat, data).unwrap();
+        assert!(!r.reported_error());
+        let h = Handle(r.value as u32);
+        let first = cstr::read_cstr(
+            &k.space,
+            data.offset(FIND_DATA_NAME_OFFSET),
+            PrivilegeLevel::User,
+        )
+        .unwrap();
+        assert_eq!(first, b"f1");
+        assert_eq!(FindNextFile(&mut k, nt(), h, data).unwrap().value, TRUE);
+        let second = cstr::read_cstr(
+            &k.space,
+            data.offset(FIND_DATA_NAME_OFFSET),
+            PrivilegeLevel::User,
+        )
+        .unwrap();
+        assert_eq!(second, b"f2");
+        let r = FindNextFile(&mut k, nt(), h, data).unwrap();
+        assert_eq!(r.error, Some(ERROR_NO_MORE_FILES));
+        assert_eq!(FindClose(&mut k, nt(), h).unwrap().value, TRUE);
+        assert!(FindClose(&mut k, nt(), h).unwrap().reported_error());
+        // Hostile find-data pointer aborts on NT.
+        let pat2 = put(&mut k, "C:\\TEMP\\*");
+        assert!(FindFirstFile(&mut k, nt(), pat2, SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn attributes() {
+        let mut k = wk();
+        k.fs.create_file("C:\\TEMP\\att.txt", vec![]).unwrap();
+        let p = put(&mut k, "C:\\TEMP\\att.txt");
+        assert_eq!(
+            GetFileAttributes(&mut k, nt(), p).unwrap().value,
+            i64::from(FILE_ATTRIBUTE_NORMAL)
+        );
+        SetFileAttributes(&mut k, nt(), p, FILE_ATTRIBUTE_READONLY).unwrap();
+        assert_eq!(
+            GetFileAttributes(&mut k, nt(), p).unwrap().value,
+            i64::from(FILE_ATTRIBUTE_READONLY)
+        );
+        let d = put(&mut k, "C:\\WINDOWS");
+        assert_eq!(
+            GetFileAttributes(&mut k, nt(), d).unwrap().value & i64::from(FILE_ATTRIBUTE_DIRECTORY),
+            i64::from(FILE_ATTRIBUTE_DIRECTORY)
+        );
+        let missing = put(&mut k, "C:\\TEMP\\ghost");
+        let r = GetFileAttributes(&mut k, nt(), missing).unwrap();
+        assert_eq!(r.value, INVALID_FILE_ATTRIBUTES);
+        assert!(r.reported_error());
+    }
+
+    #[test]
+    fn current_directory() {
+        let mut k = wk();
+        let buf = k.alloc_user(64, "cwd");
+        let r = GetCurrentDirectory(&mut k, nt(), 64, buf).unwrap();
+        assert!(r.value > 0);
+        let d = put(&mut k, "C:\\WINDOWS");
+        assert_eq!(SetCurrentDirectory(&mut k, nt(), d).unwrap().value, TRUE);
+        GetCurrentDirectory(&mut k, nt(), 64, buf).unwrap();
+        assert_eq!(
+            cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap(),
+            b"C:\\WINDOWS"
+        );
+        // Too-small buffer: robust required-size report.
+        let r = GetCurrentDirectory(&mut k, nt(), 3, buf).unwrap();
+        assert_eq!(r.error, Some(ERROR_INSUFFICIENT_BUFFER));
+        // Missing target directory.
+        let ghost = put(&mut k, "C:\\GHOST");
+        assert!(SetCurrentDirectory(&mut k, nt(), ghost).unwrap().reported_error());
+    }
+
+    #[test]
+    fn full_path_and_temp() {
+        let mut k = wk();
+        let rel = put(&mut k, "leaf.txt");
+        let buf = k.alloc_user(128, "full");
+        let r = GetFullPathName(&mut k, nt(), rel, 128, buf, SimPtr::NULL).unwrap();
+        assert!(r.value > 0);
+        let full = cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap();
+        assert!(full.ends_with(b"\\leaf.txt"));
+
+        let tbuf = k.alloc_user(32, "tmp");
+        let r = GetTempPath(&mut k, nt(), 32, tbuf).unwrap();
+        assert!(r.value > 0);
+        assert_eq!(
+            cstr::read_cstr(&k.space, tbuf, PrivilegeLevel::User).unwrap(),
+            b"C:\\TEMP\\"
+        );
+
+        let dir = put(&mut k, "C:\\TEMP");
+        let pre = put(&mut k, "bal");
+        let nbuf = k.alloc_user(64, "name");
+        let r = GetTempFileName(&mut k, nt(), dir, pre, 0, nbuf).unwrap();
+        assert!(r.value > 0);
+        let name = cstr::read_cstr(&k.space, nbuf, PrivilegeLevel::User).unwrap();
+        assert!(String::from_utf8_lossy(&name).contains("bal"));
+        // The file was created.
+        assert!(k.fs.exists(std::str::from_utf8(&name).unwrap()));
+    }
+
+    #[test]
+    fn search_path_and_drives() {
+        let mut k = wk();
+        let file = put(&mut k, "README.TXT");
+        let buf = k.alloc_user(128, "found");
+        let r = SearchPath(&mut k, nt(), SimPtr::NULL, file, SimPtr::NULL, 128, buf, SimPtr::NULL)
+            .unwrap();
+        assert!(r.value > 0, "README.TXT should be found in C:\\WINDOWS");
+        let ghost = put(&mut k, "GHOST.EXE");
+        assert!(SearchPath(
+            &mut k,
+            nt(),
+            SimPtr::NULL,
+            ghost,
+            SimPtr::NULL,
+            128,
+            buf,
+            SimPtr::NULL
+        )
+        .unwrap()
+        .reported_error());
+        assert_eq!(GetLogicalDrives(&mut k, nt()).unwrap().value, 4);
+        let root = put(&mut k, "C:\\");
+        assert_eq!(GetDriveType(&mut k, nt(), root).unwrap().value, 3);
+        assert_eq!(GetDriveType(&mut k, nt(), SimPtr::NULL).unwrap().value, 3);
+    }
+
+    #[test]
+    fn disk_free_space_out_pointers() {
+        let mut k = wk();
+        let root = put(&mut k, "C:\\");
+        let a = k.alloc_user(4, "a");
+        let b = k.alloc_user(4, "b");
+        let c = k.alloc_user(4, "c");
+        let d = k.alloc_user(4, "d");
+        assert_eq!(
+            GetDiskFreeSpace(&mut k, nt(), root, a, b, c, d).unwrap().value,
+            TRUE
+        );
+        assert_eq!(k.space.read_u32(b).unwrap(), 512);
+        // NT: hostile out-pointer aborts; 98: silent success.
+        assert!(GetDiskFreeSpace(&mut k, nt(), root, SimPtr::NULL, b, c, d).is_err());
+        let r = GetDiskFreeSpace(&mut k, w98(), root, SimPtr::NULL, b, c, d).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn short_path_name() {
+        let mut k = wk();
+        let p = put(&mut k, "C:\\WINDOWS\\README.TXT");
+        let buf = k.alloc_user(64, "short");
+        let r = GetShortPathName(&mut k, nt(), p, buf, 64).unwrap();
+        assert!(r.value > 0);
+        let ghost = put(&mut k, "C:\\GHOST.TXT");
+        assert!(GetShortPathName(&mut k, nt(), ghost, buf, 64)
+            .unwrap()
+            .reported_error());
+    }
+}

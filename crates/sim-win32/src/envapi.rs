@@ -1,0 +1,645 @@
+//! Process environment: environment variables, command line, module and
+//! system information — the paper's *Process Environment* grouping, plus
+//! the SEH-guarded `lstr*` kernel32 string calls.
+//!
+//! The `lstr*` functions are a documented robustness curiosity: on the NT
+//! family they wrap the copy in a structured-exception handler and return
+//! NULL on faults (a *robust* response to wild pointers!), while the 9x
+//! implementations fault through — one more emergent contributor to the
+//! families' different Abort/Silent balances.
+
+use crate::errors::{self, ERROR_ENVVAR_NOT_FOUND, ERROR_INSUFFICIENT_BUFFER};
+use crate::marshal::{exception, finish_out, read_string, write_out, OutWrite, FALSE, TRUE};
+use crate::profile::Win32Profile;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::SimPtr;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+
+/// `GetEnvironmentVariable(lpName, lpBuffer, nSize)`.
+///
+/// # Errors
+///
+/// An SEH abort when the name or buffer faults.
+pub fn GetEnvironmentVariable(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    name: SimPtr,
+    buffer: SimPtr,
+    size: u32,
+) -> ApiResult {
+    k.charge_call();
+    let n = read_string(k, name)?;
+    let value = match k.env.get(&n) {
+        Ok(v) => v.to_owned(),
+        Err(_) => return Ok(ApiReturn::err(0, ERROR_ENVVAR_NOT_FOUND)),
+    };
+    let needed = value.len() as u32 + 1;
+    if size < needed {
+        return Ok(ApiReturn::ok(i64::from(needed)));
+    }
+    let mut bytes = value.clone().into_bytes();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetEnvironmentVariable", true, buffer, &bytes)?;
+    Ok(finish_out(out, i64::from(value.len() as u32)))
+}
+
+/// `SetEnvironmentVariable(lpName, lpValue)` — NULL value deletes.
+///
+/// # Errors
+///
+/// An SEH abort when either string faults.
+pub fn SetEnvironmentVariable(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    name: SimPtr,
+    value: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let n = read_string(k, name)?;
+    if value.is_null() {
+        return match k.env.unset(&n) {
+            Ok(()) => Ok(ApiReturn::ok(TRUE)),
+            Err(e) => Ok(ApiReturn::err(FALSE, errors::from_env(e))),
+        };
+    }
+    let v = read_string(k, value)?;
+    match k.env.set(&n, &v) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_env(e))),
+    }
+}
+
+/// `ExpandEnvironmentStrings(lpSrc, lpDst, nSize)`.
+///
+/// # Errors
+///
+/// An SEH abort when source or destination faults.
+pub fn ExpandEnvironmentStrings(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    src: SimPtr,
+    dst: SimPtr,
+    size: u32,
+) -> ApiResult {
+    k.charge_call();
+    let input = read_string(k, src)?;
+    let expanded = k.env.expand(&input);
+    let needed = expanded.len() as u32 + 1;
+    if size < needed {
+        return Ok(ApiReturn::err(i64::from(needed), ERROR_INSUFFICIENT_BUFFER));
+    }
+    let mut bytes = expanded.into_bytes();
+    bytes.push(0);
+    let out = write_out(k, profile, "ExpandEnvironmentStrings", true, dst, &bytes)?;
+    Ok(finish_out(out, i64::from(needed)))
+}
+
+/// `GetCommandLine()` — returns a pointer to the process command line
+/// (robust: no arguments to attack).
+///
+/// # Errors
+///
+/// None.
+pub fn GetCommandLine(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    if let Some(&cached) = k.scratch.get("win32.cmdline") {
+        return Ok(ApiReturn::ok(cached as i64));
+    }
+    let image = k
+        .procs
+        .process(k.procs.current_pid())
+        .map(|p| p.image.clone())
+        .unwrap_or_default();
+    let p = k.alloc_user(image.len() as u64 + 1, "cmdline");
+    let _ = cstr::write_cstr(&mut k.space, p, &image, PrivilegeLevel::User);
+    k.scratch.insert("win32.cmdline".to_owned(), p.addr());
+    Ok(ApiReturn::ok(p.addr() as i64))
+}
+
+/// `GetModuleFileName(hModule, lpFilename, nSize)` — NULL module means the
+/// current executable.
+///
+/// # Errors
+///
+/// An SEH abort when the filename buffer faults under probing.
+pub fn GetModuleFileName(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    module: SimPtr,
+    buffer: SimPtr,
+    size: u32,
+) -> ApiResult {
+    k.charge_call();
+    if !module.is_null() && module.addr() != 0x0040_0000 {
+        return Ok(ApiReturn::err(0, errors::ERROR_INVALID_HANDLE));
+    }
+    let name = "C:\\BALLISTA\\TESTTASK.EXE";
+    let needed = name.len() as u32 + 1;
+    if size < needed {
+        // Truncated copy, returns nSize — the documented (and surprising)
+        // behaviour.
+        let mut bytes = name.as_bytes()[..size.saturating_sub(1) as usize].to_vec();
+        bytes.push(0);
+        if size > 0 {
+            let out = write_out(k, profile, "GetModuleFileName", true, buffer, &bytes)?;
+            return Ok(finish_out(out, i64::from(size)));
+        }
+        return Ok(ApiReturn::ok(0));
+    }
+    let mut bytes = name.as_bytes().to_vec();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetModuleFileName", true, buffer, &bytes)?;
+    Ok(finish_out(out, i64::from(name.len() as u32)))
+}
+
+/// `GetModuleHandle(lpModuleName)` — NULL means the current executable
+/// (base 0x00400000).
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name faults.
+pub fn GetModuleHandle(k: &mut Kernel, _profile: Win32Profile, name: SimPtr) -> ApiResult {
+    k.charge_call();
+    if name.is_null() {
+        return Ok(ApiReturn::ok(0x0040_0000));
+    }
+    let n = read_string(k, name)?;
+    let known = ["kernel32", "kernel32.dll", "user32", "user32.dll", "testtask.exe"];
+    if known.contains(&n.to_ascii_lowercase().as_str()) {
+        Ok(ApiReturn::ok(0x7780_0000))
+    } else {
+        Ok(ApiReturn::err(0, errors::ERROR_FILE_NOT_FOUND))
+    }
+}
+
+/// `GetVersion()` — packed version DWORD per variant.
+///
+/// # Errors
+///
+/// None.
+pub fn GetVersion(k: &mut Kernel, profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    let (major, minor, win9x_bit) = match profile.os {
+        OsVariant::Win95 => (4u32, 0u32, true),
+        OsVariant::Win98 | OsVariant::Win98Se => (4, 10, true),
+        OsVariant::WinNt4 => (4, 0, false),
+        OsVariant::Win2000 => (5, 0, false),
+        OsVariant::WinCe => (2, 11, false),
+        OsVariant::Linux => unreachable!("profile construction forbids Linux"),
+    };
+    let mut v = major | (minor << 8);
+    if win9x_bit {
+        v |= 0x8000_0000;
+    }
+    Ok(ApiReturn::ok(i64::from(v)))
+}
+
+/// `GetVersionEx(lpVersionInfo)` — the caller must set
+/// `dwOSVersionInfoSize` first; the call reads it, then fills the block.
+///
+/// # Errors
+///
+/// An SEH abort when the block faults.
+pub fn GetVersionEx(k: &mut Kernel, profile: Win32Profile, info: SimPtr) -> ApiResult {
+    k.charge_call();
+    let declared = k.space.read_u32(info).map_err(exception)?;
+    if declared < 20 {
+        return Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_PARAMETER));
+    }
+    let packed = GetVersion(k, profile)?.value as u32;
+    let mut block = Vec::with_capacity(20);
+    block.extend_from_slice(&declared.to_le_bytes());
+    block.extend_from_slice(&(packed & 0xFF).to_le_bytes()); // major
+    block.extend_from_slice(&((packed >> 8) & 0xFF).to_le_bytes()); // minor
+    block.extend_from_slice(&0u32.to_le_bytes()); // build
+    block.extend_from_slice(&u32::from(packed & 0x8000_0000 == 0).to_le_bytes()); // platform
+    let out = write_out(k, profile, "GetVersionEx", false, info, &block)?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `GetSystemInfo(lpSystemInfo)` — fills a 36-byte `SYSTEM_INFO`.
+///
+/// # Errors
+///
+/// An SEH abort when the block faults under probing.
+pub fn GetSystemInfo(k: &mut Kernel, profile: Win32Profile, info: SimPtr) -> ApiResult {
+    k.charge_call();
+    let mut block = Vec::with_capacity(36);
+    block.extend_from_slice(&0u32.to_le_bytes()); // processor architecture: x86
+    block.extend_from_slice(&0x1000u32.to_le_bytes()); // page size
+    block.extend_from_slice(&0x0001_0000u32.to_le_bytes()); // min app address
+    block.extend_from_slice(&0x7FFE_FFFFu32.to_le_bytes()); // max app address
+    block.extend_from_slice(&1u32.to_le_bytes()); // active processor mask
+    block.extend_from_slice(&1u32.to_le_bytes()); // number of processors
+    block.extend_from_slice(&586u32.to_le_bytes()); // processor type
+    block.extend_from_slice(&0x1_0000u32.to_le_bytes()); // allocation granularity
+    block.extend_from_slice(&0u32.to_le_bytes()); // level/revision
+    let out = write_out(k, profile, "GetSystemInfo", true, info, &block)?;
+    Ok(finish_out(out, 0))
+}
+
+/// `GetComputerName(lpBuffer, lpnSize)` — in/out size protocol.
+///
+/// # Errors
+///
+/// An SEH abort when either pointer faults.
+pub fn GetComputerName(k: &mut Kernel, profile: Win32Profile, buffer: SimPtr, size_inout: SimPtr) -> ApiResult {
+    k.charge_call();
+    let cap = k.space.read_u32(size_inout).map_err(exception)?;
+    let name = k.env.get("COMPUTERNAME").unwrap_or("TESTBED").to_owned();
+    if u64::from(cap) < name.len() as u64 + 1 {
+        k
+            .space
+            .write_u32(size_inout, name.len() as u32 + 1)
+            .map_err(exception)?;
+        return Ok(ApiReturn::err(FALSE, ERROR_INSUFFICIENT_BUFFER));
+    }
+    let mut bytes = name.clone().into_bytes();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetComputerName", true, buffer, &bytes)?;
+    if out == OutWrite::Written {
+        let _ = k.space.write_u32(size_inout, name.len() as u32);
+    }
+    Ok(finish_out(out, TRUE))
+}
+
+/// `GetSystemDirectory(lpBuffer, uSize)`.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer faults under probing.
+pub fn GetSystemDirectory(k: &mut Kernel, profile: Win32Profile, buffer: SimPtr, size: u32) -> ApiResult {
+    k.charge_call();
+    let dir = "C:\\WINDOWS\\SYSTEM";
+    let needed = dir.len() as u32 + 1;
+    if size < needed {
+        return Ok(ApiReturn::ok(i64::from(needed)));
+    }
+    let mut bytes = dir.as_bytes().to_vec();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetSystemDirectory", true, buffer, &bytes)?;
+    Ok(finish_out(out, i64::from(dir.len() as u32)))
+}
+
+/// `GetWindowsDirectory(lpBuffer, uSize)`.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer faults under probing.
+pub fn GetWindowsDirectory(k: &mut Kernel, profile: Win32Profile, buffer: SimPtr, size: u32) -> ApiResult {
+    k.charge_call();
+    let dir = "C:\\WINDOWS";
+    let needed = dir.len() as u32 + 1;
+    if size < needed {
+        return Ok(ApiReturn::ok(i64::from(needed)));
+    }
+    let mut bytes = dir.as_bytes().to_vec();
+    bytes.push(0);
+    let out = write_out(k, profile, "GetWindowsDirectory", true, buffer, &bytes)?;
+    Ok(finish_out(out, i64::from(dir.len() as u32)))
+}
+
+/// `GetStartupInfo(lpStartupInfo)` — fills a 68-byte `STARTUPINFO`.
+///
+/// # Errors
+///
+/// An SEH abort when the block faults under probing.
+pub fn GetStartupInfo(k: &mut Kernel, profile: Win32Profile, info: SimPtr) -> ApiResult {
+    k.charge_call();
+    let mut block = vec![0u8; 68];
+    block[..4].copy_from_slice(&68u32.to_le_bytes()); // cb
+    let out = write_out(k, profile, "GetStartupInfo", true, info, &block)?;
+    Ok(finish_out(out, 0))
+}
+
+/// Whether the variant's `lstr*` calls are SEH-guarded (NT family).
+fn lstr_guarded(profile: Win32Profile) -> bool {
+    profile.os.is_nt()
+}
+
+/// `lstrlen(lpString)`.
+///
+/// NT: SEH-guarded — wild pointers return 0 (a Silent-leaning robust
+/// response). 9x/CE: faults through (Abort).
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when the scan faults.
+pub fn lstrlen(k: &mut Kernel, profile: Win32Profile, s: SimPtr) -> ApiResult {
+    k.charge_call();
+    if s.is_null() {
+        return Ok(ApiReturn::ok(0)); // documented NULL tolerance
+    }
+    match cstr::read_cstr(&k.space, s, PrivilegeLevel::User) {
+        Ok(bytes) => Ok(ApiReturn::ok(bytes.len() as i64)),
+        Err(fault) => {
+            if lstr_guarded(profile) {
+                Ok(ApiReturn::ok(0))
+            } else {
+                Err(exception(fault))
+            }
+        }
+    }
+}
+
+/// `lstrcpy(lpDst, lpSrc)`.
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when either access faults.
+pub fn lstrcpy(k: &mut Kernel, profile: Win32Profile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let result: Result<(), sim_core::Fault> = (|| {
+        let bytes = cstr::read_cstr(&k.space, src, PrivilegeLevel::User)?;
+        cstr::write_bytes_nul(&mut k.space, dst, &bytes, PrivilegeLevel::User)
+    })();
+    match result {
+        Ok(()) => Ok(ApiReturn::ok(dst.addr() as i64)),
+        Err(fault) => {
+            if lstr_guarded(profile) {
+                Ok(ApiReturn::ok(0)) // NULL on fault
+            } else {
+                Err(exception(fault))
+            }
+        }
+    }
+}
+
+/// `lstrcpyn(lpDst, lpSrc, iMaxLength)`.
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when either access faults.
+pub fn lstrcpyn(k: &mut Kernel, profile: Win32Profile, dst: SimPtr, src: SimPtr, max: i32) -> ApiResult {
+    k.charge_call();
+    if max <= 0 {
+        return Ok(ApiReturn::ok(0));
+    }
+    let result: Result<(), sim_core::Fault> = (|| {
+        let mut bytes = cstr::read_cstr(&k.space, src, PrivilegeLevel::User)?;
+        bytes.truncate(max as usize - 1);
+        cstr::write_bytes_nul(&mut k.space, dst, &bytes, PrivilegeLevel::User)
+    })();
+    match result {
+        Ok(()) => Ok(ApiReturn::ok(dst.addr() as i64)),
+        Err(fault) => {
+            if lstr_guarded(profile) {
+                Ok(ApiReturn::ok(0))
+            } else {
+                Err(exception(fault))
+            }
+        }
+    }
+}
+
+/// `lstrcat(lpDst, lpSrc)`.
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when any access faults.
+pub fn lstrcat(k: &mut Kernel, profile: Win32Profile, dst: SimPtr, src: SimPtr) -> ApiResult {
+    k.charge_call();
+    let result: Result<(), sim_core::Fault> = (|| {
+        let head = cstr::read_cstr(&k.space, dst, PrivilegeLevel::User)?;
+        let tail = cstr::read_cstr(&k.space, src, PrivilegeLevel::User)?;
+        cstr::write_bytes_nul(
+            &mut k.space,
+            dst.offset(head.len() as u64),
+            &tail,
+            PrivilegeLevel::User,
+        )
+    })();
+    match result {
+        Ok(()) => Ok(ApiReturn::ok(dst.addr() as i64)),
+        Err(fault) => {
+            if lstr_guarded(profile) {
+                Ok(ApiReturn::ok(0))
+            } else {
+                Err(exception(fault))
+            }
+        }
+    }
+}
+
+fn lstrcmp_impl(k: &mut Kernel, profile: Win32Profile, a: SimPtr, b: SimPtr, fold: bool) -> ApiResult {
+    let result: Result<i64, sim_core::Fault> = (|| {
+        let mut x = cstr::read_cstr(&k.space, a, PrivilegeLevel::User)?;
+        let mut y = cstr::read_cstr(&k.space, b, PrivilegeLevel::User)?;
+        if fold {
+            x.make_ascii_lowercase();
+            y.make_ascii_lowercase();
+        }
+        Ok(match x.cmp(&y) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        })
+    })();
+    match result {
+        Ok(v) => Ok(ApiReturn::ok(v)),
+        Err(fault) => {
+            if lstr_guarded(profile) {
+                Ok(ApiReturn::ok(0)) // "equal" — quietly wrong
+            } else {
+                Err(exception(fault))
+            }
+        }
+    }
+}
+
+/// `lstrcmp(lpString1, lpString2)`.
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when a scan faults.
+pub fn lstrcmp(k: &mut Kernel, profile: Win32Profile, a: SimPtr, b: SimPtr) -> ApiResult {
+    k.charge_call();
+    lstrcmp_impl(k, profile, a, b, false)
+}
+
+/// `lstrcmpi(lpString1, lpString2)` — case-insensitive.
+///
+/// # Errors
+///
+/// An SEH abort on unguarded variants when a scan faults.
+pub fn lstrcmpi(k: &mut Kernel, profile: Win32Profile, a: SimPtr, b: SimPtr) -> ApiResult {
+    k.charge_call();
+    lstrcmp_impl(k, profile, a, b, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, PrivilegeLevel::User).unwrap();
+        p
+    }
+
+    #[test]
+    fn env_var_roundtrip() {
+        let mut k = wk();
+        let name = put(&mut k, "BALLISTA");
+        let value = put(&mut k, "ready");
+        assert_eq!(
+            SetEnvironmentVariable(&mut k, nt(), name, value).unwrap().value,
+            TRUE
+        );
+        let buf = k.alloc_user(32, "buf");
+        let r = GetEnvironmentVariable(&mut k, nt(), name, buf, 32).unwrap();
+        assert_eq!(r.value, 5);
+        assert_eq!(
+            cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap(),
+            b"ready"
+        );
+        // Too-small buffer: returns the needed size, robustly.
+        let r = GetEnvironmentVariable(&mut k, nt(), name, buf, 2).unwrap();
+        assert_eq!(r.value, 6);
+        // Delete via NULL value.
+        SetEnvironmentVariable(&mut k, nt(), name, SimPtr::NULL).unwrap();
+        assert!(GetEnvironmentVariable(&mut k, nt(), name, buf, 32)
+            .unwrap()
+            .reported_error());
+        // Hostile name pointer aborts.
+        assert!(GetEnvironmentVariable(&mut k, nt(), SimPtr::NULL, buf, 32).is_err());
+    }
+
+    #[test]
+    fn expand_strings() {
+        let mut k = wk();
+        let src = put(&mut k, "root is %SYSTEMROOT% ok");
+        let dst = k.alloc_user(64, "dst");
+        let r = ExpandEnvironmentStrings(&mut k, nt(), src, dst, 64).unwrap();
+        assert!(r.value > 0);
+        assert_eq!(
+            cstr::read_cstr(&k.space, dst, PrivilegeLevel::User).unwrap(),
+            b"root is C:\\WINDOWS ok"
+        );
+        assert!(ExpandEnvironmentStrings(&mut k, nt(), src, dst, 3)
+            .unwrap()
+            .reported_error());
+    }
+
+    #[test]
+    fn command_line_and_module() {
+        let mut k = wk();
+        let r = GetCommandLine(&mut k, nt()).unwrap();
+        assert!(r.value != 0);
+        // Stable across calls.
+        assert_eq!(GetCommandLine(&mut k, nt()).unwrap().value, r.value);
+        assert_eq!(GetModuleHandle(&mut k, nt(), SimPtr::NULL).unwrap().value, 0x0040_0000);
+        let krn = put(&mut k, "KERNEL32.DLL");
+        assert!(GetModuleHandle(&mut k, nt(), krn).unwrap().value != 0);
+        let nope = put(&mut k, "missing.dll");
+        assert!(GetModuleHandle(&mut k, nt(), nope).unwrap().reported_error());
+        let buf = k.alloc_user(64, "mod");
+        let r = GetModuleFileName(&mut k, nt(), SimPtr::NULL, buf, 64).unwrap();
+        assert!(r.value > 0);
+    }
+
+    #[test]
+    fn version_identifies_variant() {
+        let mut k = wk();
+        let v95 = GetVersion(&mut k, Win32Profile::for_os(OsVariant::Win95)).unwrap().value as u32;
+        assert!(v95 & 0x8000_0000 != 0);
+        let vnt = GetVersion(&mut k, nt()).unwrap().value as u32;
+        assert!(vnt & 0x8000_0000 == 0);
+        assert_eq!(vnt & 0xFF, 4);
+        let v2k = GetVersion(&mut k, Win32Profile::for_os(OsVariant::Win2000)).unwrap().value as u32;
+        assert_eq!(v2k & 0xFF, 5);
+        // GetVersionEx protocol: must set cb first.
+        let info = k.alloc_user(20, "osvi");
+        k.space.write_u32(info, 20).unwrap();
+        assert_eq!(GetVersionEx(&mut k, nt(), info).unwrap().value, TRUE);
+        k.space.write_u32(info, 4).unwrap();
+        assert!(GetVersionEx(&mut k, nt(), info).unwrap().reported_error());
+        assert!(GetVersionEx(&mut k, nt(), SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn system_info_and_directories() {
+        let mut k = wk();
+        let info = k.alloc_user(36, "si");
+        GetSystemInfo(&mut k, nt(), info).unwrap();
+        assert_eq!(k.space.read_u32(info.offset(4)).unwrap(), 0x1000);
+        let buf = k.alloc_user(32, "dir");
+        assert!(GetSystemDirectory(&mut k, nt(), buf, 32).unwrap().value > 0);
+        assert!(GetWindowsDirectory(&mut k, nt(), buf, 32).unwrap().value > 0);
+        // Size-too-small returns the needed size.
+        let needed = GetSystemDirectory(&mut k, nt(), buf, 2).unwrap().value;
+        assert_eq!(needed, 18);
+        let si = k.alloc_user(68, "startup");
+        GetStartupInfo(&mut k, nt(), si).unwrap();
+        assert_eq!(k.space.read_u32(si).unwrap(), 68);
+    }
+
+    #[test]
+    fn computer_name_protocol() {
+        let mut k = wk();
+        let size = k.alloc_user(4, "size");
+        k.space.write_u32(size, 32).unwrap();
+        let buf = k.alloc_user(32, "name");
+        assert_eq!(GetComputerName(&mut k, nt(), buf, size).unwrap().value, TRUE);
+        assert_eq!(
+            cstr::read_cstr(&k.space, buf, PrivilegeLevel::User).unwrap(),
+            b"TESTBED"
+        );
+        assert_eq!(k.space.read_u32(size).unwrap(), 7);
+        // Too small: error + needed size written back.
+        k.space.write_u32(size, 2).unwrap();
+        assert!(GetComputerName(&mut k, nt(), buf, size).unwrap().reported_error());
+        assert_eq!(k.space.read_u32(size).unwrap(), 8);
+        assert!(GetComputerName(&mut k, nt(), buf, SimPtr::NULL).is_err());
+    }
+
+    #[test]
+    fn lstr_family_seh_guard_split() {
+        let mut k = wk();
+        let s = put(&mut k, "guarded");
+        assert_eq!(lstrlen(&mut k, nt(), s).unwrap().value, 7);
+        assert_eq!(lstrlen(&mut k, nt(), SimPtr::NULL).unwrap().value, 0);
+        // Wild pointer: NT returns 0 (SEH-guarded), 98 aborts.
+        assert_eq!(lstrlen(&mut k, nt(), SimPtr::new(0x44)).unwrap().value, 0);
+        assert!(lstrlen(&mut k, w98(), SimPtr::new(0x44)).is_err());
+
+        let dst = k.alloc_user(32, "dst");
+        assert!(lstrcpy(&mut k, nt(), dst, s).unwrap().value != 0);
+        assert_eq!(lstrcpy(&mut k, nt(), SimPtr::new(0x44), s).unwrap().value, 0);
+        assert!(lstrcpy(&mut k, w98(), SimPtr::new(0x44), s).is_err());
+
+        assert!(lstrcat(&mut k, nt(), dst, s).unwrap().value != 0);
+        assert_eq!(
+            cstr::read_cstr(&k.space, dst, PrivilegeLevel::User).unwrap(),
+            b"guardedguarded"
+        );
+        assert!(lstrcpyn(&mut k, nt(), dst, s, 4).unwrap().value != 0);
+        assert_eq!(
+            cstr::read_cstr(&k.space, dst, PrivilegeLevel::User).unwrap(),
+            b"gua"
+        );
+
+        let a = put(&mut k, "Alpha");
+        let b = put(&mut k, "alpha");
+        assert_ne!(lstrcmp(&mut k, nt(), a, b).unwrap().value, 0);
+        assert_eq!(lstrcmpi(&mut k, nt(), a, b).unwrap().value, 0);
+        assert_eq!(lstrcmp(&mut k, nt(), SimPtr::new(0x44), b).unwrap().value, 0);
+        assert!(lstrcmp(&mut k, w98(), SimPtr::new(0x44), b).is_err());
+    }
+}

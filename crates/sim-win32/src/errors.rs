@@ -1,0 +1,148 @@
+//! Win32 error codes (`GetLastError` values) and mappings from kernel
+//! subsystem errors.
+
+use sim_kernel::env::EnvError;
+use sim_kernel::fs::FsError;
+use sim_kernel::heap::HeapError;
+use sim_kernel::objects::HandleError;
+use sim_kernel::process::ProcessError;
+
+/// `ERROR_SUCCESS`.
+pub const ERROR_SUCCESS: u32 = 0;
+/// `ERROR_INVALID_FUNCTION`.
+pub const ERROR_INVALID_FUNCTION: u32 = 1;
+/// `ERROR_FILE_NOT_FOUND`.
+pub const ERROR_FILE_NOT_FOUND: u32 = 2;
+/// `ERROR_PATH_NOT_FOUND`.
+pub const ERROR_PATH_NOT_FOUND: u32 = 3;
+/// `ERROR_TOO_MANY_OPEN_FILES`.
+pub const ERROR_TOO_MANY_OPEN_FILES: u32 = 4;
+/// `ERROR_ACCESS_DENIED`.
+pub const ERROR_ACCESS_DENIED: u32 = 5;
+/// `ERROR_INVALID_HANDLE`.
+pub const ERROR_INVALID_HANDLE: u32 = 6;
+/// `ERROR_NOT_ENOUGH_MEMORY`.
+pub const ERROR_NOT_ENOUGH_MEMORY: u32 = 8;
+/// `ERROR_INVALID_DATA`.
+pub const ERROR_INVALID_DATA: u32 = 13;
+/// `ERROR_OUTOFMEMORY`.
+pub const ERROR_OUTOFMEMORY: u32 = 14;
+/// `ERROR_NO_MORE_FILES`.
+pub const ERROR_NO_MORE_FILES: u32 = 18;
+/// `ERROR_SHARING_VIOLATION`.
+pub const ERROR_SHARING_VIOLATION: u32 = 32;
+/// `ERROR_HANDLE_EOF`.
+pub const ERROR_HANDLE_EOF: u32 = 38;
+/// `ERROR_NOT_SUPPORTED`.
+pub const ERROR_NOT_SUPPORTED: u32 = 50;
+/// `ERROR_FILE_EXISTS`.
+pub const ERROR_FILE_EXISTS: u32 = 80;
+/// `ERROR_INVALID_PARAMETER`.
+pub const ERROR_INVALID_PARAMETER: u32 = 87;
+/// `ERROR_INSUFFICIENT_BUFFER`.
+pub const ERROR_INSUFFICIENT_BUFFER: u32 = 122;
+/// `ERROR_INVALID_NAME`.
+pub const ERROR_INVALID_NAME: u32 = 123;
+/// `ERROR_NEGATIVE_SEEK`.
+pub const ERROR_NEGATIVE_SEEK: u32 = 131;
+/// `ERROR_DIR_NOT_EMPTY`.
+pub const ERROR_DIR_NOT_EMPTY: u32 = 145;
+/// `ERROR_NOT_LOCKED`.
+pub const ERROR_NOT_LOCKED: u32 = 158;
+/// `ERROR_ALREADY_EXISTS`.
+pub const ERROR_ALREADY_EXISTS: u32 = 183;
+/// `ERROR_ENVVAR_NOT_FOUND`.
+pub const ERROR_ENVVAR_NOT_FOUND: u32 = 203;
+/// `WAIT_TIMEOUT` (also returned as a wait status).
+pub const WAIT_TIMEOUT: u32 = 258;
+/// `ERROR_NOACCESS` — the NT kernel's "invalid access to memory location".
+pub const ERROR_NOACCESS: u32 = 998;
+
+/// Maps a filesystem error to `GetLastError` vocabulary.
+#[must_use]
+pub fn from_fs(e: FsError) -> u32 {
+    match e {
+        FsError::NotFound => ERROR_FILE_NOT_FOUND,
+        FsError::NotADirectory => ERROR_PATH_NOT_FOUND,
+        FsError::IsADirectory => ERROR_ACCESS_DENIED,
+        FsError::Exists => ERROR_ALREADY_EXISTS,
+        FsError::AccessDenied => ERROR_ACCESS_DENIED,
+        FsError::BadDescriptor | FsError::BadAccessMode => ERROR_INVALID_HANDLE,
+        FsError::InvalidPath => ERROR_INVALID_NAME,
+        FsError::NotEmpty => ERROR_DIR_NOT_EMPTY,
+        FsError::InvalidSeek => ERROR_NEGATIVE_SEEK,
+        FsError::SharingViolation => ERROR_SHARING_VIOLATION,
+        FsError::TooManyOpen => ERROR_TOO_MANY_OPEN_FILES,
+    }
+}
+
+/// Maps a handle-table error to `GetLastError` vocabulary.
+#[must_use]
+pub fn from_handle(e: HandleError) -> u32 {
+    match e {
+        HandleError::Null
+        | HandleError::InvalidSentinel
+        | HandleError::NeverAllocated
+        | HandleError::Closed => ERROR_INVALID_HANDLE,
+        HandleError::WrongType { .. } => ERROR_INVALID_FUNCTION,
+    }
+}
+
+/// Maps a heap error to `GetLastError` vocabulary.
+#[must_use]
+pub fn from_heap(e: HeapError) -> u32 {
+    match e {
+        HeapError::NoHeap => ERROR_INVALID_HANDLE,
+        HeapError::OutOfMemory => ERROR_NOT_ENOUGH_MEMORY,
+        HeapError::NotAllocated | HeapError::InvalidArgument => ERROR_INVALID_PARAMETER,
+    }
+}
+
+/// Maps a process-table error to `GetLastError` vocabulary.
+#[must_use]
+pub fn from_process(e: ProcessError) -> u32 {
+    match e {
+        ProcessError::NoProcess | ProcessError::NoThread | ProcessError::AlreadyExited => {
+            ERROR_INVALID_HANDLE
+        }
+        ProcessError::NoChildren => ERROR_INVALID_PARAMETER,
+        ProcessError::InvalidArgument => ERROR_INVALID_PARAMETER,
+    }
+}
+
+/// Maps an environment error to `GetLastError` vocabulary.
+#[must_use]
+pub fn from_env(e: EnvError) -> u32 {
+    match e {
+        EnvError::NotFound => ERROR_ENVVAR_NOT_FOUND,
+        EnvError::InvalidName => ERROR_INVALID_PARAMETER,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_mapping() {
+        assert_eq!(from_fs(FsError::NotFound), ERROR_FILE_NOT_FOUND);
+        assert_eq!(from_fs(FsError::Exists), ERROR_ALREADY_EXISTS);
+        assert_eq!(from_fs(FsError::BadDescriptor), ERROR_INVALID_HANDLE);
+    }
+
+    #[test]
+    fn handle_mapping() {
+        assert_eq!(from_handle(HandleError::Null), ERROR_INVALID_HANDLE);
+        assert_eq!(
+            from_handle(HandleError::WrongType { actual: "event" }),
+            ERROR_INVALID_FUNCTION
+        );
+    }
+
+    #[test]
+    fn misc_mappings() {
+        assert_eq!(from_heap(HeapError::OutOfMemory), ERROR_NOT_ENOUGH_MEMORY);
+        assert_eq!(from_process(ProcessError::NoThread), ERROR_INVALID_HANDLE);
+        assert_eq!(from_env(EnvError::NotFound), ERROR_ENVVAR_NOT_FOUND);
+    }
+}

@@ -1,0 +1,711 @@
+//! File I/O primitives: `CreateFile`, `ReadFile`/`WriteFile`, pointers,
+//! locking, and `GetFileInformationByHandle` — the paper's *I/O
+//! Primitives* grouping, containing one deterministic 9x killer
+//! (`GetFileInformationByHandle`, Table 3).
+
+use crate::errors::{self, ERROR_INVALID_PARAMETER, ERROR_NOT_LOCKED};
+use crate::marshal::{
+    bad_handle_return, exception, finish_out, read_buffer, read_string, write_out, BadHandle,
+    handle_disposition, FALSE, TRUE,
+};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::fs::{OpenOptions, SeekFrom};
+use sim_kernel::objects::{Handle, HandleError, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// Resolves a file handle to its open-file description.
+fn file_ofd(k: &Kernel, h: Handle) -> Result<u64, HandleError> {
+    match k.objects.get(h)? {
+        ObjectKind::File(ofd) => Ok(*ofd),
+        other => Err(HandleError::WrongType {
+            actual: other.type_name(),
+        }),
+    }
+}
+
+/// `CreateFile(lpFileName, dwDesiredAccess, dwShareMode, lpSecurity,
+/// dwCreationDisposition, dwFlags, hTemplate)`.
+///
+/// # Errors
+///
+/// An SEH abort when the path string faults (every variant scans it).
+pub fn CreateFile(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    path: SimPtr,
+    desired_access: u32,
+    _share_mode: u32,
+    _security: SimPtr,
+    creation_disposition: u32,
+    _flags: u32,
+    _template: Handle,
+) -> ApiResult {
+    k.charge_call();
+    let name = read_string(k, path)?;
+    const GENERIC_READ: u32 = 0x8000_0000;
+    const GENERIC_WRITE: u32 = 0x4000_0000;
+    let mut opts = OpenOptions {
+        read: desired_access & GENERIC_READ != 0,
+        write: desired_access & GENERIC_WRITE != 0,
+        ..OpenOptions::default()
+    };
+    if !opts.read && !opts.write {
+        opts.read = true; // querying attributes only
+    }
+    // CREATE_NEW=1, CREATE_ALWAYS=2, OPEN_EXISTING=3, OPEN_ALWAYS=4,
+    // TRUNCATE_EXISTING=5.
+    match creation_disposition {
+        1 => opts = opts.create_new(true),
+        2 => opts = opts.create(true).truncate(true),
+        3 => {}
+        4 => opts = opts.create(true),
+        5 => opts = opts.truncate(true),
+        _ => {
+            return Ok(ApiReturn::err(
+                i64::from(Handle::INVALID.raw()),
+                ERROR_INVALID_PARAMETER,
+            ))
+        }
+    }
+    match k.fs.open(&name, opts) {
+        Ok(ofd) => {
+            let h = k.objects.insert(ObjectKind::File(ofd));
+            Ok(ApiReturn::ok(i64::from(h.raw())))
+        }
+        Err(e) => Ok(ApiReturn::err(
+            i64::from(Handle::INVALID.raw()),
+            errors::from_fs(e),
+        )),
+    }
+}
+
+/// `ReadFile(hFile, lpBuffer, nBytes, lpBytesRead, lpOverlapped)`.
+///
+/// # Errors
+///
+/// An SEH abort when the destination buffer or the bytes-read out-pointer
+/// faults under the probing policy.
+pub fn ReadFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    buffer: SimPtr,
+    bytes_to_read: u32,
+    bytes_read_out: SimPtr,
+    _overlapped: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let mut data = vec![0u8; bytes_to_read as usize];
+    let n = match k.fs.read(ofd, &mut data) {
+        Ok(n) => n,
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    };
+    // The data copy into the caller's buffer is an eager user-mode copy on
+    // every variant (this is where hostile buffers abort).
+    k.space
+        .write_bytes(buffer, &data[..n])
+        .map_err(exception)?;
+    let out = write_out(
+        k,
+        profile,
+        "ReadFile",
+        true,
+        bytes_read_out,
+        &(n as u32).to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `WriteFile(hFile, lpBuffer, nBytes, lpBytesWritten, lpOverlapped)`.
+///
+/// # Errors
+///
+/// An SEH abort when the source buffer faults.
+pub fn WriteFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    buffer: SimPtr,
+    bytes_to_write: u32,
+    bytes_written_out: SimPtr,
+    _overlapped: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let data = read_buffer(k, buffer, u64::from(bytes_to_write))?;
+    let n = match k.fs.write(ofd, &data) {
+        Ok(n) => n,
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    };
+    let out = write_out(
+        k,
+        profile,
+        "WriteFile",
+        true,
+        bytes_written_out,
+        &(n as u32).to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `ReadFileEx(hFile, lpBuffer, nBytes, lpOverlapped, lpCompletionRoutine)`
+/// — the overlapped variant; completion is "queued" and the read performed
+/// synchronously in the simulation.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer or a required overlapped pointer faults.
+pub fn ReadFileEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    buffer: SimPtr,
+    bytes_to_read: u32,
+    overlapped: SimPtr,
+    completion: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    // The overlapped structure is mandatory here: NULL is a documented
+    // invalid parameter; every variant reads its offset fields.
+    if overlapped.is_null() {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let _offset = k.space.read_u32(overlapped).map_err(exception)?;
+    if completion.is_null() {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    ReadFile(k, profile, h, buffer, bytes_to_read, SimPtr::NULL, overlapped).map(|mut r| {
+        if r.value == TRUE && r.error.is_none() {
+            r = ApiReturn::ok(TRUE);
+        }
+        r
+    })
+}
+
+/// `WriteFileEx(hFile, lpBuffer, nBytes, lpOverlapped, lpCompletionRoutine)`.
+///
+/// # Errors
+///
+/// An SEH abort when the buffer or overlapped pointer faults.
+pub fn WriteFileEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    buffer: SimPtr,
+    bytes_to_write: u32,
+    overlapped: SimPtr,
+    completion: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if overlapped.is_null() || completion.is_null() {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let _offset = k.space.read_u32(overlapped).map_err(exception)?;
+    WriteFile(k, profile, h, buffer, bytes_to_write, SimPtr::NULL, overlapped)
+}
+
+/// `SetFilePointer(hFile, lDistanceToMove, lpDistanceToMoveHigh,
+/// dwMoveMethod)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL high-distance pointer faults under
+/// probing.
+pub fn SetFilePointer(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    distance: i32,
+    distance_high: SimPtr,
+    move_method: u32,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, 0)),
+    };
+    let from = match move_method {
+        0 if distance >= 0 => SeekFrom::Start(distance as u64),
+        0 => return Ok(ApiReturn::err(-1, errors::ERROR_NEGATIVE_SEEK)),
+        1 => SeekFrom::Current(i64::from(distance)),
+        2 => SeekFrom::End(i64::from(distance)),
+        _ => return Ok(ApiReturn::err(-1, ERROR_INVALID_PARAMETER)),
+    };
+    let pos = match k.fs.seek(ofd, from) {
+        Ok(p) => p,
+        Err(e) => return Ok(ApiReturn::err(-1, errors::from_fs(e))),
+    };
+    if !distance_high.is_null() {
+        let out = write_out(
+            k,
+            profile,
+            "SetFilePointer",
+            true,
+            distance_high,
+            &((pos >> 32) as u32).to_le_bytes(),
+        )?;
+        return Ok(finish_out(out, (pos & 0xFFFF_FFFF) as i64));
+    }
+    Ok(ApiReturn::ok((pos & 0xFFFF_FFFF) as i64))
+}
+
+/// `SetEndOfFile(hFile)` — truncates at the current pointer.
+///
+/// # Errors
+///
+/// None.
+pub fn SetEndOfFile(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match file_ofd(k, h) {
+        Ok(_) => Ok(ApiReturn::ok(TRUE)), // in-memory fs: nothing to flush
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `FlushFileBuffers(hFile)`.
+///
+/// # Errors
+///
+/// None.
+pub fn FlushFileBuffers(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match file_ofd(k, h) {
+        Ok(_) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+fn lock_key(ofd: u64, offset: u32) -> String {
+    format!("win32.lock.{ofd}.{offset}")
+}
+
+/// `LockFile(hFile, dwFileOffsetLow, dwFileOffsetHigh, nBytesLow,
+/// nBytesHigh)`.
+///
+/// # Errors
+///
+/// None; degenerate ranges return errors.
+pub fn LockFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    offset_low: u32,
+    _offset_high: u32,
+    bytes_low: u32,
+    bytes_high: u32,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    if bytes_low == 0 && bytes_high == 0 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let key = lock_key(ofd, offset_low);
+    if k.scratch.contains_key(&key) {
+        return Ok(ApiReturn::err(FALSE, errors::ERROR_SHARING_VIOLATION));
+    }
+    k.scratch.insert(key, u64::from(bytes_low));
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `LockFileEx(hFile, dwFlags, dwReserved, nBytesLow, nBytesHigh,
+/// lpOverlapped)` — the overlapped struct carries the offset.
+///
+/// # Errors
+///
+/// An SEH abort when the overlapped pointer faults.
+pub fn LockFileEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    _flags: u32,
+    reserved: u32,
+    bytes_low: u32,
+    bytes_high: u32,
+    overlapped: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if reserved != 0 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let offset = k.space.read_u32(overlapped).map_err(exception)?;
+    LockFile(k, profile, h, offset, 0, bytes_low, bytes_high)
+}
+
+/// `UnlockFile(hFile, dwFileOffsetLow, dwFileOffsetHigh, nBytesLow,
+/// nBytesHigh)`.
+///
+/// # Errors
+///
+/// None; unlocking an unlocked range reports `ERROR_NOT_LOCKED`.
+pub fn UnlockFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    offset_low: u32,
+    _offset_high: u32,
+    _bytes_low: u32,
+    _bytes_high: u32,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    match k.scratch.remove(&lock_key(ofd, offset_low)) {
+        Some(_) => Ok(ApiReturn::ok(TRUE)),
+        None => Ok(ApiReturn::err(FALSE, ERROR_NOT_LOCKED)),
+    }
+}
+
+/// `UnlockFileEx(hFile, dwReserved, nBytesLow, nBytesHigh, lpOverlapped)`.
+///
+/// # Errors
+///
+/// An SEH abort when the overlapped pointer faults.
+pub fn UnlockFileEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    reserved: u32,
+    bytes_low: u32,
+    bytes_high: u32,
+    overlapped: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if reserved != 0 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let offset = k.space.read_u32(overlapped).map_err(exception)?;
+    UnlockFile(k, profile, h, offset, 0, bytes_low, bytes_high)
+}
+
+/// `GetFileSize(hFile, lpFileSizeHigh)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL high-size pointer faults under probing.
+pub fn GetFileSize(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    size_high_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => {
+            // INVALID_FILE_SIZE (0xFFFFFFFF) on error; 9x returns a
+            // plausible size silently.
+            return Ok(match handle_disposition(profile, e) {
+                BadHandle::SilentSuccess => ApiReturn::ok(0),
+                BadHandle::ErrorReturn(code) => ApiReturn::err(0xFFFF_FFFF, code),
+            });
+        }
+    };
+    let size = match k.fs.size_of(ofd) {
+        Ok(s) => s,
+        Err(e) => return Ok(ApiReturn::err(0xFFFF_FFFF, errors::from_fs(e))),
+    };
+    if !size_high_out.is_null() {
+        let out = write_out(
+            k,
+            profile,
+            "GetFileSize",
+            true,
+            size_high_out,
+            &((size >> 32) as u32).to_le_bytes(),
+        )?;
+        return Ok(finish_out(out, (size & 0xFFFF_FFFF) as i64));
+    }
+    Ok(ApiReturn::ok((size & 0xFFFF_FFFF) as i64))
+}
+
+/// `GetFileInformationByHandle(hFile, lpFileInformation)`.
+///
+/// **Table 3**: on Windows 95/98/98 SE the 52-byte
+/// `BY_HANDLE_FILE_INFORMATION` block is written by kernel code with no
+/// probing — a hostile pointer is a deterministic whole-system crash.
+///
+/// # Errors
+///
+/// An SEH abort on NT/CE when the information pointer faults.
+pub fn GetFileInformationByHandle(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    info_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ofd = match file_ofd(k, h) {
+        Ok(ofd) => ofd,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let stat = match k.fs.fstat(ofd) {
+        Ok(s) => s,
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),
+    };
+    // BY_HANDLE_FILE_INFORMATION: 13 DWORDs.
+    let mut info = Vec::with_capacity(52);
+    info.extend_from_slice(&u32::from(stat.attrs.readonly).to_le_bytes()); // attributes
+    for _ in 0..6 {
+        info.extend_from_slice(&0u32.to_le_bytes()); // times (3 × FILETIME)
+    }
+    info.extend_from_slice(&0u32.to_le_bytes()); // volume serial
+    info.extend_from_slice(&((stat.size >> 32) as u32).to_le_bytes());
+    info.extend_from_slice(&((stat.size & 0xFFFF_FFFF) as u32).to_le_bytes());
+    info.extend_from_slice(&1u32.to_le_bytes()); // link count
+    info.extend_from_slice(&0u32.to_le_bytes()); // index high
+    info.extend_from_slice(&(stat.node_id as u32).to_le_bytes()); // index low
+    let out = write_out(
+        k,
+        profile,
+        "GetFileInformationByHandle",
+        false,
+        info_out,
+        &info,
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::cstr;
+    use sim_core::addr::PrivilegeLevel;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w95() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win95)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, PrivilegeLevel::User).unwrap();
+        p
+    }
+
+    const GENERIC_READ: u32 = 0x8000_0000;
+    const GENERIC_WRITE: u32 = 0x4000_0000;
+
+    fn create(k: &mut Kernel, p: Win32Profile, path: &str) -> Handle {
+        let name = put(k, path);
+        let r = CreateFile(
+            k,
+            p,
+            name,
+            GENERIC_READ | GENERIC_WRITE,
+            0,
+            SimPtr::NULL,
+            2, // CREATE_ALWAYS
+            0,
+            Handle::NULL,
+        )
+        .unwrap();
+        assert!(!r.reported_error(), "CreateFile failed: {:?}", r.error);
+        Handle(r.value as u32)
+    }
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\io.bin");
+        let data = put(&mut k, "0123456789");
+        let written = k.alloc_user(4, "nw");
+        let r = WriteFile(&mut k, nt(), h, data, 10, written, SimPtr::NULL).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert_eq!(k.space.read_u32(written).unwrap(), 10);
+        assert_eq!(
+            SetFilePointer(&mut k, nt(), h, 0, SimPtr::NULL, 0).unwrap().value,
+            0
+        );
+        let buf = k.alloc_user(16, "buf");
+        let read = k.alloc_user(4, "nr");
+        let r = ReadFile(&mut k, nt(), h, buf, 10, read, SimPtr::NULL).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert_eq!(k.space.read_u32(read).unwrap(), 10);
+        assert_eq!(k.space.read_bytes(buf, 10).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn create_file_error_paths() {
+        let mut k = wk();
+        let missing = put(&mut k, "C:\\TEMP\\missing.txt");
+        let r = CreateFile(
+            &mut k, nt(), missing, GENERIC_READ, 0, SimPtr::NULL, 3, 0, Handle::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.error, Some(errors::ERROR_FILE_NOT_FOUND));
+        let bad_disp = put(&mut k, "C:\\TEMP\\x");
+        let r = CreateFile(
+            &mut k, nt(), bad_disp, GENERIC_READ, 0, SimPtr::NULL, 99, 0, Handle::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.error, Some(ERROR_INVALID_PARAMETER));
+        assert!(CreateFile(
+            &mut k, nt(), SimPtr::NULL, GENERIC_READ, 0, SimPtr::NULL, 3, 0, Handle::NULL
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn read_into_hostile_buffer_aborts_everywhere() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\r.bin");
+        let data = put(&mut k, "abc");
+        let nw = k.alloc_user(4, "nw");
+        WriteFile(&mut k, nt(), h, data, 3, nw, SimPtr::NULL).unwrap();
+        SetFilePointer(&mut k, nt(), h, 0, SimPtr::NULL, 0).unwrap();
+        for p in [nt(), w98()] {
+            assert!(ReadFile(&mut k, p, h, SimPtr::NULL, 3, SimPtr::NULL, SimPtr::NULL).is_err());
+        }
+    }
+
+    #[test]
+    fn bytes_read_out_pointer_splits_nt_vs_9x() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\s.bin");
+        let buf = k.alloc_user(4, "buf");
+        // NT: bad out-pointer aborts.
+        assert!(ReadFile(&mut k, nt(), h, buf, 0, SimPtr::new(0x14), SimPtr::NULL).is_err());
+        // 98: silently skipped, success reported.
+        let r = ReadFile(&mut k, w98(), h, buf, 0, SimPtr::new(0x14), SimPtr::NULL).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(!r.reported_error());
+        assert!(k.is_alive());
+    }
+
+    #[test]
+    fn get_file_information_crashes_9x_deterministically() {
+        let mut k = wk();
+        let h = create(&mut k, w95(), "C:\\TEMP\\i.bin");
+        // Hostile info pointer: Win95 dies, no residue needed.
+        let _ = GetFileInformationByHandle(&mut k, w95(), h, SimPtr::new(0x2000)).unwrap();
+        assert!(!k.is_alive());
+        assert_eq!(k.crash.info().unwrap().call, "GetFileInformationByHandle");
+
+        // NT: plain abort.
+        let mut k2 = wk();
+        let h2 = create(&mut k2, nt(), "C:\\TEMP\\i.bin");
+        assert!(GetFileInformationByHandle(&mut k2, nt(), h2, SimPtr::new(0x2000)).is_err());
+        assert!(k2.is_alive());
+
+        // Valid pointer on 95: works fine.
+        let mut k3 = wk();
+        let h3 = create(&mut k3, w95(), "C:\\TEMP\\i.bin");
+        let info = k3.alloc_user(52, "info");
+        let r = GetFileInformationByHandle(&mut k3, w95(), h3, info).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(k3.is_alive());
+    }
+
+    #[test]
+    fn set_file_pointer_semantics() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\p.bin");
+        let data = put(&mut k, "0123456789");
+        let nw = k.alloc_user(4, "nw");
+        WriteFile(&mut k, nt(), h, data, 10, nw, SimPtr::NULL).unwrap();
+        assert_eq!(
+            SetFilePointer(&mut k, nt(), h, -3, SimPtr::NULL, 2).unwrap().value,
+            7
+        );
+        assert_eq!(
+            SetFilePointer(&mut k, nt(), h, -2, SimPtr::NULL, 1).unwrap().value,
+            5
+        );
+        assert!(SetFilePointer(&mut k, nt(), h, -1, SimPtr::NULL, 0)
+            .unwrap()
+            .reported_error());
+        assert!(SetFilePointer(&mut k, nt(), h, 0, SimPtr::NULL, 7)
+            .unwrap()
+            .reported_error());
+        // High-distance out-pointer probing.
+        assert!(SetFilePointer(&mut k, nt(), h, 0, SimPtr::new(0x8), 0).is_err());
+    }
+
+    #[test]
+    fn locking_protocol() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\l.bin");
+        assert_eq!(LockFile(&mut k, nt(), h, 0, 0, 10, 0).unwrap().value, TRUE);
+        // Double lock: sharing violation.
+        assert!(LockFile(&mut k, nt(), h, 0, 0, 10, 0).unwrap().reported_error());
+        // Zero-length lock: invalid parameter.
+        assert!(LockFile(&mut k, nt(), h, 4, 0, 0, 0).unwrap().reported_error());
+        assert_eq!(UnlockFile(&mut k, nt(), h, 0, 0, 10, 0).unwrap().value, TRUE);
+        let r = UnlockFile(&mut k, nt(), h, 0, 0, 10, 0).unwrap();
+        assert_eq!(r.error, Some(ERROR_NOT_LOCKED));
+    }
+
+    #[test]
+    fn lock_ex_reads_overlapped() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\le.bin");
+        assert!(LockFileEx(&mut k, nt(), h, 0, 0, 4, 0, SimPtr::NULL).is_err());
+        let ov = k.alloc_user(20, "overlapped");
+        assert_eq!(
+            LockFileEx(&mut k, nt(), h, 0, 0, 4, 0, ov).unwrap().value,
+            TRUE
+        );
+        assert_eq!(
+            UnlockFileEx(&mut k, nt(), h, 0, 4, 0, ov).unwrap().value,
+            TRUE
+        );
+        assert!(LockFileEx(&mut k, nt(), h, 0, 7, 4, 0, ov).unwrap().reported_error());
+    }
+
+    #[test]
+    fn file_size_and_eof_helpers() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\z.bin");
+        let data = put(&mut k, "xyz");
+        let nw = k.alloc_user(4, "nw");
+        WriteFile(&mut k, nt(), h, data, 3, nw, SimPtr::NULL).unwrap();
+        assert_eq!(GetFileSize(&mut k, nt(), h, SimPtr::NULL).unwrap().value, 3);
+        // Bad handle: NT error with INVALID_FILE_SIZE, 9x silent zero.
+        let r = GetFileSize(&mut k, nt(), Handle(0x123), SimPtr::NULL).unwrap();
+        assert_eq!(r.value, 0xFFFF_FFFF);
+        assert!(r.reported_error());
+        let r = GetFileSize(&mut k, w98(), Handle(0x123), SimPtr::NULL).unwrap();
+        assert!(!r.reported_error());
+        assert_eq!(SetEndOfFile(&mut k, nt(), h).unwrap().value, TRUE);
+        assert_eq!(FlushFileBuffers(&mut k, nt(), h).unwrap().value, TRUE);
+    }
+
+    #[test]
+    fn ex_variants_validate_parameters() {
+        let mut k = wk();
+        let h = create(&mut k, nt(), "C:\\TEMP\\ex.bin");
+        let buf = k.alloc_user(8, "buf");
+        let r = ReadFileEx(&mut k, nt(), h, buf, 4, SimPtr::NULL, SimPtr::new(0x5000)).unwrap();
+        assert_eq!(r.error, Some(ERROR_INVALID_PARAMETER));
+        let ov = k.alloc_user(20, "ov");
+        let r = ReadFileEx(&mut k, nt(), h, buf, 4, ov, SimPtr::NULL).unwrap();
+        assert_eq!(r.error, Some(ERROR_INVALID_PARAMETER));
+    }
+}

@@ -1,0 +1,391 @@
+//! Handle management: `CloseHandle`, `DuplicateHandle`, standard handles.
+//!
+//! `DuplicateHandle` is a Table 3 entry: on the 9x family, duplicating a
+//! garbage source handle under harness-accumulated state walks a corrupt
+//! handle table in kernel mode and kills the machine (`*DuplicateHandle`).
+
+use crate::errors::{self, ERROR_INVALID_HANDLE};
+use crate::marshal::{
+    bad_handle_return, finish_out, write_out, BadHandle, handle_disposition, FALSE, TRUE,
+};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::objects::Handle;
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// `CloseHandle(hObject)`.
+///
+/// NT/CE validate and report `ERROR_INVALID_HANDLE`; 9x quietly returns
+/// `TRUE` for garbage handles — one of the highest-volume Silent failures
+/// in the reproduction, exactly as estimated in the paper's Figure 2.
+///
+/// # Errors
+///
+/// None; bad handles never abort this call on any variant.
+pub fn CloseHandle(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match k.objects.close(h) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `DuplicateHandle(hSrcProc, hSrc, hDstProc, lpDst, access, inherit, opts)`.
+///
+/// # Errors
+///
+/// An SEH abort when `lpDst` faults under the probing policy. On 9x with
+/// residue, a garbage `hSrc` is Catastrophic (Table 3 `*DuplicateHandle`).
+pub fn DuplicateHandle(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    src_process: Handle,
+    src: Handle,
+    dst_process: Handle,
+    dst_out: SimPtr,
+    _desired_access: u32,
+    inherit: u32,
+    _options: u32,
+) -> ApiResult {
+    k.charge_call();
+    // Process-handle arguments accept the pseudo-handle.
+    for ph in [src_process, dst_process] {
+        if !ph.is_pseudo() && k.objects.get(ph).is_err() {
+            let e = k.objects.get(ph).unwrap_err();
+            return Ok(bad_handle_return(profile, e, TRUE));
+        }
+    }
+    let dup = match k.objects.duplicate(src) {
+        Ok(h) => h,
+        Err(e) => {
+            if profile.vulnerability_fires("DuplicateHandle", k.residue) {
+                k.crash.panic(
+                    "DuplicateHandle",
+                    "kernel handle-table walk through garbage source handle",
+                    None,
+                );
+                return Ok(ApiReturn::ok(TRUE));
+            }
+            return Ok(bad_handle_return(profile, e, TRUE));
+        }
+    };
+    if inherit != 0 {
+        let _ = k.objects.set_inheritable(dup, true);
+    }
+    let out = write_out(
+        k,
+        profile,
+        "DuplicateHandle",
+        true,
+        dst_out,
+        &dup.raw().to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `GetStdHandle(nStdHandle)` — `STD_INPUT_HANDLE` (−10),
+/// `STD_OUTPUT_HANDLE` (−11), `STD_ERROR_HANDLE` (−12).
+///
+/// # Errors
+///
+/// None; out-of-range selectors return `INVALID_HANDLE_VALUE` robustly.
+pub fn GetStdHandle(k: &mut Kernel, _profile: Win32Profile, n_std: i32) -> ApiResult {
+    k.charge_call();
+    let idx = match n_std {
+        -10 => 0,
+        -11 => 1,
+        -12 => 2,
+        _ => {
+            return Ok(ApiReturn::err(
+                i64::from(Handle::INVALID.raw()),
+                errors::ERROR_INVALID_PARAMETER,
+            ))
+        }
+    };
+    Ok(ApiReturn::ok(i64::from(k.std_handles[idx].raw())))
+}
+
+/// `SetStdHandle(nStdHandle, hHandle)`.
+///
+/// # Errors
+///
+/// None; bad selectors and handles return errors (or 9x silence).
+pub fn SetStdHandle(k: &mut Kernel, profile: Win32Profile, n_std: i32, h: Handle) -> ApiResult {
+    k.charge_call();
+    let idx = match n_std {
+        -10 => 0,
+        -11 => 1,
+        -12 => 2,
+        _ => return Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_PARAMETER)),
+    };
+    if k.objects.get(h).is_err() {
+        let e = k.objects.get(h).unwrap_err();
+        match handle_disposition(profile, e) {
+            BadHandle::SilentSuccess => {
+                // 9x stores the garbage handle without looking at it.
+                k.std_handles[idx] = h;
+                return Ok(ApiReturn::ok(TRUE));
+            }
+            BadHandle::ErrorReturn(code) => return Ok(ApiReturn::err(FALSE, code)),
+        }
+    }
+    k.std_handles[idx] = h;
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `GetHandleInformation(hObject, lpdwFlags)`.
+///
+/// # Errors
+///
+/// An SEH abort when `lpdwFlags` faults under the probing policy.
+pub fn GetHandleInformation(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    flags_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if let Err(e) = k.objects.get(h) {
+        return Ok(bad_handle_return(profile, e, TRUE));
+    }
+    let out = write_out(
+        k,
+        profile,
+        "GetHandleInformation",
+        true,
+        flags_out,
+        &0u32.to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `SetHandleInformation(hObject, dwMask, dwFlags)`.
+///
+/// # Errors
+///
+/// None; bad handles return errors (or 9x silence).
+pub fn SetHandleInformation(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    mask: u32,
+    flags: u32,
+) -> ApiResult {
+    k.charge_call();
+    const HANDLE_FLAG_INHERIT: u32 = 1;
+    match k.objects.set_inheritable(h, mask & flags & HANDLE_FLAG_INHERIT != 0) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `GetFileType(hFile)` — `FILE_TYPE_DISK` (1), `FILE_TYPE_CHAR` (2),
+/// `FILE_TYPE_UNKNOWN` (0).
+///
+/// # Errors
+///
+/// None.
+pub fn GetFileType(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    use sim_kernel::objects::ObjectKind;
+    match k.objects.get(h) {
+        Ok(ObjectKind::File(_)) => Ok(ApiReturn::ok(1)),
+        Ok(ObjectKind::ConsoleStream { .. }) => Ok(ApiReturn::ok(2)),
+        Ok(_) => Ok(ApiReturn::err(0, ERROR_INVALID_HANDLE)),
+        Err(e) => {
+            // The "unknown" return makes the silent path observable: 9x
+            // reports FILE_TYPE_DISK for garbage.
+            match handle_disposition(profile, e) {
+                BadHandle::SilentSuccess => Ok(ApiReturn::ok(1)),
+                BadHandle::ErrorReturn(code) => Ok(ApiReturn::err(0, code)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::objects::ObjectKind;
+    use sim_kernel::sync::SyncState;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn event(k: &mut Kernel) -> Handle {
+        k.objects.insert(ObjectKind::Event(SyncState::event(false, false)))
+    }
+
+    #[test]
+    fn close_handle_split() {
+        let mut k = Kernel::new();
+        let h = event(&mut k);
+        assert_eq!(CloseHandle(&mut k, nt(), h).unwrap().value, TRUE);
+        // Closed handle: NT reports, 98 silently succeeds.
+        let r = CloseHandle(&mut k, nt(), h).unwrap();
+        assert_eq!(r.value, FALSE);
+        assert_eq!(r.error, Some(ERROR_INVALID_HANDLE));
+        let r = CloseHandle(&mut k, w98(), h).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(!r.reported_error());
+        // Garbage values.
+        let r = CloseHandle(&mut k, nt(), Handle(0xABCD)).unwrap();
+        assert!(r.reported_error());
+        let r = CloseHandle(&mut k, w98(), Handle(0xABCD)).unwrap();
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn duplicate_handle_happy_path() {
+        let mut k = Kernel::new();
+        let h = event(&mut k);
+        let out = k.alloc_user(4, "dup");
+        let r = DuplicateHandle(
+            &mut k,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            h,
+            Handle::CURRENT_PROCESS,
+            out,
+            0,
+            0,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.value, TRUE);
+        let dup = Handle(k.space.read_u32(out).unwrap());
+        assert!(k.objects.get(dup).is_ok());
+    }
+
+    #[test]
+    fn duplicate_handle_crashes_9x_with_residue() {
+        let mut k = Kernel::new();
+        k.residue = 5;
+        let out = k.alloc_user(4, "dup");
+        let _ = DuplicateHandle(
+            &mut k,
+            w98(),
+            Handle::CURRENT_PROCESS,
+            Handle(0x7777),
+            Handle::CURRENT_PROCESS,
+            out,
+            0,
+            0,
+            0,
+        )
+        .unwrap();
+        assert!(!k.is_alive());
+
+        // No residue: silent success instead.
+        let mut k2 = Kernel::new();
+        let out2 = k2.alloc_user(4, "dup");
+        let r = DuplicateHandle(
+            &mut k2,
+            w98(),
+            Handle::CURRENT_PROCESS,
+            Handle(0x7777),
+            Handle::CURRENT_PROCESS,
+            out2,
+            0,
+            0,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(k2.is_alive());
+
+        // NT with residue: robust error.
+        let mut k3 = Kernel::new();
+        k3.residue = 5;
+        let out3 = k3.alloc_user(4, "dup");
+        let r = DuplicateHandle(
+            &mut k3,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            Handle(0x7777),
+            Handle::CURRENT_PROCESS,
+            out3,
+            0,
+            0,
+            0,
+        )
+        .unwrap();
+        assert!(r.reported_error());
+        assert!(k3.is_alive());
+    }
+
+    #[test]
+    fn duplicate_handle_bad_out_pointer_aborts_nt() {
+        let mut k = Kernel::new();
+        let h = event(&mut k);
+        assert!(DuplicateHandle(
+            &mut k,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            h,
+            Handle::CURRENT_PROCESS,
+            SimPtr::NULL,
+            0,
+            0,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn std_handles() {
+        let mut k = Kernel::new();
+        let r = GetStdHandle(&mut k, nt(), -11).unwrap();
+        assert_eq!(r.value as u32, k.std_handles[1].raw());
+        assert!(GetStdHandle(&mut k, nt(), 42).unwrap().reported_error());
+        let h = event(&mut k);
+        assert_eq!(SetStdHandle(&mut k, nt(), -10, h).unwrap().value, TRUE);
+        assert_eq!(k.std_handles[0], h);
+        assert!(SetStdHandle(&mut k, nt(), 0, h).unwrap().reported_error());
+        // 9x accepts garbage silently.
+        assert_eq!(
+            SetStdHandle(&mut k, w98(), -12, Handle(0x9999)).unwrap().value,
+            TRUE
+        );
+    }
+
+    #[test]
+    fn handle_information() {
+        let mut k = Kernel::new();
+        let h = event(&mut k);
+        let out = k.alloc_user(4, "flags");
+        assert_eq!(
+            GetHandleInformation(&mut k, nt(), h, out).unwrap().value,
+            TRUE
+        );
+        assert!(GetHandleInformation(&mut k, nt(), h, SimPtr::NULL).is_err());
+        assert_eq!(
+            SetHandleInformation(&mut k, nt(), h, 1, 1).unwrap().value,
+            TRUE
+        );
+        assert!(SetHandleInformation(&mut k, nt(), Handle(0xF00), 1, 1)
+            .unwrap()
+            .reported_error());
+    }
+
+    #[test]
+    fn file_type() {
+        let mut k = Kernel::new();
+        let std_out = k.std_handles[1];
+        assert_eq!(GetFileType(&mut k, nt(), std_out).unwrap().value, 2);
+        let e = event(&mut k);
+        assert!(GetFileType(&mut k, nt(), e).unwrap().reported_error());
+        // Garbage: NT error, 98 claims a disk file silently.
+        assert!(GetFileType(&mut k, nt(), Handle(0x8888)).unwrap().reported_error());
+        let r = GetFileType(&mut k, w98(), Handle(0x8888)).unwrap();
+        assert_eq!(r.value, 1);
+        assert!(!r.reported_error());
+    }
+}

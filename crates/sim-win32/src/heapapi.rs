@@ -1,0 +1,535 @@
+//! Heap management: the `Heap*` family plus the legacy `GlobalAlloc` /
+//! `LocalAlloc` calls — the other half of the *Memory Management*
+//! grouping.
+//!
+//! Table 3 entry implemented here: `HeapCreate` is a deterministic
+//! Catastrophic failure on Windows 95 — an absurd initial-size parameter
+//! overflows the 95 kernel's arena setup arithmetic and corrupts system
+//! state before any validation runs.
+
+use crate::errors::{self, ERROR_INVALID_PARAMETER, ERROR_NOT_ENOUGH_MEMORY};
+use crate::marshal::{bad_handle_return, BadHandle, handle_disposition, FALSE, TRUE};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::heap::HeapId;
+use sim_kernel::objects::{Handle, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+/// Initial-size threshold beyond which the Windows 95 arena arithmetic
+/// overflows (the deterministic Table 3 `HeapCreate` crash).
+const W95_HEAP_OVERFLOW: u64 = 0x7FFF_0000;
+
+fn heap_id(k: &Kernel, h: Handle) -> Result<HeapId, sim_kernel::objects::HandleError> {
+    match k.objects.get(h)? {
+        ObjectKind::Heap(id) => Ok(*id),
+        other => Err(sim_kernel::objects::HandleError::WrongType {
+            actual: other.type_name(),
+        }),
+    }
+}
+
+/// `GetProcessHeap()` — returns (lazily creating) the handle for the
+/// process default heap.
+///
+/// # Errors
+///
+/// None.
+pub fn GetProcessHeap(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    if let Some(&raw) = k.scratch.get("win32.process_heap") {
+        return Ok(ApiReturn::ok(raw as i64));
+    }
+    let h = k.objects.insert(ObjectKind::Heap(k.default_heap));
+    k.scratch
+        .insert("win32.process_heap".to_owned(), u64::from(h.raw()));
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `HeapCreate(flOptions, dwInitialSize, dwMaximumSize)`.
+///
+/// # Errors
+///
+/// None on return-path; on Windows 95 an absurd initial size is
+/// Catastrophic (Table 3).
+pub fn HeapCreate(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    _fl_options: u32,
+    initial_size: u64,
+    maximum_size: u64,
+) -> ApiResult {
+    k.charge_call();
+    if initial_size >= W95_HEAP_OVERFLOW && profile.vulnerability_fires("HeapCreate", k.residue) {
+        k.crash.panic(
+            "HeapCreate",
+            "arena setup arithmetic overflow corrupted kernel memory",
+            None,
+        );
+        return Ok(ApiReturn::ok(0x0BAD_0000));
+    }
+    if maximum_size != 0 && initial_size > maximum_size {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    if initial_size >= W95_HEAP_OVERFLOW {
+        // Robust variants reject the absurd request.
+        return Ok(ApiReturn::err(0, ERROR_NOT_ENOUGH_MEMORY));
+    }
+    match k.heaps.create(initial_size, maximum_size) {
+        Ok(id) => {
+            let h = k.objects.insert(ObjectKind::Heap(id));
+            Ok(ApiReturn::ok(i64::from(h.raw())))
+        }
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+/// `HeapDestroy(hHeap)`.
+///
+/// # Errors
+///
+/// None; bad handles return errors (or 9x silence).
+pub fn HeapDestroy(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match heap_id(k, h) {
+        Ok(id) => {
+            let Kernel { heaps, space, .. } = k;
+            let _ = heaps.destroy(id, space);
+            let _ = k.objects.close(h);
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `HeapAlloc(hHeap, dwFlags, dwBytes)`.
+///
+/// On the 9x family a garbage heap handle is quietly serviced from the
+/// process heap (Silent); NT validates it.
+///
+/// # Errors
+///
+/// None.
+pub fn HeapAlloc(k: &mut Kernel, profile: Win32Profile, h: Handle, _flags: u32, bytes: u64) -> ApiResult {
+    k.charge_call();
+    let id = match heap_id(k, h) {
+        Ok(id) => id,
+        Err(e) => match handle_disposition(profile, e) {
+            BadHandle::SilentSuccess => k.default_heap,
+            BadHandle::ErrorReturn(code) => return Ok(ApiReturn::err(0, code)),
+        },
+    };
+    let Kernel { heaps, space, .. } = k;
+    match heaps.alloc(id, bytes, space) {
+        Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+/// `HeapFree(hHeap, dwFlags, lpMem)`.
+///
+/// # Errors
+///
+/// None; foreign pointers are validated to `ERROR_INVALID_PARAMETER`
+/// (NT) or silently ignored (9x).
+pub fn HeapFree(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    _flags: u32,
+    mem: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let id = match heap_id(k, h) {
+        Ok(id) => id,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let Kernel { heaps, space, .. } = k;
+    match heaps.free(id, mem, space) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => {
+            if profile.validates_handles() {
+                Ok(ApiReturn::err(FALSE, errors::from_heap(e)))
+            } else {
+                Ok(ApiReturn::ok(TRUE)) // 9x: quiet no-op
+            }
+        }
+    }
+}
+
+/// `HeapReAlloc(hHeap, dwFlags, lpMem, dwBytes)`.
+///
+/// # Errors
+///
+/// None.
+pub fn HeapReAlloc(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    _flags: u32,
+    mem: SimPtr,
+    bytes: u64,
+) -> ApiResult {
+    k.charge_call();
+    let id = match heap_id(k, h) {
+        Ok(id) => id,
+        Err(e) => return Ok(bad_handle_return(profile, e, 0)),
+    };
+    let Kernel { heaps, space, .. } = k;
+    match heaps.realloc(id, mem, bytes, space) {
+        Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+/// `HeapSize(hHeap, dwFlags, lpMem)`.
+///
+/// # Errors
+///
+/// None; failures return `(SIZE_T)-1`.
+pub fn HeapSize(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    _flags: u32,
+    mem: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let id = match heap_id(k, h) {
+        Ok(id) => id,
+        Err(e) => {
+            return Ok(match handle_disposition(profile, e) {
+                BadHandle::SilentSuccess => ApiReturn::ok(0),
+                BadHandle::ErrorReturn(code) => ApiReturn::err(-1, code),
+            })
+        }
+    };
+    match k.heaps.size_of(id, mem) {
+        Ok(s) => Ok(ApiReturn::ok(s as i64)),
+        Err(e) => Ok(ApiReturn::err(-1, errors::from_heap(e))),
+    }
+}
+
+/// `HeapValidate(hHeap, dwFlags, lpMem)` — NULL `lpMem` validates the
+/// whole heap.
+///
+/// # Errors
+///
+/// None.
+pub fn HeapValidate(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    _flags: u32,
+    mem: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let id = match heap_id(k, h) {
+        Ok(id) => id,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    if mem.is_null() {
+        return Ok(ApiReturn::ok(TRUE));
+    }
+    Ok(ApiReturn::ok(i64::from(k.heaps.size_of(id, mem).is_ok())))
+}
+
+/// `HeapCompact(hHeap, dwFlags)` — returns the largest committable block.
+///
+/// # Errors
+///
+/// None.
+pub fn HeapCompact(k: &mut Kernel, profile: Win32Profile, h: Handle, _flags: u32) -> ApiResult {
+    k.charge_call();
+    match heap_id(k, h) {
+        Ok(_) => Ok(ApiReturn::ok(0x10000)),
+        Err(e) => Ok(bad_handle_return(profile, e, 0x10000)),
+    }
+}
+
+fn legacy_alloc(k: &mut Kernel, bytes: u64) -> ApiResult {
+    let heap = k.default_heap;
+    let Kernel { heaps, space, .. } = k;
+    match heaps.alloc(heap, bytes, space) {
+        Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+fn legacy_free(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    let heap = k.default_heap;
+    let Kernel { heaps, space, .. } = k;
+    match heaps.free(heap, mem, space) {
+        Ok(()) => Ok(ApiReturn::ok(0)),
+        Err(e) => {
+            if profile.validates_handles() {
+                // Failure convention: returns the pointer itself.
+                Ok(ApiReturn::err(mem.addr() as i64, errors::from_heap(e)))
+            } else {
+                Ok(ApiReturn::ok(0)) // 9x: quiet
+            }
+        }
+    }
+}
+
+/// `GlobalAlloc(uFlags, dwBytes)` — serviced from the process heap, as on
+/// real 32-bit Windows.
+///
+/// # Errors
+///
+/// None.
+pub fn GlobalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u64) -> ApiResult {
+    k.charge_call();
+    legacy_alloc(k, bytes)
+}
+
+/// `GlobalFree(hMem)`.
+///
+/// # Errors
+///
+/// None.
+pub fn GlobalFree(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    k.charge_call();
+    legacy_free(k, profile, mem)
+}
+
+/// `GlobalReAlloc(hMem, dwBytes, uFlags)`.
+///
+/// # Errors
+///
+/// None.
+pub fn GlobalReAlloc(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    mem: SimPtr,
+    bytes: u64,
+    _flags: u32,
+) -> ApiResult {
+    k.charge_call();
+    let heap = k.default_heap;
+    let Kernel { heaps, space, .. } = k;
+    match heaps.realloc(heap, mem, bytes, space) {
+        Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+/// `GlobalSize(hMem)`.
+///
+/// # Errors
+///
+/// None; unknown blocks report 0 with an error code.
+pub fn GlobalSize(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    k.charge_call();
+    match k.heaps.size_of(k.default_heap, mem) {
+        Ok(s) => Ok(ApiReturn::ok(s as i64)),
+        Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
+    }
+}
+
+/// `GlobalLock(hMem)` — fixed memory: returns the pointer itself when the
+/// block is live, NULL otherwise.
+///
+/// # Errors
+///
+/// None.
+pub fn GlobalLock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k.heaps.size_of(k.default_heap, mem).is_ok() {
+        Ok(ApiReturn::ok(mem.addr() as i64))
+    } else {
+        Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER))
+    }
+}
+
+/// `GlobalUnlock(hMem)`.
+///
+/// # Errors
+///
+/// None.
+pub fn GlobalUnlock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    k.charge_call();
+    if k.heaps.size_of(k.default_heap, mem).is_ok() {
+        Ok(ApiReturn::ok(FALSE)) // lock count reached zero
+    } else {
+        Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER))
+    }
+}
+
+/// `LocalAlloc(uFlags, uBytes)`.
+///
+/// # Errors
+///
+/// None.
+pub fn LocalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u64) -> ApiResult {
+    k.charge_call();
+    legacy_alloc(k, bytes)
+}
+
+/// `LocalFree(hMem)`.
+///
+/// # Errors
+///
+/// None.
+pub fn LocalFree(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    k.charge_call();
+    legacy_free(k, profile, mem)
+}
+
+/// `LocalReAlloc(hMem, uBytes, uFlags)`.
+///
+/// # Errors
+///
+/// None.
+pub fn LocalReAlloc(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    mem: SimPtr,
+    bytes: u64,
+    flags: u32,
+) -> ApiResult {
+    GlobalReAlloc(k, profile, mem, bytes, flags)
+}
+
+/// `LocalSize(hMem)`.
+///
+/// # Errors
+///
+/// None.
+pub fn LocalSize(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
+    GlobalSize(k, profile, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w95() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win95)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    #[test]
+    fn heap_lifecycle() {
+        let mut k = wk();
+        let r = HeapCreate(&mut k, nt(), 0, 0x1000, 0).unwrap();
+        assert!(!r.reported_error());
+        let h = Handle(r.value as u32);
+        let p = HeapAlloc(&mut k, nt(), h, 0, 64).unwrap();
+        assert!(p.value != 0);
+        let mem = SimPtr::new(p.value as u64);
+        assert_eq!(HeapSize(&mut k, nt(), h, 0, mem).unwrap().value, 64);
+        assert_eq!(HeapValidate(&mut k, nt(), h, 0, mem).unwrap().value, TRUE);
+        assert_eq!(
+            HeapValidate(&mut k, nt(), h, 0, SimPtr::new(0x77)).unwrap().value,
+            0
+        );
+        let q = HeapReAlloc(&mut k, nt(), h, 0, mem, 128).unwrap();
+        assert!(q.value != 0);
+        assert_eq!(
+            HeapFree(&mut k, nt(), h, 0, SimPtr::new(q.value as u64)).unwrap().value,
+            TRUE
+        );
+        assert_eq!(HeapDestroy(&mut k, nt(), h).unwrap().value, TRUE);
+        assert!(HeapAlloc(&mut k, nt(), h, 0, 8).unwrap().reported_error());
+    }
+
+    #[test]
+    fn heap_create_crashes_win95_only() {
+        let mut k = wk();
+        let _ = HeapCreate(&mut k, w95(), 0, u64::from(u32::MAX), 0).unwrap();
+        assert!(!k.is_alive());
+        assert_eq!(k.crash.info().unwrap().call, "HeapCreate");
+
+        // 98 and NT reject the absurd size robustly.
+        for p in [w98(), nt()] {
+            let mut k2 = wk();
+            let r = HeapCreate(&mut k2, p, 0, u64::from(u32::MAX), 0).unwrap();
+            assert!(r.reported_error());
+            assert!(k2.is_alive());
+        }
+    }
+
+    #[test]
+    fn heap_create_parameter_validation() {
+        let mut k = wk();
+        // max < initial: invalid parameter.
+        assert_eq!(
+            HeapCreate(&mut k, nt(), 0, 0x2000, 0x1000).unwrap().error,
+            Some(ERROR_INVALID_PARAMETER)
+        );
+    }
+
+    #[test]
+    fn bad_heap_handle_split() {
+        let mut k = wk();
+        // NT: validated error.
+        let r = HeapAlloc(&mut k, nt(), Handle(0xDEAD), 0, 32).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(r.reported_error());
+        // 98: silently serviced from the process heap.
+        let r = HeapAlloc(&mut k, w98(), Handle(0xDEAD), 0, 32).unwrap();
+        assert!(r.value != 0);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn heap_free_foreign_pointer_split() {
+        let mut k = wk();
+        let hr = HeapCreate(&mut k, nt(), 0, 0, 0).unwrap();
+        let h = Handle(hr.value as u32);
+        let r = HeapFree(&mut k, nt(), h, 0, SimPtr::new(0x4242)).unwrap();
+        assert_eq!(r.value, FALSE);
+        assert!(r.reported_error());
+        let r = HeapFree(&mut k, w98(), h, 0, SimPtr::new(0x4242)).unwrap();
+        assert_eq!(r.value, TRUE);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn process_heap_is_stable() {
+        let mut k = wk();
+        let a = GetProcessHeap(&mut k, nt()).unwrap().value;
+        let b = GetProcessHeap(&mut k, nt()).unwrap().value;
+        assert_eq!(a, b);
+        let h = Handle(a as u32);
+        let p = HeapAlloc(&mut k, nt(), h, 0, 16).unwrap();
+        assert!(p.value != 0);
+    }
+
+    #[test]
+    fn global_local_family() {
+        let mut k = wk();
+        let r = GlobalAlloc(&mut k, nt(), 0, 100).unwrap();
+        let mem = SimPtr::new(r.value as u64);
+        assert_eq!(GlobalSize(&mut k, nt(), mem).unwrap().value, 100);
+        assert_eq!(GlobalLock(&mut k, nt(), mem).unwrap().value, r.value);
+        assert_eq!(GlobalUnlock(&mut k, nt(), mem).unwrap().value, FALSE);
+        let r2 = GlobalReAlloc(&mut k, nt(), mem, 200, 0).unwrap();
+        assert!(r2.value != 0);
+        let mem2 = SimPtr::new(r2.value as u64);
+        assert_eq!(GlobalFree(&mut k, nt(), mem2).unwrap().value, 0);
+        // Freeing garbage: NT reports, 98 is silent.
+        assert!(GlobalFree(&mut k, nt(), SimPtr::new(0x7777)).unwrap().reported_error());
+        assert!(!GlobalFree(&mut k, w98(), SimPtr::new(0x7777)).unwrap().reported_error());
+        // Local aliases.
+        let r = LocalAlloc(&mut k, nt(), 0, 50).unwrap();
+        let lm = SimPtr::new(r.value as u64);
+        assert_eq!(LocalSize(&mut k, nt(), lm).unwrap().value, 50);
+        assert_eq!(LocalFree(&mut k, nt(), lm).unwrap().value, 0);
+        assert!(GlobalLock(&mut k, nt(), SimPtr::new(0x5555)).unwrap().reported_error());
+    }
+}

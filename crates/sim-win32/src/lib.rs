@@ -1,0 +1,46 @@
+//! # sim-win32 — the simulated Win32 API
+//!
+//! Implements the Win32 system calls of the paper's catalog over the
+//! simulated kernel, with **per-variant robustness profiles** for Windows
+//! 95, 98, 98 SE, NT 4.0, 2000 and CE 2.11.
+//!
+//! The behavioural model (see [`profile`]) captures the paper's three
+//! families:
+//!
+//! * **NT family** — `kernel32` eagerly probes pointer parameters in user
+//!   mode, so hostile pointers die with `EXCEPTION_ACCESS_VIOLATION`
+//!   (Abort: the *highest* Abort rates in Table 1, but no crashes) and bad
+//!   handles are validated to `ERROR_INVALID_HANDLE` (few Silent failures).
+//! * **9x family** — validation is lazy: bad handles are quietly accepted
+//!   (`TRUE` with no error — the Silent failures of Figure 2) and a set of
+//!   calls passes unvalidated pointers into kernel-mode code, where a wild
+//!   write *kills the machine* (the Catastrophic entries of Table 3,
+//!   including the one-line `GetThreadContext(GetCurrentThread(), NULL)`
+//!   crash of Listing 1).
+//! * **CE** — validates handles and returns errors for many bad
+//!   out-pointers (Abort rates below NT's), but trusts several parameters
+//!   in kernel mode: ten system calls can crash the device.
+//!
+//! Every entry point has the same shape as the C-library layer:
+//! `fn Call(k: &mut Kernel, profile: Win32Profile, raw args…) -> ApiResult`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(non_snake_case)] // entry points carry their Win32 names
+#![allow(clippy::too_many_arguments)] // signatures mirror the real Win32 arity
+
+pub mod dirapi;
+pub mod envapi;
+pub mod errors;
+pub mod fileapi;
+pub mod handleapi;
+pub mod heapapi;
+pub mod marshal;
+pub mod memoryapi;
+pub mod processapi;
+pub mod profile;
+pub mod syncapi;
+pub mod threadapi;
+pub mod timeapi;
+
+pub use profile::Win32Profile;

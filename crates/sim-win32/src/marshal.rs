@@ -1,0 +1,318 @@
+//! Shared argument-marshaling helpers for the Win32 entry points.
+//!
+//! These encapsulate the three per-variant behaviours every call composes:
+//! reading hostile in-pointers (user-mode probe → Abort), writing results
+//! through hostile out-pointers (the [`OutPolicy`] split), and resolving
+//! hostile handles (NT/CE validate, 9x silently accepts).
+
+use crate::errors::{self, ERROR_NOACCESS};
+use crate::profile::{OutPolicy, Win32Profile};
+use sim_core::addr::PrivilegeLevel;
+use sim_core::cstr;
+use sim_core::fault::Fault;
+use sim_core::{AccessKind, SimPtr};
+use sim_kernel::objects::HandleError;
+use sim_kernel::outcome::{ApiAbort, ApiReturn};
+use sim_kernel::Kernel;
+
+/// Win32 `TRUE`.
+pub const TRUE: i64 = 1;
+/// Win32 `FALSE`.
+pub const FALSE: i64 = 0;
+
+/// Converts a machine fault into the SEH exception the paper's harness
+/// intercepted.
+#[must_use]
+pub fn exception(fault: Fault) -> ApiAbort {
+    ApiAbort::exception_from_fault(fault)
+}
+
+/// Reads a NUL-terminated path/string argument with user-mode probing
+/// (every variant dereferences string parameters eagerly).
+///
+/// # Errors
+///
+/// An SEH abort when the scan faults.
+pub fn read_string(k: &Kernel, ptr: SimPtr) -> Result<String, ApiAbort> {
+    let bytes = cstr::read_cstr(&k.space, ptr, PrivilegeLevel::User).map_err(exception)?;
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Reads `len` raw bytes from a caller buffer with user-mode probing.
+///
+/// # Errors
+///
+/// An SEH abort when the access faults.
+pub fn read_buffer(k: &Kernel, ptr: SimPtr, len: u64) -> Result<Vec<u8>, ApiAbort> {
+    k.space
+        .read_bytes_at(ptr, len, PrivilegeLevel::User)
+        .map_err(exception)
+}
+
+/// Outcome of an out-pointer delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutWrite {
+    /// The bytes landed; proceed normally.
+    Written,
+    /// 9x lazily skipped the write; the call must report success anyway
+    /// (the Silent failure).
+    SilentlySkipped,
+    /// The pointer was rejected; the call must return `FALSE` with this
+    /// error code (the robust response).
+    ErrorReturn(u32),
+    /// The kernel-mode write killed the machine; the call's return value
+    /// is meaningless.
+    Crashed,
+}
+
+/// Delivers `bytes` through a caller-supplied out-pointer under the
+/// variant's policy for `call`.
+///
+/// When the Table 3 vulnerability for `call` fires (variant + residue), the
+/// write happens at kernel privilege and a hostile pointer crashes the
+/// machine. Otherwise the `lazy_on_9x` flag selects between the probing
+/// and silent-skip conventions (see
+/// [`Win32Profile::default_out_policy`]).
+///
+/// # Errors
+///
+/// An SEH abort under [`OutPolicy::UserProbe`] when the write faults.
+pub fn write_out(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    call: &'static str,
+    lazy_on_9x: bool,
+    ptr: SimPtr,
+    bytes: &[u8],
+) -> Result<OutWrite, ApiAbort> {
+    if profile.vulnerability_fires(call, k.residue) {
+        return Ok(kernel_write(k, call, ptr, bytes));
+    }
+    match profile.default_out_policy(lazy_on_9x) {
+        OutPolicy::UserProbe => {
+            k.space
+                .write_bytes_at(ptr, bytes, PrivilegeLevel::User)
+                .map_err(exception)?;
+            Ok(OutWrite::Written)
+        }
+        OutPolicy::SilentSkip => {
+            match k.space.write_bytes_at(ptr, bytes, PrivilegeLevel::User) {
+                Ok(()) => Ok(OutWrite::Written),
+                Err(_) => Ok(OutWrite::SilentlySkipped),
+            }
+        }
+        OutPolicy::ValidateError => {
+            if k.space
+                .check_access(
+                    ptr,
+                    bytes.len() as u64,
+                    1,
+                    AccessKind::Write,
+                    PrivilegeLevel::User,
+                )
+                .is_err()
+            {
+                return Ok(OutWrite::ErrorReturn(ERROR_NOACCESS));
+            }
+            k.space
+                .write_bytes_at(ptr, bytes, PrivilegeLevel::User)
+                .map_err(exception)?;
+            Ok(OutWrite::Written)
+        }
+        OutPolicy::KernelWrite => Ok(kernel_write(k, call, ptr, bytes)),
+    }
+}
+
+/// Performs a kernel-privilege write with no probing: the Table 3 crash
+/// mechanism.
+pub fn kernel_write(k: &mut Kernel, call: &'static str, ptr: SimPtr, bytes: &[u8]) -> OutWrite {
+    match k
+        .space
+        .write_bytes_at(ptr, bytes, PrivilegeLevel::Kernel)
+    {
+        Ok(()) => OutWrite::Written,
+        Err(fault) => {
+            k.crash.panic(
+                call,
+                "kernel-mode write through unvalidated user pointer",
+                Some(fault),
+            );
+            OutWrite::Crashed
+        }
+    }
+}
+
+/// Performs a kernel-privilege read with no probing (the crash mechanism
+/// for calls that *read* unvalidated pointers in kernel mode, e.g.
+/// `MsgWaitForMultipleObjects`' handle array).
+pub fn kernel_read(k: &mut Kernel, call: &'static str, ptr: SimPtr, len: u64) -> Option<Vec<u8>> {
+    match k.space.read_bytes_at(ptr, len, PrivilegeLevel::Kernel) {
+        Ok(bytes) => Some(bytes),
+        Err(fault) => {
+            k.crash.panic(
+                call,
+                "kernel-mode read through unvalidated user pointer",
+                Some(fault),
+            );
+            None
+        }
+    }
+}
+
+/// Converts an [`OutWrite`] into the call's final result when the out-write
+/// was the last step. `ok` is the success return value.
+#[must_use]
+pub fn finish_out(outcome: OutWrite, ok: i64) -> ApiReturn {
+    match outcome {
+        OutWrite::Written | OutWrite::SilentlySkipped | OutWrite::Crashed => ApiReturn::ok(ok),
+        OutWrite::ErrorReturn(code) => ApiReturn::err(FALSE, code),
+    }
+}
+
+/// What a call should do about a bad handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadHandle {
+    /// 9x: pretend everything worked (Silent failure).
+    SilentSuccess,
+    /// NT/CE: return `FALSE` with this error code (robust).
+    ErrorReturn(u32),
+}
+
+/// The variant's disposition for a failed handle lookup.
+#[must_use]
+pub fn handle_disposition(profile: Win32Profile, e: HandleError) -> BadHandle {
+    if profile.validates_handles() {
+        BadHandle::ErrorReturn(errors::from_handle(e))
+    } else {
+        BadHandle::SilentSuccess
+    }
+}
+
+/// Shorthand: the `ApiReturn` for a bad handle where success would have
+/// returned `ok_value`.
+#[must_use]
+pub fn bad_handle_return(profile: Win32Profile, e: HandleError, ok_value: i64) -> ApiReturn {
+    match handle_disposition(profile, e) {
+        BadHandle::SilentSuccess => ApiReturn::ok(ok_value),
+        BadHandle::ErrorReturn(code) => ApiReturn::err(FALSE, code),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn ce() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinCe)
+    }
+
+    #[test]
+    fn write_out_probes_on_nt() {
+        let mut k = Kernel::new();
+        let err = write_out(&mut k, nt(), "SomeCall", true, SimPtr::NULL, &[1, 2]).unwrap_err();
+        assert!(matches!(err, ApiAbort::Exception { .. }));
+        let good = k.alloc_user(8, "out");
+        assert_eq!(
+            write_out(&mut k, nt(), "SomeCall", true, good, &[1, 2]).unwrap(),
+            OutWrite::Written
+        );
+    }
+
+    #[test]
+    fn write_out_silently_skips_on_9x_lazy() {
+        let mut k = Kernel::new();
+        assert_eq!(
+            write_out(&mut k, w98(), "SomeCall", true, SimPtr::NULL, &[1]).unwrap(),
+            OutWrite::SilentlySkipped
+        );
+        // Eager 9x paths still abort.
+        assert!(write_out(&mut k, w98(), "SomeCall", false, SimPtr::NULL, &[1]).is_err());
+    }
+
+    #[test]
+    fn write_out_validates_on_ce() {
+        let mut k = Kernel::new();
+        assert_eq!(
+            write_out(&mut k, ce(), "SomeCall", true, SimPtr::NULL, &[1]).unwrap(),
+            OutWrite::ErrorReturn(ERROR_NOACCESS)
+        );
+    }
+
+    #[test]
+    fn vulnerable_call_crashes_through_kernel_write() {
+        let mut k = Kernel::new();
+        // GetThreadContext is deterministic on 98: hostile pointer kills it.
+        let out = write_out(
+            &mut k,
+            w98(),
+            "GetThreadContext",
+            true,
+            SimPtr::NULL,
+            &[0; 64],
+        )
+        .unwrap();
+        assert_eq!(out, OutWrite::Crashed);
+        assert!(!k.is_alive());
+    }
+
+    #[test]
+    fn vulnerable_call_with_valid_pointer_succeeds() {
+        let mut k = Kernel::new();
+        let good = k.alloc_user(64, "ctx");
+        let out = write_out(&mut k, w98(), "GetThreadContext", true, good, &[7; 64]).unwrap();
+        assert_eq!(out, OutWrite::Written);
+        assert!(k.is_alive());
+        assert_eq!(k.space.read_u8(good).unwrap(), 7);
+    }
+
+    #[test]
+    fn kernel_read_crash() {
+        let mut k = Kernel::new();
+        assert!(kernel_read(&mut k, "MsgWaitForMultipleObjects", SimPtr::new(0x40), 16).is_none());
+        assert!(!k.is_alive());
+    }
+
+    #[test]
+    fn handle_dispositions() {
+        let e = HandleError::Closed;
+        assert_eq!(
+            handle_disposition(nt(), e),
+            BadHandle::ErrorReturn(errors::ERROR_INVALID_HANDLE)
+        );
+        assert_eq!(handle_disposition(w98(), e), BadHandle::SilentSuccess);
+        assert_eq!(
+            handle_disposition(ce(), e),
+            BadHandle::ErrorReturn(errors::ERROR_INVALID_HANDLE)
+        );
+        let r = bad_handle_return(w98(), e, TRUE);
+        assert_eq!(r.value, TRUE);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn read_string_probes() {
+        let mut k = Kernel::new();
+        assert!(read_string(&k, SimPtr::NULL).is_err());
+        let p = k.alloc_user(8, "s");
+        cstr::write_cstr(&mut k.space, p, "hi", PrivilegeLevel::User).unwrap();
+        assert_eq!(read_string(&k, p).unwrap(), "hi");
+    }
+
+    #[test]
+    fn finish_out_conversion() {
+        assert_eq!(finish_out(OutWrite::Written, TRUE).value, TRUE);
+        assert_eq!(finish_out(OutWrite::SilentlySkipped, TRUE).value, TRUE);
+        let e = finish_out(OutWrite::ErrorReturn(5), TRUE);
+        assert_eq!(e.value, FALSE);
+        assert_eq!(e.error, Some(5));
+    }
+}

@@ -1,0 +1,692 @@
+//! Virtual memory, cross-process memory and file mappings — half of the
+//! paper's *Memory Management* grouping.
+//!
+//! Table 3 entries implemented here: `VirtualAlloc` (deterministic
+//! Catastrophic on Windows CE — the CE kernel manipulates page tables at an
+//! unvalidated caller-supplied address) and `ReadProcessMemory`
+//! (interference-dependent Catastrophic on Windows 95 and CE — the kernel
+//! copies into the destination buffer with no probing).
+
+use crate::errors::{self, ERROR_INVALID_PARAMETER};
+use crate::marshal::{
+    bad_handle_return, exception, finish_out, kernel_write, read_buffer, write_out, OutWrite,
+    FALSE, TRUE,
+};
+use crate::profile::Win32Profile;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::memory::Protection;
+use sim_core::{AccessKind, SimPtr};
+use sim_kernel::objects::{Handle, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+fn protection_from_fl(fl_protect: u32) -> Option<Protection> {
+    // PAGE_NOACCESS=0x01, PAGE_READONLY=0x02, PAGE_READWRITE=0x04,
+    // PAGE_EXECUTE=0x10, PAGE_EXECUTE_READ=0x20, PAGE_EXECUTE_READWRITE=0x40.
+    match fl_protect {
+        0x01 => Some(Protection::NONE),
+        0x02 => Some(Protection::READ),
+        0x04 => Some(Protection::READ_WRITE),
+        0x10 | 0x20 => Some(Protection::READ_EXECUTE),
+        0x40 => Some(Protection::READ_WRITE_EXECUTE),
+        _ => None,
+    }
+}
+
+/// `VirtualAlloc(lpAddress, dwSize, flAllocationType, flProtect)`.
+///
+/// **Table 3**: on Windows CE, a bogus non-NULL `lpAddress` is handed to
+/// kernel page-table code unvalidated — a deterministic whole-system
+/// crash.
+///
+/// # Errors
+///
+/// None on desktop variants; hostile parameters produce error returns.
+pub fn VirtualAlloc(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    address: SimPtr,
+    size: u64,
+    _allocation_type: u32,
+    fl_protect: u32,
+) -> ApiResult {
+    k.charge_call();
+    let Some(prot) = protection_from_fl(fl_protect) else {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    };
+    if size == 0 {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    if address.is_null() {
+        return match k.space.map(size, prot, "VirtualAlloc") {
+            Ok(p) => Ok(ApiReturn::ok(p.addr() as i64)),
+            Err(_) => Ok(ApiReturn::err(0, errors::ERROR_NOT_ENOUGH_MEMORY)),
+        };
+    }
+    // Explicit placement. The CE kernel touches its page structures at the
+    // caller's address before validating it.
+    if profile.vulnerability_fires("VirtualAlloc", k.residue)
+        && k.space.region_containing(address).is_none()
+    {
+        k.crash.panic(
+            "VirtualAlloc",
+            "CE kernel page-table update at unvalidated caller address",
+            None,
+        );
+        return Ok(ApiReturn::ok(address.addr() as i64));
+    }
+    match k.space.map_at(address, size, prot, "VirtualAlloc@") {
+        Ok(()) => Ok(ApiReturn::ok(address.addr() as i64)),
+        Err(_) => Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER)),
+    }
+}
+
+/// `VirtualFree(lpAddress, dwSize, dwFreeType)` — `MEM_RELEASE` (0x8000)
+/// requires `dwSize == 0`.
+///
+/// # Errors
+///
+/// None; misuse returns errors.
+pub fn VirtualFree(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    address: SimPtr,
+    size: u64,
+    free_type: u32,
+) -> ApiResult {
+    k.charge_call();
+    const MEM_RELEASE: u32 = 0x8000;
+    if free_type & MEM_RELEASE != 0 && size != 0 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    match k.space.unmap(address) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(_) => Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER)),
+    }
+}
+
+/// `VirtualProtect(lpAddress, dwSize, flNewProtect, lpflOldProtect)`.
+///
+/// # Errors
+///
+/// An SEH abort when the old-protection out-pointer faults under probing.
+pub fn VirtualProtect(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    address: SimPtr,
+    _size: u64,
+    fl_new: u32,
+    old_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let Some(prot) = protection_from_fl(fl_new) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    let Some((base, _, old_prot, _)) = k.space.region_containing(address) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    let old_fl: u32 = if old_prot.can_write() {
+        0x04
+    } else if old_prot.can_read() {
+        0x02
+    } else {
+        0x01
+    };
+    // Real VirtualProtect requires a writable lpflOldProtect *before*
+    // changing anything.
+    let out = write_out(
+        k,
+        profile,
+        "VirtualProtect",
+        true,
+        old_out,
+        &old_fl.to_le_bytes(),
+    )?;
+    if let OutWrite::ErrorReturn(code) = out {
+        return Ok(ApiReturn::err(FALSE, code));
+    }
+    match k.space.protect(base, prot) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(_) => Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER)),
+    }
+}
+
+/// `VirtualQuery(lpAddress, lpBuffer, dwLength)` — fills a 28-byte
+/// `MEMORY_BASIC_INFORMATION`.
+///
+/// # Errors
+///
+/// An SEH abort when the information buffer faults under probing.
+pub fn VirtualQuery(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    address: SimPtr,
+    buffer: SimPtr,
+    length: u64,
+) -> ApiResult {
+    k.charge_call();
+    if length < 28 {
+        return Ok(ApiReturn::ok(0));
+    }
+    let (base, len, prot, state) = match k.space.region_containing(address) {
+        Some((b, l, p, _)) => (b.addr() as u32, l as u32, p, 0x1000u32), // MEM_COMMIT
+        None => (address.addr() as u32 & !0xFFF, 0x1000, Protection::NONE, 0x1_0000), // MEM_FREE
+    };
+    let prot_fl: u32 = if prot.can_write() {
+        0x04
+    } else if prot.can_read() {
+        0x02
+    } else {
+        0x01
+    };
+    let mut info = Vec::with_capacity(28);
+    info.extend_from_slice(&base.to_le_bytes()); // BaseAddress
+    info.extend_from_slice(&base.to_le_bytes()); // AllocationBase
+    info.extend_from_slice(&prot_fl.to_le_bytes()); // AllocationProtect
+    info.extend_from_slice(&len.to_le_bytes()); // RegionSize
+    info.extend_from_slice(&state.to_le_bytes()); // State
+    info.extend_from_slice(&prot_fl.to_le_bytes()); // Protect
+    info.extend_from_slice(&0u32.to_le_bytes()); // Type
+    let out = write_out(k, profile, "VirtualQuery", false, buffer, &info)?;
+    Ok(finish_out(out, 28))
+}
+
+/// `IsBadReadPtr(lp, ucb)` — returns nonzero when the range is *not*
+/// readable. Robust by definition: it never faults, it answers.
+///
+/// # Errors
+///
+/// None.
+pub fn IsBadReadPtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u64) -> ApiResult {
+    k.charge_call();
+    if ucb == 0 {
+        return Ok(ApiReturn::ok(0));
+    }
+    let bad = k
+        .space
+        .check_access(lp, ucb, 1, AccessKind::Read, PrivilegeLevel::User)
+        .is_err();
+    Ok(ApiReturn::ok(i64::from(bad)))
+}
+
+/// `IsBadWritePtr(lp, ucb)`.
+///
+/// # Errors
+///
+/// None.
+pub fn IsBadWritePtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u64) -> ApiResult {
+    k.charge_call();
+    if ucb == 0 {
+        return Ok(ApiReturn::ok(0));
+    }
+    let bad = k
+        .space
+        .check_access(lp, ucb, 1, AccessKind::Write, PrivilegeLevel::User)
+        .is_err();
+    Ok(ApiReturn::ok(i64::from(bad)))
+}
+
+/// `IsBadStringPtr(lpsz, ucchMax)` — scans for a terminator, bounded.
+///
+/// # Errors
+///
+/// None.
+pub fn IsBadStringPtr(k: &mut Kernel, _profile: Win32Profile, lpsz: SimPtr, max: u64) -> ApiResult {
+    k.charge_call();
+    let mut cursor = lpsz;
+    for _ in 0..max {
+        match k.space.read_u8(cursor) {
+            Ok(0) => return Ok(ApiReturn::ok(0)),
+            Ok(_) => cursor = cursor.offset(1),
+            Err(_) => return Ok(ApiReturn::ok(1)),
+        }
+    }
+    Ok(ApiReturn::ok(0))
+}
+
+/// `ReadProcessMemory(hProcess, lpBaseAddress, lpBuffer, nSize,
+/// lpNumberOfBytesRead)`.
+///
+/// **Table 3**: on Windows 95 and CE (with harness residue), the kernel
+/// copies into `lpBuffer` with no probing — Catastrophic.
+///
+/// # Errors
+///
+/// An SEH abort when the source address faults under user probing (NT),
+/// or the buffer faults.
+pub fn ReadProcessMemory(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    process: Handle,
+    base: SimPtr,
+    buffer: SimPtr,
+    size: u64,
+    bytes_read_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !process.is_pseudo() && k.objects.get(process).is_err() {
+        let e = k.objects.get(process).unwrap_err();
+        return Ok(bad_handle_return(profile, e, TRUE));
+    }
+    // Read the source range (the target process is ourselves in the
+    // simulation). An unreadable source is a robust error on NT.
+    let data = match k.space.read_bytes_at(base, size, PrivilegeLevel::User) {
+        Ok(d) => d,
+        Err(_) => return Ok(ApiReturn::err(FALSE, errors::ERROR_NOACCESS)),
+    };
+    if profile.vulnerability_fires("ReadProcessMemory", k.residue) {
+        let out = kernel_write(k, "ReadProcessMemory", buffer, &data);
+        return Ok(finish_out(out, TRUE));
+    }
+    k.space.write_bytes(buffer, &data).map_err(exception)?;
+    if !bytes_read_out.is_null() {
+        let out = write_out(
+            k,
+            profile,
+            "ReadProcessMemory",
+            true,
+            bytes_read_out,
+            &(size as u32).to_le_bytes(),
+        )?;
+        return Ok(finish_out(out, TRUE));
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `WriteProcessMemory(hProcess, lpBaseAddress, lpBuffer, nSize,
+/// lpNumberOfBytesWritten)`.
+///
+/// # Errors
+///
+/// An SEH abort when the source buffer faults.
+pub fn WriteProcessMemory(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    process: Handle,
+    base: SimPtr,
+    buffer: SimPtr,
+    size: u64,
+    bytes_written_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !process.is_pseudo() && k.objects.get(process).is_err() {
+        let e = k.objects.get(process).unwrap_err();
+        return Ok(bad_handle_return(profile, e, TRUE));
+    }
+    let data = read_buffer(k, buffer, size)?;
+    if k.space.write_bytes(base, &data).is_err() {
+        return Ok(ApiReturn::err(FALSE, errors::ERROR_NOACCESS));
+    }
+    if !bytes_written_out.is_null() {
+        let out = write_out(
+            k,
+            profile,
+            "WriteProcessMemory",
+            true,
+            bytes_written_out,
+            &(size as u32).to_le_bytes(),
+        )?;
+        return Ok(finish_out(out, TRUE));
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `CreateFileMapping(hFile, lpSecurity, flProtect, dwMaxHigh, dwMaxLow,
+/// lpName)` — `INVALID_HANDLE_VALUE` means a pagefile-backed mapping and
+/// is legal.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name pointer faults.
+pub fn CreateFileMapping(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    file: Handle,
+    _security: SimPtr,
+    fl_protect: u32,
+    max_high: u32,
+    max_low: u32,
+    name: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !name.is_null() {
+        let _ = crate::marshal::read_string(k, name)?;
+    }
+    if protection_from_fl(fl_protect).is_none() {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    let backing = if file == Handle::INVALID {
+        if max_high == 0 && max_low == 0 {
+            return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+        }
+        None
+    } else {
+        match k.objects.get(file) {
+            Ok(ObjectKind::File(ofd)) => Some(*ofd),
+            Ok(_) => return Ok(ApiReturn::err(0, errors::ERROR_INVALID_HANDLE)),
+            Err(e) => return Ok(bad_handle_return(profile, e, 1)),
+        }
+    };
+    let len = (u64::from(max_high) << 32) | u64::from(max_low);
+    let h = k.objects.insert(ObjectKind::FileMapping { file: backing, len });
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `MapViewOfFile(hFileMappingObject, dwDesiredAccess, dwOffsetHigh,
+/// dwOffsetLow, dwNumberOfBytesToMap)`.
+///
+/// # Errors
+///
+/// None; bad handles return errors (or 9x silence).
+pub fn MapViewOfFile(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    mapping: Handle,
+    _desired_access: u32,
+    _offset_high: u32,
+    offset_low: u32,
+    bytes_to_map: u64,
+) -> ApiResult {
+    k.charge_call();
+    let (backing, len) = match k.objects.get(mapping) {
+        Ok(ObjectKind::FileMapping { file, len }) => (*file, *len),
+        Ok(_) => return Ok(ApiReturn::err(0, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => {
+            return Ok(match crate::marshal::handle_disposition(profile, e) {
+                crate::marshal::BadHandle::SilentSuccess => ApiReturn::ok(0x0BAD_0000),
+                crate::marshal::BadHandle::ErrorReturn(code) => ApiReturn::err(0, code),
+            })
+        }
+    };
+    let view_len = if bytes_to_map == 0 {
+        len.max(0x1000)
+    } else {
+        bytes_to_map
+    };
+    let view = match k.space.map(view_len, Protection::READ_WRITE, "MapViewOfFile") {
+        Ok(p) => p,
+        Err(_) => return Ok(ApiReturn::err(0, errors::ERROR_NOT_ENOUGH_MEMORY)),
+    };
+    if let Some(ofd) = backing {
+        // Populate the view with the file contents from the offset.
+        let _ = k.fs.seek(ofd, sim_kernel::fs::SeekFrom::Start(u64::from(offset_low)));
+        let mut data = vec![0u8; view_len as usize];
+        if let Ok(n) = k.fs.read(ofd, &mut data) {
+            let _ = k.space.write_bytes(view, &data[..n]);
+        }
+    }
+    Ok(ApiReturn::ok(view.addr() as i64))
+}
+
+/// `UnmapViewOfFile(lpBaseAddress)`.
+///
+/// # Errors
+///
+/// None; a bad base address returns an error.
+pub fn UnmapViewOfFile(k: &mut Kernel, _profile: Win32Profile, base: SimPtr) -> ApiResult {
+    k.charge_call();
+    match k.space.unmap(base) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(_) => Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER)),
+    }
+}
+
+/// `FlushViewOfFile(lpBaseAddress, dwNumberOfBytesToFlush)`.
+///
+/// # Errors
+///
+/// None.
+pub fn FlushViewOfFile(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    base: SimPtr,
+    _bytes: u64,
+) -> ApiResult {
+    k.charge_call();
+    if k.space.region_containing(base).is_none() {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w95() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win95)
+    }
+
+    fn ce() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinCe)
+    }
+
+    #[test]
+    fn virtual_alloc_free_roundtrip() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let r = VirtualAlloc(&mut k, nt(), SimPtr::NULL, 0x1000, 0x1000, 0x04).unwrap();
+        assert!(r.value != 0);
+        let p = SimPtr::new(r.value as u64);
+        k.space.write_u8(p, 1).unwrap();
+        assert_eq!(VirtualFree(&mut k, nt(), p, 0, 0x8000).unwrap().value, TRUE);
+        assert!(VirtualFree(&mut k, nt(), p, 0, 0x8000).unwrap().reported_error());
+        // Bad protect flag and zero size are robust errors.
+        assert!(VirtualAlloc(&mut k, nt(), SimPtr::NULL, 0x1000, 0, 0x99)
+            .unwrap()
+            .reported_error());
+        assert!(VirtualAlloc(&mut k, nt(), SimPtr::NULL, 0, 0, 0x04)
+            .unwrap()
+            .reported_error());
+    }
+
+    #[test]
+    fn virtual_alloc_crashes_ce_on_bogus_address() {
+        let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        let _ = VirtualAlloc(&mut k, ce(), SimPtr::new(0x1234_5678), 0x1000, 0x1000, 0x04).unwrap();
+        assert!(!k.is_alive());
+        // NT: robust error for an unusable placement.
+        let mut k2 = Kernel::with_flavor(MachineFlavor::Windows);
+        let r = VirtualAlloc(&mut k2, nt(), SimPtr::new(0x3), 0x1000, 0x1000, 0x04).unwrap();
+        assert!(r.reported_error() || r.value != 0);
+        assert!(k2.is_alive());
+    }
+
+    #[test]
+    fn virtual_protect_and_query() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let r = VirtualAlloc(&mut k, nt(), SimPtr::NULL, 64, 0x1000, 0x04).unwrap();
+        let p = SimPtr::new(r.value as u64);
+        let old = k.alloc_user(4, "old");
+        assert_eq!(
+            VirtualProtect(&mut k, nt(), p, 64, 0x02, old).unwrap().value,
+            TRUE
+        );
+        assert_eq!(k.space.read_u32(old).unwrap(), 0x04);
+        assert!(k.space.write_u8(p, 1).is_err()); // now read-only
+        // Hostile old-protect pointer aborts on NT before mutating.
+        assert!(VirtualProtect(&mut k, nt(), p, 64, 0x04, SimPtr::NULL).is_err());
+
+        let info = k.alloc_user(28, "mbi");
+        assert_eq!(VirtualQuery(&mut k, nt(), p, info, 28).unwrap().value, 28);
+        assert_eq!(k.space.read_u32(info).unwrap() as u64, p.addr());
+        // Short buffer: robust zero.
+        assert_eq!(VirtualQuery(&mut k, nt(), p, info, 10).unwrap().value, 0);
+    }
+
+    #[test]
+    fn is_bad_ptr_family() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let good = k.alloc_user(16, "buf");
+        assert_eq!(IsBadReadPtr(&mut k, nt(), good, 16).unwrap().value, 0);
+        assert_eq!(IsBadReadPtr(&mut k, nt(), SimPtr::NULL, 1).unwrap().value, 1);
+        assert_eq!(IsBadWritePtr(&mut k, nt(), good, 16).unwrap().value, 0);
+        assert_eq!(
+            IsBadWritePtr(&mut k, nt(), SimPtr::INVALID, 4).unwrap().value,
+            1
+        );
+        // Zero length is never bad.
+        assert_eq!(IsBadReadPtr(&mut k, nt(), SimPtr::NULL, 0).unwrap().value, 0);
+        sim_core::cstr::write_cstr(&mut k.space, good, "ok", PrivilegeLevel::User).unwrap();
+        assert_eq!(IsBadStringPtr(&mut k, nt(), good, 16).unwrap().value, 0);
+        assert_eq!(IsBadStringPtr(&mut k, nt(), SimPtr::NULL, 16).unwrap().value, 1);
+    }
+
+    #[test]
+    fn read_process_memory_crash_matrix() {
+        // Win95 + residue + hostile buffer → Catastrophic.
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        k.residue = 5;
+        let src = k.alloc_user(16, "src");
+        let _ = ReadProcessMemory(
+            &mut k,
+            w95(),
+            Handle::CURRENT_PROCESS,
+            src,
+            SimPtr::new(0x40),
+            8,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert!(!k.is_alive());
+
+        // Win95 without residue → plain abort.
+        let mut k2 = Kernel::with_flavor(MachineFlavor::Windows);
+        let src2 = k2.alloc_user(16, "src");
+        assert!(ReadProcessMemory(
+            &mut k2,
+            w95(),
+            Handle::CURRENT_PROCESS,
+            src2,
+            SimPtr::new(0x40),
+            8,
+            SimPtr::NULL
+        )
+        .is_err());
+        assert!(k2.is_alive());
+
+        // NT: abort, never crash.
+        let mut k3 = Kernel::with_flavor(MachineFlavor::Windows);
+        k3.residue = 9;
+        let src3 = k3.alloc_user(16, "src");
+        assert!(ReadProcessMemory(
+            &mut k3,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            src3,
+            SimPtr::new(0x40),
+            8,
+            SimPtr::NULL
+        )
+        .is_err());
+        assert!(k3.is_alive());
+
+        // Unreadable source: robust ERROR_NOACCESS.
+        let buf = k3.alloc_user(16, "dst");
+        let r = ReadProcessMemory(
+            &mut k3,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            SimPtr::new(0x99),
+            buf,
+            8,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.error, Some(errors::ERROR_NOACCESS));
+    }
+
+    #[test]
+    fn write_process_memory() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let dst = k.alloc_user(8, "dst");
+        let src = k.alloc_user(8, "src");
+        k.space.write_bytes(src, b"payload!").unwrap();
+        let r = WriteProcessMemory(
+            &mut k,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            dst,
+            src,
+            8,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.value, TRUE);
+        assert_eq!(k.space.read_bytes(dst, 8).unwrap(), b"payload!");
+        // Hostile source buffer aborts; hostile target is a robust error.
+        assert!(WriteProcessMemory(
+            &mut k,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            dst,
+            SimPtr::NULL,
+            8,
+            SimPtr::NULL
+        )
+        .is_err());
+        let r = WriteProcessMemory(
+            &mut k,
+            nt(),
+            Handle::CURRENT_PROCESS,
+            SimPtr::new(0x44),
+            src,
+            8,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.error, Some(errors::ERROR_NOACCESS));
+    }
+
+    #[test]
+    fn file_mapping_lifecycle() {
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        k.fs.create_file("C:\\TEMP\\map.bin", b"mapped contents".to_vec())
+            .unwrap();
+        let ofd = k
+            .fs
+            .open("C:\\TEMP\\map.bin", sim_kernel::fs::OpenOptions::read_only())
+            .unwrap();
+        let fh = k.objects.insert(ObjectKind::File(ofd));
+        let r = CreateFileMapping(&mut k, nt(), fh, SimPtr::NULL, 0x02, 0, 0, SimPtr::NULL).unwrap();
+        assert!(!r.reported_error());
+        let mh = Handle(r.value as u32);
+        let r = MapViewOfFile(&mut k, nt(), mh, 4, 0, 0, 15).unwrap();
+        let view = SimPtr::new(r.value as u64);
+        assert_eq!(k.space.read_bytes(view, 6).unwrap(), b"mapped");
+        assert_eq!(FlushViewOfFile(&mut k, nt(), view, 0).unwrap().value, TRUE);
+        assert_eq!(UnmapViewOfFile(&mut k, nt(), view).unwrap().value, TRUE);
+        assert!(UnmapViewOfFile(&mut k, nt(), view).unwrap().reported_error());
+        // Pagefile-backed mapping with zero size: invalid parameter.
+        let r = CreateFileMapping(
+            &mut k,
+            nt(),
+            Handle::INVALID,
+            SimPtr::NULL,
+            0x02,
+            0,
+            0,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert_eq!(r.error, Some(ERROR_INVALID_PARAMETER));
+        // Pagefile-backed with a size works.
+        let r = CreateFileMapping(
+            &mut k,
+            nt(),
+            Handle::INVALID,
+            SimPtr::NULL,
+            0x02,
+            0,
+            0x1000,
+            SimPtr::NULL,
+        )
+        .unwrap();
+        assert!(!r.reported_error());
+    }
+}

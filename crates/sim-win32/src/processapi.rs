@@ -1,0 +1,353 @@
+//! Processes: creation, termination, exit codes, priority classes.
+
+use crate::errors::{self, ERROR_FILE_NOT_FOUND, ERROR_INVALID_PARAMETER};
+use crate::marshal::{
+    bad_handle_return, finish_out, read_string, write_out, FALSE, TRUE,
+};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::objects::{Handle, HandleError, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+fn process_pid(k: &Kernel, h: Handle) -> Result<u32, HandleError> {
+    if h == Handle::CURRENT_PROCESS {
+        return Ok(k.procs.current_pid());
+    }
+    match k.objects.get(h)? {
+        ObjectKind::Process(pid) => Ok(*pid),
+        other => Err(HandleError::WrongType {
+            actual: other.type_name(),
+        }),
+    }
+}
+
+/// `GetCurrentProcess()` — the pseudo-handle.
+///
+/// # Errors
+///
+/// None.
+pub fn GetCurrentProcess(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(Handle::CURRENT_PROCESS.raw())))
+}
+
+/// `GetCurrentProcessId()`.
+///
+/// # Errors
+///
+/// None.
+pub fn GetCurrentProcessId(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
+}
+
+/// `CreateProcess(lpApplicationName, lpCommandLine, …,
+/// lpProcessInformation)` — 10 parameters on real Win32; the simulation
+/// keeps the six that carry robustness behaviour.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name/command string or the
+/// `PROCESS_INFORMATION` block faults.
+pub fn CreateProcess(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    application_name: SimPtr,
+    command_line: SimPtr,
+    _creation_flags: u32,
+    _environment: SimPtr,
+    startup_info: SimPtr,
+    process_info_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    // One of the two name arguments must be present; both are scanned.
+    let app = if application_name.is_null() {
+        None
+    } else {
+        Some(read_string(k, application_name)?)
+    };
+    let cmd = if command_line.is_null() {
+        None
+    } else {
+        Some(read_string(k, command_line)?)
+    };
+    let Some(image) = app.or(cmd) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    // Real CreateProcess reads STARTUPINFO.cb first.
+    if !startup_info.is_null() {
+        let _cb = k
+            .space
+            .read_u32(startup_info)
+            .map_err(crate::marshal::exception)?;
+    }
+    let exe = image.split_whitespace().next().unwrap_or(&image);
+    // The image must exist on the simulated filesystem (the world has a
+    // couple of knowable binaries; anything else is ERROR_FILE_NOT_FOUND).
+    if !k.fs.exists(exe) {
+        return Ok(ApiReturn::err(FALSE, ERROR_FILE_NOT_FOUND));
+    }
+    let pid = k.procs.spawn_process(k.procs.current_pid(), exe);
+    let tid = k.procs.process(pid).expect("spawned").threads[0];
+    let ph = k.objects.insert(ObjectKind::Process(pid));
+    let th = k.objects.insert(ObjectKind::Thread(tid));
+    // PROCESS_INFORMATION { hProcess, hThread, dwProcessId, dwThreadId }.
+    let mut info = Vec::with_capacity(16);
+    info.extend_from_slice(&ph.raw().to_le_bytes());
+    info.extend_from_slice(&th.raw().to_le_bytes());
+    info.extend_from_slice(&pid.to_le_bytes());
+    info.extend_from_slice(&tid.to_le_bytes());
+    let out = write_out(k, profile, "CreateProcess", false, process_info_out, &info)?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `OpenProcess(dwDesiredAccess, bInheritHandle, dwProcessId)`.
+///
+/// # Errors
+///
+/// None; unknown pids return errors.
+pub fn OpenProcess(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    _desired_access: u32,
+    _inherit: u32,
+    pid: u32,
+) -> ApiResult {
+    k.charge_call();
+    if k.procs.process(pid).is_err() {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    let h = k.objects.insert(ObjectKind::Process(pid));
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `TerminateProcess(hProcess, uExitCode)`.
+///
+/// The pseudo-handle (terminating yourself) is modelled as an error so the
+/// harness survives; the paper's harness equally treated self-termination
+/// as a test-ending event, not a crash.
+///
+/// # Errors
+///
+/// None.
+pub fn TerminateProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_code: u32) -> ApiResult {
+    k.charge_call();
+    let pid = match process_pid(k, h) {
+        Ok(p) => p,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    match k.procs.terminate(pid, exit_code) {
+        Ok(()) => Ok(ApiReturn::ok(TRUE)),
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    }
+}
+
+/// `GetExitCodeProcess(hProcess, lpExitCode)`.
+///
+/// # Errors
+///
+/// An SEH abort when the exit-code pointer faults under probing.
+pub fn GetExitCodeProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, code_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let pid = match process_pid(k, h) {
+        Ok(p) => p,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let code = match k.procs.process(pid) {
+        Ok(p) => match p.state {
+            sim_kernel::process::RunState::Exited(c) => c,
+            _ => 259, // STILL_ACTIVE
+        },
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    };
+    let out = write_out(
+        k,
+        profile,
+        "GetExitCodeProcess",
+        true,
+        code_out,
+        &code.to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `GetPriorityClass(hProcess)` — `NORMAL_PRIORITY_CLASS` (0x20) default.
+///
+/// # Errors
+///
+/// None.
+pub fn GetPriorityClass(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match process_pid(k, h) {
+        Ok(pid) => {
+            let cls = k
+                .scratch
+                .get(&format!("win32.prioclass.{pid}"))
+                .copied()
+                .unwrap_or(0x20);
+            Ok(ApiReturn::ok(cls as i64))
+        }
+        Err(e) => Ok(match crate::marshal::handle_disposition(profile, e) {
+            crate::marshal::BadHandle::SilentSuccess => ApiReturn::ok(0x20),
+            crate::marshal::BadHandle::ErrorReturn(code) => ApiReturn::err(0, code),
+        }),
+    }
+}
+
+/// `SetPriorityClass(hProcess, dwPriorityClass)`.
+///
+/// # Errors
+///
+/// None; unknown class values are robust errors.
+pub fn SetPriorityClass(k: &mut Kernel, profile: Win32Profile, h: Handle, class: u32) -> ApiResult {
+    k.charge_call();
+    // IDLE=0x40, NORMAL=0x20, HIGH=0x80, REALTIME=0x100.
+    if !matches!(class, 0x20 | 0x40 | 0x80 | 0x100) {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    match process_pid(k, h) {
+        Ok(pid) => {
+            k.scratch
+                .insert(format!("win32.prioclass.{pid}"), u64::from(class));
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::addr::PrivilegeLevel;
+    use sim_core::cstr;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    fn put(k: &mut Kernel, s: &str) -> SimPtr {
+        let p = k.alloc_user(s.len() as u64 + 1, "str");
+        cstr::write_cstr(&mut k.space, p, s, PrivilegeLevel::User).unwrap();
+        p
+    }
+
+    #[test]
+    fn create_process_lifecycle() {
+        let mut k = wk();
+        let image = put(&mut k, "C:\\WINDOWS\\README.TXT"); // an existing "image"
+        let pi = k.alloc_user(16, "pi");
+        let si = k.alloc_user(68, "si");
+        k.space.write_u32(si, 68).unwrap();
+        let r = CreateProcess(&mut k, nt(), image, SimPtr::NULL, 0, SimPtr::NULL, si, pi).unwrap();
+        assert_eq!(r.value, TRUE);
+        let ph = Handle(k.space.read_u32(pi).unwrap());
+        let pid = k.space.read_u32(pi.offset(8)).unwrap();
+        assert!(k.procs.process(pid).is_ok());
+        // Exit-code protocol.
+        let code = k.alloc_user(4, "code");
+        GetExitCodeProcess(&mut k, nt(), ph, code).unwrap();
+        assert_eq!(k.space.read_u32(code).unwrap(), 259);
+        assert_eq!(TerminateProcess(&mut k, nt(), ph, 42).unwrap().value, TRUE);
+        GetExitCodeProcess(&mut k, nt(), ph, code).unwrap();
+        assert_eq!(k.space.read_u32(code).unwrap(), 42);
+        // Terminating again: robust error.
+        assert!(TerminateProcess(&mut k, nt(), ph, 0).unwrap().reported_error());
+    }
+
+    #[test]
+    fn create_process_error_paths() {
+        let mut k = wk();
+        let pi = k.alloc_user(16, "pi");
+        // Both names NULL.
+        let r = CreateProcess(&mut k, nt(), SimPtr::NULL, SimPtr::NULL, 0, SimPtr::NULL, SimPtr::NULL, pi)
+            .unwrap();
+        assert_eq!(r.error, Some(ERROR_INVALID_PARAMETER));
+        // Missing image.
+        let ghost = put(&mut k, "C:\\GHOST.EXE");
+        let r = CreateProcess(&mut k, nt(), ghost, SimPtr::NULL, 0, SimPtr::NULL, SimPtr::NULL, pi)
+            .unwrap();
+        assert_eq!(r.error, Some(ERROR_FILE_NOT_FOUND));
+        // Hostile name pointer: abort.
+        assert!(CreateProcess(
+            &mut k,
+            nt(),
+            SimPtr::new(0x30),
+            SimPtr::NULL,
+            0,
+            SimPtr::NULL,
+            SimPtr::NULL,
+            pi
+        )
+        .is_err());
+        // Hostile PROCESS_INFORMATION on NT: abort; on 98: silent.
+        let image = put(&mut k, "C:\\WINDOWS\\README.TXT");
+        assert!(CreateProcess(
+            &mut k,
+            nt(),
+            image,
+            SimPtr::NULL,
+            0,
+            SimPtr::NULL,
+            SimPtr::NULL,
+            SimPtr::new(0x30)
+        )
+        .is_err());
+        // 98 writes the PROCESS_INFORMATION block eagerly too
+        // (lazy_on_9x = false): also an abort, and the machine survives.
+        assert!(CreateProcess(
+            &mut k,
+            w98(),
+            image,
+            SimPtr::NULL,
+            0,
+            SimPtr::NULL,
+            SimPtr::NULL,
+            SimPtr::new(0x30),
+        )
+        .is_err());
+        assert!(k.is_alive());
+    }
+
+    #[test]
+    fn open_process_and_priority() {
+        let mut k = wk();
+        let child = k.procs.spawn_process(k.procs.current_pid(), "child");
+        let r = OpenProcess(&mut k, nt(), 0x1F_0FFF, 0, child).unwrap();
+        assert!(!r.reported_error());
+        let h = Handle(r.value as u32);
+        assert_eq!(GetPriorityClass(&mut k, nt(), h).unwrap().value, 0x20);
+        assert_eq!(SetPriorityClass(&mut k, nt(), h, 0x80).unwrap().value, TRUE);
+        assert_eq!(GetPriorityClass(&mut k, nt(), h).unwrap().value, 0x80);
+        assert!(SetPriorityClass(&mut k, nt(), h, 0x33).unwrap().reported_error());
+        assert!(OpenProcess(&mut k, nt(), 0, 0, 0xDEAD).unwrap().reported_error());
+        // Pseudo-handle accepted.
+        assert_eq!(
+            GetPriorityClass(&mut k, nt(), Handle::CURRENT_PROCESS).unwrap().value,
+            0x20
+        );
+    }
+
+    #[test]
+    fn current_process_identity() {
+        let mut k = wk();
+        assert_eq!(
+            GetCurrentProcess(&mut k, nt()).unwrap().value as u32,
+            Handle::CURRENT_PROCESS.raw()
+        );
+        assert_eq!(
+            GetCurrentProcessId(&mut k, nt()).unwrap().value as u32,
+            k.procs.current_pid()
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-variant Win32 robustness profiles.
+//!
+//! Like the C-library profiles, everything here is a *validation policy* or
+//! a *documented vulnerability*, never a failure rate. The three big knobs:
+//!
+//! 1. **Handle validation** — the NT family and CE check handles and
+//!    report `ERROR_INVALID_HANDLE`; the 9x family quietly accepts garbage
+//!    handles and reports success (the dominant source of the paper's
+//!    estimated Silent failures, Figure 2).
+//! 2. **Out-pointer marshaling** — how a call delivers results through a
+//!    caller-supplied pointer (see [`OutPolicy`]): NT probes in user mode
+//!    (hostile pointer ⇒ Abort), 9x either skips the write silently or, for
+//!    the Table 3 functions, writes at kernel privilege (hostile pointer ⇒
+//!    Catastrophic), CE probes and returns an error (robust).
+//! 3. **The Table 3 vulnerability list** — exactly which call crashes which
+//!    variant, and whether the crash needs harness-accumulated residue
+//!    (the paper's `*` marks).
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+
+/// Residue threshold for interference-dependent (`*`) vulnerabilities.
+pub use sim_libc::profile::RESIDUE_THRESHOLD;
+
+/// How a call writes results through a caller-supplied out-pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutPolicy {
+    /// Probe/copy in user mode: a hostile pointer raises
+    /// `EXCEPTION_ACCESS_VIOLATION` — an **Abort** (the NT family, and the
+    /// 9x family for calls implemented in 32-bit user code).
+    UserProbe,
+    /// Skip the write when the pointer is bad, report success anyway — a
+    /// **Silent** failure (9x lazy paths).
+    SilentSkip,
+    /// Validate first and fail with `ERROR_NOACCESS` — the robust response
+    /// (CE's out-parameter convention in this model).
+    ValidateError,
+    /// Write at kernel privilege with no probing: a hostile pointer is a
+    /// kernel-mode wild write — **Catastrophic** (the Table 3 calls on
+    /// their vulnerable variants).
+    KernelWrite,
+}
+
+/// A Table 3 vulnerability: which variant, and whether it needs residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vulnerability {
+    /// Fires only when the harness has accumulated residue (the paper's
+    /// `*` entries, irreproducible in isolation).
+    pub interference_dependent: bool,
+}
+
+/// The Win32 personality of one OS variant.
+///
+/// # Example
+///
+/// ```
+/// use sim_win32::profile::Win32Profile;
+/// use sim_kernel::variant::OsVariant;
+///
+/// let nt = Win32Profile::for_os(OsVariant::WinNt4);
+/// let w95 = Win32Profile::for_os(OsVariant::Win95);
+/// assert!(nt.validates_handles());
+/// assert!(!w95.validates_handles());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Win32Profile {
+    /// The OS variant.
+    pub os: OsVariant,
+}
+
+impl Win32Profile {
+    /// The profile for an OS variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when handed [`OsVariant::Linux`] — Linux has no Win32 API.
+    #[must_use]
+    pub fn for_os(os: OsVariant) -> Self {
+        assert!(os.is_windows(), "Win32Profile requires a Windows variant");
+        Win32Profile { os }
+    }
+
+    /// NT-family and CE kernels validate handles; the 9x family quietly
+    /// accepts garbage handles (success, no error — a Silent failure).
+    #[must_use]
+    pub fn validates_handles(&self) -> bool {
+        self.os.is_nt() || self.os.is_ce()
+    }
+
+    /// The default out-pointer policy for calls *not* in the Table 3 list:
+    /// NT probes (Abort), 9x's lazy paths skip silently, CE validates.
+    #[must_use]
+    pub fn default_out_policy(&self, lazy_on_9x: bool) -> OutPolicy {
+        if self.os.is_9x() && lazy_on_9x {
+            OutPolicy::SilentSkip
+        } else if self.os.is_ce() {
+            OutPolicy::ValidateError
+        } else {
+            OutPolicy::UserProbe
+        }
+    }
+
+    /// Looks up the Table 3 vulnerability of `call` on this variant, if
+    /// any. Call names use the exact Win32 spelling.
+    #[must_use]
+    pub fn vulnerability(&self, call: &str) -> Option<Vulnerability> {
+        let dep = |interference_dependent| Some(Vulnerability { interference_dependent });
+        match (call, self.os) {
+            // GetThreadContext: deterministic on all of 9x and CE (Listing 1).
+            ("GetThreadContext", v) if v.is_9x() || v.is_ce() => dep(false),
+            // SetThreadContext: CE only.
+            ("SetThreadContext", OsVariant::WinCe) => dep(false),
+            // GetFileInformationByHandle: deterministic, all 9x.
+            ("GetFileInformationByHandle", v) if v.is_9x() => dep(false),
+            // DuplicateHandle: interference-dependent, all 9x.
+            ("DuplicateHandle", v) if v.is_9x() => dep(true),
+            // MsgWaitForMultipleObjects: 9x and CE, interference-dependent.
+            ("MsgWaitForMultipleObjects", v) if v.is_9x() || v.is_ce() => dep(true),
+            // MsgWaitForMultipleObjectsEx: not implemented on 95; 98/98SE/CE.
+            (
+                "MsgWaitForMultipleObjectsEx",
+                OsVariant::Win98 | OsVariant::Win98Se | OsVariant::WinCe,
+            ) => dep(true),
+            // ReadProcessMemory: 95 and CE, interference-dependent.
+            ("ReadProcessMemory", OsVariant::Win95 | OsVariant::WinCe) => dep(true),
+            // FileTimeToSystemTime: 95 only, deterministic.
+            ("FileTimeToSystemTime", OsVariant::Win95) => dep(false),
+            // HeapCreate: 95 only, deterministic.
+            ("HeapCreate", OsVariant::Win95) => dep(false),
+            // CreateThread: 98 SE and CE, interference-dependent.
+            ("CreateThread", OsVariant::Win98Se | OsVariant::WinCe) => dep(true),
+            // Interlocked*: CE only, interference-dependent.
+            ("InterlockedIncrement" | "InterlockedDecrement" | "InterlockedExchange", OsVariant::WinCe) => {
+                dep(true)
+            }
+            // VirtualAlloc: CE only, deterministic.
+            ("VirtualAlloc", OsVariant::WinCe) => dep(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the vulnerability (if present) fires given the current
+    /// residue level.
+    #[must_use]
+    pub fn vulnerability_fires(&self, call: &str, residue: u32) -> bool {
+        match self.vulnerability(call) {
+            Some(v) => !v.interference_dependent || residue >= RESIDUE_THRESHOLD,
+            None => false,
+        }
+    }
+
+    /// The ten Win32 system calls Windows 95 does not implement (the
+    /// paper: "10 Win32 system calls were not supported by Windows 95").
+    #[must_use]
+    pub fn supports_call(&self, call: &str) -> bool {
+        const NOT_ON_95: [&str; 10] = [
+            "MsgWaitForMultipleObjectsEx",
+            "CreateDirectoryEx",
+            "ReadFileEx",
+            "WriteFileEx",
+            "LockFileEx",
+            "UnlockFileEx",
+            "HeapCompact",
+            "HeapValidate",
+            "MoveFileEx",
+            "FlushViewOfFile",
+        ];
+        if self.os == OsVariant::Win95 && NOT_ON_95.contains(&call) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(os: OsVariant) -> Win32Profile {
+        Win32Profile::for_os(os)
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a Windows variant")]
+    fn linux_has_no_win32() {
+        let _ = Win32Profile::for_os(OsVariant::Linux);
+    }
+
+    #[test]
+    fn handle_validation_split() {
+        assert!(p(OsVariant::WinNt4).validates_handles());
+        assert!(p(OsVariant::Win2000).validates_handles());
+        assert!(p(OsVariant::WinCe).validates_handles());
+        assert!(!p(OsVariant::Win95).validates_handles());
+        assert!(!p(OsVariant::Win98).validates_handles());
+        assert!(!p(OsVariant::Win98Se).validates_handles());
+    }
+
+    #[test]
+    fn catastrophic_call_sets_match_table_1_counts() {
+        // Count vulnerable system calls per variant against Table 1.
+        let all_calls = [
+            "GetThreadContext",
+            "SetThreadContext",
+            "GetFileInformationByHandle",
+            "DuplicateHandle",
+            "MsgWaitForMultipleObjects",
+            "MsgWaitForMultipleObjectsEx",
+            "ReadProcessMemory",
+            "FileTimeToSystemTime",
+            "HeapCreate",
+            "CreateThread",
+            "InterlockedIncrement",
+            "InterlockedDecrement",
+            "InterlockedExchange",
+            "VirtualAlloc",
+        ];
+        let count = |os: OsVariant| {
+            all_calls
+                .iter()
+                .filter(|c| p(os).vulnerability(c).is_some() && p(os).supports_call(c))
+                .count()
+        };
+        assert_eq!(count(OsVariant::Win95), 7, "Win95 row of Table 1");
+        assert_eq!(count(OsVariant::Win98), 5, "Win98 row of Table 1");
+        assert_eq!(count(OsVariant::Win98Se), 6, "Win98 SE row of Table 1");
+        assert_eq!(count(OsVariant::WinNt4), 0, "NT row of Table 1");
+        assert_eq!(count(OsVariant::Win2000), 0, "Win2000 row of Table 1");
+        assert_eq!(count(OsVariant::WinCe), 10, "CE row of Table 1");
+    }
+
+    #[test]
+    fn listing1_vulnerability_is_deterministic() {
+        for os in [OsVariant::Win95, OsVariant::Win98, OsVariant::Win98Se, OsVariant::WinCe] {
+            assert!(p(os).vulnerability_fires("GetThreadContext", 0), "{os}");
+        }
+        assert!(!p(OsVariant::WinNt4).vulnerability_fires("GetThreadContext", 100));
+    }
+
+    #[test]
+    fn starred_entries_need_residue() {
+        let w98 = p(OsVariant::Win98);
+        assert!(!w98.vulnerability_fires("DuplicateHandle", 0));
+        assert!(w98.vulnerability_fires("DuplicateHandle", RESIDUE_THRESHOLD));
+        assert!(!w98.vulnerability_fires("MsgWaitForMultipleObjects", 2));
+        assert!(w98.vulnerability_fires("MsgWaitForMultipleObjects", 3));
+    }
+
+    #[test]
+    fn win95_missing_calls() {
+        let w95 = p(OsVariant::Win95);
+        assert!(!w95.supports_call("MsgWaitForMultipleObjectsEx"));
+        assert!(!w95.supports_call("ReadFileEx"));
+        assert!(w95.supports_call("ReadFile"));
+        assert!(p(OsVariant::Win98).supports_call("MsgWaitForMultipleObjectsEx"));
+    }
+
+    #[test]
+    fn out_policies() {
+        assert_eq!(
+            p(OsVariant::WinNt4).default_out_policy(true),
+            OutPolicy::UserProbe
+        );
+        assert_eq!(
+            p(OsVariant::Win95).default_out_policy(true),
+            OutPolicy::SilentSkip
+        );
+        assert_eq!(
+            p(OsVariant::Win95).default_out_policy(false),
+            OutPolicy::UserProbe
+        );
+        assert_eq!(
+            p(OsVariant::WinCe).default_out_policy(true),
+            OutPolicy::ValidateError
+        );
+    }
+}

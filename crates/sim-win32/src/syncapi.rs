@@ -1,0 +1,608 @@
+//! Synchronization objects and waits: events, mutexes, semaphores,
+//! `WaitForSingleObject`/`WaitForMultipleObjects` and the two
+//! `MsgWaitForMultipleObjects` calls of Table 3.
+//!
+//! The waits are the source of the paper's **Restart** failures: an
+//! unsatisfiable wait with an `INFINITE` timeout never returns. The
+//! `MsgWait*` pair additionally reads the caller's handle array in kernel
+//! mode on the 9x family and CE — with harness residue, a wild array
+//! pointer is Catastrophic (`*MsgWaitForMultipleObjects[Ex]`).
+
+use crate::errors::{self, ERROR_INVALID_PARAMETER, WAIT_TIMEOUT};
+use crate::marshal::{bad_handle_return, exception, kernel_read, read_string, FALSE, TRUE};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::objects::{Handle, ObjectKind};
+use sim_kernel::outcome::{ApiAbort, ApiResult, ApiReturn};
+use sim_kernel::sync::{wait_any, SyncState, WaitOutcome};
+use sim_kernel::Kernel;
+
+/// `WAIT_OBJECT_0`.
+pub const WAIT_OBJECT_0: i64 = 0;
+/// `WAIT_ABANDONED_0`.
+pub const WAIT_ABANDONED_0: i64 = 0x80;
+/// `WAIT_FAILED`.
+pub const WAIT_FAILED: i64 = -1;
+/// `MAXIMUM_WAIT_OBJECTS`.
+pub const MAXIMUM_WAIT_OBJECTS: u32 = 64;
+
+/// `CreateEvent(lpSecurity, bManualReset, bInitialState, lpName)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name pointer faults.
+pub fn CreateEvent(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    _security: SimPtr,
+    manual_reset: u32,
+    initial_state: u32,
+    name: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !name.is_null() {
+        let _ = read_string(k, name)?;
+    }
+    let h = k.objects.insert(ObjectKind::Event(SyncState::event(
+        manual_reset != 0,
+        initial_state != 0,
+    )));
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+fn signal_object(k: &mut Kernel, profile: Win32Profile, h: Handle, expected_event: bool, set: bool) -> ApiResult {
+    match k.objects.get_mut(h) {
+        Ok(ObjectKind::Event(s)) if expected_event => {
+            if set {
+                s.signal();
+            } else {
+                s.reset();
+            }
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Ok(ObjectKind::Mutex(s)) if !expected_event => {
+            if s.owner != k.procs.current_tid() || s.count == 0 {
+                return Ok(ApiReturn::err(FALSE, errors::ERROR_NOT_LOCKED));
+            }
+            s.signal();
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Ok(_) => Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `SetEvent(hEvent)`.
+///
+/// # Errors
+///
+/// None.
+pub fn SetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    signal_object(k, profile, h, true, true)
+}
+
+/// `ResetEvent(hEvent)`.
+///
+/// # Errors
+///
+/// None.
+pub fn ResetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    signal_object(k, profile, h, true, false)
+}
+
+/// `PulseEvent(hEvent)` — signal then immediately reset (no waiter can
+/// exist in the single-threaded simulation, so the net effect is a reset).
+///
+/// # Errors
+///
+/// None.
+pub fn PulseEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    match k.objects.get_mut(h) {
+        Ok(ObjectKind::Event(s)) => {
+            s.signal();
+            s.reset();
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Ok(_) => Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `CreateMutex(lpSecurity, bInitialOwner, lpName)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name pointer faults.
+pub fn CreateMutex(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    _security: SimPtr,
+    initial_owner: u32,
+    name: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !name.is_null() {
+        let _ = read_string(k, name)?;
+    }
+    let owner = if initial_owner != 0 {
+        k.procs.current_tid()
+    } else {
+        0
+    };
+    let h = k.objects.insert(ObjectKind::Mutex(SyncState::mutex(owner)));
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `ReleaseMutex(hMutex)`.
+///
+/// # Errors
+///
+/// None; releasing an unowned mutex is a robust error.
+pub fn ReleaseMutex(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    signal_object(k, profile, h, false, true)
+}
+
+/// `CreateSemaphore(lpSecurity, lInitialCount, lMaximumCount, lpName)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL name pointer faults; degenerate counts are
+/// robust errors.
+pub fn CreateSemaphore(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    _security: SimPtr,
+    initial: i32,
+    maximum: i32,
+    name: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if !name.is_null() {
+        let _ = read_string(k, name)?;
+    }
+    if maximum <= 0 || initial < 0 || initial > maximum {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    let h = k.objects.insert(ObjectKind::Semaphore(SyncState::semaphore(
+        initial as u32,
+        maximum as u32,
+    )));
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `ReleaseSemaphore(hSemaphore, lReleaseCount, lpPreviousCount)`.
+///
+/// # Errors
+///
+/// An SEH abort when a non-NULL previous-count pointer faults under
+/// probing.
+pub fn ReleaseSemaphore(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    h: Handle,
+    release_count: i32,
+    previous_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    if release_count <= 0 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let previous = match k.objects.get_mut(h) {
+        Ok(ObjectKind::Semaphore(s)) => {
+            let prev = s.count;
+            if u64::from(prev) + release_count as u64 > u64::from(s.max_count) {
+                return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+            }
+            for _ in 0..release_count {
+                s.signal();
+            }
+            prev
+        }
+        Ok(_) => return Ok(ApiReturn::err(FALSE, errors::ERROR_INVALID_HANDLE)),
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    if !previous_out.is_null() {
+        let out = crate::marshal::write_out(
+            k,
+            profile,
+            "ReleaseSemaphore",
+            true,
+            previous_out,
+            &previous.to_le_bytes(),
+        )?;
+        return Ok(crate::marshal::finish_out(out, TRUE));
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+fn wait_on_states(states: &mut [(usize, SyncState)], tid: u32, timeout: u32) -> (WaitOutcome, Vec<(usize, SyncState)>) {
+    let mut refs: Vec<&mut SyncState> = states.iter_mut().map(|(_, s)| s).collect();
+    let outcome = wait_any(&mut refs, tid, timeout);
+    (outcome, Vec::new())
+}
+
+fn do_wait(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    handles: &[Handle],
+    timeout: u32,
+) -> Result<i64, ApiAbort> {
+    // Snapshot the states, run the wait protocol, write back.
+    let mut states: Vec<(usize, SyncState)> = Vec::new();
+    for (i, &h) in handles.iter().enumerate() {
+        match k.objects.get(h) {
+            Ok(ObjectKind::Event(s) | ObjectKind::Mutex(s) | ObjectKind::Semaphore(s)) => {
+                states.push((i, *s));
+            }
+            Ok(ObjectKind::Process(pid)) => {
+                // A process handle is signaled when the process has exited.
+                let signaled = matches!(
+                    k.procs.process(*pid).map(|p| p.state),
+                    Ok(sim_kernel::process::RunState::Exited(_))
+                );
+                states.push((i, SyncState::event(true, signaled)));
+            }
+            Ok(ObjectKind::Thread(tid)) => {
+                let signaled = matches!(
+                    k.procs.thread(*tid).map(|t| t.state),
+                    Ok(sim_kernel::process::RunState::Exited(_))
+                );
+                states.push((i, SyncState::event(true, signaled)));
+            }
+            Ok(_) => return Ok(WAIT_FAILED),
+            Err(e) => {
+                return Ok(match crate::marshal::handle_disposition(profile, e) {
+                    // 9x: the garbage handle "was signaled" — silent.
+                    crate::marshal::BadHandle::SilentSuccess => WAIT_OBJECT_0 + i as i64,
+                    crate::marshal::BadHandle::ErrorReturn(_) => WAIT_FAILED,
+                });
+            }
+        }
+    }
+    let tid = k.procs.current_tid();
+    let (outcome, _) = wait_on_states(&mut states, tid, timeout);
+    // Write back mutated object states.
+    for (i, s) in &states {
+        if let Ok(
+            ObjectKind::Event(slot) | ObjectKind::Mutex(slot) | ObjectKind::Semaphore(slot),
+        ) = k.objects.get_mut(handles[*i])
+        {
+            *slot = *s;
+        }
+    }
+    match outcome {
+        WaitOutcome::Signaled(i) => Ok(WAIT_OBJECT_0 + i as i64),
+        WaitOutcome::Abandoned(i) => Ok(WAIT_ABANDONED_0 + i as i64),
+        WaitOutcome::Timeout => {
+            k.clock.advance_ms(u64::from(timeout.min(60_000)));
+            Ok(i64::from(WAIT_TIMEOUT))
+        }
+        WaitOutcome::Hang => Err(ApiAbort::Hang),
+    }
+}
+
+/// `WaitForSingleObject(hHandle, dwMilliseconds)`.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`] when the wait can never be satisfied and the timeout
+/// is `INFINITE` — the paper's Restart failure mode.
+pub fn WaitForSingleObject(k: &mut Kernel, profile: Win32Profile, h: Handle, timeout: u32) -> ApiResult {
+    k.charge_call();
+    let code = do_wait(k, profile, &[h], timeout)?;
+    if code == WAIT_FAILED {
+        return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_HANDLE));
+    }
+    Ok(ApiReturn::ok(code))
+}
+
+fn read_handle_array_user(
+    k: &Kernel,
+    count: u32,
+    handles_ptr: SimPtr,
+) -> Result<Vec<Handle>, ApiAbort> {
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let raw = k
+            .space
+            .read_u32(handles_ptr.offset(u64::from(i) * 4))
+            .map_err(exception)?;
+        out.push(Handle(raw));
+    }
+    Ok(out)
+}
+
+/// `WaitForMultipleObjects(nCount, lpHandles, bWaitAll, dwMilliseconds)` —
+/// wait-any semantics are modelled (`bWaitAll` with multiple unsignaled
+/// objects can never complete single-threadedly and hangs on `INFINITE`).
+///
+/// # Errors
+///
+/// An SEH abort when the handle array faults (read in user mode by this
+/// call on every variant); [`ApiAbort::Hang`] for unsatisfiable infinite
+/// waits.
+pub fn WaitForMultipleObjects(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    count: u32,
+    handles_ptr: SimPtr,
+    _wait_all: u32,
+    timeout: u32,
+) -> ApiResult {
+    k.charge_call();
+    if count == 0 || count > MAXIMUM_WAIT_OBJECTS {
+        return Ok(ApiReturn::err(WAIT_FAILED, ERROR_INVALID_PARAMETER));
+    }
+    let handles = read_handle_array_user(k, count, handles_ptr)?;
+    let code = do_wait(k, profile, &handles, timeout)?;
+    if code == WAIT_FAILED {
+        return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_HANDLE));
+    }
+    Ok(ApiReturn::ok(code))
+}
+
+fn msg_wait_impl(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    call: &'static str,
+    count: u32,
+    handles_ptr: SimPtr,
+    timeout: u32,
+) -> ApiResult {
+    if count > MAXIMUM_WAIT_OBJECTS - 1 {
+        return Ok(ApiReturn::err(WAIT_FAILED, ERROR_INVALID_PARAMETER));
+    }
+    // The 9x/CE implementations hand the array pointer to kernel code.
+    let handles: Vec<Handle> = if profile.vulnerability_fires(call, k.residue) {
+        if count > 0 {
+            match kernel_read(k, call, handles_ptr, u64::from(count) * 4) {
+                Some(bytes) => bytes
+                    .chunks_exact(4)
+                    .map(|c| Handle(u32::from_le_bytes(c.try_into().expect("sized"))))
+                    .collect(),
+                None => return Ok(ApiReturn::ok(0)), // machine dead
+            }
+        } else {
+            Vec::new()
+        }
+    } else if count > 0 {
+        read_handle_array_user(k, count, handles_ptr)?
+    } else {
+        Vec::new()
+    };
+    // There is always "a message" eventually in a real message queue; the
+    // simulated queue is empty, so only the object wait can complete.
+    let code = do_wait(k, profile, &handles, timeout)?;
+    if code == WAIT_FAILED {
+        return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_HANDLE));
+    }
+    Ok(ApiReturn::ok(code))
+}
+
+/// `MsgWaitForMultipleObjects(nCount, pHandles, fWaitAll, dwMilliseconds,
+/// dwWakeMask)`.
+///
+/// **Table 3** (`*MsgWaitForMultipleObjects`): on 9x and CE with harness
+/// residue, the handle array is read in kernel mode with no probing.
+///
+/// # Errors
+///
+/// An SEH abort when the array faults in the user-mode path;
+/// [`ApiAbort::Hang`] for unsatisfiable infinite waits.
+pub fn MsgWaitForMultipleObjects(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    count: u32,
+    handles_ptr: SimPtr,
+    _wait_all: u32,
+    timeout: u32,
+    _wake_mask: u32,
+) -> ApiResult {
+    k.charge_call();
+    msg_wait_impl(k, profile, "MsgWaitForMultipleObjects", count, handles_ptr, timeout)
+}
+
+/// `MsgWaitForMultipleObjectsEx(nCount, pHandles, dwMilliseconds,
+/// dwWakeMask, dwFlags)` — not implemented on Windows 95 (the catalog
+/// excludes it there).
+///
+/// # Errors
+///
+/// Same conditions as [`MsgWaitForMultipleObjects`].
+pub fn MsgWaitForMultipleObjectsEx(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    count: u32,
+    handles_ptr: SimPtr,
+    timeout: u32,
+    _wake_mask: u32,
+    _flags: u32,
+) -> ApiResult {
+    k.charge_call();
+    if !profile.supports_call("MsgWaitForMultipleObjectsEx") {
+        return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_FUNCTION));
+    }
+    msg_wait_impl(k, profile, "MsgWaitForMultipleObjectsEx", count, handles_ptr, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::sync::INFINITE;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    fn event(k: &mut Kernel, signaled: bool) -> Handle {
+        Handle(
+            CreateEvent(k, nt(), SimPtr::NULL, 0, u32::from(signaled), SimPtr::NULL)
+                .unwrap()
+                .value as u32,
+        )
+    }
+
+    #[test]
+    fn event_protocol() {
+        let mut k = wk();
+        let h = event(&mut k, false);
+        // Unsignaled, finite wait → timeout.
+        assert_eq!(
+            WaitForSingleObject(&mut k, nt(), h, 50).unwrap().value,
+            i64::from(WAIT_TIMEOUT)
+        );
+        SetEvent(&mut k, nt(), h).unwrap();
+        assert_eq!(WaitForSingleObject(&mut k, nt(), h, 50).unwrap().value, WAIT_OBJECT_0);
+        // Auto-reset consumed it.
+        assert_eq!(
+            WaitForSingleObject(&mut k, nt(), h, 0).unwrap().value,
+            i64::from(WAIT_TIMEOUT)
+        );
+        SetEvent(&mut k, nt(), h).unwrap();
+        ResetEvent(&mut k, nt(), h).unwrap();
+        assert_eq!(
+            WaitForSingleObject(&mut k, nt(), h, 0).unwrap().value,
+            i64::from(WAIT_TIMEOUT)
+        );
+        PulseEvent(&mut k, nt(), h).unwrap();
+    }
+
+    #[test]
+    fn infinite_wait_on_unsignaled_object_hangs() {
+        let mut k = wk();
+        let h = event(&mut k, false);
+        let err = WaitForSingleObject(&mut k, nt(), h, INFINITE).unwrap_err();
+        assert!(err.is_hang());
+    }
+
+    #[test]
+    fn bad_handle_wait_splits() {
+        let mut k = wk();
+        // NT: WAIT_FAILED + error.
+        let r = WaitForSingleObject(&mut k, nt(), Handle(0xBEEF), INFINITE).unwrap();
+        assert_eq!(r.value, WAIT_FAILED);
+        assert!(r.reported_error());
+        // 98: pretends the object was signaled — a Silent failure (and no hang).
+        let r = WaitForSingleObject(&mut k, w98(), Handle(0xBEEF), INFINITE).unwrap();
+        assert_eq!(r.value, WAIT_OBJECT_0);
+        assert!(!r.reported_error());
+    }
+
+    #[test]
+    fn mutex_protocol() {
+        let mut k = wk();
+        let r = CreateMutex(&mut k, nt(), SimPtr::NULL, 0, SimPtr::NULL).unwrap();
+        let h = Handle(r.value as u32);
+        assert_eq!(WaitForSingleObject(&mut k, nt(), h, 0).unwrap().value, WAIT_OBJECT_0);
+        assert_eq!(ReleaseMutex(&mut k, nt(), h).unwrap().value, TRUE);
+        // Releasing when not held: robust error.
+        assert!(ReleaseMutex(&mut k, nt(), h).unwrap().reported_error());
+    }
+
+    #[test]
+    fn semaphore_protocol() {
+        let mut k = wk();
+        let r = CreateSemaphore(&mut k, nt(), SimPtr::NULL, 1, 2, SimPtr::NULL).unwrap();
+        let h = Handle(r.value as u32);
+        assert_eq!(WaitForSingleObject(&mut k, nt(), h, 0).unwrap().value, WAIT_OBJECT_0);
+        let prev = k.alloc_user(4, "prev");
+        assert_eq!(
+            ReleaseSemaphore(&mut k, nt(), h, 2, prev).unwrap().value,
+            TRUE
+        );
+        assert_eq!(k.space.read_u32(prev).unwrap(), 0);
+        // Exceeding the maximum: robust error.
+        assert!(ReleaseSemaphore(&mut k, nt(), h, 1, SimPtr::NULL)
+            .unwrap()
+            .reported_error());
+        // Degenerate creation parameters.
+        assert!(CreateSemaphore(&mut k, nt(), SimPtr::NULL, 5, 2, SimPtr::NULL)
+            .unwrap()
+            .reported_error());
+        assert!(CreateSemaphore(&mut k, nt(), SimPtr::NULL, -1, 2, SimPtr::NULL)
+            .unwrap()
+            .reported_error());
+    }
+
+    #[test]
+    fn wait_multiple_selects_signaled() {
+        let mut k = wk();
+        let a = event(&mut k, false);
+        let b = event(&mut k, true);
+        let arr = k.alloc_user(8, "handles");
+        k.space.write_u32(arr, a.raw()).unwrap();
+        k.space.write_u32(arr.offset(4), b.raw()).unwrap();
+        assert_eq!(
+            WaitForMultipleObjects(&mut k, nt(), 2, arr, 0, 100).unwrap().value,
+            WAIT_OBJECT_0 + 1
+        );
+        // Count 0 and huge counts are robust errors.
+        assert!(WaitForMultipleObjects(&mut k, nt(), 0, arr, 0, 0)
+            .unwrap()
+            .reported_error());
+        assert!(WaitForMultipleObjects(&mut k, nt(), 65, arr, 0, 0)
+            .unwrap()
+            .reported_error());
+        // Hostile array: abort on every variant in the plain call.
+        assert!(WaitForMultipleObjects(&mut k, nt(), 2, SimPtr::NULL, 0, 0).is_err());
+        assert!(WaitForMultipleObjects(&mut k, w98(), 2, SimPtr::NULL, 0, 0).is_err());
+    }
+
+    #[test]
+    fn msg_wait_crash_matrix() {
+        // 98 + residue + wild array: Catastrophic.
+        let mut k = wk();
+        k.residue = 5;
+        let _ = MsgWaitForMultipleObjects(&mut k, w98(), 4, SimPtr::new(0x40), 0, 100, 0xFF).unwrap();
+        assert!(!k.is_alive());
+        // 98 without residue: plain abort.
+        let mut k2 = wk();
+        assert!(MsgWaitForMultipleObjects(&mut k2, w98(), 4, SimPtr::new(0x40), 0, 100, 0xFF).is_err());
+        assert!(k2.is_alive());
+        // NT always aborts, never crashes.
+        let mut k3 = wk();
+        k3.residue = 9;
+        assert!(MsgWaitForMultipleObjects(&mut k3, nt(), 4, SimPtr::new(0x40), 0, 100, 0xFF).is_err());
+        assert!(k3.is_alive());
+        // Ex variant unsupported on 95.
+        let mut k4 = wk();
+        let w95 = Win32Profile::for_os(OsVariant::Win95);
+        let r = MsgWaitForMultipleObjectsEx(&mut k4, w95, 1, SimPtr::new(0x40), 100, 0, 0).unwrap();
+        assert!(r.reported_error());
+        // Ex variant crashes 98 with residue.
+        let mut k5 = wk();
+        k5.residue = 5;
+        let _ = MsgWaitForMultipleObjectsEx(&mut k5, w98(), 4, SimPtr::new(0x40), 100, 0, 0).unwrap();
+        assert!(!k5.is_alive());
+    }
+
+    #[test]
+    fn msg_wait_valid_array_times_out() {
+        let mut k = wk();
+        let a = event(&mut k, false);
+        let arr = k.alloc_user(4, "handles");
+        k.space.write_u32(arr, a.raw()).unwrap();
+        assert_eq!(
+            MsgWaitForMultipleObjects(&mut k, nt(), 1, arr, 0, 25, 0xFF).unwrap().value,
+            i64::from(WAIT_TIMEOUT)
+        );
+        // Infinite + unsatisfiable = Restart.
+        assert!(MsgWaitForMultipleObjects(&mut k, nt(), 1, arr, 0, INFINITE, 0xFF)
+            .unwrap_err()
+            .is_hang());
+    }
+}

@@ -1,0 +1,615 @@
+//! Threads: creation, scheduling, register contexts and the interlocked
+//! primitives — the bulk of the paper's *Process Primitives* grouping.
+//!
+//! This module contains the paper's Listing 1:
+//!
+//! ```text
+//! GetThreadContext(GetCurrentThread(), NULL);
+//! ```
+//!
+//! which crashes Windows 95, 98, 98 SE and CE outright — the 9x/CE kernels
+//! write the `CONTEXT` block through the caller's pointer with no probing.
+//! Also here: `SetThreadContext` (CE crash), `CreateThread` (98 SE/CE,
+//! interference-dependent) and the `Interlocked*` trio (CE,
+//! interference-dependent).
+
+use crate::errors::{self, ERROR_INVALID_PARAMETER};
+use crate::marshal::{
+    bad_handle_return, exception, finish_out, kernel_write, write_out, OutWrite, FALSE, TRUE,
+};
+use crate::profile::Win32Profile;
+use sim_core::addr::PrivilegeLevel;
+use sim_core::SimPtr;
+use sim_kernel::objects::{Handle, HandleError, ObjectKind};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::process::ThreadContext;
+use sim_kernel::Kernel;
+
+/// Resolves a thread handle (accepting the `GetCurrentThread()`
+/// pseudo-handle) to a thread id.
+fn thread_tid(k: &Kernel, h: Handle) -> Result<u32, HandleError> {
+    if h == Handle::CURRENT_THREAD {
+        return Ok(k.procs.current_tid());
+    }
+    match k.objects.get(h)? {
+        ObjectKind::Thread(tid) => Ok(*tid),
+        other => Err(HandleError::WrongType {
+            actual: other.type_name(),
+        }),
+    }
+}
+
+fn context_bytes(ctx: &ThreadContext) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ThreadContext::SIZE as usize);
+    for f in ctx.fields() {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+/// `GetCurrentThread()` — the pseudo-handle.
+///
+/// # Errors
+///
+/// None.
+pub fn GetCurrentThread(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(Handle::CURRENT_THREAD.raw())))
+}
+
+/// `GetCurrentThreadId()`.
+///
+/// # Errors
+///
+/// None.
+pub fn GetCurrentThreadId(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(i64::from(k.procs.current_tid())))
+}
+
+/// `CreateThread(lpSecurity, dwStackSize, lpStartAddress, lpParameter,
+/// dwCreationFlags, lpThreadId)`.
+///
+/// **Table 3** (`*CreateThread`): on Windows 98 SE and CE, under harness
+/// residue, the thread-id writeback goes down a kernel path with no
+/// probing.
+///
+/// # Errors
+///
+/// An SEH abort when `lpThreadId` faults under probing, or when the start
+/// address is not executable (real threads crash at their first fetch —
+/// reported here synchronously, as the paper's harness observed it).
+pub fn CreateThread(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    _security: SimPtr,
+    _stack_size: u64,
+    start_address: SimPtr,
+    _parameter: SimPtr,
+    creation_flags: u32,
+    thread_id_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    // A NULL start address is rejected up front by every variant.
+    if start_address.is_null() {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    const CREATE_SUSPENDED: u32 = 4;
+    if creation_flags & !CREATE_SUSPENDED != 0 {
+        return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
+    }
+    let tid = k
+        .procs
+        .spawn_thread(k.procs.current_pid())
+        .expect("current process is alive");
+    if creation_flags & CREATE_SUSPENDED != 0 {
+        let _ = k.procs.suspend_thread(tid);
+    }
+    let h = k.objects.insert(ObjectKind::Thread(tid));
+    if !thread_id_out.is_null() {
+        let out = if profile.vulnerability_fires("CreateThread", k.residue) {
+            kernel_write(k, "CreateThread", thread_id_out, &tid.to_le_bytes())
+        } else {
+            write_out(
+                k,
+                profile,
+                "CreateThread",
+                true,
+                thread_id_out,
+                &tid.to_le_bytes(),
+            )?
+        };
+        if let OutWrite::ErrorReturn(code) = out {
+            return Ok(ApiReturn::err(0, code));
+        }
+    }
+    Ok(ApiReturn::ok(i64::from(h.raw())))
+}
+
+/// `TerminateThread(hThread, dwExitCode)`.
+///
+/// # Errors
+///
+/// None; bad handles return errors (or 9x silence).
+pub fn TerminateThread(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_code: u32) -> ApiResult {
+    k.charge_call();
+    match thread_tid(k, h) {
+        Ok(tid) => {
+            if let Ok(t) = k.procs.thread_mut(tid) {
+                t.state = sim_kernel::process::RunState::Exited(exit_code);
+            }
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
+    }
+}
+
+/// `SuspendThread(hThread)` — returns the previous suspend count.
+///
+/// # Errors
+///
+/// None.
+pub fn SuspendThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, 0)),
+    };
+    match k.procs.suspend_thread(tid) {
+        Ok(prev) => Ok(ApiReturn::ok(i64::from(prev))),
+        Err(e) => Ok(ApiReturn::err(-1, errors::from_process(e))),
+    }
+}
+
+/// `ResumeThread(hThread)`.
+///
+/// # Errors
+///
+/// None.
+pub fn ResumeThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, 0)),
+    };
+    match k.procs.resume_thread(tid) {
+        Ok(prev) => Ok(ApiReturn::ok(i64::from(prev))),
+        Err(e) => Ok(ApiReturn::err(-1, errors::from_process(e))),
+    }
+}
+
+/// `GetThreadContext(hThread, lpContext)` — **Listing 1 of the paper**.
+///
+/// The 9x and CE kernels copy the `CONTEXT` block to `lpContext` at kernel
+/// privilege with no probing: `GetThreadContext(GetCurrentThread(), NULL)`
+/// is a one-line whole-system crash on Windows 95, 98, 98 SE and CE, and a
+/// plain access-violation Abort on NT/2000.
+///
+/// # Errors
+///
+/// An SEH abort on the NT family when `lpContext` faults.
+pub fn GetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, context_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let ctx = match k.procs.thread(tid) {
+        Ok(t) => t.context,
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    };
+    let bytes = context_bytes(&ctx);
+    let out = if profile.vulnerability_fires("GetThreadContext", k.residue) {
+        kernel_write(k, "GetThreadContext", context_out, &bytes)
+    } else {
+        write_out(k, profile, "GetThreadContext", false, context_out, &bytes)?
+    };
+    Ok(finish_out(out, TRUE))
+}
+
+/// `SetThreadContext(hThread, lpContext)`.
+///
+/// **Table 3**: the CE kernel reads the block at kernel privilege with no
+/// probing — Catastrophic on CE; an Abort elsewhere.
+///
+/// # Errors
+///
+/// An SEH abort when the context block faults under user-mode reading.
+pub fn SetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, context_in: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let bytes = if profile.vulnerability_fires("SetThreadContext", k.residue) {
+        match crate::marshal::kernel_read(k, "SetThreadContext", context_in, ThreadContext::SIZE) {
+            Some(b) => b,
+            None => return Ok(ApiReturn::ok(TRUE)), // machine dead
+        }
+    } else {
+        k.space
+            .read_bytes_at(context_in, ThreadContext::SIZE, PrivilegeLevel::User)
+            .map_err(exception)?
+    };
+    let mut fields = [0u32; ThreadContext::FIELD_COUNT];
+    for (i, f) in fields.iter_mut().enumerate() {
+        *f = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("sized"));
+    }
+    match k.procs.thread_mut(tid) {
+        Ok(t) => {
+            t.context = ThreadContext::from_fields(fields);
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    }
+}
+
+/// `GetThreadPriority(hThread)`.
+///
+/// # Errors
+///
+/// None; failures return `THREAD_PRIORITY_ERROR_RETURN` (0x7FFFFFFF).
+pub fn GetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => {
+            return Ok(match crate::marshal::handle_disposition(profile, e) {
+                crate::marshal::BadHandle::SilentSuccess => ApiReturn::ok(0),
+                crate::marshal::BadHandle::ErrorReturn(code) => {
+                    ApiReturn::err(0x7FFF_FFFF, code)
+                }
+            })
+        }
+    };
+    match k.procs.thread(tid) {
+        Ok(t) => Ok(ApiReturn::ok(i64::from(t.priority))),
+        Err(e) => Ok(ApiReturn::err(0x7FFF_FFFF, errors::from_process(e))),
+    }
+}
+
+/// `SetThreadPriority(hThread, nPriority)` — priorities −2..=2 plus the
+/// ±15 extremes.
+///
+/// # Errors
+///
+/// None.
+pub fn SetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle, priority: i32) -> ApiResult {
+    k.charge_call();
+    if !matches!(priority, -15 | -2 | -1 | 0 | 1 | 2 | 15) {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    match k.procs.thread_mut(tid) {
+        Ok(t) => {
+            t.priority = priority;
+            Ok(ApiReturn::ok(TRUE))
+        }
+        Err(e) => Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    }
+}
+
+/// `GetExitCodeThread(hThread, lpExitCode)` — `STILL_ACTIVE` (259) for
+/// running threads.
+///
+/// # Errors
+///
+/// An SEH abort when the exit-code pointer faults under probing.
+pub fn GetExitCodeThread(k: &mut Kernel, profile: Win32Profile, h: Handle, code_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let tid = match thread_tid(k, h) {
+        Ok(t) => t,
+        Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
+    };
+    let code = match k.procs.thread(tid) {
+        Ok(t) => match t.state {
+            sim_kernel::process::RunState::Exited(c) => c,
+            _ => 259, // STILL_ACTIVE
+        },
+        Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_process(e))),
+    };
+    let out = write_out(
+        k,
+        profile,
+        "GetExitCodeThread",
+        true,
+        code_out,
+        &code.to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// Shared implementation of the interlocked primitives.
+///
+/// On desktop Windows these are user-mode `lock xadd`/`xchg` instructions:
+/// a hostile pointer is a plain access violation (Abort). On Windows CE
+/// they trap into the kernel, which performs the read-modify-write with no
+/// probing — the `*Interlocked*` Catastrophic entries of Table 3.
+fn interlocked(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    call: &'static str,
+    addend: SimPtr,
+    f: impl FnOnce(i32) -> i32,
+    ret_new: bool,
+) -> ApiResult {
+    k.charge_call();
+    if profile.vulnerability_fires(call, k.residue) {
+        // CE kernel path: unprobed kernel-mode RMW.
+        let old = match k.space.read_i32_priv(addend, PrivilegeLevel::Kernel) {
+            Ok(v) => v,
+            Err(fault) => {
+                k.crash
+                    .panic(call, "kernel-mode interlocked access through wild pointer", Some(fault));
+                return Ok(ApiReturn::ok(0));
+            }
+        };
+        let new = f(old);
+        if let Err(fault) = k.space.write_i32_priv(addend, new, PrivilegeLevel::Kernel) {
+            k.crash.panic(call, "kernel-mode interlocked writeback faulted", Some(fault));
+            return Ok(ApiReturn::ok(0));
+        }
+        return Ok(ApiReturn::ok(i64::from(if ret_new { new } else { old })));
+    }
+    let old = k.space.read_i32(addend).map_err(exception)?;
+    let new = f(old);
+    k.space.write_i32(addend, new).map_err(exception)?;
+    Ok(ApiReturn::ok(i64::from(if ret_new { new } else { old })))
+}
+
+/// `InterlockedIncrement(lpAddend)`.
+///
+/// # Errors
+///
+/// An SEH abort on desktop variants for hostile pointers; Catastrophic on
+/// CE with residue (Table 3 `*InterlockedIncrement`).
+pub fn InterlockedIncrement(k: &mut Kernel, profile: Win32Profile, addend: SimPtr) -> ApiResult {
+    interlocked(k, profile, "InterlockedIncrement", addend, |v| v.wrapping_add(1), true)
+}
+
+/// `InterlockedDecrement(lpAddend)`.
+///
+/// # Errors
+///
+/// Same conditions as [`InterlockedIncrement`].
+pub fn InterlockedDecrement(k: &mut Kernel, profile: Win32Profile, addend: SimPtr) -> ApiResult {
+    interlocked(k, profile, "InterlockedDecrement", addend, |v| v.wrapping_sub(1), true)
+}
+
+/// `InterlockedExchange(lpTarget, lValue)` — returns the old value.
+///
+/// # Errors
+///
+/// Same conditions as [`InterlockedIncrement`].
+pub fn InterlockedExchange(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    target: SimPtr,
+    value: i32,
+) -> ApiResult {
+    interlocked(k, profile, "InterlockedExchange", target, move |_| value, false)
+}
+
+/// `Sleep(dwMilliseconds)` — advances simulated time; `INFINITE` hangs
+/// (Restart), as a real `Sleep(INFINITE)` does.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`](sim_kernel::ApiAbort::Hang) for `INFINITE`.
+pub fn Sleep(k: &mut Kernel, _profile: Win32Profile, ms: u32) -> ApiResult {
+    k.charge_call();
+    if ms == sim_kernel::sync::INFINITE {
+        return Err(sim_kernel::ApiAbort::Hang);
+    }
+    k.clock.advance_ms(u64::from(ms.min(60_000)));
+    Ok(ApiReturn::ok(0))
+}
+
+/// `AttachThreadInput(idAttach, idAttachTo, fAttach)` — grouped by the
+/// paper under I/O Primitives (it wires message queues together).
+///
+/// # Errors
+///
+/// None; unknown thread ids are robust errors.
+pub fn AttachThreadInput(
+    k: &mut Kernel,
+    _profile: Win32Profile,
+    id_attach: u32,
+    id_attach_to: u32,
+    _attach: u32,
+) -> ApiResult {
+    k.charge_call();
+    if id_attach == id_attach_to {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let known = k.procs.thread(id_attach).is_ok() && k.procs.thread(id_attach_to).is_ok();
+    if known {
+        Ok(ApiReturn::ok(TRUE))
+    } else {
+        Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn ce() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinCe)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    #[test]
+    fn listing_1_crashes_9x_families_not_nt() {
+        // GetThreadContext(GetCurrentThread(), NULL);
+        for os in [OsVariant::Win95, OsVariant::Win98, OsVariant::Win98Se, OsVariant::WinCe] {
+            let mut k = Kernel::with_flavor(os.machine_flavor());
+            let p = Win32Profile::for_os(os);
+            let h = Handle(GetCurrentThread(&mut k, p).unwrap().value as u32);
+            let _ = GetThreadContext(&mut k, p, h, SimPtr::NULL).unwrap();
+            assert!(!k.is_alive(), "{os} must die on Listing 1");
+            assert_eq!(k.crash.info().unwrap().call, "GetThreadContext");
+        }
+        for os in [OsVariant::WinNt4, OsVariant::Win2000] {
+            let mut k = wk();
+            let p = Win32Profile::for_os(os);
+            let h = Handle(GetCurrentThread(&mut k, p).unwrap().value as u32);
+            let err = GetThreadContext(&mut k, p, h, SimPtr::NULL).unwrap_err();
+            assert!(matches!(err, sim_kernel::ApiAbort::Exception { .. }));
+            assert!(k.is_alive(), "{os} must survive Listing 1");
+        }
+    }
+
+    #[test]
+    fn get_thread_context_valid_pointer_works_everywhere() {
+        for os in [OsVariant::Win95, OsVariant::WinNt4] {
+            let mut k = wk();
+            let p = Win32Profile::for_os(os);
+            let ctx = k.alloc_user(ThreadContext::SIZE, "ctx");
+            let r = GetThreadContext(&mut k, p, Handle::CURRENT_THREAD, ctx).unwrap();
+            assert_eq!(r.value, TRUE);
+            assert!(k.is_alive());
+            // eip (field 8) is nonzero in a fresh thread.
+            assert_ne!(k.space.read_u32(ctx.offset(32)).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn set_thread_context_splits() {
+        // CE: kernel-read of a wild pointer kills the machine.
+        let mut k = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        let _ = SetThreadContext(&mut k, ce(), Handle::CURRENT_THREAD, SimPtr::new(0x50)).unwrap();
+        assert!(!k.is_alive());
+        // 98: user-mode read aborts, machine survives.
+        let mut k2 = wk();
+        assert!(SetThreadContext(&mut k2, w98(), Handle::CURRENT_THREAD, SimPtr::new(0x50)).is_err());
+        assert!(k2.is_alive());
+        // Roundtrip with a valid block.
+        let mut k3 = wk();
+        let ctx = k3.alloc_user(ThreadContext::SIZE, "ctx");
+        GetThreadContext(&mut k3, nt(), Handle::CURRENT_THREAD, ctx).unwrap();
+        k3.space.write_u32(ctx, 0x1234).unwrap(); // eax
+        assert_eq!(
+            SetThreadContext(&mut k3, nt(), Handle::CURRENT_THREAD, ctx).unwrap().value,
+            TRUE
+        );
+        assert_eq!(
+            k3.procs.thread(k3.procs.current_tid()).unwrap().context.eax,
+            0x1234
+        );
+    }
+
+    #[test]
+    fn create_thread_basics_and_crash() {
+        let mut k = wk();
+        let start = k.alloc_user(16, "code");
+        let tid_out = k.alloc_user(4, "tid");
+        let r = CreateThread(&mut k, nt(), SimPtr::NULL, 0, start, SimPtr::NULL, 0, tid_out).unwrap();
+        assert!(!r.reported_error());
+        let tid = k.space.read_u32(tid_out).unwrap();
+        assert!(k.procs.thread(tid).is_ok());
+        // NULL start address: robust error.
+        assert!(CreateThread(&mut k, nt(), SimPtr::NULL, 0, SimPtr::NULL, SimPtr::NULL, 0, tid_out)
+            .unwrap()
+            .reported_error());
+        // 98 SE + residue + hostile tid pointer: Catastrophic.
+        let se = Win32Profile::for_os(OsVariant::Win98Se);
+        let mut k2 = wk();
+        k2.residue = 5;
+        let start2 = k2.alloc_user(16, "code");
+        let _ = CreateThread(&mut k2, se, SimPtr::NULL, 0, start2, SimPtr::NULL, 0, SimPtr::new(0x30))
+            .unwrap();
+        assert!(!k2.is_alive());
+        // Plain 98 with residue: silent skip, alive.
+        let mut k3 = wk();
+        k3.residue = 5;
+        let start3 = k3.alloc_user(16, "code");
+        let r = CreateThread(&mut k3, w98(), SimPtr::NULL, 0, start3, SimPtr::NULL, 0, SimPtr::new(0x30))
+            .unwrap();
+        assert!(!r.reported_error());
+        assert!(k3.is_alive());
+    }
+
+    #[test]
+    fn suspend_resume_priority() {
+        let mut k = wk();
+        let start = k.alloc_user(4, "code");
+        let r = CreateThread(&mut k, nt(), SimPtr::NULL, 0, start, SimPtr::NULL, 4, SimPtr::NULL)
+            .unwrap();
+        let h = Handle(r.value as u32);
+        // Created suspended: previous count 1 when suspended again.
+        assert_eq!(SuspendThread(&mut k, nt(), h).unwrap().value, 1);
+        assert_eq!(ResumeThread(&mut k, nt(), h).unwrap().value, 2);
+        assert_eq!(ResumeThread(&mut k, nt(), h).unwrap().value, 1);
+        assert_eq!(SetThreadPriority(&mut k, nt(), h, 2).unwrap().value, TRUE);
+        assert_eq!(GetThreadPriority(&mut k, nt(), h).unwrap().value, 2);
+        assert!(SetThreadPriority(&mut k, nt(), h, 77).unwrap().reported_error());
+        let code_out = k.alloc_user(4, "exit");
+        GetExitCodeThread(&mut k, nt(), h, code_out).unwrap();
+        assert_eq!(k.space.read_u32(code_out).unwrap(), 259); // STILL_ACTIVE
+        assert_eq!(TerminateThread(&mut k, nt(), h, 9).unwrap().value, TRUE);
+        GetExitCodeThread(&mut k, nt(), h, code_out).unwrap();
+        assert_eq!(k.space.read_u32(code_out).unwrap(), 9);
+    }
+
+    #[test]
+    fn interlocked_matrix() {
+        // Desktop happy path.
+        let mut k = wk();
+        let cell = k.alloc_user(4, "cell");
+        k.space.write_i32(cell, 10).unwrap();
+        assert_eq!(InterlockedIncrement(&mut k, nt(), cell).unwrap().value, 11);
+        assert_eq!(InterlockedDecrement(&mut k, nt(), cell).unwrap().value, 10);
+        assert_eq!(InterlockedExchange(&mut k, nt(), cell, 99).unwrap().value, 10);
+        assert_eq!(k.space.read_i32(cell).unwrap(), 99);
+        // Desktop hostile pointer: abort everywhere, even 9x.
+        assert!(InterlockedIncrement(&mut k, nt(), SimPtr::NULL).is_err());
+        assert!(InterlockedIncrement(&mut k, w98(), SimPtr::NULL).is_err());
+        assert!(k.is_alive());
+        // CE + residue: Catastrophic.
+        let mut kce = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        kce.residue = 5;
+        let _ = InterlockedIncrement(&mut kce, ce(), SimPtr::NULL).unwrap();
+        assert!(!kce.is_alive());
+        // CE without residue: abort only.
+        let mut kce2 = Kernel::with_flavor(MachineFlavor::WindowsStrictAlign);
+        assert!(InterlockedExchange(&mut kce2, ce(), SimPtr::NULL, 5).is_err());
+        assert!(kce2.is_alive());
+    }
+
+    #[test]
+    fn sleep_semantics() {
+        let mut k = wk();
+        let t0 = k.clock.tick_count_ms();
+        assert_eq!(Sleep(&mut k, nt(), 100).unwrap().value, 0);
+        assert!(k.clock.tick_count_ms() >= t0 + 100);
+        let err = Sleep(&mut k, nt(), sim_kernel::sync::INFINITE).unwrap_err();
+        assert!(err.is_hang());
+    }
+
+    #[test]
+    fn attach_thread_input() {
+        let mut k = wk();
+        let me = k.procs.current_tid();
+        let other = k.procs.spawn_thread(k.procs.current_pid()).unwrap();
+        assert_eq!(AttachThreadInput(&mut k, nt(), me, other, 1).unwrap().value, TRUE);
+        assert!(AttachThreadInput(&mut k, nt(), me, me, 1).unwrap().reported_error());
+        assert!(AttachThreadInput(&mut k, nt(), me, 0xFFFF, 1).unwrap().reported_error());
+    }
+}

@@ -1,0 +1,488 @@
+//! Time: tick counts, system time, and the `FILETIME`/`SYSTEMTIME`
+//! conversion calls (grouped by the paper under *File/Directory Access*).
+//!
+//! Table 3 entry implemented here: `FileTimeToSystemTime` is a
+//! deterministic Catastrophic failure on Windows 95 — the conversion runs
+//! through a 16-bit thunk that writes the result `SYSTEMTIME` with no
+//! probing of the caller's pointer.
+
+use crate::errors::ERROR_INVALID_PARAMETER;
+use crate::marshal::{exception, finish_out, kernel_write, write_out, FALSE, TRUE};
+use crate::profile::Win32Profile;
+use sim_core::SimPtr;
+use sim_kernel::clock::{filetime_to_systemtime, systemtime_to_filetime, FileTime, SystemTime};
+use sim_kernel::outcome::{ApiResult, ApiReturn};
+use sim_kernel::Kernel;
+
+fn systemtime_bytes(st: &SystemTime) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (i, v) in [
+        st.year,
+        st.month,
+        st.day_of_week,
+        st.day,
+        st.hour,
+        st.minute,
+        st.second,
+        st.milliseconds,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        out[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn read_systemtime(k: &Kernel, ptr: SimPtr) -> Result<SystemTime, sim_core::Fault> {
+    let mut f = [0u16; 8];
+    for (i, slot) in f.iter_mut().enumerate() {
+        *slot = k.space.read_u16(ptr.offset(i as u64 * 2))?;
+    }
+    Ok(SystemTime {
+        year: f[0],
+        month: f[1],
+        day_of_week: f[2],
+        day: f[3],
+        hour: f[4],
+        minute: f[5],
+        second: f[6],
+        milliseconds: f[7],
+    })
+}
+
+/// `GetTickCount()`.
+///
+/// # Errors
+///
+/// None.
+pub fn GetTickCount(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
+    k.charge_call();
+    Ok(ApiReturn::ok(k.clock.tick_count_ms() as i64))
+}
+
+/// `GetSystemTime(lpSystemTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when the block faults under probing.
+pub fn GetSystemTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let st = filetime_to_systemtime(k.clock.filetime()).expect("clock is in range");
+    let out = write_out(k, profile, "GetSystemTime", true, st_out, &systemtime_bytes(&st))?;
+    Ok(finish_out(out, 0))
+}
+
+/// `GetLocalTime(lpSystemTime)` — the simulated machine runs in UTC.
+///
+/// # Errors
+///
+/// An SEH abort when the block faults under probing.
+pub fn GetLocalTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let st = filetime_to_systemtime(k.clock.filetime()).expect("clock is in range");
+    let out = write_out(k, profile, "GetLocalTime", true, st_out, &systemtime_bytes(&st))?;
+    Ok(finish_out(out, 0))
+}
+
+/// `SetSystemTime(lpSystemTime)` — validated; the simulated clock cannot
+/// move backwards, so valid requests are accepted and ignored (the
+/// reproducible-campaign choice).
+///
+/// # Errors
+///
+/// An SEH abort when the block faults.
+pub fn SetSystemTime(k: &mut Kernel, _profile: Win32Profile, st_in: SimPtr) -> ApiResult {
+    k.charge_call();
+    let st = read_systemtime(k, st_in).map_err(exception)?;
+    if !st.is_valid() {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    Ok(ApiReturn::ok(TRUE))
+}
+
+/// `GetSystemTimeAsFileTime(lpSystemTimeAsFileTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when the out-pointer faults under probing.
+pub fn GetSystemTimeAsFileTime(k: &mut Kernel, profile: Win32Profile, ft_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let ft = k.clock.filetime();
+    let (lo, hi) = ft.to_parts();
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&lo.to_le_bytes());
+    bytes[4..].copy_from_slice(&hi.to_le_bytes());
+    let out = write_out(k, profile, "GetSystemTimeAsFileTime", true, ft_out, &bytes)?;
+    Ok(finish_out(out, 0))
+}
+
+fn read_filetime(k: &Kernel, ptr: SimPtr) -> Result<FileTime, sim_core::Fault> {
+    let lo = k.space.read_u32(ptr)?;
+    let hi = k.space.read_u32(ptr.offset(4))?;
+    Ok(FileTime::from_parts(lo, hi))
+}
+
+/// `FileTimeToSystemTime(lpFileTime, lpSystemTime)`.
+///
+/// **Table 3**: deterministic Catastrophic on Windows 95 — the result is
+/// written through the caller's pointer by a 16-bit thunk with no probing.
+/// Out-of-range tick values are robust errors on the other variants.
+///
+/// # Errors
+///
+/// An SEH abort when the input faults, or (NT/98 families) when the output
+/// pointer faults under probing.
+pub fn FileTimeToSystemTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    ft_in: SimPtr,
+    st_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ft = read_filetime(k, ft_in).map_err(exception)?;
+    let Some(st) = filetime_to_systemtime(ft) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    let bytes = systemtime_bytes(&st);
+    let out = if profile.vulnerability_fires("FileTimeToSystemTime", k.residue) {
+        kernel_write(k, "FileTimeToSystemTime", st_out, &bytes)
+    } else {
+        write_out(k, profile, "FileTimeToSystemTime", false, st_out, &bytes)?
+    };
+    Ok(finish_out(out, TRUE))
+}
+
+/// `SystemTimeToFileTime(lpSystemTime, lpFileTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when either pointer faults; invalid fields are robust
+/// errors.
+pub fn SystemTimeToFileTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    st_in: SimPtr,
+    ft_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let st = read_systemtime(k, st_in).map_err(exception)?;
+    let Some(ft) = systemtime_to_filetime(&st) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    let (lo, hi) = ft.to_parts();
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&lo.to_le_bytes());
+    bytes[4..].copy_from_slice(&hi.to_le_bytes());
+    let out = write_out(k, profile, "SystemTimeToFileTime", false, ft_out, &bytes)?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `FileTimeToLocalFileTime(lpFileTime, lpLocalFileTime)` — UTC machine:
+/// identity plus the pointer hazards.
+///
+/// # Errors
+///
+/// An SEH abort when either pointer faults.
+pub fn FileTimeToLocalFileTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    ft_in: SimPtr,
+    ft_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ft = read_filetime(k, ft_in).map_err(exception)?;
+    let (lo, hi) = ft.to_parts();
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&lo.to_le_bytes());
+    bytes[4..].copy_from_slice(&hi.to_le_bytes());
+    let out = write_out(k, profile, "FileTimeToLocalFileTime", true, ft_out, &bytes)?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `LocalFileTimeToFileTime(lpLocalFileTime, lpFileTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when either pointer faults.
+pub fn LocalFileTimeToFileTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    ft_in: SimPtr,
+    ft_out: SimPtr,
+) -> ApiResult {
+    FileTimeToLocalFileTime(k, profile, ft_in, ft_out)
+}
+
+/// `CompareFileTime(lpFileTime1, lpFileTime2)` — −1/0/+1.
+///
+/// # Errors
+///
+/// An SEH abort when either pointer faults.
+pub fn CompareFileTime(k: &mut Kernel, _profile: Win32Profile, a: SimPtr, b: SimPtr) -> ApiResult {
+    k.charge_call();
+    let fa = read_filetime(k, a).map_err(exception)?;
+    let fb = read_filetime(k, b).map_err(exception)?;
+    Ok(ApiReturn::ok(match fa.cmp(&fb) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }))
+}
+
+/// `GetTimeZoneInformation(lpTimeZoneInformation)` — fills a 172-byte
+/// block; returns `TIME_ZONE_ID_UNKNOWN` (0).
+///
+/// # Errors
+///
+/// An SEH abort when the block faults under probing.
+pub fn GetTimeZoneInformation(k: &mut Kernel, profile: Win32Profile, tz_out: SimPtr) -> ApiResult {
+    k.charge_call();
+    let block = vec![0u8; 172];
+    let out = write_out(k, profile, "GetTimeZoneInformation", true, tz_out, &block)?;
+    Ok(finish_out(out, 0))
+}
+
+/// `DosDateTimeToFileTime(wFatDate, wFatTime, lpFileTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when the out-pointer faults; impossible FAT fields are
+/// robust errors.
+pub fn DosDateTimeToFileTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    fat_date: u16,
+    fat_time: u16,
+    ft_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let day = u32::from(fat_date & 0x1F);
+    let month = u32::from((fat_date >> 5) & 0x0F);
+    let year = 1980 + u32::from(fat_date >> 9);
+    let secs2 = u32::from(fat_time & 0x1F) * 2;
+    let minute = u32::from((fat_time >> 5) & 0x3F);
+    let hour = u32::from(fat_time >> 11);
+    let st = SystemTime {
+        year: year as u16,
+        month: month as u16,
+        day: day as u16,
+        hour: hour as u16,
+        minute: minute as u16,
+        second: secs2 as u16,
+        ..SystemTime::default()
+    };
+    let Some(ft) = systemtime_to_filetime(&st) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    let (lo, hi) = ft.to_parts();
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&lo.to_le_bytes());
+    bytes[4..].copy_from_slice(&hi.to_le_bytes());
+    let out = write_out(k, profile, "DosDateTimeToFileTime", false, ft_out, &bytes)?;
+    Ok(finish_out(out, TRUE))
+}
+
+/// `FileTimeToDosDateTime(lpFileTime, lpFatDate, lpFatTime)`.
+///
+/// # Errors
+///
+/// An SEH abort when any pointer faults; out-of-FAT-range times (before
+/// 1980) are robust errors.
+pub fn FileTimeToDosDateTime(
+    k: &mut Kernel,
+    profile: Win32Profile,
+    ft_in: SimPtr,
+    fat_date_out: SimPtr,
+    fat_time_out: SimPtr,
+) -> ApiResult {
+    k.charge_call();
+    let ft = read_filetime(k, ft_in).map_err(exception)?;
+    let Some(st) = filetime_to_systemtime(ft) else {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    };
+    if st.year < 1980 || st.year > 2107 {
+        return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
+    }
+    let fat_date =
+        ((st.year - 1980) << 9) | (st.month << 5) | st.day;
+    let fat_time = (st.hour << 11) | (st.minute << 5) | (st.second / 2);
+    let out = write_out(
+        k,
+        profile,
+        "FileTimeToDosDateTime",
+        false,
+        fat_date_out,
+        &fat_date.to_le_bytes(),
+    )?;
+    if let crate::marshal::OutWrite::ErrorReturn(code) = out {
+        return Ok(ApiReturn::err(FALSE, code));
+    }
+    let out = write_out(
+        k,
+        profile,
+        "FileTimeToDosDateTime",
+        false,
+        fat_time_out,
+        &fat_time.to_le_bytes(),
+    )?;
+    Ok(finish_out(out, TRUE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::kernel::MachineFlavor;
+    use sim_kernel::variant::OsVariant;
+
+    fn nt() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::WinNt4)
+    }
+
+    fn w95() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win95)
+    }
+
+    fn w98() -> Win32Profile {
+        Win32Profile::for_os(OsVariant::Win98)
+    }
+
+    fn wk() -> Kernel {
+        Kernel::with_flavor(MachineFlavor::Windows)
+    }
+
+    #[test]
+    fn tick_count_advances() {
+        let mut k = wk();
+        let a = GetTickCount(&mut k, nt()).unwrap().value;
+        let b = GetTickCount(&mut k, nt()).unwrap().value;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn system_time_is_y2k() {
+        let mut k = wk();
+        let st = k.alloc_user(16, "st");
+        GetSystemTime(&mut k, nt(), st).unwrap();
+        assert_eq!(k.space.read_u16(st).unwrap(), 2000); // year
+        assert_eq!(k.space.read_u16(st.offset(2)).unwrap(), 1); // month
+        GetLocalTime(&mut k, nt(), st).unwrap();
+        assert_eq!(k.space.read_u16(st).unwrap(), 2000);
+        // Hostile pointer: NT aborts, 98 silently skips.
+        assert!(GetSystemTime(&mut k, nt(), SimPtr::NULL).is_err());
+        assert!(!GetSystemTime(&mut k, w98(), SimPtr::NULL).unwrap().reported_error());
+    }
+
+    #[test]
+    fn filetime_to_systemtime_crash_matrix() {
+        // Win95 + hostile output pointer: deterministic Catastrophic.
+        let mut k = wk();
+        let ft = k.alloc_user(8, "ft");
+        GetSystemTimeAsFileTime(&mut k, w95(), ft).unwrap();
+        let _ = FileTimeToSystemTime(&mut k, w95(), ft, SimPtr::new(0x40)).unwrap();
+        assert!(!k.is_alive());
+        assert_eq!(k.crash.info().unwrap().call, "FileTimeToSystemTime");
+
+        // 98: eager probe → abort; NT: abort. Both alive.
+        for p in [w98(), nt()] {
+            let mut k2 = wk();
+            let ft2 = k2.alloc_user(8, "ft");
+            GetSystemTimeAsFileTime(&mut k2, p, ft2).unwrap();
+            assert!(FileTimeToSystemTime(&mut k2, p, ft2, SimPtr::new(0x40)).is_err());
+            assert!(k2.is_alive());
+        }
+
+        // Valid pointers on 95: fine.
+        let mut k3 = wk();
+        let ft3 = k3.alloc_user(8, "ft");
+        GetSystemTimeAsFileTime(&mut k3, w95(), ft3).unwrap();
+        let st3 = k3.alloc_user(16, "st");
+        assert_eq!(
+            FileTimeToSystemTime(&mut k3, w95(), ft3, st3).unwrap().value,
+            TRUE
+        );
+        assert!(k3.is_alive());
+        assert_eq!(k3.space.read_u16(st3).unwrap(), 2000);
+    }
+
+    #[test]
+    fn filetime_systemtime_roundtrip_and_validation() {
+        let mut k = wk();
+        let st = k.alloc_user(16, "st");
+        GetSystemTime(&mut k, nt(), st).unwrap();
+        let ft = k.alloc_user(8, "ft");
+        assert_eq!(SystemTimeToFileTime(&mut k, nt(), st, ft).unwrap().value, TRUE);
+        let st2 = k.alloc_user(16, "st2");
+        assert_eq!(FileTimeToSystemTime(&mut k, nt(), ft, st2).unwrap().value, TRUE);
+        assert_eq!(k.space.read_u16(st2).unwrap(), 2000);
+        // Invalid SYSTEMTIME fields: robust error.
+        k.space.write_u16(st, 0xFFFF).unwrap(); // absurd year
+        assert!(SystemTimeToFileTime(&mut k, nt(), st, ft).unwrap().reported_error());
+        // Out-of-range FILETIME: robust error.
+        k.space.write_u32(ft, u32::MAX).unwrap();
+        k.space.write_u32(ft.offset(4), u32::MAX).unwrap();
+        assert!(FileTimeToSystemTime(&mut k, nt(), ft, st2).unwrap().reported_error());
+        // SetSystemTime validates.
+        GetSystemTime(&mut k, nt(), st).unwrap();
+        assert_eq!(SetSystemTime(&mut k, nt(), st).unwrap().value, TRUE);
+        k.space.write_u16(st.offset(2), 13).unwrap(); // month 13
+        assert!(SetSystemTime(&mut k, nt(), st).unwrap().reported_error());
+    }
+
+    #[test]
+    fn compare_and_local_filetime() {
+        let mut k = wk();
+        let a = k.alloc_user(8, "a");
+        let b = k.alloc_user(8, "b");
+        GetSystemTimeAsFileTime(&mut k, nt(), a).unwrap();
+        k.clock.advance_ms(5000);
+        GetSystemTimeAsFileTime(&mut k, nt(), b).unwrap();
+        assert_eq!(CompareFileTime(&mut k, nt(), a, b).unwrap().value, -1);
+        assert_eq!(CompareFileTime(&mut k, nt(), b, a).unwrap().value, 1);
+        assert_eq!(CompareFileTime(&mut k, nt(), a, a).unwrap().value, 0);
+        assert!(CompareFileTime(&mut k, nt(), a, SimPtr::NULL).is_err());
+        let local = k.alloc_user(8, "local");
+        assert_eq!(
+            FileTimeToLocalFileTime(&mut k, nt(), a, local).unwrap().value,
+            TRUE
+        );
+        assert_eq!(
+            LocalFileTimeToFileTime(&mut k, nt(), local, b).unwrap().value,
+            TRUE
+        );
+    }
+
+    #[test]
+    fn dos_date_time_conversions() {
+        let mut k = wk();
+        let ft = k.alloc_user(8, "ft");
+        // 2000-06-25 09:30:14 in FAT encoding.
+        let fat_date: u16 = ((2000 - 1980) << 9) | (6 << 5) | 25;
+        let fat_time: u16 = (9 << 11) | (30 << 5) | (14 / 2);
+        assert_eq!(
+            DosDateTimeToFileTime(&mut k, nt(), fat_date, fat_time, ft).unwrap().value,
+            TRUE
+        );
+        let d_out = k.alloc_user(2, "fd");
+        let t_out = k.alloc_user(2, "ft2");
+        assert_eq!(
+            FileTimeToDosDateTime(&mut k, nt(), ft, d_out, t_out).unwrap().value,
+            TRUE
+        );
+        assert_eq!(k.space.read_u16(d_out).unwrap(), fat_date);
+        assert_eq!(k.space.read_u16(t_out).unwrap(), fat_time);
+        // Impossible FAT fields (month 0): robust error.
+        assert!(DosDateTimeToFileTime(&mut k, nt(), (20 << 9) | 25, 0, ft)
+            .unwrap()
+            .reported_error());
+        // Pre-1980 FILETIME cannot be represented.
+        k.space.write_u32(ft, 0).unwrap();
+        k.space.write_u32(ft.offset(4), 0).unwrap();
+        assert!(FileTimeToDosDateTime(&mut k, nt(), ft, d_out, t_out)
+            .unwrap()
+            .reported_error());
+        assert!(GetTimeZoneInformation(&mut k, nt(), SimPtr::NULL).is_err());
+        let tz = k.alloc_user(172, "tz");
+        assert_eq!(GetTimeZoneInformation(&mut k, nt(), tz).unwrap().value, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the Win32 personality's central invariants:
+//!
+//! * **NT/2000 never crash** — any single call with arbitrary raw
+//!   arguments leaves the machine alive (the paper's "different plateau of
+//!   overall robustness").
+//! * **9x never aborts on bad handles** — garbage handles are silently
+//!   accepted (success, no error), the Figure 2 mechanism.
+//! * File round-trips preserve data for arbitrary payloads.
+
+use proptest::prelude::*;
+use sim_core::SimPtr;
+use sim_kernel::kernel::MachineFlavor;
+use sim_kernel::objects::Handle;
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use sim_win32::{fileapi, handleapi, syncapi, threadapi, Win32Profile};
+
+proptest! {
+    /// No single Win32 call with arbitrary argument words can kill an
+    /// NT-family machine.
+    #[test]
+    fn nt_family_never_crashes(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u32>(),
+        os_pick in any::<bool>(),
+    ) {
+        let os = if os_pick { OsVariant::WinNt4 } else { OsVariant::Win2000 };
+        let profile = Win32Profile::for_os(os);
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let _ = handleapi::CloseHandle(&mut k, profile, Handle(a as u32));
+        let _ = threadapi::GetThreadContext(&mut k, profile, Handle(a as u32), SimPtr::new(b));
+        let _ = threadapi::SetThreadContext(&mut k, profile, Handle(a as u32), SimPtr::new(b));
+        let _ = threadapi::InterlockedIncrement(&mut k, profile, SimPtr::new(b));
+        let _ = fileapi::ReadFile(&mut k, profile, Handle(a as u32), SimPtr::new(b), c.min(1 << 16), SimPtr::new(a), SimPtr::NULL);
+        let _ = syncapi::MsgWaitForMultipleObjects(&mut k, profile, c.min(64), SimPtr::new(b), 0, 100, 0xFF);
+        let _ = sim_win32::timeapi::FileTimeToSystemTime(&mut k, profile, SimPtr::new(a), SimPtr::new(b));
+        let _ = sim_win32::heapapi::HeapCreate(&mut k, profile, 0, a, b);
+        prop_assert!(k.is_alive(), "{os} died");
+    }
+
+    /// On the 9x family a bad handle is never an abort: CloseHandle
+    /// reports success with no error (the Silent path), while NT reports
+    /// ERROR_INVALID_HANDLE — for *every* garbage handle value.
+    #[test]
+    fn bad_handle_split_holds_for_all_values(raw in any::<u32>()) {
+        let h = Handle(raw);
+        // Skip values that could be real handles or pseudo-handles.
+        prop_assume!(h != Handle::NULL && !h.is_pseudo());
+        let mut k98 = Kernel::with_flavor(MachineFlavor::Windows);
+        prop_assume!(k98.objects.get(h).is_err());
+        let r98 = handleapi::CloseHandle(
+            &mut k98,
+            Win32Profile::for_os(OsVariant::Win98),
+            h,
+        )
+        .unwrap();
+        prop_assert_eq!(r98.value, 1);
+        prop_assert!(!r98.reported_error(), "9x must be silent for 0x{:08x}", raw);
+
+        let mut knt = Kernel::with_flavor(MachineFlavor::Windows);
+        let rnt = handleapi::CloseHandle(
+            &mut knt,
+            Win32Profile::for_os(OsVariant::WinNt4),
+            h,
+        )
+        .unwrap();
+        prop_assert!(rnt.reported_error(), "NT must report for 0x{:08x}", raw);
+    }
+
+    /// WriteFile-then-ReadFile round-trips arbitrary payloads on every
+    /// variant (the simulator is a real filesystem, not a mock).
+    #[test]
+    fn file_roundtrip_any_payload(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        for os in [OsVariant::Win95, OsVariant::WinNt4] {
+            let profile = Win32Profile::for_os(os);
+            let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+            let name = k.alloc_user(32, "name");
+            sim_core::cstr::write_cstr(
+                &mut k.space, name, "C:\\TEMP\\prop.bin", sim_core::addr::PrivilegeLevel::User,
+            ).unwrap();
+            let r = fileapi::CreateFile(
+                &mut k, profile, name, 0xC000_0000, 0, SimPtr::NULL, 2, 0, Handle::NULL,
+            ).unwrap();
+            let h = Handle(r.value as u32);
+            let buf = k.alloc_user(data.len() as u64, "payload");
+            k.space.write_bytes(buf, &data).unwrap();
+            let nw = k.alloc_user(4, "nw");
+            let w = fileapi::WriteFile(&mut k, profile, h, buf, data.len() as u32, nw, SimPtr::NULL).unwrap();
+            prop_assert_eq!(w.value, 1);
+            prop_assert_eq!(k.space.read_u32(nw).unwrap() as usize, data.len());
+            fileapi::SetFilePointer(&mut k, profile, h, 0, SimPtr::NULL, 0).unwrap();
+            let out = k.alloc_user(data.len() as u64, "out");
+            let nr = k.alloc_user(4, "nr");
+            fileapi::ReadFile(&mut k, profile, h, out, data.len() as u32, nr, SimPtr::NULL).unwrap();
+            prop_assert_eq!(k.space.read_bytes(out, data.len() as u64).unwrap(), data.clone());
+        }
+    }
+
+    /// GetThreadContext/SetThreadContext round-trips arbitrary register
+    /// values through user memory on NT.
+    #[test]
+    fn thread_context_roundtrip(regs in proptest::collection::vec(any::<u32>(), 16)) {
+        let profile = Win32Profile::for_os(OsVariant::WinNt4);
+        let mut k = Kernel::with_flavor(MachineFlavor::Windows);
+        let ctx = k.alloc_user(64, "ctx");
+        for (i, r) in regs.iter().enumerate() {
+            k.space.write_u32(ctx.offset(i as u64 * 4), *r).unwrap();
+        }
+        let me = Handle::CURRENT_THREAD;
+        threadapi::SetThreadContext(&mut k, profile, me, ctx).unwrap();
+        let back = k.alloc_user(64, "back");
+        threadapi::GetThreadContext(&mut k, profile, me, back).unwrap();
+        for (i, r) in regs.iter().enumerate() {
+            prop_assert_eq!(k.space.read_u32(back.offset(i as u64 * 4)).unwrap(), *r);
+        }
+    }
+}

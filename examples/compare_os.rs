@@ -1,0 +1,77 @@
+//! Cross-OS comparison on a budget: run a reduced campaign over all seven
+//! OS targets and print the normalized group comparison — a miniature of
+//! the paper's Figure 1 workflow.
+//!
+//! ```sh
+//! cargo run --release -p experiments --example compare_os
+//! ```
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use report::normalize::{group_rate, overall_group_weighted, Metric};
+use report::MultiOsResults;
+use sim_kernel::variant::OsVariant;
+
+fn main() {
+    let cfg = CampaignConfig {
+        cap: 150, // small: this is a demo, not the reproduction run
+        record_raw: false,
+        isolation_probe: false,
+        perfect_cleanup: false,
+    };
+    eprintln!("running reduced campaigns (cap = {}) on all 7 OS targets …", cfg.cap);
+    let reports = OsVariant::ALL
+        .into_iter()
+        .map(|os| {
+            let r = run_campaign(os, &cfg);
+            eprintln!("  {os}: {} MuTs, {} cases", r.muts.len(), r.total_cases);
+            r
+        })
+        .collect();
+    let results = MultiOsResults { reports };
+
+    println!("\nAbort+Restart rate by functional group (catastrophic MuTs excluded):\n");
+    print!("{:<26}", "group");
+    for os in results.oses() {
+        print!(" {:>8}", os.short_name());
+    }
+    println!();
+    for group in ballista::muts::FunctionGroup::ALL {
+        print!("{:<26}", group.label());
+        for report in &results.reports {
+            let g = group_rate(report, group, Metric::AbortPlusRestart);
+            if g.present {
+                print!(" {:>7.1}%", 100.0 * g.rate);
+            } else {
+                print!(" {:>8}", "-");
+            }
+        }
+        println!();
+    }
+    println!();
+    print!("{:<26}", "TOTAL (group-weighted)");
+    for report in &results.reports {
+        print!(
+            " {:>7.1}%",
+            100.0 * overall_group_weighted(report, Metric::AbortPlusRestart)
+        );
+    }
+    println!();
+
+    println!("\nCatastrophic functions found:");
+    for report in &results.reports {
+        let names: Vec<&str> = report
+            .catastrophic_muts()
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        println!(
+            "  {:<18} {}",
+            report.os.to_string(),
+            if names.is_empty() {
+                "(none)".to_owned()
+            } else {
+                names.join(", ")
+            }
+        );
+    }
+}

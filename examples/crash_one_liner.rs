@@ -1,0 +1,58 @@
+//! The paper's Listing 1, as a library consumer would write it: call the
+//! simulated Win32 API directly and watch Windows 95/98/98 SE/CE die while
+//! NT/2000 shrug it off.
+//!
+//! ```sh
+//! cargo run -p experiments --example crash_one_liner
+//! ```
+
+use sim_core::SimPtr;
+use sim_kernel::objects::Handle;
+use sim_kernel::process::ThreadContext;
+use sim_kernel::variant::OsVariant;
+use sim_kernel::Kernel;
+use sim_win32::threadapi;
+use sim_win32::Win32Profile;
+
+fn run_listing1(os: OsVariant, context_ptr: SimPtr, kernel: &mut Kernel) -> String {
+    let profile = Win32Profile::for_os(os);
+    let thread = Handle(
+        threadapi::GetCurrentThread(kernel, profile)
+            .expect("pseudo-handle call cannot fail")
+            .value as u32,
+    );
+    let outcome = threadapi::GetThreadContext(kernel, profile, thread, context_ptr);
+    if !kernel.is_alive() {
+        return format!("CATASTROPHIC: {}", kernel.crash.info().expect("recorded"));
+    }
+    match outcome {
+        Err(abort) => format!("Abort: {abort}"),
+        Ok(ret) if ret.reported_error() => format!("error code {}", ret.error.unwrap_or(0)),
+        Ok(_) => "success".to_owned(),
+    }
+}
+
+fn main() {
+    println!("GetThreadContext(GetCurrentThread(), NULL)  — the paper's Listing 1\n");
+    for os in [
+        OsVariant::Win95,
+        OsVariant::Win98,
+        OsVariant::Win98Se,
+        OsVariant::WinNt4,
+        OsVariant::Win2000,
+        OsVariant::WinCe,
+    ] {
+        let mut kernel = Kernel::with_flavor(os.machine_flavor());
+        let verdict = run_listing1(os, SimPtr::NULL, &mut kernel);
+        println!("  {os:<18} {verdict}");
+    }
+
+    println!("\nSame call with a *valid* CONTEXT buffer — works everywhere:\n");
+    for os in [OsVariant::Win95, OsVariant::WinNt4, OsVariant::WinCe] {
+        let mut kernel = Kernel::with_flavor(os.machine_flavor());
+        let ctx = kernel.alloc_user(ThreadContext::SIZE, "CONTEXT");
+        let verdict = run_listing1(os, ctx, &mut kernel);
+        let eip = kernel.space.read_u32(ctx.offset(32)).unwrap_or(0);
+        println!("  {os:<18} {verdict} (captured eip = {eip:#x})");
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: test a handful of calls on two OSes and print CRASH-scale
+//! results.
+//!
+//! ```sh
+//! cargo run -p experiments --example quickstart
+//! ```
+
+use ballista::campaign::{run_mut_campaign, CampaignConfig};
+use ballista::catalog;
+use sim_kernel::variant::OsVariant;
+
+fn main() {
+    // A small cap keeps the quickstart instant; the paper used 5000.
+    let cfg = CampaignConfig {
+        cap: 250,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+    };
+
+    println!("Ballista quickstart: five calls, Windows 98 vs Windows NT 4.0 vs Linux\n");
+    let interesting = ["GetThreadContext", "CloseHandle", "strlen", "toupper", "fwrite"];
+
+    for os in [OsVariant::Win98, OsVariant::WinNt4, OsVariant::Linux] {
+        println!("=== {os} ===");
+        let muts = catalog::catalog_for(os);
+        for name in interesting {
+            match muts.iter().find(|m| m.name == name) {
+                Some(m) => {
+                    let tally = run_mut_campaign(os, m, &cfg);
+                    println!("  {}", tally.summary_line());
+                }
+                None => println!("  {name}: not in this OS's API"),
+            }
+        }
+        println!();
+    }
+
+    println!("Reading the output:");
+    println!("  * GetThreadContext is Catastrophic on Windows 98 (the paper's Listing 1),");
+    println!("    an Abort on NT, and absent from the Linux API.");
+    println!("  * CloseHandle aborts nowhere, but on 98 it silently accepts garbage");
+    println!("    handles (high silent rate) where NT reports ERROR_INVALID_HANDLE.");
+    println!("  * toupper: glibc's unchecked table lookup aborts on Linux; every");
+    println!("    Windows CRT bounds-checks it to a 0% failure rate.");
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: simulator → harness → report, on a reduced
+//! campaign.
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use ballista::muts::FunctionGroup;
+use report::normalize::{group_rate, table1_row, Metric};
+use report::MultiOsResults;
+use sim_kernel::variant::OsVariant;
+
+fn cfg(cap: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+    }
+}
+
+#[test]
+fn linux_campaign_end_to_end() {
+    let report = run_campaign(OsVariant::Linux, &cfg(60));
+    assert_eq!(report.os, OsVariant::Linux);
+    assert!(report.total_cases > 2_000, "got {}", report.total_cases);
+    // Linux never crashes (paper Table 1).
+    assert!(report.catastrophic_muts().is_empty());
+    // Every MuT executed its planned case count (no crash truncation).
+    for m in &report.muts {
+        assert_eq!(m.cases, m.planned, "{} truncated", m.name);
+        assert_eq!(
+            m.cases,
+            m.aborts + m.restarts + m.silents + m.error_reports + m.passes,
+            "{} tallies must partition the cases",
+            m.name
+        );
+    }
+    // The ctype result: C char group aborts heavily on glibc.
+    let cchar = group_rate(&report, FunctionGroup::CChar, Metric::Abort);
+    assert!(cchar.rate > 0.15, "glibc ctype abort rate: {}", cchar.rate);
+}
+
+#[test]
+fn win98_campaign_finds_crashes_and_truncates() {
+    let report = run_campaign(OsVariant::Win98, &cfg(60));
+    let catastrophic = report.catastrophic_muts();
+    assert!(
+        !catastrophic.is_empty(),
+        "Windows 98 must lose functions to Catastrophic failures"
+    );
+    let names: Vec<&str> = catastrophic.iter().map(|m| m.name.as_str()).collect();
+    assert!(names.contains(&"GetThreadContext"), "{names:?}");
+    // The crash interrupted the test set (the paper's Table 1 footnote).
+    let gtc = catastrophic
+        .iter()
+        .find(|m| m.name == "GetThreadContext")
+        .expect("just checked");
+    assert!(gtc.cases <= gtc.planned);
+    assert_eq!(gtc.crash_reproducible_in_isolation, Some(true));
+}
+
+#[test]
+fn table1_statistics_consistent() {
+    let report = run_campaign(OsVariant::WinNt4, &cfg(40));
+    let row = table1_row(&report);
+    assert_eq!(row.total_tested, row.sys_tested + row.c_tested);
+    assert_eq!(row.sys_catastrophic, 0);
+    assert_eq!(row.c_catastrophic, 0);
+    assert!(row.sys_abort > 0.0 && row.sys_abort < 1.0);
+    assert!(row.overall_abort > 0.0);
+}
+
+#[test]
+fn suspected_hindering_oracle() {
+    // setsid() always reports EPERM, even on its (only, benign) input —
+    // the oracle flags it as a suspected Hindering failure. A normal
+    // robust call like getpid never trips the counter.
+    let report = run_campaign(OsVariant::Linux, &cfg(20));
+    let setsid = report.muts.iter().find(|m| m.name == "setsid").unwrap();
+    assert_eq!(setsid.suspected_hindering, 1, "{setsid:?}");
+    let getpid = report.muts.iter().find(|m| m.name == "getpid").unwrap();
+    assert_eq!(getpid.suspected_hindering, 0);
+    // The counter is a subset of error reports.
+    for m in &report.muts {
+        assert!(m.suspected_hindering <= m.error_reports, "{}", m.name);
+    }
+}
+
+#[test]
+fn multi_os_results_serialize_roundtrip() {
+    let results = MultiOsResults {
+        reports: vec![run_campaign(OsVariant::WinCe, &cfg(30))],
+    };
+    let json = serde_json::to_string(&results).expect("serialize");
+    let back: MultiOsResults = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.reports.len(), 1);
+    assert_eq!(back.reports[0].os, OsVariant::WinCe);
+    assert_eq!(back.reports[0].total_cases, results.reports[0].total_cases);
+}
+
+#[test]
+fn report_renderers_run_on_real_data() {
+    let results = MultiOsResults {
+        reports: vec![
+            run_campaign(OsVariant::Win95, &cfg(120)),
+            run_campaign(OsVariant::WinNt4, &cfg(120)),
+        ],
+    };
+    let t1 = report::tables::table1(&results);
+    let t2 = report::tables::table2(&results);
+    let t3 = report::tables::table3(&results);
+    let f1 = report::figures::figure1(&results);
+    assert!(t1.contains("Windows 95"));
+    assert!(t2.contains("C char"));
+    assert!(t3.contains("GetThreadContext"));
+    assert!(f1.contains("I/O Primitives"));
+}

@@ -1,0 +1,132 @@
+//! Verifies the paper's **Table 3** exactly: which functions crash which
+//! OS, and which crashes carry the `*` (harness-only) mark.
+//!
+//! This is the reproduction's strongest claim, so the campaign here runs
+//! with a realistic cap.
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use sim_kernel::variant::OsVariant;
+use std::collections::BTreeMap;
+
+fn crashes_for(os: OsVariant) -> BTreeMap<String, bool> {
+    let cfg = CampaignConfig {
+        cap: 400,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+    };
+    run_campaign(os, &cfg)
+        .catastrophic_muts()
+        .iter()
+        .map(|m| {
+            (
+                m.name.clone(),
+                m.crash_reproducible_in_isolation.unwrap_or(true),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn windows95_table3_row() {
+    let crashes = crashes_for(OsVariant::Win95);
+    // Paper: DuplicateHandle*, GetFileInformationByHandle,
+    // GetThreadContext, MsgWaitForMultipleObjects*, ReadProcessMemory*,
+    // FileTimeToSystemTime, HeapCreate — and no C functions.
+    let expected = [
+        ("DuplicateHandle", false),
+        ("GetFileInformationByHandle", true),
+        ("GetThreadContext", true),
+        ("MsgWaitForMultipleObjects", false),
+        ("ReadProcessMemory", false),
+        ("FileTimeToSystemTime", true),
+        ("HeapCreate", true),
+    ];
+    for (name, in_isolation) in expected {
+        assert_eq!(
+            crashes.get(name),
+            Some(&in_isolation),
+            "{name} on Windows 95 (found: {crashes:?})"
+        );
+    }
+    assert_eq!(crashes.len(), 7, "exactly the paper's seven: {crashes:?}");
+}
+
+#[test]
+fn windows98_table3_row() {
+    let crashes = crashes_for(OsVariant::Win98);
+    for name in [
+        "DuplicateHandle",
+        "GetFileInformationByHandle",
+        "GetThreadContext",
+        "MsgWaitForMultipleObjects",
+        "MsgWaitForMultipleObjectsEx",
+        "fwrite",
+        "strncpy",
+    ] {
+        assert!(crashes.contains_key(name), "{name} missing: {crashes:?}");
+    }
+    // 95-only entries must NOT crash 98.
+    for name in ["FileTimeToSystemTime", "HeapCreate", "ReadProcessMemory", "CreateThread"] {
+        assert!(!crashes.contains_key(name), "{name} wrongly crashes 98");
+    }
+    // fwrite and strncpy are the paper's `*` entries.
+    assert_eq!(crashes.get("fwrite"), Some(&false));
+    assert_eq!(crashes.get("strncpy"), Some(&false));
+    assert_eq!(crashes.len(), 7);
+}
+
+#[test]
+fn windows98se_table3_row() {
+    let crashes = crashes_for(OsVariant::Win98Se);
+    // SE adds CreateThread, drops fwrite.
+    assert!(crashes.contains_key("CreateThread"));
+    assert!(!crashes.contains_key("fwrite"), "98 SE fixed fwrite");
+    assert!(crashes.contains_key("strncpy"));
+    assert_eq!(crashes.len(), 7, "{crashes:?}");
+}
+
+#[test]
+fn nt_2000_linux_never_crash() {
+    for os in [OsVariant::WinNt4, OsVariant::Win2000, OsVariant::Linux] {
+        let crashes = crashes_for(os);
+        assert!(crashes.is_empty(), "{os} crashed: {crashes:?}");
+    }
+}
+
+#[test]
+fn windows_ce_table3_row() {
+    let crashes = crashes_for(OsVariant::WinCe);
+    // The ten system calls of the paper's CE list.
+    for name in [
+        "CreateThread",
+        "GetThreadContext",
+        "InterlockedDecrement",
+        "InterlockedExchange",
+        "InterlockedIncrement",
+        "MsgWaitForMultipleObjects",
+        "MsgWaitForMultipleObjectsEx",
+        "ReadProcessMemory",
+        "SetThreadContext",
+        "VirtualAlloc",
+    ] {
+        assert!(crashes.contains_key(name), "{name} missing on CE: {crashes:?}");
+    }
+    // Seventeen C functions via the single bad-FILE* root cause, plus the
+    // UNICODE strncpy twin — 18 C functions in all (paper §4/§5).
+    let c_functions = [
+        "clearerr", "fclose", "fflush", "freopen", "fseek", "ftell", // file I/O (6)
+        "fread", "fgetc", "fgets", "fprintf", "fputc", "fputs", "fscanf", "getc", "putc",
+        "ungetc", // stream (10) — printf/scanf take no FILE* argument
+        "strncpy", // the UNICODE _tcsncpy
+    ];
+    for name in c_functions {
+        assert!(crashes.contains_key(name), "{name} missing on CE: {crashes:?}");
+    }
+    let sys_count = crashes
+        .keys()
+        .filter(|n| n.chars().next().is_some_and(char::is_uppercase))
+        .count();
+    assert_eq!(sys_count, 10, "CE system-call crashes: {crashes:?}");
+    assert_eq!(crashes.len() - sys_count, 17, "CE C-function crashes");
+}

@@ -1,0 +1,167 @@
+//! Verifies the paper's *shape* findings — the orderings and contrasts the
+//! evaluation section reports — on a reduced-cap campaign. These are the
+//! claims EXPERIMENTS.md records as "reproduced":
+//!
+//! 1. Linux C char Abort ≳ 30 %; every Windows variant 0 % (§4).
+//! 2. Linux Abort is higher than Windows in exactly the four C-library
+//!    groups the paper names: C char, C file I/O, C stream I/O, C memory
+//!    management — and lower (or comparable) elsewhere (§5).
+//! 3. Linux is more graceful on system calls; the NT family has the
+//!    *highest* system-call Abort rates (Table 1).
+//! 4. The 9x family has far more Silent failures than NT/2000 (Figure 2).
+//! 5. Restart failures are rare for every OS (§4).
+//! 6. Family resemblance: 95 ≈ 98 ≈ 98 SE and NT ≈ 2000 group rates.
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use ballista::muts::FunctionGroup as G;
+use report::normalize::{group_rate, overall_by_mut, Metric};
+use report::MultiOsResults;
+use sim_kernel::variant::OsVariant;
+use std::sync::OnceLock;
+
+fn results() -> &'static MultiOsResults {
+    static RESULTS: OnceLock<MultiOsResults> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let reports = OsVariant::ALL
+            .into_iter()
+            .map(|os| {
+                let cfg = CampaignConfig {
+                    cap: 400,
+                    record_raw: OsVariant::DESKTOP_WINDOWS.contains(&os),
+                    isolation_probe: false,
+                    perfect_cleanup: false,
+                };
+                run_campaign(os, &cfg)
+            })
+            .collect();
+        MultiOsResults { reports }
+    })
+}
+
+fn abort(os: OsVariant, group: G) -> f64 {
+    group_rate(results().for_os(os).expect("all ran"), group, Metric::Abort).rate
+}
+
+#[test]
+fn c_char_contrast() {
+    assert!(
+        abort(OsVariant::Linux, G::CChar) > 0.30,
+        "Linux C char: {}",
+        abort(OsVariant::Linux, G::CChar)
+    );
+    for os in OsVariant::ALL.into_iter().filter(|o| o.is_windows()) {
+        assert_eq!(abort(os, G::CChar), 0.0, "{os} C char must be 0%");
+    }
+}
+
+#[test]
+fn linux_higher_in_exactly_the_four_paper_groups() {
+    let windows_ref = OsVariant::WinNt4;
+    for group in [G::CChar, G::CFileIo, G::CStreamIo, G::CMemory] {
+        assert!(
+            abort(OsVariant::Linux, group) > abort(windows_ref, group),
+            "{group}: Linux {} vs NT {}",
+            abort(OsVariant::Linux, group),
+            abort(windows_ref, group)
+        );
+    }
+    for group in [G::CMath, G::CTime, G::CString] {
+        assert!(
+            abort(OsVariant::Linux, group) <= abort(windows_ref, group) + 1e-9,
+            "{group}: Linux {} vs NT {} (paper: Linux lower)",
+            abort(OsVariant::Linux, group),
+            abort(windows_ref, group)
+        );
+    }
+}
+
+#[test]
+fn linux_graceful_on_system_calls_nt_aborts_most() {
+    let sys_abort = |os: OsVariant| {
+        overall_by_mut(results().for_os(os).expect("all ran"), Metric::Abort, |m| {
+            !m.group.is_c_library()
+        })
+    };
+    let linux = sys_abort(OsVariant::Linux);
+    let w98 = sys_abort(OsVariant::Win98);
+    let nt = sys_abort(OsVariant::WinNt4);
+    let ce = sys_abort(OsVariant::WinCe);
+    assert!(linux < w98, "Linux {linux} < 98 {w98}");
+    assert!(w98 < nt, "98 {w98} < NT {nt} (NT probes eagerly)");
+    assert!(ce < nt, "CE {ce} < NT {nt} (paper: CE aborts below NT)");
+    assert!(linux < 0.10, "Linux system calls are graceful: {linux}");
+}
+
+#[test]
+fn ninex_silent_failures_dominate_nt() {
+    // Ground-truth Silent on system calls: 9x ≫ NT (Figure 2's story).
+    let sys_silent = |os: OsVariant| {
+        overall_by_mut(
+            results().for_os(os).expect("all ran"),
+            Metric::SilentTruth,
+            |m| !m.group.is_c_library(),
+        )
+    };
+    let w95 = sys_silent(OsVariant::Win95);
+    let w98 = sys_silent(OsVariant::Win98);
+    let nt = sys_silent(OsVariant::WinNt4);
+    let w2k = sys_silent(OsVariant::Win2000);
+    assert!(w95 > 2.0 * nt, "95 {w95} vs NT {nt}");
+    assert!(w98 > 2.0 * w2k, "98 {w98} vs 2000 {w2k}");
+}
+
+#[test]
+fn voted_silent_estimate_matches_direction() {
+    // The paper's voting methodology, applied to our raw streams, must
+    // reach the same conclusion: 9x voted-Silent ≫ NT voted-Silent.
+    let desktop: Vec<_> = results()
+        .reports
+        .iter()
+        .filter(|r| OsVariant::DESKTOP_WINDOWS.contains(&r.os))
+        .collect();
+    let avg_voted = |os: OsVariant| {
+        let votes = report::voting::vote_silent(&desktop, os);
+        if votes.is_empty() {
+            return 0.0;
+        }
+        votes.iter().map(report::voting::VotedSilent::voted_rate).sum::<f64>()
+            / votes.len() as f64
+    };
+    let w98 = avg_voted(OsVariant::Win98);
+    let nt = avg_voted(OsVariant::WinNt4);
+    assert!(w98 > 0.05, "98 voted silent: {w98}");
+    assert!(w98 > 3.0 * nt, "98 {w98} vs NT {nt}");
+}
+
+#[test]
+fn restarts_rare_everywhere() {
+    for report in &results().reports {
+        let restart = overall_by_mut(report, Metric::Restart, |_| true);
+        assert!(
+            restart < 0.02,
+            "{}: restart rate {restart} should be rare",
+            report.os
+        );
+    }
+}
+
+#[test]
+fn family_resemblance() {
+    // "the similar code bases for the Windows 95/98 pairing and the
+    // Windows NT/2000 pairing show up in relatively similar Abort failure
+    // rates."
+    for group in [G::IoPrimitives, G::CString, G::CMath, G::FileDirAccess] {
+        let d9x = (abort(OsVariant::Win98, group) - abort(OsVariant::Win98Se, group)).abs();
+        let dnt = (abort(OsVariant::WinNt4, group) - abort(OsVariant::Win2000, group)).abs();
+        assert!(d9x < 0.05, "{group}: 98 vs 98SE differ by {d9x}");
+        assert!(dnt < 0.05, "{group}: NT vs 2000 differ by {dnt}");
+    }
+}
+
+#[test]
+fn ce_is_unlike_either_family() {
+    // CE misses the C time group entirely and has its own crash set.
+    let ce = results().for_os(OsVariant::WinCe).expect("ran");
+    assert!(!group_rate(ce, G::CTime, Metric::Abort).present);
+    assert!(ce.catastrophic_muts().len() > 20, "CE's 27 catastrophic MuTs");
+}
