@@ -5,24 +5,46 @@
 //! variants), sequential execution with a shared residue session, stop on
 //! Catastrophic (the crash "interrupts the testing process"), and an
 //! in-isolation reproduction probe for the Table 3 `*` marks.
+//!
+//! # The parallel engine
+//!
+//! With [`CampaignConfig::parallelism`] above one, the campaign runs in
+//! two phases that together reproduce the sequential semantics **bit for
+//! bit** (asserted by the determinism tests):
+//!
+//! 1. **Clean pass** (parallel): worker threads shard the catalog at MuT
+//!    granularity and execute every planned case on a zero-residue
+//!    machine, recording a packed byte per case — raw outcome,
+//!    exceptional-input bit, and whether the simulated OS *probed* the
+//!    residue counter ([`sim_kernel::Kernel::probe_residue`]).
+//! 2. **Replay pass** (sequential): the true session walks the records in
+//!    catalog order. A case is re-executed only when it probed residue
+//!    *and* the session residue is non-zero; everything else reuses its
+//!    recorded outcome. This is sound because residue is only readable
+//!    through the probe: control flow up to the first probe cannot depend
+//!    on residue, so a case that did not probe at residue zero takes the
+//!    identical path (and outcome) at any residue.
 
 use crate::catalog;
-use crate::crash::{FailureClass, RawOutcome};
+use crate::crash::{self, classify, FailureClass, RawOutcome};
 use crate::datatype::TypeRegistry;
-use crate::exec::{execute_case, reproduce_in_isolation, Session};
+use crate::exec::{self, execute_case, reproduce_in_isolation, CaseResult, Session};
 use crate::muts::Mut;
-use crate::sampling::{self, PAPER_CAP};
+use crate::sampling::{self, CaseSet, PAPER_CAP};
 use crate::value::TestValue;
 use serde::{Deserialize, Serialize};
 use sim_kernel::variant::OsVariant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Campaign knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Per-MuT test-case cap (the paper used 5000).
     pub cap: usize,
-    /// Record the per-case raw outcome bytes (needed for the Figure 2
-    /// voting analysis; costs memory).
+    /// Record the per-case packed record bytes (needed for the Figure 2
+    /// voting analysis; costs one byte per case).
     pub record_raw: bool,
     /// Probe crashing cases in isolation to assign the `*` mark.
     pub isolation_probe: bool,
@@ -32,6 +54,12 @@ pub struct CampaignConfig {
     /// cannot fire — running a campaign both ways isolates exactly which
     /// crashes depend on harness residue.
     pub perfect_cleanup: bool,
+    /// Worker threads for the clean-outcome pass. `1` keeps the exact
+    /// legacy sequential control flow; `0` (the default, and what
+    /// deserializing old configs yields) picks the machine's available
+    /// parallelism. Tallies are bit-identical at every setting.
+    #[serde(default)]
+    pub parallelism: usize,
 }
 
 impl Default for CampaignConfig {
@@ -41,8 +69,43 @@ impl Default for CampaignConfig {
             record_raw: false,
             isolation_probe: true,
             perfect_cleanup: false,
+            parallelism: 0,
         }
     }
+}
+
+impl CampaignConfig {
+    /// The effective worker-thread count: `parallelism`, with `0`
+    /// resolving to the machine's available parallelism.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+}
+
+/// Timing and machine-provisioning counters for one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CampaignStats {
+    /// Worker threads used by the clean pass (1 = sequential path).
+    pub parallelism: usize,
+    /// Wall-clock for the whole campaign, milliseconds.
+    pub wall_ms: f64,
+    /// Executed cases per wall-clock second.
+    pub cases_per_sec: f64,
+    /// Machines provisioned by a full boot sequence.
+    pub boots: u64,
+    /// Machines provisioned by cloning a pre-booted snapshot.
+    pub restores: u64,
+    /// Milliseconds spent in full boots.
+    pub boot_ms: f64,
+    /// Milliseconds spent restoring snapshots.
+    pub restore_ms: f64,
+    /// Cases the replay pass re-executed because they probed residue
+    /// under a non-zero session residue.
+    pub replayed_cases: usize,
 }
 
 /// Per-MuT campaign results.
@@ -152,6 +215,10 @@ pub struct CampaignReport {
     pub muts: Vec<MutTally>,
     /// Total test cases executed.
     pub total_cases: usize,
+    /// Timing/throughput counters (absent in results produced before the
+    /// parallel engine; never part of the tally bit-identity contract).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<CampaignStats>,
 }
 
 impl CampaignReport {
@@ -181,28 +248,32 @@ pub fn run_mut_campaign(os: OsVariant, mut_: &Mut, cfg: &CampaignConfig) -> MutT
     run_mut_campaign_with(os, mut_, &registry, cfg, &mut Session::new())
 }
 
-/// Campaign for one MuT with caller-provided registry and session (the
-/// full-campaign path shares both across MuTs).
-#[must_use]
-pub fn run_mut_campaign_with(
-    os: OsVariant,
-    mut_: &Mut,
-    registry: &TypeRegistry,
-    cfg: &CampaignConfig,
-    session: &mut Session,
-) -> MutTally {
+/// A MuT with its resolved pools and (shared) sampling plan — computed
+/// once and reused by both engine phases and, via the plan cache, across
+/// all variants running the same catalog signature.
+struct PreparedMut<'a> {
+    mut_: &'a Mut,
+    pools: Vec<Vec<TestValue>>,
+    plan: Arc<CaseSet>,
+}
+
+fn prepare<'a>(registry: &TypeRegistry, mut_: &'a Mut, cfg: &CampaignConfig) -> PreparedMut<'a> {
     let pools = resolve_pools(registry, mut_);
-    let case_set = if pools.is_empty() {
-        sampling::single_case()
+    let plan = if pools.is_empty() {
+        Arc::new(sampling::single_case())
     } else {
         let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
-        sampling::enumerate(&dims, cfg.cap, mut_.name)
+        sampling::enumerate_shared(&dims, cfg.cap, mut_.name)
     };
-    let mut tally = MutTally {
+    PreparedMut { mut_, pools, plan }
+}
+
+fn empty_tally(mut_: &Mut, planned: usize) -> MutTally {
+    MutTally {
         name: mut_.name.to_owned(),
         group: mut_.group,
         cases: 0,
-        planned: case_set.cases.len(),
+        planned,
         aborts: 0,
         restarts: 0,
         silents: 0,
@@ -212,61 +283,202 @@ pub fn run_mut_campaign_with(
         crash_reproducible_in_isolation: None,
         raw_outcomes: Vec::new(),
         suspected_hindering: 0,
-    };
-    for combo in &case_set.cases {
+    }
+}
+
+/// Folds one case result into the tally. Returns `true` on Catastrophic —
+/// the caller must run the isolation probe and stop this MuT. Single
+/// source of tally semantics for both the sequential and parallel paths,
+/// so they cannot drift apart.
+fn apply_case(tally: &mut MutTally, cfg: &CampaignConfig, result: &CaseResult) -> bool {
+    tally.cases += 1;
+    if cfg.record_raw {
+        tally.raw_outcomes.push(crash::pack_case(
+            result.raw,
+            result.any_exceptional,
+            result.residue_probed,
+        ));
+    }
+    match result.class {
+        FailureClass::Catastrophic => {
+            tally.catastrophic = true;
+            return true;
+        }
+        FailureClass::Restart => tally.restarts += 1,
+        FailureClass::Abort => tally.aborts += 1,
+        FailureClass::Silent => tally.silents += 1,
+        FailureClass::Hindering => tally.error_reports += 1,
+        FailureClass::Pass => {
+            if result.raw == RawOutcome::ReturnedError {
+                tally.error_reports += 1;
+                if !result.any_exceptional {
+                    tally.suspected_hindering += 1;
+                }
+            } else {
+                tally.passes += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Campaign for one MuT with caller-provided registry and session (the
+/// full-campaign path shares both across MuTs). This is the sequential
+/// reference path; the parallel engine reproduces it bit for bit.
+#[must_use]
+pub fn run_mut_campaign_with(
+    os: OsVariant,
+    mut_: &Mut,
+    registry: &TypeRegistry,
+    cfg: &CampaignConfig,
+    session: &mut Session,
+) -> MutTally {
+    let prep = prepare(registry, mut_, cfg);
+    let mut tally = empty_tally(mut_, prep.plan.cases.len());
+    for combo in &prep.plan.cases {
         if cfg.perfect_cleanup {
             session.residue = 0;
         }
-        let result = execute_case(os, mut_, &pools, combo, session);
-        tally.cases += 1;
-        if cfg.record_raw {
-            tally.raw_outcomes.push(result.raw.to_byte());
-        }
-        match result.class {
-            FailureClass::Catastrophic => {
-                tally.catastrophic = true;
-                if cfg.isolation_probe {
-                    tally.crash_reproducible_in_isolation =
-                        Some(reproduce_in_isolation(os, mut_, &pools, combo));
-                }
-                // "the system crash interrupts the testing process, and the
-                // set of test cases run for that function is incomplete."
-                break;
+        let result = execute_case(os, mut_, &prep.pools, combo, session);
+        if apply_case(&mut tally, cfg, &result) {
+            if cfg.isolation_probe {
+                tally.crash_reproducible_in_isolation =
+                    Some(reproduce_in_isolation(os, mut_, &prep.pools, combo));
             }
-            FailureClass::Restart => tally.restarts += 1,
-            FailureClass::Abort => tally.aborts += 1,
-            FailureClass::Silent => tally.silents += 1,
-            FailureClass::Hindering => tally.error_reports += 1,
-            FailureClass::Pass => {
-                if result.raw == RawOutcome::ReturnedError {
-                    tally.error_reports += 1;
-                    if !result.any_exceptional {
-                        tally.suspected_hindering += 1;
-                    }
-                } else {
-                    tally.passes += 1;
-                }
-            }
+            // "the system crash interrupts the testing process, and the
+            // set of test cases run for that function is incomplete."
+            break;
         }
     }
     tally
 }
 
-/// Runs the full campaign: every catalog MuT for `os`.
+/// Phase 1: worker threads shard the catalog (atomic work counter, MuT
+/// granularity) and run every planned case at residue zero, packing one
+/// record byte per case. Execution stops early at an unprobed
+/// `SystemCrash` — the replay pass provably never advances past it.
+fn clean_pass(os: OsVariant, preps: &[PreparedMut<'_>], workers: usize) -> Vec<Vec<u8>> {
+    let slots: Vec<Mutex<Vec<u8>>> = preps.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(prep) = preps.get(i) else { break };
+                    let mut records = Vec::with_capacity(prep.plan.cases.len());
+                    let mut clean = Session::new();
+                    for combo in &prep.plan.cases {
+                        clean.residue = 0;
+                        let r = execute_case(os, prep.mut_, &prep.pools, combo, &mut clean);
+                        records.push(crash::pack_case(r.raw, r.any_exceptional, r.residue_probed));
+                        if r.raw == RawOutcome::SystemCrash && !r.residue_probed {
+                            break;
+                        }
+                    }
+                    *slots[i].lock().expect("record slot poisoned") = records;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("clean-pass worker panicked");
+        }
+    })
+    .expect("clean-pass scope panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("record slot poisoned"))
+        .collect()
+}
+
+/// Phase 2: the true session walks the clean-pass records in catalog
+/// order, re-executing exactly the cases whose outcome could depend on
+/// accumulated residue. Returns the tallies plus the replay count.
+fn replay_pass(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    preps: &[PreparedMut<'_>],
+    records: &[Vec<u8>],
+    session: &mut Session,
+) -> (Vec<MutTally>, usize) {
+    let mut replayed = 0usize;
+    let mut tallies = Vec::with_capacity(preps.len());
+    for (prep, recs) in preps.iter().zip(records) {
+        let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
+        for (combo, &rec) in prep.plan.cases.iter().zip(recs) {
+            if cfg.perfect_cleanup {
+                session.residue = 0;
+            }
+            let (raw, any_exceptional, residue_probed) =
+                crash::unpack_case(rec).expect("clean pass wrote a valid record");
+            let result = if residue_probed && session.residue != 0 {
+                replayed += 1;
+                execute_case(os, prep.mut_, &prep.pools, combo, session)
+            } else {
+                session.note(raw, any_exceptional);
+                CaseResult {
+                    raw,
+                    class: classify(raw, any_exceptional),
+                    any_exceptional,
+                    residue_probed,
+                }
+            };
+            if apply_case(&mut tally, cfg, &result) {
+                if cfg.isolation_probe {
+                    tally.crash_reproducible_in_isolation =
+                        Some(reproduce_in_isolation(os, prep.mut_, &prep.pools, combo));
+                }
+                break;
+            }
+        }
+        tallies.push(tally);
+    }
+    (tallies, replayed)
+}
+
+/// Runs the full campaign: every catalog MuT for `os`, in parallel when
+/// the config allows (see the module docs for why the tallies stay
+/// bit-identical to the sequential path).
 #[must_use]
 pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
+    let t0 = Instant::now();
+    let (boots0, restores0, boot_ns0, restore_ns0) = exec::stats::snapshot();
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
+    let workers = cfg.workers().min(muts.len().max(1));
     let mut session = Session::new();
-    let mut tallies = Vec::with_capacity(muts.len());
-    for m in &muts {
-        tallies.push(run_mut_campaign_with(os, m, &registry, cfg, &mut session));
-    }
-    let total_cases = tallies.iter().map(|t| t.cases).sum();
+    let (tallies, replayed) = if workers <= 1 {
+        let tallies = muts
+            .iter()
+            .map(|m| run_mut_campaign_with(os, m, &registry, cfg, &mut session))
+            .collect();
+        (tallies, 0)
+    } else {
+        let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+        let records = clean_pass(os, &preps, workers);
+        replay_pass(os, cfg, &preps, &records, &mut session)
+    };
+    let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
+    let wall = t0.elapsed().as_secs_f64();
+    let (boots1, restores1, boot_ns1, restore_ns1) = exec::stats::snapshot();
+    // Provisioning counters are process-wide; under concurrent campaigns
+    // (the experiments driver fans variants out) the deltas apportion
+    // approximately, which is fine for throughput reporting.
+    let stats = CampaignStats {
+        parallelism: workers,
+        wall_ms: wall * 1e3,
+        cases_per_sec: total_cases as f64 / wall.max(1e-9),
+        boots: boots1 - boots0,
+        restores: restores1 - restores0,
+        boot_ms: (boot_ns1 - boot_ns0) as f64 / 1e6,
+        restore_ms: (restore_ns1 - restore_ns0) as f64 / 1e6,
+        replayed_cases: replayed,
+    };
     CampaignReport {
         os,
         muts: tallies,
         total_cases,
+        stats: Some(stats),
     }
 }
 
@@ -280,6 +492,7 @@ mod tests {
             record_raw: true,
             isolation_probe: true,
             perfect_cleanup: false,
+            parallelism: 1,
         }
     }
 
@@ -331,6 +544,7 @@ mod tests {
             record_raw: false,
             isolation_probe: false,
             perfect_cleanup: false,
+            parallelism: 1,
         };
         // Tiny campaign over a real catalog subset: use Linux and just
         // verify plumbing end-to-end on a handful of MuTs.
@@ -348,10 +562,87 @@ mod tests {
             os: OsVariant::Linux,
             total_cases: tallies.iter().map(|t| t.cases).sum(),
             muts: tallies,
+            stats: None,
         };
         assert!(report.total_cases > 0);
         assert!(report.catastrophic_muts().is_empty());
         let json = serde_json::to_string(&report).expect("serializable");
         assert!(json.contains("linux") || json.contains("Linux"));
+    }
+
+    /// Serial (`parallelism = 1`) and parallel (`parallelism = 8`)
+    /// campaigns must produce **bit-identical** serialized tallies and
+    /// the same Table 3 catastrophic sets — the parallel engine's core
+    /// contract. Uses the two variants with the richest
+    /// interference-dependent (`*`) behaviour.
+    #[test]
+    fn parallel_tallies_bit_identical_to_serial() {
+        for os in [OsVariant::Win98, OsVariant::WinCe] {
+            let serial = run_campaign(
+                os,
+                &CampaignConfig {
+                    cap: 50,
+                    record_raw: true,
+                    isolation_probe: true,
+                    perfect_cleanup: false,
+                    parallelism: 1,
+                },
+            );
+            let parallel = run_campaign(
+                os,
+                &CampaignConfig {
+                    cap: 50,
+                    record_raw: true,
+                    isolation_probe: true,
+                    perfect_cleanup: false,
+                    parallelism: 8,
+                },
+            );
+            assert_eq!(
+                serde_json::to_string(&serial.muts).unwrap(),
+                serde_json::to_string(&parallel.muts).unwrap(),
+                "{os}: tallies diverged between serial and parallel engines"
+            );
+            let cat = |r: &CampaignReport| -> Vec<(String, Option<bool>)> {
+                r.catastrophic_muts()
+                    .iter()
+                    .map(|t| (t.name.clone(), t.crash_reproducible_in_isolation))
+                    .collect()
+            };
+            assert_eq!(cat(&serial), cat(&parallel), "{os}: Table 3 sets diverged");
+            assert_eq!(serial.total_cases, parallel.total_cases);
+            let stats = parallel.stats.expect("parallel stats present");
+            assert_eq!(stats.parallelism, 8.min(parallel.muts.len()));
+        }
+    }
+
+    #[test]
+    fn stats_report_snapshot_provisioning() {
+        let report = run_campaign(OsVariant::Linux, &quick_cfg());
+        let stats = report.stats.expect("stats present");
+        assert_eq!(stats.parallelism, 1);
+        assert!(stats.wall_ms > 0.0);
+        assert!(stats.cases_per_sec > 0.0);
+        // The template cache means at most one boot per (thread, flavour);
+        // everything else must be a snapshot restore.
+        assert!(stats.restores > stats.boots);
+    }
+
+    #[test]
+    fn config_parallelism_defaults() {
+        // Old serialized configs (no `parallelism` key) deserialize to
+        // auto; `workers()` resolves auto to at least one thread.
+        let old = r#"{"cap":100,"record_raw":false,"isolation_probe":true,"perfect_cleanup":false}"#;
+        let cfg: CampaignConfig = serde_json::from_str(old).expect("old config parses");
+        assert_eq!(cfg.parallelism, 0);
+        assert!(cfg.workers() >= 1);
+        assert_eq!(
+            CampaignConfig {
+                parallelism: 3,
+                ..CampaignConfig::default()
+            }
+            .workers(),
+            3
+        );
     }
 }

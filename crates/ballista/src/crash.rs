@@ -57,6 +57,45 @@ impl RawOutcome {
     }
 }
 
+/// Bit layout of a packed per-case record byte: bits 0–2 hold the
+/// [`RawOutcome`] code, bit 3 the "any input exceptional" oracle bit and
+/// bit 4 the "outcome consulted residue" bit. One byte carries everything
+/// the voting analysis and the parallel engine's replay pass need, so
+/// `record_raw` campaigns and the clean-pass record buffers stay at one
+/// byte per case.
+const REC_RAW_MASK: u8 = 0b0000_0111;
+/// Bit 3: at least one selected input value was exceptional.
+pub const REC_EXCEPTIONAL: u8 = 0b0000_1000;
+/// Bit 4: the simulated OS probed the residue counter for this case.
+pub const REC_RESIDUE_PROBED: u8 = 0b0001_0000;
+
+/// Packs one case's observation into a single record byte.
+#[must_use]
+pub fn pack_case(raw: RawOutcome, any_exceptional: bool, residue_probed: bool) -> u8 {
+    raw.to_byte()
+        | if any_exceptional { REC_EXCEPTIONAL } else { 0 }
+        | if residue_probed { REC_RESIDUE_PROBED } else { 0 }
+}
+
+/// Inverse of [`pack_case`]: `(raw, any_exceptional, residue_probed)`.
+/// `None` when the outcome bits are invalid.
+#[must_use]
+pub fn unpack_case(byte: u8) -> Option<(RawOutcome, bool, bool)> {
+    Some((
+        RawOutcome::from_byte(byte & REC_RAW_MASK)?,
+        byte & REC_EXCEPTIONAL != 0,
+        byte & REC_RESIDUE_PROBED != 0,
+    ))
+}
+
+/// The raw outcome stored in a record byte (bare [`RawOutcome::to_byte`]
+/// bytes from older result files decode identically: their flag bits are
+/// simply zero).
+#[must_use]
+pub fn record_raw_outcome(byte: u8) -> Option<RawOutcome> {
+    RawOutcome::from_byte(byte & REC_RAW_MASK)
+}
+
 /// The CRASH classification of one test case.
 ///
 /// Ordered by severity: `Catastrophic > Restart > Abort > Silent >
@@ -213,6 +252,37 @@ mod tests {
             assert_eq!(RawOutcome::from_byte(raw.to_byte()), Some(raw));
         }
         assert_eq!(RawOutcome::from_byte(99), None);
+    }
+
+    #[test]
+    fn packed_record_roundtrip_over_all_outcomes_and_flags() {
+        for raw in [
+            RawOutcome::ReturnedSuccess,
+            RawOutcome::ReturnedError,
+            RawOutcome::TaskAbort,
+            RawOutcome::TaskHang,
+            RawOutcome::SystemCrash,
+        ] {
+            for exc in [false, true] {
+                for probed in [false, true] {
+                    let byte = pack_case(raw, exc, probed);
+                    assert_eq!(unpack_case(byte), Some((raw, exc, probed)));
+                    assert_eq!(record_raw_outcome(byte), Some(raw));
+                    // Every CRASH class the record can express survives
+                    // the round trip (Hindering needs the expectation
+                    // refinement, exercised through the exc bit).
+                    let class = classify(raw, exc);
+                    let (r2, e2, _) = unpack_case(byte).unwrap();
+                    assert_eq!(classify(r2, e2), class);
+                }
+            }
+        }
+        // Bare legacy bytes (no flag bits) still decode.
+        assert_eq!(
+            record_raw_outcome(RawOutcome::TaskAbort.to_byte()),
+            Some(RawOutcome::TaskAbort)
+        );
+        assert_eq!(unpack_case(0b0000_0111), None, "invalid outcome code");
     }
 
     #[test]

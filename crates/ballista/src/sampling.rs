@@ -11,7 +11,8 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The paper's per-MuT cap.
 pub const PAPER_CAP: usize = 5000;
@@ -93,6 +94,34 @@ pub fn enumerate(dims: &[usize], cap: usize, seed_name: &str) -> CaseSet {
         cases,
         exhaustive: false,
     }
+}
+
+type PlanKey = (String, Vec<usize>, usize);
+
+fn plan_cache() -> &'static Mutex<BTreeMap<PlanKey, Arc<CaseSet>>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<PlanKey, Arc<CaseSet>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// [`enumerate`] through a process-wide plan cache: the paper runs *the
+/// same* pseudorandom sample per MuT on every variant, so the plan for a
+/// given (name, dims, cap) is computed once and shared across all seven
+/// campaigns (and across campaign repeats). The cache is append-only and
+/// bounded by the catalog: one entry per distinct MuT signature per cap.
+///
+/// # Panics
+///
+/// Same conditions as [`enumerate`].
+#[must_use]
+pub fn enumerate_shared(dims: &[usize], cap: usize, seed_name: &str) -> Arc<CaseSet> {
+    let key = (seed_name.to_owned(), dims.to_vec(), cap);
+    let mut cache = plan_cache().lock().expect("plan cache poisoned");
+    if let Some(plan) = cache.get(&key) {
+        return Arc::clone(plan);
+    }
+    let plan = Arc::new(enumerate(dims, cap, seed_name));
+    cache.insert(key, Arc::clone(&plan));
+    plan
 }
 
 /// Case list for a zero-parameter MuT: one empty case.

@@ -84,14 +84,37 @@ fn pools_for(registry: &TypeRegistry, m: &Mut) -> Vec<Vec<TestValue>> {
     m.params.iter().map(|ty| registry.pool(ty)).collect()
 }
 
-fn cases_for(m: &Mut, pools: &[Vec<TestValue>], n: usize) -> Vec<Vec<usize>> {
+/// First `n` argument combinations in lexicographic (odometer) order.
+///
+/// Pools put valid values first, so the leading combinations are the
+/// ones that actually mutate machine state — exactly what a warm-up
+/// chain and a state-dependence probe want. Using a fixed order (rather
+/// than the campaign sampler) also keeps the sweep reproducible
+/// independent of the sampling RNG.
+fn cases_for(pools: &[Vec<TestValue>], n: usize) -> Vec<Vec<usize>> {
     if pools.is_empty() {
         return vec![Vec::new()];
     }
     let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
-    let mut set = sampling::enumerate(&dims, n.max(1), m.name);
-    set.cases.truncate(n.max(1));
-    set.cases
+    let n = n.max(1);
+    let mut cases = Vec::with_capacity(n);
+    let mut combo = vec![0usize; dims.len()];
+    while cases.len() < n {
+        cases.push(combo.clone());
+        let mut i = dims.len();
+        loop {
+            if i == 0 {
+                return cases; // the whole space is smaller than n
+            }
+            i -= 1;
+            combo[i] += 1;
+            if combo[i] < dims[i] {
+                break;
+            }
+            combo[i] = 0;
+        }
+    }
+    cases
 }
 
 /// Runs the sequence sweep over the OS's catalog.
@@ -123,8 +146,8 @@ pub fn run_sequence_sweep(
         let (a, b) = (&muts[ai], &muts[bi]);
         let a_pools = pools_for(registry, a);
         let b_pools = pools_for(registry, b);
-        let a_cases = cases_for(a, &a_pools, cfg.warmup_calls.max(1));
-        let b_cases = cases_for(b, &b_pools, cfg.cases_per_pair);
+        let a_cases = cases_for(&a_pools, cfg.warmup_calls.max(1));
+        let b_cases = cases_for(&b_pools, cfg.cases_per_pair);
         for b_combo in &b_cases {
             // Baseline: B alone on a pristine machine.
             let alone = execute_case(os, b, &b_pools, b_combo, &mut Session::new());

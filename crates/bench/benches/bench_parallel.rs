@@ -1,0 +1,58 @@
+//! Benchmarks for the parallel campaign engine: the serial reference
+//! path vs the two-phase engine at several worker counts, the legacy
+//! (boot-per-case, eager-zero) provisioning model, and the underlying
+//! boot-vs-restore micro-costs the snapshot cache trades between.
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim_kernel::variant::OsVariant;
+use sim_kernel::{Kernel, MachineFlavor, MachineSnapshot};
+
+fn cfg(parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap: bench::BENCH_CAP,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+    }
+}
+
+fn campaign_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_engine");
+    group.sample_size(10);
+    group.bench_function("win98_serial", |b| {
+        b.iter(|| black_box(run_campaign(OsVariant::Win98, &cfg(1))));
+    });
+    group.bench_function("win98_parallel_auto", |b| {
+        b.iter(|| black_box(run_campaign(OsVariant::Win98, &cfg(0))));
+    });
+    group.bench_function("win98_parallel_4", |b| {
+        b.iter(|| black_box(run_campaign(OsVariant::Win98, &cfg(4))));
+    });
+    group.bench_function("win98_legacy_provisioning", |b| {
+        use std::sync::atomic::Ordering;
+        ballista::exec::LEGACY_PROVISIONING.store(true, Ordering::SeqCst);
+        b.iter(|| black_box(run_campaign(OsVariant::Win98, &cfg(1))));
+        ballista::exec::LEGACY_PROVISIONING.store(false, Ordering::SeqCst);
+    });
+    group.finish();
+}
+
+fn provisioning_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_provisioning");
+    group.bench_function("full_boot", |b| {
+        b.iter(|| black_box(Kernel::with_flavor(MachineFlavor::Windows)));
+    });
+    group.bench_function("snapshot_restore", |b| {
+        let snap = MachineSnapshot::boot(MachineFlavor::Windows);
+        b.iter(|| black_box(snap.restore()));
+    });
+    group.bench_function("snapshot_boot_capture", |b| {
+        b.iter(|| black_box(MachineSnapshot::boot(MachineFlavor::Windows)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, campaign_benches, provisioning_benches);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ fn bench_table3(c: &mut Criterion) {
                         record_raw: false,
                         isolation_probe: true,
                         perfect_cleanup: false,
+                            parallelism: 1,
                     },
                 )
             })
@@ -37,6 +38,7 @@ fn bench_table3(c: &mut Criterion) {
                     record_raw: false,
                     isolation_probe: true,
                     perfect_cleanup: false,
+                        parallelism: 1,
                 },
             ))
         })

@@ -26,6 +26,7 @@ pub fn bench_campaign(os: OsVariant, record_raw: bool) -> CampaignReport {
             record_raw,
             isolation_probe: false,
             perfect_cleanup: false,
+            parallelism: 1,
         },
     )
 }

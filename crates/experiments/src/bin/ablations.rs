@@ -48,6 +48,7 @@ fn sampling_accuracy() -> String {
                 record_raw: false,
                 isolation_probe: false,
                 perfect_cleanup: false,
+                parallelism: 1,
             };
             run_mut_campaign(os, m, &cfg).abort_rate()
         };
@@ -91,6 +92,7 @@ fn residue_ablation() -> String {
                     record_raw: false,
                     isolation_probe: false,
                     perfect_cleanup,
+                        parallelism: 1,
                 },
             )
             .catastrophic_muts()
@@ -155,6 +157,7 @@ fn voting_set_ablation() -> String {
                     record_raw: true,
                     isolation_probe: false,
                     perfect_cleanup: false,
+                        parallelism: 1,
                 },
             )
         })

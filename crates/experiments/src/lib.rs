@@ -11,11 +11,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ballista::campaign::{run_campaign, CampaignConfig};
+use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use report::MultiOsResults;
+use serde::Serialize;
 use sim_kernel::variant::OsVariant;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Reads the per-MuT cap from `BALLISTA_CAP` (default 5000).
@@ -37,32 +40,184 @@ fn cache_path(cap: usize) -> PathBuf {
     results_dir().join(format!("campaign-cap{cap}.json"))
 }
 
-/// Runs the full seven-OS campaign at `cap`, printing progress.
+/// One variant's timing row in `BENCH_campaign.json`.
+#[derive(Debug, Clone, Serialize)]
+struct VariantBench {
+    os: String,
+    wall_ms: f64,
+    cases: usize,
+    cases_per_sec: f64,
+    boots: u64,
+    restores: u64,
+    replayed_cases: usize,
+}
+
+/// A measured before/after comparison: the same campaign run once with
+/// legacy machine provisioning (full boot per case, eagerly zero-filled
+/// regions — the pre-snapshot cost model) and once with the current
+/// engine. Both runs produce bit-identical tallies; only the wall-clock
+/// differs.
+#[derive(Debug, Clone, Serialize)]
+struct Calibration {
+    os: String,
+    cap: usize,
+    legacy_wall_ms: f64,
+    engine_wall_ms: f64,
+    speedup: f64,
+    tallies_identical: bool,
+}
+
+/// The `BENCH_campaign.json` artifact.
+#[derive(Debug, Clone, Serialize)]
+struct CampaignBench {
+    total_wall_ms: f64,
+    total_cases: usize,
+    cases_per_sec: f64,
+    variant_fan_out: usize,
+    per_campaign_parallelism: usize,
+    variants: Vec<VariantBench>,
+    calibration: Calibration,
+}
+
+/// Divides the machine's cores between variant-level fan-out and
+/// per-campaign workers: `(concurrent variants, workers per campaign)`.
+fn split_parallelism(variants: usize) -> (usize, usize) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let fan_out = cores.min(variants).max(1);
+    (fan_out, (cores / fan_out).max(1))
+}
+
+/// Runs one campaign in legacy provisioning mode and once with the
+/// current engine, and reports the measured speedup. Runs strictly after
+/// the main campaigns (the legacy switch is process-wide).
+fn calibrate_speedup(cap: usize) -> Calibration {
+    let os = OsVariant::Linux;
+    let cfg = CampaignConfig {
+        cap,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+    };
+    ballista::exec::LEGACY_PROVISIONING.store(true, Ordering::SeqCst);
+    let t0 = Instant::now();
+    let legacy = run_campaign(os, &cfg);
+    let legacy_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ballista::exec::LEGACY_PROVISIONING.store(false, Ordering::SeqCst);
+    let t1 = Instant::now();
+    let engine = run_campaign(os, &CampaignConfig { parallelism: 0, ..cfg });
+    let engine_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    Calibration {
+        os: os.short_name().to_owned(),
+        cap,
+        legacy_wall_ms,
+        engine_wall_ms,
+        speedup: legacy_wall_ms / engine_wall_ms.max(1e-9),
+        tallies_identical: serde_json::to_string(&legacy.muts).expect("serializable")
+            == serde_json::to_string(&engine.muts).expect("serializable"),
+    }
+}
+
+/// Runs the full seven-OS campaign at `cap`, printing progress and
+/// writing the `BENCH_campaign.json` timing artifact.
 ///
-/// Raw per-case outcomes are recorded for the desktop Windows variants
-/// (the Figure 2 voting set).
+/// Variants fan out across worker threads (campaign order and results
+/// are position-stable, so the output is identical to the sequential
+/// driver); remaining cores go to each campaign's clean pass. Raw
+/// per-case outcomes are recorded for the desktop Windows variants (the
+/// Figure 2 voting set).
+///
+/// # Panics
+///
+/// Panics when a campaign worker panics — a harness bug, fatal for
+/// reproduction runs.
 #[must_use]
 pub fn run_all_oses(cap: usize) -> MultiOsResults {
-    let mut reports = Vec::new();
-    for os in OsVariant::ALL {
-        let cfg = CampaignConfig {
-            cap,
-            record_raw: OsVariant::DESKTOP_WINDOWS.contains(&os),
-            isolation_probe: true,
-            perfect_cleanup: false,
-        };
-        let t0 = Instant::now();
-        let report = run_campaign(os, &cfg);
-        eprintln!(
-            "  [{}] {} MuTs, {} cases, {} catastrophic, {:.1}s",
-            os.short_name(),
-            report.muts.len(),
-            report.total_cases,
-            report.catastrophic_muts().len(),
-            t0.elapsed().as_secs_f64()
-        );
-        reports.push(report);
-    }
+    let t0 = Instant::now();
+    let oses = OsVariant::ALL;
+    let (fan_out, per_campaign) = split_parallelism(oses.len());
+    let slots: Vec<Mutex<Option<CampaignReport>>> =
+        oses.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..fan_out)
+            .map(|_| {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&os) = oses.get(i) else { break };
+                    let cfg = CampaignConfig {
+                        cap,
+                        record_raw: OsVariant::DESKTOP_WINDOWS.contains(&os),
+                        isolation_probe: true,
+                        perfect_cleanup: false,
+                        parallelism: per_campaign,
+                    };
+                    let report = run_campaign(os, &cfg);
+                    let stats = report.stats.unwrap_or_default();
+                    eprintln!(
+                        "  [{}] {} MuTs, {} cases, {} catastrophic, {:.1}s ({:.0} cases/s, {} restores, {} boots, {} replayed)",
+                        os.short_name(),
+                        report.muts.len(),
+                        report.total_cases,
+                        report.catastrophic_muts().len(),
+                        stats.wall_ms / 1e3,
+                        stats.cases_per_sec,
+                        stats.restores,
+                        stats.boots,
+                        stats.replayed_cases,
+                    );
+                    *slots[i].lock().expect("report slot poisoned") = Some(report);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("campaign worker panicked");
+        }
+    })
+    .expect("campaign scope panicked");
+    let reports: Vec<CampaignReport> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("report slot poisoned")
+                .expect("every variant produced a report")
+        })
+        .collect();
+    let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total_cases: usize = reports.iter().map(|r| r.total_cases).sum();
+    let bench = CampaignBench {
+        total_wall_ms,
+        total_cases,
+        cases_per_sec: total_cases as f64 / (total_wall_ms / 1e3).max(1e-9),
+        variant_fan_out: fan_out,
+        per_campaign_parallelism: per_campaign,
+        variants: reports
+            .iter()
+            .map(|r| {
+                let s = r.stats.unwrap_or_default();
+                VariantBench {
+                    os: r.os.short_name().to_owned(),
+                    wall_ms: s.wall_ms,
+                    cases: r.total_cases,
+                    cases_per_sec: s.cases_per_sec,
+                    boots: s.boots,
+                    restores: s.restores,
+                    replayed_cases: s.replayed_cases,
+                }
+            })
+            .collect(),
+        calibration: calibrate_speedup(cap.min(100)),
+    };
+    eprintln!(
+        "  total: {} cases in {:.1}s; provisioning speedup vs legacy {:.1}x",
+        total_cases,
+        total_wall_ms / 1e3,
+        bench.calibration.speedup
+    );
+    write_artifact(
+        "BENCH_campaign.json",
+        &serde_json::to_string_pretty(&bench).expect("serializable"),
+    );
     MultiOsResults { reports }
 }
 

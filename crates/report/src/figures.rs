@@ -195,11 +195,13 @@ mod tests {
                     os: OsVariant::Win98,
                     muts: vec![tally("CloseHandle", &[S, S, A, S], 1, 3)],
                     total_cases: 4,
+                    stats: None,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
                     muts: vec![tally("CloseHandle", &[E, E, A, S], 1, 1)],
                     total_cases: 4,
+                    stats: None,
                 },
             ],
         }

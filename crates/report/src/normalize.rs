@@ -198,6 +198,7 @@ mod tests {
                 tally("d", G::IoPrimitives, 200, 20, false),
             ],
             total_cases: 500,
+            stats: None,
         }
     }
 

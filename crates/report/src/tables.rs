@@ -224,6 +224,7 @@ mod tests {
                         tally("CloseHandle", G::IoPrimitives, false, None),
                     ],
                     total_cases: 300,
+                    stats: None,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
@@ -233,6 +234,7 @@ mod tests {
                         tally("CloseHandle", G::IoPrimitives, false, None),
                     ],
                     total_cases: 300,
+                    stats: None,
                 },
             ],
         }

@@ -97,13 +97,13 @@ pub fn vote_silent(reports: &[&CampaignReport], target: OsVariant) -> Vec<VotedS
         }
         let mut voted = 0usize;
         for (i, &mine) in tm.raw_outcomes.iter().enumerate() {
-            if RawOutcome::from_byte(mine) != Some(RawOutcome::ReturnedSuccess) {
+            if ballista::crash::record_raw_outcome(mine) != Some(RawOutcome::ReturnedSuccess) {
                 continue;
             }
             // Someone else flagged this identical case.
             let flagged = peers.iter().any(|p| {
                 matches!(
-                    RawOutcome::from_byte(p.raw_outcomes[i]),
+                    ballista::crash::record_raw_outcome(p.raw_outcomes[i]),
                     Some(
                         RawOutcome::ReturnedError
                             | RawOutcome::TaskAbort
@@ -179,6 +179,7 @@ mod tests {
             os,
             total_cases: muts.iter().map(|m| m.cases).sum(),
             muts,
+            stats: None,
         }
     }
 

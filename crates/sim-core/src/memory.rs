@@ -111,6 +111,11 @@ struct Region {
     prot: Protection,
     state: RegionState,
     tag: String,
+    /// Materialized prefix of the region's contents; bytes at offsets
+    /// `>= bytes.len()` are logically zero. Fresh mappings start empty,
+    /// so a huge allocation (a wrapped `calloc`, a large `VirtualAlloc`)
+    /// costs host memory proportional to the bytes actually written —
+    /// which also keeps machine snapshots cheap to clone.
     bytes: Vec<u8>,
 }
 
@@ -121,6 +126,27 @@ impl Region {
 
     fn contains_range(&self, addr: u64, len: u64) -> bool {
         self.contains(addr) && len <= self.len - (addr - self.base)
+    }
+
+    /// Copies `[off, off + out.len())` into `out`, reading zeros past the
+    /// materialized prefix. Bounds must have been checked already.
+    fn read_into(&self, off: usize, out: &mut [u8]) {
+        out.fill(0);
+        let have = self.bytes.len().saturating_sub(off);
+        if have > 0 {
+            let n = have.min(out.len());
+            out[..n].copy_from_slice(&self.bytes[off..off + n]);
+        }
+    }
+
+    /// Returns the writable slice `[off, off + len)`, materializing the
+    /// prefix as needed. Bounds must have been checked already.
+    fn write_slice(&mut self, off: usize, len: usize) -> &mut [u8] {
+        let end = off + len;
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+        &mut self.bytes[off..end]
     }
 }
 
@@ -170,6 +196,7 @@ pub struct AddressSpace {
     next_user: u64,
     next_kernel: u64,
     strict_alignment: bool,
+    eager_zero: bool,
 }
 
 impl Default for AddressSpace {
@@ -187,6 +214,7 @@ impl AddressSpace {
             next_user: USER_ALLOC_BASE,
             next_kernel: KERNEL_BASE + GUARD_GAP,
             strict_alignment: false,
+            eager_zero: false,
         }
     }
 
@@ -204,6 +232,16 @@ impl AddressSpace {
     #[must_use]
     pub fn strict_alignment(&self) -> bool {
         self.strict_alignment
+    }
+
+    /// Switches region backing to eager zero-filled allocation — the
+    /// pre-sparse-storage behaviour, where mapping N bytes materialized
+    /// all N immediately. Observable behaviour is identical (fresh pages
+    /// read as zero either way); only the cost model changes. Kept as a
+    /// reference mode so the benchmark suite can measure what the lazy
+    /// prefix representation actually buys.
+    pub fn set_eager_zero(&mut self, eager: bool) {
+        self.eager_zero = eager;
     }
 
     /// Number of live (allocated) regions.
@@ -315,7 +353,11 @@ impl AddressSpace {
                 prot,
                 state: RegionState::Allocated,
                 tag: tag.to_owned(),
-                bytes: vec![0; len as usize],
+                bytes: if self.eager_zero {
+                    vec![0; len as usize]
+                } else {
+                    Vec::new()
+                },
             },
         );
     }
@@ -445,7 +487,9 @@ impl AddressSpace {
         self.check_access(ptr, len, 1, AccessKind::Read, privilege)?;
         let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
         let off = (ptr.addr() - r.base) as usize;
-        Ok(r.bytes[off..off + len as usize].to_vec())
+        let mut out = vec![0u8; len as usize];
+        r.read_into(off, &mut out);
+        Ok(out)
     }
 
     /// Writes `bytes` at `ptr` with full checking.
@@ -466,7 +510,7 @@ impl AddressSpace {
             .next_back()
             .expect("checked");
         let off = (ptr.addr() - r.base) as usize;
-        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        r.write_slice(off, bytes.len()).copy_from_slice(bytes);
         Ok(())
     }
 
@@ -482,7 +526,26 @@ impl AddressSpace {
         len: u64,
         privilege: PrivilegeLevel,
     ) -> Result<(), Fault> {
-        self.write_bytes_at(ptr, &vec![value; len as usize], privilege)
+        self.check_access(ptr, len, 1, AccessKind::Write, privilege)?;
+        let (_, r) = self
+            .regions
+            .range_mut(..=ptr.addr())
+            .next_back()
+            .expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        if value == 0 {
+            // Anything past the materialized prefix is already zero, so
+            // only the overlap needs clearing — a zero fill of a fresh
+            // region (calloc's hot path) is O(1).
+            let have = r.bytes.len().saturating_sub(off);
+            if have > 0 {
+                let n = have.min(len as usize);
+                r.bytes[off..off + n].fill(0);
+            }
+        } else {
+            r.write_slice(off, len as usize).fill(value);
+        }
+        Ok(())
     }
 
     fn read_scalar<const N: usize>(
@@ -494,7 +557,7 @@ impl AddressSpace {
         let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
         let off = (ptr.addr() - r.base) as usize;
         let mut out = [0u8; N];
-        out.copy_from_slice(&r.bytes[off..off + N]);
+        r.read_into(off, &mut out);
         Ok(out)
     }
 
@@ -511,7 +574,7 @@ impl AddressSpace {
             .next_back()
             .expect("checked");
         let off = (ptr.addr() - r.base) as usize;
-        r.bytes[off..off + N].copy_from_slice(&bytes);
+        r.write_slice(off, N).copy_from_slice(&bytes);
         Ok(())
     }
 }

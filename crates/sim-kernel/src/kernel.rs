@@ -57,6 +57,12 @@ pub struct Kernel {
     /// "interference-dependent" only fire above a threshold, reproducing
     /// the paper's `*` entries.
     pub residue: u32,
+    /// Set when a simulated API consulted [`Kernel::residue`] through
+    /// [`Kernel::probe_residue`] while deciding an outcome. The parallel
+    /// campaign engine uses this to know which cases may depend on
+    /// cross-case interference (and so must be replayed in session
+    /// order); everything else is provably order-independent.
+    pub residue_probed: bool,
     /// The process default heap (`GetProcessHeap` / `malloc` arena).
     pub default_heap: HeapId,
     /// Standard-stream handles (`GetStdHandle`).
@@ -103,6 +109,7 @@ impl Kernel {
             env: Environment::with_defaults(),
             crash: CrashLatch::new(),
             residue: 0,
+            residue_probed: false,
             default_heap,
             std_handles,
             scratch: std::collections::BTreeMap::new(),
@@ -153,6 +160,45 @@ impl Kernel {
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.crash.is_alive()
+    }
+
+    /// Reads the residue counter *and records that the outcome now
+    /// depends on it*. Simulated APIs must use this — never the field
+    /// directly — when residue feeds an outcome decision, so the
+    /// campaign engine can tell interference-sensitive cases apart.
+    pub fn probe_residue(&mut self) -> u32 {
+        self.residue_probed = true;
+        self.residue
+    }
+
+    /// Captures this machine as a reusable boot image.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot { image: self.clone() }
+    }
+}
+
+/// A captured machine image. Restoring is a structural clone — much
+/// cheaper than re-running the boot sequence — and, because booting is
+/// fully deterministic (no hashing, no time, no randomness anywhere in
+/// the machine state), `snapshot().restore()` of a freshly booted
+/// machine is indistinguishable from another fresh boot.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    image: Kernel,
+}
+
+impl MachineSnapshot {
+    /// A pre-booted snapshot for the given flavour.
+    #[must_use]
+    pub fn boot(flavor: MachineFlavor) -> Self {
+        Kernel::with_flavor(flavor).snapshot()
+    }
+
+    /// Materializes a fresh machine from the image.
+    #[must_use]
+    pub fn restore(&self) -> Kernel {
+        self.image.clone()
     }
 }
 
@@ -218,5 +264,54 @@ mod tests {
         let p = k.alloc_user(16, "scratch");
         k.space.write_u32(p, 5).unwrap();
         assert_eq!(k.space.read_u32(p).unwrap(), 5);
+    }
+
+    #[test]
+    fn probe_residue_sets_flag() {
+        let mut k = Kernel::new();
+        k.residue = 7;
+        assert!(!k.residue_probed);
+        assert_eq!(k.probe_residue(), 7);
+        assert!(k.residue_probed);
+    }
+
+    #[test]
+    fn snapshot_restore_matches_fresh_boot() {
+        for flavor in [
+            MachineFlavor::Posix,
+            MachineFlavor::Windows,
+            MachineFlavor::WindowsStrictAlign,
+        ] {
+            let snap = MachineSnapshot::boot(flavor);
+            let restored = snap.restore();
+            let booted = Kernel::with_flavor(flavor);
+            assert!(restored.is_alive());
+            assert_eq!(restored.residue, 0);
+            assert!(!restored.residue_probed);
+            assert_eq!(
+                restored.clock.tick_count_ms(),
+                booted.clock.tick_count_ms()
+            );
+            // The boot-time world is present and identical.
+            let probe = match flavor {
+                MachineFlavor::Posix => "/etc/motd",
+                _ => "C:\\WINDOWS\\README.TXT",
+            };
+            assert!(restored.fs.exists(probe));
+            assert_eq!(
+                restored.fs.stat(probe).unwrap().attrs,
+                booted.fs.stat(probe).unwrap().attrs
+            );
+            assert_eq!(restored.std_handles, booted.std_handles);
+        }
+    }
+
+    #[test]
+    fn restored_machines_are_independent() {
+        let snap = MachineSnapshot::boot(MachineFlavor::Posix);
+        let mut a = snap.restore();
+        a.fs.create_file("/tmp/only-in-a", vec![]).unwrap();
+        let b = snap.restore();
+        assert!(!b.fs.exists("/tmp/only-in-a"));
     }
 }

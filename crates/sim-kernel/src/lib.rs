@@ -47,7 +47,7 @@ pub mod sync;
 pub mod variant;
 
 pub use crash::{CrashInfo, CrashLatch};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, MachineFlavor, MachineSnapshot};
 pub use objects::{Handle, ObjectKind, ObjectTable};
 pub use outcome::{ApiAbort, ApiResult, ApiReturn};
 pub use variant::OsVariant;

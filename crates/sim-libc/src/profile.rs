@@ -126,6 +126,15 @@ impl LibcProfile {
         self.os == OsVariant::Win98 && residue >= RESIDUE_THRESHOLD
     }
 
+    /// [`Self::fwrite_can_crash_system`] against a live machine. The OS
+    /// check runs first so the residue probe fires only on the one
+    /// variant whose outcome can depend on it; everywhere else the case
+    /// remains provably order-independent for the parallel engine.
+    #[must_use]
+    pub fn fwrite_can_crash_system_on(&self, k: &mut sim_kernel::Kernel) -> bool {
+        self.os == OsVariant::Win98 && k.probe_residue() >= RESIDUE_THRESHOLD
+    }
+
     /// `strncpy` (and on CE the UNICODE `_tcsncpy`) could crash Windows 98
     /// and 98 SE under harness-accumulated state (Table 3 `*strncpy`). On
     /// CE the UNICODE twin crashes outright.
@@ -134,11 +143,26 @@ impl LibcProfile {
         matches!(self.os, OsVariant::Win98 | OsVariant::Win98Se) && residue >= RESIDUE_THRESHOLD
     }
 
+    /// [`Self::strncpy_can_crash_system`] with a residue probe gated on
+    /// the OS check (see [`Self::fwrite_can_crash_system_on`]).
+    #[must_use]
+    pub fn strncpy_can_crash_system_on(&self, k: &mut sim_kernel::Kernel) -> bool {
+        matches!(self.os, OsVariant::Win98 | OsVariant::Win98Se)
+            && k.probe_residue() >= RESIDUE_THRESHOLD
+    }
+
     /// CE's UNICODE `_tcsncpy` Catastrophic failure (Table 3: "(UNICODE)
     /// *_tcsncpy") — interference-dependent like its narrow sibling.
     #[must_use]
     pub fn tcsncpy_can_crash_system(&self, residue: u32) -> bool {
         self.os == OsVariant::WinCe && residue >= RESIDUE_THRESHOLD
+    }
+
+    /// [`Self::tcsncpy_can_crash_system`] with a residue probe gated on
+    /// the OS check (see [`Self::fwrite_can_crash_system_on`]).
+    #[must_use]
+    pub fn tcsncpy_can_crash_system_on(&self, k: &mut sim_kernel::Kernel) -> bool {
+        self.os == OsVariant::WinCe && k.probe_residue() >= RESIDUE_THRESHOLD
     }
 
     /// Windows CE does not implement the C time group at all (the paper

@@ -99,7 +99,7 @@ pub fn fwrite(
     match resolve_file(k, profile, stream, "fwrite", false)? {
         FileRef::SystemDead => Ok(ApiReturn::ok(0)),
         FileRef::Error(e) => {
-            if profile.fwrite_can_crash_system(k.residue) {
+            if profile.fwrite_can_crash_system_on(k) {
                 k.crash.panic(
                     "fwrite",
                     "Win98 CRT passed unvalidated stream into kernel write path",

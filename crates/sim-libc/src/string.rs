@@ -160,7 +160,7 @@ pub fn strncpy(
     for i in 0..n {
         let byte = src_bytes.get(i as usize).copied().unwrap_or(0);
         if let Err(fault) = k.space.write_u8(dst.offset(i), byte) {
-            if profile.strncpy_can_crash_system(k.residue) {
+            if profile.strncpy_can_crash_system_on(k) {
                 k.crash.panic(
                     "strncpy",
                     "runaway pad write corrupted system memory",

@@ -137,7 +137,7 @@ pub fn tcsncpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr, n
     for i in 0..n {
         let u = units.get(i as usize).copied().unwrap_or(0);
         if let Err(fault) = k.space.write_u16(dst.offset(i * 2), u) {
-            if profile.tcsncpy_can_crash_system(k.residue) {
+            if profile.tcsncpy_can_crash_system_on(k) {
                 k.crash.panic(
                     "_tcsncpy",
                     "runaway UNICODE pad write corrupted system memory",

@@ -59,7 +59,7 @@ pub fn DuplicateHandle(
     let dup = match k.objects.duplicate(src) {
         Ok(h) => h,
         Err(e) => {
-            if profile.vulnerability_fires("DuplicateHandle", k.residue) {
+            if profile.vulnerability_fires_on("DuplicateHandle", k) {
                 k.crash.panic(
                     "DuplicateHandle",
                     "kernel handle-table walk through garbage source handle",

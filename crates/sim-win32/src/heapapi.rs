@@ -60,7 +60,7 @@ pub fn HeapCreate(
     maximum_size: u64,
 ) -> ApiResult {
     k.charge_call();
-    if initial_size >= W95_HEAP_OVERFLOW && profile.vulnerability_fires("HeapCreate", k.residue) {
+    if initial_size >= W95_HEAP_OVERFLOW && profile.vulnerability_fires_on("HeapCreate", k) {
         k.crash.panic(
             "HeapCreate",
             "arena setup arithmetic overflow corrupted kernel memory",

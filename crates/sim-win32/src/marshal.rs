@@ -85,7 +85,7 @@ pub fn write_out(
     ptr: SimPtr,
     bytes: &[u8],
 ) -> Result<OutWrite, ApiAbort> {
-    if profile.vulnerability_fires(call, k.residue) {
+    if profile.vulnerability_fires_on(call, k) {
         return Ok(kernel_write(k, call, ptr, bytes));
     }
     match profile.default_out_policy(lazy_on_9x) {

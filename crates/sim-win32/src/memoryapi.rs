@@ -65,7 +65,7 @@ pub fn VirtualAlloc(
     }
     // Explicit placement. The CE kernel touches its page structures at the
     // caller's address before validating it.
-    if profile.vulnerability_fires("VirtualAlloc", k.residue)
+    if profile.vulnerability_fires_on("VirtualAlloc", k)
         && k.space.region_containing(address).is_none()
     {
         k.crash.panic(
@@ -274,7 +274,7 @@ pub fn ReadProcessMemory(
         Ok(d) => d,
         Err(_) => return Ok(ApiReturn::err(FALSE, errors::ERROR_NOACCESS)),
     };
-    if profile.vulnerability_fires("ReadProcessMemory", k.residue) {
+    if profile.vulnerability_fires_on("ReadProcessMemory", k) {
         let out = kernel_write(k, "ReadProcessMemory", buffer, &data);
         return Ok(finish_out(out, TRUE));
     }

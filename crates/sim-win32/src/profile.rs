@@ -149,6 +149,20 @@ impl Win32Profile {
         }
     }
 
+    /// [`Self::vulnerability_fires`] against a live machine, recording a
+    /// residue probe **only when the outcome can actually depend on it**
+    /// (an interference-dependent vulnerability exists for `call`).
+    /// Deterministic vulnerabilities and calls with no Table 3 entry
+    /// never consult residue, so cases exercising them stay provably
+    /// order-independent for the parallel campaign engine.
+    #[must_use]
+    pub fn vulnerability_fires_on(&self, call: &str, k: &mut sim_kernel::Kernel) -> bool {
+        match self.vulnerability(call) {
+            Some(v) => !v.interference_dependent || k.probe_residue() >= RESIDUE_THRESHOLD,
+            None => false,
+        }
+    }
+
     /// The ten Win32 system calls Windows 95 does not implement (the
     /// paper: "10 Win32 system calls were not supported by Windows 95").
     #[must_use]

@@ -357,7 +357,7 @@ fn msg_wait_impl(
         return Ok(ApiReturn::err(WAIT_FAILED, ERROR_INVALID_PARAMETER));
     }
     // The 9x/CE implementations hand the array pointer to kernel code.
-    let handles: Vec<Handle> = if profile.vulnerability_fires(call, k.residue) {
+    let handles: Vec<Handle> = if profile.vulnerability_fires_on(call, k) {
         if count > 0 {
             match kernel_read(k, call, handles_ptr, u64::from(count) * 4) {
                 Some(bytes) => bytes

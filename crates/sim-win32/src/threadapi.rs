@@ -107,7 +107,7 @@ pub fn CreateThread(
     }
     let h = k.objects.insert(ObjectKind::Thread(tid));
     if !thread_id_out.is_null() {
-        let out = if profile.vulnerability_fires("CreateThread", k.residue) {
+        let out = if profile.vulnerability_fires_on("CreateThread", k) {
             kernel_write(k, "CreateThread", thread_id_out, &tid.to_le_bytes())
         } else {
             write_out(
@@ -199,7 +199,7 @@ pub fn GetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, contex
         Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_process(e))),
     };
     let bytes = context_bytes(&ctx);
-    let out = if profile.vulnerability_fires("GetThreadContext", k.residue) {
+    let out = if profile.vulnerability_fires_on("GetThreadContext", k) {
         kernel_write(k, "GetThreadContext", context_out, &bytes)
     } else {
         write_out(k, profile, "GetThreadContext", false, context_out, &bytes)?
@@ -221,7 +221,7 @@ pub fn SetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, contex
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
     };
-    let bytes = if profile.vulnerability_fires("SetThreadContext", k.residue) {
+    let bytes = if profile.vulnerability_fires_on("SetThreadContext", k) {
         match crate::marshal::kernel_read(k, "SetThreadContext", context_in, ThreadContext::SIZE) {
             Some(b) => b,
             None => return Ok(ApiReturn::ok(TRUE)), // machine dead
@@ -337,7 +337,7 @@ fn interlocked(
     ret_new: bool,
 ) -> ApiResult {
     k.charge_call();
-    if profile.vulnerability_fires(call, k.residue) {
+    if profile.vulnerability_fires_on(call, k) {
         // CE kernel path: unprobed kernel-mode RMW.
         let old = match k.space.read_i32_priv(addend, PrivilegeLevel::Kernel) {
             Ok(v) => v,

@@ -145,7 +145,7 @@ pub fn FileTimeToSystemTime(
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     };
     let bytes = systemtime_bytes(&st);
-    let out = if profile.vulnerability_fires("FileTimeToSystemTime", k.residue) {
+    let out = if profile.vulnerability_fires_on("FileTimeToSystemTime", k) {
         kernel_write(k, "FileTimeToSystemTime", st_out, &bytes)
     } else {
         write_out(k, profile, "FileTimeToSystemTime", false, st_out, &bytes)?

@@ -17,6 +17,7 @@ fn main() {
         record_raw: false,
         isolation_probe: false,
         perfect_cleanup: false,
+        parallelism: 0,
     };
     eprintln!("running reduced campaigns (cap = {}) on all 7 OS targets …", cfg.cap);
     let reports = OsVariant::ALL

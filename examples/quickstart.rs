@@ -16,6 +16,7 @@ fn main() {
         record_raw: false,
         isolation_probe: true,
         perfect_cleanup: false,
+        parallelism: 0,
     };
 
     println!("Ballista quickstart: five calls, Windows 98 vs Windows NT 4.0 vs Linux\n");

@@ -13,6 +13,7 @@ fn cfg(cap: usize) -> CampaignConfig {
         record_raw: false,
         isolation_probe: true,
         perfect_cleanup: false,
+        parallelism: 1,
     }
 }
 

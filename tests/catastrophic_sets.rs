@@ -14,6 +14,7 @@ fn crashes_for(os: OsVariant) -> BTreeMap<String, bool> {
         record_raw: false,
         isolation_probe: true,
         perfect_cleanup: false,
+        parallelism: 1,
     };
     run_campaign(os, &cfg)
         .catastrophic_muts()

@@ -47,6 +47,7 @@ fn raw_outcome_streams_align_for_voting() {
         record_raw: true,
         isolation_probe: false,
         perfect_cleanup: false,
+        parallelism: 1,
     };
     let find = |os: OsVariant| {
         let muts = catalog::catalog_for(os);

@@ -30,6 +30,7 @@ fn results() -> &'static MultiOsResults {
                     record_raw: OsVariant::DESKTOP_WINDOWS.contains(&os),
                     isolation_probe: false,
                     perfect_cleanup: false,
+                    parallelism: 1,
                 };
                 run_campaign(os, &cfg)
             })

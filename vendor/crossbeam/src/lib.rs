@@ -1,0 +1,94 @@
+//! Offline stand-in for `crossbeam` exposing the `thread::scope` API
+//! the campaign engine uses, implemented on `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (crossbeam 0.8 signatures over `std::thread::scope`).
+pub mod thread {
+    /// Handle passed to the scope closure; spawns scoped threads.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// handle again (crossbeam convention) so it can spawn nested
+        /// threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&this)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads.
+    ///
+    /// Unlike `std::thread::scope`, panics in spawned threads are
+    /// captured and returned as `Err` rather than propagated
+    /// (crossbeam 0.8 behaviour). Only the first panic is reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of the first panicking thread.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope, 'r> FnOnce(&'r Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_runs_threads_and_joins() {
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        let result = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| s.spawn(move |_| total_ref.fetch_add(i, Ordering::SeqCst)))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            "done"
+        });
+        assert_eq!(result.unwrap(), "done");
+        assert_eq!(total.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn panics_become_err() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom")).join().unwrap_or(0u32)
+        });
+        // The inner join swallowed the panic; the scope result is Ok.
+        assert_eq!(result.unwrap(), 0);
+    }
+}

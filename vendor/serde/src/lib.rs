@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde`, API-compatible with this workspace's
+//! usage: `#[derive(Serialize, Deserialize)]` plus the two field
+//! attributes `#[serde(default)]` and `#[serde(skip_serializing_if =
+//! "path")]`.
+//!
+//! Instead of real serde's visitor-based data model, values round-trip
+//! through an owned [`Content`] tree which `serde_json` renders and
+//! parses. Field order is declaration order, so serialization is
+//! byte-deterministic — a property the campaign determinism tests rely
+//! on.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing value tree (the serde data model collapsed
+/// to what JSON can express).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `Option::None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in map entries (helper for derived impls).
+#[must_use]
+pub fn content_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An error carrying `msg`.
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// The content-tree form of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or reports what was malformed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the content shape does not match `Self`.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let wide = match c {
+                    Content::I64(n) => i128::from(*n),
+                    Content::U64(n) => i128::from(*n),
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        u64::from_content(c)
+            .and_then(|n| usize::try_from(n).map_err(|_| Error::custom("usize out of range")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        (*self as i64).to_content()
+    }
+}
+impl Deserialize for isize {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        i64::from_content(c)
+            .and_then(|n| isize::try_from(n).map_err(|_| Error::custom("isize out of range")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if self.is_finite() { Content::F64(f64::from(*self)) } else { Content::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::F64(x) => Ok(*x as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::custom("expected number")),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        // Real serde handles `&str` fields by borrowing from the input;
+        // this owned-tree stand-in leaks instead. Acceptable: the only
+        // such field is a diagnostic label and is never deserialized in
+        // bulk.
+        c.as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v = Vec::<T>::from_content(c)?;
+        <[T; N]>::try_from(v).map_err(|v| Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident / $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$i.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::custom("expected tuple array"))?;
+                Ok(($($t::from_content(
+                    s.get($i).ok_or_else(|| Error::custom("tuple too short"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// Map keys must render as JSON object keys.
+pub trait MapKey: Sized {
+    /// The key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the string is not a valid key of this type.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_numeric_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!("bad numeric key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_numeric_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i32::from_content(&(-7i32).to_content()), Ok(-7));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_content(&v.to_content()), Ok(v));
+        assert_eq!(Option::<u8>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn map_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        let c = m.to_content();
+        assert_eq!(BTreeMap::<String, u32>::from_content(&c), Ok(m));
+    }
+}

@@ -1,0 +1,424 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote in the
+//! container). Supports exactly the shapes this workspace serializes:
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants), plus the field attributes `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Anything else fails loudly
+//! at expansion time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+/// One parsed enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, count_tuple_fields(g.stream()))
+            }
+            _ => Item::UnitStruct(name),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    }
+}
+
+/// Skips `#[...]` runs, returning the `#[serde(...)]` payloads seen.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut skip_if = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else { panic!("malformed attribute") };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let TokenTree::Group(args) = &inner[1] else { panic!("malformed #[serde] attribute") };
+            parse_serde_args(args.stream(), &mut default, &mut skip_if);
+        }
+        *i += 1;
+    }
+    (default, skip_if)
+}
+
+fn parse_serde_args(args: TokenStream, default: &mut bool, skip_if: &mut Option<String>) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        let TokenTree::Ident(key) = &toks[j] else { panic!("unsupported #[serde] syntax") };
+        match key.to_string().as_str() {
+            "default" => {
+                *default = true;
+                j += 1;
+            }
+            "skip_serializing_if" => {
+                // skip_serializing_if = "Path::to::predicate"
+                let TokenTree::Literal(lit) = &toks[j + 2] else {
+                    panic!("skip_serializing_if expects a string literal")
+                };
+                *skip_if = Some(lit.to_string().trim_matches('"').to_owned());
+                j += 3;
+            }
+            other => panic!("unsupported #[serde({other} ...)] attribute in offline stand-in"),
+        }
+        if matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    let _ = take_attributes(tokens, i);
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    let TokenTree::Ident(id) = &tokens[*i] else { panic!("expected identifier") };
+    *i += 1;
+    id.to_string()
+}
+
+/// Skips one type, honoring `<...>` nesting; stops before a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (default, skip_serializing_if) = take_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field { name, default, skip_serializing_if });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Variant::Tuple(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(name, parse_named_fields(g.stream()))
+            }
+            _ => Variant::Unit(name),
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit enum discriminants are not supported by the serde stand-in");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let mut entries: Vec<(String, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                );
+                match &f.skip_serializing_if {
+                    Some(pred) => body.push_str(&format!(
+                        "if !({pred}(&self.{n})) {{ {push} }}\n",
+                        n = f.name
+                    )),
+                    None => body.push_str(&push),
+                }
+            }
+            body.push_str("::serde::Content::Map(entries)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct(name, 1) => {
+            impl_serialize(name, "::serde::Serialize::to_content(&self.0)")
+        }
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Content::Seq(vec![{}])", elems.join(", ")))
+        }
+        Item::UnitStruct(name) => impl_serialize(name, "::serde::Content::Null"),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Content::Seq(vec![{e}]))]),\n",
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Content::Map(vec![{e}]))]),\n",
+                            b = binds.join(", "),
+                            e = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_constructor(path: &str, fields: &[Field], entries_expr: &str) -> String {
+    let mut setters = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::Error::custom(\"missing field `{}` in {}\"))",
+                f.name, path
+            )
+        };
+        setters.push_str(&format!(
+            "{n}: match ::serde::content_get({entries_expr}, \"{n}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+             None => {missing},\n}},\n",
+            n = f.name
+        ));
+    }
+    format!("{path} {{\n{setters}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let ctor = named_fields_constructor(name, fields, "entries");
+            impl_deserialize(
+                name,
+                &format!(
+                    "let entries = c.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for {name}\"))?;\nOk({ctor})"
+                ),
+            )
+        }
+        Item::TupleStruct(name, 1) => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| \
+                         ::serde::Error::custom(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let s = c.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct(name) => impl_deserialize(name, &format!("Ok({name})")),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(v)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| \
+                                     ::serde::Error::custom(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet s = v.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let ctor =
+                            named_fields_constructor(&format!("{name}::{vn}"), fields, "entries");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet entries = v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {name}::{vn}\"))?;\n\
+                             Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            impl_deserialize(
+                name,
+                &format!(
+                    "match c {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                     other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n}},\n\
+                     ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                     let (k, v) = &m[0];\nlet _ = v;\n\
+                     match k.as_str() {{\n{data_arms}\
+                     other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n}}\n}},\n\
+                     _ => Err(::serde::Error::custom(\"malformed {name} value\")),\n}}"
+                ),
+            )
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
