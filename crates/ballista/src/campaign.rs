@@ -28,15 +28,24 @@
 use crate::catalog;
 use crate::crash::{self, classify, FailureClass, RawOutcome};
 use crate::datatype::TypeRegistry;
-use crate::exec::{self, execute_case, reproduce_in_isolation, CaseResult, Session};
+use crate::exec::{
+    self, execute_case_budgeted, reproduce_in_isolation, CaseResult, Session, DEFAULT_FUEL_BUDGET,
+};
+use crate::journal::{CaseRecord, Journal, PlanHasher, Recovery};
 use crate::muts::Mut;
 use crate::sampling::{self, CaseSet, PAPER_CAP};
 use crate::value::TestValue;
 use serde::{Deserialize, Serialize};
 use sim_kernel::variant::OsVariant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// How many times a contained worker panic earns the MuT a rerun on
+/// rebuilt templates before the MuT is quarantined.
+const MAX_MUT_RETRIES: u32 = 1;
 
 /// Campaign knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +69,13 @@ pub struct CampaignConfig {
     /// parallelism. Tallies are bit-identical at every setting.
     #[serde(default)]
     pub parallelism: usize,
+    /// Per-case watchdog fuel budget in simulated work units. `0` (the
+    /// default, and what deserializing old configs yields) resolves to
+    /// [`DEFAULT_FUEL_BUDGET`]; [`u64::MAX`] is effectively unlimited.
+    /// Fuel is simulated work — never wall clock — so the budget yields
+    /// identical outcomes on every host and at every parallelism.
+    #[serde(default)]
+    pub fuel_budget: u64,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +86,7 @@ impl Default for CampaignConfig {
             isolation_probe: true,
             perfect_cleanup: false,
             parallelism: 0,
+            fuel_budget: 0,
         }
     }
 }
@@ -81,6 +98,16 @@ impl CampaignConfig {
     pub fn workers(&self) -> usize {
         match self.parallelism {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+
+    /// The effective per-case fuel budget: `fuel_budget`, with `0`
+    /// resolving to [`DEFAULT_FUEL_BUDGET`].
+    #[must_use]
+    pub fn effective_fuel_budget(&self) -> u64 {
+        match self.fuel_budget {
+            0 => DEFAULT_FUEL_BUDGET,
             n => n,
         }
     }
@@ -219,6 +246,21 @@ pub struct CampaignReport {
     /// parallel engine; never part of the tally bit-identity contract).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<CampaignStats>,
+    /// Human-readable notes about degraded or resumed execution:
+    /// quarantined MuTs, contained worker panics, template invalidations,
+    /// journal recovery details. Empty for a clean, uninterrupted run
+    /// (and never part of the tally bit-identity contract).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<String>,
+    /// `true` when part of the campaign could not be executed (a MuT was
+    /// quarantined after repeated harness faults), so the tallies are
+    /// partial. Downstream tables must flag such data.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degraded: bool,
+}
+
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl CampaignReport {
@@ -339,7 +381,14 @@ pub fn run_mut_campaign_with(
         if cfg.perfect_cleanup {
             session.residue = 0;
         }
-        let result = execute_case(os, mut_, &prep.pools, combo, session);
+        let result = execute_case_budgeted(
+            os,
+            mut_,
+            &prep.pools,
+            combo,
+            session,
+            cfg.effective_fuel_budget(),
+        );
         if apply_case(&mut tally, cfg, &result) {
             if cfg.isolation_probe {
                 tally.crash_reproducible_in_isolation =
@@ -353,30 +402,85 @@ pub fn run_mut_campaign_with(
     tally
 }
 
+/// Runs one MuT's full plan at residue zero and packs one record byte per
+/// case. Execution stops early at an unprobed `SystemCrash` — the replay
+/// pass provably never advances past it.
+fn run_clean_mut(os: OsVariant, prep: &PreparedMut<'_>, fuel_budget: u64) -> Vec<u8> {
+    exec::fault::maybe_panic(prep.mut_.name);
+    let mut records = Vec::with_capacity(prep.plan.cases.len());
+    let mut clean = Session::new();
+    for combo in &prep.plan.cases {
+        clean.residue = 0;
+        let r = execute_case_budgeted(os, prep.mut_, &prep.pools, combo, &mut clean, fuel_budget);
+        records.push(crash::pack_case(r.raw, r.any_exceptional, r.residue_probed));
+        if r.raw == RawOutcome::SystemCrash && !r.residue_probed {
+            break;
+        }
+    }
+    records
+}
+
+/// One MuT's clean-pass outcome: its packed records, or `None` when the
+/// MuT was quarantined after repeated contained harness faults.
+type CleanRecords = Option<Vec<u8>>;
+
 /// Phase 1: worker threads shard the catalog (atomic work counter, MuT
-/// granularity) and run every planned case at residue zero, packing one
-/// record byte per case. Execution stops early at an unprobed
-/// `SystemCrash` — the replay pass provably never advances past it.
-fn clean_pass(os: OsVariant, preps: &[PreparedMut<'_>], workers: usize) -> Vec<Vec<u8>> {
-    let slots: Vec<Mutex<Vec<u8>>> = preps.iter().map(|_| Mutex::new(Vec::new())).collect();
+/// granularity). Each MuT runs under a `catch_unwind` fence at the worker
+/// loop: a panic that escapes the per-case fence (a harness bug, not a
+/// test outcome) invalidates the worker's boot templates and earns the
+/// MuT one rerun from scratch; a second fault quarantines the MuT instead
+/// of killing the worker — the campaign degrades, it does not die.
+fn clean_pass(
+    os: OsVariant,
+    preps: &[PreparedMut<'_>],
+    workers: usize,
+    fuel_budget: u64,
+    sink: &Arc<exec::stats::Counters>,
+) -> (Vec<CleanRecords>, Vec<String>) {
+    let slots: Vec<Mutex<CleanRecords>> = preps.iter().map(|_| Mutex::new(None)).collect();
+    let warnings: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(prep) = preps.get(i) else { break };
-                    let mut records = Vec::with_capacity(prep.plan.cases.len());
-                    let mut clean = Session::new();
-                    for combo in &prep.plan.cases {
-                        clean.residue = 0;
-                        let r = execute_case(os, prep.mut_, &prep.pools, combo, &mut clean);
-                        records.push(crash::pack_case(r.raw, r.any_exceptional, r.residue_probed));
-                        if r.raw == RawOutcome::SystemCrash && !r.residue_probed {
-                            break;
+                s.spawn(|_| {
+                    exec::stats::install_sink(Arc::clone(sink));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(prep) = preps.get(i) else { break };
+                        let mut attempts = 0u32;
+                        let records = loop {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                run_clean_mut(os, prep, fuel_budget)
+                            }));
+                            match run {
+                                Ok(records) => break Some(records),
+                                Err(_) => {
+                                    // The panic may have left this thread's
+                                    // templates in an arbitrary state; the
+                                    // retry starts from rebuilt ones.
+                                    exec::invalidate_templates();
+                                    attempts += 1;
+                                    if attempts > MAX_MUT_RETRIES {
+                                        break None;
+                                    }
+                                    warnings.lock().expect("warning log poisoned").push(
+                                        format!(
+                                            "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
+                                            prep.mut_.name
+                                        ),
+                                    );
+                                }
+                            }
+                        };
+                        if records.is_none() {
+                            warnings.lock().expect("warning log poisoned").push(format!(
+                                "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
+                                prep.mut_.name
+                            ));
                         }
+                        *slots[i].lock().expect("record slot poisoned") = records;
                     }
-                    *slots[i].lock().expect("record slot poisoned") = records;
                 })
             })
             .collect();
@@ -385,26 +489,33 @@ fn clean_pass(os: OsVariant, preps: &[PreparedMut<'_>], workers: usize) -> Vec<V
         }
     })
     .expect("clean-pass scope panicked");
-    slots
+    let records = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("record slot poisoned"))
-        .collect()
+        .collect();
+    (records, warnings.into_inner().expect("warning log poisoned"))
 }
 
 /// Phase 2: the true session walks the clean-pass records in catalog
 /// order, re-executing exactly the cases whose outcome could depend on
-/// accumulated residue. Returns the tallies plus the replay count.
+/// accumulated residue. A quarantined MuT (no records) contributes an
+/// empty tally and leaves the session untouched. Returns the tallies
+/// plus the replay count.
 fn replay_pass(
     os: OsVariant,
     cfg: &CampaignConfig,
     preps: &[PreparedMut<'_>],
-    records: &[Vec<u8>],
+    records: &[CleanRecords],
     session: &mut Session,
 ) -> (Vec<MutTally>, usize) {
     let mut replayed = 0usize;
     let mut tallies = Vec::with_capacity(preps.len());
     for (prep, recs) in preps.iter().zip(records) {
         let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
+        let Some(recs) = recs else {
+            tallies.push(tally);
+            continue;
+        };
         for (combo, &rec) in prep.plan.cases.iter().zip(recs) {
             if cfg.perfect_cleanup {
                 session.residue = 0;
@@ -413,7 +524,14 @@ fn replay_pass(
                 crash::unpack_case(rec).expect("clean pass wrote a valid record");
             let result = if residue_probed && session.residue != 0 {
                 replayed += 1;
-                execute_case(os, prep.mut_, &prep.pools, combo, session)
+                execute_case_budgeted(
+                    os,
+                    prep.mut_,
+                    &prep.pools,
+                    combo,
+                    session,
+                    cfg.effective_fuel_budget(),
+                )
             } else {
                 session.note(raw, any_exceptional);
                 CaseResult {
@@ -436,42 +554,103 @@ fn replay_pass(
     (tallies, replayed)
 }
 
+/// Sequential-path counterpart of the clean-pass quarantine: runs one
+/// MuT's campaign under a `catch_unwind` fence, retrying once on rebuilt
+/// templates from a pristine copy of the session, and quarantining the
+/// MuT (empty tally) when the retry faults too. Returns whether the MuT
+/// was quarantined.
+fn run_mut_quarantined(
+    os: OsVariant,
+    mut_: &Mut,
+    registry: &TypeRegistry,
+    cfg: &CampaignConfig,
+    session: &mut Session,
+    warnings: &mut Vec<String>,
+) -> (MutTally, bool) {
+    let mut attempts = 0u32;
+    loop {
+        // Each attempt works on a copy so a mid-MuT panic cannot leave a
+        // half-advanced session behind; the copy commits only on success.
+        let mut attempt_session = session.clone();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            exec::fault::maybe_panic(mut_.name);
+            run_mut_campaign_with(os, mut_, registry, cfg, &mut attempt_session)
+        }));
+        match run {
+            Ok(tally) => {
+                *session = attempt_session;
+                return (tally, false);
+            }
+            Err(_) => {
+                exec::invalidate_templates();
+                attempts += 1;
+                if attempts > MAX_MUT_RETRIES {
+                    warnings.push(format!(
+                        "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
+                        mut_.name
+                    ));
+                    let planned = prepare(registry, mut_, cfg).plan.cases.len();
+                    return (empty_tally(mut_, planned), true);
+                }
+                warnings.push(format!(
+                    "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
+                    mut_.name
+                ));
+            }
+        }
+    }
+}
+
 /// Runs the full campaign: every catalog MuT for `os`, in parallel when
 /// the config allows (see the module docs for why the tallies stay
-/// bit-identical to the sequential path).
+/// bit-identical to the sequential path). Harness faults are contained
+/// per MuT — a poisoned MuT degrades the report instead of killing the
+/// campaign.
 #[must_use]
 pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
     let t0 = Instant::now();
-    let (boots0, restores0, boot_ns0, restore_ns0) = exec::stats::snapshot();
+    // Keep the process-lifetime statics from accumulating across
+    // campaigns; the report itself is built from this campaign's private
+    // sink, which stays exact even when `run_all` fans variants out
+    // concurrently (the old snapshot-delta stats bled across variants).
+    exec::stats::reset();
+    let counters = Arc::new(exec::stats::Counters::default());
+    exec::stats::install_sink(Arc::clone(&counters));
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
     let workers = cfg.workers().min(muts.len().max(1));
     let mut session = Session::new();
+    let mut warnings = Vec::new();
+    let mut degraded = false;
     let (tallies, replayed) = if workers <= 1 {
-        let tallies = muts
-            .iter()
-            .map(|m| run_mut_campaign_with(os, m, &registry, cfg, &mut session))
-            .collect();
+        let mut tallies = Vec::with_capacity(muts.len());
+        for m in &muts {
+            let (tally, quarantined) =
+                run_mut_quarantined(os, m, &registry, cfg, &mut session, &mut warnings);
+            degraded |= quarantined;
+            tallies.push(tally);
+        }
         (tallies, 0)
     } else {
         let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
-        let records = clean_pass(os, &preps, workers);
+        let (records, mut clean_warnings) =
+            clean_pass(os, &preps, workers, cfg.effective_fuel_budget(), &counters);
+        warnings.append(&mut clean_warnings);
+        degraded = records.iter().any(Option::is_none);
         replay_pass(os, cfg, &preps, &records, &mut session)
     };
+    exec::stats::clear_sink();
     let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
     let wall = t0.elapsed().as_secs_f64();
-    let (boots1, restores1, boot_ns1, restore_ns1) = exec::stats::snapshot();
-    // Provisioning counters are process-wide; under concurrent campaigns
-    // (the experiments driver fans variants out) the deltas apportion
-    // approximately, which is fine for throughput reporting.
+    let (boots, restores, boot_ns, restore_ns) = counters.snapshot();
     let stats = CampaignStats {
         parallelism: workers,
         wall_ms: wall * 1e3,
         cases_per_sec: total_cases as f64 / wall.max(1e-9),
-        boots: boots1 - boots0,
-        restores: restores1 - restores0,
-        boot_ms: (boot_ns1 - boot_ns0) as f64 / 1e6,
-        restore_ms: (restore_ns1 - restore_ns0) as f64 / 1e6,
+        boots,
+        restores,
+        boot_ms: boot_ns as f64 / 1e6,
+        restore_ms: restore_ns as f64 / 1e6,
         replayed_cases: replayed,
     };
     CampaignReport {
@@ -479,7 +658,205 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         muts: tallies,
         total_cases,
         stats: Some(stats),
+        warnings,
+        degraded,
     }
+}
+
+/// Fingerprints everything that determines a journaled campaign's case
+/// sequence: the OS variant, every tally-relevant config knob, and the
+/// per-MuT plan (names + planned counts — the sampling seeds derive from
+/// the names, so they are folded in implicitly). Two campaigns share a
+/// journal only when this hash matches.
+fn plan_hash(os: OsVariant, cfg: &CampaignConfig, preps: &[PreparedMut<'_>]) -> u64 {
+    let mut h = PlanHasher::new();
+    h.write_str(os.short_name());
+    h.write_u64(cfg.cap as u64);
+    h.write_u64(u64::from(cfg.record_raw));
+    h.write_u64(u64::from(cfg.perfect_cleanup));
+    h.write_u64(cfg.effective_fuel_budget());
+    for prep in preps {
+        h.write_str(prep.mut_.name);
+        h.write_u64(prep.plan.cases.len() as u64);
+    }
+    h.finish()
+}
+
+/// Runs (or resumes) a **journaled** campaign: every executed case is
+/// appended to a write-ahead journal at `journal_path` before the next
+/// case runs, so a killed campaign can be resumed with `resume = true`
+/// and produce tallies **bit-identical** to an uninterrupted run.
+///
+/// Resumption replays the journal's packed records through the same
+/// session/tally fold the live path uses — recorded outcomes *are* the
+/// true sequential outcomes, so no case is re-executed except the
+/// deterministic isolation probes — then continues executing from the
+/// first unrecorded case. A journal written by a different plan
+/// (variant, cap, budget, or catalog), or any torn/corrupted suffix, is
+/// discarded rather than misapplied: execution restarts from the last
+/// trusted record, never double-counting a case.
+///
+/// The journaled path is sequential (`parallelism` is ignored): the
+/// journal's order *is* the sequential session order, which the parallel
+/// engine reproduces bit for bit anyway.
+///
+/// # Errors
+///
+/// Propagates journal I/O failures (the campaign cannot guarantee
+/// resumability without its journal).
+pub fn run_campaign_journaled(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    journal_path: &Path,
+    resume: bool,
+) -> std::io::Result<CampaignReport> {
+    let t0 = Instant::now();
+    exec::stats::reset();
+    let counters = Arc::new(exec::stats::Counters::default());
+    exec::stats::install_sink(Arc::clone(&counters));
+    let registry = catalog::registry_for(os);
+    let muts = catalog::catalog_for(os);
+    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+    let hash = plan_hash(os, cfg, &preps);
+    let mut warnings = Vec::new();
+    let (mut journal, recovered) = if resume {
+        let (journal, recovery) = Journal::open_resume(journal_path, hash)?;
+        let Recovery {
+            records,
+            truncated_bytes,
+            fresh,
+        } = recovery;
+        if fresh {
+            warnings.push(
+                "resume requested but no usable journal was found (missing, foreign plan, or unreadable header); running from scratch".to_owned(),
+            );
+        } else {
+            if truncated_bytes > 0 {
+                warnings.push(format!(
+                    "journal recovery dropped {truncated_bytes} torn trailing byte(s); resuming from the last valid record"
+                ));
+            }
+            warnings.push(format!(
+                "resumed from journal: {} case(s) replayed instead of re-executed",
+                records.len()
+            ));
+        }
+        (journal, records)
+    } else {
+        (Journal::create(journal_path, hash)?, Vec::new())
+    };
+
+    let fuel_budget = cfg.effective_fuel_budget();
+    let mut session = Session::new();
+    let mut tallies = Vec::with_capacity(preps.len());
+    // Index into `recovered`; records before it have been accepted and
+    // folded into the session. The first record that disagrees with the
+    // expected plan position ends replay: the journal is truncated back
+    // to the accepted prefix and execution takes over.
+    let mut ri = 0usize;
+    let mut replay_live = !recovered.is_empty();
+    for (m_idx, prep) in preps.iter().enumerate() {
+        let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
+        for (c_idx, combo) in prep.plan.cases.iter().enumerate() {
+            if cfg.perfect_cleanup {
+                session.residue = 0;
+            }
+            let mut replayed_result = None;
+            if replay_live {
+                match recovered.get(ri) {
+                    Some(rec)
+                        if rec.mut_idx as usize == m_idx && rec.case_idx as usize == c_idx =>
+                    {
+                        if let Some((raw, any_exceptional, residue_probed)) =
+                            crash::unpack_case(rec.packed)
+                        {
+                            ri += 1;
+                            session.note(raw, any_exceptional);
+                            replayed_result = Some(CaseResult {
+                                raw,
+                                class: classify(raw, any_exceptional),
+                                any_exceptional,
+                                residue_probed,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                if replayed_result.is_none() {
+                    // Out-of-order or undecodable record: everything from
+                    // here on is untrustworthy. Drop it and re-execute.
+                    replay_live = false;
+                    if ri < recovered.len() {
+                        warnings.push(format!(
+                            "journal diverged from the plan at record {ri}; discarding {} unusable record(s) and re-executing from there",
+                            recovered.len() - ri
+                        ));
+                    }
+                    journal.truncate_to(ri as u64)?;
+                }
+            }
+            let result = match replayed_result {
+                Some(r) => r,
+                None => {
+                    let r = execute_case_budgeted(
+                        os,
+                        prep.mut_,
+                        &prep.pools,
+                        combo,
+                        &mut session,
+                        fuel_budget,
+                    );
+                    journal.append(CaseRecord {
+                        mut_idx: m_idx as u32,
+                        case_idx: c_idx as u32,
+                        packed: crash::pack_case(r.raw, r.any_exceptional, r.residue_probed),
+                    })?;
+                    r
+                }
+            };
+            if apply_case(&mut tally, cfg, &result) {
+                if cfg.isolation_probe {
+                    tally.crash_reproducible_in_isolation =
+                        Some(reproduce_in_isolation(os, prep.mut_, &prep.pools, combo));
+                }
+                break;
+            }
+        }
+        tallies.push(tally);
+    }
+    // Accepted replay records that point past the end of the plan (the
+    // plan completed but the journal claims more) are impossible under a
+    // matching hash; drop any leftovers defensively.
+    if ri < recovered.len() {
+        warnings.push(format!(
+            "journal held {} record(s) beyond the completed plan; discarded",
+            recovered.len() - ri
+        ));
+        journal.truncate_to(ri as u64)?;
+    }
+    journal.sync()?;
+    exec::stats::clear_sink();
+    let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
+    let wall = t0.elapsed().as_secs_f64();
+    let (boots, restores, boot_ns, restore_ns) = counters.snapshot();
+    let stats = CampaignStats {
+        parallelism: 1,
+        wall_ms: wall * 1e3,
+        cases_per_sec: total_cases as f64 / wall.max(1e-9),
+        boots,
+        restores,
+        boot_ms: boot_ns as f64 / 1e6,
+        restore_ms: restore_ns as f64 / 1e6,
+        replayed_cases: ri,
+    };
+    Ok(CampaignReport {
+        os,
+        muts: tallies,
+        total_cases,
+        stats: Some(stats),
+        warnings,
+        degraded: false,
+    })
 }
 
 #[cfg(test)]
@@ -493,6 +870,7 @@ mod tests {
             isolation_probe: true,
             perfect_cleanup: false,
             parallelism: 1,
+            fuel_budget: 0,
         }
     }
 
@@ -545,6 +923,7 @@ mod tests {
             isolation_probe: false,
             perfect_cleanup: false,
             parallelism: 1,
+            fuel_budget: 0,
         };
         // Tiny campaign over a real catalog subset: use Linux and just
         // verify plumbing end-to-end on a handful of MuTs.
@@ -563,6 +942,8 @@ mod tests {
             total_cases: tallies.iter().map(|t| t.cases).sum(),
             muts: tallies,
             stats: None,
+            warnings: Vec::new(),
+            degraded: false,
         };
         assert!(report.total_cases > 0);
         assert!(report.catastrophic_muts().is_empty());
@@ -586,6 +967,7 @@ mod tests {
                     isolation_probe: true,
                     perfect_cleanup: false,
                     parallelism: 1,
+                    fuel_budget: 0,
                 },
             );
             let parallel = run_campaign(
@@ -596,6 +978,7 @@ mod tests {
                     isolation_probe: true,
                     perfect_cleanup: false,
                     parallelism: 8,
+                    fuel_budget: 0,
                 },
             );
             assert_eq!(
@@ -639,10 +1022,133 @@ mod tests {
         assert_eq!(
             CampaignConfig {
                 parallelism: 3,
+                fuel_budget: 0,
                 ..CampaignConfig::default()
             }
             .workers(),
             3
         );
+        // Same scheme for the fuel budget: absent key → 0 → default.
+        assert_eq!(cfg.fuel_budget, 0);
+        assert_eq!(cfg.effective_fuel_budget(), DEFAULT_FUEL_BUDGET);
+        assert_eq!(
+            CampaignConfig {
+                fuel_budget: 77,
+                ..CampaignConfig::default()
+            }
+            .effective_fuel_budget(),
+            77
+        );
+    }
+
+    /// Satellite: the watchdog's hang conversion surfaces as `Restart`
+    /// in a real campaign tally. `SleepEx` plans five `msec` cases on a
+    /// desktop variant: `INFINITE` hangs outright and `0xFFFF_FFFE`
+    /// exhausts the fuel budget — both must land in the Restart column,
+    /// and the three benign durations must pass.
+    #[test]
+    fn sleep_ex_watchdog_restarts_tallied() {
+        for os in [OsVariant::WinNt4, OsVariant::Win95] {
+            let muts = catalog::catalog_for(os);
+            let sleep_ex = muts
+                .iter()
+                .find(|m| m.name == "SleepEx")
+                .expect("SleepEx in desktop catalog");
+            let tally = run_mut_campaign(os, sleep_ex, &quick_cfg());
+            assert_eq!(tally.planned, 5, "{os}: msec pool has five values");
+            assert_eq!(tally.cases, 5, "{os}: no case may stall or crash");
+            assert_eq!(
+                tally.restarts, 2,
+                "{os}: INFINITE hang + fuel-exhausted 0xFFFFFFFE"
+            );
+            assert_eq!(tally.passes, 3, "{os}: the benign durations pass");
+            assert!(!tally.catastrophic);
+        }
+        assert!(
+            !catalog::catalog_for(OsVariant::WinCe)
+                .iter()
+                .any(|m| m.name == "SleepEx"),
+            "SleepEx is not in the CE subset"
+        );
+    }
+
+    /// A fresh journaled run must equal the plain sequential campaign,
+    /// and resuming a *completed* journal must replay every case (zero
+    /// re-executions) to the identical report.
+    #[test]
+    fn journaled_run_matches_plain_and_resumes_complete() {
+        let os = OsVariant::Win98;
+        let cfg = CampaignConfig {
+            cap: 30,
+            record_raw: true,
+            isolation_probe: true,
+            perfect_cleanup: false,
+            parallelism: 1,
+            fuel_budget: 0,
+        };
+        let dir = std::env::temp_dir().join("ballista-campaign-journal-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("w98.jrn");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = run_campaign(os, &cfg);
+        let fresh = run_campaign_journaled(os, &cfg, &path, false).expect("journaled run");
+        assert_eq!(
+            serde_json::to_string(&plain.muts).unwrap(),
+            serde_json::to_string(&fresh.muts).unwrap(),
+            "fresh journaled run diverged from the plain campaign"
+        );
+        assert!(fresh.warnings.is_empty(), "{:?}", fresh.warnings);
+
+        let resumed = run_campaign_journaled(os, &cfg, &path, true).expect("resumed run");
+        assert_eq!(
+            serde_json::to_string(&plain.muts).unwrap(),
+            serde_json::to_string(&resumed.muts).unwrap(),
+            "resume over a complete journal diverged"
+        );
+        let stats = resumed.stats.expect("stats");
+        assert_eq!(
+            stats.replayed_cases, resumed.total_cases,
+            "a complete journal replays everything"
+        );
+        assert!(
+            resumed.warnings.iter().any(|w| w.contains("resumed from journal")),
+            "{:?}",
+            resumed.warnings
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A journal written under one plan (different cap) must not be
+    /// replayed into another: the plan-hash check forces a fresh start
+    /// with an explicit warning.
+    #[test]
+    fn journal_plan_mismatch_restarts_fresh() {
+        let os = OsVariant::Linux;
+        let dir = std::env::temp_dir().join("ballista-campaign-journal-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("mismatch.jrn");
+        let _ = std::fs::remove_file(&path);
+        let small = CampaignConfig {
+            cap: 10,
+            ..quick_cfg()
+        };
+        let big = CampaignConfig {
+            cap: 20,
+            ..quick_cfg()
+        };
+        run_campaign_journaled(os, &small, &path, false).expect("seed journal");
+        let resumed = run_campaign_journaled(os, &big, &path, true).expect("mismatched resume");
+        assert!(
+            resumed.warnings.iter().any(|w| w.contains("no usable journal")),
+            "{:?}",
+            resumed.warnings
+        );
+        assert_eq!(
+            serde_json::to_string(&resumed.muts).unwrap(),
+            serde_json::to_string(&run_campaign(os, &big).muts).unwrap(),
+            "fresh restart after mismatch diverged"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -458,6 +458,9 @@ pub fn win32_calls(os: OsVariant) -> Vec<Mut> {
     m!(v, "Sleep", G::ProcessPrimitives, ["msec"], |k, os, a| {
         threadapi::Sleep(k, prof(os), uint(a[0]))
     });
+    m!(v, "SleepEx", G::ProcessPrimitives, ["msec"], |k, os, a| {
+        threadapi::SleepEx(k, prof(os), uint(a[0]), 0)
+    });
     m!(v, "CreateEvent", G::ProcessPrimitives, ["buffer", "flags", "flags", "cstring"], |k, os, a| {
         syncapi::CreateEvent(k, prof(os), ptr(a[0]), uint(a[1]), uint(a[2]), ptr(a[3]))
     });

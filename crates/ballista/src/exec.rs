@@ -31,7 +31,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// The campaign engine reads these to report how much wall-clock the
 /// snapshot-cloning fast path saved versus full boots.
 pub mod stats {
+    use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     /// Machines created by running the full boot sequence.
     pub static BOOTS: AtomicU64 = AtomicU64::new(0);
@@ -41,6 +43,77 @@ pub mod stats {
     pub static BOOT_NANOS: AtomicU64 = AtomicU64::new(0);
     /// Nanoseconds spent restoring templates.
     pub static RESTORE_NANOS: AtomicU64 = AtomicU64::new(0);
+    /// Cached boot templates dropped because a restore produced a
+    /// corrupted (already-dead) machine.
+    pub static TEMPLATE_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// A private provisioning-counter set one campaign can install on its
+    /// worker threads (via [`install_sink`]) to get **exact** per-campaign
+    /// numbers. The process-wide statics above keep accumulating across
+    /// campaigns; the sink does not — which is what fixed the
+    /// results-JSON stats that used to inflate variant by variant when
+    /// `run_all` fanned campaigns out concurrently.
+    #[derive(Debug, Default)]
+    pub struct Counters {
+        /// Machines created by a full boot while this sink was installed.
+        pub boots: AtomicU64,
+        /// Machines created by a template clone while installed.
+        pub restores: AtomicU64,
+        /// Nanoseconds spent booting while installed.
+        pub boot_nanos: AtomicU64,
+        /// Nanoseconds spent restoring while installed.
+        pub restore_nanos: AtomicU64,
+    }
+
+    impl Counters {
+        /// `(boots, restores, boot_nanos, restore_nanos)` recorded so far.
+        #[must_use]
+        pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+            (
+                self.boots.load(Ordering::Relaxed),
+                self.restores.load(Ordering::Relaxed),
+                self.boot_nanos.load(Ordering::Relaxed),
+                self.restore_nanos.load(Ordering::Relaxed),
+            )
+        }
+    }
+
+    thread_local! {
+        static SINK: RefCell<Option<Arc<Counters>>> = const { RefCell::new(None) };
+    }
+
+    /// Routes this thread's provisioning events into `counters` (in
+    /// addition to the process-wide statics) until [`clear_sink`].
+    pub fn install_sink(counters: Arc<Counters>) {
+        SINK.with(|s| *s.borrow_mut() = Some(counters));
+    }
+
+    /// Stops routing this thread's provisioning events into a sink.
+    pub fn clear_sink() {
+        SINK.with(|s| *s.borrow_mut() = None);
+    }
+
+    pub(super) fn record_boot(nanos: u64) {
+        BOOTS.fetch_add(1, Ordering::Relaxed);
+        BOOT_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        SINK.with(|s| {
+            if let Some(c) = s.borrow().as_deref() {
+                c.boots.fetch_add(1, Ordering::Relaxed);
+                c.boot_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+        });
+    }
+
+    pub(super) fn record_restore(nanos: u64) {
+        RESTORES.fetch_add(1, Ordering::Relaxed);
+        RESTORE_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        SINK.with(|s| {
+            if let Some(c) = s.borrow().as_deref() {
+                c.restores.fetch_add(1, Ordering::Relaxed);
+                c.restore_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+        });
+    }
 
     /// (boots, restores, boot_nanos, restore_nanos) since the last reset.
     #[must_use]
@@ -51,6 +124,61 @@ pub mod stats {
             BOOT_NANOS.load(Ordering::Relaxed),
             RESTORE_NANOS.load(Ordering::Relaxed),
         )
+    }
+
+    /// Zeroes the process-wide counters. Campaigns report from their own
+    /// [`Counters`] sink (exact even under concurrent campaigns); the
+    /// reset just keeps the process-lifetime statics from growing into
+    /// meaningless cross-campaign aggregates.
+    pub fn reset() {
+        BOOTS.store(0, Ordering::Relaxed);
+        RESTORES.store(0, Ordering::Relaxed);
+        BOOT_NANOS.store(0, Ordering::Relaxed);
+        RESTORE_NANOS.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Harness-level fault injection, used by the robustness tests to prove
+/// the campaign engine contains its *own* failures (worker panics) the
+/// way the paper's harness contained test-task failures. Disarmed (the
+/// default) it costs one mutex lock per MuT.
+pub mod fault {
+    use std::sync::Mutex;
+
+    static WORKER_PANIC: Mutex<Option<(String, u32)>> = Mutex::new(None);
+
+    /// Arms an injected panic: the next `times` campaign-worker visits to
+    /// `mut_name` panic *outside* the per-case exception fence, as a bug
+    /// in the harness itself would.
+    pub fn arm_worker_panic(mut_name: &str, times: u32) {
+        *WORKER_PANIC.lock().expect("fault latch poisoned") =
+            Some((mut_name.to_owned(), times));
+    }
+
+    /// Disarms any pending injected fault.
+    pub fn disarm() {
+        *WORKER_PANIC.lock().expect("fault latch poisoned") = None;
+    }
+
+    /// Campaign workers call this per MuT; panics while armed for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, when an armed injection matches `name`.
+    pub fn maybe_panic(name: &str) {
+        let mut latch = WORKER_PANIC.lock().expect("fault latch poisoned");
+        let fired = match latch.as_mut() {
+            Some((armed, times)) if armed == name && *times > 0 => {
+                *times -= 1;
+                *times == 0
+            }
+            _ => return,
+        };
+        if fired {
+            *latch = None;
+        }
+        drop(latch);
+        panic!("injected harness fault while testing {name}");
     }
 }
 
@@ -81,26 +209,39 @@ pub fn fresh_machine(flavor: MachineFlavor) -> Kernel {
         let start = std::time::Instant::now();
         let mut kernel = Kernel::with_flavor(flavor);
         kernel.space.set_eager_zero(true);
-        stats::BOOTS.fetch_add(1, Ordering::Relaxed);
-        stats::BOOT_NANOS.fetch_add(elapsed_ns(start), Ordering::Relaxed);
+        stats::record_boot(elapsed_ns(start));
         return kernel;
     }
     TEMPLATES.with(|cache| {
         let mut cache = cache.borrow_mut();
         let start = std::time::Instant::now();
-        if let Some((_, snap)) = cache.iter().find(|(f, _)| *f == flavor) {
-            let kernel = snap.restore();
-            stats::RESTORES.fetch_add(1, Ordering::Relaxed);
-            stats::RESTORE_NANOS.fetch_add(elapsed_ns(start), Ordering::Relaxed);
-            return kernel;
+        if let Some(pos) = cache.iter().position(|(f, _)| *f == flavor) {
+            let kernel = cache[pos].1.restore();
+            // A template that restores to a dead machine is corrupted
+            // (e.g. snapshotted after a crash latch): drop it and fall
+            // through to a clean boot rather than poisoning every later
+            // case on this thread.
+            if kernel.is_alive() {
+                stats::record_restore(elapsed_ns(start));
+                return kernel;
+            }
+            cache.remove(pos);
+            stats::TEMPLATE_INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
         }
         let snap = MachineSnapshot::boot(flavor);
         let kernel = snap.restore();
         cache.push((flavor, snap));
-        stats::BOOTS.fetch_add(1, Ordering::Relaxed);
-        stats::BOOT_NANOS.fetch_add(elapsed_ns(start), Ordering::Relaxed);
+        stats::record_boot(elapsed_ns(start));
         kernel
     })
+}
+
+/// Drops this thread's cached boot templates. Quarantine logic calls this
+/// after a contained worker panic: whatever state the panic left behind,
+/// the retry starts from templates rebuilt by the deterministic boot
+/// sequence.
+pub fn invalidate_templates() {
+    TEMPLATES.with(|cache| cache.borrow_mut().clear());
 }
 
 fn elapsed_ns(start: std::time::Instant) -> u64 {
@@ -156,11 +297,19 @@ pub struct CaseResult {
     pub residue_probed: bool,
 }
 
+/// Default per-case watchdog fuel budget (simulated work units; one unit
+/// ≈ one simulated millisecond). Generously above anything a legitimate
+/// case consumes — a case makes a handful of calls at one unit each, and
+/// the longest benign timed wait burns 60 000 — while still catching a
+/// hostile near-`INFINITE` duration (4.29 billion units) instantly.
+pub const DEFAULT_FUEL_BUDGET: u64 = 2_000_000;
+
 /// Executes one test case: fresh machine, constructors, call,
 /// classification.
 ///
 /// `pools` holds the resolved value pool per parameter; `combo` selects
-/// one value index per parameter.
+/// one value index per parameter. Runs under [`DEFAULT_FUEL_BUDGET`];
+/// campaigns with a configured budget use [`execute_case_budgeted`].
 #[must_use]
 pub fn execute_case(
     os: OsVariant,
@@ -169,7 +318,24 @@ pub fn execute_case(
     combo: &[usize],
     session: &mut Session,
 ) -> CaseResult {
+    execute_case_budgeted(os, mut_, pools, combo, session, DEFAULT_FUEL_BUDGET)
+}
+
+/// [`execute_case`] with an explicit watchdog fuel budget for the case.
+/// Fuel consumed is a pure function of the case (simulated work only, no
+/// wall clock), so a given budget yields the same outcome on every host,
+/// at every parallelism, and on every resumed run.
+#[must_use]
+pub fn execute_case_budgeted(
+    os: OsVariant,
+    mut_: &Mut,
+    pools: &[Vec<TestValue>],
+    combo: &[usize],
+    session: &mut Session,
+    fuel_budget: u64,
+) -> CaseResult {
     let mut kernel = fresh_machine(os.machine_flavor());
+    kernel.fuel = sim_kernel::clock::FuelMeter::with_budget(fuel_budget);
     kernel.residue = session.residue;
     let raw_and_exc = run_on(&mut kernel, os, mut_, pools, combo);
     session.note(raw_and_exc.0, raw_and_exc.1);
@@ -206,6 +372,13 @@ fn run_on(
     // is Catastrophic even if the call "succeeded".
     if !kernel.is_alive() {
         return (RawOutcome::SystemCrash, any_exceptional);
+    }
+    // The watchdog outranks everything but a crash: a case that exhausted
+    // its fuel budget ran past the harness's patience, even if the call
+    // eventually "returned" — the real harness would have killed and
+    // restarted the task long before.
+    if kernel.fuel.exhausted() {
+        return (RawOutcome::TaskHang, any_exceptional);
     }
     let raw = match outcome {
         Ok(Ok(ret)) => {
@@ -257,6 +430,7 @@ pub fn reproduce_in_isolation(
     combo: &[usize],
 ) -> bool {
     let mut kernel = fresh_machine(os.machine_flavor());
+    kernel.fuel = sim_kernel::clock::FuelMeter::with_budget(DEFAULT_FUEL_BUDGET);
     kernel.residue = 0;
     let (raw, _) = run_on(&mut kernel, os, mut_, pools, combo);
     raw == RawOutcome::SystemCrash
@@ -383,6 +557,103 @@ mod tests {
         let rnt = execute_case(OsVariant::WinNt4, &m, &pools, &[0], &mut session);
         assert_eq!(rnt.raw, RawOutcome::ReturnedError);
         assert_eq!(rnt.class, FailureClass::Pass);
+    }
+
+    fn sleep_ex_mut() -> Mut {
+        Mut {
+            name: "SleepEx",
+            group: FunctionGroup::ProcessPrimitives,
+            params: vec!["msec"],
+            dispatch: Arc::new(|k, os, a| {
+                let p = sim_win32::Win32Profile::for_os(os);
+                sim_win32::threadapi::SleepEx(k, p, arg::uint(a[0]), 0)
+            }),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_classified_restart() {
+        let m = sleep_ex_mut();
+        // 0xFFFFFFFE ms: not INFINITE, but far beyond any sane budget.
+        let pools = vec![vec![TestValue::constant(
+            "0xFFFFFFFE",
+            true,
+            (u32::MAX - 1) as u64,
+        )]];
+        let mut session = Session::new();
+        let r = execute_case(OsVariant::Win2000, &m, &pools, &[0], &mut session);
+        assert_eq!(r.raw, RawOutcome::TaskHang);
+        assert_eq!(
+            r.class,
+            FailureClass::Restart,
+            "the watchdog converts a runaway case into Restart, not Abort"
+        );
+        assert_eq!(session.residue, 0, "hangs leave no residue");
+        // A benign duration sails through on the same budget.
+        let pools = vec![vec![TestValue::constant("100ms", false, 100)]];
+        let r = execute_case(OsVariant::Win2000, &m, &pools, &[0], &mut session);
+        assert_eq!(r.class, FailureClass::Pass);
+    }
+
+    #[test]
+    fn tight_budget_trips_watchdog_on_benign_case() {
+        // The budget is the knob: the same benign case hangs when the
+        // campaign config starves it.
+        let m = sleep_ex_mut();
+        let pools = vec![vec![TestValue::constant("100ms", false, 100)]];
+        let mut session = Session::new();
+        let r = execute_case_budgeted(OsVariant::WinNt4, &m, &pools, &[0], &mut session, 10);
+        assert_eq!(r.class, FailureClass::Restart);
+        let r = execute_case_budgeted(OsVariant::WinNt4, &m, &pools, &[0], &mut session, 10_000);
+        assert_eq!(r.class, FailureClass::Pass);
+    }
+
+    #[test]
+    fn corrupted_template_is_invalidated_not_propagated() {
+        use std::sync::atomic::Ordering;
+        // Plant a template that restores to a dead machine, as a worker
+        // panic mid-snapshot could leave behind.
+        let flavor = MachineFlavor::WindowsStrictAlign;
+        invalidate_templates();
+        let mut poisoned = Kernel::with_flavor(flavor);
+        poisoned.crash.panic("test", "planted corruption", None);
+        let snap = poisoned.snapshot();
+        TEMPLATES.with(|cache| cache.borrow_mut().push((flavor, snap)));
+        let before = stats::TEMPLATE_INVALIDATIONS.load(Ordering::Relaxed);
+        let k = fresh_machine(flavor);
+        assert!(k.is_alive(), "fresh_machine must never hand out a dead machine");
+        assert!(stats::TEMPLATE_INVALIDATIONS.load(Ordering::Relaxed) > before);
+        // The replacement template is healthy from here on.
+        assert!(fresh_machine(flavor).is_alive());
+        invalidate_templates();
+    }
+
+    #[test]
+    fn stats_sink_records_only_while_installed() {
+        let sink = Arc::new(stats::Counters::default());
+        invalidate_templates();
+        stats::install_sink(Arc::clone(&sink));
+        let _ = fresh_machine(MachineFlavor::Posix); // boot
+        let _ = fresh_machine(MachineFlavor::Posix); // restore
+        stats::clear_sink();
+        let _ = fresh_machine(MachineFlavor::Posix);
+        let (boots, restores, _, _) = sink.snapshot();
+        assert_eq!(boots, 1);
+        assert_eq!(restores, 1, "post-clear provisioning must not reach the sink");
+        invalidate_templates();
+    }
+
+    #[test]
+    fn fault_injection_latch_fires_exactly_n_times() {
+        fault::disarm();
+        fault::arm_worker_panic("VictimCall", 2);
+        fault::maybe_panic("SomeOtherCall"); // no match, no panic
+        for _ in 0..2 {
+            let r = std::panic::catch_unwind(|| fault::maybe_panic("VictimCall"));
+            assert!(r.is_err(), "armed injection must fire");
+        }
+        fault::maybe_panic("VictimCall"); // exhausted: silent
+        fault::disarm();
     }
 
     #[test]

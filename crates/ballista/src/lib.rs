@@ -57,7 +57,9 @@ pub mod catalog;
 pub mod crash;
 pub mod datatype;
 pub mod exec;
+pub mod journal;
 pub mod load;
+pub mod persist;
 pub mod muts;
 pub mod pools;
 pub mod sampling;

@@ -1,0 +1,101 @@
+//! Crash-safe file persistence for campaign artifacts.
+//!
+//! Results JSON and benchmark artifacts used to be written with a plain
+//! `fs::write`: a crash (or SIGKILL) mid-write leaves a torn file that
+//! poisons the results cache and every downstream table. Following the
+//! classic write-ahead discipline (and the mid-write crash states the B3
+//! crash-testing work enumerates), everything now goes through
+//! [`atomic_write`]: write to a sibling temporary file, `fsync` it,
+//! atomically rename over the destination, then `fsync` the directory so
+//! the rename itself survives power loss. Readers see either the old
+//! complete file or the new complete file — never a prefix.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: tmp file + `fsync` + rename +
+/// directory `fsync`. The temporary lives next to the destination (same
+/// filesystem, so the rename is atomic) under a fixed derived name, so a
+/// crashed writer leaves at most one stale `.tmp` that the next write
+/// simply replaces.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying create/write/sync/rename steps; on
+/// error the destination is untouched (the torn state is confined to the
+/// temporary).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Best-effort `fsync` of `path`'s parent directory so the rename is
+/// durable. Directory fsync is not supported everywhere (and never on
+/// Windows); failure here cannot tear data — it only shrinks the
+/// power-loss window back to what a plain rename gives — so it is
+/// deliberately non-fatal.
+fn sync_parent_dir(path: &Path) {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ballista-persist-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let path = scratch("roundtrip.json");
+        atomic_write(&path, b"{\"v\":1}").expect("write");
+        assert_eq!(fs::read(&path).expect("read"), b"{\"v\":1}");
+        // Overwrite in place: new content fully replaces the old.
+        atomic_write(&path, b"{\"v\":2,\"longer\":true}").expect("rewrite");
+        assert_eq!(fs::read(&path).expect("read"), b"{\"v\":2,\"longer\":true}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_tmp_from_a_crashed_writer_is_replaced() {
+        let path = scratch("stale.json");
+        let tmp = path.with_file_name("stale.json.tmp");
+        fs::write(&tmp, b"torn half-write from a dead process").expect("plant tmp");
+        atomic_write(&path, b"clean").expect("write");
+        assert_eq!(fs::read(&path).expect("read"), b"clean");
+        assert!(!tmp.exists(), "the tmp was consumed by the rename");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bare_root() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

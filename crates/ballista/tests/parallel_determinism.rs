@@ -17,6 +17,7 @@ fn run(os: OsVariant, parallelism: usize) -> CampaignReport {
             isolation_probe: true,
             perfect_cleanup: false,
             parallelism,
+            fuel_budget: 0,
         },
     )
 }

@@ -100,7 +100,7 @@ proptest! {
         let registry = catalog::registry_for(os);
         let muts = catalog::catalog_for(os);
         let m = &muts[mut_index % muts.len()];
-        let cfg = CampaignConfig { cap, record_raw: true, isolation_probe: false, perfect_cleanup: false, parallelism: 1 };
+        let cfg = CampaignConfig { cap, record_raw: true, isolation_probe: false, perfect_cleanup: false, parallelism: 1, fuel_budget: 0 };
         let mut session = Session::new();
         let t = run_mut_campaign_with(os, m, &registry, &cfg, &mut session);
         let catastrophic_case = usize::from(t.catastrophic);

@@ -1,0 +1,114 @@
+//! Worker panic containment and quarantine, end to end. The fault latch
+//! (`exec::fault`) is process-global, so every scenario lives in this one
+//! test function (integration tests in other binaries run in other
+//! processes and never see the latch).
+//!
+//! Scenarios, on both the sequential and the parallel engine:
+//!
+//! 1. One injected panic: contained, the MuT reruns on fresh templates,
+//!    tallies are identical to an unfaulted run, report is not degraded.
+//! 2. Panic on the retry too: the MuT is quarantined with an empty
+//!    tally and the report is explicitly `degraded`. A quarantined MuT
+//!    contributes nothing to the shared session (it is treated as
+//!    absent), so MuTs *before* it in catalog order must still match the
+//!    unfaulted reference, and the two engines must agree bit for bit on
+//!    the whole degraded report.
+
+use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport, MutTally};
+use ballista::exec;
+use sim_kernel::variant::OsVariant;
+
+const OS: OsVariant = OsVariant::Win98;
+const TARGET: &str = "GetThreadContext";
+
+fn cfg(parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap: 40,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+fn json(tallies: &[MutTally]) -> String {
+    serde_json::to_string(tallies).expect("serialize")
+}
+
+fn check_contained_retry(parallelism: usize, reference: &CampaignReport) {
+    exec::fault::arm_worker_panic(TARGET, 1);
+    let report = run_campaign(OS, &cfg(parallelism));
+    exec::fault::disarm();
+    assert!(
+        !report.degraded,
+        "parallelism {parallelism}: one contained panic must not degrade the report"
+    );
+    assert_eq!(
+        json(&report.muts),
+        json(&reference.muts),
+        "parallelism {parallelism}: the retried run must match the unfaulted run bit for bit"
+    );
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains("contained worker panic") && w.contains(TARGET)),
+        "parallelism {parallelism}: containment is surfaced: {:?}",
+        report.warnings
+    );
+}
+
+fn check_quarantine(parallelism: usize, reference: &CampaignReport) -> CampaignReport {
+    // Two faults: the initial run and the single retry both die.
+    exec::fault::arm_worker_panic(TARGET, 2);
+    let report = run_campaign(OS, &cfg(parallelism));
+    exec::fault::disarm();
+    assert!(
+        report.degraded,
+        "parallelism {parallelism}: a quarantined MuT must mark the report degraded"
+    );
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains("quarantined") && w.contains(TARGET)),
+        "parallelism {parallelism}: quarantine is surfaced: {:?}",
+        report.warnings
+    );
+    let pos = report
+        .muts
+        .iter()
+        .position(|t| t.name == TARGET)
+        .expect("quarantined MuT keeps its catalog slot");
+    let tally = &report.muts[pos];
+    assert_eq!(tally.cases, 0, "a quarantined tally is empty");
+    assert!(tally.planned > 0, "the plan size is still reported");
+    assert!(!tally.catastrophic);
+    // Session state is identical up to the quarantined MuT, so the
+    // catalog prefix must match the unfaulted reference exactly. (MuTs
+    // after it may legitimately differ: the quarantined MuT's residue
+    // never entered the session.)
+    assert_eq!(
+        json(&report.muts[..pos]),
+        json(&reference.muts[..pos]),
+        "parallelism {parallelism}: quarantine disturbed MuTs before the target"
+    );
+    report
+}
+
+#[test]
+fn worker_panics_are_contained_then_quarantined() {
+    let reference = run_campaign(OS, &cfg(1));
+    assert!(!reference.degraded);
+    assert!(reference.warnings.is_empty());
+    check_contained_retry(1, &reference);
+    check_contained_retry(4, &reference);
+    let q1 = check_quarantine(1, &reference);
+    let q4 = check_quarantine(4, &reference);
+    assert_eq!(
+        json(&q1.muts),
+        json(&q4.muts),
+        "both engines must agree bit for bit on the degraded report"
+    );
+}

@@ -1,0 +1,128 @@
+//! Acceptance tests for campaign survivability: a journaled campaign
+//! killed at **any case boundary** and resumed must serialize to
+//! bit-identical per-MuT tallies as (a) the uninterrupted journaled run
+//! and (b) the plain sequential engine — on every OS variant. Killing at
+//! a case boundary is simulated by truncating the journal to a record
+//! prefix, exactly the state a SIGKILL between two appends leaves behind
+//! (the CI resume-crash-safety job does the real-SIGKILL version).
+//!
+//! Also asserts the fuel watchdog end to end: a MuT with a
+//! fuel-exhausting case (`SleepEx`) tallies it as Restart without
+//! stalling the parallel engine.
+
+use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig};
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        cap: 200,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ballista-resume-determinism");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Truncates the journal to `cases` records — the byte-exact state of a
+/// campaign killed at that case boundary.
+fn kill_at_boundary(path: &PathBuf, cases: u64) {
+    let bytes = fs::read(path).expect("journal readable");
+    let end = HEADER_LEN + cases as usize * RECORD_LEN;
+    assert!(end <= bytes.len(), "boundary inside the journal");
+    fs::write(path, &bytes[..end]).expect("truncate journal");
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_on_every_variant() {
+    for os in OsVariant::ALL {
+        let cfg = cfg();
+        let name = os.short_name();
+        let path = scratch(&format!("{name}.jrn"));
+        let _ = fs::remove_file(&path);
+
+        // References: the plain sequential engine and a full journaled run.
+        let plain = serde_json::to_string(&run_campaign(os, &cfg).muts).expect("serialize");
+        let full = run_campaign_journaled(os, &cfg, &path, false).expect("journaled run");
+        assert_eq!(
+            serde_json::to_string(&full.muts).expect("serialize"),
+            plain,
+            "{name}: journaled engine diverged from the sequential engine"
+        );
+        let total = full.total_cases as u64;
+        assert!(total > 0, "{name}: campaign executed cases");
+        let journal_bytes = fs::read(&path).expect("journal readable");
+        assert_eq!(
+            journal_bytes.len(),
+            HEADER_LEN + total as usize * RECORD_LEN,
+            "{name}: one record per executed case"
+        );
+
+        // Kill at a spread of case boundaries, including the edges.
+        for boundary in [0, 1, total / 3, 2 * total / 3, total - 1] {
+            fs::write(&path, &journal_bytes).expect("restore journal");
+            kill_at_boundary(&path, boundary);
+            let resumed = run_campaign_journaled(os, &cfg, &path, true)
+                .unwrap_or_else(|e| panic!("{name}: resume at {boundary} failed: {e}"));
+            assert_eq!(
+                serde_json::to_string(&resumed.muts).expect("serialize"),
+                plain,
+                "{name}: resume after kill at case {boundary}/{total} diverged"
+            );
+            let stats = resumed.stats.expect("stats present");
+            assert_eq!(
+                stats.replayed_cases as u64, boundary,
+                "{name}: exactly the journaled prefix is replayed"
+            );
+            if boundary > 0 {
+                assert!(
+                    resumed.warnings.iter().any(|w| w.contains("resumed from journal")),
+                    "{name}: resume is surfaced in warnings: {:?}",
+                    resumed.warnings
+                );
+            }
+        }
+        let _ = fs::remove_file(&path);
+    }
+}
+
+/// The watchdog satellite, end to end through the parallel engine: the
+/// fuel-exhausting `SleepEx` case lands in the Restart column and no
+/// worker stalls (the campaign completes and matches the serial path).
+#[test]
+fn fuel_exhausted_mut_tallies_restart_without_stalling_workers() {
+    let os = OsVariant::WinNt4;
+    let parallel = run_campaign(
+        os,
+        &CampaignConfig {
+            parallelism: 8,
+            ..cfg()
+        },
+    );
+    let serial = run_campaign(os, &cfg());
+    assert_eq!(
+        serde_json::to_string(&parallel.muts).expect("serialize"),
+        serde_json::to_string(&serial.muts).expect("serialize"),
+        "watchdog outcomes must not depend on the engine"
+    );
+    let sleep_ex = parallel
+        .muts
+        .iter()
+        .find(|t| t.name == "SleepEx")
+        .expect("SleepEx in desktop catalog");
+    assert_eq!(sleep_ex.cases, sleep_ex.planned, "no SleepEx case stalled");
+    assert_eq!(
+        sleep_ex.restarts, 2,
+        "INFINITE hang + fuel-exhausted near-infinite sleep are both Restart"
+    );
+    assert!(!sleep_ex.catastrophic);
+}

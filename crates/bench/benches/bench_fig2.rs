@@ -11,6 +11,7 @@ fn bench_fig2(c: &mut Criterion) {
             .into_iter()
             .map(|os| bench::bench_campaign(os, true))
             .collect(),
+        warnings: Vec::new(),
     };
     println!("{}", report::figures::figure2(&results));
 

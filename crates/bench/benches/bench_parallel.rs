@@ -15,6 +15,7 @@ fn cfg(parallelism: usize) -> CampaignConfig {
         isolation_probe: true,
         perfect_cleanup: false,
         parallelism,
+        fuel_budget: 0,
     }
 }
 

@@ -19,10 +19,12 @@ fn bench_table3(c: &mut Criterion) {
                         isolation_probe: true,
                         perfect_cleanup: false,
                             parallelism: 1,
+                            fuel_budget: 0,
                     },
                 )
             })
             .collect(),
+        warnings: Vec::new(),
     };
     println!("{}", report::tables::table3(&results));
 
@@ -39,6 +41,7 @@ fn bench_table3(c: &mut Criterion) {
                     isolation_probe: true,
                     perfect_cleanup: false,
                         parallelism: 1,
+                        fuel_budget: 0,
                 },
             ))
         })

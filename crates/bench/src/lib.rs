@@ -27,6 +27,7 @@ pub fn bench_campaign(os: OsVariant, record_raw: bool) -> CampaignReport {
             isolation_probe: false,
             perfect_cleanup: false,
             parallelism: 1,
+            fuel_budget: 0,
         },
     )
 }
@@ -39,5 +40,6 @@ pub fn bench_all_oses() -> report::MultiOsResults {
             .into_iter()
             .map(|os| bench_campaign(os, OsVariant::DESKTOP_WINDOWS.contains(&os)))
             .collect(),
+        warnings: Vec::new(),
     }
 }

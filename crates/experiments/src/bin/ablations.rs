@@ -49,6 +49,7 @@ fn sampling_accuracy() -> String {
                 isolation_probe: false,
                 perfect_cleanup: false,
                 parallelism: 1,
+                fuel_budget: 0,
             };
             run_mut_campaign(os, m, &cfg).abort_rate()
         };
@@ -93,6 +94,7 @@ fn residue_ablation() -> String {
                     isolation_probe: false,
                     perfect_cleanup,
                         parallelism: 1,
+                        fuel_budget: 0,
                 },
             )
             .catastrophic_muts()
@@ -158,11 +160,12 @@ fn voting_set_ablation() -> String {
                     isolation_probe: false,
                     perfect_cleanup: false,
                         parallelism: 1,
+                        fuel_budget: 0,
                 },
             )
         })
         .collect();
-    let all = MultiOsResults { reports };
+    let all = MultiOsResults { reports, warnings: Vec::new() };
     let _ = writeln!(
         out,
         "{:<42} {:>12} {:>12}",

@@ -1,0 +1,117 @@
+//! Crash-survivable campaign runner: journals every executed case and
+//! resumes from the journal after an interrupted (killed, crashed,
+//! power-lost) run — the resumed tallies are bit-identical to an
+//! uninterrupted run. CI's resume-crash-safety job SIGKILLs this binary
+//! mid-campaign and diffs the resumed report against a reference.
+//!
+//! ```text
+//! resumable --os win98 --cap 200 --journal w98.jrn --out w98.json
+//! resumable --os win98 --cap 200 --journal w98.jrn --out w98.json --resume
+//! resumable --os win98 --cap 200 --journal w98.jrn --kill-after 150
+//! ```
+//!
+//! `--kill-after N` aborts the process (no unwinding, no flushing — the
+//! harshest crash `std` can deliver) once the journal holds N records,
+//! for deterministic mid-run-death tests without racing a timer.
+
+use ballista::campaign::{run_campaign_journaled, CampaignConfig};
+use ballista::persist::atomic_write;
+use sim_kernel::variant::OsVariant;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    os: OsVariant,
+    cap: usize,
+    journal: PathBuf,
+    out: Option<PathBuf>,
+    resume: bool,
+    kill_after: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: resumable --os <short_name> --journal <path> \
+         [--cap N] [--out <path>] [--resume] [--kill-after N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut os = None;
+    let mut cap = 200usize;
+    let mut journal = None;
+    let mut out = None;
+    let mut resume = false;
+    let mut kill_after = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--os" => {
+                let name = value();
+                os = OsVariant::ALL.into_iter().find(|v| v.short_name() == name);
+                if os.is_none() {
+                    eprintln!("unknown --os {name}");
+                    usage();
+                }
+            }
+            "--cap" => cap = value().parse().unwrap_or_else(|_| usage()),
+            "--journal" => journal = Some(PathBuf::from(value())),
+            "--out" => out = Some(PathBuf::from(value())),
+            "--resume" => resume = true,
+            "--kill-after" => kill_after = Some(value().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    Args {
+        os: os.unwrap_or_else(|| usage()),
+        cap,
+        journal: journal.unwrap_or_else(|| usage()),
+        out,
+        resume,
+        kill_after,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = CampaignConfig {
+        cap: args.cap,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    };
+    if let Some(n) = args.kill_after {
+        ballista::journal::arm_kill_after(n);
+    }
+    let report = match run_campaign_journaled(args.os, &cfg, &args.journal, args.resume) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("journaled campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    eprintln!(
+        "[{}] {} MuTs, {} cases, {} catastrophic{}",
+        args.os.short_name(),
+        report.muts.len(),
+        report.total_cases,
+        report.catastrophic_muts().len(),
+        if report.degraded { " [DEGRADED]" } else { "" },
+    );
+    if let Some(out) = args.out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = atomic_write(&out, json.as_bytes()) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", out.display());
+    }
+    ExitCode::SUCCESS
+}

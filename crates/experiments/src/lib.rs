@@ -98,6 +98,7 @@ fn calibrate_speedup(cap: usize) -> Calibration {
         isolation_probe: true,
         perfect_cleanup: false,
         parallelism: 1,
+        fuel_budget: 0,
     };
     ballista::exec::LEGACY_PROVISIONING.store(true, Ordering::SeqCst);
     let t0 = Instant::now();
@@ -118,6 +119,24 @@ fn calibrate_speedup(cap: usize) -> Calibration {
     }
 }
 
+/// A placeholder report for a variant whose campaign died even after the
+/// engine's own containment: no tallies, explicitly `degraded` so every
+/// renderer flags the hole instead of silently presenting six variants
+/// as seven.
+fn degraded_placeholder(os: OsVariant) -> CampaignReport {
+    CampaignReport {
+        os,
+        muts: Vec::new(),
+        total_cases: 0,
+        stats: None,
+        warnings: vec![format!(
+            "campaign for {} panicked past containment; variant dropped from this run",
+            os.short_name()
+        )],
+        degraded: true,
+    }
+}
+
 /// Runs the full seven-OS campaign at `cap`, printing progress and
 /// writing the `BENCH_campaign.json` timing artifact.
 ///
@@ -127,10 +146,14 @@ fn calibrate_speedup(cap: usize) -> Calibration {
 /// per-case outcomes are recorded for the desktop Windows variants (the
 /// Figure 2 voting set).
 ///
+/// A variant whose campaign panics past the engine's own containment no
+/// longer aborts the fleet: it yields an empty `degraded` report with an
+/// explicit warning, and the remaining variants complete normally.
+///
 /// # Panics
 ///
-/// Panics when a campaign worker panics — a harness bug, fatal for
-/// reproduction runs.
+/// Panics when a report slot mutex is poisoned — only possible if the
+/// degradation path itself panicked.
 #[must_use]
 pub fn run_all_oses(cap: usize) -> MultiOsResults {
     let t0 = Instant::now();
@@ -151,11 +174,13 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
                         isolation_probe: true,
                         perfect_cleanup: false,
                         parallelism: per_campaign,
+                        fuel_budget: 0,
                     };
-                    let report = run_campaign(os, &cfg);
+                    let report = std::panic::catch_unwind(|| run_campaign(os, &cfg))
+                        .unwrap_or_else(|_| degraded_placeholder(os));
                     let stats = report.stats.unwrap_or_default();
                     eprintln!(
-                        "  [{}] {} MuTs, {} cases, {} catastrophic, {:.1}s ({:.0} cases/s, {} restores, {} boots, {} replayed)",
+                        "  [{}] {} MuTs, {} cases, {} catastrophic, {:.1}s ({:.0} cases/s, {} restores, {} boots, {} replayed){}",
                         os.short_name(),
                         report.muts.len(),
                         report.total_cases,
@@ -165,22 +190,26 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
                         stats.restores,
                         stats.boots,
                         stats.replayed_cases,
+                        if report.degraded { " [DEGRADED]" } else { "" },
                     );
                     *slots[i].lock().expect("report slot poisoned") = Some(report);
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("campaign worker panicked");
+            if h.join().is_err() {
+                eprintln!("  campaign worker thread died; degraded placeholders fill its slots");
+            }
         }
     })
     .expect("campaign scope panicked");
     let reports: Vec<CampaignReport> = slots
         .into_iter()
-        .map(|slot| {
+        .zip(oses.iter())
+        .map(|(slot, &os)| {
             slot.into_inner()
                 .expect("report slot poisoned")
-                .expect("every variant produced a report")
+                .unwrap_or_else(|| degraded_placeholder(os))
         })
         .collect();
     let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -218,7 +247,17 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
         "BENCH_campaign.json",
         &serde_json::to_string_pretty(&bench).expect("serializable"),
     );
-    MultiOsResults { reports }
+    let warnings: Vec<String> = reports
+        .iter()
+        .flat_map(|r| {
+            let os = r.os.short_name();
+            r.warnings.iter().map(move |w| format!("[{os}] {w}"))
+        })
+        .collect();
+    for w in &warnings {
+        eprintln!("  warning: {w}");
+    }
+    MultiOsResults { reports, warnings }
 }
 
 /// Loads the cached campaign for `cap`, or runs it and caches the result.
@@ -241,13 +280,14 @@ pub fn load_or_run(cap: usize) -> MultiOsResults {
     eprintln!("running full campaign (cap = {cap}) …");
     let results = run_all_oses(cap);
     fs::create_dir_all(results_dir()).expect("results dir must be creatable");
-    fs::write(&path, serde_json::to_vec(&results).expect("serializable"))
+    ballista::persist::atomic_write(&path, &serde_json::to_vec(&results).expect("serializable"))
         .expect("results cache must be writable");
     eprintln!("cached campaign to {}", path.display());
     results
 }
 
-/// Writes a named artifact (table text / CSV) under the results dir.
+/// Writes a named artifact (table text / CSV) under the results dir,
+/// atomically — a crash mid-write never leaves a torn artifact.
 ///
 /// # Panics
 ///
@@ -256,7 +296,7 @@ pub fn write_artifact(name: &str, contents: &str) {
     let dir = results_dir();
     fs::create_dir_all(&dir).expect("results dir must be creatable");
     let path = dir.join(name);
-    fs::write(&path, contents).expect("artifact must be writable");
+    ballista::persist::atomic_write(&path, contents.as_bytes()).expect("artifact must be writable");
     eprintln!("wrote {}", path.display());
 }
 

@@ -196,14 +196,19 @@ mod tests {
                     muts: vec![tally("CloseHandle", &[S, S, A, S], 1, 3)],
                     total_cases: 4,
                     stats: None,
+                    warnings: Vec::new(),
+                    degraded: false,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
                     muts: vec![tally("CloseHandle", &[E, E, A, S], 1, 1)],
                     total_cases: 4,
                     stats: None,
+                    warnings: Vec::new(),
+                    degraded: false,
                 },
             ],
+            warnings: Vec::new(),
         }
     }
 

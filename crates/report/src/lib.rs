@@ -35,6 +35,12 @@ use sim_kernel::variant::OsVariant;
 pub struct MultiOsResults {
     /// One report per OS, in [`OsVariant::ALL`] order for full runs.
     pub reports: Vec<CampaignReport>,
+    /// Fleet-level warnings aggregated from the per-variant campaigns
+    /// (quarantined workers, invalidated templates, degraded variants,
+    /// journal resumes), prefixed with the variant's short name so the
+    /// tables can flag partial data. Absent in pre-warning caches.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<String>,
 }
 
 impl MultiOsResults {
@@ -48,5 +54,11 @@ impl MultiOsResults {
     #[must_use]
     pub fn oses(&self) -> Vec<OsVariant> {
         self.reports.iter().map(|r| r.os).collect()
+    }
+
+    /// Whether any variant's report carries partial (degraded) data.
+    #[must_use]
+    pub fn any_degraded(&self) -> bool {
+        self.reports.iter().any(|r| r.degraded)
     }
 }

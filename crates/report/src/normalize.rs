@@ -199,6 +199,8 @@ mod tests {
             ],
             total_cases: 500,
             stats: None,
+            warnings: Vec::new(),
+            degraded: false,
         }
     }
 

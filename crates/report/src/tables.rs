@@ -10,6 +10,27 @@ fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
 }
 
+/// A footer flagging partial data: variants whose reports are marked
+/// `degraded` (quarantined MuTs, contained worker failures). Empty when
+/// every report is complete, so intact runs render byte-identically to
+/// the pre-warning output.
+fn degraded_footer(results: &MultiOsResults) -> String {
+    let degraded: Vec<&str> = results
+        .reports
+        .iter()
+        .filter(|r| r.degraded)
+        .map(|r| r.os.short_name())
+        .collect();
+    if degraded.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "!! PARTIAL DATA: degraded variant(s) {} — see report warnings\n",
+            degraded.join(", ")
+        )
+    }
+}
+
 /// Renders Table 1: robustness failure rates by MuT, one row per OS.
 #[must_use]
 pub fn table1(results: &MultiOsResults) -> String {
@@ -56,6 +77,7 @@ pub fn table1(results: &MultiOsResults) -> String {
             pct(r.overall_abort),
         );
     }
+    out.push_str(&degraded_footer(results));
     out
 }
 
@@ -103,6 +125,7 @@ pub fn table2(results: &MultiOsResults) -> String {
         let _ = write!(out, " {:>10}", pct(total));
     }
     let _ = writeln!(out);
+    out.push_str(&degraded_footer(results));
     out
 }
 
@@ -186,6 +209,7 @@ pub fn table3(results: &MultiOsResults) -> String {
     if entries.is_empty() {
         let _ = writeln!(out, "(no Catastrophic failures observed)");
     }
+    out.push_str(&degraded_footer(results));
     out
 }
 
@@ -225,6 +249,8 @@ mod tests {
                     ],
                     total_cases: 300,
                     stats: None,
+                    warnings: Vec::new(),
+                    degraded: false,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
@@ -235,8 +261,11 @@ mod tests {
                     ],
                     total_cases: 300,
                     stats: None,
+                    warnings: Vec::new(),
+                    degraded: false,
                 },
             ],
+            warnings: Vec::new(),
         }
     }
 
@@ -280,5 +309,22 @@ mod tests {
         assert!(r.for_os(OsVariant::Win98).is_some());
         assert!(r.for_os(OsVariant::Linux).is_none());
         assert_eq!(r.oses(), vec![OsVariant::Win98, OsVariant::WinNt4]);
+    }
+
+    #[test]
+    fn degraded_reports_are_flagged_in_every_table() {
+        let clean = tiny_results();
+        assert!(!clean.any_degraded());
+        for t in [table1(&clean), table2(&clean), table3(&clean)] {
+            assert!(!t.contains("PARTIAL DATA"), "intact runs are unflagged");
+        }
+        let mut partial = tiny_results();
+        partial.reports[1].degraded = true;
+        partial.reports[1].warnings.push("quarantined strlen".into());
+        assert!(partial.any_degraded());
+        for t in [table1(&partial), table2(&partial), table3(&partial)] {
+            assert!(t.contains("PARTIAL DATA"), "degraded runs carry the banner");
+            assert!(t.contains("winnt"), "names the degraded variant");
+        }
     }
 }

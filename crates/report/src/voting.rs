@@ -180,6 +180,8 @@ mod tests {
             total_cases: muts.iter().map(|m| m.cases).sum(),
             muts,
             stats: None,
+            warnings: Vec::new(),
+            degraded: false,
         }
     }
 

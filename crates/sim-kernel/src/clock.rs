@@ -177,6 +177,79 @@ pub fn systemtime_to_filetime(st: &SystemTime) -> Option<FileTime> {
     Some(FileTime(secs * TICKS_PER_SEC + u64::from(st.milliseconds) * 10_000))
 }
 
+/// The per-case execution-fuel meter behind the harness watchdog.
+///
+/// The paper's harness watched for hung test tasks with a timer and
+/// restarted them; a wall-clock watchdog would make outcomes depend on
+/// host load, so the simulator meters *simulated work* instead. Every
+/// kernel step burns fuel, and a machine that exhausts its budget turns
+/// the in-flight call into a hang (`ApiAbort::Hang` → the paper's
+/// Restart class). Fuel consumed is a pure function of the test case, so
+/// the watchdog fires identically on every host, at every parallelism,
+/// and on every resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuelMeter {
+    /// Units available to the current test case. [`u64::MAX`] means
+    /// unlimited (the boot-template state; the executor installs a real
+    /// budget per case).
+    budget: u64,
+    /// Units burned so far (saturating).
+    consumed: u64,
+}
+
+impl FuelMeter {
+    /// A meter that never exhausts — the state a freshly booted machine
+    /// carries until the executor installs a per-case budget.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        FuelMeter {
+            budget: u64::MAX,
+            consumed: 0,
+        }
+    }
+
+    /// A meter with `budget` units of simulated work.
+    #[must_use]
+    pub fn with_budget(budget: u64) -> Self {
+        FuelMeter {
+            budget,
+            consumed: 0,
+        }
+    }
+
+    /// Burns `units` of fuel. Returns `true` while the budget holds,
+    /// `false` once the meter is exhausted. Consumption saturates, so a
+    /// runaway caller cannot wrap the meter back to health.
+    pub fn consume(&mut self, units: u64) -> bool {
+        self.consumed = self.consumed.saturating_add(units);
+        !self.exhausted()
+    }
+
+    /// Whether the budget has been exceeded.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.consumed > self.budget
+    }
+
+    /// Units burned so far.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The installed budget ([`u64::MAX`] = unlimited).
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+impl Default for FuelMeter {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
 /// The simulated wall clock and monotonic tick counter.
 ///
 /// Starts at a fixed, deterministic instant (2000-01-01 00:00 UTC — the
@@ -346,6 +419,28 @@ mod tests {
     #[test]
     fn huge_filetime_out_of_range() {
         assert!(filetime_to_systemtime(FileTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn fuel_meter_exhausts_at_budget() {
+        let mut f = FuelMeter::with_budget(10);
+        assert!(f.consume(10), "exactly the budget is still alive");
+        assert!(!f.exhausted());
+        assert!(!f.consume(1), "one unit past the budget exhausts");
+        assert!(f.exhausted());
+        assert_eq!(f.consumed(), 11);
+        assert_eq!(f.budget(), 10);
+        // Exhaustion is sticky: no later consumption revives the meter.
+        assert!(!f.consume(0));
+    }
+
+    #[test]
+    fn fuel_meter_unlimited_never_exhausts() {
+        let mut f = FuelMeter::unlimited();
+        assert!(f.consume(u64::MAX));
+        assert!(f.consume(u64::MAX), "consumption saturates, never wraps");
+        assert!(!f.exhausted());
+        assert_eq!(FuelMeter::default(), FuelMeter::unlimited());
     }
 
     #[test]

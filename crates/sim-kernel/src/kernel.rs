@@ -7,8 +7,9 @@
 //! paper's `*`-marked Catastrophic failures (crashes reproducible only when
 //! running the full test harness, not a single isolated case).
 
-use crate::clock::Clock;
+use crate::clock::{Clock, FuelMeter};
 use crate::crash::CrashLatch;
+use crate::outcome::ApiAbort;
 use crate::env::Environment;
 use crate::fs::FileSystem;
 use crate::heap::{HeapId, HeapManager};
@@ -47,6 +48,10 @@ pub struct Kernel {
     pub heaps: HeapManager,
     /// Simulated wall clock.
     pub clock: Clock,
+    /// The watchdog's execution-fuel meter. Boots unlimited; the test
+    /// executor installs a per-case budget so runaway calls surface as
+    /// deterministic hangs instead of wedging a harness worker.
+    pub fuel: FuelMeter,
     /// Environment block.
     pub env: Environment,
     /// The kernel-panic latch (Catastrophic outcomes).
@@ -106,6 +111,7 @@ impl Kernel {
             procs: ProcessTable::new(),
             heaps,
             clock: Clock::new(),
+            fuel: FuelMeter::unlimited(),
             env: Environment::with_defaults(),
             crash: CrashLatch::new(),
             residue: 0,
@@ -149,11 +155,46 @@ impl Kernel {
     }
 
     /// Keeps the clock moving: every simulated call costs a tick, so
-    /// timestamps and `GetTickCount` behave plausibly.
+    /// timestamps and `GetTickCount` behave plausibly. The tick also
+    /// burns one unit of watchdog fuel — a call-count bound on cases
+    /// whose individual calls are all cheap.
     pub fn charge_call(&mut self) {
+        self.fuel.consume(1);
         self.clock.advance_ms(1);
         let now = self.clock.tick_count_ms();
         self.fs.set_now_ms(now);
+    }
+
+    /// Burns `units` of watchdog fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiAbort::Hang`] once the per-case budget is exhausted: the
+    /// simulated call has been running longer than the harness tolerates,
+    /// and the watchdog converts it into the paper's Restart outcome.
+    pub fn burn(&mut self, units: u64) -> Result<(), ApiAbort> {
+        if self.fuel.consume(units) {
+            Ok(())
+        } else {
+            Err(ApiAbort::Hang)
+        }
+    }
+
+    /// Runs the machine forward `ms` simulated milliseconds: burns the
+    /// equivalent fuel, then advances the clock (capped at one minute so
+    /// hostile durations cannot warp timestamps into the far future).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiAbort::Hang`] when the fuel budget cannot cover `ms` — the
+    /// watchdog fires *before* time moves, so a timed-out case leaves the
+    /// clock where the hang was detected.
+    pub fn step_for(&mut self, ms: u64) -> Result<(), ApiAbort> {
+        self.burn(ms)?;
+        self.clock.advance_ms(ms.min(60_000));
+        let now = self.clock.tick_count_ms();
+        self.fs.set_now_ms(now);
+        Ok(())
     }
 
     /// Whether the machine is still alive (no Catastrophic event yet).
@@ -273,6 +314,37 @@ mod tests {
         assert!(!k.residue_probed);
         assert_eq!(k.probe_residue(), 7);
         assert!(k.residue_probed);
+    }
+
+    #[test]
+    fn fuel_watchdog_converts_runaway_steps_into_hang() {
+        let mut k = Kernel::new();
+        k.fuel = FuelMeter::with_budget(1_000);
+        assert_eq!(k.step_for(900), Ok(()));
+        assert_eq!(k.clock.tick_count_ms(), 900);
+        // The next big step blows the budget: hang, clock frozen.
+        assert_eq!(k.step_for(500_000), Err(ApiAbort::Hang));
+        assert_eq!(k.clock.tick_count_ms(), 900, "time stops where the watchdog fired");
+        assert!(k.fuel.exhausted());
+        assert!(k.is_alive(), "a hang is a task outcome, not a machine crash");
+    }
+
+    #[test]
+    fn step_for_caps_clock_advance_not_fuel() {
+        let mut k = Kernel::new();
+        k.fuel = FuelMeter::with_budget(10_000_000);
+        assert_eq!(k.step_for(2_000_000), Ok(()));
+        assert_eq!(k.clock.tick_count_ms(), 60_000, "clock advance is capped");
+        assert_eq!(k.fuel.consumed(), 2_000_000, "fuel is charged in full");
+    }
+
+    #[test]
+    fn charge_call_burns_one_fuel_unit() {
+        let mut k = Kernel::new();
+        k.fuel = FuelMeter::with_budget(100);
+        let before = k.fuel.consumed();
+        k.charge_call();
+        assert_eq!(k.fuel.consumed(), before + 1);
     }
 
     #[test]

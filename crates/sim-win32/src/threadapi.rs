@@ -408,6 +408,26 @@ pub fn Sleep(k: &mut Kernel, _profile: Win32Profile, ms: u32) -> ApiResult {
     Ok(ApiReturn::ok(0))
 }
 
+/// `SleepEx(dwMilliseconds, bAlertable)` — like [`Sleep`], but the delay
+/// runs through the kernel step loop ([`Kernel::step_for`]), so the full
+/// duration is charged against the watchdog's fuel budget. A hostile
+/// near-`INFINITE` duration (the pools' `0xFFFFFFFE`) therefore exhausts
+/// the budget and surfaces as a hang the harness tallies as Restart —
+/// without wedging the worker that ran it.
+///
+/// # Errors
+///
+/// [`ApiAbort::Hang`](sim_kernel::ApiAbort::Hang) for `INFINITE`, and for
+/// any duration the per-case fuel budget cannot cover.
+pub fn SleepEx(k: &mut Kernel, _profile: Win32Profile, ms: u32, _alertable: u32) -> ApiResult {
+    k.charge_call();
+    if ms == sim_kernel::sync::INFINITE {
+        return Err(sim_kernel::ApiAbort::Hang);
+    }
+    k.step_for(u64::from(ms))?;
+    Ok(ApiReturn::ok(0))
+}
+
 /// `AttachThreadInput(idAttach, idAttachTo, fAttach)` — grouped by the
 /// paper under I/O Primitives (it wires message queues together).
 ///

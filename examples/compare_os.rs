@@ -18,6 +18,7 @@ fn main() {
         isolation_probe: false,
         perfect_cleanup: false,
         parallelism: 0,
+        fuel_budget: 0,
     };
     eprintln!("running reduced campaigns (cap = {}) on all 7 OS targets …", cfg.cap);
     let reports = OsVariant::ALL
@@ -28,7 +29,7 @@ fn main() {
             r
         })
         .collect();
-    let results = MultiOsResults { reports };
+    let results = MultiOsResults { reports, warnings: Vec::new() };
 
     println!("\nAbort+Restart rate by functional group (catastrophic MuTs excluded):\n");
     print!("{:<26}", "group");

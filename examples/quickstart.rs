@@ -17,6 +17,7 @@ fn main() {
         isolation_probe: true,
         perfect_cleanup: false,
         parallelism: 0,
+        fuel_budget: 0,
     };
 
     println!("Ballista quickstart: five calls, Windows 98 vs Windows NT 4.0 vs Linux\n");

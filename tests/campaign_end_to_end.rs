@@ -14,6 +14,7 @@ fn cfg(cap: usize) -> CampaignConfig {
         isolation_probe: true,
         perfect_cleanup: false,
         parallelism: 1,
+        fuel_budget: 0,
     }
 }
 
@@ -89,6 +90,7 @@ fn suspected_hindering_oracle() {
 fn multi_os_results_serialize_roundtrip() {
     let results = MultiOsResults {
         reports: vec![run_campaign(OsVariant::WinCe, &cfg(30))],
+        warnings: Vec::new(),
     };
     let json = serde_json::to_string(&results).expect("serialize");
     let back: MultiOsResults = serde_json::from_str(&json).expect("deserialize");
@@ -104,6 +106,7 @@ fn report_renderers_run_on_real_data() {
             run_campaign(OsVariant::Win95, &cfg(120)),
             run_campaign(OsVariant::WinNt4, &cfg(120)),
         ],
+        warnings: Vec::new(),
     };
     let t1 = report::tables::table1(&results);
     let t2 = report::tables::table2(&results);

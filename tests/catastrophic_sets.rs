@@ -15,6 +15,7 @@ fn crashes_for(os: OsVariant) -> BTreeMap<String, bool> {
         isolation_probe: true,
         perfect_cleanup: false,
         parallelism: 1,
+        fuel_budget: 0,
     };
     run_campaign(os, &cfg)
         .catastrophic_muts()

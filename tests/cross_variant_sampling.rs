@@ -48,6 +48,7 @@ fn raw_outcome_streams_align_for_voting() {
         isolation_probe: false,
         perfect_cleanup: false,
         parallelism: 1,
+        fuel_budget: 0,
     };
     let find = |os: OsVariant| {
         let muts = catalog::catalog_for(os);

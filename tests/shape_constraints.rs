@@ -31,11 +31,12 @@ fn results() -> &'static MultiOsResults {
                     isolation_probe: false,
                     perfect_cleanup: false,
                     parallelism: 1,
+                    fuel_budget: 0,
                 };
                 run_campaign(os, &cfg)
             })
             .collect();
-        MultiOsResults { reports }
+        MultiOsResults { reports, warnings: Vec::new() }
     })
 }
 
