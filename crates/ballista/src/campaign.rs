@@ -399,6 +399,7 @@ pub fn run_mut_campaign_with(
             break;
         }
     }
+    crate::oracle::selfcheck::observe_tally(os, &tally);
     tally
 }
 
@@ -549,6 +550,7 @@ fn replay_pass(
                 break;
             }
         }
+        crate::oracle::selfcheck::observe_tally(os, &tally);
         tallies.push(tally);
     }
     (tallies, replayed)
@@ -822,6 +824,7 @@ pub fn run_campaign_journaled(
                 break;
             }
         }
+        crate::oracle::selfcheck::observe_tally(os, &tally);
         tallies.push(tally);
     }
     // Accepted replay records that point past the end of the plan (the

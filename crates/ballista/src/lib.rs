@@ -27,6 +27,10 @@
 //!   signals/exceptions/hangs/system-crashes, inter-test residue, and the
 //!   in-isolation reproduction probe behind Table 3's `*` marks.
 //! * [`campaign`] — full-API campaigns and per-MuT tallies.
+//! * [`oracle`] — the conformance oracle: cross-engine, cross-variant and
+//!   per-tally invariants that make the tallies trustworthy.
+//! * [`coverage`] — accounting of which MuTs, pools, test values and
+//!   CRASH classes a run exercised, with a regression floor.
 //! * [`sequence`] — the paper's future-work extension: two-call
 //!   sequence-dependent failure testing.
 //! * [`load`] — the paper's other future-work extension: heavy-load
@@ -54,11 +58,13 @@
 
 pub mod campaign;
 pub mod catalog;
+pub mod coverage;
 pub mod crash;
 pub mod datatype;
 pub mod exec;
 pub mod journal;
 pub mod load;
+pub mod oracle;
 pub mod persist;
 pub mod muts;
 pub mod pools;

@@ -1,0 +1,105 @@
+//! Property test for the coverage accountant: merging per-chunk coverage
+//! maps (the shape per-worker accounting produces) is order-independent
+//! and chunk-boundary-independent — any split of a campaign's tallies,
+//! merged in any permutation, yields exactly the coverage computed from
+//! the whole report in one pass. This is what makes the merged
+//! `coverage.json` artifact trustworthy regardless of how the campaign
+//! was parallelised.
+
+use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use ballista::coverage::Coverage;
+use proptest::prelude::*;
+use sim_kernel::variant::OsVariant;
+use std::sync::OnceLock;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        cap: 60,
+        record_raw: true,
+        isolation_probe: false,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    }
+}
+
+fn base_report(os: OsVariant) -> &'static CampaignReport {
+    static WIN98: OnceLock<CampaignReport> = OnceLock::new();
+    static WINNT: OnceLock<CampaignReport> = OnceLock::new();
+    match os {
+        OsVariant::Win98 => WIN98.get_or_init(|| run_campaign(os, &cfg())),
+        OsVariant::WinNt4 => WINNT.get_or_init(|| run_campaign(os, &cfg())),
+        _ => unreachable!("test only uses Win98 and WinNt4"),
+    }
+}
+
+/// Coverage of each chunk when the report's tallies are split into at most
+/// `chunks` contiguous pieces — the shape a chunked parallel campaign's
+/// per-worker accounting would produce.
+fn chunk_coverages(os: OsVariant, chunks: usize) -> Vec<Coverage> {
+    let report = base_report(os);
+    let size = report.muts.len().div_ceil(chunks);
+    report
+        .muts
+        .chunks(size.max(1))
+        .map(|slice| {
+            let sub = CampaignReport {
+                os: report.os,
+                muts: slice.to_vec(),
+                total_cases: slice.iter().map(|t| t.cases).sum(),
+                stats: None,
+                warnings: Vec::new(),
+                degraded: false,
+            };
+            Coverage::from_report(&sub, &cfg())
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` driven by an xorshift
+/// stream, so proptest's `seed` fully determines the order.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        order.swap(i, (seed as usize) % (i + 1));
+    }
+    order
+}
+
+fn merged(parts: &[Coverage], order: &[usize]) -> String {
+    let mut acc = Coverage::default();
+    for &i in order {
+        acc.merge(&parts[i]);
+    }
+    serde_json::to_string(&acc).expect("coverage serializes")
+}
+
+proptest! {
+    /// Any chunking of one variant's tallies, merged in any order, equals
+    /// the single-pass coverage of the whole report.
+    #[test]
+    fn chunked_merge_equals_single_pass(chunks in 1usize..9, seed in any::<u64>()) {
+        let parts = chunk_coverages(OsVariant::Win98, chunks);
+        let whole = Coverage::from_report(base_report(OsVariant::Win98), &cfg());
+        let expected = serde_json::to_string(&whole).expect("coverage serializes");
+        let order = permutation(parts.len(), seed);
+        prop_assert_eq!(merged(&parts, &order), expected);
+    }
+
+    /// Mixing chunks from two variants: every permutation of the parts
+    /// merges to the same multi-variant total.
+    #[test]
+    fn cross_variant_merge_is_order_independent(
+        chunks in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut parts = chunk_coverages(OsVariant::Win98, chunks);
+        parts.push(Coverage::from_report(base_report(OsVariant::WinNt4), &cfg()));
+        let in_order: Vec<usize> = (0..parts.len()).collect();
+        let order = permutation(parts.len(), seed);
+        prop_assert_eq!(merged(&parts, &order), merged(&parts, &in_order));
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-engine equivalence matrix, asserted through the conformance
+//! oracle: on every OS variant at cap 200, the serial engine, the
+//! parallel engine at 1, 2 and 8 workers, a fresh journaled run, and a
+//! journaled run split at a case boundary and resumed must all produce
+//! bit-identical per-MuT tallies. Subsumes the hand-rolled diffs that
+//! `parallel_determinism.rs` and `resume_determinism.rs` used to carry —
+//! the oracle *is* the diff now, and every tally is additionally
+//! self-checked live through the engines' oracle hooks.
+
+use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig};
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use ballista::oracle;
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+
+fn cfg(parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap: 200,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ballista-engine-equivalence");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn all_engines_bit_identical_on_every_variant() {
+    oracle::selfcheck::set_enabled(true);
+    let _ = oracle::selfcheck::take_violations();
+    for os in OsVariant::ALL {
+        let name = os.short_name();
+        let serial = run_campaign(os, &cfg(1));
+
+        // Internal consistency of the reference itself.
+        let report_check = oracle::check_report(&serial);
+        assert!(
+            report_check.violations.is_empty(),
+            "{name}: {:?}",
+            report_check.violations
+        );
+
+        // Worker-count permutation: 1, 2 and 8 workers.
+        for workers in [1usize, 2, 8] {
+            let parallel = run_campaign(os, &cfg(workers));
+            let check = oracle::check_cross_engine(
+                "serial",
+                &serial,
+                &format!("parallel-{workers}"),
+                &parallel,
+            );
+            assert!(
+                check.violations.is_empty(),
+                "{name} at {workers} workers: {:?}",
+                check.violations
+            );
+        }
+
+        // Journaled engine: fresh run, then kill at the mid-case boundary
+        // (byte-exact truncation, the state a SIGKILL between two appends
+        // leaves) and resume.
+        let journal = scratch(&format!("{name}.jrn"));
+        let _ = fs::remove_file(&journal);
+        let journaled =
+            run_campaign_journaled(os, &cfg(1), &journal, false).expect("journaled run");
+        let check = oracle::check_cross_engine("serial", &serial, "journaled", &journaled);
+        assert!(check.violations.is_empty(), "{name}: {:?}", check.violations);
+
+        let bytes = fs::read(&journal).expect("journal readable");
+        let boundary = HEADER_LEN + (journaled.total_cases / 2) * RECORD_LEN;
+        fs::write(&journal, &bytes[..boundary]).expect("truncate journal");
+        let resumed = run_campaign_journaled(os, &cfg(1), &journal, true).expect("resume");
+        let check = oracle::check_cross_engine("serial", &serial, "split-resume", &resumed);
+        assert!(check.violations.is_empty(), "{name}: {:?}", check.violations);
+        assert_eq!(
+            resumed.stats.expect("stats").replayed_cases,
+            journaled.total_cases / 2,
+            "{name}: exactly the journaled prefix is replayed"
+        );
+        let _ = fs::remove_file(&journal);
+    }
+    let live = oracle::selfcheck::take_violations();
+    oracle::selfcheck::set_enabled(false);
+    assert!(live.is_empty(), "live tally self-check: {live:?}");
+}

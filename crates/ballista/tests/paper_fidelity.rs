@@ -1,0 +1,26 @@
+//! Paper-fidelity regressions pinned as named oracle invariants.
+//!
+//! The DSN 2000 paper's headline anecdote: calling
+//! `GetThreadContext(GetCurrentThread(), NULL)` crashes the entire OS on
+//! the Windows 95 family (95 / 98 / 98 SE / CE) but is survived by the
+//! NT family (NT 4.0 / 2000). The oracle carries this as the
+//! `gtc-null-context-family-split` invariant; this test keeps it pinned
+//! so a catalog or kernel edit can't silently lose the paper's most
+//! famous data point.
+
+use ballista::oracle;
+
+#[test]
+fn gtc_null_context_crashes_9x_and_ce_but_not_nt() {
+    let check = oracle::check_gtc_null_context();
+    assert_eq!(check.invariant, "gtc-null-context-family-split");
+    assert_eq!(
+        check.checked, 6,
+        "all six Windows variants carry GetThreadContext"
+    );
+    assert!(
+        check.violations.is_empty(),
+        "paper-fidelity violations: {:?}",
+        check.violations
+    );
+}

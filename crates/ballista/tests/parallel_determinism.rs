@@ -1,9 +1,9 @@
-//! Acceptance test for the parallel campaign engine: on every OS variant,
-//! a parallel campaign must serialize to **bit-identical** per-MuT
-//! tallies as the sequential reference path — same outcome counts, same
-//! packed per-case records, same Table 3 catastrophic sets and `*`
-//! (interference-dependent) marks. This is the contract that makes the
-//! parallel engine a pure performance change.
+//! Parallel-engine behaviour not covered by the cross-engine equivalence
+//! matrix (`engine_equivalence.rs`, which asserts serial/parallel/journaled
+//! bit-identity through the conformance oracle): the legacy provisioning
+//! cost model must remain behaviour-preserving, because the benchmark
+//! driver's before/after calibration is only meaningful if both modes
+//! compute the same results.
 
 use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use sim_kernel::variant::OsVariant;
@@ -23,35 +23,7 @@ fn run(os: OsVariant, parallelism: usize) -> CampaignReport {
 }
 
 #[test]
-fn parallel_campaigns_are_bit_identical_on_every_variant() {
-    for os in OsVariant::ALL {
-        let serial = run(os, 1);
-        let parallel = run(os, 4);
-        let serial_json = serde_json::to_string(&serial.muts).expect("serializable");
-        let parallel_json = serde_json::to_string(&parallel.muts).expect("serializable");
-        assert_eq!(
-            serial_json, parallel_json,
-            "{os}: serialized tallies diverged between serial and parallel engines"
-        );
-        assert_eq!(serial.total_cases, parallel.total_cases, "{os}");
-        // The Table 3 sets (and their `*` marks) must agree too — implied
-        // by the byte equality above, but asserted separately so a
-        // regression reports the actual divergence.
-        let table3 = |r: &CampaignReport| -> Vec<(String, Option<bool>)> {
-            r.catastrophic_muts()
-                .iter()
-                .map(|t| (t.name.clone(), t.crash_reproducible_in_isolation))
-                .collect()
-        };
-        assert_eq!(table3(&serial), table3(&parallel), "{os}: Table 3 diverged");
-    }
-}
-
-#[test]
 fn legacy_provisioning_mode_is_behaviour_preserving() {
-    // The benchmark driver's before/after calibration is only meaningful
-    // if the legacy cost model (full boot per case, eager zero fill)
-    // computes the same results.
     let os = OsVariant::Win98;
     ballista::exec::LEGACY_PROVISIONING.store(true, std::sync::atomic::Ordering::SeqCst);
     let legacy = run(os, 1);

@@ -1,0 +1,382 @@
+//! Conformance runner: drives the `ballista::oracle` invariant suite and
+//! `ballista::coverage` accounting across all seven OS variants, diffs
+//! the per-variant tallies against the golden corpus under
+//! `results/golden/`, and exits non-zero on any violation — the standing
+//! gate that keeps the three execution engines and the cross-variant
+//! relations trustworthy.
+//!
+//! ```text
+//! conformance                  # full oracle suite at cap 200
+//! conformance --cap 100        # smaller stimulus (golden diff skipped
+//! #                              unless the corpus was blessed at 100)
+//! conformance --bless          # regenerate results/golden/<os>.json
+//! ```
+//!
+//! Per variant it runs: the serial engine (reference), the parallel
+//! engine at 2 and 8 workers (metamorphic worker permutation), a fresh
+//! journaled run, a journaled run split at the mid-case boundary and
+//! resumed (metamorphic journal split), and a serial rerun on a
+//! re-seeded template cache. Every rerun must be bit-identical to the
+//! reference; every tally must be internally consistent (checked live
+//! through the engines' oracle hooks); the cross-variant relations and
+//! the pinned `GetThreadContext(GetCurrentThread(), NULL)` family split
+//! must hold; and coverage must not regress below the checked-in floor
+//! (`results/golden/coverage_floor.json` — hand-set, never blessed).
+
+use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig, CampaignReport};
+use ballista::coverage::{Coverage, CoverageFloor};
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use ballista::oracle::{self, Check, Conformance};
+use ballista::persist::atomic_write;
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The cap the checked-in golden corpus is pinned at.
+const GOLDEN_CAP: usize = 200;
+
+fn cfg(cap: usize, parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    experiments::results_dir().join("golden")
+}
+
+/// One variant's pinned tallies: the cap they were produced at plus the
+/// serialized per-MuT tallies of the serial reference engine.
+#[derive(Serialize, Deserialize)]
+struct GoldenEntry {
+    cap: usize,
+    muts: Vec<ballista::campaign::MutTally>,
+}
+
+/// Per-variant summary row in `results/coverage.json`.
+#[derive(Serialize)]
+struct CoverageSummary {
+    os: String,
+    muts_exercised: u64,
+    executed_cases: u64,
+    planned_cases: u64,
+    pools: u64,
+    values_touched: u64,
+    values_total: u64,
+    classes_observed: u64,
+}
+
+impl CoverageSummary {
+    fn of(os: &str, cov: &Coverage) -> Self {
+        CoverageSummary {
+            os: os.to_owned(),
+            muts_exercised: cov.muts_exercised(),
+            executed_cases: cov.executed_cases,
+            planned_cases: cov.planned_cases,
+            pools: cov.pools.len() as u64,
+            values_touched: cov.values_touched(),
+            values_total: cov.values_total(),
+            classes_observed: cov.classes_observed(),
+        }
+    }
+}
+
+/// The `results/coverage.json` artifact.
+#[derive(Serialize)]
+struct CoverageArtifact {
+    cap: usize,
+    variants: Vec<CoverageSummary>,
+    merged_summary: CoverageSummary,
+    merged: Coverage,
+}
+
+/// Splits a completed journal at the mid-case boundary — the byte-exact
+/// state of a campaign SIGKILLed between two appends — and resumes it.
+fn split_and_resume(
+    os: OsVariant,
+    config: &CampaignConfig,
+    path: &PathBuf,
+    total_cases: u64,
+) -> std::io::Result<CampaignReport> {
+    let bytes = fs::read(path)?;
+    let boundary = HEADER_LEN + (total_cases as usize / 2) * RECORD_LEN;
+    fs::write(path, &bytes[..boundary.min(bytes.len())])?;
+    run_campaign_journaled(os, config, path, true)
+}
+
+fn relabel(mut check: Check, invariant: &str) -> Check {
+    check.invariant = invariant.to_owned();
+    check
+}
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    // Default to the golden cap (BALLISTA_CAP or --cap override it; the
+    // golden diff then only applies if the corpus was blessed there).
+    let mut cap = std::env::var("BALLISTA_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(GOLDEN_CAP);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bless" => bless = true,
+            "--cap" => {
+                cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: conformance [--cap N] [--bless]");
+                        std::process::exit(2)
+                    });
+            }
+            _ => {
+                eprintln!("usage: conformance [--cap N] [--bless]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!("=== Conformance oracle suite (cap = {cap}) ===");
+    let serial_cfg = cfg(cap, 1);
+    let journal_dir = std::env::temp_dir().join("ballista-conformance");
+    fs::create_dir_all(&journal_dir).expect("journal scratch dir");
+
+    oracle::selfcheck::set_enabled(true);
+    let _ = oracle::selfcheck::take_violations();
+
+    let mut conf = Conformance::default();
+    let mut serial_reports: Vec<CampaignReport> = Vec::new();
+
+    for os in OsVariant::ALL {
+        let name = os.short_name();
+        let serial = run_campaign(os, &serial_cfg);
+        eprintln!(
+            "  [{name}] serial: {} MuTs, {} cases, {} catastrophic",
+            serial.muts.len(),
+            serial.total_cases,
+            serial.catastrophic_muts().len()
+        );
+
+        conf.push(oracle::check_report(&serial));
+
+        // Metamorphic worker permutation: 2 and 8 workers vs the serial
+        // reference (serial *is* the 1-worker point of the permutation).
+        for workers in [2usize, 8] {
+            let parallel = run_campaign(os, &cfg(cap, workers));
+            conf.push(relabel(
+                oracle::check_cross_engine(
+                    "serial",
+                    &serial,
+                    &format!("parallel-{workers}"),
+                    &parallel,
+                ),
+                "metamorphic-parallelism",
+            ));
+        }
+
+        // Journaled engine: fresh run, then split at the mid-case
+        // boundary and resumed — both bit-identical to serial.
+        let journal = journal_dir.join(format!("{name}.jrn"));
+        let _ = fs::remove_file(&journal);
+        match run_campaign_journaled(os, &serial_cfg, &journal, false) {
+            Ok(journaled) => {
+                conf.push(oracle::check_cross_engine(
+                    "serial",
+                    &serial,
+                    "journaled",
+                    &journaled,
+                ));
+                match split_and_resume(os, &serial_cfg, &journal, journaled.total_cases as u64) {
+                    Ok(resumed) => conf.push(relabel(
+                        oracle::check_cross_engine("serial", &serial, "split-resume", &resumed),
+                        "metamorphic-journal-split",
+                    )),
+                    Err(e) => conf.push(Check {
+                        invariant: "metamorphic-journal-split".to_owned(),
+                        checked: 0,
+                        violations: vec![format!("[{name}] split-resume failed: {e}")],
+                    }),
+                }
+            }
+            Err(e) => conf.push(Check {
+                invariant: "cross-engine-bit-identity".to_owned(),
+                checked: 0,
+                violations: vec![format!("[{name}] journaled run failed: {e}")],
+            }),
+        }
+        let _ = fs::remove_file(&journal);
+
+        // Metamorphic template re-seed: rebuilt boot templates must not
+        // change a single tally.
+        ballista::exec::invalidate_templates();
+        let reseeded = run_campaign(os, &serial_cfg);
+        conf.push(relabel(
+            oracle::check_cross_engine("serial", &serial, "reseeded-templates", &reseeded),
+            "metamorphic-template-reseed",
+        ));
+
+        serial_reports.push(serial);
+    }
+
+    // Violations observed live by the engines' oracle hooks.
+    let live = oracle::selfcheck::take_violations();
+    oracle::selfcheck::set_enabled(false);
+    conf.push(Check {
+        invariant: "live-tally-selfcheck".to_owned(),
+        checked: serial_reports.iter().map(|r| r.muts.len() as u64).sum(),
+        violations: live,
+    });
+
+    // Cross-variant relations, plan identity, and the pinned one-liner.
+    conf.extend(oracle::check_cross_variant(&serial_reports));
+    conf.push(oracle::check_sampling_identity(cap));
+    conf.push(oracle::check_gtc_null_context());
+
+    // Coverage accounting + floor.
+    let per_variant: Vec<(String, Coverage)> = serial_reports
+        .iter()
+        .map(|r| {
+            (
+                r.os.short_name().to_owned(),
+                Coverage::from_report(r, &serial_cfg),
+            )
+        })
+        .collect();
+    let mut merged = Coverage::default();
+    for (_, cov) in &per_variant {
+        merged.merge(cov);
+    }
+    let floor_path = golden_dir().join("coverage_floor.json");
+    let (floor, floor_note) = match fs::read(&floor_path) {
+        Ok(bytes) => match serde_json::from_slice::<CoverageFloor>(&bytes) {
+            Ok(f) => (f, None),
+            Err(e) => (
+                CoverageFloor::default(),
+                Some(format!("unparsable floor {}: {e}", floor_path.display())),
+            ),
+        },
+        Err(_) => (
+            CoverageFloor::default(),
+            Some(format!(
+                "missing floor {} (using the permissive default)",
+                floor_path.display()
+            )),
+        ),
+    };
+    let shortfalls = merged.check_floor(&floor);
+    let mut floor_check = Check {
+        invariant: "coverage-floor".to_owned(),
+        checked: 5,
+        violations: shortfalls.clone(),
+    };
+    if let Some(note) = floor_note {
+        floor_check.violations.push(note);
+    }
+    conf.push(floor_check);
+
+    // Golden corpus: pinned serial tallies per variant.
+    let mut golden_check = Check {
+        invariant: "golden-corpus".to_owned(),
+        checked: 0,
+        violations: Vec::new(),
+    };
+    fs::create_dir_all(golden_dir()).expect("golden dir must be creatable");
+    for report in &serial_reports {
+        let name = report.os.short_name();
+        let path = golden_dir().join(format!("{name}.json"));
+        let entry = GoldenEntry {
+            cap,
+            muts: report.muts.clone(),
+        };
+        if bless {
+            let json = serde_json::to_string_pretty(&entry).expect("golden serializes");
+            atomic_write(&path, json.as_bytes()).expect("golden must be writable");
+            eprintln!("  blessed {}", path.display());
+            continue;
+        }
+        golden_check.checked += 1;
+        match fs::read(&path) {
+            Ok(bytes) => match serde_json::from_slice::<GoldenEntry>(&bytes) {
+                Ok(golden) if golden.cap != cap => golden_check.violations.push(format!(
+                    "[{name}] golden corpus pinned at cap {}, run used cap {cap}",
+                    golden.cap
+                )),
+                Ok(golden) => {
+                    let got = serde_json::to_string(&entry.muts).expect("serializable");
+                    let want = serde_json::to_string(&golden.muts).expect("serializable");
+                    if got != want {
+                        let diverged: Vec<&str> = entry
+                            .muts
+                            .iter()
+                            .zip(&golden.muts)
+                            .filter(|(a, b)| a != b)
+                            .map(|(a, _)| a.name.as_str())
+                            .collect();
+                        golden_check.violations.push(format!(
+                            "[{name}] tallies drifted from the golden corpus (MuTs: {}); \
+                             rerun with --bless only if the change is intended",
+                            if diverged.is_empty() {
+                                "catalog shape changed".to_owned()
+                            } else {
+                                diverged.join(", ")
+                            }
+                        ));
+                    }
+                }
+                Err(e) => golden_check
+                    .violations
+                    .push(format!("[{name}] unparsable golden corpus: {e}")),
+            },
+            Err(_) => golden_check.violations.push(format!(
+                "[{name}] no golden corpus at {}; run conformance --bless",
+                path.display()
+            )),
+        }
+    }
+    if !bless {
+        conf.push(golden_check);
+    }
+
+    // Artifacts + rendered tables.
+    let mut entries: Vec<(String, &Coverage)> = per_variant
+        .iter()
+        .map(|(name, cov)| (name.clone(), cov))
+        .collect();
+    entries.push(("merged".to_owned(), &merged));
+    let conformance_txt = report::conformance::conformance_table(&conf);
+    let coverage_txt = report::conformance::coverage_table(&entries, &shortfalls);
+    print!("{conformance_txt}");
+    print!("{coverage_txt}");
+    experiments::write_artifact("conformance.txt", &format!("{conformance_txt}\n{coverage_txt}"));
+    let artifact = CoverageArtifact {
+        cap,
+        variants: per_variant
+            .iter()
+            .map(|(name, cov)| CoverageSummary::of(name, cov))
+            .collect(),
+        merged_summary: CoverageSummary::of("merged", &merged),
+        merged,
+    };
+    experiments::write_artifact(
+        "coverage.json",
+        &serde_json::to_string_pretty(&artifact).expect("coverage serializes"),
+    );
+
+    if conf.is_clean() {
+        eprintln!("conformance: all invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "conformance: {} violation(s) — see results/conformance.txt",
+            conf.violation_count()
+        );
+        ExitCode::FAILURE
+    }
+}

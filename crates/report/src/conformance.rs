@@ -1,0 +1,158 @@
+//! Text renderers for the conformance oracle and coverage accounting.
+//!
+//! Rendered by the `conformance` experiment binary alongside the paper
+//! tables: one table listing every oracle invariant with its verdict, one
+//! accounting table of what each variant's run exercised. Both end in an
+//! unmissable PASS/FAIL footer — CI greps the footer, humans read the
+//! rows.
+
+use ballista::coverage::Coverage;
+use ballista::oracle::Conformance;
+use std::fmt::Write as _;
+
+/// Renders the invariant table: one row per oracle invariant (checks of
+/// the same invariant — e.g. one per variant — aggregate into one row,
+/// first-seen order) with the number of facts examined and a PASS/FAIL
+/// verdict, every violation detail indented under its row, and a final
+/// CONFORMANCE footer.
+#[must_use]
+pub fn conformance_table(conf: &Conformance) -> String {
+    let mut rows: Vec<(&str, u64, Vec<&str>)> = Vec::new();
+    for check in &conf.checks {
+        match rows.iter_mut().find(|(name, ..)| *name == check.invariant) {
+            Some((_, checked, violations)) => {
+                *checked += check.checked;
+                violations.extend(check.violations.iter().map(String::as_str));
+            }
+            None => rows.push((
+                &check.invariant,
+                check.checked,
+                check.violations.iter().map(String::as_str).collect(),
+            )),
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "Conformance oracle — invariant verdicts.");
+    let _ = writeln!(out, "{:<38} {:>8} {:>11} {:>8}", "Invariant", "checked", "violations", "status");
+    let _ = writeln!(out, "{}", "-".repeat(68));
+    for (invariant, checked, violations) in &rows {
+        let _ = writeln!(
+            out,
+            "{:<38} {:>8} {:>11} {:>8}",
+            invariant,
+            checked,
+            violations.len(),
+            if violations.is_empty() { "PASS" } else { "FAIL" }
+        );
+        for v in violations {
+            let _ = writeln!(out, "    ! {v}");
+        }
+    }
+    if conf.is_clean() {
+        let _ = writeln!(
+            out,
+            "CONFORMANCE: PASS ({} invariant(s), {} fact(s) checked)",
+            rows.len(),
+            conf.checks.iter().map(|c| c.checked).sum::<u64>()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "!! CONFORMANCE: FAIL — {} violation(s) across {} invariant(s)",
+            conf.violation_count(),
+            rows.iter().filter(|(.., v)| !v.is_empty()).count()
+        );
+    }
+    out
+}
+
+/// Renders the coverage accounting table: one row per scope (typically
+/// one per variant plus a merged total), and a COVERAGE footer that fails
+/// when the checked-in floor is violated (`shortfalls` from
+/// [`Coverage::check_floor`]).
+#[must_use]
+pub fn coverage_table(entries: &[(String, &Coverage)], shortfalls: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Coverage accounting — what each run exercised.");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>10} {:>10} {:>6} {:>9} {:>8}",
+        "Scope", "MuTs", "executed", "planned", "pools", "values", "classes"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    for (label, cov) in entries {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>10} {:>10} {:>6} {:>4}/{:<4} {:>8}",
+            label,
+            cov.muts_exercised(),
+            cov.executed_cases,
+            cov.planned_cases,
+            cov.pools.len(),
+            cov.values_touched(),
+            cov.values_total(),
+            cov.classes_observed(),
+        );
+    }
+    if shortfalls.is_empty() {
+        let _ = writeln!(out, "COVERAGE: PASS (floor holds)");
+    } else {
+        let _ = writeln!(out, "!! COVERAGE: FAIL — floor regression");
+        for s in shortfalls {
+            let _ = writeln!(out, "    ! {s}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballista::oracle::Check;
+
+    fn check(name: &str, checked: u64, violations: &[&str]) -> Check {
+        Check {
+            invariant: name.to_owned(),
+            checked,
+            violations: violations.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_conformance_renders_pass() {
+        let conf = Conformance {
+            checks: vec![check("cross-engine-bit-identity", 42, &[])],
+        };
+        let t = conformance_table(&conf);
+        assert!(t.contains("CONFORMANCE: PASS"));
+        assert!(!t.contains("FAIL"));
+        assert!(t.contains("42"));
+    }
+
+    #[test]
+    fn violations_render_fail_footer_and_details() {
+        let conf = Conformance {
+            checks: vec![
+                check("nt-linux-never-catastrophic", 10, &["[winnt] Foo recorded Catastrophic"]),
+                check("identical-sampling-order", 5, &[]),
+            ],
+        };
+        let t = conformance_table(&conf);
+        assert!(t.contains("!! CONFORMANCE: FAIL — 1 violation(s) across 1 invariant(s)"));
+        assert!(t.contains("! [winnt] Foo recorded Catastrophic"));
+        assert!(t.lines().any(|l| l.contains("identical-sampling-order") && l.ends_with("PASS")));
+    }
+
+    #[test]
+    fn coverage_table_renders_rows_and_floor() {
+        let cov = Coverage::default();
+        let t = coverage_table(&[("empty".to_owned(), &cov)], &[]);
+        assert!(t.contains("COVERAGE: PASS"));
+        let t = coverage_table(
+            &[("empty".to_owned(), &cov)],
+            &["MuTs exercised: 0 < floor 1".to_owned()],
+        );
+        assert!(t.contains("!! COVERAGE: FAIL"));
+        assert!(t.contains("! MuTs exercised: 0 < floor 1"));
+    }
+}

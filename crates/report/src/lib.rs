@@ -17,10 +17,13 @@
 //!   it — an analysis the paper could not run.
 //! * [`tables`] — text renderers for Tables 1, 2 and 3.
 //! * [`figures`] — ASCII bar charts and CSV series for Figures 1 and 2.
+//! * [`conformance`] — renderers for the conformance-oracle verdicts and
+//!   coverage accounting (PASS/FAIL footers for CI).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod figures;
 pub mod normalize;
 pub mod tables;

@@ -1,0 +1,87 @@
+//! Golden snapshot tests for the Table 1/2/3 renderers: the full rendered
+//! text of each table, from a real deterministic two-variant campaign at
+//! cap 200, is pinned against checked-in fixtures — including the degraded
+//! PARTIAL DATA footer variant. A formatting change now shows up as a
+//! readable fixture diff instead of silently reshaping the paper tables.
+//!
+//! To regenerate after an intentional change:
+//! `BLESS_TABLES=1 cargo test -p report --test table_snapshots`
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use report::{tables, MultiOsResults};
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn results() -> MultiOsResults {
+    let cfg = CampaignConfig {
+        cap: 200,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    };
+    MultiOsResults {
+        reports: vec![
+            run_campaign(OsVariant::Win98, &cfg),
+            run_campaign(OsVariant::WinNt4, &cfg),
+        ],
+        warnings: Vec::new(),
+    }
+}
+
+fn assert_snapshot(name: &str, rendered: &str) {
+    let path = fixture(name);
+    if std::env::var_os("BLESS_TABLES").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with BLESS_TABLES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{name} drifted from its fixture; if the change is intentional, \
+         regenerate with BLESS_TABLES=1 cargo test -p report --test table_snapshots"
+    );
+}
+
+#[test]
+fn table1_matches_fixture() {
+    assert_snapshot("table1.txt", &tables::table1(&results()));
+}
+
+#[test]
+fn table2_matches_fixture() {
+    assert_snapshot("table2.txt", &tables::table2(&results()));
+}
+
+#[test]
+fn table3_matches_fixture() {
+    assert_snapshot("table3.txt", &tables::table3(&results()));
+}
+
+#[test]
+fn degraded_tables_match_fixture_with_partial_data_footer() {
+    let mut partial = results();
+    partial.reports[0].degraded = true;
+    partial.reports[0]
+        .warnings
+        .push("[win98] quarantined worker after contained failure".to_owned());
+    let t1 = tables::table1(&partial);
+    assert!(t1.contains("!! PARTIAL DATA"), "degraded runs carry the banner");
+    assert_snapshot("table1_partial.txt", &t1);
+    assert_snapshot("table3_partial.txt", &tables::table3(&partial));
+}

@@ -1,0 +1,73 @@
+//! Workspace-level snapshot test against the golden CRASH corpus: the
+//! serial engine on every variant at cap 200 must serialize to exactly
+//! the pinned per-variant tallies under `results/golden/`. The corpus is
+//! regenerable only through `conformance --bless`; an unexpected diff
+//! here means a kernel, catalog, pool or sampling change silently moved
+//! observed robustness behaviour.
+
+use ballista::campaign::{run_campaign, CampaignConfig, MutTally};
+use serde::Deserialize;
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+
+/// The corpus cap — must match `GOLDEN_CAP` in the conformance binary.
+const GOLDEN_CAP: usize = 200;
+
+#[derive(Deserialize)]
+struct GoldenEntry {
+    cap: usize,
+    muts: Vec<MutTally>,
+}
+
+fn golden_path(os: OsVariant) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/golden")
+        .join(format!("{}.json", os.short_name()))
+}
+
+#[test]
+fn serial_tallies_match_golden_corpus_on_every_variant() {
+    let cfg = CampaignConfig {
+        cap: GOLDEN_CAP,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    };
+    for os in OsVariant::ALL {
+        let name = os.short_name();
+        let path = golden_path(os);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden corpus {} ({e}); regenerate with \
+                 `cargo run --release -p experiments --bin conformance -- --bless`",
+                path.display()
+            )
+        });
+        let golden: GoldenEntry =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: corrupt corpus: {e}"));
+        assert_eq!(golden.cap, GOLDEN_CAP, "{name}: corpus blessed at a different cap");
+
+        let report = run_campaign(os, &cfg);
+        let live = serde_json::to_string(&report.muts).expect("serialize");
+        let pinned = serde_json::to_string(&golden.muts).expect("serialize");
+        if live != pinned {
+            let diverged: Vec<&str> = report
+                .muts
+                .iter()
+                .zip(&golden.muts)
+                .filter(|(a, b)| {
+                    serde_json::to_string(a).unwrap() != serde_json::to_string(b).unwrap()
+                })
+                .map(|(a, _)| a.name.as_str())
+                .collect();
+            panic!(
+                "{name}: live tallies drifted from the golden corpus \
+                 (diverged MuTs: {diverged:?}); if the behaviour change is \
+                 intentional, re-bless with `conformance -- --bless`"
+            );
+        }
+    }
+}
