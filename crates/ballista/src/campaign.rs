@@ -34,6 +34,7 @@ use crate::exec::{
 use crate::journal::{CaseRecord, Journal, PlanHasher, Recovery};
 use crate::muts::Mut;
 use crate::sampling::{self, CaseSet, PAPER_CAP};
+use crate::telemetry::{self, CaseTrace, TraceCollector};
 use crate::value::TestValue;
 use serde::{Deserialize, Serialize};
 use sim_kernel::variant::OsVariant;
@@ -48,6 +49,26 @@ use std::time::Instant;
 const MAX_MUT_RETRIES: u32 = 1;
 
 /// Campaign knobs.
+///
+/// The default is the paper's protocol: 5 000-case cap, isolation
+/// probes on, automatic parallelism. Every tally-relevant knob is part
+/// of the journal's plan fingerprint, so resuming under a different
+/// config restarts rather than misapplies.
+///
+/// # Example
+///
+/// ```
+/// use ballista::campaign::CampaignConfig;
+///
+/// // A quick scouting config: small cap, serial, default fuel budget.
+/// let cfg = CampaignConfig {
+///     cap: 200,
+///     parallelism: 1,
+///     ..CampaignConfig::default()
+/// };
+/// assert_eq!(cfg.workers(), 1);
+/// assert_eq!(cfg.effective_fuel_budget(), ballista::exec::DEFAULT_FUEL_BUDGET);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Per-MuT test-case cap (the paper used 5000).
@@ -133,6 +154,14 @@ pub struct CampaignStats {
     /// Cases the replay pass re-executed because they probed residue
     /// under a non-zero session residue.
     pub replayed_cases: usize,
+    /// Contained worker panics that earned a MuT a retry on rebuilt
+    /// templates (absent in results written before the telemetry layer).
+    #[serde(default)]
+    pub quarantine_retries: u64,
+    /// Journal durability syncs issued (0 for non-journaled engines;
+    /// absent in results written before the telemetry layer).
+    #[serde(default)]
+    pub journal_fsyncs: u64,
 }
 
 /// Per-MuT campaign results.
@@ -333,6 +362,7 @@ fn empty_tally(mut_: &Mut, planned: usize) -> MutTally {
 /// source of tally semantics for both the sequential and parallel paths,
 /// so they cannot drift apart.
 fn apply_case(tally: &mut MutTally, cfg: &CampaignConfig, result: &CaseResult) -> bool {
+    telemetry::on_case_applied(result.class);
     tally.cases += 1;
     if cfg.record_raw {
         tally.raw_outcomes.push(crash::pack_case(
@@ -375,9 +405,26 @@ pub fn run_mut_campaign_with(
     cfg: &CampaignConfig,
     session: &mut Session,
 ) -> MutTally {
+    run_mut_campaign_traced(os, mut_, registry, cfg, session, &mut None)
+}
+
+/// [`run_mut_campaign_with`] plus an optional trace collector: when the
+/// telemetry hub has tracing on, every applied case lands in the
+/// campaign trace with its fuel and post-case residue attached.
+fn run_mut_campaign_traced(
+    os: OsVariant,
+    mut_: &Mut,
+    registry: &TypeRegistry,
+    cfg: &CampaignConfig,
+    session: &mut Session,
+    tc: &mut Option<TraceCollector>,
+) -> MutTally {
     let prep = prepare(registry, mut_, cfg);
     let mut tally = empty_tally(mut_, prep.plan.cases.len());
-    for combo in &prep.plan.cases {
+    if let Some(tc) = tc.as_mut() {
+        tc.begin_mut(mut_.name, mut_.group.label(), prep.plan.cases.len());
+    }
+    for (c_idx, combo) in prep.plan.cases.iter().enumerate() {
         if cfg.perfect_cleanup {
             session.residue = 0;
         }
@@ -389,7 +436,20 @@ pub fn run_mut_campaign_with(
             session,
             cfg.effective_fuel_budget(),
         );
-        if apply_case(&mut tally, cfg, &result) {
+        let residue_after = session.residue;
+        let fatal = apply_case(&mut tally, cfg, &result);
+        if let Some(tc) = tc.as_mut() {
+            tc.record_case(CaseTrace {
+                case_idx: c_idx as u32,
+                raw: result.raw,
+                class: result.class,
+                any_exceptional: result.any_exceptional,
+                residue_probed: result.residue_probed,
+                fuel: result.fuel_used,
+                residue_after,
+            });
+        }
+        if fatal {
             if cfg.isolation_probe {
                 tally.crash_reproducible_in_isolation =
                     Some(reproduce_in_isolation(os, mut_, &prep.pools, combo));
@@ -403,27 +463,46 @@ pub fn run_mut_campaign_with(
     tally
 }
 
+/// One MuT's clean-pass output: a packed record byte per case, plus —
+/// only when tracing is on — the per-case fuel side channel the replay
+/// pass needs to rebuild the deterministic trace timeline without
+/// re-executing. The side channel is `None` when telemetry is off, so
+/// the disabled clean pass allocates exactly what it always did.
+struct CleanMut {
+    records: Vec<u8>,
+    fuel: Option<Vec<u64>>,
+}
+
 /// Runs one MuT's full plan at residue zero and packs one record byte per
 /// case. Execution stops early at an unprobed `SystemCrash` — the replay
 /// pass provably never advances past it.
-fn run_clean_mut(os: OsVariant, prep: &PreparedMut<'_>, fuel_budget: u64) -> Vec<u8> {
+fn run_clean_mut(
+    os: OsVariant,
+    prep: &PreparedMut<'_>,
+    fuel_budget: u64,
+    capture_fuel: bool,
+) -> CleanMut {
     exec::fault::maybe_panic(prep.mut_.name);
     let mut records = Vec::with_capacity(prep.plan.cases.len());
+    let mut fuel = capture_fuel.then(|| Vec::with_capacity(prep.plan.cases.len()));
     let mut clean = Session::new();
     for combo in &prep.plan.cases {
         clean.residue = 0;
         let r = execute_case_budgeted(os, prep.mut_, &prep.pools, combo, &mut clean, fuel_budget);
         records.push(crash::pack_case(r.raw, r.any_exceptional, r.residue_probed));
+        if let Some(fuel) = fuel.as_mut() {
+            fuel.push(r.fuel_used);
+        }
         if r.raw == RawOutcome::SystemCrash && !r.residue_probed {
             break;
         }
     }
-    records
+    CleanMut { records, fuel }
 }
 
-/// One MuT's clean-pass outcome: its packed records, or `None` when the
-/// MuT was quarantined after repeated contained harness faults.
-type CleanRecords = Option<Vec<u8>>;
+/// One MuT's clean-pass outcome, or `None` when the MuT was quarantined
+/// after repeated contained harness faults.
+type CleanRecords = Option<CleanMut>;
 
 /// Phase 1: worker threads shard the catalog (atomic work counter, MuT
 /// granularity). Each MuT runs under a `catch_unwind` fence at the worker
@@ -437,9 +516,11 @@ fn clean_pass(
     workers: usize,
     fuel_budget: u64,
     sink: &Arc<exec::stats::Counters>,
-) -> (Vec<CleanRecords>, Vec<String>) {
+    capture_fuel: bool,
+) -> (Vec<CleanRecords>, Vec<String>, u64) {
     let slots: Vec<Mutex<CleanRecords>> = preps.iter().map(|_| Mutex::new(None)).collect();
     let warnings: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let retries = std::sync::atomic::AtomicU64::new(0);
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -449,10 +530,11 @@ fn clean_pass(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(prep) = preps.get(i) else { break };
+                        telemetry::on_mut_begin(prep.plan.cases.len() as u64);
                         let mut attempts = 0u32;
                         let records = loop {
                             let run = catch_unwind(AssertUnwindSafe(|| {
-                                run_clean_mut(os, prep, fuel_budget)
+                                run_clean_mut(os, prep, fuel_budget, capture_fuel)
                             }));
                             match run {
                                 Ok(records) => break Some(records),
@@ -465,6 +547,8 @@ fn clean_pass(
                                     if attempts > MAX_MUT_RETRIES {
                                         break None;
                                     }
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    telemetry::on_quarantine_retry();
                                     warnings.lock().expect("warning log poisoned").push(
                                         format!(
                                             "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
@@ -475,6 +559,7 @@ fn clean_pass(
                             }
                         };
                         if records.is_none() {
+                            telemetry::on_mut_quarantined();
                             warnings.lock().expect("warning log poisoned").push(format!(
                                 "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
                                 prep.mut_.name
@@ -494,7 +579,11 @@ fn clean_pass(
         .into_iter()
         .map(|slot| slot.into_inner().expect("record slot poisoned"))
         .collect();
-    (records, warnings.into_inner().expect("warning log poisoned"))
+    (
+        records,
+        warnings.into_inner().expect("warning log poisoned"),
+        retries.into_inner(),
+    )
 }
 
 /// Phase 2: the true session walks the clean-pass records in catalog
@@ -508,16 +597,20 @@ fn replay_pass(
     preps: &[PreparedMut<'_>],
     records: &[CleanRecords],
     session: &mut Session,
+    tc: &mut Option<TraceCollector>,
 ) -> (Vec<MutTally>, usize) {
     let mut replayed = 0usize;
     let mut tallies = Vec::with_capacity(preps.len());
     for (prep, recs) in preps.iter().zip(records) {
         let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
+        if let Some(tc) = tc.as_mut() {
+            tc.begin_mut(prep.mut_.name, prep.mut_.group.label(), prep.plan.cases.len());
+        }
         let Some(recs) = recs else {
             tallies.push(tally);
             continue;
         };
-        for (combo, &rec) in prep.plan.cases.iter().zip(recs) {
+        for (c_idx, (combo, &rec)) in prep.plan.cases.iter().zip(&recs.records).enumerate() {
             if cfg.perfect_cleanup {
                 session.residue = 0;
             }
@@ -540,9 +633,31 @@ fn replay_pass(
                     class: classify(raw, any_exceptional),
                     any_exceptional,
                     residue_probed,
+                    // A reused case was not re-executed here; its fuel
+                    // comes from the clean-pass side channel. Sound
+                    // because a case reused at this point either never
+                    // probed residue (control flow — and fuel — cannot
+                    // depend on it) or ran at residue 0 both times.
+                    fuel_used: recs
+                        .fuel
+                        .as_ref()
+                        .map_or(0, |f| f.get(c_idx).copied().unwrap_or(0)),
                 }
             };
-            if apply_case(&mut tally, cfg, &result) {
+            let residue_after = session.residue;
+            let fatal = apply_case(&mut tally, cfg, &result);
+            if let Some(tc) = tc.as_mut() {
+                tc.record_case(CaseTrace {
+                    case_idx: c_idx as u32,
+                    raw: result.raw,
+                    class: result.class,
+                    any_exceptional: result.any_exceptional,
+                    residue_probed: result.residue_probed,
+                    fuel: result.fuel_used,
+                    residue_after,
+                });
+            }
+            if fatal {
                 if cfg.isolation_probe {
                     tally.crash_reproducible_in_isolation =
                         Some(reproduce_in_isolation(os, prep.mut_, &prep.pools, combo));
@@ -561,6 +676,7 @@ fn replay_pass(
 /// templates from a pristine copy of the session, and quarantining the
 /// MuT (empty tally) when the retry faults too. Returns whether the MuT
 /// was quarantined.
+#[allow(clippy::too_many_arguments)] // engine plumbing: session + telemetry channels
 fn run_mut_quarantined(
     os: OsVariant,
     mut_: &Mut,
@@ -568,6 +684,8 @@ fn run_mut_quarantined(
     cfg: &CampaignConfig,
     session: &mut Session,
     warnings: &mut Vec<String>,
+    tc: &mut Option<TraceCollector>,
+    retries: &mut u64,
 ) -> (MutTally, bool) {
     let mut attempts = 0u32;
     loop {
@@ -576,7 +694,7 @@ fn run_mut_quarantined(
         let mut attempt_session = session.clone();
         let run = catch_unwind(AssertUnwindSafe(|| {
             exec::fault::maybe_panic(mut_.name);
-            run_mut_campaign_with(os, mut_, registry, cfg, &mut attempt_session)
+            run_mut_campaign_traced(os, mut_, registry, cfg, &mut attempt_session, tc)
         }));
         match run {
             Ok(tally) => {
@@ -585,15 +703,28 @@ fn run_mut_quarantined(
             }
             Err(_) => {
                 exec::invalidate_templates();
+                // Whatever the panic left staged for this MuT is rolled
+                // back; the retry (or quarantine) starts a clean span.
+                if let Some(tc) = tc.as_mut() {
+                    tc.abort_mut();
+                }
                 attempts += 1;
                 if attempts > MAX_MUT_RETRIES {
+                    telemetry::on_mut_quarantined();
                     warnings.push(format!(
                         "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
                         mut_.name
                     ));
                     let planned = prepare(registry, mut_, cfg).plan.cases.len();
+                    // The trace shows the quarantined MuT as an empty
+                    // span, same as the parallel engine's replay pass.
+                    if let Some(tc) = tc.as_mut() {
+                        tc.begin_mut(mut_.name, mut_.group.label(), planned);
+                    }
                     return (empty_tally(mut_, planned), true);
                 }
+                *retries += 1;
+                telemetry::on_quarantine_retry();
                 warnings.push(format!(
                     "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
                     mut_.name
@@ -618,29 +749,54 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
     exec::stats::reset();
     let counters = Arc::new(exec::stats::Counters::default());
     exec::stats::install_sink(Arc::clone(&counters));
+    telemetry::on_campaign_begin();
+    let mut tc = TraceCollector::begin(os, cfg.cap as u64);
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
     let workers = cfg.workers().min(muts.len().max(1));
     let mut session = Session::new();
     let mut warnings = Vec::new();
     let mut degraded = false;
+    let mut retries = 0u64;
     let (tallies, replayed) = if workers <= 1 {
         let mut tallies = Vec::with_capacity(muts.len());
         for m in &muts {
-            let (tally, quarantined) =
-                run_mut_quarantined(os, m, &registry, cfg, &mut session, &mut warnings);
+            if telemetry::enabled() {
+                telemetry::on_mut_begin(prepare(&registry, m, cfg).plan.cases.len() as u64);
+            }
+            let (tally, quarantined) = run_mut_quarantined(
+                os,
+                m,
+                &registry,
+                cfg,
+                &mut session,
+                &mut warnings,
+                &mut tc,
+                &mut retries,
+            );
             degraded |= quarantined;
             tallies.push(tally);
         }
         (tallies, 0)
     } else {
         let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
-        let (records, mut clean_warnings) =
-            clean_pass(os, &preps, workers, cfg.effective_fuel_budget(), &counters);
+        let (records, mut clean_warnings, clean_retries) = clean_pass(
+            os,
+            &preps,
+            workers,
+            cfg.effective_fuel_budget(),
+            &counters,
+            tc.is_some(),
+        );
+        retries += clean_retries;
         warnings.append(&mut clean_warnings);
         degraded = records.iter().any(Option::is_none);
-        replay_pass(os, cfg, &preps, &records, &mut session)
+        replay_pass(os, cfg, &preps, &records, &mut session, &mut tc)
     };
+    if let Some(tc) = tc {
+        tc.finish();
+    }
+    telemetry::on_campaign_end();
     exec::stats::clear_sink();
     let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
     let wall = t0.elapsed().as_secs_f64();
@@ -654,6 +810,8 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         boot_ms: boot_ns as f64 / 1e6,
         restore_ms: restore_ns as f64 / 1e6,
         replayed_cases: replayed,
+        quarantine_retries: retries,
+        journal_fsyncs: 0,
     };
     CampaignReport {
         os,
@@ -702,6 +860,23 @@ fn plan_hash(os: OsVariant, cfg: &CampaignConfig, preps: &[PreparedMut<'_>]) -> 
 /// journal's order *is* the sequential session order, which the parallel
 /// engine reproduces bit for bit anyway.
 ///
+/// # Example
+///
+/// ```no_run
+/// use ballista::campaign::{run_campaign_journaled, CampaignConfig};
+/// use sim_kernel::variant::OsVariant;
+///
+/// let cfg = CampaignConfig { cap: 200, ..CampaignConfig::default() };
+/// let path = std::path::Path::new("results/win95.journal");
+/// // First invocation writes the journal as it executes…
+/// let report = run_campaign_journaled(OsVariant::Win95, &cfg, path, false)?;
+/// // …and if that process had been killed, `resume = true` replays the
+/// // journal prefix and picks up where it left off, bit-identically.
+/// let resumed = run_campaign_journaled(OsVariant::Win95, &cfg, path, true)?;
+/// assert_eq!(report.total_cases, resumed.total_cases);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+///
 /// # Errors
 ///
 /// Propagates journal I/O failures (the campaign cannot guarantee
@@ -716,6 +891,8 @@ pub fn run_campaign_journaled(
     exec::stats::reset();
     let counters = Arc::new(exec::stats::Counters::default());
     exec::stats::install_sink(Arc::clone(&counters));
+    telemetry::on_campaign_begin();
+    let mut tc = TraceCollector::begin(os, cfg.cap as u64);
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
     let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
@@ -758,6 +935,12 @@ pub fn run_campaign_journaled(
     let mut ri = 0usize;
     let mut replay_live = !recovered.is_empty();
     for (m_idx, prep) in preps.iter().enumerate() {
+        if telemetry::enabled() {
+            telemetry::on_mut_begin(prep.plan.cases.len() as u64);
+        }
+        if let Some(tc) = tc.as_mut() {
+            tc.begin_mut(prep.mut_.name, prep.mut_.group.label(), prep.plan.cases.len());
+        }
         let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
         for (c_idx, combo) in prep.plan.cases.iter().enumerate() {
             if cfg.perfect_cleanup {
@@ -779,6 +962,13 @@ pub fn run_campaign_journaled(
                                 class: classify(raw, any_exceptional),
                                 any_exceptional,
                                 residue_probed,
+                                // Replayed cases were not re-executed; the
+                                // journal record carries the fuel the case
+                                // burned when it originally ran. Fuel is a
+                                // pure function of the case, so the stored
+                                // value equals what a re-execution would
+                                // report.
+                                fuel_used: rec.fuel,
                             });
                         }
                     }
@@ -812,11 +1002,25 @@ pub fn run_campaign_journaled(
                         mut_idx: m_idx as u32,
                         case_idx: c_idx as u32,
                         packed: crash::pack_case(r.raw, r.any_exceptional, r.residue_probed),
+                        fuel: r.fuel_used,
                     })?;
                     r
                 }
             };
-            if apply_case(&mut tally, cfg, &result) {
+            let residue_after = session.residue;
+            let fatal = apply_case(&mut tally, cfg, &result);
+            if let Some(tc) = tc.as_mut() {
+                tc.record_case(CaseTrace {
+                    case_idx: c_idx as u32,
+                    raw: result.raw,
+                    class: result.class,
+                    any_exceptional: result.any_exceptional,
+                    residue_probed: result.residue_probed,
+                    fuel: result.fuel_used,
+                    residue_after,
+                });
+            }
+            if fatal {
                 if cfg.isolation_probe {
                     tally.crash_reproducible_in_isolation =
                         Some(reproduce_in_isolation(os, prep.mut_, &prep.pools, combo));
@@ -838,6 +1042,10 @@ pub fn run_campaign_journaled(
         journal.truncate_to(ri as u64)?;
     }
     journal.sync()?;
+    if let Some(tc) = tc {
+        tc.finish();
+    }
+    telemetry::on_campaign_end();
     exec::stats::clear_sink();
     let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
     let wall = t0.elapsed().as_secs_f64();
@@ -851,6 +1059,8 @@ pub fn run_campaign_journaled(
         boot_ms: boot_ns as f64 / 1e6,
         restore_ms: restore_ns as f64 / 1e6,
         replayed_cases: ri,
+        quarantine_retries: 0,
+        journal_fsyncs: journal.fsyncs(),
     };
     Ok(CampaignReport {
         os,

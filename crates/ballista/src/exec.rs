@@ -96,6 +96,7 @@ pub mod stats {
     pub(super) fn record_boot(nanos: u64) {
         BOOTS.fetch_add(1, Ordering::Relaxed);
         BOOT_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        crate::telemetry::on_boot(nanos);
         SINK.with(|s| {
             if let Some(c) = s.borrow().as_deref() {
                 c.boots.fetch_add(1, Ordering::Relaxed);
@@ -107,6 +108,7 @@ pub mod stats {
     pub(super) fn record_restore(nanos: u64) {
         RESTORES.fetch_add(1, Ordering::Relaxed);
         RESTORE_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        crate::telemetry::on_restore(nanos);
         SINK.with(|s| {
             if let Some(c) = s.borrow().as_deref() {
                 c.restores.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +297,12 @@ pub struct CaseResult {
     /// that never probe are provably independent of session history —
     /// the parallel campaign engine runs them out of order.
     pub residue_probed: bool,
+    /// Fuel the case burned (simulated work units) — a pure function of
+    /// the case, so identical on every host and engine. The telemetry
+    /// trace uses cumulative fuel as its deterministic time axis. For a
+    /// replayed (not re-executed) case the engines restore this from
+    /// the clean-pass side channel or the journal record.
+    pub fuel_used: u64,
 }
 
 /// Default per-case watchdog fuel budget (simulated work units; one unit
@@ -339,11 +347,16 @@ pub fn execute_case_budgeted(
     kernel.residue = session.residue;
     let raw_and_exc = run_on(&mut kernel, os, mut_, pools, combo);
     session.note(raw_and_exc.0, raw_and_exc.1);
+    if crate::telemetry::enabled() {
+        crate::telemetry::on_case_executed();
+        crate::telemetry::on_case_profile(os, mut_.group.label(), &kernel.subsys);
+    }
     CaseResult {
         raw: raw_and_exc.0,
         class: classify(raw_and_exc.0, raw_and_exc.1),
         any_exceptional: raw_and_exc.1,
         residue_probed: kernel.residue_probed,
+        fuel_used: kernel.fuel.consumed(),
     }
 }
 
@@ -415,6 +428,9 @@ pub fn execute_case_on(
         class: classify(raw, any_exceptional),
         any_exceptional,
         residue_probed: kernel.residue_probed,
+        // The machine is reused across calls, so this is the meter's
+        // cumulative reading — callers sequencing several calls diff it.
+        fuel_used: kernel.fuel.consumed(),
     }
 }
 

@@ -9,12 +9,13 @@
 //! session state bit for bit, then continues from the first unrecorded
 //! case.
 //!
-//! # On-disk format
+//! # On-disk format (version 2)
 //!
 //! ```text
-//! header  := magic "BLSTJRN1" (8) | plan_hash u64 LE (8)
+//! header  := magic "BLSTJRN2" (8) | plan_hash u64 LE (8)
 //! record  := tag 0xA5 (1) | mut_idx u32 LE (4) | case_idx u32 LE (4)
-//!            | packed_case (1) | fnv1a32 of the preceding 10 bytes (4)
+//!            | packed_case (1) | fuel u64 LE (8)
+//!            | fnv1a32 of the preceding 18 bytes (4)
 //! journal := header record*
 //! ```
 //!
@@ -25,6 +26,12 @@
 //! torn-write recovery trivial: on open, the journal truncates itself to
 //! the longest prefix of checksum-valid records, so a case is either
 //! fully recorded or not recorded at all — never half-counted.
+//!
+//! Version 2 added the `fuel` field so a resumed campaign can rebuild
+//! the telemetry trace's deterministic fuel timeline without
+//! re-executing replayed cases. Version-1 journals fail the magic check
+//! and are treated like any other foreign journal: the campaign
+//! restarts fresh with a warning instead of misreading them.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -54,12 +61,12 @@ fn kill_tick() {
     }
 }
 
-/// Journal file magic (version 1).
-pub const MAGIC: [u8; 8] = *b"BLSTJRN1";
+/// Journal file magic (version 2: records carry the case's fuel).
+pub const MAGIC: [u8; 8] = *b"BLSTJRN2";
 /// Bytes in the journal header.
 pub const HEADER_LEN: usize = 16;
 /// Bytes in one case record.
-pub const RECORD_LEN: usize = 14;
+pub const RECORD_LEN: usize = 22;
 /// Leading tag byte of every record.
 pub const RECORD_TAG: u8 = 0xA5;
 /// Records between durability syncs: the journal `fsync`s every this many
@@ -135,6 +142,9 @@ pub struct CaseRecord {
     pub case_idx: u32,
     /// The packed outcome byte.
     pub packed: u8,
+    /// Fuel the case burned — deterministic, so replaying the journal
+    /// rebuilds the telemetry trace's fuel timeline exactly.
+    pub fuel: u64,
 }
 
 impl CaseRecord {
@@ -146,8 +156,9 @@ impl CaseRecord {
         buf[1..5].copy_from_slice(&self.mut_idx.to_le_bytes());
         buf[5..9].copy_from_slice(&self.case_idx.to_le_bytes());
         buf[9] = self.packed;
-        let sum = fnv1a32(&buf[..10]);
-        buf[10..14].copy_from_slice(&sum.to_le_bytes());
+        buf[10..18].copy_from_slice(&self.fuel.to_le_bytes());
+        let sum = fnv1a32(&buf[..18]);
+        buf[18..22].copy_from_slice(&sum.to_le_bytes());
         buf
     }
 
@@ -158,14 +169,15 @@ impl CaseRecord {
         if buf.len() < RECORD_LEN || buf[0] != RECORD_TAG {
             return None;
         }
-        let sum = u32::from_le_bytes(buf[10..14].try_into().ok()?);
-        if sum != fnv1a32(&buf[..10]) {
+        let sum = u32::from_le_bytes(buf[18..22].try_into().ok()?);
+        if sum != fnv1a32(&buf[..18]) {
             return None;
         }
         Some(CaseRecord {
             mut_idx: u32::from_le_bytes(buf[1..5].try_into().ok()?),
             case_idx: u32::from_le_bytes(buf[5..9].try_into().ok()?),
             packed: buf[9],
+            fuel: u64::from_le_bytes(buf[10..18].try_into().ok()?),
         })
     }
 }
@@ -188,6 +200,7 @@ pub struct Journal {
     file: File,
     records: u64,
     unsynced: u64,
+    fsyncs: u64,
 }
 
 impl Journal {
@@ -210,6 +223,7 @@ impl Journal {
             file,
             records: 0,
             unsynced: 0,
+            fsyncs: 0,
         })
     }
 
@@ -261,6 +275,7 @@ impl Journal {
             file,
             records: records.len() as u64,
             unsynced: 0,
+            fsyncs: 0,
         };
         Ok((
             journal,
@@ -281,6 +296,7 @@ impl Journal {
         self.file.write_all(&rec.encode())?;
         self.records += 1;
         self.unsynced += 1;
+        crate::telemetry::on_journal_append();
         if self.unsynced >= SYNC_INTERVAL {
             self.sync()?;
         }
@@ -294,9 +310,20 @@ impl Journal {
     ///
     /// Propagates the underlying `fsync` error.
     pub fn sync(&mut self) -> io::Result<()> {
+        let start = std::time::Instant::now();
         self.file.sync_data()?;
         self.unsynced = 0;
+        self.fsyncs += 1;
+        crate::telemetry::on_journal_fsync(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         Ok(())
+    }
+
+    /// Durability syncs issued since this handle was opened.
+    #[must_use]
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Discards every record past the first `n` — used when a recovered
@@ -347,6 +374,7 @@ mod tests {
                 mut_idx: i / 3,
                 case_idx: i % 3,
                 packed: (i % 7) as u8,
+                fuel: u64::from(i) * 11 + 5,
             })
             .collect()
     }

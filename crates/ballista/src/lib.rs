@@ -31,6 +31,9 @@
 //!   per-tally invariants that make the tallies trustworthy.
 //! * [`coverage`] — accounting of which MuTs, pools, test values and
 //!   CRASH classes a run exercised, with a regression floor.
+//! * [`telemetry`] — zero-cost-when-disabled observability: structured
+//!   per-case tracing (Chrome/Perfetto JSONL), a metrics registry, and
+//!   `TELEMETRY_PROFILE`-gated subsystem profiling hooks.
 //! * [`sequence`] — the paper's future-work extension: two-call
 //!   sequence-dependent failure testing.
 //! * [`load`] — the paper's other future-work extension: heavy-load
@@ -54,7 +57,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod catalog;
@@ -70,6 +73,7 @@ pub mod muts;
 pub mod pools;
 pub mod sampling;
 pub mod sequence;
+pub mod telemetry;
 pub mod value;
 
 pub use crash::{FailureClass, RawOutcome};

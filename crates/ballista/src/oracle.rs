@@ -425,6 +425,7 @@ pub mod selfcheck {
         }
         let found = check_tally(tally);
         if !found.is_empty() {
+            crate::telemetry::on_selfcheck_violations(found.len() as u64);
             let mut sink = VIOLATIONS.lock().expect("selfcheck sink poisoned");
             sink.extend(
                 found

@@ -1,0 +1,125 @@
+//! Telemetry determinism contract: with tracing enabled, the serial,
+//! parallel (2 and 8 workers) and journaled engines — including a
+//! journaled run killed mid-campaign and resumed — must produce
+//! **bit-identical** Chrome trace files and identical engine-invariant
+//! (`deterministic`) metrics for the same plan. Host-side metrics (boots,
+//! fsyncs, wall latencies) are explicitly exempt.
+//!
+//! The flip side is also asserted: with no telemetry hub installed, the
+//! engines perform *zero* telemetry allocations (the "zero-cost when
+//! disabled" half of the tentpole contract).
+
+use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig, CampaignReport};
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use ballista::telemetry::{self, chrome_trace_bytes, Hub, TelemetryConfig};
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The telemetry hub is process-global; tests that install (or assert the
+/// absence of) a hub must not overlap.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn cfg(parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap: 200,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ballista-telemetry-determinism");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Runs one campaign under a freshly installed tracing hub and returns
+/// the rendered Chrome trace plus the serialized engine-invariant metrics
+/// half.
+fn traced(f: impl FnOnce() -> CampaignReport) -> (Vec<u8>, String) {
+    let hub = Hub::install(TelemetryConfig::tracing());
+    let report = f();
+    assert!(report.total_cases > 0, "campaign executed cases");
+    let traces = hub.take_traces();
+    assert_eq!(traces.len(), 1, "exactly one campaign trace submitted");
+    let bytes = chrome_trace_bytes(&traces[0]);
+    let det = serde_json::to_string(&hub.metrics_snapshot().deterministic).expect("serialize");
+    Hub::uninstall();
+    (bytes, det)
+}
+
+#[test]
+fn trace_and_metrics_bit_identical_across_engines() {
+    let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for os in [OsVariant::Win98, OsVariant::WinCe] {
+        let name = os.short_name();
+        let (base_trace, base_metrics) = traced(|| run_campaign(os, &cfg(1)));
+        assert!(
+            base_trace.len() > 64,
+            "{name}: serial trace is non-trivial"
+        );
+
+        for workers in [2usize, 8] {
+            let (trace, metrics) = traced(|| run_campaign(os, &cfg(workers)));
+            assert_eq!(
+                trace, base_trace,
+                "{name}: parallel({workers}) trace diverged from serial"
+            );
+            assert_eq!(
+                metrics, base_metrics,
+                "{name}: parallel({workers}) deterministic metrics diverged"
+            );
+        }
+
+        let path = scratch(&format!("{name}.jrn"));
+        let _ = fs::remove_file(&path);
+        let (trace, metrics) =
+            traced(|| run_campaign_journaled(os, &cfg(1), &path, false).expect("journaled run"));
+        assert_eq!(trace, base_trace, "{name}: journaled trace diverged");
+        assert_eq!(
+            metrics, base_metrics,
+            "{name}: journaled deterministic metrics diverged"
+        );
+
+        // Kill at the midpoint (truncate to a record boundary) and
+        // resume: replayed cases take their fuel from the journal's v2
+        // records, so even the per-case fuel spans must come out
+        // bit-identical.
+        let bytes = fs::read(&path).expect("journal readable");
+        let total = (bytes.len() - HEADER_LEN) / RECORD_LEN;
+        assert!(total > 2, "{name}: enough records to split");
+        fs::write(&path, &bytes[..HEADER_LEN + (total / 2) * RECORD_LEN]).expect("truncate");
+        let (trace, metrics) =
+            traced(|| run_campaign_journaled(os, &cfg(1), &path, true).expect("resumed run"));
+        assert_eq!(
+            trace, base_trace,
+            "{name}: resumed-journal trace diverged from serial"
+        );
+        assert_eq!(
+            metrics, base_metrics,
+            "{name}: resumed-journal deterministic metrics diverged"
+        );
+        let _ = fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn disabled_telemetry_performs_no_telemetry_allocations() {
+    let _guard = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    Hub::uninstall();
+    assert!(!telemetry::enabled(), "no hub installed");
+    let before = telemetry::allocation_count();
+    let serial = run_campaign(OsVariant::Win98, &cfg(1));
+    let parallel = run_campaign(OsVariant::Win98, &cfg(4));
+    assert_eq!(serial.total_cases, parallel.total_cases);
+    assert_eq!(
+        telemetry::allocation_count(),
+        before,
+        "disabled telemetry must not allocate"
+    );
+}

@@ -28,6 +28,7 @@ use ballista::coverage::{Coverage, CoverageFloor};
 use ballista::journal::{HEADER_LEN, RECORD_LEN};
 use ballista::oracle::{self, Check, Conformance};
 use ballista::persist::atomic_write;
+use ballista::telemetry::{Hub, TelemetryConfig};
 use serde::{Deserialize, Serialize};
 use sim_kernel::variant::OsVariant;
 use std::fs;
@@ -342,6 +343,28 @@ fn main() -> ExitCode {
     }
     if !bless {
         conf.push(golden_check);
+    }
+
+    // Observability artifacts for CI upload: one telemetry-enabled
+    // reference rerun writes results/metrics.json and a sample Perfetto
+    // trace (see OBSERVABILITY.md). Kept outside the oracle matrix above
+    // so its metrics describe exactly one campaign.
+    {
+        let hub = Hub::install(TelemetryConfig::all());
+        let _ = run_campaign(OsVariant::Win95, &serial_cfg);
+        for trace in hub.take_traces() {
+            let bytes = ballista::telemetry::chrome_trace_bytes(&trace);
+            experiments::write_artifact(
+                &format!("trace_{}.json", trace.os),
+                &String::from_utf8(bytes).expect("UTF-8 trace"),
+            );
+        }
+        experiments::write_artifact("profile.folded", &hub.collapsed_stacks());
+        experiments::write_artifact(
+            "metrics.json",
+            &serde_json::to_string_pretty(&hub.metrics_snapshot()).expect("serializable"),
+        );
+        Hub::uninstall();
     }
 
     // Artifacts + rendered tables.

@@ -1,0 +1,148 @@
+//! One-shot observability driver: runs a single telemetry-enabled
+//! campaign and writes every observability artifact — the Chrome/Perfetto
+//! trace, `metrics.json` and (with `--profile`) the flamegraph-ready
+//! `profile.folded` — without touching the campaign cache.
+//!
+//! ```text
+//! telemetry --demo                 # win95, cap 200, trace+metrics+profile
+//! telemetry --os winnt4 --cap 500  # pick a variant and cap
+//! telemetry --engine journaled     # serial | parallel | journaled
+//! telemetry --profile              # also write profile.folded
+//! ```
+//!
+//! The trace (`results/trace_<os>.json`) loads directly into
+//! <https://ui.perfetto.dev> or `chrome://tracing`; the schema is
+//! documented field-by-field in `OBSERVABILITY.md`.
+
+use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig, CampaignReport};
+use ballista::telemetry::{chrome_trace_bytes, Hub, TelemetryConfig};
+use sim_kernel::variant::OsVariant;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: telemetry [--demo] [--os NAME] [--cap N] \
+         [--engine serial|parallel|journaled] [--trace] [--metrics] [--profile]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_os(name: &str) -> Option<OsVariant> {
+    OsVariant::ALL
+        .into_iter()
+        .find(|os| os.short_name().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let mut os = OsVariant::Win95;
+    let mut cap = 200usize;
+    let mut engine = "serial".to_owned();
+    let mut profile = false;
+    let mut demo = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--demo" => {
+                demo = true;
+                profile = true;
+            }
+            "--os" => match it.next().as_deref().and_then(parse_os) {
+                Some(v) => os = v,
+                None => {
+                    eprintln!(
+                        "unknown --os; expected one of: {}",
+                        OsVariant::ALL.map(OsVariant::short_name).join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cap = v,
+                None => return usage(),
+            },
+            "--engine" => match it.next() {
+                Some(v) if ["serial", "parallel", "journaled"].contains(&v.as_str()) => engine = v,
+                _ => return usage(),
+            },
+            // Trace and metrics are always produced by this binary; the
+            // flags exist so invocations read explicitly in scripts.
+            "--trace" | "--metrics" => {}
+            "--profile" => profile = true,
+            _ => return usage(),
+        }
+    }
+
+    let cfg = CampaignConfig {
+        cap,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: if engine == "parallel" { 0 } else { 1 },
+        fuel_budget: 0,
+    };
+    eprintln!(
+        "=== telemetry: {} campaign on {} (cap = {cap}) ===",
+        engine,
+        os.short_name()
+    );
+    let hub = Hub::install(if profile {
+        TelemetryConfig::all()
+    } else {
+        TelemetryConfig::tracing()
+    });
+
+    let report: CampaignReport = if engine == "journaled" {
+        let dir = std::env::temp_dir().join("ballista-telemetry-bin");
+        std::fs::create_dir_all(&dir).expect("journal scratch dir");
+        let path = dir.join(format!("{}.jrn", os.short_name()));
+        let _ = std::fs::remove_file(&path);
+        run_campaign_journaled(os, &cfg, &path, false).expect("journaled campaign")
+    } else {
+        run_campaign(os, &cfg)
+    };
+
+    let mut trace_name = String::new();
+    for trace in hub.take_traces() {
+        trace_name = format!("trace_{}.json", trace.os);
+        let bytes = chrome_trace_bytes(&trace);
+        experiments::write_artifact(&trace_name, &String::from_utf8(bytes).expect("UTF-8 trace"));
+    }
+    if profile {
+        experiments::write_artifact("profile.folded", &hub.collapsed_stacks());
+    }
+    let snapshot = hub.metrics_snapshot();
+    experiments::write_artifact(
+        "metrics.json",
+        &serde_json::to_string_pretty(&snapshot).expect("serializable"),
+    );
+    Hub::uninstall();
+
+    print!("{}", report::progress::render_metrics(&snapshot));
+    println!(
+        "campaign: {} MuTs, {} cases, {} catastrophic",
+        report.muts.len(),
+        report.total_cases,
+        report.catastrophic_muts().len()
+    );
+    let dir = experiments::results_dir();
+    println!();
+    println!("open the trace:");
+    println!("  1. browse to https://ui.perfetto.dev (or chrome://tracing)");
+    println!("  2. load {}", dir.join(&trace_name).display());
+    if profile {
+        println!("render the flamegraph (with inferno installed):");
+        println!(
+            "  inferno-flamegraph < {} > flame.svg",
+            dir.join("profile.folded").display()
+        );
+    }
+    if demo {
+        println!();
+        println!(
+            "demo tip: zoom into the GetThreadContext span — the paper's \
+             Catastrophic one-liner — and read its args (raw outcome, fuel, \
+             residue). OBSERVABILITY.md walks the schema field by field."
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -7,19 +7,27 @@
 //! * `BALLISTA_CAP` — per-MuT test-case cap (default: the paper's 5000).
 //! * `BALLISTA_RESULTS_DIR` — cache/output directory (default `results`).
 //! * `BALLISTA_FRESH` — set to any value to ignore a cached campaign.
+//! * `BALLISTA_TELEMETRY` — set to any non-`0` value to enable the
+//!   telemetry hub: structured traces (`trace_<os>.json`), the metrics
+//!   registry (`metrics.json`) and the live progress ticker. See
+//!   `OBSERVABILITY.md`.
+//! * `TELEMETRY_PROFILE` — additionally attribute simulated-kernel fuel
+//!   to subsystems and write a flamegraph-ready `profile.folded`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use ballista::telemetry::{chrome_trace_bytes, Hub, TelemetryConfig};
 use report::MultiOsResults;
 use serde::Serialize;
 use sim_kernel::variant::OsVariant;
 use std::fs;
+use std::io::IsTerminal;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Reads the per-MuT cap from `BALLISTA_CAP` (default 5000).
 #[must_use]
@@ -157,6 +165,7 @@ fn degraded_placeholder(os: OsVariant) -> CampaignReport {
 #[must_use]
 pub fn run_all_oses(cap: usize) -> MultiOsResults {
     let t0 = Instant::now();
+    let telemetry = Telemetry::from_env();
     let oses = OsVariant::ALL;
     let (fan_out, per_campaign) = split_parallelism(oses.len());
     let slots: Vec<Mutex<Option<CampaignReport>>> =
@@ -212,6 +221,9 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
                 .unwrap_or_else(|| degraded_placeholder(os))
         })
         .collect();
+    // Flush observability artifacts before the calibration reruns below
+    // so `metrics.json` describes exactly the seven-variant fleet.
+    telemetry.finish();
     let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let total_cases: usize = reports.iter().map(|r| r.total_cases).sum();
     let bench = CampaignBench {
@@ -284,6 +296,97 @@ pub fn load_or_run(cap: usize) -> MultiOsResults {
         .expect("results cache must be writable");
     eprintln!("cached campaign to {}", path.display());
     results
+}
+
+/// The experiment-side handle on a `ballista::telemetry` hub: installs
+/// the hub from the environment, runs the live progress ticker while
+/// campaigns execute, and writes every observability artifact on
+/// [`Telemetry::finish`].
+///
+/// Constructed by every experiment binary via [`Telemetry::from_env`];
+/// when neither `BALLISTA_TELEMETRY` nor `TELEMETRY_PROFILE` is set this
+/// is a no-op handle and the campaign engines run their zero-cost
+/// disabled path.
+pub struct Telemetry {
+    hub: Option<std::sync::Arc<Hub>>,
+    ticker: Option<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>)>,
+    started: Instant,
+}
+
+impl Telemetry {
+    /// Installs a telemetry hub if `BALLISTA_TELEMETRY` /
+    /// `TELEMETRY_PROFILE` ask for one, and starts the single-line
+    /// progress ticker when stderr is a terminal.
+    #[must_use]
+    pub fn from_env() -> Telemetry {
+        let Some(cfg) = TelemetryConfig::from_env() else {
+            return Telemetry { hub: None, ticker: None, started: Instant::now() };
+        };
+        let hub = Hub::install(cfg);
+        let started = Instant::now();
+        let ticker = std::io::stderr().is_terminal().then(|| {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let hub = std::sync::Arc::clone(&hub);
+            let handle = std::thread::spawn(move || {
+                // Redraw until told to stop; `recv_timeout` doubles as
+                // the frame clock.
+                while rx.recv_timeout(Duration::from_millis(250)).is_err() {
+                    let line = report::progress::render_progress(
+                        &hub.progress.snapshot(),
+                        started.elapsed().as_secs_f64(),
+                    );
+                    eprint!("\r\x1b[2K  {line}");
+                }
+                eprint!("\r\x1b[2K");
+            });
+            (tx, handle)
+        });
+        Telemetry { hub: Some(hub), ticker, started }
+    }
+
+    /// Whether a hub is installed (telemetry was requested).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some()
+    }
+
+    /// Stops the ticker, writes `metrics.json`, one `trace_<os>.json`
+    /// per traced campaign and (under `TELEMETRY_PROFILE`)
+    /// `profile.folded`, prints the human metrics table, and uninstalls
+    /// the hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an observability artifact cannot be written (same
+    /// policy as every other artifact in this driver).
+    pub fn finish(self) {
+        if let Some((tx, handle)) = self.ticker {
+            // The ticker exits on channel disconnect too; ignore a
+            // send-after-death.
+            let _ = tx.send(());
+            let _ = handle.join();
+        }
+        let Some(hub) = self.hub else { return };
+        for trace in hub.take_traces() {
+            let name = format!("trace_{}.json", trace.os);
+            let bytes = chrome_trace_bytes(&trace);
+            write_artifact(&name, &String::from_utf8(bytes).expect("trace is UTF-8"));
+        }
+        if hub.profiling() {
+            write_artifact("profile.folded", &hub.collapsed_stacks());
+        }
+        let snapshot = hub.metrics_snapshot();
+        write_artifact(
+            "metrics.json",
+            &serde_json::to_string_pretty(&snapshot).expect("serializable"),
+        );
+        eprint!("{}", report::progress::render_metrics(&snapshot));
+        eprintln!(
+            "  telemetry: {:.1}s observed wall time",
+            self.started.elapsed().as_secs_f64()
+        );
+        Hub::uninstall();
+    }
 }
 
 /// Writes a named artifact (table text / CSV) under the results dir,

@@ -19,13 +19,18 @@
 //! * [`figures`] — ASCII bar charts and CSV series for Figures 1 and 2.
 //! * [`conformance`] — renderers for the conformance-oracle verdicts and
 //!   coverage accounting (PASS/FAIL footers for CI).
+//! * [`progress`] — the live single-line campaign ticker and the
+//!   human-readable rendering of `ballista::telemetry` metrics snapshots
+//!   (the machine-readable form is `results/metrics.json`; see
+//!   `OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conformance;
 pub mod figures;
 pub mod normalize;
+pub mod progress;
 pub mod tables;
 pub mod voting;
 

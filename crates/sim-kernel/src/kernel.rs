@@ -10,6 +10,7 @@
 use crate::clock::{Clock, FuelMeter};
 use crate::crash::CrashLatch;
 use crate::outcome::ApiAbort;
+use crate::subsystem::{Subsystem, SubsystemFuel};
 use crate::env::Environment;
 use crate::fs::FileSystem;
 use crate::heap::{HeapId, HeapManager};
@@ -52,6 +53,11 @@ pub struct Kernel {
     /// executor installs a per-case budget so runaway calls surface as
     /// deterministic hangs instead of wedging a harness worker.
     pub fuel: FuelMeter,
+    /// Per-subsystem attribution of the fuel burned on this machine.
+    /// Zeroed at boot (machines are fresh per test case), so after a case
+    /// it holds exactly that case's subsystem breakdown — the raw data
+    /// behind the telemetry layer's flamegraph profile.
+    pub subsys: SubsystemFuel,
     /// Environment block.
     pub env: Environment,
     /// The kernel-panic latch (Catastrophic outcomes).
@@ -112,6 +118,7 @@ impl Kernel {
             heaps,
             clock: Clock::new(),
             fuel: FuelMeter::unlimited(),
+            subsys: SubsystemFuel::new(),
             env: Environment::with_defaults(),
             crash: CrashLatch::new(),
             residue: 0,
@@ -157,15 +164,26 @@ impl Kernel {
     /// Keeps the clock moving: every simulated call costs a tick, so
     /// timestamps and `GetTickCount` behave plausibly. The tick also
     /// burns one unit of watchdog fuel — a call-count bound on cases
-    /// whose individual calls are all cheap.
+    /// whose individual calls are all cheap. The unit is attributed to
+    /// [`Subsystem::Other`]; subsystem entry points use
+    /// [`Kernel::charge_call_to`] instead.
     pub fn charge_call(&mut self) {
+        self.charge_call_to(Subsystem::Other);
+    }
+
+    /// [`Kernel::charge_call`] with an explicit subsystem attribution —
+    /// the telemetry taps the API personality crates call at the top of
+    /// every heap/fs/sync/process/time entry point.
+    pub fn charge_call_to(&mut self, sub: Subsystem) {
         self.fuel.consume(1);
+        self.subsys.charge(sub, 1);
         self.clock.advance_ms(1);
         let now = self.clock.tick_count_ms();
         self.fs.set_now_ms(now);
     }
 
-    /// Burns `units` of watchdog fuel.
+    /// Burns `units` of watchdog fuel, attributed to
+    /// [`Subsystem::Wait`] (bulk burns model blocked or sleeping time).
     ///
     /// # Errors
     ///
@@ -173,6 +191,7 @@ impl Kernel {
     /// simulated call has been running longer than the harness tolerates,
     /// and the watchdog converts it into the paper's Restart outcome.
     pub fn burn(&mut self, units: u64) -> Result<(), ApiAbort> {
+        self.subsys.charge(Subsystem::Wait, units);
         if self.fuel.consume(units) {
             Ok(())
         } else {

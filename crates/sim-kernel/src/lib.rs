@@ -43,11 +43,13 @@ pub mod kernel;
 pub mod objects;
 pub mod outcome;
 pub mod process;
+pub mod subsystem;
 pub mod sync;
 pub mod variant;
 
 pub use crash::{CrashInfo, CrashLatch};
 pub use kernel::{Kernel, MachineFlavor, MachineSnapshot};
+pub use subsystem::{Subsystem, SubsystemFuel};
 pub use objects::{Handle, ObjectKind, ObjectTable};
 pub use outcome::{ApiAbort, ApiResult, ApiReturn};
 pub use variant::OsVariant;

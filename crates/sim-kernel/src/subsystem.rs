@@ -1,0 +1,175 @@
+//! Kernel-subsystem attribution for the telemetry profiling hooks.
+//!
+//! Every unit of watchdog fuel a simulated call burns is charged to one
+//! of a fixed set of kernel subsystems. The attribution is *exact and
+//! deterministic* — fuel is simulated work, never wall clock — so a
+//! profile built from these counters is bit-reproducible, unlike a
+//! sampled host-time profile. The Ballista telemetry layer reads the
+//! per-case [`SubsystemFuel`] ledger after each test case and folds it
+//! into a per-MuT-family collapsed-stack profile ready for
+//! `inferno`/flamegraph (see `OBSERVABILITY.md`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kernel subsystem a unit of simulated work is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Subsystem {
+    /// Heap and virtual-memory management (`Heap*`, `VirtualAlloc`,
+    /// `malloc`, `mmap`).
+    Heap,
+    /// Filesystem and path operations (`CreateFile`, directory calls,
+    /// `open`, `stat`).
+    Fs,
+    /// Synchronization objects and handle-level waits (`CreateMutex`,
+    /// `WaitForSingleObject`, semaphores).
+    Sync,
+    /// Process and thread control (`CreateProcess`, `GetThreadContext`,
+    /// `fork`, scheduling).
+    Process,
+    /// Time and calendar conversions (`FileTimeToSystemTime`,
+    /// `GetTickCount`, `time`).
+    Time,
+    /// Simulated blocking — fuel burned while a call waits or sleeps
+    /// ([`crate::Kernel::step_for`] / [`crate::Kernel::burn`]).
+    Wait,
+    /// Everything not yet attributed to a specific subsystem (string and
+    /// character routines, environment queries, marshalling).
+    Other,
+}
+
+impl Subsystem {
+    /// Number of subsystems (the length of a [`SubsystemFuel`] ledger).
+    pub const COUNT: usize = 7;
+
+    /// All subsystems, in ledger order.
+    pub const ALL: [Subsystem; Subsystem::COUNT] = [
+        Subsystem::Heap,
+        Subsystem::Fs,
+        Subsystem::Sync,
+        Subsystem::Process,
+        Subsystem::Time,
+        Subsystem::Wait,
+        Subsystem::Other,
+    ];
+
+    /// The ledger slot for this subsystem.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Subsystem::Heap => 0,
+            Subsystem::Fs => 1,
+            Subsystem::Sync => 2,
+            Subsystem::Process => 3,
+            Subsystem::Time => 4,
+            Subsystem::Wait => 5,
+            Subsystem::Other => 6,
+        }
+    }
+
+    /// Stable lower-case label used in collapsed-stack frames.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Subsystem::Heap => "heap",
+            Subsystem::Fs => "fs",
+            Subsystem::Sync => "sync",
+            Subsystem::Process => "process",
+            Subsystem::Time => "time",
+            Subsystem::Wait => "wait",
+            Subsystem::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-machine ledger of fuel burned per subsystem.
+///
+/// Lives on the [`crate::Kernel`] alongside the fuel meter; zeroed on a
+/// fresh boot (and therefore in every boot template), so after a test
+/// case it holds exactly that case's attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubsystemFuel {
+    /// Fuel units charged per subsystem, indexed by [`Subsystem::index`].
+    pub units: [u64; Subsystem::COUNT],
+}
+
+impl SubsystemFuel {
+    /// A zeroed ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        SubsystemFuel::default()
+    }
+
+    /// Charges `units` of fuel to `sub` (saturating).
+    pub fn charge(&mut self, sub: Subsystem, units: u64) {
+        let slot = &mut self.units[sub.index()];
+        *slot = slot.saturating_add(units);
+    }
+
+    /// Fuel charged to `sub` so far.
+    #[must_use]
+    pub fn charged(&self, sub: Subsystem) -> u64 {
+        self.units[sub.index()]
+    }
+
+    /// Total fuel across all subsystems.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.units.iter().copied().fold(0u64, u64::saturating_add)
+    }
+
+    /// `(subsystem, fuel)` pairs for the non-zero slots, in ledger order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Subsystem, u64)> {
+        Subsystem::ALL
+            .iter()
+            .copied()
+            .filter(|s| self.charged(*s) > 0)
+            .map(|s| (s, self.charged(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_charges_and_totals() {
+        let mut l = SubsystemFuel::new();
+        l.charge(Subsystem::Heap, 3);
+        l.charge(Subsystem::Heap, 2);
+        l.charge(Subsystem::Wait, 100);
+        assert_eq!(l.charged(Subsystem::Heap), 5);
+        assert_eq!(l.charged(Subsystem::Fs), 0);
+        assert_eq!(l.total(), 105);
+        assert_eq!(
+            l.entries(),
+            vec![(Subsystem::Heap, 5), (Subsystem::Wait, 100)]
+        );
+    }
+
+    #[test]
+    fn indices_are_a_bijection() {
+        for (i, s) in Subsystem::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let labels: std::collections::BTreeSet<_> =
+            Subsystem::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Subsystem::COUNT);
+    }
+
+    #[test]
+    fn charge_saturates() {
+        let mut l = SubsystemFuel::new();
+        l.charge(Subsystem::Other, u64::MAX);
+        l.charge(Subsystem::Other, 10);
+        assert_eq!(l.charged(Subsystem::Other), u64::MAX);
+    }
+}

@@ -7,6 +7,7 @@
 //! the paper's "Linux is significantly more graceful at handling
 //! exceptions from system calls" finding.
 
+use sim_kernel::Subsystem;
 use crate::{errno_return, signal};
 use sim_core::addr::PrivilegeLevel;
 use sim_core::{AccessKind, SimPtr};
@@ -39,7 +40,7 @@ fn fd_ok(k: &Kernel, fd: i64) -> bool {
 ///
 /// [`ApiAbort::Hang`] for the empty-pipe case.
 pub fn read(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -88,7 +89,7 @@ pub fn read(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
 ///
 /// None; hostile pointers are `EFAULT`.
 pub fn write(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -114,7 +115,7 @@ pub fn write(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
 ///
 /// None.
 pub fn close(k: &mut Kernel, fd: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if (0..=2).contains(&fd) {
         return Ok(ApiReturn::ok(0)); // closing a std stream "works"
     }
@@ -133,7 +134,7 @@ pub fn close(k: &mut Kernel, fd: i64) -> ApiResult {
 ///
 /// None.
 pub fn dup(k: &mut Kernel, oldfd: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, oldfd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -156,7 +157,7 @@ pub fn dup(k: &mut Kernel, oldfd: i64) -> ApiResult {
 ///
 /// None; out-of-range targets are `EBADF`.
 pub fn dup2(k: &mut Kernel, oldfd: i64, newfd: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, oldfd) || !(0..=1024).contains(&newfd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -175,7 +176,7 @@ pub fn dup2(k: &mut Kernel, oldfd: i64, newfd: i64) -> ApiResult {
 ///
 /// None; seeking a pipe is `ESPIPE`, bad whence is `EINVAL`.
 pub fn lseek(k: &mut Kernel, fd: i64, offset: i64, whence: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -203,7 +204,7 @@ pub fn lseek(k: &mut Kernel, fd: i64, offset: i64, whence: i32) -> ApiResult {
 ///
 /// None.
 pub fn pipe(k: &mut Kernel, pipefd: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if k
         .space
         .check_access(pipefd, 8, 4, AccessKind::Write, PrivilegeLevel::User)
@@ -250,7 +251,7 @@ pub fn prime_pipe(k: &mut Kernel, fd: i64, n: u64) {
 /// [`ApiAbort::Hang`] for `F_SETLKW` on a contended range (the blocking
 /// lock — a Restart source).
 pub fn fcntl(k: &mut Kernel, fd: i64, cmd: i32, arg: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -303,7 +304,7 @@ pub fn mark_contended(k: &mut Kernel, fd: i64) {
 ///
 /// None.
 pub fn fsync(k: &mut Kernel, fd: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -327,7 +328,7 @@ pub fn fdatasync(k: &mut Kernel, fd: i64) -> ApiResult {
 ///
 /// A SIGSEGV abort when the iovec array itself is unreadable.
 pub fn readv(k: &mut Kernel, fd: i64, iov: SimPtr, iovcnt: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !(0..=1024).contains(&iovcnt) {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -363,7 +364,7 @@ pub fn readv(k: &mut Kernel, fd: i64, iov: SimPtr, iovcnt: i32) -> ApiResult {
 ///
 /// A SIGSEGV abort when the iovec array is unreadable.
 pub fn writev(k: &mut Kernel, fd: i64, iov: SimPtr, iovcnt: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !(0..=1024).contains(&iovcnt) {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -405,7 +406,7 @@ pub fn select(
     exceptfds: SimPtr,
     timeout: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !(0..=1024).contains(&nfds) {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -440,7 +441,7 @@ pub fn select(
 ///
 /// [`ApiAbort::Hang`] for an indefinite wait over an empty set.
 pub fn poll(k: &mut Kernel, fds: SimPtr, nfds: u32, timeout: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if nfds > 1024 {
         return Ok(errno_return(errno::EINVAL));
     }

@@ -8,6 +8,7 @@
 //! caller's buffer in user mode — the main source of Linux's (small)
 //! system-call Abort rate in Table 1.
 
+use sim_kernel::Subsystem;
 use crate::{errno_return, signal};
 use sim_core::addr::PrivilegeLevel;
 use sim_core::{cstr, AccessKind, SimPtr};
@@ -42,7 +43,7 @@ macro_rules! path_arg {
 ///
 /// None; every hostile argument maps to an `errno`.
 pub fn open(k: &mut Kernel, pathname: SimPtr, flags: i32, _mode: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     let mut opts = match flags & 0x3 {
         0 => OpenOptions::read_only(),
@@ -115,7 +116,7 @@ fn write_stat(
 /// A SIGSEGV abort when `statbuf` faults (glibc's user-mode struct
 /// translation — the paper's main Linux syscall Abort source).
 pub fn stat(k: &mut Kernel, pathname: SimPtr, statbuf: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     let st = match k.fs.stat(&path) {
         Ok(s) => s,
@@ -142,7 +143,7 @@ pub fn lstat(k: &mut Kernel, pathname: SimPtr, statbuf: SimPtr) -> ApiResult {
 ///
 /// Same abort conditions as [`stat`].
 pub fn fstat(k: &mut Kernel, fd: i64, statbuf: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if (0..=2).contains(&fd) {
         write_stat(k, statbuf, false, 0, fd as u64, 0).map_err(signal)?;
         return Ok(ApiReturn::ok(0));
@@ -162,7 +163,7 @@ pub fn fstat(k: &mut Kernel, fd: i64, statbuf: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn access(k: &mut Kernel, pathname: SimPtr, mode: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     if !(0..=7).contains(&mode) {
         return Ok(errno_return(errno::EINVAL));
@@ -184,7 +185,7 @@ pub fn access(k: &mut Kernel, pathname: SimPtr, mode: i32) -> ApiResult {
 ///
 /// None.
 pub fn mkdir(k: &mut Kernel, pathname: SimPtr, _mode: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     match k.fs.mkdir(&path) {
         Ok(()) => Ok(ApiReturn::ok(0)),
@@ -198,7 +199,7 @@ pub fn mkdir(k: &mut Kernel, pathname: SimPtr, _mode: u32) -> ApiResult {
 ///
 /// None.
 pub fn rmdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     match k.fs.rmdir(&path) {
         Ok(()) => Ok(ApiReturn::ok(0)),
@@ -212,7 +213,7 @@ pub fn rmdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn unlink(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     match k.fs.unlink(&path) {
         Ok(()) => Ok(ApiReturn::ok(0)),
@@ -226,7 +227,7 @@ pub fn unlink(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn rename(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let from = path_arg!(k, oldpath);
     let to = path_arg!(k, newpath);
     match k.fs.rename(&from, &to) {
@@ -242,7 +243,7 @@ pub fn rename(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn link(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let from = path_arg!(k, oldpath);
     let to = path_arg!(k, newpath);
     let ofd = match k.fs.open(&from, OpenOptions::read_only()) {
@@ -267,7 +268,7 @@ pub fn link(k: &mut Kernel, oldpath: SimPtr, newpath: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn symlink(k: &mut Kernel, target: SimPtr, linkpath: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let tgt = path_arg!(k, target);
     let lnk = path_arg!(k, linkpath);
     match k.fs.create_file(&lnk, tgt.into_bytes()) {
@@ -282,7 +283,7 @@ pub fn symlink(k: &mut Kernel, target: SimPtr, linkpath: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn chmod(k: &mut Kernel, pathname: SimPtr, mode: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     match k.fs.set_readonly(&path, mode & 0o200 == 0) {
         Ok(()) => Ok(ApiReturn::ok(0)),
@@ -296,7 +297,7 @@ pub fn chmod(k: &mut Kernel, pathname: SimPtr, mode: u32) -> ApiResult {
 ///
 /// None.
 pub fn fchmod(k: &mut Kernel, fd: i64, _mode: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if fd >= 3 && k.fs.is_open(fd as u64) {
         Ok(ApiReturn::ok(0))
     } else {
@@ -312,7 +313,7 @@ pub fn fchmod(k: &mut Kernel, fd: i64, _mode: u32) -> ApiResult {
 ///
 /// None.
 pub fn chown(k: &mut Kernel, pathname: SimPtr, owner: u32, _group: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     if !k.fs.exists(&path) {
         return Ok(errno_return(errno::ENOENT));
@@ -329,7 +330,7 @@ pub fn chown(k: &mut Kernel, pathname: SimPtr, owner: u32, _group: u32) -> ApiRe
 ///
 /// None.
 pub fn chdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     match k.fs.stat(&path) {
         Ok(st) if st.is_dir => {
@@ -348,7 +349,7 @@ pub fn chdir(k: &mut Kernel, pathname: SimPtr) -> ApiResult {
 ///
 /// A SIGSEGV abort when the buffer faults.
 pub fn getcwd(k: &mut Kernel, buf: SimPtr, size: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let cwd = k.env.get("__POSIX_CWD").unwrap_or("/home/ballista").to_owned();
     if buf.is_null() {
         return Ok(errno_return(errno::EINVAL));
@@ -366,7 +367,7 @@ pub fn getcwd(k: &mut Kernel, buf: SimPtr, size: u64) -> ApiResult {
 ///
 /// None.
 pub fn truncate(k: &mut Kernel, pathname: SimPtr, length: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     if length < 0 {
         return Ok(errno_return(errno::EINVAL));
@@ -398,7 +399,7 @@ pub fn truncate(k: &mut Kernel, pathname: SimPtr, length: i64) -> ApiResult {
 ///
 /// None.
 pub fn ftruncate(k: &mut Kernel, fd: i64, length: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if length < 0 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -415,7 +416,7 @@ pub fn ftruncate(k: &mut Kernel, fd: i64, length: i64) -> ApiResult {
 ///
 /// None.
 pub fn umask(k: &mut Kernel, mask: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let prev = k.scratch.insert("posix.umask".to_owned(), u64::from(mask & 0o777));
     Ok(ApiReturn::ok(prev.unwrap_or(0o022) as i64))
 }
@@ -427,7 +428,7 @@ pub fn umask(k: &mut Kernel, mask: u32) -> ApiResult {
 ///
 /// None.
 pub fn utime(k: &mut Kernel, pathname: SimPtr, times: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     if !k.fs.exists(&path) {
         return Ok(errno_return(errno::ENOENT));
@@ -448,7 +449,7 @@ pub fn utime(k: &mut Kernel, pathname: SimPtr, times: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn fchown(k: &mut Kernel, fd: i64, owner: u32, _group: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if fd < 3 || !k.fs.is_open(fd as u64) {
         return Ok(errno_return(errno::EBADF));
     }
@@ -475,7 +476,7 @@ pub fn lchown(k: &mut Kernel, pathname: SimPtr, owner: u32, group: u32) -> ApiRe
 ///
 /// None.
 pub fn mknod(k: &mut Kernel, pathname: SimPtr, mode: u32, _dev: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     const S_IFREG: u32 = 0o100_000;
     const S_IFMT: u32 = 0o170_000;
@@ -495,7 +496,7 @@ pub fn mknod(k: &mut Kernel, pathname: SimPtr, mode: u32, _dev: u64) -> ApiResul
 ///
 /// None.
 pub fn statfs(k: &mut Kernel, pathname: SimPtr, buf: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     if !k.fs.exists(&path) {
         return Ok(errno_return(errno::ENOENT));
@@ -520,7 +521,7 @@ pub fn statfs(k: &mut Kernel, pathname: SimPtr, buf: SimPtr) -> ApiResult {
 ///
 /// A SIGSEGV abort when the destination buffer faults.
 pub fn readlink(k: &mut Kernel, pathname: SimPtr, buf: SimPtr, bufsiz: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let path = path_arg!(k, pathname);
     // Symlinks are stored as small files holding their target (see
     // `symlink`); everything else is EINVAL as on real Linux.

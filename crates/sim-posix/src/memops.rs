@@ -5,6 +5,7 @@
 //! returns `EINVAL`/`ENOMEM`/`EFAULT`, which is why Linux's Memory
 //! Management group is among its most graceful in Figure 1.
 
+use sim_kernel::Subsystem;
 use crate::errno_return;
 use sim_core::memory::Protection;
 use sim_core::SimPtr;
@@ -41,7 +42,7 @@ pub fn mmap(
     fd: i64,
     offset: i64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let Some(protection) = prot_from_bits(prot) else {
         return Ok(ApiReturn::err(MAP_FAILED, errno::EINVAL));
     };
@@ -88,7 +89,7 @@ pub fn mmap(
 ///
 /// None; unmapping garbage is `EINVAL`.
 pub fn munmap(k: &mut Kernel, addr: SimPtr, _length: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     match k.space.unmap(addr) {
         Ok(()) => Ok(ApiReturn::ok(0)),
         Err(_) => Ok(errno_return(errno::EINVAL)),
@@ -101,7 +102,7 @@ pub fn munmap(k: &mut Kernel, addr: SimPtr, _length: u64) -> ApiResult {
 ///
 /// None.
 pub fn mprotect(k: &mut Kernel, addr: SimPtr, _len: u64, prot: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let Some(protection) = prot_from_bits(prot) else {
         return Ok(errno_return(errno::EINVAL));
     };
@@ -120,7 +121,7 @@ pub fn mprotect(k: &mut Kernel, addr: SimPtr, _len: u64, prot: i32) -> ApiResult
 ///
 /// None.
 pub fn msync(k: &mut Kernel, addr: SimPtr, _length: u64, flags: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     // MS_ASYNC=1, MS_SYNC=4, MS_INVALIDATE=2; ASYNC+SYNC together invalid.
     if flags & 1 != 0 && flags & 4 != 0 {
         return Ok(errno_return(errno::EINVAL));
@@ -138,7 +139,7 @@ pub fn msync(k: &mut Kernel, addr: SimPtr, _length: u64, flags: i32) -> ApiResul
 ///
 /// None.
 pub fn brk(k: &mut Kernel, addr: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let current = k
         .scratch
         .get("posix.brk")
@@ -160,7 +161,7 @@ pub fn brk(k: &mut Kernel, addr: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn sbrk(k: &mut Kernel, increment: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let current = k
         .scratch
         .get("posix.brk")
@@ -181,7 +182,7 @@ pub fn sbrk(k: &mut Kernel, increment: i64) -> ApiResult {
 ///
 /// None.
 pub fn mlock(k: &mut Kernel, addr: SimPtr, len: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if len > 0x1_0000 {
         return Ok(errno_return(errno::EPERM));
     }
@@ -197,7 +198,7 @@ pub fn mlock(k: &mut Kernel, addr: SimPtr, len: u64) -> ApiResult {
 ///
 /// None.
 pub fn munlock(k: &mut Kernel, addr: SimPtr, _len: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if k.space.region_containing(addr).is_none() {
         return Ok(errno_return(errno::ENOMEM));
     }

@@ -6,6 +6,7 @@
 //! struct in glibc glue (Abort on wild pointers); everything else is
 //! kernel-graceful.
 
+use sim_kernel::Subsystem;
 use crate::{errno_return, signal};
 use sim_core::addr::PrivilegeLevel;
 use sim_core::{cstr, AccessKind, SimPtr};
@@ -21,7 +22,7 @@ use sim_libc::errno;
 ///
 /// None.
 pub fn fork(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let parent = k.procs.current_pid();
     let pid = k.procs.spawn_process(parent, "forked-child");
     // The child "runs" between now and the parent's next wait.
@@ -38,7 +39,7 @@ pub fn fork(k: &mut Kernel) -> ApiResult {
 ///
 /// A SIGSEGV abort when `argv`/`envp` are unreadable non-NULL pointers.
 pub fn execve(k: &mut Kernel, pathname: SimPtr, argv: SimPtr, envp: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let path = match cstr::read_cstr(&k.space, pathname, PrivilegeLevel::User) {
         Ok(b) => String::from_utf8_lossy(&b).into_owned(),
         Err(_) => return Ok(errno_return(errno::EFAULT)),
@@ -70,7 +71,7 @@ pub fn execve(k: &mut Kernel, pathname: SimPtr, argv: SimPtr, envp: SimPtr) -> A
 /// ever exit; a SIGSEGV abort when `wstatus` is a wild non-NULL pointer
 /// (glibc writes the status word in user mode).
 pub fn waitpid(k: &mut Kernel, pid: i64, wstatus: SimPtr, options: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let me = k.procs.current_pid();
     let nohang = options & 1 != 0;
     let reaped = match k.procs.reap_child(me) {
@@ -124,7 +125,7 @@ pub fn wait(k: &mut Kernel, wstatus: SimPtr) -> ApiResult {
 ///
 /// None; bad pids are `ESRCH`, bad signals `EINVAL`.
 pub fn kill(k: &mut Kernel, pid: i64, sig: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if !(0..=64).contains(&sig) {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -149,7 +150,7 @@ pub fn kill(k: &mut Kernel, pid: i64, sig: i32) -> ApiResult {
 ///
 /// None.
 pub fn getpid(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
 }
 
@@ -159,7 +160,7 @@ pub fn getpid(k: &mut Kernel) -> ApiResult {
 ///
 /// None.
 pub fn getppid(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let me = k.procs.current_pid();
     let parent = k.procs.process(me).map(|p| p.parent).unwrap_or(1);
     Ok(ApiReturn::ok(i64::from(parent.max(1))))
@@ -171,7 +172,7 @@ pub fn getppid(k: &mut Kernel) -> ApiResult {
 ///
 /// None.
 pub fn setpgid(k: &mut Kernel, pid: i64, pgid: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if pid < 0 || pgid < 0 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -188,7 +189,7 @@ pub fn setpgid(k: &mut Kernel, pid: i64, pgid: i64) -> ApiResult {
 ///
 /// None.
 pub fn getpgrp(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
 }
 
@@ -199,7 +200,7 @@ pub fn getpgrp(k: &mut Kernel) -> ApiResult {
 ///
 /// None.
 pub fn setsid(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(errno_return(errno::EPERM))
 }
 
@@ -209,7 +210,7 @@ pub fn setsid(k: &mut Kernel) -> ApiResult {
 ///
 /// None; lowering niceness without privilege is `EPERM`.
 pub fn nice(k: &mut Kernel, inc: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if inc < 0 {
         return Ok(errno_return(errno::EPERM));
     }
@@ -228,7 +229,7 @@ pub fn nice(k: &mut Kernel, inc: i32) -> ApiResult {
 ///
 /// Always [`ApiAbort::Hang`].
 pub fn pause(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Err(ApiAbort::Hang)
 }
 
@@ -238,7 +239,7 @@ pub fn pause(k: &mut Kernel) -> ApiResult {
 ///
 /// None; total for every input.
 pub fn alarm(k: &mut Kernel, seconds: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let prev = k
         .scratch
         .insert("posix.alarm".to_owned(), u64::from(seconds))
@@ -252,7 +253,7 @@ pub fn alarm(k: &mut Kernel, seconds: u32) -> ApiResult {
 ///
 /// None (finite argument domain: `u32`).
 pub fn sleep(k: &mut Kernel, seconds: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     k.clock.advance_ms(u64::from(seconds.min(3600)) * 1000);
     Ok(ApiReturn::ok(0))
 }
@@ -265,7 +266,7 @@ pub fn sleep(k: &mut Kernel, seconds: u32) -> ApiResult {
 /// None. The handler pointer is *stored, not dereferenced* — exactly why
 /// `signal` itself is robust even with wild handlers.
 pub fn signal_call(k: &mut Kernel, signum: i32, handler: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if !(1..=64).contains(&signum) || signum == 9 || signum == 19 {
         // SIGKILL/SIGSTOP cannot be caught.
         if signum == 9 || signum == 19 {
@@ -289,7 +290,7 @@ pub fn signal_call(k: &mut Kernel, signum: i32, handler: SimPtr) -> ApiResult {
 /// A SIGSEGV abort when `act`/`oldact` are unreadable/unwritable non-NULL
 /// pointers.
 pub fn sigaction(k: &mut Kernel, signum: i32, act: SimPtr, oldact: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if !(1..=64).contains(&signum) || signum == 9 || signum == 19 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -318,7 +319,7 @@ pub fn sigaction(k: &mut Kernel, signum: i32, act: SimPtr, oldact: SimPtr) -> Ap
 ///
 /// None.
 pub fn sigprocmask(k: &mut Kernel, how: i32, set: SimPtr, oldset: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if !(0..=2).contains(&how) && !set.is_null() {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -348,7 +349,7 @@ pub fn sigprocmask(k: &mut Kernel, how: i32, set: SimPtr, oldset: SimPtr) -> Api
 ///
 /// None.
 pub fn sched_yield(k: &mut Kernel) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(0))
 }
 
@@ -359,7 +360,7 @@ pub fn sched_yield(k: &mut Kernel) -> ApiResult {
 ///
 /// None.
 pub fn sched_get_priority_max(k: &mut Kernel, policy: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     match policy {
         0 => Ok(ApiReturn::ok(0)),
         1 | 2 => Ok(ApiReturn::ok(99)),
@@ -373,7 +374,7 @@ pub fn sched_get_priority_max(k: &mut Kernel, policy: i32) -> ApiResult {
 ///
 /// None.
 pub fn sched_get_priority_min(k: &mut Kernel, policy: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     match policy {
         0 => Ok(ApiReturn::ok(0)),
         1 | 2 => Ok(ApiReturn::ok(1)),
@@ -388,7 +389,7 @@ pub fn sched_get_priority_min(k: &mut Kernel, policy: i32) -> ApiResult {
 ///
 /// None.
 pub fn sched_getparam(k: &mut Kernel, pid: i64, param: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if pid < 0 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -413,7 +414,7 @@ pub fn sched_getparam(k: &mut Kernel, pid: i64, param: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn sched_setparam(k: &mut Kernel, pid: i64, param: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if pid < 0 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -454,7 +455,7 @@ pub fn vfork(k: &mut Kernel) -> ApiResult {
 ///
 /// None.
 pub fn getpgid(k: &mut Kernel, pid: i64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if pid < 0 {
         return Ok(errno_return(errno::EINVAL));
     }
@@ -471,7 +472,7 @@ pub fn getpgid(k: &mut Kernel, pid: i64) -> ApiResult {
 ///
 /// None.
 pub fn sigpending(k: &mut Kernel, set: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if k
         .space
         .check_access(set, 8, 1, AccessKind::Write, PrivilegeLevel::User)
@@ -491,7 +492,7 @@ pub fn sigpending(k: &mut Kernel, set: SimPtr) -> ApiResult {
 ///
 /// Always [`ApiAbort::Hang`] when the mask is readable.
 pub fn sigsuspend(k: &mut Kernel, mask: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if k
         .space
         .check_access(mask, 8, 1, AccessKind::Read, PrivilegeLevel::User)
@@ -509,7 +510,7 @@ pub fn sigsuspend(k: &mut Kernel, mask: SimPtr) -> ApiResult {
 ///
 /// None.
 pub fn nanosleep(k: &mut Kernel, req: SimPtr, rem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if k
         .space
         .check_access(req, 8, 4, AccessKind::Read, PrivilegeLevel::User)

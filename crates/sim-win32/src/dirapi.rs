@@ -2,6 +2,7 @@
 //! queries, and the `FindFirstFile` search family — the paper's
 //! *File/Directory Access* grouping.
 
+use sim_kernel::Subsystem;
 use crate::errors::{
     self, ERROR_FILE_NOT_FOUND, ERROR_INSUFFICIENT_BUFFER, ERROR_NO_MORE_FILES,
 };
@@ -45,7 +46,7 @@ pub fn CreateDirectory(
     path: SimPtr,
     _security: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.mkdir(&name) {
         Ok(()) => Ok(ApiReturn::ok(TRUE)),
@@ -66,7 +67,7 @@ pub fn CreateDirectoryEx(
     new_dir: SimPtr,
     security: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let tmpl = read_string(k, template)?;
     match k.fs.stat(&tmpl) {
         Ok(s) if s.is_dir => {}
@@ -82,7 +83,7 @@ pub fn CreateDirectoryEx(
 ///
 /// An SEH abort when the path faults.
 pub fn RemoveDirectory(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.rmdir(&name) {
         Ok(()) => Ok(ApiReturn::ok(TRUE)),
@@ -96,7 +97,7 @@ pub fn RemoveDirectory(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> 
 ///
 /// An SEH abort when the path faults.
 pub fn DeleteFile(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.unlink(&name) {
         Ok(()) => Ok(ApiReturn::ok(TRUE)),
@@ -116,7 +117,7 @@ pub fn CopyFile(
     new: SimPtr,
     fail_if_exists: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let from = read_string(k, existing)?;
     let to = read_string(k, new)?;
     let ofd = match k.fs.open(&from, OpenOptions::read_only()) {
@@ -145,7 +146,7 @@ pub fn CopyFile(
 ///
 /// An SEH abort when either path faults.
 pub fn MoveFile(k: &mut Kernel, _profile: Win32Profile, existing: SimPtr, new: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let from = read_string(k, existing)?;
     let to = read_string(k, new)?;
     match k.fs.rename(&from, &to) {
@@ -167,7 +168,7 @@ pub fn MoveFileEx(
     new: SimPtr,
     flags: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if flags & 1 != 0 {
         let to = read_string(k, new)?;
         if k.fs.exists(&to) {
@@ -210,7 +211,7 @@ pub fn FindFirstFile(
     pattern: SimPtr,
     find_data_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let pat = read_string(k, pattern)?;
     let invalid = i64::from(Handle::INVALID.raw());
     let (dir, leaf_filter): (String, Option<String>) = match pat.rsplit_once(['\\', '/']) {
@@ -270,7 +271,7 @@ pub fn FindNextFile(
     h: Handle,
     find_data_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let next = match k.objects.get_mut(h) {
         Ok(ObjectKind::FindSearch { entries, cursor }) => {
             if *cursor >= entries.len() {
@@ -299,7 +300,7 @@ pub fn FindNextFile(
 ///
 /// None; bad handles return errors (or 9x silence).
 pub fn FindClose(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     match k.objects.get(h) {
         Ok(ObjectKind::FindSearch { .. }) => {
             let _ = k.objects.close(h);
@@ -316,7 +317,7 @@ pub fn FindClose(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult 
 ///
 /// An SEH abort when the path faults.
 pub fn GetFileAttributes(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.stat(&name) {
         Ok(s) => {
@@ -347,7 +348,7 @@ pub fn SetFileAttributes(
     path: SimPtr,
     attrs: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.set_readonly(&name, attrs & FILE_ATTRIBUTE_READONLY != 0) {
         Ok(()) => Ok(ApiReturn::ok(TRUE)),
@@ -387,7 +388,7 @@ pub fn GetCurrentDirectory(
     size: u32,
     buffer: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let dir = cwd(k);
     string_result(k, profile, "GetCurrentDirectory", buffer, size, &dir)
 }
@@ -398,7 +399,7 @@ pub fn GetCurrentDirectory(
 ///
 /// An SEH abort when the path faults.
 pub fn SetCurrentDirectory(k: &mut Kernel, _profile: Win32Profile, path: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     match k.fs.stat(&name) {
         Ok(s) if s.is_dir => {
@@ -423,7 +424,7 @@ pub fn GetFullPathName(
     buffer: SimPtr,
     file_part_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     let full = if name.starts_with('\\') || name.starts_with('/') || name.get(1..2) == Some(":") {
         name.clone()
@@ -453,7 +454,7 @@ pub fn GetFullPathName(
 ///
 /// An SEH abort when the buffer faults under probing.
 pub fn GetTempPath(k: &mut Kernel, profile: Win32Profile, size: u32, buffer: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     string_result(k, profile, "GetTempPath", buffer, size, "C:\\TEMP\\")
 }
 
@@ -471,7 +472,7 @@ pub fn GetTempFileName(
     unique: u32,
     out_name: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let dir = read_string(k, path)?;
     let pre = read_string(k, prefix)?;
     if !k.fs.exists(&dir) {
@@ -511,7 +512,7 @@ pub fn SearchPath(
     buffer: SimPtr,
     _file_part_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, file_name)?;
     let dirs: Vec<String> = if search_path.is_null() {
         vec![cwd(k), "C:\\WINDOWS".to_owned(), "C:\\WINDOWS\\SYSTEM".to_owned()]
@@ -536,7 +537,7 @@ pub fn SearchPath(
 ///
 /// An SEH abort when a non-NULL root path faults.
 pub fn GetDriveType(k: &mut Kernel, _profile: Win32Profile, root: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if root.is_null() {
         return Ok(ApiReturn::ok(3));
     }
@@ -564,7 +565,7 @@ pub fn GetDiskFreeSpace(
     free_clusters: SimPtr,
     total_clusters: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if !root.is_null() {
         let _ = read_string(k, root)?;
     }
@@ -595,7 +596,7 @@ pub fn GetDiskFreeSpace(
 ///
 /// None.
 pub fn GetLogicalDrives(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     Ok(ApiReturn::ok(0b100)) // drive C:
 }
 
@@ -611,7 +612,7 @@ pub fn GetShortPathName(
     short_out: SimPtr,
     size: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, long_path)?;
     if !k.fs.exists(&name) {
         return Ok(ApiReturn::err(0, ERROR_FILE_NOT_FOUND));

@@ -3,6 +3,7 @@
 //! Primitives* grouping, containing one deterministic 9x killer
 //! (`GetFileInformationByHandle`, Table 3).
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_INVALID_PARAMETER, ERROR_NOT_LOCKED};
 use crate::marshal::{
     bad_handle_return, exception, finish_out, read_buffer, read_string, write_out, BadHandle,
@@ -42,7 +43,7 @@ pub fn CreateFile(
     _flags: u32,
     _template: Handle,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, path)?;
     const GENERIC_READ: u32 = 0x8000_0000;
     const GENERIC_WRITE: u32 = 0x4000_0000;
@@ -96,7 +97,7 @@ pub fn ReadFile(
     bytes_read_out: SimPtr,
     _overlapped: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -136,7 +137,7 @@ pub fn WriteFile(
     bytes_written_out: SimPtr,
     _overlapped: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -173,7 +174,7 @@ pub fn ReadFileEx(
     overlapped: SimPtr,
     completion: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     // The overlapped structure is mandatory here: NULL is a documented
     // invalid parameter; every variant reads its offset fields.
     if overlapped.is_null() {
@@ -205,7 +206,7 @@ pub fn WriteFileEx(
     overlapped: SimPtr,
     completion: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if overlapped.is_null() || completion.is_null() {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }
@@ -228,7 +229,7 @@ pub fn SetFilePointer(
     distance_high: SimPtr,
     move_method: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, 0)),
@@ -264,7 +265,7 @@ pub fn SetFilePointer(
 ///
 /// None.
 pub fn SetEndOfFile(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     match file_ofd(k, h) {
         Ok(_) => Ok(ApiReturn::ok(TRUE)), // in-memory fs: nothing to flush
         Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
@@ -277,7 +278,7 @@ pub fn SetEndOfFile(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResu
 ///
 /// None.
 pub fn FlushFileBuffers(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     match file_ofd(k, h) {
         Ok(_) => Ok(ApiReturn::ok(TRUE)),
         Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
@@ -303,7 +304,7 @@ pub fn LockFile(
     bytes_low: u32,
     bytes_high: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -335,7 +336,7 @@ pub fn LockFileEx(
     bytes_high: u32,
     overlapped: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if reserved != 0 {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }
@@ -358,7 +359,7 @@ pub fn UnlockFile(
     _bytes_low: u32,
     _bytes_high: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -383,7 +384,7 @@ pub fn UnlockFileEx(
     bytes_high: u32,
     overlapped: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     if reserved != 0 {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }
@@ -402,7 +403,7 @@ pub fn GetFileSize(
     h: Handle,
     size_high_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => {
@@ -447,7 +448,7 @@ pub fn GetFileInformationByHandle(
     h: Handle,
     info_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Fs);
     let ofd = match file_ofd(k, h) {
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),

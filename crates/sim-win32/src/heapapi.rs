@@ -7,6 +7,7 @@
 //! overflows the 95 kernel's arena setup arithmetic and corrupts system
 //! state before any validation runs.
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_INVALID_PARAMETER, ERROR_NOT_ENOUGH_MEMORY};
 use crate::marshal::{bad_handle_return, BadHandle, handle_disposition, FALSE, TRUE};
 use crate::profile::Win32Profile;
@@ -36,7 +37,7 @@ fn heap_id(k: &Kernel, h: Handle) -> Result<HeapId, sim_kernel::objects::HandleE
 ///
 /// None.
 pub fn GetProcessHeap(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if let Some(&raw) = k.scratch.get("win32.process_heap") {
         return Ok(ApiReturn::ok(raw as i64));
     }
@@ -59,7 +60,7 @@ pub fn HeapCreate(
     initial_size: u64,
     maximum_size: u64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if initial_size >= W95_HEAP_OVERFLOW && profile.vulnerability_fires_on("HeapCreate", k) {
         k.crash.panic(
             "HeapCreate",
@@ -90,7 +91,7 @@ pub fn HeapCreate(
 ///
 /// None; bad handles return errors (or 9x silence).
 pub fn HeapDestroy(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     match heap_id(k, h) {
         Ok(id) => {
             let Kernel { heaps, space, .. } = k;
@@ -111,7 +112,7 @@ pub fn HeapDestroy(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResul
 ///
 /// None.
 pub fn HeapAlloc(k: &mut Kernel, profile: Win32Profile, h: Handle, _flags: u32, bytes: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let id = match heap_id(k, h) {
         Ok(id) => id,
         Err(e) => match handle_disposition(profile, e) {
@@ -139,7 +140,7 @@ pub fn HeapFree(
     _flags: u32,
     mem: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let id = match heap_id(k, h) {
         Ok(id) => id,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -170,7 +171,7 @@ pub fn HeapReAlloc(
     mem: SimPtr,
     bytes: u64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let id = match heap_id(k, h) {
         Ok(id) => id,
         Err(e) => return Ok(bad_handle_return(profile, e, 0)),
@@ -194,7 +195,7 @@ pub fn HeapSize(
     _flags: u32,
     mem: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let id = match heap_id(k, h) {
         Ok(id) => id,
         Err(e) => {
@@ -223,7 +224,7 @@ pub fn HeapValidate(
     _flags: u32,
     mem: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let id = match heap_id(k, h) {
         Ok(id) => id,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -240,7 +241,7 @@ pub fn HeapValidate(
 ///
 /// None.
 pub fn HeapCompact(k: &mut Kernel, profile: Win32Profile, h: Handle, _flags: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     match heap_id(k, h) {
         Ok(_) => Ok(ApiReturn::ok(0x10000)),
         Err(e) => Ok(bad_handle_return(profile, e, 0x10000)),
@@ -279,7 +280,7 @@ fn legacy_free(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult 
 ///
 /// None.
 pub fn GlobalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     legacy_alloc(k, bytes)
 }
 
@@ -289,7 +290,7 @@ pub fn GlobalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u
 ///
 /// None.
 pub fn GlobalFree(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     legacy_free(k, profile, mem)
 }
 
@@ -305,7 +306,7 @@ pub fn GlobalReAlloc(
     bytes: u64,
     _flags: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let heap = k.default_heap;
     let Kernel { heaps, space, .. } = k;
     match heaps.realloc(heap, mem, bytes, space) {
@@ -320,7 +321,7 @@ pub fn GlobalReAlloc(
 ///
 /// None; unknown blocks report 0 with an error code.
 pub fn GlobalSize(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     match k.heaps.size_of(k.default_heap, mem) {
         Ok(s) => Ok(ApiReturn::ok(s as i64)),
         Err(e) => Ok(ApiReturn::err(0, errors::from_heap(e))),
@@ -334,7 +335,7 @@ pub fn GlobalSize(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiRes
 ///
 /// None.
 pub fn GlobalLock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if k.heaps.size_of(k.default_heap, mem).is_ok() {
         Ok(ApiReturn::ok(mem.addr() as i64))
     } else {
@@ -348,7 +349,7 @@ pub fn GlobalLock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiRes
 ///
 /// None.
 pub fn GlobalUnlock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if k.heaps.size_of(k.default_heap, mem).is_ok() {
         Ok(ApiReturn::ok(FALSE)) // lock count reached zero
     } else {
@@ -362,7 +363,7 @@ pub fn GlobalUnlock(k: &mut Kernel, _profile: Win32Profile, mem: SimPtr) -> ApiR
 ///
 /// None.
 pub fn LocalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     legacy_alloc(k, bytes)
 }
 
@@ -372,7 +373,7 @@ pub fn LocalAlloc(k: &mut Kernel, _profile: Win32Profile, _flags: u32, bytes: u6
 ///
 /// None.
 pub fn LocalFree(k: &mut Kernel, profile: Win32Profile, mem: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     legacy_free(k, profile, mem)
 }
 

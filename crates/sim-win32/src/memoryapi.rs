@@ -7,6 +7,7 @@
 //! (interference-dependent Catastrophic on Windows 95 and CE — the kernel
 //! copies into the destination buffer with no probing).
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_INVALID_PARAMETER};
 use crate::marshal::{
     bad_handle_return, exception, finish_out, kernel_write, read_buffer, write_out, OutWrite,
@@ -50,7 +51,7 @@ pub fn VirtualAlloc(
     _allocation_type: u32,
     fl_protect: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let Some(prot) = protection_from_fl(fl_protect) else {
         return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
     };
@@ -94,7 +95,7 @@ pub fn VirtualFree(
     size: u64,
     free_type: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     const MEM_RELEASE: u32 = 0x8000;
     if free_type & MEM_RELEASE != 0 && size != 0 {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
@@ -118,7 +119,7 @@ pub fn VirtualProtect(
     fl_new: u32,
     old_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let Some(prot) = protection_from_fl(fl_new) else {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     };
@@ -164,7 +165,7 @@ pub fn VirtualQuery(
     buffer: SimPtr,
     length: u64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if length < 28 {
         return Ok(ApiReturn::ok(0));
     }
@@ -198,7 +199,7 @@ pub fn VirtualQuery(
 ///
 /// None.
 pub fn IsBadReadPtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if ucb == 0 {
         return Ok(ApiReturn::ok(0));
     }
@@ -215,7 +216,7 @@ pub fn IsBadReadPtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u64
 ///
 /// None.
 pub fn IsBadWritePtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if ucb == 0 {
         return Ok(ApiReturn::ok(0));
     }
@@ -232,7 +233,7 @@ pub fn IsBadWritePtr(k: &mut Kernel, _profile: Win32Profile, lp: SimPtr, ucb: u6
 ///
 /// None.
 pub fn IsBadStringPtr(k: &mut Kernel, _profile: Win32Profile, lpsz: SimPtr, max: u64) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let mut cursor = lpsz;
     for _ in 0..max {
         match k.space.read_u8(cursor) {
@@ -263,7 +264,7 @@ pub fn ReadProcessMemory(
     size: u64,
     bytes_read_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if !process.is_pseudo() && k.objects.get(process).is_err() {
         let e = k.objects.get(process).unwrap_err();
         return Ok(bad_handle_return(profile, e, TRUE));
@@ -308,7 +309,7 @@ pub fn WriteProcessMemory(
     size: u64,
     bytes_written_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if !process.is_pseudo() && k.objects.get(process).is_err() {
         let e = k.objects.get(process).unwrap_err();
         return Ok(bad_handle_return(profile, e, TRUE));
@@ -348,7 +349,7 @@ pub fn CreateFileMapping(
     max_low: u32,
     name: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if !name.is_null() {
         let _ = crate::marshal::read_string(k, name)?;
     }
@@ -387,7 +388,7 @@ pub fn MapViewOfFile(
     offset_low: u32,
     bytes_to_map: u64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     let (backing, len) = match k.objects.get(mapping) {
         Ok(ObjectKind::FileMapping { file, len }) => (*file, *len),
         Ok(_) => return Ok(ApiReturn::err(0, errors::ERROR_INVALID_HANDLE)),
@@ -424,7 +425,7 @@ pub fn MapViewOfFile(
 ///
 /// None; a bad base address returns an error.
 pub fn UnmapViewOfFile(k: &mut Kernel, _profile: Win32Profile, base: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     match k.space.unmap(base) {
         Ok(()) => Ok(ApiReturn::ok(TRUE)),
         Err(_) => Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER)),
@@ -442,7 +443,7 @@ pub fn FlushViewOfFile(
     base: SimPtr,
     _bytes: u64,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Heap);
     if k.space.region_containing(base).is_none() {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }

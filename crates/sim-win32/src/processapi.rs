@@ -1,5 +1,6 @@
 //! Processes: creation, termination, exit codes, priority classes.
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_FILE_NOT_FOUND, ERROR_INVALID_PARAMETER};
 use crate::marshal::{
     bad_handle_return, finish_out, read_string, write_out, FALSE, TRUE,
@@ -28,7 +29,7 @@ fn process_pid(k: &Kernel, h: Handle) -> Result<u32, HandleError> {
 ///
 /// None.
 pub fn GetCurrentProcess(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(Handle::CURRENT_PROCESS.raw())))
 }
 
@@ -38,7 +39,7 @@ pub fn GetCurrentProcess(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
 ///
 /// None.
 pub fn GetCurrentProcessId(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(k.procs.current_pid())))
 }
 
@@ -60,7 +61,7 @@ pub fn CreateProcess(
     startup_info: SimPtr,
     process_info_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     // One of the two name arguments must be present; both are scanned.
     let app = if application_name.is_null() {
         None
@@ -114,7 +115,7 @@ pub fn OpenProcess(
     _inherit: u32,
     pid: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if k.procs.process(pid).is_err() {
         return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
     }
@@ -132,7 +133,7 @@ pub fn OpenProcess(
 ///
 /// None.
 pub fn TerminateProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_code: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let pid = match process_pid(k, h) {
         Ok(p) => p,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -149,7 +150,7 @@ pub fn TerminateProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_c
 ///
 /// An SEH abort when the exit-code pointer faults under probing.
 pub fn GetExitCodeProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, code_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let pid = match process_pid(k, h) {
         Ok(p) => p,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -178,7 +179,7 @@ pub fn GetExitCodeProcess(k: &mut Kernel, profile: Win32Profile, h: Handle, code
 ///
 /// None.
 pub fn GetPriorityClass(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     match process_pid(k, h) {
         Ok(pid) => {
             let cls = k
@@ -201,7 +202,7 @@ pub fn GetPriorityClass(k: &mut Kernel, profile: Win32Profile, h: Handle) -> Api
 ///
 /// None; unknown class values are robust errors.
 pub fn SetPriorityClass(k: &mut Kernel, profile: Win32Profile, h: Handle, class: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     // IDLE=0x40, NORMAL=0x20, HIGH=0x80, REALTIME=0x100.
     if !matches!(class, 0x20 | 0x40 | 0x80 | 0x100) {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));

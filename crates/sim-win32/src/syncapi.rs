@@ -8,6 +8,7 @@
 //! mode on the 9x family and CE — with harness residue, a wild array
 //! pointer is Catastrophic (`*MsgWaitForMultipleObjects[Ex]`).
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_INVALID_PARAMETER, WAIT_TIMEOUT};
 use crate::marshal::{bad_handle_return, exception, kernel_read, read_string, FALSE, TRUE};
 use crate::profile::Win32Profile;
@@ -39,7 +40,7 @@ pub fn CreateEvent(
     initial_state: u32,
     name: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if !name.is_null() {
         let _ = read_string(k, name)?;
     }
@@ -78,7 +79,7 @@ fn signal_object(k: &mut Kernel, profile: Win32Profile, h: Handle, expected_even
 ///
 /// None.
 pub fn SetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     signal_object(k, profile, h, true, true)
 }
 
@@ -88,7 +89,7 @@ pub fn SetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
 ///
 /// None.
 pub fn ResetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     signal_object(k, profile, h, true, false)
 }
 
@@ -99,7 +100,7 @@ pub fn ResetEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult
 ///
 /// None.
 pub fn PulseEvent(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     match k.objects.get_mut(h) {
         Ok(ObjectKind::Event(s)) => {
             s.signal();
@@ -123,7 +124,7 @@ pub fn CreateMutex(
     initial_owner: u32,
     name: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if !name.is_null() {
         let _ = read_string(k, name)?;
     }
@@ -142,7 +143,7 @@ pub fn CreateMutex(
 ///
 /// None; releasing an unowned mutex is a robust error.
 pub fn ReleaseMutex(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     signal_object(k, profile, h, false, true)
 }
 
@@ -160,7 +161,7 @@ pub fn CreateSemaphore(
     maximum: i32,
     name: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if !name.is_null() {
         let _ = read_string(k, name)?;
     }
@@ -187,7 +188,7 @@ pub fn ReleaseSemaphore(
     release_count: i32,
     previous_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if release_count <= 0 {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }
@@ -292,7 +293,7 @@ fn do_wait(
 /// [`ApiAbort::Hang`] when the wait can never be satisfied and the timeout
 /// is `INFINITE` — the paper's Restart failure mode.
 pub fn WaitForSingleObject(k: &mut Kernel, profile: Win32Profile, h: Handle, timeout: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     let code = do_wait(k, profile, &[h], timeout)?;
     if code == WAIT_FAILED {
         return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_HANDLE));
@@ -333,7 +334,7 @@ pub fn WaitForMultipleObjects(
     _wait_all: u32,
     timeout: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if count == 0 || count > MAXIMUM_WAIT_OBJECTS {
         return Ok(ApiReturn::err(WAIT_FAILED, ERROR_INVALID_PARAMETER));
     }
@@ -402,7 +403,7 @@ pub fn MsgWaitForMultipleObjects(
     timeout: u32,
     _wake_mask: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     msg_wait_impl(k, profile, "MsgWaitForMultipleObjects", count, handles_ptr, timeout)
 }
 
@@ -422,7 +423,7 @@ pub fn MsgWaitForMultipleObjectsEx(
     _wake_mask: u32,
     _flags: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Sync);
     if !profile.supports_call("MsgWaitForMultipleObjectsEx") {
         return Ok(ApiReturn::err(WAIT_FAILED, errors::ERROR_INVALID_FUNCTION));
     }

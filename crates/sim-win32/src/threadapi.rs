@@ -13,6 +13,7 @@
 //! interference-dependent) and the `Interlocked*` trio (CE,
 //! interference-dependent).
 
+use sim_kernel::Subsystem;
 use crate::errors::{self, ERROR_INVALID_PARAMETER};
 use crate::marshal::{
     bad_handle_return, exception, finish_out, kernel_write, write_out, OutWrite, FALSE, TRUE,
@@ -53,7 +54,7 @@ fn context_bytes(ctx: &ThreadContext) -> Vec<u8> {
 ///
 /// None.
 pub fn GetCurrentThread(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(Handle::CURRENT_THREAD.raw())))
 }
 
@@ -63,7 +64,7 @@ pub fn GetCurrentThread(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
 ///
 /// None.
 pub fn GetCurrentThreadId(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     Ok(ApiReturn::ok(i64::from(k.procs.current_tid())))
 }
 
@@ -89,7 +90,7 @@ pub fn CreateThread(
     creation_flags: u32,
     thread_id_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     // A NULL start address is rejected up front by every variant.
     if start_address.is_null() {
         return Ok(ApiReturn::err(0, ERROR_INVALID_PARAMETER));
@@ -132,7 +133,7 @@ pub fn CreateThread(
 ///
 /// None; bad handles return errors (or 9x silence).
 pub fn TerminateThread(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_code: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     match thread_tid(k, h) {
         Ok(tid) => {
             if let Ok(t) = k.procs.thread_mut(tid) {
@@ -150,7 +151,7 @@ pub fn TerminateThread(k: &mut Kernel, profile: Win32Profile, h: Handle, exit_co
 ///
 /// None.
 pub fn SuspendThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, 0)),
@@ -167,7 +168,7 @@ pub fn SuspendThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiRes
 ///
 /// None.
 pub fn ResumeThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, 0)),
@@ -189,7 +190,7 @@ pub fn ResumeThread(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResu
 ///
 /// An SEH abort on the NT family when `lpContext` faults.
 pub fn GetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, context_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -216,7 +217,7 @@ pub fn GetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, contex
 ///
 /// An SEH abort when the context block faults under user-mode reading.
 pub fn SetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, context_in: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -250,7 +251,7 @@ pub fn SetThreadContext(k: &mut Kernel, profile: Win32Profile, h: Handle, contex
 ///
 /// None; failures return `THREAD_PRIORITY_ERROR_RETURN` (0x7FFFFFFF).
 pub fn GetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => {
@@ -275,7 +276,7 @@ pub fn GetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle) -> Ap
 ///
 /// None.
 pub fn SetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle, priority: i32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if !matches!(priority, -15 | -2 | -1 | 0 | 1 | 2 | 15) {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }
@@ -299,7 +300,7 @@ pub fn SetThreadPriority(k: &mut Kernel, profile: Win32Profile, h: Handle, prior
 ///
 /// An SEH abort when the exit-code pointer faults under probing.
 pub fn GetExitCodeThread(k: &mut Kernel, profile: Win32Profile, h: Handle, code_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     let tid = match thread_tid(k, h) {
         Ok(t) => t,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
@@ -336,7 +337,7 @@ fn interlocked(
     f: impl FnOnce(i32) -> i32,
     ret_new: bool,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if profile.vulnerability_fires_on(call, k) {
         // CE kernel path: unprobed kernel-mode RMW.
         let old = match k.space.read_i32_priv(addend, PrivilegeLevel::Kernel) {
@@ -400,7 +401,7 @@ pub fn InterlockedExchange(
 ///
 /// [`ApiAbort::Hang`](sim_kernel::ApiAbort::Hang) for `INFINITE`.
 pub fn Sleep(k: &mut Kernel, _profile: Win32Profile, ms: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if ms == sim_kernel::sync::INFINITE {
         return Err(sim_kernel::ApiAbort::Hang);
     }
@@ -420,7 +421,7 @@ pub fn Sleep(k: &mut Kernel, _profile: Win32Profile, ms: u32) -> ApiResult {
 /// [`ApiAbort::Hang`](sim_kernel::ApiAbort::Hang) for `INFINITE`, and for
 /// any duration the per-case fuel budget cannot cover.
 pub fn SleepEx(k: &mut Kernel, _profile: Win32Profile, ms: u32, _alertable: u32) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if ms == sim_kernel::sync::INFINITE {
         return Err(sim_kernel::ApiAbort::Hang);
     }
@@ -441,7 +442,7 @@ pub fn AttachThreadInput(
     id_attach_to: u32,
     _attach: u32,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Process);
     if id_attach == id_attach_to {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
     }

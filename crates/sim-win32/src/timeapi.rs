@@ -6,6 +6,7 @@
 //! through a 16-bit thunk that writes the result `SYSTEMTIME` with no
 //! probing of the caller's pointer.
 
+use sim_kernel::Subsystem;
 use crate::errors::ERROR_INVALID_PARAMETER;
 use crate::marshal::{exception, finish_out, kernel_write, write_out, FALSE, TRUE};
 use crate::profile::Win32Profile;
@@ -57,7 +58,7 @@ fn read_systemtime(k: &Kernel, ptr: SimPtr) -> Result<SystemTime, sim_core::Faul
 ///
 /// None.
 pub fn GetTickCount(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     Ok(ApiReturn::ok(k.clock.tick_count_ms() as i64))
 }
 
@@ -67,7 +68,7 @@ pub fn GetTickCount(k: &mut Kernel, _profile: Win32Profile) -> ApiResult {
 ///
 /// An SEH abort when the block faults under probing.
 pub fn GetSystemTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let st = filetime_to_systemtime(k.clock.filetime()).expect("clock is in range");
     let out = write_out(k, profile, "GetSystemTime", true, st_out, &systemtime_bytes(&st))?;
     Ok(finish_out(out, 0))
@@ -79,7 +80,7 @@ pub fn GetSystemTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> A
 ///
 /// An SEH abort when the block faults under probing.
 pub fn GetLocalTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let st = filetime_to_systemtime(k.clock.filetime()).expect("clock is in range");
     let out = write_out(k, profile, "GetLocalTime", true, st_out, &systemtime_bytes(&st))?;
     Ok(finish_out(out, 0))
@@ -93,7 +94,7 @@ pub fn GetLocalTime(k: &mut Kernel, profile: Win32Profile, st_out: SimPtr) -> Ap
 ///
 /// An SEH abort when the block faults.
 pub fn SetSystemTime(k: &mut Kernel, _profile: Win32Profile, st_in: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let st = read_systemtime(k, st_in).map_err(exception)?;
     if !st.is_valid() {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
@@ -107,7 +108,7 @@ pub fn SetSystemTime(k: &mut Kernel, _profile: Win32Profile, st_in: SimPtr) -> A
 ///
 /// An SEH abort when the out-pointer faults under probing.
 pub fn GetSystemTimeAsFileTime(k: &mut Kernel, profile: Win32Profile, ft_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let ft = k.clock.filetime();
     let (lo, hi) = ft.to_parts();
     let mut bytes = [0u8; 8];
@@ -139,7 +140,7 @@ pub fn FileTimeToSystemTime(
     ft_in: SimPtr,
     st_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let ft = read_filetime(k, ft_in).map_err(exception)?;
     let Some(st) = filetime_to_systemtime(ft) else {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
@@ -165,7 +166,7 @@ pub fn SystemTimeToFileTime(
     st_in: SimPtr,
     ft_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let st = read_systemtime(k, st_in).map_err(exception)?;
     let Some(ft) = systemtime_to_filetime(&st) else {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));
@@ -190,7 +191,7 @@ pub fn FileTimeToLocalFileTime(
     ft_in: SimPtr,
     ft_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let ft = read_filetime(k, ft_in).map_err(exception)?;
     let (lo, hi) = ft.to_parts();
     let mut bytes = [0u8; 8];
@@ -220,7 +221,7 @@ pub fn LocalFileTimeToFileTime(
 ///
 /// An SEH abort when either pointer faults.
 pub fn CompareFileTime(k: &mut Kernel, _profile: Win32Profile, a: SimPtr, b: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let fa = read_filetime(k, a).map_err(exception)?;
     let fb = read_filetime(k, b).map_err(exception)?;
     Ok(ApiReturn::ok(match fa.cmp(&fb) {
@@ -237,7 +238,7 @@ pub fn CompareFileTime(k: &mut Kernel, _profile: Win32Profile, a: SimPtr, b: Sim
 ///
 /// An SEH abort when the block faults under probing.
 pub fn GetTimeZoneInformation(k: &mut Kernel, profile: Win32Profile, tz_out: SimPtr) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let block = vec![0u8; 172];
     let out = write_out(k, profile, "GetTimeZoneInformation", true, tz_out, &block)?;
     Ok(finish_out(out, 0))
@@ -256,7 +257,7 @@ pub fn DosDateTimeToFileTime(
     fat_time: u16,
     ft_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let day = u32::from(fat_date & 0x1F);
     let month = u32::from((fat_date >> 5) & 0x0F);
     let year = 1980 + u32::from(fat_date >> 9);
@@ -296,7 +297,7 @@ pub fn FileTimeToDosDateTime(
     fat_date_out: SimPtr,
     fat_time_out: SimPtr,
 ) -> ApiResult {
-    k.charge_call();
+    k.charge_call_to(Subsystem::Time);
     let ft = read_filetime(k, ft_in).map_err(exception)?;
     let Some(st) = filetime_to_systemtime(ft) else {
         return Ok(ApiReturn::err(FALSE, ERROR_INVALID_PARAMETER));

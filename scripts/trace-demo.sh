@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# One-liner observability demo: run a telemetry-enabled win95 campaign
+# and produce a Perfetto-loadable trace, metrics.json and a
+# flamegraph-ready collapsed-stack profile under results/.
+#
+#   ./scripts/trace-demo.sh [extra telemetry-bin flags]
+#
+# See OBSERVABILITY.md for the full operator guide.
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p experiments --bin telemetry -- --demo "$@"
