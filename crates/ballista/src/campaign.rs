@@ -29,7 +29,7 @@ use crate::catalog;
 use crate::crash::{self, classify, FailureClass, RawOutcome};
 use crate::datatype::TypeRegistry;
 use crate::exec::{
-    self, execute_case_budgeted, reproduce_in_isolation, CaseResult, Session, DEFAULT_FUEL_BUDGET,
+    self, reproduce_in_isolation, CaseResult, CaseRunner, Session, DEFAULT_FUEL_BUDGET,
 };
 use crate::journal::{CaseRecord, Journal, PlanHasher, Recovery};
 use crate::muts::Mut;
@@ -162,6 +162,22 @@ pub struct CampaignStats {
     /// absent in results written before the telemetry layer).
     #[serde(default)]
     pub journal_fsyncs: u64,
+    /// Restores served by resetting the resident machine in place —
+    /// the dirty-state fast path. Subset of `restores`; absent in
+    /// results written before batched execution.
+    #[serde(default)]
+    pub restores_fast: u64,
+    /// Restores that deep-cloned the boot template (first case on a
+    /// runner, legacy mode off). Subset of `restores`; absent in
+    /// results written before batched execution.
+    #[serde(default)]
+    pub restores_full: u64,
+    /// Machines provisioned for isolation probes. Counted apart from
+    /// `restores`, so `restores` equals cases executed on this host
+    /// (absent in results written before batched execution, where
+    /// probes inflated `restores` by one per catastrophic MuT).
+    #[serde(default)]
+    pub probe_provisions: u64,
 }
 
 /// Per-MuT campaign results.
@@ -424,11 +440,12 @@ fn run_mut_campaign_traced(
     if let Some(tc) = tc.as_mut() {
         tc.begin_mut(mut_.name, mut_.group.label(), prep.plan.cases.len());
     }
+    let mut runner = CaseRunner::new();
     for (c_idx, combo) in prep.plan.cases.iter().enumerate() {
         if cfg.perfect_cleanup {
             session.residue = 0;
         }
-        let result = execute_case_budgeted(
+        let result = runner.execute(
             os,
             mut_,
             &prep.pools,
@@ -486,9 +503,10 @@ fn run_clean_mut(
     let mut records = Vec::with_capacity(prep.plan.cases.len());
     let mut fuel = capture_fuel.then(|| Vec::with_capacity(prep.plan.cases.len()));
     let mut clean = Session::new();
+    let mut runner = CaseRunner::new();
     for combo in &prep.plan.cases {
         clean.residue = 0;
-        let r = execute_case_budgeted(os, prep.mut_, &prep.pools, combo, &mut clean, fuel_budget);
+        let r = runner.execute(os, prep.mut_, &prep.pools, combo, &mut clean, fuel_budget);
         records.push(crash::pack_case(r.raw, r.any_exceptional, r.residue_probed));
         if let Some(fuel) = fuel.as_mut() {
             fuel.push(r.fuel_used);
@@ -601,6 +619,7 @@ fn replay_pass(
 ) -> (Vec<MutTally>, usize) {
     let mut replayed = 0usize;
     let mut tallies = Vec::with_capacity(preps.len());
+    let mut runner = CaseRunner::new();
     for (prep, recs) in preps.iter().zip(records) {
         let mut tally = empty_tally(prep.mut_, prep.plan.cases.len());
         if let Some(tc) = tc.as_mut() {
@@ -618,7 +637,7 @@ fn replay_pass(
                 crash::unpack_case(rec).expect("clean pass wrote a valid record");
             let result = if residue_probed && session.residue != 0 {
                 replayed += 1;
-                execute_case_budgeted(
+                runner.execute(
                     os,
                     prep.mut_,
                     &prep.pools,
@@ -812,6 +831,9 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         replayed_cases: replayed,
         quarantine_retries: retries,
         journal_fsyncs: 0,
+        restores_fast: counters.restores_fast.load(Ordering::Relaxed),
+        restores_full: counters.restores_full.load(Ordering::Relaxed),
+        probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
     };
     CampaignReport {
         os,
@@ -934,6 +956,7 @@ pub fn run_campaign_journaled(
     // to the accepted prefix and execution takes over.
     let mut ri = 0usize;
     let mut replay_live = !recovered.is_empty();
+    let mut runner = CaseRunner::new();
     for (m_idx, prep) in preps.iter().enumerate() {
         if telemetry::enabled() {
             telemetry::on_mut_begin(prep.plan.cases.len() as u64);
@@ -990,7 +1013,7 @@ pub fn run_campaign_journaled(
             let result = match replayed_result {
                 Some(r) => r,
                 None => {
-                    let r = execute_case_budgeted(
+                    let r = runner.execute(
                         os,
                         prep.mut_,
                         &prep.pools,
@@ -1061,6 +1084,9 @@ pub fn run_campaign_journaled(
         replayed_cases: ri,
         quarantine_retries: 0,
         journal_fsyncs: journal.fsyncs(),
+        restores_fast: counters.restores_fast.load(Ordering::Relaxed),
+        restores_full: counters.restores_full.load(Ordering::Relaxed),
+        probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
     };
     Ok(CampaignReport {
         os,
@@ -1222,6 +1248,21 @@ mod tests {
         // The template cache means at most one boot per (thread, flavour);
         // everything else must be a snapshot restore.
         assert!(stats.restores > stats.boots);
+        // Exact accounting: the serial engine executes each applied case
+        // once and provisions exactly one restore per executed case —
+        // isolation probes are billed separately.
+        assert_eq!(stats.restores, report.total_cases as u64);
+        assert_eq!(stats.restores_fast + stats.restores_full, stats.restores);
+        assert!(
+            stats.restores_fast > stats.restores_full,
+            "batched execution must serve most cases by in-place reset"
+        );
+        let probed = report
+            .muts
+            .iter()
+            .filter(|t| t.crash_reproducible_in_isolation.is_some())
+            .count() as u64;
+        assert_eq!(stats.probe_provisions, probed);
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Single-test execution: isolation, interception, residue, and the
 //! in-isolation reproduction probe.
 //!
-//! Each test case gets a **fresh simulated machine** — the analog of the
-//! paper's per-test process (`fork` on POSIX; memory-mapped file + spawn
-//! on Windows). A `catch_unwind` fence guards the harness itself, playing
-//! the role of the paper's top-level exception filter ("we disabled this
-//! exception filter and replaced it with code that would record such an
-//! unrecoverable exception as an Abort failure").
+//! Each test case gets a **pristine simulated machine** — the analog of
+//! the paper's per-test process (`fork` on POSIX; memory-mapped file +
+//! spawn on Windows). Pristine no longer means freshly cloned: the
+//! campaign engines run each MuT's cases through a [`CaseRunner`] that
+//! keeps one resident machine and resets it in place between cases,
+//! rolling back only what the previous case touched (the address space's
+//! dirty-region journal plus per-subsystem generation stamps — see
+//! [`MachineSnapshot::restore_into`]). A `catch_unwind` fence guards the
+//! harness itself, playing the role of the paper's top-level exception
+//! filter ("we disabled this exception filter and replaced it with code
+//! that would record such an unrecoverable exception as an Abort
+//! failure").
 //!
 //! The one thing that deliberately survives between cases is the
 //! [`Session`] **residue** counter: the paper observed crashes "probably
@@ -24,6 +30,7 @@ use sim_kernel::outcome::ApiAbort;
 use sim_kernel::variant::OsVariant;
 use sim_kernel::{Kernel, MachineFlavor, MachineSnapshot};
 use std::cell::RefCell;
+use std::rc::Rc;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Machine-provisioning counters, aggregated across all worker threads.
@@ -39,6 +46,17 @@ pub mod stats {
     pub static BOOTS: AtomicU64 = AtomicU64::new(0);
     /// Machines created by cloning a pre-booted template.
     pub static RESTORES: AtomicU64 = AtomicU64::new(0);
+    /// Restores served by resetting a resident machine in place
+    /// (dirty-region rollback + generation-stamped subsystems) — a
+    /// subset of [`struct@RESTORES`].
+    pub static RESTORES_FAST: AtomicU64 = AtomicU64::new(0);
+    /// Restores that deep-cloned the template (first case on a runner,
+    /// or a corrupted resident) — the other subset of [`struct@RESTORES`].
+    pub static RESTORES_FULL: AtomicU64 = AtomicU64::new(0);
+    /// Machines provisioned for isolation probes ([`super::reproduce_in_isolation`]).
+    /// Counted apart from [`struct@RESTORES`] so `restores` equals cases
+    /// executed instead of drifting by one per catastrophic probe.
+    pub static PROBE_PROVISIONS: AtomicU64 = AtomicU64::new(0);
     /// Nanoseconds spent in full boots.
     pub static BOOT_NANOS: AtomicU64 = AtomicU64::new(0);
     /// Nanoseconds spent restoring templates.
@@ -59,6 +77,12 @@ pub mod stats {
         pub boots: AtomicU64,
         /// Machines created by a template clone while installed.
         pub restores: AtomicU64,
+        /// Restores served by an in-place reset (subset of `restores`).
+        pub restores_fast: AtomicU64,
+        /// Restores that deep-cloned the template (subset of `restores`).
+        pub restores_full: AtomicU64,
+        /// Machines provisioned for isolation probes (not restores).
+        pub probe_provisions: AtomicU64,
         /// Nanoseconds spent booting while installed.
         pub boot_nanos: AtomicU64,
         /// Nanoseconds spent restoring while installed.
@@ -105,14 +129,51 @@ pub mod stats {
         });
     }
 
-    pub(super) fn record_restore(nanos: u64) {
+    pub(super) fn record_restore(nanos: u64, fast: bool) {
         RESTORES.fetch_add(1, Ordering::Relaxed);
         RESTORE_NANOS.fetch_add(nanos, Ordering::Relaxed);
-        crate::telemetry::on_restore(nanos);
+        if fast {
+            RESTORES_FAST.fetch_add(1, Ordering::Relaxed);
+        } else {
+            RESTORES_FULL.fetch_add(1, Ordering::Relaxed);
+        }
+        crate::telemetry::on_restore(nanos, fast);
         SINK.with(|s| {
             if let Some(c) = s.borrow().as_deref() {
                 c.restores.fetch_add(1, Ordering::Relaxed);
                 c.restore_nanos.fetch_add(nanos, Ordering::Relaxed);
+                if fast {
+                    c.restores_fast.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    c.restores_full.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+
+    /// Flushes a batch of `count` in-place resets a [`super::CaseRunner`]
+    /// accumulated locally (with `nanos` of sampled host time attributed
+    /// to them). The batch path only runs while telemetry is disabled, so
+    /// no hub hook fires here — the hub's histograms never see estimated
+    /// samples.
+    pub(super) fn record_fast_restores(count: u64, nanos: u64) {
+        RESTORES.fetch_add(count, Ordering::Relaxed);
+        RESTORES_FAST.fetch_add(count, Ordering::Relaxed);
+        RESTORE_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        SINK.with(|s| {
+            if let Some(c) = s.borrow().as_deref() {
+                c.restores.fetch_add(count, Ordering::Relaxed);
+                c.restores_fast.fetch_add(count, Ordering::Relaxed);
+                c.restore_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+        });
+    }
+
+    pub(super) fn record_probe() {
+        PROBE_PROVISIONS.fetch_add(1, Ordering::Relaxed);
+        SINK.with(|s| {
+            if let Some(c) = s.borrow().as_deref() {
+                c.probe_provisions.fetch_add(1, Ordering::Relaxed);
             }
         });
     }
@@ -135,6 +196,9 @@ pub mod stats {
     pub fn reset() {
         BOOTS.store(0, Ordering::Relaxed);
         RESTORES.store(0, Ordering::Relaxed);
+        RESTORES_FAST.store(0, Ordering::Relaxed);
+        RESTORES_FULL.store(0, Ordering::Relaxed);
+        PROBE_PROVISIONS.store(0, Ordering::Relaxed);
         BOOT_NANOS.store(0, Ordering::Relaxed);
         RESTORE_NANOS.store(0, Ordering::Relaxed);
     }
@@ -187,7 +251,7 @@ pub mod fault {
 thread_local! {
     /// Per-thread cache of pre-booted machine templates, one per flavour.
     /// Three flavours exist, so a linear scan beats any map.
-    static TEMPLATES: RefCell<Vec<(MachineFlavor, MachineSnapshot)>> = const { RefCell::new(Vec::new()) };
+    static TEMPLATES: RefCell<Vec<(MachineFlavor, Rc<MachineSnapshot>)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// When set, [`fresh_machine`] bypasses the template cache and boots a
@@ -224,16 +288,47 @@ pub fn fresh_machine(flavor: MachineFlavor) -> Kernel {
             // through to a clean boot rather than poisoning every later
             // case on this thread.
             if kernel.is_alive() {
-                stats::record_restore(elapsed_ns(start));
+                stats::record_restore(elapsed_ns(start), false);
                 return kernel;
             }
             cache.remove(pos);
             stats::TEMPLATE_INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
         }
-        let snap = MachineSnapshot::boot(flavor);
+        let snap = Rc::new(MachineSnapshot::boot(flavor));
         let kernel = snap.restore();
         cache.push((flavor, snap));
         stats::record_boot(elapsed_ns(start));
+        kernel
+    })
+}
+
+/// Provisions a pristine machine for an **isolation probe** — same
+/// template mechanics as [`fresh_machine`], but counted under
+/// `probe_provisions` instead of `restores`. Probes are extra machines
+/// on top of the planned cases; billing them as restores is what made
+/// `restores` drift past `cases` by one per catastrophic MuT in earlier
+/// campaign artifacts.
+fn probe_machine(flavor: MachineFlavor) -> Kernel {
+    use std::sync::atomic::Ordering;
+    stats::record_probe();
+    if LEGACY_PROVISIONING.load(Ordering::Relaxed) {
+        let mut kernel = Kernel::with_flavor(flavor);
+        kernel.space.set_eager_zero(true);
+        return kernel;
+    }
+    TEMPLATES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) = cache.iter().position(|(f, _)| *f == flavor) {
+            let kernel = cache[pos].1.restore();
+            if kernel.is_alive() {
+                return kernel;
+            }
+            cache.remove(pos);
+            stats::TEMPLATE_INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        let snap = Rc::new(MachineSnapshot::boot(flavor));
+        let kernel = snap.restore();
+        cache.push((flavor, snap));
         kernel
     })
 }
@@ -248,6 +343,210 @@ pub fn invalidate_templates() {
 
 fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Batched per-MuT case executor: keeps one **resident machine** across
+/// cases and resets it *in place* between them instead of cloning the
+/// boot template per case.
+///
+/// The reset is O(touched): the address space rolls back only the
+/// regions its dirty journal recorded, and each kernel subsystem carries
+/// a generation stamp that lets [`MachineSnapshot::restore_into`] skip
+/// the deep clone entirely when the case never structurally touched it.
+/// Both the dirty journal and the generation stamps are written *before*
+/// the mutation they cover, so the reset stays sound even when a case
+/// panics mid-call and unwinds through the harness fence — the next
+/// provision simply rolls back everything the case could have dirtied.
+///
+/// The first provision on a runner (and any provision after the resident
+/// machine restored dead, which invalidates the template) deep-clones the
+/// template and is counted as a *full* restore; every later one is a
+/// *fast* in-place reset. Under [`LEGACY_PROVISIONING`] the runner boots
+/// a machine per case exactly like [`fresh_machine`] does, so the
+/// calibration benchmark still measures the real before/after.
+#[derive(Debug, Default)]
+pub struct CaseRunner {
+    /// The resident machine and the flavour it was provisioned for.
+    resident: Option<(MachineFlavor, Kernel)>,
+    /// The boot template the resident machine was provisioned from
+    /// (`None` under legacy provisioning). Holding the `Rc` here lets the
+    /// per-case reset skip the thread-local template cache entirely.
+    template: Option<Rc<MachineSnapshot>>,
+    /// In-place resets performed but not yet flushed to [`stats`]. The
+    /// hot path batches counter updates locally (only while telemetry is
+    /// off) and flushes on drop, so per-case cost is one increment
+    /// instead of five atomics plus a thread-local borrow.
+    fast_pending: u64,
+    /// Sampled host nanoseconds attributed to the pending resets: one
+    /// reset in [`TIMING_SAMPLE`] is timed and scaled up, keeping the
+    /// per-case clock reads off the hot path while `restore_nanos`
+    /// stays statistically honest.
+    fast_nanos: u64,
+}
+
+/// One in-place reset per this many is wall-clock timed on the batched
+/// stats path; the measured value stands in for the whole stride.
+const TIMING_SAMPLE: u64 = 64;
+
+/// Pending in-place resets are flushed to the global counters at least
+/// this often, bounding how far mid-campaign readers can lag.
+const STATS_FLUSH_EVERY: u64 = 4096;
+
+impl Drop for CaseRunner {
+    fn drop(&mut self) {
+        self.flush_stats();
+    }
+}
+
+impl CaseRunner {
+    /// A runner with no resident machine yet; the first case provisions
+    /// one from the thread's boot-template cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CaseRunner::default()
+    }
+
+    /// Flushes locally batched in-place-reset counters to [`stats`].
+    /// Runs on drop (a runner lives for exactly one MuT's case loop, so
+    /// campaign-level accounting stays exact) and before any slow-path
+    /// provisioning.
+    fn flush_stats(&mut self) {
+        if self.fast_pending > 0 {
+            stats::record_fast_restores(self.fast_pending, self.fast_nanos);
+            self.fast_pending = 0;
+            self.fast_nanos = 0;
+        }
+    }
+
+    /// Provisions the resident machine for the next case: in-place reset
+    /// when possible, template clone or legacy boot otherwise.
+    fn provision(&mut self, flavor: MachineFlavor) -> &mut Kernel {
+        use std::sync::atomic::Ordering;
+        if LEGACY_PROVISIONING.load(Ordering::Relaxed) {
+            let start = std::time::Instant::now();
+            let mut kernel = Kernel::with_flavor(flavor);
+            kernel.space.set_eager_zero(true);
+            stats::record_boot(elapsed_ns(start));
+            self.template = None;
+            return &mut self.resident.insert((flavor, kernel)).1;
+        }
+        // Fast path: the resident machine resets in place from the very
+        // template it was provisioned from — no thread-local traffic.
+        // A resident from a *different* flavour (a runner reused across
+        // variants) has a meaningless dirty journal for this template,
+        // so it falls through to a full clone instead.
+        enum FastReset {
+            NotApplicable,
+            Alive,
+            Dead,
+        }
+        let CaseRunner { resident, template, fast_pending, fast_nanos } = self;
+        let fast = match (resident.as_mut(), template.as_deref()) {
+            (Some((f, machine)), Some(snap)) if *f == flavor => {
+                if crate::telemetry::enabled() {
+                    // Precise per-reset timing and hub hooks when the
+                    // observability layer is watching.
+                    let start = std::time::Instant::now();
+                    snap.restore_into(machine);
+                    if machine.is_alive() {
+                        stats::record_restore(elapsed_ns(start), true);
+                        FastReset::Alive
+                    } else {
+                        FastReset::Dead
+                    }
+                } else {
+                    let start =
+                        (*fast_pending % TIMING_SAMPLE == 0).then(std::time::Instant::now);
+                    snap.restore_into(machine);
+                    if machine.is_alive() {
+                        if let Some(s) = start {
+                            *fast_nanos += elapsed_ns(s) * TIMING_SAMPLE;
+                        }
+                        *fast_pending += 1;
+                        if *fast_pending >= STATS_FLUSH_EVERY {
+                            stats::record_fast_restores(*fast_pending, *fast_nanos);
+                            *fast_pending = 0;
+                            *fast_nanos = 0;
+                        }
+                        FastReset::Alive
+                    } else {
+                        FastReset::Dead
+                    }
+                }
+            }
+            _ => FastReset::NotApplicable,
+        };
+        match fast {
+            FastReset::Alive => return &mut self.resident.as_mut().expect("reset above").1,
+            FastReset::Dead => {
+                self.flush_stats();
+                // Restoring produced a dead machine: the template itself
+                // is corrupted (e.g. snapshotted after a crash latch).
+                // Drop it everywhere and re-provision from a clean boot.
+                TEMPLATES.with(|cache| cache.borrow_mut().retain(|(cf, _)| *cf != flavor));
+                stats::TEMPLATE_INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
+                self.resident = None;
+                self.template = None;
+            }
+            FastReset::NotApplicable => {}
+        }
+        TEMPLATES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            loop {
+                let Some(pos) = cache.iter().position(|(f, _)| *f == flavor) else {
+                    let start = std::time::Instant::now();
+                    cache.push((flavor, Rc::new(MachineSnapshot::boot(flavor))));
+                    stats::record_boot(elapsed_ns(start));
+                    continue;
+                };
+                let snap = &cache[pos].1;
+                let start = std::time::Instant::now();
+                let machine = snap.restore();
+                if machine.is_alive() {
+                    self.template = Some(Rc::clone(snap));
+                    self.resident = Some((flavor, machine));
+                    stats::record_restore(elapsed_ns(start), false);
+                    break;
+                }
+                // Corrupted template: drop it and boot a replacement on
+                // the next pass.
+                cache.remove(pos);
+                stats::TEMPLATE_INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        &mut self.resident.as_mut().expect("provisioned above").1
+    }
+
+    /// Executes one case on the resident machine — same observable
+    /// semantics as [`execute_case_budgeted`], which the proptest and
+    /// engine-equivalence suites assert.
+    #[must_use]
+    pub fn execute(
+        &mut self,
+        os: OsVariant,
+        mut_: &Mut,
+        pools: &[Vec<TestValue>],
+        combo: &[usize],
+        session: &mut Session,
+        fuel_budget: u64,
+    ) -> CaseResult {
+        let kernel = self.provision(os.machine_flavor());
+        kernel.fuel = sim_kernel::clock::FuelMeter::with_budget(fuel_budget);
+        kernel.residue = session.residue;
+        let (raw, any_exceptional) = run_on(kernel, os, mut_, pools, combo);
+        session.note(raw, any_exceptional);
+        if crate::telemetry::enabled() {
+            crate::telemetry::on_case_executed();
+            crate::telemetry::on_case_profile(os, mut_.group.label(), &kernel.subsys);
+        }
+        CaseResult {
+            raw,
+            class: classify(raw, any_exceptional),
+            any_exceptional,
+            residue_probed: kernel.residue_probed,
+            fuel_used: kernel.fuel.consumed(),
+        }
+    }
 }
 
 /// Cross-case state for one campaign run on one OS.
@@ -445,7 +744,7 @@ pub fn reproduce_in_isolation(
     pools: &[Vec<TestValue>],
     combo: &[usize],
 ) -> bool {
-    let mut kernel = fresh_machine(os.machine_flavor());
+    let mut kernel = probe_machine(os.machine_flavor());
     kernel.fuel = sim_kernel::clock::FuelMeter::with_budget(DEFAULT_FUEL_BUDGET);
     kernel.residue = 0;
     let (raw, _) = run_on(&mut kernel, os, mut_, pools, combo);
@@ -634,7 +933,7 @@ mod tests {
         let mut poisoned = Kernel::with_flavor(flavor);
         poisoned.crash.panic("test", "planted corruption", None);
         let snap = poisoned.snapshot();
-        TEMPLATES.with(|cache| cache.borrow_mut().push((flavor, snap)));
+        TEMPLATES.with(|cache| cache.borrow_mut().push((flavor, Rc::new(snap))));
         let before = stats::TEMPLATE_INVALIDATIONS.load(Ordering::Relaxed);
         let k = fresh_machine(flavor);
         assert!(k.is_alive(), "fresh_machine must never hand out a dead machine");
@@ -656,6 +955,76 @@ mod tests {
         let (boots, restores, _, _) = sink.snapshot();
         assert_eq!(boots, 1);
         assert_eq!(restores, 1, "post-clear provisioning must not reach the sink");
+        invalidate_templates();
+    }
+
+    #[test]
+    fn case_runner_matches_per_case_provisioning() {
+        // The batched runner and the clone-per-case path must agree on
+        // every outcome and on the session residue they leave behind,
+        // including across crash (Win98) and abort (NT) sequences.
+        let m = get_thread_context_mut();
+        let pools = null_and_valid_ctx_pools();
+        let combos: [&[usize]; 6] = [&[0, 1], &[0, 0], &[0, 1], &[0, 0], &[0, 1], &[0, 0]];
+        for os in [OsVariant::Win98, OsVariant::WinNt4] {
+            let mut batched = Session::new();
+            let mut per_case = Session::new();
+            let mut runner = CaseRunner::new();
+            for combo in combos {
+                let a = runner.execute(os, &m, &pools, combo, &mut batched, DEFAULT_FUEL_BUDGET);
+                let b = execute_case_budgeted(os, &m, &pools, combo, &mut per_case, DEFAULT_FUEL_BUDGET);
+                assert_eq!(a, b, "{os}: batched and per-case outcomes diverged");
+                assert_eq!(batched.residue, per_case.residue, "{os}: residue diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn case_runner_counts_one_restore_per_case_mostly_fast() {
+        use std::sync::atomic::Ordering;
+        let sink = Arc::new(stats::Counters::default());
+        invalidate_templates();
+        stats::install_sink(Arc::clone(&sink));
+        let m = get_thread_context_mut();
+        let pools = null_and_valid_ctx_pools();
+        let mut session = Session::new();
+        let mut runner = CaseRunner::new();
+        for _ in 0..5 {
+            let _ = runner.execute(
+                OsVariant::WinNt4,
+                &m,
+                &pools,
+                &[0, 1],
+                &mut session,
+                DEFAULT_FUEL_BUDGET,
+            );
+        }
+        // Batched fast-reset counters flush when the runner drops (the
+        // campaign engines drop theirs at the end of each MuT's loop,
+        // before any sink is read).
+        drop(runner);
+        stats::clear_sink();
+        let (boots, restores, _, _) = sink.snapshot();
+        assert_eq!(boots, 1, "one template boot for a cold cache");
+        assert_eq!(restores, 5, "exactly one restore per executed case");
+        assert_eq!(sink.restores_full.load(Ordering::Relaxed), 1, "first case clones");
+        assert_eq!(sink.restores_fast.load(Ordering::Relaxed), 4, "the rest reset in place");
+        invalidate_templates();
+    }
+
+    #[test]
+    fn isolation_probes_not_billed_as_restores() {
+        use std::sync::atomic::Ordering;
+        let sink = Arc::new(stats::Counters::default());
+        invalidate_templates();
+        stats::install_sink(Arc::clone(&sink));
+        let m = get_thread_context_mut();
+        let pools = null_and_valid_ctx_pools();
+        assert!(reproduce_in_isolation(OsVariant::Win98, &m, &pools, &[0, 0]));
+        stats::clear_sink();
+        let (_, restores, _, _) = sink.snapshot();
+        assert_eq!(restores, 0, "probe machines must not count as restores");
+        assert_eq!(sink.probe_provisions.load(Ordering::Relaxed), 1);
         invalidate_templates();
     }
 

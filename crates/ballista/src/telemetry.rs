@@ -246,6 +246,12 @@ pub struct Metrics {
     pub boots: AtomicU64,
     /// Machines provisioned by cloning a boot snapshot.
     pub restores: AtomicU64,
+    /// Restores served by resetting a resident machine in place
+    /// (dirty-region rollback; subset of `restores`).
+    pub restores_fast: AtomicU64,
+    /// Restores that deep-cloned the boot template (subset of
+    /// `restores`).
+    pub restores_full: AtomicU64,
     /// Full-boot latency, nanoseconds.
     pub boot_ns: Histogram,
     /// Snapshot-restore latency, nanoseconds.
@@ -324,6 +330,10 @@ pub struct HostMetrics {
     pub boots: u64,
     /// Snapshot restores.
     pub restores: u64,
+    /// Restores served by an in-place reset (subset of `restores`).
+    pub restores_fast: u64,
+    /// Restores that deep-cloned the template (subset of `restores`).
+    pub restores_full: u64,
     /// Boot latency histogram, nanoseconds.
     pub boot_ns: HistogramSnapshot,
     /// Restore latency histogram, nanoseconds.
@@ -372,6 +382,8 @@ pub struct Progress {
     pub finished: AtomicU64,
     /// Catastrophic failures observed so far.
     pub catastrophics: AtomicU64,
+    /// In-place (fast) machine restores so far.
+    pub restores_fast: AtomicU64,
 }
 
 /// A point-in-time copy of [`Progress`].
@@ -387,6 +399,8 @@ pub struct ProgressSnapshot {
     pub finished: u64,
     /// Catastrophic failures observed so far.
     pub catastrophics: u64,
+    /// In-place (fast) machine restores so far.
+    pub restores_fast: u64,
 }
 
 impl Progress {
@@ -399,6 +413,7 @@ impl Progress {
             begun: self.begun.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
             catastrophics: self.catastrophics.load(Ordering::Relaxed),
+            restores_fast: self.restores_fast.load(Ordering::Relaxed),
         }
     }
 }
@@ -565,6 +580,8 @@ impl Hub {
                 cases_executed: ld(&m.cases_executed),
                 boots: ld(&m.boots),
                 restores: ld(&m.restores),
+                restores_fast: ld(&m.restores_fast),
+                restores_full: ld(&m.restores_full),
                 boot_ns: m.boot_ns.snapshot(),
                 restore_ns: m.restore_ns.snapshot(),
                 journal_appends: ld(&m.journal_appends),
@@ -600,9 +617,17 @@ pub fn on_boot(nanos: u64) {
 }
 
 /// Machine provisioned by a snapshot restore (`nanos` of host time).
-pub fn on_restore(nanos: u64) {
+/// `fast` distinguishes an in-place resident-machine reset from a full
+/// template clone.
+pub fn on_restore(nanos: u64, fast: bool) {
     with_hub(|h| {
         h.metrics.restores.fetch_add(1, Ordering::Relaxed);
+        if fast {
+            h.metrics.restores_fast.fetch_add(1, Ordering::Relaxed);
+            h.progress.restores_fast.fetch_add(1, Ordering::Relaxed);
+        } else {
+            h.metrics.restores_full.fetch_add(1, Ordering::Relaxed);
+        }
         h.metrics.restore_ns.record(nanos);
     });
 }
@@ -1231,7 +1256,8 @@ mod tests {
         on_case_applied(FailureClass::Abort);
         on_case_executed();
         on_boot(5);
-        on_restore(5);
+        on_restore(5, true);
+        on_restore(5, false);
         on_journal_append();
         on_journal_fsync(5);
         on_quarantine_retry();

@@ -90,3 +90,28 @@ fn all_engines_bit_identical_on_every_variant() {
     oracle::selfcheck::set_enabled(false);
     assert!(live.is_empty(), "live tally self-check: {live:?}");
 }
+
+/// The batched resident-machine loop against legacy boot-per-case
+/// provisioning: dirty-state reset-in-place must not change a single
+/// tally. Legacy mode is the pre-snapshot cost model (full eager-zero
+/// boot before every case), so this row pins the whole provisioning
+/// stack — template clone, reset-in-place, and per-case boot — to one
+/// bit-identical outcome.
+#[test]
+fn batched_loop_matches_legacy_provisioning() {
+    use ballista::exec::LEGACY_PROVISIONING;
+    use std::sync::atomic::Ordering;
+    for os in [OsVariant::Win95, OsVariant::Linux] {
+        LEGACY_PROVISIONING.store(true, Ordering::SeqCst);
+        let legacy = run_campaign(os, &cfg(1));
+        LEGACY_PROVISIONING.store(false, Ordering::SeqCst);
+        let batched = run_campaign(os, &cfg(1));
+        let check = oracle::check_cross_engine("legacy", &legacy, "batched", &batched);
+        assert!(
+            check.violations.is_empty(),
+            "{}: {:?}",
+            os.short_name(),
+            check.violations
+        );
+    }
+}

@@ -136,4 +136,36 @@ proptest! {
         let b = ballista::exec::execute_case(os, m, &pools, combo, &mut Session::new());
         prop_assert_eq!(a, b, "{} is not repeatable on {:?}", m.name, combo);
     }
+
+    /// A batched [`CaseRunner`] driving a whole sampled sequence through
+    /// one resident machine produces exactly the outcomes (and session
+    /// residue) of clone-per-case fresh provisioning: dirty-state
+    /// reset-in-place is observationally equivalent to a fresh
+    /// `snapshot().restore()` before every case.
+    #[test]
+    fn batched_runner_equals_fresh_per_case(mut_index in 0usize..60, os_seed in 0usize..16) {
+        let os = OsVariant::ALL[os_seed % OsVariant::ALL.len()];
+        let registry = catalog::registry_for(os);
+        let muts = catalog::catalog_for(os);
+        let m = &muts[mut_index % muts.len()];
+        let pools = ballista::campaign::resolve_pools(&registry, m);
+        if pools.is_empty() {
+            return Ok(());
+        }
+        let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
+        let set = sampling::enumerate(&dims, 24, m.name);
+        let mut runner = ballista::exec::CaseRunner::new();
+        let mut batched = Session::new();
+        let mut fresh = Session::new();
+        for combo in &set.cases {
+            let a = runner.execute(
+                os, m, &pools, combo, &mut batched, ballista::exec::DEFAULT_FUEL_BUDGET,
+            );
+            let b = ballista::exec::execute_case_budgeted(
+                os, m, &pools, combo, &mut fresh, ballista::exec::DEFAULT_FUEL_BUDGET,
+            );
+            prop_assert_eq!(a, b, "{} diverged on {:?} under {}", m.name, combo, os.short_name());
+            prop_assert_eq!(batched.residue, fresh.residue, "residue diverged for {}", m.name);
+        }
+    }
 }

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of machine provisioning: full clone-per-case
+//! restore vs dirty-state reset-in-place, and the batched campaign
+//! inner loop they feed. These are the numbers behind the O(touched)
+//! restore claim in DESIGN.md — `reset_in_place_untouched` (the
+//! generation-stamp fast path) should sit one to two orders of
+//! magnitude under `restore_full_clone`. `reset_in_place_touched`
+//! measures a whole dirty-then-reset cycle, so the case's own
+//! mutations (file create/unlink, a 4 KiB fill) are part of its
+//! number.
+
+use ballista::exec::{CaseRunner, Session, DEFAULT_FUEL_BUDGET};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::kernel::{MachineFlavor, MachineSnapshot};
+use sim_kernel::variant::OsVariant;
+use std::hint::black_box;
+
+/// Dirties a machine the way a typical test case does: a few files, a
+/// handle, a heap allocation, some writes.
+fn dirty_typical(k: &mut sim_kernel::Kernel) {
+    let _ = k.fs.create_file("C:\\TEMP\\case.bin", vec![0xA5; 512]);
+    if let Ok(ofd) = k.fs.open("C:\\TEMP\\case.bin", sim_kernel::fs::OpenOptions::read_only()) {
+        let h = k.objects.insert(sim_kernel::objects::ObjectKind::File(ofd));
+        let _ = k.objects.close(h);
+    }
+    let buf = k.alloc_user(4096, "bench");
+    k.space
+        .fill(buf, 0x00, 4096, sim_core::addr::PrivilegeLevel::User)
+        .expect("mapped");
+    let _ = k.fs.unlink("C:\\TEMP\\case.bin");
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restore");
+
+    // The old cost model: materialize a whole fresh machine per case.
+    let snap = MachineSnapshot::boot(MachineFlavor::Windows);
+    group.bench_function("restore_full_clone", |b| {
+        b.iter(|| black_box(snap.restore()))
+    });
+
+    // Reset-in-place on a machine a typical case dirtied: O(touched).
+    group.bench_function("reset_in_place_touched", |b| {
+        let mut machine = snap.restore();
+        b.iter(|| {
+            dirty_typical(&mut machine);
+            snap.restore_into(&mut machine);
+            black_box(&machine);
+        })
+    });
+
+    // Reset-in-place on a machine nothing touched: the generation-stamp
+    // fast path, near-free.
+    group.bench_function("reset_in_place_untouched", |b| {
+        let mut machine = snap.restore();
+        snap.restore_into(&mut machine);
+        b.iter(|| {
+            snap.restore_into(&mut machine);
+            black_box(&machine);
+        })
+    });
+
+    // The batched campaign inner loop end-to-end: resident machine,
+    // one reset + one simulated call per iteration.
+    let os = OsVariant::Win98;
+    let registry = ballista::catalog::registry_for(os);
+    let muts = ballista::catalog::catalog_for(os);
+    let strlen = muts.iter().find(|m| m.name == "strlen").expect("in catalog");
+    let pools = ballista::campaign::resolve_pools(&registry, strlen);
+    group.bench_function("case_runner_batched_strlen", |b| {
+        let mut runner = CaseRunner::new();
+        let mut session = Session::new();
+        b.iter(|| {
+            black_box(runner.execute(
+                os,
+                strlen,
+                &pools,
+                &[0],
+                &mut session,
+                DEFAULT_FUEL_BUDGET,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

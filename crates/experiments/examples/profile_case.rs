@@ -1,0 +1,60 @@
+//! Dev profiler: per-MuT wall time through the real batched case
+//! runner (provisioning + constructors + dispatch + classification),
+//! sorted by total time — the first place to look when chasing a
+//! campaign-throughput regression.
+//!
+//! Usage: `cargo run --release -p experiments --example profile_case \
+//!   [cap] [linux|win98|wince]` (defaults: cap 2000, Win95).
+
+use ballista::exec::{CaseRunner, Session, DEFAULT_FUEL_BUDGET};
+use sim_kernel::variant::OsVariant;
+use std::time::Instant;
+
+fn main() {
+    let os = match std::env::args().nth(2).as_deref() {
+        Some("linux") => OsVariant::Linux,
+        Some("win98") => OsVariant::Win98,
+        Some("wince") => OsVariant::WinCe,
+        _ => OsVariant::Win95,
+    };
+    let registry = ballista::catalog::registry_for(os);
+    let muts = ballista::catalog::catalog_for(os);
+    let cap = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000usize);
+
+    let mut rows: Vec<(String, usize, f64)> = Vec::new();
+    for m in &muts {
+        let pools = ballista::campaign::resolve_pools(&registry, m);
+        if pools.is_empty() {
+            continue;
+        }
+        let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
+        let set = ballista::sampling::enumerate(&dims, cap, m.name);
+
+        let mut runner = CaseRunner::new();
+        let mut session = Session::new();
+        let t0 = Instant::now();
+        for combo in &set.cases {
+            let _ = runner.execute(os, m, &pools, combo, &mut session, DEFAULT_FUEL_BUDGET);
+        }
+        let per_case_ns = t0.elapsed().as_nanos() as f64 / set.cases.len() as f64;
+        rows.push((m.name.to_string(), set.cases.len(), per_case_ns));
+    }
+    rows.sort_by(|a, b| {
+        (b.2 * b.1 as f64).partial_cmp(&(a.2 * a.1 as f64)).expect("finite")
+    });
+    let total_cases: usize = rows.iter().map(|r| r.1).sum();
+    let total_ns: f64 = rows.iter().map(|r| r.2 * r.1 as f64).sum();
+    println!(
+        "{} cases: avg {:.0}ns/case ({:.2}M cases/s)",
+        total_cases,
+        total_ns / total_cases as f64,
+        total_cases as f64 / total_ns * 1e3,
+    );
+    println!("top 15 MuTs by total time:");
+    for (name, n, t) in rows.iter().take(15) {
+        println!(
+            "  {name:<24} {n:>5} cases  {t:>7.0}ns/case  {:>7.2}ms total",
+            t * *n as f64 / 1e6
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! CI perf smoke: one serial win95 campaign, failing the job when the
+//! sustained case rate drops below the checked-in floor.
+//!
+//! The floor lives in `ci/perf_floor.txt` (cases/sec, one number,
+//! `#` comments allowed) so a provisioning regression — say, the
+//! batched runner silently falling back to clone-per-case — turns the
+//! build red instead of only showing up in the next full bench run.
+//! The floor is set well under the rates a dev machine reaches
+//! (`results/BENCH_campaign.json`) to leave headroom for noisy CI
+//! runners; it is a tripwire, not a benchmark.
+//!
+//! Usage: `perf_smoke [path/to/perf_floor.txt]`
+
+use ballista::campaign::{run_campaign, CampaignConfig};
+use sim_kernel::variant::OsVariant;
+
+fn read_floor(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf floor {path} must be readable: {e}"));
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+        .unwrap_or_else(|| panic!("perf floor {path} must contain one cases/sec number"))
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "ci/perf_floor.txt".into());
+    let floor = read_floor(&path);
+    let cap = experiments::cap_from_env().min(2000);
+    let cfg = CampaignConfig {
+        cap,
+        record_raw: false,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    };
+    // One throwaway warm-up MuT set would complicate accounting; instead
+    // run the whole campaign twice and score the warm pass only.
+    let _ = run_campaign(OsVariant::Win95, &cfg);
+    let report = run_campaign(OsVariant::Win95, &cfg);
+    let stats = report.stats.expect("serial campaign reports stats");
+    eprintln!(
+        "perf smoke: win95 cap {cap}, {} cases in {:.1}ms — {:.0} cases/s (floor {:.0}), {} fast / {} full restores",
+        report.total_cases,
+        stats.wall_ms,
+        stats.cases_per_sec,
+        floor,
+        stats.restores_fast,
+        stats.restores_full,
+    );
+    assert!(
+        stats.restores_fast > stats.restores_full,
+        "batched execution regressed: most cases must be served by in-place reset"
+    );
+    if stats.cases_per_sec < floor {
+        eprintln!(
+            "perf smoke FAILED: {:.0} cases/s is below the checked-in floor of {:.0}",
+            stats.cases_per_sec, floor
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf smoke passed");
+}

@@ -57,6 +57,8 @@ struct VariantBench {
     cases_per_sec: f64,
     boots: u64,
     restores: u64,
+    restores_fast: u64,
+    restores_full: u64,
     replayed_cases: usize,
 }
 
@@ -243,6 +245,8 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
                     cases_per_sec: s.cases_per_sec,
                     boots: s.boots,
                     restores: s.restores,
+                    restores_fast: s.restores_fast,
+                    restores_full: s.restores_full,
                     replayed_cases: s.replayed_cases,
                 }
             })

@@ -31,8 +31,8 @@ pub fn render_progress(p: &ProgressSnapshot, elapsed_secs: f64) -> String {
     let mut s = String::with_capacity(96);
     let _ = write!(
         s,
-        "[{}/{} campaigns] {}/{} cases ({pct}%) · {rate} cases/s · {} catastrophic",
-        p.finished, p.begun, p.executed, p.planned, p.catastrophics
+        "[{}/{} campaigns] {}/{} cases ({pct}%) · {rate} cases/s · {} in-place · {} catastrophic",
+        p.finished, p.begun, p.executed, p.planned, p.restores_fast, p.catastrophics
     );
     s
 }
@@ -93,6 +93,8 @@ pub fn render_metrics(m: &MetricsSnapshot) -> String {
     let _ = writeln!(s, "  cases executed   {}", h.cases_executed);
     let _ = writeln!(s, "  boots            {}", h.boots);
     let _ = writeln!(s, "  restores         {}", h.restores);
+    let _ = writeln!(s, "  restores (fast)  {}", h.restores_fast);
+    let _ = writeln!(s, "  restores (full)  {}", h.restores_full);
     let _ = writeln!(s, "  boot latency     {}", histogram_digest(&h.boot_ns, "ns"));
     let _ = writeln!(s, "  restore latency  {}", histogram_digest(&h.restore_ns, "ns"));
     let _ = writeln!(s, "  journal appends  {}", h.journal_appends);
@@ -123,10 +125,12 @@ mod tests {
             begun: 2,
             finished: 1,
             catastrophics: 3,
+            restores_fast: 97,
         };
         let line = render_progress(&p, 2.0);
         assert!(line.contains("100/400 cases (25%)"), "{line}");
         assert!(line.contains("50 cases/s"), "{line}");
+        assert!(line.contains("97 in-place"), "{line}");
         assert!(line.contains("3 catastrophic"), "{line}");
     }
 
@@ -143,8 +147,13 @@ mod tests {
                 HistogramBucket { le: 2047, count: 1 },
             ],
         };
+        m.host.restores = 6;
+        m.host.restores_fast = 5;
+        m.host.restores_full = 1;
         let table = render_metrics(&m);
         assert!(table.contains("deterministic — engine-invariant"));
+        assert!(table.contains("restores (fast)  5"), "{table}");
+        assert!(table.contains("restores (full)  1"), "{table}");
         assert!(table.contains("cases applied    7"));
         assert!(table.contains("p50≤1023ns"), "{table}");
         assert!(table.contains("p99≤2047ns"), "{table}");

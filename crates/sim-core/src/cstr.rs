@@ -45,15 +45,27 @@ pub fn read_cstr(
     ptr: SimPtr,
     privilege: PrivilegeLevel,
 ) -> Result<Vec<u8>, Fault> {
+    // Region-at-a-time scan: one access check per region instead of per
+    // byte, faulting at exactly the byte the per-byte loop would (the
+    // chunk helper performs the same 1-byte check). Bytes past a chunk's
+    // materialized prefix are logically zero — an implicit terminator.
     let mut out = Vec::new();
     let mut cursor = ptr;
-    for _ in 0..MAX_SCAN {
-        let byte = space.read_u8_priv(cursor, privilege)?;
-        if byte == 0 {
+    let mut remaining = MAX_SCAN;
+    while remaining > 0 {
+        let (mat, span) = space.readable_chunk(cursor, privilege)?;
+        let span = span.min(remaining);
+        let mat = &mat[..mat.len().min(span as usize)];
+        if let Some(pos) = mat.iter().position(|&b| b == 0) {
+            out.extend_from_slice(&mat[..pos]);
             return Ok(out);
         }
-        out.push(byte);
-        cursor = cursor.offset(1);
+        out.extend_from_slice(mat);
+        if (mat.len() as u64) < span {
+            return Ok(out);
+        }
+        cursor = cursor.offset(span);
+        remaining -= span;
     }
     Ok(out)
 }
@@ -94,10 +106,18 @@ pub fn write_bytes_nul(
     bytes: &[u8],
     privilege: PrivilegeLevel,
 ) -> Result<(), Fault> {
-    let mut buf = Vec::with_capacity(bytes.len() + 1);
-    buf.extend_from_slice(bytes);
-    buf.push(0);
-    space.write_bytes_at(ptr, &buf, privilege)
+    // Validate the whole span up front so a fault carries the same
+    // payload the old single write reported, then the two writes below
+    // cannot fail — no temporary concatenation buffer needed.
+    space.check_access(
+        ptr,
+        bytes.len() as u64 + 1,
+        1,
+        crate::fault::AccessKind::Write,
+        privilege,
+    )?;
+    space.write_bytes_at(ptr, bytes, privilege)?;
+    space.write_u8_priv(ptr.offset(bytes.len() as u64), 0, privilege)
 }
 
 /// Reads a NUL-terminated UTF-16 ("wide", `wchar_t*` on Windows) string
@@ -112,15 +132,40 @@ pub fn read_wstr(
     ptr: SimPtr,
     privilege: PrivilegeLevel,
 ) -> Result<Vec<u16>, Fault> {
+    // Region-at-a-time scan, mirroring the per-unit loop: the leading
+    // 2-byte aligned check reproduces read_u16's fault (guard page on a
+    // region with one byte left, misalignment on strict targets), and
+    // the cursor's alignment is invariant across iterations.
     let mut out = Vec::new();
     let mut cursor = ptr;
-    for _ in 0..MAX_SCAN {
-        let unit = space.read_u16_priv(cursor, privilege)?;
-        if unit == 0 {
-            return Ok(out);
+    let mut remaining = MAX_SCAN;
+    while remaining > 0 {
+        space.check_access(cursor, 2, 2, crate::fault::AccessKind::Read, privilege)?;
+        let (mat, span) = space.readable_chunk(cursor, privilege)?;
+        let units = (span / 2).min(remaining);
+        if units == 0 {
+            // Fewer than 2 chunk bytes but the check passed: the unit
+            // straddles the kernel-boundary clip. Read it the slow way.
+            let unit = space.read_u16_priv(cursor, privilege)?;
+            if unit == 0 {
+                return Ok(out);
+            }
+            out.push(unit);
+            cursor = cursor.offset(2);
+            remaining -= 1;
+            continue;
         }
-        out.push(unit);
-        cursor = cursor.offset(2);
+        for u in 0..units as usize {
+            let lo = mat.get(u * 2).copied().unwrap_or(0);
+            let hi = mat.get(u * 2 + 1).copied().unwrap_or(0);
+            let unit = u16::from_le_bytes([lo, hi]);
+            if unit == 0 {
+                return Ok(out);
+            }
+            out.push(unit);
+        }
+        cursor = cursor.offset(units * 2);
+        remaining -= units;
     }
     Ok(out)
 }

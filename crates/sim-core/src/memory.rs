@@ -19,7 +19,6 @@
 use crate::addr::{PrivilegeLevel, SimPtr, ADDR_MAX, KERNEL_BASE};
 use crate::fault::{AccessKind, Fault, ViolationCause};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -110,7 +109,7 @@ struct Region {
     len: u64,
     prot: Protection,
     state: RegionState,
-    tag: String,
+    tag: &'static str,
     /// Materialized prefix of the region's contents; bytes at offsets
     /// `>= bytes.len()` are logically zero. Fresh mappings start empty,
     /// so a huge allocation (a wrapped `calloc`, a large `VirtualAlloc`)
@@ -118,6 +117,26 @@ struct Region {
     /// which also keeps machine snapshots cheap to clone.
     bytes: Vec<u8>,
 }
+
+/// Logical content equality: bytes past the materialized prefix are zero,
+/// so `[1, 0, 0]` and `[1]` describe the same region contents.
+fn logical_bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    long[..short.len()] == *short && long[short.len()..].iter().all(|&x| x == 0)
+}
+
+impl PartialEq for Region {
+    fn eq(&self, other: &Self) -> bool {
+        self.base == other.base
+            && self.len == other.len
+            && self.prot == other.prot
+            && self.state == other.state
+            && self.tag == other.tag
+            && logical_bytes_eq(&self.bytes, &other.bytes)
+    }
+}
+
+impl Eq for Region {}
 
 impl Region {
     fn contains(&self, addr: u64) -> bool {
@@ -192,12 +211,42 @@ const USER_ALLOC_BASE: u64 = 0x0001_0000;
 /// See the [module documentation](self) for the checking rules.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
-    regions: BTreeMap<u64, Region>,
+    /// Region table, kept sorted by base (the bump allocators hand out
+    /// monotonically increasing bases, so inserts are almost always
+    /// appends and lookups are a binary search over a dense `Vec`).
+    regions: Vec<Region>,
     next_user: u64,
     next_kernel: u64,
     strict_alignment: bool,
     eager_zero: bool,
+    /// Recycled byte buffers from regions dropped by
+    /// [`AddressSpace::reset_from`]: per-case argument regions are mapped
+    /// and discarded at the same bases every case, so reusing their
+    /// backing allocation turns the per-case materialize/free churn into
+    /// a pop/push. Not architectural state (equality ignores it).
+    spare: Vec<Vec<u8>>,
+    /// Bases of regions touched (mapped, unmapped, protected or written)
+    /// since the last [`AddressSpace::mark_clean`]. The journal is recorded
+    /// *before* each mutation, so a mutator that panics midway still leaves
+    /// enough information for [`AddressSpace::reset_from`] to undo it. A
+    /// short `Vec` with linear-scan dedup beats any set structure here: a
+    /// single test case touches a handful of regions.
+    dirty: Vec<u64>,
 }
+
+/// Equality is over the *architectural* state — the region table, bump
+/// cursors and configuration — not the dirty journal, which is restore
+/// bookkeeping rather than machine state.
+impl PartialEq for AddressSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.next_user == other.next_user
+            && self.next_kernel == other.next_kernel
+            && self.strict_alignment == other.strict_alignment
+            && self.regions == other.regions
+    }
+}
+
+impl Eq for AddressSpace {}
 
 impl Default for AddressSpace {
     fn default() -> Self {
@@ -210,11 +259,13 @@ impl AddressSpace {
     #[must_use]
     pub fn new() -> Self {
         AddressSpace {
-            regions: BTreeMap::new(),
+            regions: Vec::new(),
             next_user: USER_ALLOC_BASE,
             next_kernel: KERNEL_BASE + GUARD_GAP,
             strict_alignment: false,
             eager_zero: false,
+            spare: Vec::new(),
+            dirty: Vec::new(),
         }
     }
 
@@ -244,11 +295,66 @@ impl AddressSpace {
         self.eager_zero = eager;
     }
 
+    /// Records `base` in the dirty journal (idempotent).
+    fn note_dirty(dirty: &mut Vec<u64>, base: u64) {
+        if !dirty.contains(&base) {
+            dirty.push(base);
+        }
+    }
+
+    /// Number of regions touched since the last [`AddressSpace::mark_clean`].
+    #[must_use]
+    pub fn dirty_regions(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Declares the current state pristine: subsequent mutations start a new
+    /// dirty journal. Called when a machine image is captured as a restore
+    /// baseline.
+    pub fn mark_clean(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Rolls every region touched since the last [`AddressSpace::mark_clean`]
+    /// back to its state in `baseline`, in O(touched) instead of O(space).
+    ///
+    /// `self` must have started as a clone of `baseline` (the resident
+    /// machine of a batched campaign, reset between test cases). Regions the
+    /// baseline never had are removed outright; that is safe because the
+    /// bump allocators never reuse a base — a freed region stays on the
+    /// books, and [`AddressSpace::map_at`] refuses ranges overlapping any
+    /// historical region — so removing a post-baseline region cannot
+    /// resurrect an address an earlier case observed as dangling.
+    pub fn reset_from(&mut self, baseline: &AddressSpace) {
+        while let Some(base) = self.dirty.pop() {
+            match baseline.regions.binary_search_by_key(&base, |r| r.base) {
+                Ok(bi) => match self.regions.binary_search_by_key(&base, |r| r.base) {
+                    // `clone_from` reuses the live region's byte buffer
+                    // instead of allocating a fresh one every reset.
+                    Ok(li) => self.regions[li].clone_from(&baseline.regions[bi]),
+                    Err(li) => self.regions.insert(li, baseline.regions[bi].clone()),
+                },
+                Err(_) => {
+                    if let Ok(li) = self.regions.binary_search_by_key(&base, |r| r.base) {
+                        let mut gone = self.regions.remove(li);
+                        if self.spare.len() < 8 && gone.bytes.capacity() > 0 {
+                            gone.bytes.clear();
+                            self.spare.push(gone.bytes);
+                        }
+                    }
+                }
+            }
+        }
+        self.next_user = baseline.next_user;
+        self.next_kernel = baseline.next_kernel;
+        self.eager_zero = baseline.eager_zero;
+    }
+
     /// Number of live (allocated) regions.
     #[must_use]
     pub fn live_regions(&self) -> usize {
         self.regions
-            .values()
+            .iter()
             .filter(|r| r.state == RegionState::Allocated)
             .count()
     }
@@ -257,7 +363,7 @@ impl AddressSpace {
     #[must_use]
     pub fn live_bytes(&self) -> u64 {
         self.regions
-            .values()
+            .iter()
             .filter(|r| r.state == RegionState::Allocated)
             .map(|r| r.len)
             .sum()
@@ -271,7 +377,7 @@ impl AddressSpace {
     ///
     /// [`AllocError::BadRequest`] for zero-length requests,
     /// [`AllocError::OutOfMemory`] when the user half is exhausted.
-    pub fn map(&mut self, len: u64, prot: Protection, tag: &str) -> Result<SimPtr, AllocError> {
+    pub fn map(&mut self, len: u64, prot: Protection, tag: &'static str) -> Result<SimPtr, AllocError> {
         if len == 0 {
             return Err(AllocError::BadRequest);
         }
@@ -295,7 +401,7 @@ impl AddressSpace {
         &mut self,
         len: u64,
         prot: Protection,
-        tag: &str,
+        tag: &'static str,
     ) -> Result<SimPtr, AllocError> {
         if len == 0 {
             return Err(AllocError::BadRequest);
@@ -322,7 +428,7 @@ impl AddressSpace {
         base: SimPtr,
         len: u64,
         prot: Protection,
-        tag: &str,
+        tag: &'static str,
     ) -> Result<(), AllocError> {
         let base = base.addr();
         if len == 0 || base.checked_add(len).is_none() || base + len > ADDR_MAX + 1 {
@@ -335,31 +441,53 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Index of the last region whose base is `<= addr`.
+    #[inline]
+    fn region_idx_le(&self, addr: u64) -> Option<usize> {
+        self.regions.partition_point(|r| r.base <= addr).checked_sub(1)
+    }
+
+    /// The last region whose base is `<= addr` — the candidate for any
+    /// containment check, mirroring `BTreeMap::range(..=addr).next_back()`.
+    #[inline]
+    fn region_le(&self, addr: u64) -> Option<&Region> {
+        self.region_idx_le(addr).map(|i| &self.regions[i])
+    }
+
     fn range_overlaps(&self, base: u64, len: u64) -> bool {
         let end = base + len;
         // Any region starting before `end` and ending after `base`.
         self.regions
-            .range(..end)
-            .next_back()
-            .is_some_and(|(_, r)| r.base + r.len > base)
+            .partition_point(|r| r.base < end)
+            .checked_sub(1)
+            .is_some_and(|i| {
+                let r = &self.regions[i];
+                r.base + r.len > base
+            })
     }
 
-    fn insert_region(&mut self, base: u64, len: u64, prot: Protection, tag: &str) {
-        self.regions.insert(
+    fn insert_region(&mut self, base: u64, len: u64, prot: Protection, tag: &'static str) {
+        Self::note_dirty(&mut self.dirty, base);
+        let region = Region {
             base,
-            Region {
-                base,
-                len,
-                prot,
-                state: RegionState::Allocated,
-                tag: tag.to_owned(),
-                bytes: if self.eager_zero {
-                    vec![0; len as usize]
-                } else {
-                    Vec::new()
-                },
+            len,
+            prot,
+            state: RegionState::Allocated,
+            tag,
+            bytes: if self.eager_zero {
+                vec![0; len as usize]
+            } else {
+                Vec::new()
             },
-        );
+        };
+        // Bump allocation appends; only `map_at` can land mid-table.
+        match self.regions.last() {
+            Some(last) if last.base < base => self.regions.push(region),
+            _ => {
+                let i = self.regions.partition_point(|r| r.base < base);
+                self.regions.insert(i, region);
+            }
+        }
     }
 
     /// Unmaps the region whose *base* is `ptr`. The region is remembered as
@@ -370,13 +498,15 @@ impl AddressSpace {
     /// A user-mode read access violation if `ptr` is not the base of a live
     /// region (mirroring how `free`/`VirtualFree` misuse surfaces).
     pub fn unmap(&mut self, ptr: SimPtr) -> Result<(), Fault> {
-        match self.regions.get_mut(&ptr.addr()) {
-            Some(r) if r.state == RegionState::Allocated => {
+        match self.regions.binary_search_by_key(&ptr.addr(), |r| r.base) {
+            Ok(i) if self.regions[i].state == RegionState::Allocated => {
+                Self::note_dirty(&mut self.dirty, ptr.addr());
+                let r = &mut self.regions[i];
                 r.state = RegionState::Freed;
                 r.bytes = Vec::new();
                 Ok(())
             }
-            Some(_) | None => Err(Fault::AccessViolation {
+            Ok(_) | Err(_) => Err(Fault::AccessViolation {
                 addr: ptr.addr(),
                 access: AccessKind::Read,
                 cause: ViolationCause::Unmapped,
@@ -391,9 +521,10 @@ impl AddressSpace {
     ///
     /// An access-violation fault if there is no live region based at `ptr`.
     pub fn protect(&mut self, ptr: SimPtr, prot: Protection) -> Result<(), Fault> {
-        match self.regions.get_mut(&ptr.addr()) {
-            Some(r) if r.state == RegionState::Allocated => {
-                r.prot = prot;
+        match self.regions.binary_search_by_key(&ptr.addr(), |r| r.base) {
+            Ok(i) if self.regions[i].state == RegionState::Allocated => {
+                Self::note_dirty(&mut self.dirty, ptr.addr());
+                self.regions[i].prot = prot;
                 Ok(())
             }
             _ => Err(Fault::AccessViolation {
@@ -409,9 +540,9 @@ impl AddressSpace {
     /// prot, tag)`. Freed regions are not returned.
     #[must_use]
     pub fn region_containing(&self, ptr: SimPtr) -> Option<(SimPtr, u64, Protection, &str)> {
-        let (_, r) = self.regions.range(..=ptr.addr()).next_back()?;
+        let r = self.region_le(ptr.addr())?;
         if r.state == RegionState::Allocated && r.contains(ptr.addr()) {
-            Some((SimPtr::new(r.base), r.len, r.prot, r.tag.as_str()))
+            Some((SimPtr::new(r.base), r.len, r.prot, r.tag))
         } else {
             None
         }
@@ -452,7 +583,7 @@ impl AddressSpace {
                 privilege,
             });
         }
-        let Some((_, region)) = self.regions.range(..=addr).next_back() else {
+        let Some(region) = self.region_le(addr) else {
             return Err(violation(ViolationCause::Unmapped));
         };
         if !region.contains(addr) {
@@ -485,7 +616,7 @@ impl AddressSpace {
         privilege: PrivilegeLevel,
     ) -> Result<Vec<u8>, Fault> {
         self.check_access(ptr, len, 1, AccessKind::Read, privilege)?;
-        let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
+        let r = self.region_le(ptr.addr()).expect("checked");
         let off = (ptr.addr() - r.base) as usize;
         let mut out = vec![0u8; len as usize];
         r.read_into(off, &mut out);
@@ -504,11 +635,14 @@ impl AddressSpace {
         privilege: PrivilegeLevel,
     ) -> Result<(), Fault> {
         self.check_access(ptr, bytes.len() as u64, 1, AccessKind::Write, privilege)?;
-        let (_, r) = self
-            .regions
-            .range_mut(..=ptr.addr())
-            .next_back()
-            .expect("checked");
+        let i = self.region_idx_le(ptr.addr()).expect("checked");
+        Self::note_dirty(&mut self.dirty, self.regions[i].base);
+        if self.regions[i].bytes.capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.regions[i].bytes = buf;
+            }
+        }
+        let r = &mut self.regions[i];
         let off = (ptr.addr() - r.base) as usize;
         r.write_slice(off, bytes.len()).copy_from_slice(bytes);
         Ok(())
@@ -527,11 +661,14 @@ impl AddressSpace {
         privilege: PrivilegeLevel,
     ) -> Result<(), Fault> {
         self.check_access(ptr, len, 1, AccessKind::Write, privilege)?;
-        let (_, r) = self
-            .regions
-            .range_mut(..=ptr.addr())
-            .next_back()
-            .expect("checked");
+        let i = self.region_idx_le(ptr.addr()).expect("checked");
+        Self::note_dirty(&mut self.dirty, self.regions[i].base);
+        if self.regions[i].bytes.capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.regions[i].bytes = buf;
+            }
+        }
+        let r = &mut self.regions[i];
         let off = (ptr.addr() - r.base) as usize;
         if value == 0 {
             // Anything past the materialized prefix is already zero, so
@@ -548,13 +685,95 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// One maximal readable chunk starting at `ptr`: the materialized
+    /// bytes plus the chunk's logical length in bytes. The chunk runs to
+    /// the end of the containing region — clipped at the kernel boundary
+    /// for user-mode accesses, where the byte-wise scan would fault —
+    /// and bytes past the materialized slice are logically zero.
+    ///
+    /// The access check performed is exactly the 1-byte check
+    /// [`AddressSpace::read_u8_priv`] would make at `ptr`, so scanning
+    /// loops built on this helper fault at the same byte, with the same
+    /// [`Fault`], as their byte-at-a-time equivalents.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] from [`AddressSpace::check_access`] for a 1-byte
+    /// read at `ptr`.
+    pub fn readable_chunk(
+        &self,
+        ptr: SimPtr,
+        privilege: PrivilegeLevel,
+    ) -> Result<(&[u8], u64), Fault> {
+        self.check_access(ptr, 1, 1, AccessKind::Read, privilege)?;
+        let r = self.region_le(ptr.addr()).expect("checked");
+        let off = (ptr.addr() - r.base) as usize;
+        let mut span = r.len - (ptr.addr() - r.base);
+        if privilege == PrivilegeLevel::User && ptr.addr() < KERNEL_BASE {
+            span = span.min(KERNEL_BASE - ptr.addr());
+        }
+        let mat = r.bytes.len().saturating_sub(off).min(span as usize);
+        Ok((r.bytes.get(off..off + mat).unwrap_or(&[]), span))
+    }
+
+    /// Length of the longest prefix of `[ptr, ptr + n)` every byte of
+    /// which passes the 1-byte `check_access` as `kind` at `privilege`.
+    /// Returns `n` when the whole range is accessible; otherwise the
+    /// 1-byte access at `ptr + accessible_span(..)` is exactly the one
+    /// that faults. Walks regions, not bytes, so it is O(regions
+    /// overlapped), letting `mem*`-style loops run bulk operations over
+    /// the accessible prefix while faulting byte-exactly.
+    #[must_use]
+    pub fn accessible_span(
+        &self,
+        ptr: SimPtr,
+        n: u64,
+        kind: AccessKind,
+        privilege: PrivilegeLevel,
+    ) -> u64 {
+        let mut l = 0u64;
+        while l < n {
+            let p = ptr.offset(l);
+            if self.check_access(p, 1, 1, kind, privilege).is_err() {
+                return l;
+            }
+            let r = self.region_le(p.addr()).expect("checked");
+            let mut span = r.len - (p.addr() - r.base);
+            if privilege == PrivilegeLevel::User && p.addr() < KERNEL_BASE {
+                span = span.min(KERNEL_BASE - p.addr());
+            }
+            l = l.saturating_add(span).min(n);
+        }
+        n
+    }
+
+    /// Bytes from `ptr` to the end of its containing live region
+    /// (clipped at the kernel boundary for user-mode accesses), or 0
+    /// when `ptr` is not within an accessible region. Used by bulk
+    /// loops to size per-region chunks inside an already-validated
+    /// accessible span.
+    #[must_use]
+    pub fn contiguous_span(&self, ptr: SimPtr, privilege: PrivilegeLevel) -> u64 {
+        let Some(r) = self.region_le(ptr.addr()) else {
+            return 0;
+        };
+        if !r.contains(ptr.addr()) {
+            return 0;
+        }
+        let mut span = r.len - (ptr.addr() - r.base);
+        if privilege == PrivilegeLevel::User && ptr.addr() < KERNEL_BASE {
+            span = span.min(KERNEL_BASE - ptr.addr());
+        }
+        span
+    }
+
     fn read_scalar<const N: usize>(
         &self,
         ptr: SimPtr,
         privilege: PrivilegeLevel,
     ) -> Result<[u8; N], Fault> {
         self.check_access(ptr, N as u64, N as u32, AccessKind::Read, privilege)?;
-        let (_, r) = self.regions.range(..=ptr.addr()).next_back().expect("checked");
+        let r = self.region_le(ptr.addr()).expect("checked");
         let off = (ptr.addr() - r.base) as usize;
         let mut out = [0u8; N];
         r.read_into(off, &mut out);
@@ -568,11 +787,14 @@ impl AddressSpace {
         privilege: PrivilegeLevel,
     ) -> Result<(), Fault> {
         self.check_access(ptr, N as u64, N as u32, AccessKind::Write, privilege)?;
-        let (_, r) = self
-            .regions
-            .range_mut(..=ptr.addr())
-            .next_back()
-            .expect("checked");
+        let i = self.region_idx_le(ptr.addr()).expect("checked");
+        Self::note_dirty(&mut self.dirty, self.regions[i].base);
+        if self.regions[i].bytes.capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.regions[i].bytes = buf;
+            }
+        }
+        let r = &mut self.regions[i];
         let off = (ptr.addr() - r.base) as usize;
         r.write_slice(off, N).copy_from_slice(&bytes);
         Ok(())
@@ -904,6 +1126,81 @@ mod tests {
         assert_eq!(Protection::READ_WRITE_EXECUTE.to_string(), "rwx");
         assert!(Protection::READ_EXECUTE.permits(AccessKind::Execute));
         assert!(!Protection::READ.permits(AccessKind::Write));
+    }
+
+    #[test]
+    fn reset_from_restores_touched_regions_only() {
+        let mut baseline = AddressSpace::new();
+        let keep = baseline.map(16, Protection::READ_WRITE, "keep").unwrap();
+        baseline.write_bytes(keep, b"original").unwrap();
+        let gone = baseline.map(16, Protection::READ, "gone").unwrap();
+        baseline.mark_clean();
+
+        let mut live = baseline.clone();
+        // Touch an existing region, free another, map a new one.
+        live.write_bytes(keep, b"scribble").unwrap();
+        live.protect(gone, Protection::READ_WRITE).unwrap();
+        live.unmap(gone).unwrap();
+        let fresh = live.map(32, Protection::READ_WRITE, "fresh").unwrap();
+        live.write_u32(fresh, 7).unwrap();
+        assert!(live.dirty_regions() > 0);
+        assert_ne!(live, baseline);
+
+        live.reset_from(&baseline);
+        assert_eq!(live, baseline);
+        assert_eq!(live.dirty_regions(), 0);
+        assert_eq!(live.read_bytes(keep, 8).unwrap(), b"original");
+        assert!(live.read_u8(gone).is_ok());
+        assert!(live.read_u8(fresh).is_err(), "post-baseline region removed");
+        // The bump cursor rewound: the next map reuses the same base.
+        assert_eq!(live.map(32, Protection::READ_WRITE, "fresh").unwrap(), fresh);
+    }
+
+    #[test]
+    fn reset_from_is_idempotent_and_cheap_when_clean() {
+        let mut baseline = AddressSpace::new();
+        let p = baseline.map(8, Protection::READ_WRITE, "p").unwrap();
+        baseline.mark_clean();
+        let mut live = baseline.clone();
+        live.reset_from(&baseline);
+        live.reset_from(&baseline);
+        assert_eq!(live, baseline);
+        assert!(live.read_u8(p).is_ok());
+    }
+
+    #[test]
+    fn dirty_journal_dedups_repeated_writes() {
+        let mut space = AddressSpace::new();
+        let p = space.map(64, Protection::READ_WRITE, "buf").unwrap();
+        space.mark_clean();
+        for i in 0..50 {
+            space.write_u8(p.offset(i), i as u8).unwrap();
+        }
+        assert_eq!(space.dirty_regions(), 1);
+    }
+
+    #[test]
+    fn failed_mutations_do_not_dirty() {
+        let mut space = AddressSpace::new();
+        let p = space.map(8, Protection::READ, "ro").unwrap();
+        space.mark_clean();
+        assert!(space.write_u8(p, 1).is_err());
+        assert!(space.write_bytes(SimPtr::new(0x33), b"x").is_err());
+        assert!(space.unmap(SimPtr::new(0x44)).is_err());
+        assert_eq!(space.dirty_regions(), 0);
+    }
+
+    #[test]
+    fn logical_bytes_equality_ignores_zero_tails() {
+        let mut eager = AddressSpace::new();
+        eager.set_eager_zero(true);
+        let mut lazy = AddressSpace::new();
+        let a = eager.map(32, Protection::READ_WRITE, "b").unwrap();
+        let b = lazy.map(32, Protection::READ_WRITE, "b").unwrap();
+        assert_eq!(a, b);
+        eager.write_u8(a, 9).unwrap();
+        lazy.write_u8(b, 9).unwrap();
+        assert_eq!(eager, lazy, "representation differs, contents agree");
     }
 
     #[test]

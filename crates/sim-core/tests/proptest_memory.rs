@@ -107,4 +107,93 @@ proptest! {
             PrivilegeLevel::User,
         );
     }
+
+    /// `accessible_span` agrees byte-for-byte with the per-byte
+    /// `check_access` loop it replaces, over layouts mixing live, freed,
+    /// read-only and partially materialized regions — including the fault
+    /// the boundary byte raises.
+    #[test]
+    fn accessible_span_matches_byte_loop(
+        sizes in proptest::collection::vec(1u64..64, 1..6),
+        start_off in 0u64..96,
+        n in 0u64..256,
+        kind_w in any::<bool>(),
+        free_mask in any::<u8>(),
+        ro_mask in any::<u8>(),
+    ) {
+        let mut space = AddressSpace::new();
+        let mut first = None;
+        for (i, &s) in sizes.iter().enumerate() {
+            let prot = if ro_mask & (1 << (i % 8)) != 0 {
+                Protection::READ
+            } else {
+                Protection::READ_WRITE
+            };
+            let p = space.map(s, prot, "span").unwrap();
+            first.get_or_insert(p);
+            // Materialize only part of some regions.
+            if prot.can_write() && s > 2 {
+                space.write_bytes(p, &[i as u8 + 1; 2]).unwrap();
+            }
+            if free_mask & (1 << (i % 8)) != 0 {
+                space.unmap(p).unwrap();
+            }
+        }
+        let kind = if kind_w { sim_core::AccessKind::Write } else { sim_core::AccessKind::Read };
+        let base = first.unwrap().offset(start_off);
+        let fast = space.accessible_span(base, n, kind, PrivilegeLevel::User);
+        let mut slow = n;
+        for i in 0..n {
+            if space.check_access(base.offset(i), 1, 1, kind, PrivilegeLevel::User).is_err() {
+                slow = i;
+                break;
+            }
+        }
+        prop_assert_eq!(fast, slow);
+        if fast < n {
+            prop_assert!(
+                space.check_access(base.offset(fast), 1, 1, kind, PrivilegeLevel::User).is_err()
+            );
+        }
+    }
+
+    /// The region-chunked C-string scan returns exactly what a per-byte
+    /// `read_u8` loop returns — same bytes on success, same fault
+    /// otherwise — over layouts with and without terminators, partial
+    /// materialization, freed regions and guard gaps.
+    #[test]
+    fn read_cstr_matches_byte_loop(
+        len in 1u64..96,
+        data in proptest::collection::vec(any::<u8>(), 0..96),
+        start_off in 0u64..8,
+        free_it in any::<bool>(),
+    ) {
+        let mut space = AddressSpace::new();
+        let p = space.map(len, Protection::READ_WRITE, "str").unwrap();
+        let write = &data[..data.len().min(len as usize)];
+        if !write.is_empty() {
+            space.write_bytes(p, write).unwrap();
+        }
+        if free_it {
+            space.unmap(p).unwrap();
+        }
+        let base = p.offset(start_off.min(len));
+        // Reference: the old byte-at-a-time scan.
+        let mut reference: Result<Vec<u8>, _> = Ok(Vec::new());
+        let mut cursor = base;
+        let mut out = Vec::new();
+        for _ in 0..4096u32 {
+            match space.read_u8_priv(cursor, PrivilegeLevel::User) {
+                Err(f) => { reference = Err(f); break; }
+                Ok(0) => { reference = Ok(out.clone()); break; }
+                Ok(b) => { out.push(b); cursor = cursor.offset(1); reference = Ok(out.clone()); }
+            }
+        }
+        let fast = sim_core::cstr::read_cstr(&space, base, PrivilegeLevel::User);
+        match (reference, fast) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "diverged: reference {a:?} vs chunked {b:?}"),
+        }
+    }
 }

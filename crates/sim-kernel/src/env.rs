@@ -42,10 +42,23 @@ impl std::error::Error for EnvError {}
 /// assert_eq!(env.get("ANSWER").unwrap(), "42");
 /// assert!(env.get("PATH").is_ok()); // defaults are present
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Environment {
     vars: BTreeMap<String, String>,
+    /// Structural-mutation counter for the snapshot layer (see
+    /// `FileSystem::generation` for the protocol).
+    #[serde(default)]
+    gen: u64,
 }
+
+/// Equality covers the variables, not the mutation counter.
+impl PartialEq for Environment {
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars
+    }
+}
+
+impl Eq for Environment {}
 
 impl Environment {
     /// An empty environment.
@@ -73,6 +86,16 @@ impl Environment {
         env
     }
 
+    /// Current structural generation (see `FileSystem::generation`).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn touch(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+    }
+
     fn check_name(name: &str) -> Result<(), EnvError> {
         if name.is_empty() || name.contains('=') || name.contains('\0') {
             Err(EnvError::InvalidName)
@@ -97,6 +120,7 @@ impl Environment {
     ///
     /// [`EnvError::InvalidName`] for malformed names.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), EnvError> {
+        self.touch();
         Self::check_name(name)?;
         self.vars.insert(name.to_owned(), value.to_owned());
         Ok(())
@@ -109,6 +133,7 @@ impl Environment {
     ///
     /// [`EnvError::InvalidName`] for malformed names.
     pub fn unset(&mut self, name: &str) -> Result<(), EnvError> {
+        self.touch();
         Self::check_name(name)?;
         self.vars.remove(name);
         Ok(())

@@ -14,6 +14,7 @@
 //! [`FileSystem::new_posix`].
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -98,7 +99,7 @@ pub struct Stat {
     pub node_id: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum Node {
     File {
         content: Vec<u8>,
@@ -203,7 +204,7 @@ pub enum SeekFrom {
     End(i64),
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct OpenFile {
     node: u64,
     offset: u64,
@@ -225,7 +226,43 @@ pub struct FileSystem {
     case_insensitive: bool,
     now_ms: u64,
     open_limit: Option<usize>,
+    /// Structural-mutation counter. Bumped at the top of every mutator that
+    /// can change nodes, open descriptions or limits — but *not* by
+    /// [`FileSystem::set_now_ms`], which the kernel calls on every simulated
+    /// call and which the snapshot layer restores as a scalar. Two
+    /// filesystems cloned from the same image with equal generations are
+    /// structurally identical, which is what lets
+    /// `MachineSnapshot::restore_into` skip the deep clone. Defaults to 0 on
+    /// deserialization from older images, which is always safe (it only ever
+    /// forces a full clone it could otherwise have skipped).
+    #[serde(default)]
+    gen: u64,
+    /// Descriptor-table mutation counter: bumped by operations that touch
+    /// only `open` / `next_ofd` (open, close, read's offset advance, seek,
+    /// dup) and not the node tree. Restoring this dirt needs only
+    /// [`FileSystem::reset_open_from`] — a clone of the (tiny) open table —
+    /// instead of deep-cloning every file's content, which is what makes
+    /// read-heavy test cases cheap to reset. Same deserialization default
+    /// rationale as `gen`.
+    #[serde(default)]
+    open_gen: u64,
 }
+
+/// Equality is structural — the generation counter and timestamp source are
+/// restore bookkeeping, not filesystem state (`now_ms` *is* compared, since
+/// it feeds the timestamps future operations will record).
+impl PartialEq for FileSystem {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.open == other.open
+            && self.next_ofd == other.next_ofd
+            && self.case_insensitive == other.case_insensitive
+            && self.now_ms == other.now_ms
+            && self.open_limit == other.open_limit
+    }
+}
+
+impl Eq for FileSystem {}
 
 impl FileSystem {
     fn with_case(case_insensitive: bool) -> Self {
@@ -240,7 +277,59 @@ impl FileSystem {
             case_insensitive,
             now_ms: 0,
             open_limit: None,
+            gen: 0,
+            open_gen: 0,
         }
+    }
+
+    /// Current structural generation (see the field documentation).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Marks the filesystem structurally dirty. Called by every mutator
+    /// *after* validation but *before* the first mutating statement, so an
+    /// operation interrupted by a panic still registers as dirty while a
+    /// call that fails validation leaves the generation — and therefore
+    /// the batched campaign's restore cost — untouched. (Most hostile
+    /// test cases fail validation; skipping the bump is what lets the
+    /// resident machine skip the filesystem clone when resetting them.)
+    fn touch(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// Current descriptor-table generation (see the field documentation).
+    #[must_use]
+    pub fn open_generation(&self) -> u64 {
+        self.open_gen
+    }
+
+    /// Marks the descriptor table dirty — the counterpart of
+    /// [`FileSystem::touch`] for mutations confined to `open` /
+    /// `next_ofd`. Same placement rule: after validation, before the
+    /// first mutating statement.
+    fn touch_open(&mut self) {
+        self.open_gen = self.open_gen.wrapping_add(1);
+    }
+
+    /// Resets the descriptor table — `open`, `next_ofd` and the
+    /// descriptor generation — to `baseline`'s, leaving the node tree
+    /// alone. Sound only when the node generations already match (i.e.
+    /// the only filesystem dirt is descriptor-table dirt); the snapshot
+    /// layer checks that before calling this instead of a full clone.
+    pub fn reset_open_from(&mut self, baseline: &FileSystem) {
+        self.open.clear();
+        self.open
+            .extend(baseline.open.iter().map(|(k, v)| (*k, v.clone())));
+        self.next_ofd = baseline.next_ofd;
+        self.open_gen = baseline.open_gen;
+    }
+
+    /// The filesystem's current notion of time (for snapshot restore).
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
     }
 
     /// A case-sensitive filesystem (the Linux target).
@@ -264,6 +353,7 @@ impl FileSystem {
     /// unlimited, the default). Used by the heavy-load testing extension
     /// to make descriptor exhaustion observable.
     pub fn set_open_limit(&mut self, limit: Option<usize>) {
+        self.touch();
         self.open_limit = limit;
     }
 
@@ -271,22 +361,22 @@ impl FileSystem {
         self.open_limit.is_some_and(|l| self.open.len() >= l)
     }
 
-    fn fold_case(&self, name: &str) -> String {
-        if self.case_insensitive {
-            name.to_ascii_lowercase()
+    /// Case-folds one component, borrowing when folding is a no-op (the
+    /// common case: case-sensitive filesystems, and already-lowercase
+    /// names on case-insensitive ones). Resolution is the hottest
+    /// filesystem path in a campaign — a 330-component hostile path would
+    /// otherwise cost an allocation per component per lookup.
+    fn fold_case<'a>(&self, name: &'a str) -> Cow<'a, str> {
+        if self.case_insensitive && name.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(name.to_ascii_lowercase())
         } else {
-            name.to_owned()
+            Cow::Borrowed(name)
         }
     }
 
-    /// Splits a path into normalized components. Accepts `/a/b`, `C:\a\b`,
-    /// `a\b`, and mixed separators; `.` components are dropped and `..`
-    /// pops (stopping at the root, as real kernels do).
-    ///
-    /// # Errors
-    ///
-    /// [`FsError::InvalidPath`] for empty paths or embedded NULs.
-    pub fn split_path(&self, path: &str) -> Result<Vec<String>, FsError> {
+    /// Splits a path into normalized components, borrowing from `path`
+    /// wherever case folding permits.
+    fn components<'a>(&self, path: &'a str) -> Result<Vec<Cow<'a, str>>, FsError> {
         if path.is_empty() || path.contains('\0') {
             return Err(FsError::InvalidPath);
         }
@@ -297,7 +387,7 @@ impl FileSystem {
             }
             _ => path,
         };
-        let mut parts: Vec<String> = Vec::new();
+        let mut parts: Vec<Cow<'a, str>> = Vec::new();
         for raw in body.split(['/', '\\']) {
             match raw {
                 "" | "." => {}
@@ -310,14 +400,58 @@ impl FileSystem {
         Ok(parts)
     }
 
+    /// Splits a path into normalized components. Accepts `/a/b`, `C:\a\b`,
+    /// `a\b`, and mixed separators; `.` components are dropped and `..`
+    /// pops (stopping at the root, as real kernels do).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidPath`] for empty paths or embedded NULs.
+    pub fn split_path(&self, path: &str) -> Result<Vec<String>, FsError> {
+        Ok(self
+            .components(path)?
+            .into_iter()
+            .map(Cow::into_owned)
+            .collect())
+    }
+
     fn lookup(&self, path: &str) -> Result<u64, FsError> {
-        let parts = self.split_path(path)?;
+        // Fast path: without ".." there is no back-tracking, so components
+        // stream straight off the path — a hostile many-component path
+        // misses at its first component without collecting anything.
+        if !path.contains("..") {
+            if path.is_empty() || path.contains('\0') {
+                return Err(FsError::InvalidPath);
+            }
+            let body = match path.as_bytes() {
+                [d, b':', rest @ ..] if d.is_ascii_alphabetic() => {
+                    std::str::from_utf8(rest).expect("sliced at byte boundary")
+                }
+                _ => path,
+            };
+            let mut cur = 0u64;
+            for raw in body.split(['/', '\\']) {
+                if matches!(raw, "" | ".") {
+                    continue;
+                }
+                let part = self.fold_case(raw);
+                let node = self.nodes[cur as usize].as_ref().ok_or(FsError::NotFound)?;
+                match node {
+                    Node::Dir { children, .. } => {
+                        cur = *children.get(part.as_ref()).ok_or(FsError::NotFound)?;
+                    }
+                    Node::File { .. } => return Err(FsError::NotADirectory),
+                }
+            }
+            return Ok(cur);
+        }
+        let parts = self.components(path)?;
         let mut cur = 0u64;
         for part in &parts {
             let node = self.nodes[cur as usize].as_ref().ok_or(FsError::NotFound)?;
             match node {
                 Node::Dir { children, .. } => {
-                    cur = *children.get(part).ok_or(FsError::NotFound)?;
+                    cur = *children.get(part.as_ref()).ok_or(FsError::NotFound)?;
                 }
                 Node::File { .. } => return Err(FsError::NotADirectory),
             }
@@ -328,14 +462,14 @@ impl FileSystem {
     /// Resolves the parent directory of `path`, returning `(parent_id,
     /// final_component)`.
     fn lookup_parent(&self, path: &str) -> Result<(u64, String), FsError> {
-        let mut parts = self.split_path(path)?;
-        let last = parts.pop().ok_or(FsError::InvalidPath)?;
+        let mut parts = self.components(path)?;
+        let last = parts.pop().ok_or(FsError::InvalidPath)?.into_owned();
         let mut cur = 0u64;
         for part in &parts {
             let node = self.nodes[cur as usize].as_ref().ok_or(FsError::NotFound)?;
             match node {
                 Node::Dir { children, .. } => {
-                    cur = *children.get(part).ok_or(FsError::NotFound)?;
+                    cur = *children.get(part.as_ref()).ok_or(FsError::NotFound)?;
                 }
                 Node::File { .. } => return Err(FsError::NotADirectory),
             }
@@ -377,6 +511,7 @@ impl FileSystem {
         if children.contains_key(&name) {
             return Err(FsError::Exists);
         }
+        self.touch();
         let id = self.alloc_node(Node::File { content, attrs });
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
@@ -399,6 +534,7 @@ impl FileSystem {
         if children.contains_key(&name) {
             return Err(FsError::Exists);
         }
+        self.touch();
         let attrs = FileAttrs {
             readonly: false,
             created_ms: self.now_ms,
@@ -432,6 +568,7 @@ impl FileSystem {
             Some(Node::Dir { .. }) => {}
             _ => return Err(FsError::NotADirectory),
         }
+        self.touch();
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
         };
@@ -462,6 +599,7 @@ impl FileSystem {
             Some(Node::Dir { .. }) => return Err(FsError::IsADirectory),
             None => return Err(FsError::NotFound),
         }
+        self.touch();
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
         };
@@ -489,6 +627,7 @@ impl FileSystem {
         if children.contains_key(&to_name) {
             return Err(FsError::Exists);
         }
+        self.touch();
         let Some(Node::Dir { children, .. }) = &mut self.nodes[from_parent as usize] else {
             unreachable!("checked above");
         };
@@ -534,6 +673,7 @@ impl FileSystem {
     /// Path-resolution errors.
     pub fn set_readonly(&mut self, path: &str, readonly: bool) -> Result<(), FsError> {
         let id = self.lookup(path)?;
+        self.touch();
         match self.nodes[id as usize].as_mut().expect("live node") {
             Node::File { attrs, .. } | Node::Dir { attrs, .. } => attrs.readonly = readonly,
         }
@@ -581,18 +721,24 @@ impl FileSystem {
             }
             Err(e) => return Err(e),
         };
-        match self.nodes[node_id as usize].as_mut().expect("live node") {
+        match self.nodes[node_id as usize].as_ref().expect("live node") {
             Node::Dir { .. } => return Err(FsError::IsADirectory),
-            Node::File { content, attrs } => {
+            Node::File { attrs, .. } => {
                 if opts.write && attrs.readonly {
                     return Err(FsError::AccessDenied);
                 }
-                if opts.truncate && opts.write {
-                    content.clear();
-                    attrs.modified_ms = self.now_ms;
-                }
             }
         }
+        if opts.truncate && opts.write {
+            self.touch();
+            let now = self.now_ms;
+            let Some(Node::File { content, attrs }) = self.nodes[node_id as usize].as_mut() else {
+                unreachable!("checked above");
+            };
+            content.clear();
+            attrs.modified_ms = now;
+        }
+        self.touch_open();
         let ofd = self.next_ofd;
         self.next_ofd += 1;
         self.open.insert(
@@ -612,7 +758,12 @@ impl FileSystem {
     ///
     /// [`FsError::BadDescriptor`] for unknown ids.
     pub fn close(&mut self, ofd: OfdId) -> Result<(), FsError> {
-        self.open.remove(&ofd).map(|_| ()).ok_or(FsError::BadDescriptor)
+        if !self.open.contains_key(&ofd) {
+            return Err(FsError::BadDescriptor);
+        }
+        self.touch_open();
+        self.open.remove(&ofd);
+        Ok(())
     }
 
     /// Whether `ofd` names a live open-file description.
@@ -628,7 +779,7 @@ impl FileSystem {
     ///
     /// [`FsError::BadDescriptor`] / [`FsError::BadAccessMode`].
     pub fn read(&mut self, ofd: OfdId, buf: &mut [u8]) -> Result<usize, FsError> {
-        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
         if !of.opts.read {
             return Err(FsError::BadAccessMode);
         }
@@ -638,7 +789,8 @@ impl FileSystem {
         let start = (of.offset as usize).min(content.len());
         let n = buf.len().min(content.len() - start);
         buf[..n].copy_from_slice(&content[start..start + n]);
-        of.offset += n as u64;
+        self.touch_open(); // the open-file offset advances
+        self.open.get_mut(&ofd).expect("checked above").offset += n as u64;
         Ok(n)
     }
 
@@ -650,12 +802,18 @@ impl FileSystem {
     /// [`FsError::BadDescriptor`] / [`FsError::BadAccessMode`].
     pub fn write(&mut self, ofd: OfdId, data: &[u8]) -> Result<usize, FsError> {
         let now = self.now_ms;
-        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
         if !of.opts.write {
             return Err(FsError::BadAccessMode);
         }
-        let Some(Node::File { content, attrs }) = self.nodes[of.node as usize].as_mut() else {
+        if !matches!(self.nodes[of.node as usize], Some(Node::File { .. })) {
             return Err(FsError::BadDescriptor);
+        }
+        self.touch(); // file content and timestamps change...
+        self.touch_open(); // ...and the open-file offset advances
+        let of = self.open.get_mut(&ofd).expect("checked above");
+        let Some(Node::File { content, attrs }) = self.nodes[of.node as usize].as_mut() else {
+            unreachable!("checked above");
         };
         if of.opts.append {
             of.offset = content.len() as u64;
@@ -679,7 +837,7 @@ impl FileSystem {
     /// [`FsError::InvalidSeek`] for seeks before offset 0,
     /// [`FsError::BadDescriptor`] for unknown ids.
     pub fn seek(&mut self, ofd: OfdId, from: SeekFrom) -> Result<u64, FsError> {
-        let of = self.open.get_mut(&ofd).ok_or(FsError::BadDescriptor)?;
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
         let Some(Node::File { content, .. }) = self.nodes[of.node as usize].as_ref() else {
             return Err(FsError::BadDescriptor);
         };
@@ -692,8 +850,27 @@ impl FileSystem {
         if target < 0 {
             return Err(FsError::InvalidSeek);
         }
+        self.touch_open();
+        let of = self.open.get_mut(&ofd).expect("checked above");
         of.offset = target as u64;
         Ok(of.offset)
+    }
+
+    /// Bytes left between the current offset and end-of-file — the most a
+    /// [`FileSystem::read`] on `ofd` can return. Lets callers that would
+    /// otherwise zero a caller-sized scratch buffer (`fread` with a wrapped
+    /// 32-bit `size * nmemb`, `ReadFile` with a huge byte count) allocate
+    /// only what the read can deliver.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn available(&self, ofd: OfdId) -> Result<u64, FsError> {
+        let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?;
+        let Some(Node::File { content, .. }) = self.nodes[of.node as usize].as_ref() else {
+            return Err(FsError::BadDescriptor);
+        };
+        Ok((content.len() as u64).saturating_sub(of.offset))
     }
 
     /// Current size of the file behind an open-file description.
@@ -737,6 +914,7 @@ impl FileSystem {
             return Err(FsError::TooManyOpen);
         }
         let of = self.open.get(&ofd).ok_or(FsError::BadDescriptor)?.clone();
+        self.touch_open();
         let id = self.next_ofd;
         self.next_ofd += 1;
         self.open.insert(id, of);
@@ -755,6 +933,7 @@ impl FileSystem {
         if ofd == target {
             return Ok(target);
         }
+        self.touch_open();
         self.open.insert(target, of);
         self.next_ofd = self.next_ofd.max(target + 1);
         Ok(target)

@@ -45,7 +45,7 @@ impl fmt::Display for HeapError {
 
 impl std::error::Error for HeapError {}
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Heap {
     /// Allocation base → size.
     allocations: BTreeMap<u64, u64>,
@@ -75,7 +75,20 @@ struct Heap {
 pub struct HeapManager {
     heaps: BTreeMap<HeapId, Heap>,
     next_id: HeapId,
+    /// Structural-mutation counter for the snapshot layer (see
+    /// `FileSystem::generation` for the protocol).
+    #[serde(default)]
+    gen: u64,
 }
+
+/// Equality covers the heap table, not the mutation counter.
+impl PartialEq for HeapManager {
+    fn eq(&self, other: &Self) -> bool {
+        self.heaps == other.heaps && self.next_id == other.next_id
+    }
+}
+
+impl Eq for HeapManager {}
 
 impl HeapManager {
     /// Creates a manager with no heaps. The process default heap is
@@ -85,7 +98,18 @@ impl HeapManager {
         HeapManager {
             heaps: BTreeMap::new(),
             next_id: 1,
+            gen: 0,
         }
+    }
+
+    /// Current structural generation (see `FileSystem::generation`).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn touch(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
     }
 
     /// Creates a heap with `initial` reserved bytes and `max_size` maximum
@@ -96,6 +120,7 @@ impl HeapManager {
     /// [`HeapError::InvalidArgument`] when `max_size` is nonzero but below
     /// `initial`.
     pub fn create(&mut self, initial: u64, max_size: u64) -> Result<HeapId, HeapError> {
+        self.touch();
         if max_size != 0 && max_size < initial {
             return Err(HeapError::InvalidArgument);
         }
@@ -118,6 +143,7 @@ impl HeapManager {
     ///
     /// [`HeapError::NoHeap`] for unknown ids.
     pub fn destroy(&mut self, id: HeapId, space: &mut AddressSpace) -> Result<(), HeapError> {
+        self.touch();
         let heap = self.heaps.remove(&id).ok_or(HeapError::NoHeap)?;
         for &base in heap.allocations.keys() {
             // Ignore individual failures: the address space may already have
@@ -146,6 +172,7 @@ impl HeapManager {
         size: u64,
         space: &mut AddressSpace,
     ) -> Result<SimPtr, HeapError> {
+        self.touch();
         let heap = self.heaps.get_mut(&id).ok_or(HeapError::NoHeap)?;
         let eff = size.max(1);
         if heap.max_size != 0 && heap.in_use.saturating_add(eff) > heap.max_size {
@@ -175,6 +202,7 @@ impl HeapManager {
         ptr: SimPtr,
         space: &mut AddressSpace,
     ) -> Result<(), HeapError> {
+        self.touch();
         let heap = self.heaps.get_mut(&id).ok_or(HeapError::NoHeap)?;
         let size = heap
             .allocations

@@ -35,7 +35,7 @@ pub enum MachineFlavor {
 /// Fields are public by design: the API personality crates *are* the kernel
 /// code and manipulate the subsystems directly, the way kernel modules
 /// share a single address space.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     /// The checked flat address space.
     pub space: AddressSpace,
@@ -155,7 +155,7 @@ impl Kernel {
     ///
     /// Panics when the simulated address space is exhausted, which a
     /// fresh-per-test machine never hits.
-    pub fn alloc_user(&mut self, len: u64, tag: &str) -> SimPtr {
+    pub fn alloc_user(&mut self, len: u64, tag: &'static str) -> SimPtr {
         self.space
             .map(len, Protection::READ_WRITE, tag)
             .expect("fresh machine never exhausts user space")
@@ -231,10 +231,14 @@ impl Kernel {
         self.residue
     }
 
-    /// Captures this machine as a reusable boot image.
+    /// Captures this machine as a reusable boot image. The image's dirty
+    /// journal is cleared: machines later reset against this snapshot track
+    /// their deltas relative to *this* state.
     #[must_use]
     pub fn snapshot(&self) -> MachineSnapshot {
-        MachineSnapshot { image: self.clone() }
+        let mut image = self.clone();
+        image.space.mark_clean();
+        MachineSnapshot { image }
     }
 }
 
@@ -259,6 +263,63 @@ impl MachineSnapshot {
     #[must_use]
     pub fn restore(&self) -> Kernel {
         self.image.clone()
+    }
+
+    /// Resets `machine` — which must have started as a clone of this image
+    /// (via [`MachineSnapshot::restore`] or an earlier `restore_into`) —
+    /// back to the image state, undoing only what was touched.
+    ///
+    /// The address space rolls back its dirty-region journal in O(touched);
+    /// each kernel subsystem is deep-cloned only when its generation stamp
+    /// says a structural mutator ran since the image was captured; the
+    /// scalar state (clock, fuel, attribution ledger, crash latch, residue,
+    /// handles, scratch) is restored unconditionally. The result is
+    /// indistinguishable from a fresh [`MachineSnapshot::restore`] — the
+    /// invariant the `reset_in_place_matches_fresh_restore` proptest and
+    /// the campaign engines' cross-engine bit-identity checks enforce.
+    pub fn restore_into(&self, machine: &mut Kernel) {
+        let img = &self.image;
+        machine.space.reset_from(&img.space);
+        if machine.fs.generation() != img.fs.generation() {
+            // Node-tree dirt: only a deep clone restores file contents.
+            machine.fs = img.fs.clone();
+        } else {
+            if machine.fs.open_generation() != img.fs.open_generation() {
+                // Descriptor-table dirt only (opens, closes, offset moves):
+                // reset the tiny open table, leave the node tree alone.
+                machine.fs.reset_open_from(&img.fs);
+            }
+            // The timestamp source is fed on every simulated call and is
+            // restored as a scalar exactly because it must not count as
+            // structural dirt.
+            machine.fs.set_now_ms(img.fs.now_ms());
+        }
+        if machine.objects.generation() != img.objects.generation() {
+            machine.objects = img.objects.clone();
+        }
+        if machine.heaps.generation() != img.heaps.generation() {
+            machine.heaps = img.heaps.clone();
+        }
+        if machine.procs.generation() != img.procs.generation() {
+            machine.procs = img.procs.clone();
+        }
+        if machine.env.generation() != img.env.generation() {
+            machine.env = img.env.clone();
+        }
+        machine.clock = img.clock.clone();
+        machine.fuel = img.fuel;
+        machine.subsys = img.subsys;
+        if machine.crash != img.crash {
+            machine.crash = img.crash.clone();
+        }
+        machine.residue = img.residue;
+        machine.residue_probed = img.residue_probed;
+        machine.default_heap = img.default_heap;
+        machine.std_handles = img.std_handles;
+        if !machine.scratch.is_empty() || !img.scratch.is_empty() {
+            machine.scratch.clear();
+            machine.scratch.extend(img.scratch.iter().map(|(k, v)| (k.clone(), *v)));
+        }
     }
 }
 
@@ -395,6 +456,72 @@ mod tests {
             );
             assert_eq!(restored.std_handles, booted.std_handles);
         }
+    }
+
+    #[test]
+    fn restore_into_matches_fresh_restore_after_heavy_mutation() {
+        for flavor in [
+            MachineFlavor::Posix,
+            MachineFlavor::Windows,
+            MachineFlavor::WindowsStrictAlign,
+        ] {
+            let snap = MachineSnapshot::boot(flavor);
+            let mut m = snap.restore();
+            // Touch every subsystem the way a hostile test case would.
+            m.fuel = FuelMeter::with_budget(10_000);
+            m.residue = 3;
+            let p = m.alloc_user(64, "case-buf");
+            m.space.write_u32(p, 0xDEAD_BEEF).unwrap();
+            let hp = m.heaps.create(0, 0).unwrap();
+            let q = m.heaps.alloc(hp, 32, &mut m.space).unwrap();
+            m.space.write_u8(q, 1).unwrap();
+            let dir = match flavor {
+                MachineFlavor::Posix => "/tmp/newdir",
+                _ => "C:\\TEMP\\NEWDIR",
+            };
+            m.fs.mkdir(dir).unwrap();
+            let h = m.objects.insert(ObjectKind::Heap(hp));
+            m.env.set("CASE", "1").unwrap();
+            let pid = m.procs.spawn_process(m.procs.current_pid(), "child");
+            m.procs.terminate(pid, 1).unwrap();
+            m.charge_call();
+            m.probe_residue();
+            m.scratch.insert("strtok".into(), 42);
+            m.crash.panic("call", "reason", None);
+            assert!(m.objects.get(h).is_ok());
+
+            snap.restore_into(&mut m);
+            assert_eq!(m, snap.restore(), "reset-in-place == fresh restore");
+            assert!(m.is_alive());
+            assert!(!m.fs.exists(dir));
+            assert!(m.space.read_u32(p).is_err());
+        }
+    }
+
+    #[test]
+    fn restore_into_untouched_machine_skips_subsystem_clones() {
+        let snap = MachineSnapshot::boot(MachineFlavor::Windows);
+        let mut m = snap.restore();
+        // A read-only case: charges calls but mutates nothing structural.
+        m.fuel = FuelMeter::with_budget(100);
+        m.charge_call();
+        let fs_gen = m.fs.generation();
+        snap.restore_into(&mut m);
+        assert_eq!(m, snap.restore());
+        assert_eq!(m.fs.generation(), fs_gen, "no clone: generation stamp kept");
+    }
+
+    #[test]
+    fn restore_into_is_reusable_across_many_cases() {
+        let snap = MachineSnapshot::boot(MachineFlavor::Posix);
+        let mut m = snap.restore();
+        for i in 0..10 {
+            let p = m.alloc_user(16, "loop");
+            m.space.write_u64(p, i).unwrap();
+            m.fs.create_file("/tmp/f", vec![1, 2, 3]).unwrap();
+            snap.restore_into(&mut m);
+        }
+        assert_eq!(m, snap.restore());
     }
 
     #[test]

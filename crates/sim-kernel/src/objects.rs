@@ -152,13 +152,13 @@ impl fmt::Display for HandleError {
 
 impl std::error::Error for HandleError {}
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Slot {
     generation: u32,
     entry: Option<Entry>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Entry {
     kind: ObjectKind,
     refcount: u32,
@@ -182,7 +182,23 @@ struct Entry {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ObjectTable {
     slots: Vec<Slot>,
+    /// Structural-mutation counter for the snapshot layer (see
+    /// `FileSystem::generation` for the protocol). [`ObjectTable::get_mut`]
+    /// bumps conservatively — the caller holds `&mut ObjectKind` and may
+    /// mutate through it.
+    #[serde(default)]
+    gen: u64,
 }
+
+/// Equality covers the slots (including per-slot generations, which decide
+/// which stale handles resolve) but not the table-level mutation counter.
+impl PartialEq for ObjectTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+    }
+}
+
+impl Eq for ObjectTable {}
 
 impl ObjectTable {
     /// Creates an empty table. Slot 0 is reserved so that handle value 0
@@ -194,11 +210,23 @@ impl ObjectTable {
                 generation: 0,
                 entry: None,
             }],
+            gen: 0,
         }
+    }
+
+    /// Current structural generation (see `FileSystem::generation`).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn touch(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
     }
 
     /// Inserts an object and returns a fresh handle with refcount 1.
     pub fn insert(&mut self, kind: ObjectKind) -> Handle {
+        self.touch();
         let entry = Entry {
             kind,
             refcount: 1,
@@ -257,6 +285,7 @@ impl ObjectTable {
     /// Same conditions as [`ObjectTable::get`].
     pub fn get_mut(&mut self, handle: Handle) -> Result<&mut ObjectKind, HandleError> {
         let slot = self.resolve_slot(handle)?;
+        self.touch();
         Ok(&mut self.slots[slot].entry.as_mut().expect("resolved").kind)
     }
 
@@ -268,6 +297,7 @@ impl ObjectTable {
     /// Same conditions as [`ObjectTable::get`].
     pub fn close(&mut self, handle: Handle) -> Result<(), HandleError> {
         let slot = self.resolve_slot(handle)?;
+        self.touch();
         let entry = self.slots[slot].entry.as_mut().expect("resolved");
         entry.refcount -= 1;
         if entry.refcount == 0 {
@@ -285,6 +315,7 @@ impl ObjectTable {
     /// Same conditions as [`ObjectTable::get`].
     pub fn duplicate(&mut self, handle: Handle) -> Result<Handle, HandleError> {
         let slot = self.resolve_slot(handle)?;
+        self.touch();
         let s = &mut self.slots[slot];
         s.entry.as_mut().expect("resolved").refcount += 1;
         Ok(Handle::from_parts(slot, s.generation))
@@ -298,6 +329,7 @@ impl ObjectTable {
     /// Same conditions as [`ObjectTable::get`].
     pub fn set_inheritable(&mut self, handle: Handle, inheritable: bool) -> Result<(), HandleError> {
         let slot = self.resolve_slot(handle)?;
+        self.touch();
         self.slots[slot].entry.as_mut().expect("resolved").inheritable = inheritable;
         Ok(())
     }

@@ -165,7 +165,26 @@ pub struct ProcessTable {
     next_tid: u32,
     current_pid: u32,
     current_tid: u32,
+    /// Structural-mutation counter for the snapshot layer (see
+    /// `FileSystem::generation` for the protocol). [`ProcessTable::thread_mut`]
+    /// bumps conservatively — the caller holds `&mut Thread`.
+    #[serde(default)]
+    gen: u64,
 }
+
+/// Equality covers the tables and id cursors, not the mutation counter.
+impl PartialEq for ProcessTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.processes == other.processes
+            && self.threads == other.threads
+            && self.next_pid == other.next_pid
+            && self.next_tid == other.next_tid
+            && self.current_pid == other.current_pid
+            && self.current_tid == other.current_tid
+    }
+}
+
+impl Eq for ProcessTable {}
 
 impl Default for ProcessTable {
     fn default() -> Self {
@@ -185,11 +204,22 @@ impl ProcessTable {
             next_tid: 200,
             current_pid: 0,
             current_tid: 0,
+            gen: 0,
         };
         let pid = t.spawn_process(0, "init-test-task");
         t.current_pid = pid;
         t.current_tid = t.process(pid).expect("just spawned").threads[0];
         t
+    }
+
+    /// Current structural generation (see `FileSystem::generation`).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn touch(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
     }
 
     /// Pid of the simulated program under test.
@@ -206,6 +236,7 @@ impl ProcessTable {
 
     /// Spawns a process (with one initial thread) and returns its pid.
     pub fn spawn_process(&mut self, parent: u32, image: &str) -> u32 {
+        self.touch();
         let pid = self.next_pid;
         self.next_pid += 1;
         let tid = self.spawn_thread_raw(pid);
@@ -244,6 +275,7 @@ impl ProcessTable {
     ///
     /// [`ProcessError::NoProcess`] for dead or unknown pids.
     pub fn spawn_thread(&mut self, pid: u32) -> Result<u32, ProcessError> {
+        self.touch();
         let idx = self
             .processes
             .iter()
@@ -284,6 +316,7 @@ impl ProcessTable {
     ///
     /// [`ProcessError::NoThread`].
     pub fn thread_mut(&mut self, tid: u32) -> Result<&mut Thread, ProcessError> {
+        self.touch();
         self.threads
             .iter_mut()
             .find(|t| t.tid == tid)
@@ -296,6 +329,7 @@ impl ProcessTable {
     ///
     /// [`ProcessError::NoProcess`] / [`ProcessError::AlreadyExited`].
     pub fn terminate(&mut self, pid: u32, exit_code: u32) -> Result<(), ProcessError> {
+        self.touch();
         let p = self
             .processes
             .iter_mut()
@@ -360,6 +394,7 @@ impl ProcessTable {
     /// [`ProcessError::NoChildren`] when `parent` has no unreaped children
     /// at all (POSIX `ECHILD`).
     pub fn reap_child(&mut self, parent: u32) -> Result<Option<(u32, u32)>, ProcessError> {
+        self.touch();
         let mut has_children = false;
         for p in &mut self.processes {
             if p.parent == parent && !p.reaped {

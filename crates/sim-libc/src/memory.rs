@@ -191,19 +191,55 @@ pub fn realloc(k: &mut Kernel, profile: LibcProfile, ptr: SimPtr, size: u64) -> 
 
 /// `memcpy(dst, src, n)` — byte copy, faulting where the hardware would.
 ///
+/// Runs as bulk per-region copies over the accessible prefix instead of
+/// a checked access per byte, while preserving the byte loop's exact
+/// observable behaviour: bytes before the first inaccessible one are
+/// copied, the fault is the one the failing byte access would raise
+/// (source read checked before destination write), and an overlapping
+/// forward copy replicates with period `dst - src` because chunks never
+/// exceed that distance.
+///
 /// # Errors
 ///
 /// Aborts when any byte access faults.
 pub fn memcpy(k: &mut Kernel, profile: LibcProfile, dst: SimPtr, src: SimPtr, n: u64) -> ApiResult {
+    use sim_core::addr::PrivilegeLevel::User;
+    use sim_core::AccessKind;
     k.charge_call();
-    for i in 0..n {
-        let b = k
+    let ls = k.space.accessible_span(src, n, AccessKind::Read, User);
+    let ld = k.space.accessible_span(dst, n, AccessKind::Write, User);
+    let m = ls.min(ld);
+    let overlap_period = if dst.addr() > src.addr() {
+        dst.addr() - src.addr()
+    } else {
+        u64::MAX
+    };
+    let mut i = 0u64;
+    while i < m {
+        let chunk = k
             .space
-            .read_u8(src.offset(i))
-            .map_err(|f| abort(profile, f))?;
+            .contiguous_span(src.offset(i), User)
+            .min(k.space.contiguous_span(dst.offset(i), User))
+            .min(overlap_period)
+            .min(m - i);
+        let bytes = k
+            .space
+            .read_bytes_at(src.offset(i), chunk, User)
+            .expect("within accessible span");
         k.space
-            .write_u8(dst.offset(i), b)
-            .map_err(|f| abort(profile, f))?;
+            .write_bytes_at(dst.offset(i), &bytes, User)
+            .expect("within accessible span");
+        i += chunk;
+    }
+    if m < n {
+        let fault = if ls == m {
+            k.space.read_u8(src.offset(m)).expect_err("span boundary")
+        } else {
+            k.space
+                .write_u8(dst.offset(m), 0)
+                .expect_err("span boundary")
+        };
+        return Err(abort(profile, fault));
     }
     Ok(ApiReturn::ok(dst.addr() as i64))
 }
@@ -233,15 +269,36 @@ pub fn memmove(
 
 /// `memset(s, c, n)`.
 ///
+/// Bulk per-region fills over the accessible prefix; the prefix is
+/// written (as the byte loop would have) before the fault for the first
+/// inaccessible byte is raised.
+///
 /// # Errors
 ///
 /// Aborts when a write faults.
 pub fn memset(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32, n: u64) -> ApiResult {
+    use sim_core::addr::PrivilegeLevel::User;
+    use sim_core::AccessKind;
     k.charge_call();
-    for i in 0..n {
+    let value = (c & 0xFF) as u8;
+    let l = k.space.accessible_span(s, n, AccessKind::Write, User);
+    let mut i = 0u64;
+    while i < l {
+        let chunk = k
+            .space
+            .contiguous_span(s.offset(i), User)
+            .min(l - i);
         k.space
-            .write_u8(s.offset(i), (c & 0xFF) as u8)
-            .map_err(|f| abort(profile, f))?;
+            .fill(s.offset(i), value, chunk, User)
+            .expect("within accessible span");
+        i += chunk;
+    }
+    if l < n {
+        let fault = k
+            .space
+            .write_u8(s.offset(l), value)
+            .expect_err("span boundary");
+        return Err(abort(profile, fault));
     }
     Ok(ApiReturn::ok(s.addr() as i64))
 }
@@ -252,19 +309,43 @@ pub fn memset(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32, n: u64) -
 ///
 /// Aborts when a read faults before a deciding mismatch.
 pub fn memcmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr, n: u64) -> ApiResult {
+    use sim_core::addr::PrivilegeLevel::User;
+    use sim_core::AccessKind;
     k.charge_call();
-    for i in 0..n {
+    // Bulk comparison over the jointly accessible prefix; a deciding
+    // mismatch there returns before any fault, exactly like the early
+    // exit of the byte loop.
+    let la = k.space.accessible_span(a, n, AccessKind::Read, User);
+    let lb = k.space.accessible_span(b, n, AccessKind::Read, User);
+    let m = la.min(lb);
+    let mut i = 0u64;
+    while i < m {
+        let chunk = k
+            .space
+            .contiguous_span(a.offset(i), User)
+            .min(k.space.contiguous_span(b.offset(i), User))
+            .min(m - i);
         let ca = k
             .space
-            .read_u8(a.offset(i))
-            .map_err(|f| abort(profile, f))?;
+            .read_bytes_at(a.offset(i), chunk, User)
+            .expect("within accessible span");
         let cb = k
             .space
-            .read_u8(b.offset(i))
-            .map_err(|f| abort(profile, f))?;
-        if ca != cb {
-            return Ok(ApiReturn::ok(if ca < cb { -1 } else { 1 }));
+            .read_bytes_at(b.offset(i), chunk, User)
+            .expect("within accessible span");
+        if let Some(p) = ca.iter().zip(&cb).position(|(x, y)| x != y) {
+            return Ok(ApiReturn::ok(if ca[p] < cb[p] { -1 } else { 1 }));
         }
+        i += chunk;
+    }
+    if m < n {
+        // The byte loop reads `a[m]` before `b[m]`.
+        let fault = if la == m {
+            k.space.read_u8(a.offset(m)).expect_err("span boundary")
+        } else {
+            k.space.read_u8(b.offset(m)).expect_err("span boundary")
+        };
+        return Err(abort(profile, fault));
     }
     Ok(ApiReturn::ok(0))
 }
@@ -275,16 +356,27 @@ pub fn memcmp(k: &mut Kernel, profile: LibcProfile, a: SimPtr, b: SimPtr, n: u64
 ///
 /// Aborts when a read faults before the byte is found.
 pub fn memchr(k: &mut Kernel, profile: LibcProfile, s: SimPtr, c: i32, n: u64) -> ApiResult {
+    use sim_core::addr::PrivilegeLevel::User;
     k.charge_call();
     let needle = (c & 0xFF) as u8;
-    for i in 0..n {
-        let b = k
-            .space
-            .read_u8(s.offset(i))
-            .map_err(|f| abort(profile, f))?;
-        if b == needle {
-            return Ok(ApiReturn::ok(s.offset(i).addr() as i64));
+    // Region-at-a-time scan over the accessible prefix; a hit returns
+    // before any fault past it, like the byte loop's early exit. Bytes
+    // past a chunk's materialized prefix are logically zero.
+    let mut i = 0u64;
+    while i < n {
+        let (mat, span) = match k.space.readable_chunk(s.offset(i), User) {
+            Ok(chunk) => chunk,
+            Err(f) => return Err(abort(profile, f)),
+        };
+        let span = span.min(n - i);
+        let mat = &mat[..mat.len().min(span as usize)];
+        if let Some(p) = mat.iter().position(|&b| b == needle) {
+            return Ok(ApiReturn::ok(s.offset(i + p as u64).addr() as i64));
         }
+        if needle == 0 && (mat.len() as u64) < span {
+            return Ok(ApiReturn::ok(s.offset(i + mat.len() as u64).addr() as i64));
+        }
+        i += span;
     }
     Ok(ApiReturn::ok(0))
 }

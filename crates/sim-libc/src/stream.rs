@@ -58,7 +58,11 @@ pub fn fread(
             if total == 0 {
                 return Ok(ApiReturn::ok(0));
             }
-            let mut data = vec![0u8; total];
+            // The read can't return more than the bytes left in the file,
+            // so the scratch buffer needn't be the full (possibly huge)
+            // wrapped total.
+            let want = total.min(k.fs.available(ofd).unwrap_or(0) as usize);
+            let mut data = vec![0u8; want];
             let n = match k.fs.read(ofd, &mut data) {
                 Ok(n) => n,
                 Err(e) => {

@@ -66,6 +66,41 @@ impl Tm {
 /// The machine fault of the first inaccessible field.
 pub fn read_tm(k: &Kernel, ptr: SimPtr) -> Result<Tm, Fault> {
     let mut f = [0i32; TM_FIELDS];
+    // One bulk borrow when the whole struct is accessible and aligned
+    // (the 4-byte check covers every field read below); the field loop
+    // remains the fallback so partial structs fault on the exact field.
+    if k.space
+        .check_access(
+            ptr,
+            (TM_FIELDS * 4) as u64,
+            4,
+            AccessKind::Read,
+            PrivilegeLevel::User,
+        )
+        .is_ok()
+    {
+        let (chunk, _) = k.space.readable_chunk(ptr, PrivilegeLevel::User)?;
+        for (i, slot) in f.iter_mut().enumerate() {
+            let off = i * 4;
+            let mut b = [0u8; 4];
+            if off < chunk.len() {
+                let n = (chunk.len() - off).min(4);
+                b[..n].copy_from_slice(&chunk[off..off + n]);
+            }
+            *slot = i32::from_le_bytes(b);
+        }
+        return Ok(Tm {
+            sec: f[0],
+            min: f[1],
+            hour: f[2],
+            mday: f[3],
+            mon: f[4],
+            year: f[5],
+            wday: f[6],
+            yday: f[7],
+            isdst: f[8],
+        });
+    }
     for (i, slot) in f.iter_mut().enumerate() {
         *slot = k.space.read_i32(ptr.offset(i as u64 * 4))?;
     }
@@ -154,7 +189,7 @@ pub fn difftime(k: &mut Kernel, _profile: LibcProfile, t1: i64, t0: i64) -> ApiR
     Ok(ApiReturn::ok(((t1 - t0) as f64).to_bits() as i64))
 }
 
-fn gmtime_impl(k: &mut Kernel, profile: LibcProfile, tptr: SimPtr, name: &str) -> ApiResult {
+fn gmtime_impl(k: &mut Kernel, profile: LibcProfile, tptr: SimPtr, name: &'static str) -> ApiResult {
     k.charge_call();
     let secs = k.space.read_u32(tptr).map_err(|f| abort(profile, f))?;
     let tm = unix_to_tm(i64::from(secs));
@@ -291,7 +326,25 @@ pub fn strftime(
     k.charge_call();
     let fmt = cstr::read_cstr(&k.space, format, U).map_err(|f| abort(profile, f))?;
     let tm = read_tm(k, tm_ptr).map_err(|f| abort(profile, f))?;
-    let mut out: Vec<u8> = Vec::new();
+    // `{:02}` without the formatting machinery for the in-range fields
+    // every sane `tm` carries; out-of-range values fall back to `format!`
+    // so the output stays byte-identical.
+    fn push2(out: &mut Vec<u8>, v: i32) {
+        if (0..100).contains(&v) {
+            out.push(b'0' + (v / 10) as u8);
+            out.push(b'0' + (v % 10) as u8);
+        } else {
+            out.extend(format!("{v:02}").into_bytes());
+        }
+    }
+    fn push_year(out: &mut Vec<u8>, y: i64) {
+        if (1000..10_000).contains(&y) {
+            out.extend([y / 1000, y / 100 % 10, y / 10 % 10, y % 10].map(|d| b'0' + d as u8));
+        } else {
+            out.extend(format!("{y}").into_bytes());
+        }
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(fmt.len() + 8);
     let mut it = fmt.iter().copied().peekable();
     while let Some(b) = it.next() {
         if b != b'%' {
@@ -299,12 +352,12 @@ pub fn strftime(
             continue;
         }
         match it.next() {
-            Some(b'Y') => out.extend(format!("{}", i64::from(tm.year) + 1900).into_bytes()),
-            Some(b'm') => out.extend(format!("{:02}", tm.mon + 1).into_bytes()),
-            Some(b'd') => out.extend(format!("{:02}", tm.mday).into_bytes()),
-            Some(b'H') => out.extend(format!("{:02}", tm.hour).into_bytes()),
-            Some(b'M') => out.extend(format!("{:02}", tm.min).into_bytes()),
-            Some(b'S') => out.extend(format!("{:02}", tm.sec).into_bytes()),
+            Some(b'Y') => push_year(&mut out, i64::from(tm.year) + 1900),
+            Some(b'm') => push2(&mut out, tm.mon + 1),
+            Some(b'd') => push2(&mut out, tm.mday),
+            Some(b'H') => push2(&mut out, tm.hour),
+            Some(b'M') => push2(&mut out, tm.min),
+            Some(b'S') => push2(&mut out, tm.sec),
             Some(b'%') => out.push(b'%'),
             Some(other) => {
                 out.push(b'%');

@@ -68,7 +68,10 @@ pub fn read(k: &mut Kernel, fd: i64, buf: SimPtr, count: u64) -> ApiResult {
             return Err(ApiAbort::Hang);
         }
     }
-    let mut data = vec![0u8; count as usize];
+    // The read can't return more than the bytes left in the file, so the
+    // scratch buffer needn't be the full requested (possibly huge) count.
+    let want = (count as usize).min(k.fs.available(fd as u64).unwrap_or(0) as usize);
+    let mut data = vec![0u8; want];
     match k.fs.read(fd as u64, &mut data) {
         Ok(n) => {
             if k.space.write_bytes(buf, &data[..n]).is_err() {

@@ -21,7 +21,8 @@ use sim_libc::errno;
 /// on fault (never a signal).
 fn read_path(k: &Kernel, ptr: SimPtr) -> Result<String, ApiReturn> {
     match cstr::read_cstr(&k.space, ptr, PrivilegeLevel::User) {
-        Ok(bytes) => Ok(String::from_utf8_lossy(&bytes).into_owned()),
+        Ok(bytes) => Ok(String::from_utf8(bytes)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())),
         Err(_) => Err(errno_return(errno::EFAULT)),
     }
 }

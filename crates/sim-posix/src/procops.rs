@@ -41,7 +41,9 @@ pub fn fork(k: &mut Kernel) -> ApiResult {
 pub fn execve(k: &mut Kernel, pathname: SimPtr, argv: SimPtr, envp: SimPtr) -> ApiResult {
     k.charge_call_to(Subsystem::Process);
     let path = match cstr::read_cstr(&k.space, pathname, PrivilegeLevel::User) {
-        Ok(b) => String::from_utf8_lossy(&b).into_owned(),
+        Ok(b) => {
+            String::from_utf8(b).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+        }
         Err(_) => return Ok(errno_return(errno::EFAULT)),
     };
     for array in [argv, envp] {

@@ -479,9 +479,16 @@ pub fn GetTempFileName(
         return Ok(ApiReturn::err(0, errors::ERROR_PATH_NOT_FOUND));
     }
     let n = if unique == 0 {
-        let c = k.scratch.entry("win32.tempfile".to_owned()).or_insert(0);
-        *c += 1;
-        *c
+        match k.scratch.get_mut("win32.tempfile") {
+            Some(c) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                k.scratch.insert("win32.tempfile".to_owned(), 1);
+                1
+            }
+        }
     } else {
         u64::from(unique)
     };
@@ -490,7 +497,7 @@ pub fn GetTempFileName(
     if unique == 0 && !k.fs.exists(&name) {
         let _ = k.fs.create_file(&name, Vec::new());
     }
-    let mut bytes = name.clone().into_bytes();
+    let mut bytes = name.into_bytes();
     bytes.push(0);
     let out = write_out(k, profile, "GetTempFileName", false, out_name, &bytes)?;
     Ok(finish_out(out, n as i64 & 0xFFFF))
@@ -514,14 +521,21 @@ pub fn SearchPath(
 ) -> ApiResult {
     k.charge_call_to(Subsystem::Fs);
     let name = read_string(k, file_name)?;
-    let dirs: Vec<String> = if search_path.is_null() {
-        vec![cwd(k), "C:\\WINDOWS".to_owned(), "C:\\WINDOWS\\SYSTEM".to_owned()]
+    let cwd_dir;
+    let searched;
+    let dirs: Vec<&str> = if search_path.is_null() {
+        cwd_dir = cwd(k);
+        vec![cwd_dir.as_str(), "C:\\WINDOWS", "C:\\WINDOWS\\SYSTEM"]
     } else {
-        let p = read_string(k, search_path)?;
-        p.split(';').map(str::to_owned).collect()
+        searched = read_string(k, search_path)?;
+        searched.split(';').collect()
     };
+    let mut candidate = String::with_capacity(64);
     for d in dirs {
-        let candidate = format!("{d}\\{name}");
+        candidate.clear();
+        candidate.push_str(d);
+        candidate.push('\\');
+        candidate.push_str(&name);
         if k.fs.exists(&candidate) {
             return string_result(k, profile, "SearchPath", buffer, size, &candidate);
         }

@@ -102,7 +102,10 @@ pub fn ReadFile(
         Ok(ofd) => ofd,
         Err(e) => return Ok(bad_handle_return(profile, e, TRUE)),
     };
-    let mut data = vec![0u8; bytes_to_read as usize];
+    // The read can't return more than the bytes left in the file, so the
+    // scratch buffer needn't be the full requested (possibly huge) count.
+    let want = (bytes_to_read as usize).min(k.fs.available(ofd).unwrap_or(0) as usize);
+    let mut data = vec![0u8; want];
     let n = match k.fs.read(ofd, &mut data) {
         Ok(n) => n,
         Err(e) => return Ok(ApiReturn::err(FALSE, errors::from_fs(e))),

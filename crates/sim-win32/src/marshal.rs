@@ -35,7 +35,10 @@ pub fn exception(fault: Fault) -> ApiAbort {
 /// An SEH abort when the scan faults.
 pub fn read_string(k: &Kernel, ptr: SimPtr) -> Result<String, ApiAbort> {
     let bytes = cstr::read_cstr(&k.space, ptr, PrivilegeLevel::User).map_err(exception)?;
-    Ok(String::from_utf8_lossy(&bytes).into_owned())
+    // In-place when the bytes are valid UTF-8 (nearly always); the lossy
+    // re-encode only runs for actual garbage.
+    Ok(String::from_utf8(bytes)
+        .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()))
 }
 
 /// Reads `len` raw bytes from a caller buffer with user-mode probing.
