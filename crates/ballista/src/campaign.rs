@@ -36,10 +36,12 @@ use crate::muts::Mut;
 use crate::sampling::{self, CaseSet, PAPER_CAP};
 use crate::telemetry::{self, CaseTrace, TraceCollector};
 use crate::value::TestValue;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use sim_kernel::variant::OsVariant;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -132,6 +134,126 @@ impl CampaignConfig {
             n => n,
         }
     }
+}
+
+/// The content address of a campaign: a stable FNV-1a fingerprint of
+/// everything that determines the campaign's results.
+///
+/// Folds in the OS variant, every result-relevant [`CampaignConfig`]
+/// knob (cap, raw recording, perfect cleanup, the *effective* fuel
+/// budget, the isolation-probe switch, and the raw `parallelism`
+/// setting) plus the per-MuT sampling plan — MuT names and planned case
+/// counts, which implicitly pin the catalog and the name-derived
+/// sampling seeds. Two campaign requests share a fingerprint **iff**
+/// they are the same campaign, so the fingerprint is simultaneously:
+///
+/// * the write-ahead journal's plan hash (a journal is resumed only
+///   under a matching fingerprint — see [`crate::journal`]),
+/// * the key of the content-addressed result cache
+///   ([`crate::cache::ResultCache`]): any config or catalog change
+///   changes the key, so stale entries are unreachable by construction,
+/// * the campaign identifier the fleet server exposes over HTTP
+///   (`GET /campaign/<fingerprint>` — see [`crate::server`]).
+///
+/// `parallelism` is hashed as the raw knob (not the resolved
+/// [`CampaignConfig::workers`] count), so `parallelism: 0` ("auto")
+/// fingerprints identically on every host.
+///
+/// Renders as (and parses from) 16 lowercase hex digits.
+///
+/// # Example
+///
+/// ```
+/// use ballista::campaign::{fingerprint, CampaignConfig, CampaignFingerprint};
+/// use sim_kernel::variant::OsVariant;
+///
+/// let cfg = CampaignConfig { cap: 200, ..CampaignConfig::default() };
+/// let fp = fingerprint(OsVariant::Win95, &cfg);
+/// // Hex round-trip is lossless.
+/// let parsed: CampaignFingerprint = fp.to_string().parse().unwrap();
+/// assert_eq!(parsed, fp);
+/// // Any result-relevant knob changes the fingerprint.
+/// let bigger = CampaignConfig { cap: 500, ..cfg };
+/// assert_ne!(fingerprint(OsVariant::Win95, &bigger), fp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignFingerprint(u64);
+
+impl CampaignFingerprint {
+    /// Wraps a raw 64-bit fingerprint (e.g. one read back from a
+    /// journal header).
+    #[must_use]
+    pub const fn from_u64(raw: u64) -> Self {
+        CampaignFingerprint(raw)
+    }
+
+    /// The raw 64-bit value (what the journal header stores).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CampaignFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Parse error for [`CampaignFingerprint::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintParseError;
+
+impl fmt::Display for FingerprintParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("campaign fingerprint must be exactly 16 hex digits")
+    }
+}
+
+impl std::error::Error for FingerprintParseError {}
+
+impl FromStr for CampaignFingerprint {
+    type Err = FingerprintParseError;
+
+    /// Parses the canonical 16-hex-digit form (case-insensitive). The
+    /// length is checked strictly so a truncated fingerprint — say, a
+    /// torn URL — cannot silently alias a different campaign.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 16 {
+            return Err(FingerprintParseError);
+        }
+        u64::from_str_radix(s, 16)
+            .map(CampaignFingerprint)
+            .map_err(|_| FingerprintParseError)
+    }
+}
+
+impl Serialize for CampaignFingerprint {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for CampaignFingerprint {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected fingerprint string"))?;
+        s.parse()
+            .map_err(|e: FingerprintParseError| serde::Error::custom(e))
+    }
+}
+
+/// Computes the [`CampaignFingerprint`] of `(os, cfg)` — the exact hash
+/// the journaled engine stamps into its header and the result cache
+/// keys on. Resolves the catalog and every per-MuT sampling plan (plans
+/// come from the process-wide plan cache, so repeated calls are cheap).
+#[must_use]
+pub fn fingerprint(os: OsVariant, cfg: &CampaignConfig) -> CampaignFingerprint {
+    let registry = catalog::registry_for(os);
+    let muts = catalog::catalog_for(os);
+    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+    plan_fingerprint(os, cfg, &preps)
 }
 
 /// Timing and machine-provisioning counters for one campaign run.
@@ -338,13 +460,17 @@ pub fn run_mut_campaign(os: OsVariant, mut_: &Mut, cfg: &CampaignConfig) -> MutT
 /// A MuT with its resolved pools and (shared) sampling plan — computed
 /// once and reused by both engine phases and, via the plan cache, across
 /// all variants running the same catalog signature.
-struct PreparedMut<'a> {
-    mut_: &'a Mut,
-    pools: Vec<Vec<TestValue>>,
-    plan: Arc<CaseSet>,
+pub(crate) struct PreparedMut<'a> {
+    pub(crate) mut_: &'a Mut,
+    pub(crate) pools: Vec<Vec<TestValue>>,
+    pub(crate) plan: Arc<CaseSet>,
 }
 
-fn prepare<'a>(registry: &TypeRegistry, mut_: &'a Mut, cfg: &CampaignConfig) -> PreparedMut<'a> {
+pub(crate) fn prepare<'a>(
+    registry: &TypeRegistry,
+    mut_: &'a Mut,
+    cfg: &CampaignConfig,
+) -> PreparedMut<'a> {
     let pools = resolve_pools(registry, mut_);
     let plan = if pools.is_empty() {
         Arc::new(sampling::single_case())
@@ -355,7 +481,7 @@ fn prepare<'a>(registry: &TypeRegistry, mut_: &'a Mut, cfg: &CampaignConfig) -> 
     PreparedMut { mut_, pools, plan }
 }
 
-fn empty_tally(mut_: &Mut, planned: usize) -> MutTally {
+pub(crate) fn empty_tally(mut_: &Mut, planned: usize) -> MutTally {
     MutTally {
         name: mut_.name.to_owned(),
         group: mut_.group,
@@ -485,15 +611,15 @@ fn run_mut_campaign_traced(
 /// pass needs to rebuild the deterministic trace timeline without
 /// re-executing. The side channel is `None` when telemetry is off, so
 /// the disabled clean pass allocates exactly what it always did.
-struct CleanMut {
-    records: Vec<u8>,
-    fuel: Option<Vec<u64>>,
+pub(crate) struct CleanMut {
+    pub(crate) records: Vec<u8>,
+    pub(crate) fuel: Option<Vec<u64>>,
 }
 
 /// Runs one MuT's full plan at residue zero and packs one record byte per
 /// case. Execution stops early at an unprobed `SystemCrash` — the replay
 /// pass provably never advances past it.
-fn run_clean_mut(
+pub(crate) fn run_clean_mut(
     os: OsVariant,
     prep: &PreparedMut<'_>,
     fuel_budget: u64,
@@ -520,7 +646,51 @@ fn run_clean_mut(
 
 /// One MuT's clean-pass outcome, or `None` when the MuT was quarantined
 /// after repeated contained harness faults.
-type CleanRecords = Option<CleanMut>;
+pub(crate) type CleanRecords = Option<CleanMut>;
+
+/// Runs one MuT's clean pass under the engines' quarantine fence: a
+/// contained panic invalidates the worker's boot templates and earns one
+/// rerun; a second fault quarantines the MuT (`None`). Warnings and the
+/// retry count land in the caller's sinks. Shared by the parallel clean
+/// pass and the fleet shard executor, so the two cannot drift.
+pub(crate) fn clean_mut_quarantined(
+    os: OsVariant,
+    prep: &PreparedMut<'_>,
+    fuel_budget: u64,
+    capture_fuel: bool,
+    warnings: &mut Vec<String>,
+    retries: &mut u64,
+) -> CleanRecords {
+    let mut attempts = 0u32;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_clean_mut(os, prep, fuel_budget, capture_fuel)
+        }));
+        match run {
+            Ok(records) => return Some(records),
+            Err(_) => {
+                // The panic may have left this thread's templates in an
+                // arbitrary state; the retry starts from rebuilt ones.
+                exec::invalidate_templates();
+                attempts += 1;
+                if attempts > MAX_MUT_RETRIES {
+                    telemetry::on_mut_quarantined();
+                    warnings.push(format!(
+                        "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
+                        prep.mut_.name
+                    ));
+                    return None;
+                }
+                *retries += 1;
+                telemetry::on_quarantine_retry();
+                warnings.push(format!(
+                    "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
+                    prep.mut_.name
+                ));
+            }
+        }
+    }
+}
 
 /// Phase 1: worker threads shard the catalog (atomic work counter, MuT
 /// granularity). Each MuT runs under a `catch_unwind` fence at the worker
@@ -549,39 +719,22 @@ fn clean_pass(
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(prep) = preps.get(i) else { break };
                         telemetry::on_mut_begin(prep.plan.cases.len() as u64);
-                        let mut attempts = 0u32;
-                        let records = loop {
-                            let run = catch_unwind(AssertUnwindSafe(|| {
-                                run_clean_mut(os, prep, fuel_budget, capture_fuel)
-                            }));
-                            match run {
-                                Ok(records) => break Some(records),
-                                Err(_) => {
-                                    // The panic may have left this thread's
-                                    // templates in an arbitrary state; the
-                                    // retry starts from rebuilt ones.
-                                    exec::invalidate_templates();
-                                    attempts += 1;
-                                    if attempts > MAX_MUT_RETRIES {
-                                        break None;
-                                    }
-                                    retries.fetch_add(1, Ordering::Relaxed);
-                                    telemetry::on_quarantine_retry();
-                                    warnings.lock().expect("warning log poisoned").push(
-                                        format!(
-                                            "contained worker panic while testing {}; retrying on fresh templates (attempt {attempts})",
-                                            prep.mut_.name
-                                        ),
-                                    );
-                                }
-                            }
-                        };
-                        if records.is_none() {
-                            telemetry::on_mut_quarantined();
-                            warnings.lock().expect("warning log poisoned").push(format!(
-                                "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
-                                prep.mut_.name
-                            ));
+                        let mut local_warnings = Vec::new();
+                        let mut local_retries = 0u64;
+                        let records = clean_mut_quarantined(
+                            os,
+                            prep,
+                            fuel_budget,
+                            capture_fuel,
+                            &mut local_warnings,
+                            &mut local_retries,
+                        );
+                        retries.fetch_add(local_retries, Ordering::Relaxed);
+                        if !local_warnings.is_empty() {
+                            warnings
+                                .lock()
+                                .expect("warning log poisoned")
+                                .append(&mut local_warnings);
                         }
                         *slots[i].lock().expect("record slot poisoned") = records;
                     }
@@ -609,7 +762,7 @@ fn clean_pass(
 /// accumulated residue. A quarantined MuT (no records) contributes an
 /// empty tally and leaves the session untouched. Returns the tallies
 /// plus the replay count.
-fn replay_pass(
+pub(crate) fn replay_pass(
     os: OsVariant,
     cfg: &CampaignConfig,
     preps: &[PreparedMut<'_>],
@@ -845,23 +998,31 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
     }
 }
 
-/// Fingerprints everything that determines a journaled campaign's case
-/// sequence: the OS variant, every tally-relevant config knob, and the
-/// per-MuT plan (names + planned counts — the sampling seeds derive from
-/// the names, so they are folded in implicitly). Two campaigns share a
-/// journal only when this hash matches.
-fn plan_hash(os: OsVariant, cfg: &CampaignConfig, preps: &[PreparedMut<'_>]) -> u64 {
+/// [`fingerprint`] over already-prepared plans — the engines call this
+/// so the plans they are about to execute and the hash agree by
+/// construction. See [`CampaignFingerprint`] for exactly what is folded
+/// in and why.
+pub(crate) fn plan_fingerprint(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    preps: &[PreparedMut<'_>],
+) -> CampaignFingerprint {
     let mut h = PlanHasher::new();
     h.write_str(os.short_name());
     h.write_u64(cfg.cap as u64);
     h.write_u64(u64::from(cfg.record_raw));
     h.write_u64(u64::from(cfg.perfect_cleanup));
     h.write_u64(cfg.effective_fuel_budget());
+    // Result-relevant since the cached report carries the isolation
+    // marks and the engine stats; raw `parallelism` (not `workers()`)
+    // so auto fingerprints identically on every host.
+    h.write_u64(u64::from(cfg.isolation_probe));
+    h.write_u64(cfg.parallelism as u64);
     for prep in preps {
         h.write_str(prep.mut_.name);
         h.write_u64(prep.plan.cases.len() as u64);
     }
-    h.finish()
+    CampaignFingerprint(h.finish())
 }
 
 /// Runs (or resumes) a **journaled** campaign: every executed case is
@@ -918,7 +1079,7 @@ pub fn run_campaign_journaled(
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
     let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
-    let hash = plan_hash(os, cfg, &preps);
+    let hash = plan_fingerprint(os, cfg, &preps).as_u64();
     let mut warnings = Vec::new();
     let (mut journal, recovered) = if resume {
         let (journal, recovery) = Journal::open_resume(journal_path, hash)?;

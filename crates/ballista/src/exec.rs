@@ -48,13 +48,13 @@ pub mod stats {
     pub static RESTORES: AtomicU64 = AtomicU64::new(0);
     /// Restores served by resetting a resident machine in place
     /// (dirty-region rollback + generation-stamped subsystems) — a
-    /// subset of [`struct@RESTORES`].
+    /// subset of [`static@RESTORES`].
     pub static RESTORES_FAST: AtomicU64 = AtomicU64::new(0);
     /// Restores that deep-cloned the template (first case on a runner,
-    /// or a corrupted resident) — the other subset of [`struct@RESTORES`].
+    /// or a corrupted resident) — the other subset of [`static@RESTORES`].
     pub static RESTORES_FULL: AtomicU64 = AtomicU64::new(0);
     /// Machines provisioned for isolation probes ([`super::reproduce_in_isolation`]).
-    /// Counted apart from [`struct@RESTORES`] so `restores` equals cases
+    /// Counted apart from [`static@RESTORES`] so `restores` equals cases
     /// executed instead of drifting by one per catastrophic probe.
     pub static PROBE_PROVISIONS: AtomicU64 = AtomicU64::new(0);
     /// Nanoseconds spent in full boots.

@@ -1,0 +1,344 @@
+//! Sharded campaign execution — the fleet path.
+//!
+//! Splits one campaign into per-MuT-range **shards**, fans the shards
+//! across a worker pool, and merges the shard outputs into a report
+//! that is **bit-identical** to [`run_campaign`](crate::campaign::run_campaign)
+//! (the engine-equivalence matrix proves it on every variant).
+//!
+//! # Why the merge is sound
+//!
+//! A shard executes its MuT range exactly like the parallel engine's
+//! clean pass: every case at **residue zero**, one packed record byte
+//! per case. Clean-pass records are independent per MuT — no shard can
+//! observe another shard's execution — so *any* partition of the
+//! catalog produces the same record set, and the coordinator can merge
+//! shard outputs by simply placing each MuT's records back at its
+//! catalog index. The sequential **replay pass** (shared with the
+//! parallel engine, same function) then walks the merged records in
+//! catalog order with the one true session, re-executing exactly the
+//! cases whose outcome could depend on accumulated residue. The fleet
+//! path therefore inherits the parallel engine's bit-identity argument
+//! wholesale; the only new claim is the trivial one that partitioning a
+//! set of independent jobs does not change the jobs.
+//!
+//! # Process-shape protocol
+//!
+//! Workers are threads today, but the shard boundary is a wire
+//! protocol, not a function call: each [`ShardSpec`] is serialized
+//! with [`ShardSpec::to_wire`], crosses to the worker as bytes, and the
+//! [`ShardResult`] comes back the same way — the in-process pool
+//! round-trips both for real, so promoting workers to remote processes
+//! is a transport change, not a redesign. Everything a worker needs is
+//! in the spec (variant + config + MuT index range); everything the
+//! coordinator needs is in the result (per-MuT packed records, fuel
+//! side channel, quarantine warnings).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sim_kernel::variant::OsVariant;
+
+use crate::campaign::{
+    clean_mut_quarantined, prepare, replay_pass, CampaignConfig, CampaignReport, CampaignStats,
+    CleanMut, CleanRecords,
+};
+use crate::catalog;
+use crate::exec::{self, Session};
+use crate::telemetry::{self, TraceCollector};
+use serde::{Deserialize, Serialize};
+
+/// How a campaign is sharded and executed by [`run_campaign_fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FleetConfig {
+    /// Shard count. `0` (the default) resolves to four shards per
+    /// worker — small enough ranges that a slow shard cannot straggle
+    /// the pool.
+    #[serde(default)]
+    pub shards: usize,
+    /// Worker pool size. `0` (the default) picks the machine's
+    /// available parallelism, like [`CampaignConfig::workers`].
+    #[serde(default)]
+    pub workers: usize,
+}
+
+impl FleetConfig {
+    /// The effective worker count (`0` → available parallelism).
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+
+    /// The effective shard count over a catalog of `muts` MuTs:
+    /// `shards` (capped at the MuT count — an empty shard is useless),
+    /// with `0` resolving to four per worker.
+    #[must_use]
+    pub fn effective_shards(&self, muts: usize) -> usize {
+        let want = match self.shards {
+            0 => self.effective_workers().saturating_mul(4),
+            n => n,
+        };
+        want.clamp(1, muts.max(1))
+    }
+}
+
+/// One shard's work order: run the clean pass for the catalog MuTs in
+/// `[mut_start, mut_end)` of `os`'s catalog under `cfg`.
+///
+/// Self-contained by design — a worker holding only this (plus the
+/// code) produces its [`ShardResult`]; nothing else crosses the shard
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// OS variant whose catalog the range indexes.
+    pub os: OsVariant,
+    /// Campaign configuration (cap, fuel budget, cleanup mode, …).
+    pub cfg: CampaignConfig,
+    /// First catalog MuT index of this shard (inclusive).
+    pub mut_start: usize,
+    /// One past the last catalog MuT index of this shard.
+    pub mut_end: usize,
+    /// Whether to capture the per-case fuel side channel (needed only
+    /// when the coordinator is tracing).
+    #[serde(default)]
+    pub capture_fuel: bool,
+}
+
+impl ShardSpec {
+    /// Serializes the spec for the wire.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("shard spec serializes")
+    }
+
+    /// Parses a spec off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error text for malformed bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// One MuT's clean-pass output in wire form: the packed record byte per
+/// case, the optional fuel side channel, or `None` for a MuT the shard
+/// quarantined after repeated contained faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCleanMut {
+    /// Packed record bytes, one per executed case ([`crate::crash::pack_case`]).
+    pub records: Vec<u8>,
+    /// Per-case fuel, present iff the spec asked for it.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub fuel: Option<Vec<u64>>,
+}
+
+/// A completed shard: per-MuT clean-pass outputs for the spec's range,
+/// in range order, plus the shard's quarantine bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// Echo of the spec's `mut_start`, so results self-describe their
+    /// placement even when they arrive out of order.
+    pub mut_start: usize,
+    /// One entry per MuT in `[mut_start, mut_end)`; `None` marks a
+    /// quarantined MuT.
+    pub muts: Vec<Option<WireCleanMut>>,
+    /// Human-readable quarantine/retry warnings, range order.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub warnings: Vec<String>,
+    /// Contained worker panics that earned a retry inside this shard.
+    #[serde(default)]
+    pub quarantine_retries: u64,
+}
+
+impl ShardResult {
+    /// Serializes the result for the wire.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("shard result serializes")
+    }
+
+    /// Parses a result off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error text for malformed bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Executes one shard: the clean pass for every MuT in the spec's
+/// range, under the engines' shared quarantine fence. This is the whole
+/// worker side of the protocol — a remote worker is this function plus
+/// a transport.
+#[must_use]
+pub fn execute_shard(spec: &ShardSpec) -> ShardResult {
+    let registry = catalog::registry_for(spec.os);
+    let muts = catalog::catalog_for(spec.os);
+    let end = spec.mut_end.min(muts.len());
+    let mut out = ShardResult {
+        mut_start: spec.mut_start,
+        muts: Vec::with_capacity(end.saturating_sub(spec.mut_start)),
+        warnings: Vec::new(),
+        quarantine_retries: 0,
+    };
+    for m in muts.iter().take(end).skip(spec.mut_start) {
+        let prep = prepare(&registry, m, &spec.cfg);
+        telemetry::on_mut_begin(prep.plan.cases.len() as u64);
+        let mut retries = 0u64;
+        let clean = clean_mut_quarantined(
+            spec.os,
+            &prep,
+            spec.cfg.effective_fuel_budget(),
+            spec.capture_fuel,
+            &mut out.warnings,
+            &mut retries,
+        );
+        out.quarantine_retries += retries;
+        out.muts.push(clean.map(|c| WireCleanMut {
+            records: c.records,
+            fuel: c.fuel,
+        }));
+    }
+    telemetry::on_shard_executed();
+    out
+}
+
+/// Runs the full campaign sharded across a worker pool, producing a
+/// report **bit-identical** to [`run_campaign`](crate::campaign::run_campaign)
+/// on the same `(os, cfg)`.
+///
+/// The coordinator cuts the catalog into contiguous MuT ranges, ships
+/// each range through the wire protocol to the pool, reassembles the
+/// clean-pass records at their catalog indices, and runs the shared
+/// sequential replay pass — see the module docs for why this cannot
+/// change a single tally bit.
+///
+/// # Example
+///
+/// ```no_run
+/// use ballista::campaign::CampaignConfig;
+/// use ballista::fleet::{run_campaign_fleet, FleetConfig};
+/// use sim_kernel::variant::OsVariant;
+///
+/// let cfg = CampaignConfig { cap: 200, ..CampaignConfig::default() };
+/// let fleet = FleetConfig { shards: 8, workers: 2 };
+/// let report = run_campaign_fleet(OsVariant::Win95, &cfg, &fleet);
+/// println!("{} cases over 8 shards", report.total_cases);
+/// ```
+#[must_use]
+pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConfig) -> CampaignReport {
+    let t0 = Instant::now();
+    exec::stats::reset();
+    let counters = Arc::new(exec::stats::Counters::default());
+    exec::stats::install_sink(Arc::clone(&counters));
+    telemetry::on_campaign_begin();
+    let mut tc = TraceCollector::begin(os, cfg.cap as u64);
+    let registry = catalog::registry_for(os);
+    let muts = catalog::catalog_for(os);
+    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+
+    let shard_count = fleet.effective_shards(muts.len());
+    let workers = fleet.effective_workers().min(shard_count);
+    let specs: Vec<Vec<u8>> = (0..shard_count)
+        .map(|s| {
+            ShardSpec {
+                os,
+                cfg: *cfg,
+                mut_start: s * muts.len() / shard_count,
+                mut_end: (s + 1) * muts.len() / shard_count,
+                capture_fuel: tc.is_some(),
+            }
+            .to_wire()
+        })
+        .collect();
+
+    // The in-process pool still speaks the wire protocol: specs go in
+    // as bytes, results come back as bytes, so the thread worker and a
+    // future remote worker run the identical code path.
+    let result_slots: Vec<Mutex<Option<ShardResult>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    exec::stats::install_sink(Arc::clone(&counters));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(wire_spec) = specs.get(i) else { break };
+                        let spec = ShardSpec::from_wire(wire_spec).expect("wire spec round-trips");
+                        let wire_result = execute_shard(&spec).to_wire();
+                        let result =
+                            ShardResult::from_wire(&wire_result).expect("wire result round-trips");
+                        *result_slots[i].lock().expect("shard slot poisoned") = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("fleet worker panicked");
+        }
+    })
+    .expect("fleet scope panicked");
+
+    // Merge: place every MuT's records back at its catalog index. Shard
+    // ranges partition the catalog, so this is a permutation-free
+    // reassembly — then the shared replay pass does the rest.
+    let mut records: Vec<CleanRecords> = Vec::with_capacity(muts.len());
+    let mut warnings = Vec::new();
+    let mut retries = 0u64;
+    for slot in result_slots {
+        let shard = slot
+            .into_inner()
+            .expect("shard slot poisoned")
+            .expect("every shard executed");
+        debug_assert_eq!(shard.mut_start, records.len(), "shards merge in catalog order");
+        retries += shard.quarantine_retries;
+        warnings.extend(shard.warnings);
+        records.extend(shard.muts.into_iter().map(|m| {
+            m.map(|w| CleanMut {
+                records: w.records,
+                fuel: w.fuel,
+            })
+        }));
+    }
+    let degraded = records.iter().any(Option::is_none);
+    let mut session = Session::new();
+    let (tallies, replayed) = replay_pass(os, cfg, &preps, &records, &mut session, &mut tc);
+    if let Some(tc) = tc {
+        tc.finish();
+    }
+    telemetry::on_campaign_end();
+    exec::stats::clear_sink();
+    let total_cases = tallies.iter().map(|t| t.cases).sum::<usize>();
+    let wall = t0.elapsed().as_secs_f64();
+    let (boots, restores, boot_ns, restore_ns) = counters.snapshot();
+    let stats = CampaignStats {
+        parallelism: workers,
+        wall_ms: wall * 1e3,
+        cases_per_sec: total_cases as f64 / wall.max(1e-9),
+        boots,
+        restores,
+        boot_ms: boot_ns as f64 / 1e6,
+        restore_ms: restore_ns as f64 / 1e6,
+        replayed_cases: replayed,
+        quarantine_retries: retries,
+        journal_fsyncs: 0,
+        restores_fast: counters.restores_fast.load(Ordering::Relaxed),
+        restores_full: counters.restores_full.load(Ordering::Relaxed),
+        probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
+    };
+    CampaignReport {
+        os,
+        muts: tallies,
+        total_cases,
+        stats: Some(stats),
+        warnings,
+        degraded,
+    }
+}

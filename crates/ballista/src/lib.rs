@@ -26,7 +26,14 @@
 //! * [`exec`] — single-test execution: isolation, interception of
 //!   signals/exceptions/hangs/system-crashes, inter-test residue, and the
 //!   in-isolation reproduction probe behind Table 3's `*` marks.
-//! * [`campaign`] — full-API campaigns and per-MuT tallies.
+//! * [`campaign`] — full-API campaigns and per-MuT tallies, addressed
+//!   by a content fingerprint ([`campaign::CampaignFingerprint`]).
+//! * [`cache`] — the content-addressed on-disk result cache: identical
+//!   campaign requests cost one campaign.
+//! * [`fleet`] — sharded campaign execution over a worker pool with a
+//!   process-shape wire protocol, bit-identical to the single engine.
+//! * [`server`] — the campaign-as-a-service HTTP layer: fingerprint,
+//!   cache, coalesce, execute.
 //! * [`oracle`] — the conformance oracle: cross-engine, cross-variant and
 //!   per-tally invariants that make the tallies trustworthy.
 //! * [`coverage`] — accounting of which MuTs, pools, test values and
@@ -59,12 +66,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod catalog;
 pub mod coverage;
 pub mod crash;
 pub mod datatype;
 pub mod exec;
+pub mod fleet;
 pub mod journal;
 pub mod load;
 pub mod oracle;
@@ -73,6 +82,7 @@ pub mod muts;
 pub mod pools;
 pub mod sampling;
 pub mod sequence;
+pub mod server;
 pub mod telemetry;
 pub mod value;
 

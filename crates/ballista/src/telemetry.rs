@@ -268,6 +268,17 @@ pub struct Metrics {
     pub quarantined_muts: AtomicU64,
     /// Oracle selfcheck violations observed.
     pub selfcheck_failures: AtomicU64,
+    /// Result-cache lookups served (from the memory front or disk).
+    pub cache_hits: AtomicU64,
+    /// Result-cache lookups that found no valid entry.
+    pub cache_misses: AtomicU64,
+    /// Memory-front cache entries evicted by the LRU capacity.
+    pub cache_evictions: AtomicU64,
+    /// Campaign requests coalesced onto an identical in-flight campaign
+    /// instead of executing their own.
+    pub requests_coalesced: AtomicU64,
+    /// Fleet shards executed to completion.
+    pub shards_executed: AtomicU64,
 }
 
 /// The slot in [`Metrics::classes`] for a CRASH class, in severity
@@ -350,6 +361,16 @@ pub struct HostMetrics {
     pub quarantined_muts: u64,
     /// Oracle selfcheck violations.
     pub selfcheck_failures: u64,
+    /// Result-cache hits (memory front or disk).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Memory-front LRU evictions.
+    pub cache_evictions: u64,
+    /// Campaign requests coalesced onto an in-flight campaign.
+    pub requests_coalesced: u64,
+    /// Fleet shards executed.
+    pub shards_executed: u64,
 }
 
 /// A point-in-time copy of the [`Metrics`] registry, split into the
@@ -590,6 +611,11 @@ impl Hub {
                 quarantine_retries: ld(&m.quarantine_retries),
                 quarantined_muts: ld(&m.quarantined_muts),
                 selfcheck_failures: ld(&m.selfcheck_failures),
+                cache_hits: ld(&m.cache_hits),
+                cache_misses: ld(&m.cache_misses),
+                cache_evictions: ld(&m.cache_evictions),
+                requests_coalesced: ld(&m.requests_coalesced),
+                shards_executed: ld(&m.shards_executed),
             },
         }
     }
@@ -716,6 +742,43 @@ pub fn on_mut_quarantined() {
 pub fn on_selfcheck_violations(n: u64) {
     with_hub(|h| {
         h.metrics.selfcheck_failures.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// A result-cache lookup was served.
+pub fn on_cache_hit() {
+    with_hub(|h| {
+        h.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A result-cache lookup found no valid entry.
+pub fn on_cache_miss() {
+    with_hub(|h| {
+        h.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// The memory front of the result cache evicted its least-recently-used
+/// entry (the on-disk entry survives).
+pub fn on_cache_eviction() {
+    with_hub(|h| {
+        h.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A campaign request was coalesced onto an identical in-flight
+/// campaign instead of executing its own.
+pub fn on_request_coalesced() {
+    with_hub(|h| {
+        h.metrics.requests_coalesced.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// One fleet shard ran to completion.
+pub fn on_shard_executed() {
+    with_hub(|h| {
+        h.metrics.shards_executed.fetch_add(1, Ordering::Relaxed);
     });
 }
 

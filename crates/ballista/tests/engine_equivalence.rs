@@ -8,6 +8,7 @@
 //! self-checked live through the engines' oracle hooks.
 
 use ballista::campaign::{run_campaign, run_campaign_journaled, CampaignConfig};
+use ballista::fleet::{run_campaign_fleet, FleetConfig};
 use ballista::journal::{HEADER_LEN, RECORD_LEN};
 use ballista::oracle;
 use sim_kernel::variant::OsVariant;
@@ -62,6 +63,20 @@ fn all_engines_bit_identical_on_every_variant() {
                 check.violations
             );
         }
+
+        // Fleet row: the sharded executor — specs and results crossing
+        // the wire protocol, shards merged back in catalog order — must
+        // reproduce the serial tallies bit for bit too.
+        let fleet = run_campaign_fleet(
+            os,
+            &cfg(1),
+            &FleetConfig {
+                shards: 8,
+                workers: 2,
+            },
+        );
+        let check = oracle::check_cross_engine("serial", &serial, "fleet-8x2", &fleet);
+        assert!(check.violations.is_empty(), "{name}: {:?}", check.violations);
 
         // Journaled engine: fresh run, then kill at the mid-case boundary
         // (byte-exact truncation, the state a SIGKILL between two appends

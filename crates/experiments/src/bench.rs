@@ -1,0 +1,143 @@
+//! The `results/BENCH_campaign.json` schema, shared by every producer:
+//! the full seven-variant driver ([`crate::run_all_oses`]), the CI
+//! `perf_smoke` tripwire (single-variant rows), and `fleet_bench`
+//! (the `serve` section). The file records the bench trajectory per PR,
+//! so all producers **merge into** the existing artifact rather than
+//! clobbering each other's sections.
+
+use ballista::campaign::CampaignReport;
+use serde::{Deserialize, Serialize};
+
+/// One variant's timing row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantBench {
+    /// Variant short name (`win95`, …).
+    pub os: String,
+    /// Campaign wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Cases executed.
+    pub cases: usize,
+    /// Sustained case rate.
+    pub cases_per_sec: f64,
+    /// Full machine boots.
+    pub boots: u64,
+    /// Snapshot restores (one per case).
+    pub restores: u64,
+    /// Restores served by in-place dirty-state reset.
+    pub restores_fast: u64,
+    /// Restores that deep-cloned the boot template.
+    pub restores_full: u64,
+    /// Cases re-executed by the replay pass.
+    pub replayed_cases: usize,
+}
+
+impl VariantBench {
+    /// The bench row of one campaign report.
+    #[must_use]
+    pub fn from_report(report: &CampaignReport) -> Self {
+        let s = report.stats.unwrap_or_default();
+        VariantBench {
+            os: report.os.short_name().to_owned(),
+            wall_ms: s.wall_ms,
+            cases: report.total_cases,
+            cases_per_sec: s.cases_per_sec,
+            boots: s.boots,
+            restores: s.restores,
+            restores_fast: s.restores_fast,
+            restores_full: s.restores_full,
+            replayed_cases: s.replayed_cases,
+        }
+    }
+}
+
+/// A measured before/after comparison: the same campaign run once with
+/// legacy machine provisioning (full boot per case, eagerly zero-filled
+/// regions — the pre-snapshot cost model) and once with the current
+/// engine. Both runs produce bit-identical tallies; only the wall-clock
+/// differs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Variant the calibration ran on.
+    pub os: String,
+    /// Per-MuT cap of the calibration runs.
+    pub cap: usize,
+    /// Legacy-provisioning wall-clock, milliseconds.
+    pub legacy_wall_ms: f64,
+    /// Current-engine wall-clock, milliseconds.
+    pub engine_wall_ms: f64,
+    /// `legacy / engine`.
+    pub speedup: f64,
+    /// Whether the two runs' tallies were byte-identical.
+    pub tallies_identical: bool,
+}
+
+/// The `fleet_bench` serving measurements: what the campaign service
+/// sustains on the cache-hit path versus the cold path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Identical `POST /campaign` requests fired on the hit path.
+    pub identical_requests: usize,
+    /// Distinct specs fired on the cold path.
+    pub distinct_specs: usize,
+    /// Concurrent client connections used for the hit phase.
+    pub clients: usize,
+    /// Per-MuT cap of the benchmarked specs.
+    pub cap: usize,
+    /// Cache-hit-path served requests per second.
+    pub hit_requests_per_sec: f64,
+    /// Wall-clock of the cold phase (each distinct spec's first
+    /// request, campaigns actually executing), milliseconds.
+    pub cold_wall_ms: f64,
+    /// Campaigns the server actually executed (must equal
+    /// `distinct_specs` when coalescing holds).
+    pub campaigns_executed: u64,
+    /// Requests coalesced onto an in-flight campaign.
+    pub requests_coalesced: u64,
+    /// Served-from-cache fraction over all `POST /campaign` requests.
+    pub hit_rate: f64,
+}
+
+/// The `BENCH_campaign.json` artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignBench {
+    /// Wall-clock of the producing run, milliseconds.
+    pub total_wall_ms: f64,
+    /// Total cases across `variants`.
+    pub total_cases: usize,
+    /// Aggregate sustained case rate.
+    pub cases_per_sec: f64,
+    /// Variant campaigns run concurrently.
+    pub variant_fan_out: usize,
+    /// Clean-pass workers per campaign.
+    pub per_campaign_parallelism: usize,
+    /// Per-variant rows.
+    pub variants: Vec<VariantBench>,
+    /// Provisioning speedup measurement (absent in single-variant
+    /// tripwire runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub calibration: Option<Calibration>,
+    /// Campaign-service measurements (absent until `fleet_bench` has
+    /// run).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub serve: Option<ServeBench>,
+}
+
+/// Loads the existing artifact, if present and parseable.
+#[must_use]
+pub fn load() -> Option<CampaignBench> {
+    let bytes = std::fs::read(crate::results_dir().join("BENCH_campaign.json")).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Writes the artifact atomically.
+///
+/// # Panics
+///
+/// Panics when the artifact cannot be written (same policy as every
+/// other artifact in this driver).
+pub fn store(bench: &CampaignBench) {
+    crate::write_artifact(
+        "BENCH_campaign.json",
+        &serde_json::to_string_pretty(bench).expect("serializable"),
+    );
+}

@@ -9,9 +9,15 @@
 //! (`results/BENCH_campaign.json`) to leave headroom for noisy CI
 //! runners; it is a tripwire, not a benchmark.
 //!
+//! Every run also records its scored pass as a standard-schema
+//! `results/BENCH_campaign.json` row (merging with any existing
+//! artifact), so the bench trajectory is captured per PR even when only
+//! the smoke job ran.
+//!
 //! Usage: `perf_smoke [path/to/perf_floor.txt]`
 
 use ballista::campaign::{run_campaign, CampaignConfig};
+use experiments::bench;
 use sim_kernel::variant::OsVariant;
 
 fn read_floor(path: &str) -> f64 {
@@ -54,6 +60,31 @@ fn main() {
         stats.restores_fast > stats.restores_full,
         "batched execution regressed: most cases must be served by in-place reset"
     );
+    // Record the scored pass in the standard bench schema. The smoke
+    // row replaces a previous smoke row for the same variant but leaves
+    // the full driver's other sections (calibration, serve) intact.
+    let row = bench::VariantBench::from_report(&report);
+    let previous = bench::load();
+    let mut variants = previous
+        .as_ref()
+        .map(|b| b.variants.clone())
+        .unwrap_or_default();
+    match variants.iter_mut().find(|v| v.os == row.os) {
+        Some(slot) => *slot = row,
+        None => variants.push(row),
+    }
+    let total_cases: usize = variants.iter().map(|v| v.cases).sum();
+    let total_wall_ms: f64 = variants.iter().map(|v| v.wall_ms).sum();
+    bench::store(&bench::CampaignBench {
+        total_wall_ms,
+        total_cases,
+        cases_per_sec: total_cases as f64 / (total_wall_ms / 1e3).max(1e-9),
+        variant_fan_out: 1,
+        per_campaign_parallelism: 1,
+        variants,
+        calibration: previous.as_ref().and_then(|b| b.calibration.clone()),
+        serve: previous.and_then(|b| b.serve),
+    });
     if stats.cases_per_sec < floor {
         eprintln!(
             "perf smoke FAILED: {:.0} cases/s is below the checked-in floor of {:.0}",

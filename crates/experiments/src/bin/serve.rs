@@ -1,0 +1,59 @@
+//! Campaign-as-a-service entry point: binds the fleet HTTP server and
+//! serves forever.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--cache-dir results/cache] [--cache-cap 64]
+//! ```
+//!
+//! Prints one `listening on http://<addr>` line to stdout once bound
+//! (with `--addr` port `0`, that line is how callers learn the real
+//! port), then serves until killed. Endpoints:
+//!
+//! * `POST /campaign` — body `{"os": "Win95", "cap": 200, ...}`; runs
+//!   (or serves from cache / coalesces onto) that campaign and returns
+//!   the full report JSON.
+//! * `GET /campaign/<fingerprint>` — a completed campaign by content
+//!   address.
+//! * `GET /metrics` — serving counters.
+
+use ballista::server::{Server, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        cache_dir: experiments::results_dir().join("cache"),
+        cache_capacity: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--cache-dir" => cfg.cache_dir = value("--cache-dir").into(),
+            "--cache-cap" => {
+                cfg.cache_capacity = value("--cache-cap")
+                    .parse()
+                    .expect("--cache-cap takes an entry count");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-cap N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = Server::bind(&cfg).expect("bind campaign server");
+    let addr = server.local_addr().expect("bound address");
+    println!("listening on http://{addr}");
+    std::io::stdout().flush().expect("stdout");
+    eprintln!(
+        "cache dir {}, memory front {} entries",
+        cfg.cache_dir.display(),
+        cfg.cache_capacity
+    );
+    server.run().expect("campaign server accept loop");
+}

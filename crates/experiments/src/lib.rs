@@ -17,10 +17,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bench;
+
 use ballista::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use ballista::telemetry::{chrome_trace_bytes, Hub, TelemetryConfig};
 use report::MultiOsResults;
-use serde::Serialize;
 use sim_kernel::variant::OsVariant;
 use std::fs;
 use std::io::IsTerminal;
@@ -48,47 +49,6 @@ fn cache_path(cap: usize) -> PathBuf {
     results_dir().join(format!("campaign-cap{cap}.json"))
 }
 
-/// One variant's timing row in `BENCH_campaign.json`.
-#[derive(Debug, Clone, Serialize)]
-struct VariantBench {
-    os: String,
-    wall_ms: f64,
-    cases: usize,
-    cases_per_sec: f64,
-    boots: u64,
-    restores: u64,
-    restores_fast: u64,
-    restores_full: u64,
-    replayed_cases: usize,
-}
-
-/// A measured before/after comparison: the same campaign run once with
-/// legacy machine provisioning (full boot per case, eagerly zero-filled
-/// regions — the pre-snapshot cost model) and once with the current
-/// engine. Both runs produce bit-identical tallies; only the wall-clock
-/// differs.
-#[derive(Debug, Clone, Serialize)]
-struct Calibration {
-    os: String,
-    cap: usize,
-    legacy_wall_ms: f64,
-    engine_wall_ms: f64,
-    speedup: f64,
-    tallies_identical: bool,
-}
-
-/// The `BENCH_campaign.json` artifact.
-#[derive(Debug, Clone, Serialize)]
-struct CampaignBench {
-    total_wall_ms: f64,
-    total_cases: usize,
-    cases_per_sec: f64,
-    variant_fan_out: usize,
-    per_campaign_parallelism: usize,
-    variants: Vec<VariantBench>,
-    calibration: Calibration,
-}
-
 /// Divides the machine's cores between variant-level fan-out and
 /// per-campaign workers: `(concurrent variants, workers per campaign)`.
 fn split_parallelism(variants: usize) -> (usize, usize) {
@@ -100,7 +60,7 @@ fn split_parallelism(variants: usize) -> (usize, usize) {
 /// Runs one campaign in legacy provisioning mode and once with the
 /// current engine, and reports the measured speedup. Runs strictly after
 /// the main campaigns (the legacy switch is process-wide).
-fn calibrate_speedup(cap: usize) -> Calibration {
+fn calibrate_speedup(cap: usize) -> bench::Calibration {
     let os = OsVariant::Linux;
     let cfg = CampaignConfig {
         cap,
@@ -118,7 +78,7 @@ fn calibrate_speedup(cap: usize) -> Calibration {
     let t1 = Instant::now();
     let engine = run_campaign(os, &CampaignConfig { parallelism: 0, ..cfg });
     let engine_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
-    Calibration {
+    bench::Calibration {
         os: os.short_name().to_owned(),
         cap,
         legacy_wall_ms,
@@ -228,41 +188,25 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
     telemetry.finish();
     let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let total_cases: usize = reports.iter().map(|r| r.total_cases).sum();
-    let bench = CampaignBench {
+    let calibration = calibrate_speedup(cap.min(100));
+    eprintln!(
+        "  total: {} cases in {:.1}s; provisioning speedup vs legacy {:.1}x",
+        total_cases,
+        total_wall_ms / 1e3,
+        calibration.speedup
+    );
+    let artifact = bench::CampaignBench {
         total_wall_ms,
         total_cases,
         cases_per_sec: total_cases as f64 / (total_wall_ms / 1e3).max(1e-9),
         variant_fan_out: fan_out,
         per_campaign_parallelism: per_campaign,
-        variants: reports
-            .iter()
-            .map(|r| {
-                let s = r.stats.unwrap_or_default();
-                VariantBench {
-                    os: r.os.short_name().to_owned(),
-                    wall_ms: s.wall_ms,
-                    cases: r.total_cases,
-                    cases_per_sec: s.cases_per_sec,
-                    boots: s.boots,
-                    restores: s.restores,
-                    restores_fast: s.restores_fast,
-                    restores_full: s.restores_full,
-                    replayed_cases: s.replayed_cases,
-                }
-            })
-            .collect(),
-        calibration: calibrate_speedup(cap.min(100)),
+        variants: reports.iter().map(bench::VariantBench::from_report).collect(),
+        calibration: Some(calibration),
+        // A prior fleet_bench's serving section survives the rewrite.
+        serve: bench::load().and_then(|b| b.serve),
     };
-    eprintln!(
-        "  total: {} cases in {:.1}s; provisioning speedup vs legacy {:.1}x",
-        total_cases,
-        total_wall_ms / 1e3,
-        bench.calibration.speedup
-    );
-    write_artifact(
-        "BENCH_campaign.json",
-        &serde_json::to_string_pretty(&bench).expect("serializable"),
-    );
+    bench::store(&artifact);
     let warnings: Vec<String> = reports
         .iter()
         .flat_map(|r| {

@@ -99,6 +99,15 @@ impl OsVariant {
             OsVariant::WinCe => "wince",
         }
     }
+
+    /// Inverse of [`OsVariant::short_name`]: resolves a short
+    /// identifier (as used in reports, CSV output and CLI flags) back
+    /// to its variant. `None` for anything that is not exactly a short
+    /// name.
+    #[must_use]
+    pub fn from_short_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|v| v.short_name() == name)
+    }
 }
 
 impl fmt::Display for OsVariant {
