@@ -424,6 +424,15 @@ pub struct CampaignReport {
     /// partial. Downstream tables must flag such data.
     #[serde(default, skip_serializing_if = "is_false")]
     pub degraded: bool,
+    /// `true` when the fleet supervisor fell below full process-worker
+    /// execution (worker spawn failure, quarantined slots, or a shard's
+    /// retry budget exhausting) and some shards ran on the in-process
+    /// pool instead. Unlike [`degraded`](Self::degraded), the tallies
+    /// are still **complete and bit-identical to serial** — this marker
+    /// plus the warnings only record that the process isolation was
+    /// lost.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub fleet_degraded: bool,
 }
 
 fn is_false(b: &bool) -> bool {
@@ -995,6 +1004,7 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         stats: Some(stats),
         warnings,
         degraded,
+        fleet_degraded: false,
     }
 }
 
@@ -1256,6 +1266,7 @@ pub fn run_campaign_journaled(
         stats: Some(stats),
         warnings,
         degraded: false,
+        fleet_degraded: false,
     })
 }
 
@@ -1344,6 +1355,7 @@ mod tests {
             stats: None,
             warnings: Vec::new(),
             degraded: false,
+            fleet_degraded: false,
         };
         assert!(report.total_cases > 0);
         assert!(report.catastrophic_muts().is_empty());

@@ -19,23 +19,49 @@
 //! cases whose outcome could depend on accumulated residue. The fleet
 //! path therefore inherits the parallel engine's bit-identity argument
 //! wholesale; the only new claim is the trivial one that partitioning a
-//! set of independent jobs does not change the jobs.
+//! set of independent jobs does not change the jobs — and, with the
+//! supervisor, that *re-executing* an independent job after a worker
+//! death cannot change it either (a shard is a pure function of its
+//! spec).
 //!
-//! # Process-shape protocol
+//! # Process supervision
 //!
-//! Workers are threads today, but the shard boundary is a wire
-//! protocol, not a function call: each [`ShardSpec`] is serialized
-//! with [`ShardSpec::to_wire`], crosses to the worker as bytes, and the
-//! [`ShardResult`] comes back the same way — the in-process pool
-//! round-trips both for real, so promoting workers to remote processes
-//! is a transport change, not a redesign. Everything a worker needs is
-//! in the spec (variant + config + MuT index range); everything the
-//! coordinator needs is in the result (per-MuT packed records, fuel
-//! side channel, quarantine warnings).
+//! With [`FleetConfig::process`] set, shards execute on **supervised
+//! worker processes** (the `fleet_worker` binary, or whatever
+//! `BALLISTA_WORKER_CMD` names) speaking a length-prefixed frame
+//! protocol over stdin/stdout: the supervisor sends [`ShardSpec`] wire
+//! bytes, the worker streams per-MuT heartbeat frames while it works
+//! and finishes with [`ShardResult`] wire bytes. The supervisor tracks
+//! every worker with a **deterministic heartbeat deadline** derived
+//! from the campaign's fuel budget (host wall-clock is consulted only
+//! at this supervision boundary, never inside the engine), and on
+//! worker death, hang, or malformed reply it requeues the shard with
+//! bounded exponential backoff onto a healthy worker, quarantining a
+//! slot after K consecutive failures. When no worker survives — or no
+//! worker binary can be found at all — the campaign **degrades
+//! gracefully to the in-process thread pool** and completes with a
+//! `fleet_degraded` marker and PARTIAL-DATA-style warnings instead of
+//! aborting. None of this can change a tally bit: supervision is pure
+//! control plane, and the merge consumes the same records no matter
+//! which worker produced them on which attempt.
+//!
+//! # Fault injection
+//!
+//! Workers honor env-latched faults so chaos tests and CI can kill
+//! them deterministically: `BALLISTA_FLEET_FAULT=die:N` exits the
+//! process when its Nth shard arrives, `garble:N` replies to the Nth
+//! shard with an unparseable result frame, `hang:N` goes silent
+//! forever on the Nth shard. `BALLISTA_FLEET_SHARD_DELAY_MS` stretches
+//! every shard (widening the window for real SIGKILLs), and
+//! `BALLISTA_FLEET_DEADLINE_MS` overrides the heartbeat deadline so
+//! hang detection is testable in milliseconds.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::io::{BufReader, Read, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use sim_kernel::variant::OsVariant;
 
@@ -60,6 +86,22 @@ pub struct FleetConfig {
     /// available parallelism, like [`CampaignConfig::workers`].
     #[serde(default)]
     pub workers: usize,
+    /// Execute shards on supervised worker **processes** instead of
+    /// in-process threads. Workers are discovered via the
+    /// `BALLISTA_WORKER_CMD` env var (whitespace-split command line) or
+    /// a `fleet_worker` binary next to the current executable; when no
+    /// worker can be spawned the campaign degrades to the thread pool.
+    #[serde(default)]
+    pub process: bool,
+    /// Per-shard retry budget after worker failures before the
+    /// supervisor executes the shard in-process. `0` (the default)
+    /// resolves to 3.
+    #[serde(default)]
+    pub max_shard_retries: u32,
+    /// Consecutive failures after which a worker slot is quarantined
+    /// (no further respawns into it). `0` (the default) resolves to 2.
+    #[serde(default)]
+    pub worker_quarantine_after: u32,
 }
 
 impl FleetConfig {
@@ -82,6 +124,24 @@ impl FleetConfig {
             n => n,
         };
         want.clamp(1, muts.max(1))
+    }
+
+    /// The effective per-shard retry budget (`0` → 3).
+    #[must_use]
+    pub fn effective_max_shard_retries(&self) -> u32 {
+        match self.max_shard_retries {
+            0 => 3,
+            n => n,
+        }
+    }
+
+    /// The effective consecutive-failure quarantine threshold (`0` → 2).
+    #[must_use]
+    pub fn effective_quarantine_after(&self) -> u32 {
+        match self.worker_quarantine_after {
+            0 => 2,
+            n => n,
+        }
     }
 }
 
@@ -118,7 +178,9 @@ impl ShardSpec {
     ///
     /// # Errors
     ///
-    /// Returns the parse error text for malformed bytes.
+    /// Returns the parse error text for malformed bytes. Never panics —
+    /// adversarial bytes are an expected input at a process boundary
+    /// (asserted by the `wire_hardening` proptest).
     pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
         serde_json::from_slice(bytes).map_err(|e| e.to_string())
     }
@@ -165,11 +227,125 @@ impl ShardResult {
     ///
     /// # Errors
     ///
-    /// Returns the parse error text for malformed bytes.
+    /// Returns the parse error text for malformed bytes. Never panics —
+    /// adversarial bytes are an expected input at a process boundary
+    /// (asserted by the `wire_hardening` proptest).
     pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
         serde_json::from_slice(bytes).map_err(|e| e.to_string())
     }
+
+    /// Total executed cases recorded in this shard (for progress).
+    fn case_count(&self) -> u64 {
+        self.muts
+            .iter()
+            .flatten()
+            .map(|m| m.records.len() as u64)
+            .sum()
+    }
 }
+
+// ---------------------------------------------------------------------
+// Frame protocol (supervisor <-> worker process)
+// ---------------------------------------------------------------------
+
+/// Frame tag: a [`ShardSpec`] wire payload (supervisor → worker).
+pub const FRAME_SPEC: u8 = b'S';
+/// Frame tag: a [`ShardResult`] wire payload (worker → supervisor).
+pub const FRAME_RESULT: u8 = b'R';
+/// Frame tag: a [`Heartbeat`] payload (worker → supervisor), emitted
+/// after every completed MuT so the supervisor can tell a slow shard
+/// from a wedged worker.
+pub const FRAME_HEARTBEAT: u8 = b'H';
+
+/// Upper bound on a frame payload — anything larger is a protocol
+/// fault, not a plausible shard.
+const MAX_FRAME_LEN: usize = 1 << 28;
+
+/// Worker liveness report: cumulative progress within the shard the
+/// worker is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Heartbeat {
+    /// MuTs of the current shard completed so far.
+    pub muts_done: u64,
+    /// Clean-pass cases of the current shard executed so far.
+    pub cases_done: u64,
+}
+
+/// Writes one `tag | u32-LE length | payload` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (a broken pipe here means the
+/// peer died).
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too large")
+    })?;
+    w.write_all(&[tag])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` is a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns an error for a truncated frame, an oversized length prefix,
+/// or any underlying I/O failure — never panics, whatever the bytes.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    if r.read(&mut tag)? == 0 {
+        return Ok(None);
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+// ---------------------------------------------------------------------
+// Env-latched fault injection (read by the worker process)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Die,
+    Garble,
+    Hang,
+}
+
+fn parse_fault() -> Option<(FaultKind, u64)> {
+    let latch = std::env::var("BALLISTA_FLEET_FAULT").ok()?;
+    let (kind, nth) = latch.split_once(':')?;
+    let nth = nth.parse().ok()?;
+    let kind = match kind {
+        "die" => FaultKind::Die,
+        "garble" => FaultKind::Garble,
+        "hang" => FaultKind::Hang,
+        _ => return None,
+    };
+    Some((kind, nth))
+}
+
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
 
 /// Executes one shard: the clean pass for every MuT in the spec's
 /// range, under the engines' shared quarantine fence. This is the whole
@@ -177,6 +353,18 @@ impl ShardResult {
 /// a transport.
 #[must_use]
 pub fn execute_shard(spec: &ShardSpec) -> ShardResult {
+    execute_shard_observed(spec, &mut |_| {})
+}
+
+/// [`execute_shard`] with a per-MuT progress callback (the worker loop
+/// turns each callback into a heartbeat frame).
+pub fn execute_shard_observed(
+    spec: &ShardSpec,
+    on_progress: &mut dyn FnMut(Heartbeat),
+) -> ShardResult {
+    if let Some(delay) = env_ms("BALLISTA_FLEET_SHARD_DELAY_MS") {
+        std::thread::sleep(delay);
+    }
     let registry = catalog::registry_for(spec.os);
     let muts = catalog::catalog_for(spec.os);
     let end = spec.mut_end.min(muts.len());
@@ -186,6 +374,7 @@ pub fn execute_shard(spec: &ShardSpec) -> ShardResult {
         warnings: Vec::new(),
         quarantine_retries: 0,
     };
+    let mut cases_done = 0u64;
     for m in muts.iter().take(end).skip(spec.mut_start) {
         let prep = prepare(&registry, m, &spec.cfg);
         telemetry::on_mut_begin(prep.plan.cases.len() as u64);
@@ -199,13 +388,639 @@ pub fn execute_shard(spec: &ShardSpec) -> ShardResult {
             &mut retries,
         );
         out.quarantine_retries += retries;
+        cases_done += clean.as_ref().map_or(0, |c| c.records.len() as u64);
         out.muts.push(clean.map(|c| WireCleanMut {
             records: c.records,
             fuel: c.fuel,
         }));
+        on_progress(Heartbeat {
+            muts_done: out.muts.len() as u64,
+            cases_done,
+        });
     }
     telemetry::on_shard_executed();
     out
+}
+
+/// The worker-process main loop: reads [`FRAME_SPEC`] frames off
+/// `input`, executes each shard, streams [`FRAME_HEARTBEAT`] frames
+/// while working, and answers with a [`FRAME_RESULT`] frame — until a
+/// clean EOF (the supervisor closing the pipe is the shutdown signal).
+///
+/// Honors the env-latched fault injections described in the module
+/// docs, so a test or CI job can make this worker die, garble, or hang
+/// on an exact shard.
+///
+/// # Errors
+///
+/// Returns an error for malformed input frames or a broken output pipe;
+/// the `fleet_worker` binary maps that to a nonzero exit.
+pub fn worker_loop(input: impl Read, output: impl Write) -> std::io::Result<()> {
+    let fault = parse_fault();
+    let mut input = BufReader::new(input);
+    let mut output = output;
+    let mut shard_no = 0u64;
+    loop {
+        let Some((tag, payload)) = read_frame(&mut input)? else {
+            return Ok(());
+        };
+        if tag != FRAME_SPEC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("worker expected a spec frame, got tag {tag:#x}"),
+            ));
+        }
+        shard_no += 1;
+        match fault {
+            Some((FaultKind::Die, nth)) if shard_no == nth => std::process::exit(9),
+            Some((FaultKind::Hang, nth)) if shard_no == nth => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            _ => {}
+        }
+        let spec = ShardSpec::from_wire(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let result = {
+            let out = &mut output;
+            execute_shard_observed(&spec, &mut |hb| {
+                let payload = serde_json::to_vec(&hb).expect("heartbeat serializes");
+                // A broken pipe surfaces on the result frame below; a
+                // missed heartbeat on its own is not fatal.
+                let _ = write_frame(out, FRAME_HEARTBEAT, &payload);
+            })
+        };
+        if let Some((FaultKind::Garble, nth)) = fault {
+            if shard_no == nth {
+                write_frame(&mut output, FRAME_RESULT, b"\xff{definitely not a result")?;
+                continue;
+            }
+        }
+        write_frame(&mut output, FRAME_RESULT, &result.to_wire())?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live progress
+// ---------------------------------------------------------------------
+
+/// Wait-free live progress of one fleet campaign, updated by the
+/// supervisor (or the thread pool) and read by `GET /campaign/<fp>`
+/// while the campaign is in flight.
+#[derive(Debug, Default)]
+pub struct FleetProgress {
+    /// Total shards in the campaign.
+    pub shards_total: AtomicU64,
+    /// Shards merged so far.
+    pub shards_done: AtomicU64,
+    /// Clean-pass cases executed so far (heartbeat-granular for process
+    /// workers, shard-granular for threads).
+    pub cases_done: AtomicU64,
+    /// Worker processes that died, hung, or replied with garbage.
+    pub worker_deaths: AtomicU64,
+    /// Shard re-executions after worker failures.
+    pub shard_retries: AtomicU64,
+    /// Worker processes currently alive.
+    pub workers_live: AtomicU64,
+    /// Whether the campaign has degraded below full process execution.
+    pub degraded: AtomicBool,
+}
+
+/// Point-in-time serializable copy of a [`FleetProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FleetProgressSnapshot {
+    /// Total shards in the campaign.
+    pub shards_total: u64,
+    /// Shards merged so far.
+    pub shards_done: u64,
+    /// Clean-pass cases executed so far.
+    pub cases_done: u64,
+    /// Worker deaths observed so far.
+    pub worker_deaths: u64,
+    /// Shard retries so far.
+    pub shard_retries: u64,
+    /// Worker processes currently alive.
+    pub workers_live: u64,
+    /// Whether execution has degraded below full process workers.
+    pub degraded: bool,
+}
+
+impl FleetProgress {
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetProgressSnapshot {
+        FleetProgressSnapshot {
+            shards_total: self.shards_total.load(Ordering::Relaxed),
+            shards_done: self.shards_done.load(Ordering::Relaxed),
+            cases_done: self.cases_done.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            shard_retries: self.shard_retries.load(Ordering::Relaxed),
+            workers_live: self.workers_live.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Latches the degraded flag and counts the degradation (once).
+    fn degrade(&self) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            telemetry::on_fleet_degraded();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------
+
+/// PIDs of all currently-live supervised workers, for tests that aim
+/// real signals at them.
+static WORKER_PIDS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+/// Snapshot of the live supervised-worker PIDs across all campaigns in
+/// this process — the chaos tests use it to aim real `SIGKILL`s.
+#[must_use]
+pub fn live_worker_pids() -> Vec<u32> {
+    WORKER_PIDS.lock().expect("worker pid registry poisoned").clone()
+}
+
+/// The heartbeat deadline: the longest frame-to-frame silence the
+/// supervisor tolerates before declaring a worker hung.
+///
+/// Derived deterministically from the campaign shape, not measured: a
+/// worker heartbeats after every MuT, a MuT is at most `cap` cases, and
+/// a case is fuel-capped at the budget — so the bound assumes a
+/// pessimistic 10k fuel units per host millisecond and adds the
+/// env-latched shard delay when present. `BALLISTA_FLEET_DEADLINE_MS`
+/// overrides the whole computation for tests.
+fn heartbeat_deadline(cfg: &CampaignConfig) -> Duration {
+    if let Some(d) = env_ms("BALLISTA_FLEET_DEADLINE_MS") {
+        return d + env_ms("BALLISTA_FLEET_SHARD_DELAY_MS").unwrap_or(Duration::ZERO);
+    }
+    let fuel = cfg.effective_fuel_budget();
+    let cap = cfg.cap.max(1) as u64;
+    let ms = 2_000 + cap.saturating_mul(fuel) / 10_000;
+    Duration::from_millis(ms.clamp(2_000, 120_000))
+        + env_ms("BALLISTA_FLEET_SHARD_DELAY_MS").unwrap_or(Duration::ZERO)
+}
+
+/// Bounded exponential backoff before a failed shard's next attempt:
+/// 10ms doubling per attempt, capped at 640ms.
+fn backoff_delay(attempt: u32) -> Duration {
+    let ms = 10u64.saturating_mul(1 << attempt.saturating_sub(1).min(6));
+    Duration::from_millis(ms.min(640))
+}
+
+/// Resolves the worker command line: `BALLISTA_WORKER_CMD` wins, else a
+/// `fleet_worker` binary next to (or one directory above) the current
+/// executable. `None` means process workers are unavailable and the
+/// campaign degrades to threads.
+fn worker_command() -> Option<Vec<String>> {
+    if let Ok(cmd) = std::env::var("BALLISTA_WORKER_CMD") {
+        let parts: Vec<String> = cmd.split_whitespace().map(str::to_owned).collect();
+        return if parts.is_empty() { None } else { Some(parts) };
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for d in [Some(dir), dir.parent()].into_iter().flatten() {
+        let cand = d.join("fleet_worker");
+        if cand.is_file() {
+            return Some(vec![cand.to_string_lossy().into_owned()]);
+        }
+    }
+    None
+}
+
+/// A live worker process plus the channel its reader thread feeds.
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    frames: Receiver<std::io::Result<(u8, Vec<u8>)>>,
+    pid: u32,
+}
+
+impl WorkerHandle {
+    fn spawn(cmd: &[String]) -> std::io::Result<WorkerHandle> {
+        let mut child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "worker stdout missing")
+        })?;
+        let pid = child.id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        // The reader thread turns the pipe into timed frames: it ends
+        // at EOF (dropping `tx`, which surfaces as a disconnect) or
+        // after forwarding a read error.
+        std::thread::spawn(move || {
+            let mut stdout = BufReader::new(stdout);
+            loop {
+                match read_frame(&mut stdout) {
+                    Ok(Some(frame)) => {
+                        if tx.send(Ok(frame)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        });
+        WORKER_PIDS
+            .lock()
+            .expect("worker pid registry poisoned")
+            .push(pid);
+        Ok(WorkerHandle {
+            child,
+            stdin,
+            frames: rx,
+            pid,
+        })
+    }
+
+    /// Reaps the process: graceful (close stdin, wait for the EOF exit)
+    /// or forced (SIGKILL).
+    fn reap(mut self, graceful: bool) {
+        drop(self.stdin.take());
+        if !graceful {
+            let _ = self.child.kill();
+        }
+        let _ = self.child.wait();
+        WORKER_PIDS
+            .lock()
+            .expect("worker pid registry poisoned")
+            .retain(|&p| p != self.pid);
+    }
+}
+
+/// One queued shard attempt.
+struct ShardJob {
+    idx: usize,
+    attempts: u32,
+    ready_at: Instant,
+}
+
+struct QueueInner {
+    pending: Vec<ShardJob>,
+    completed: usize,
+    total: usize,
+}
+
+/// The supervisor's work queue: shards waiting for a worker, including
+/// failed shards serving out their backoff.
+struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+impl ShardQueue {
+    fn new(total: usize) -> ShardQueue {
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                pending: (0..total)
+                    .map(|idx| ShardJob {
+                        idx,
+                        attempts: 0,
+                        ready_at: Instant::now(),
+                    })
+                    .collect(),
+                completed: 0,
+                total,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a job is ready (its backoff has elapsed) or the
+    /// campaign is complete (`None`). Lowest shard index wins ties so
+    /// execution order stays as close to catalog order as failures
+    /// allow.
+    fn pop(&self) -> Option<ShardJob> {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        loop {
+            if g.completed >= g.total {
+                return None;
+            }
+            let now = Instant::now();
+            let ready = g
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.ready_at <= now)
+                .min_by_key(|(_, j)| j.idx)
+                .map(|(pos, _)| pos);
+            if let Some(pos) = ready {
+                return Some(g.pending.swap_remove(pos));
+            }
+            let wait = g
+                .pending
+                .iter()
+                .map(|j| j.ready_at.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(50))
+                .clamp(Duration::from_millis(1), Duration::from_millis(50));
+            g = self
+                .cv
+                .wait_timeout(g, wait)
+                .expect("shard queue poisoned")
+                .0;
+        }
+    }
+
+    fn push(&self, job: ShardJob) {
+        self.inner
+            .lock()
+            .expect("shard queue poisoned")
+            .pending
+            .push(job);
+        self.cv.notify_all();
+    }
+
+    fn complete(&self) {
+        self.inner.lock().expect("shard queue poisoned").completed += 1;
+        self.cv.notify_all();
+    }
+
+    /// Drains whatever is still pending (used after all slots retire).
+    fn drain_pending(&self) -> Vec<ShardJob> {
+        std::mem::take(&mut self.inner.lock().expect("shard queue poisoned").pending)
+    }
+}
+
+/// Why a worker attempt on a shard failed.
+enum WorkerFailure {
+    Died(String),
+    Hung,
+    Malformed(String),
+}
+
+/// Shared context for the supervisor's slot threads.
+struct Supervisor<'a> {
+    specs: &'a [ShardSpec],
+    wire: &'a [Vec<u8>],
+    slots: &'a [Mutex<Option<ShardResult>>],
+    queue: ShardQueue,
+    progress: &'a FleetProgress,
+    warnings: &'a Mutex<Vec<String>>,
+    cmd: Vec<String>,
+    deadline: Duration,
+    max_retries: u32,
+    quarantine_after: u32,
+}
+
+impl Supervisor<'_> {
+    fn warn(&self, text: String) {
+        self.warnings
+            .lock()
+            .expect("fleet warnings poisoned")
+            .push(text);
+    }
+
+    /// Stores a completed shard and advances the campaign.
+    fn store(&self, idx: usize, result: ShardResult, hb_cases_seen: u64) {
+        let cases = result.case_count();
+        self.progress
+            .cases_done
+            .fetch_add(cases.saturating_sub(hb_cases_seen), Ordering::Relaxed);
+        self.progress.shards_done.fetch_add(1, Ordering::Relaxed);
+        *self.slots[idx].lock().expect("shard slot poisoned") = Some(result);
+        self.queue.complete();
+    }
+
+    /// Waits for the current shard's result, crediting heartbeats
+    /// against the deadline. Returns the raw result payload and the
+    /// heartbeat case count already credited to progress.
+    fn await_result(
+        &self,
+        worker: &WorkerHandle,
+        hb_cases: &mut u64,
+    ) -> Result<Vec<u8>, WorkerFailure> {
+        loop {
+            match worker.frames.recv_timeout(self.deadline) {
+                Ok(Ok((FRAME_HEARTBEAT, payload))) => {
+                    if let Ok(hb) = serde_json::from_slice::<Heartbeat>(&payload) {
+                        let delta = hb.cases_done.saturating_sub(*hb_cases);
+                        *hb_cases = hb.cases_done;
+                        self.progress.cases_done.fetch_add(delta, Ordering::Relaxed);
+                    }
+                }
+                Ok(Ok((FRAME_RESULT, payload))) => return Ok(payload),
+                Ok(Ok((tag, _))) => {
+                    return Err(WorkerFailure::Malformed(format!(
+                        "unexpected frame tag {tag:#x}"
+                    )))
+                }
+                Ok(Err(e)) => return Err(WorkerFailure::Malformed(e.to_string())),
+                Err(RecvTimeoutError::Timeout) => return Err(WorkerFailure::Hung),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(WorkerFailure::Died("worker pipe closed".to_owned()))
+                }
+            }
+        }
+    }
+
+    /// One slot's lifecycle: keep a worker process alive, feed it
+    /// shards, and handle its failures until the campaign completes or
+    /// the slot quarantines itself.
+    fn slot_loop(&self) {
+        let mut worker: Option<WorkerHandle> = None;
+        let mut consecutive = 0u32;
+        let mut spawned_before = false;
+        while let Some(mut job) = self.queue.pop() {
+            // Ensure a live worker in this slot.
+            if worker.is_none() {
+                match WorkerHandle::spawn(&self.cmd) {
+                    Ok(h) => {
+                        if spawned_before {
+                            telemetry::on_worker_respawn();
+                        }
+                        spawned_before = true;
+                        self.progress.workers_live.fetch_add(1, Ordering::Relaxed);
+                        worker = Some(h);
+                    }
+                    Err(e) => {
+                        consecutive += 1;
+                        self.warn(format!("fleet supervisor could not spawn a worker: {e}"));
+                        telemetry::on_shard_requeue();
+                        self.queue.push(job);
+                        if consecutive >= self.quarantine_after {
+                            telemetry::on_worker_quarantined();
+                            return;
+                        }
+                        std::thread::sleep(backoff_delay(consecutive));
+                        continue;
+                    }
+                }
+            }
+            let h = worker.as_ref().expect("worker just ensured");
+            let pid = h.pid;
+            let mut hb_cases = 0u64;
+            let sent = worker
+                .as_mut()
+                .and_then(|h| h.stdin.as_mut())
+                .is_some_and(|stdin| write_frame(stdin, FRAME_SPEC, &self.wire[job.idx]).is_ok());
+            let outcome = if sent {
+                self.await_result(worker.as_ref().expect("worker alive"), &mut hb_cases)
+            } else {
+                Err(WorkerFailure::Died("worker stdin closed".to_owned()))
+            };
+            let failure = match outcome {
+                Ok(payload) => match ShardResult::from_wire(&payload) {
+                    Ok(result)
+                        if result.mut_start == self.specs[job.idx].mut_start
+                            && result.muts.len()
+                                == self.specs[job.idx].mut_end - self.specs[job.idx].mut_start =>
+                    {
+                        telemetry::on_shard_executed();
+                        self.store(job.idx, result, hb_cases);
+                        consecutive = 0;
+                        continue;
+                    }
+                    Ok(_) => {
+                        telemetry::on_wire_protocol_fault();
+                        WorkerFailure::Malformed("result does not match its spec".to_owned())
+                    }
+                    Err(e) => {
+                        telemetry::on_wire_protocol_fault();
+                        WorkerFailure::Malformed(e)
+                    }
+                },
+                Err(f) => f,
+            };
+            // The worker failed this shard: count the death, roll back
+            // its partial progress, and decide the shard's future.
+            self.progress
+                .cases_done
+                .fetch_sub(hb_cases, Ordering::Relaxed);
+            if let Some(h) = worker.take() {
+                h.reap(false);
+                self.progress.workers_live.fetch_sub(1, Ordering::Relaxed);
+            }
+            telemetry::on_worker_death();
+            self.progress.worker_deaths.fetch_add(1, Ordering::Relaxed);
+            consecutive += 1;
+            job.attempts += 1;
+            let what = match &failure {
+                WorkerFailure::Died(e) => format!("died ({e})"),
+                WorkerFailure::Hung => format!(
+                    "missed its {}ms heartbeat deadline",
+                    self.deadline.as_millis()
+                ),
+                WorkerFailure::Malformed(e) => format!("returned a malformed reply ({e})"),
+            };
+            if job.attempts > self.max_retries {
+                // Retry budget exhausted: last resort is the supervisor
+                // executing the shard in-process — degraded, never
+                // aborted.
+                self.warn(format!(
+                    "fleet worker pid {pid} {what} on shard {}; retry budget exhausted, \
+                     executing in-process",
+                    job.idx
+                ));
+                self.progress.degrade();
+                let result = execute_shard(&self.specs[job.idx]);
+                self.store(job.idx, result, 0);
+            } else {
+                let backoff = backoff_delay(job.attempts);
+                self.warn(format!(
+                    "fleet worker pid {pid} {what} on shard {}; requeued with {}ms backoff \
+                     (attempt {} of {})",
+                    job.idx,
+                    backoff.as_millis(),
+                    job.attempts,
+                    self.max_retries,
+                ));
+                telemetry::on_shard_retry(backoff.as_millis() as u64);
+                telemetry::on_shard_requeue();
+                self.progress.shard_retries.fetch_add(1, Ordering::Relaxed);
+                job.ready_at = Instant::now() + backoff;
+                self.queue.push(job);
+            }
+            if consecutive >= self.quarantine_after {
+                self.warn(format!(
+                    "fleet supervisor quarantined a worker slot after {consecutive} \
+                     consecutive failures"
+                ));
+                telemetry::on_worker_quarantined();
+                return;
+            }
+        }
+        if let Some(h) = worker.take() {
+            h.reap(true);
+            self.progress.workers_live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------
+
+/// Executes `todo` (indices into `specs`) on an in-process thread pool
+/// that still round-trips the wire protocol — with hardened parsing: a
+/// malformed buffer counts a protocol fault and falls back to the typed
+/// value instead of panicking.
+fn run_shards_threaded(
+    specs: &[ShardSpec],
+    todo: &[usize],
+    workers: usize,
+    slots: &[Mutex<Option<ShardResult>>],
+    counters: &Arc<exec::stats::Counters>,
+    progress: &FleetProgress,
+    warnings: &Mutex<Vec<String>>,
+) {
+    let next = AtomicUsize::new(0);
+    let workers = workers.min(todo.len()).max(1);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    exec::stats::install_sink(Arc::clone(counters));
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = todo.get(t) else { break };
+                        let spec = match ShardSpec::from_wire(&specs[i].to_wire()) {
+                            Ok(spec) => spec,
+                            Err(e) => {
+                                telemetry::on_wire_protocol_fault();
+                                warnings.lock().expect("fleet warnings poisoned").push(
+                                    format!("shard {i} spec failed the wire round-trip ({e}); \
+                                             executing from the typed spec"),
+                                );
+                                specs[i].clone()
+                            }
+                        };
+                        let result = execute_shard(&spec);
+                        let result = match ShardResult::from_wire(&result.to_wire()) {
+                            Ok(result) => result,
+                            Err(e) => {
+                                telemetry::on_wire_protocol_fault();
+                                warnings.lock().expect("fleet warnings poisoned").push(
+                                    format!("shard {i} result failed the wire round-trip ({e}); \
+                                             keeping the typed result"),
+                                );
+                                result
+                            }
+                        };
+                        progress
+                            .cases_done
+                            .fetch_add(result.case_count(), Ordering::Relaxed);
+                        progress.shards_done.fetch_add(1, Ordering::Relaxed);
+                        *slots[i].lock().expect("shard slot poisoned") = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("fleet worker panicked");
+        }
+    })
+    .expect("fleet scope panicked");
 }
 
 /// Runs the full campaign sharded across a worker pool, producing a
@@ -226,12 +1041,34 @@ pub fn execute_shard(spec: &ShardSpec) -> ShardResult {
 /// use sim_kernel::variant::OsVariant;
 ///
 /// let cfg = CampaignConfig { cap: 200, ..CampaignConfig::default() };
-/// let fleet = FleetConfig { shards: 8, workers: 2 };
+/// let fleet = FleetConfig { shards: 8, workers: 2, ..FleetConfig::default() };
 /// let report = run_campaign_fleet(OsVariant::Win95, &cfg, &fleet);
 /// println!("{} cases over 8 shards", report.total_cases);
 /// ```
 #[must_use]
 pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConfig) -> CampaignReport {
+    run_campaign_fleet_observed(os, cfg, fleet, None)
+}
+
+/// [`run_campaign_fleet`] with live progress: the supervisor (or the
+/// thread pool) updates `progress` as shards complete, so the serving
+/// layer can answer in-flight `GET /campaign/<fp>` requests with real
+/// shard/case counts.
+#[must_use]
+pub fn run_campaign_fleet_observed(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    fleet: &FleetConfig,
+    progress: Option<&FleetProgress>,
+) -> CampaignReport {
+    let own_progress;
+    let progress = match progress {
+        Some(p) => p,
+        None => {
+            own_progress = FleetProgress::default();
+            &own_progress
+        }
+    };
     let t0 = Instant::now();
     exec::stats::reset();
     let counters = Arc::new(exec::stats::Counters::default());
@@ -244,47 +1081,99 @@ pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConf
 
     let shard_count = fleet.effective_shards(muts.len());
     let workers = fleet.effective_workers().min(shard_count);
-    let specs: Vec<Vec<u8>> = (0..shard_count)
-        .map(|s| {
-            ShardSpec {
-                os,
-                cfg: *cfg,
-                mut_start: s * muts.len() / shard_count,
-                mut_end: (s + 1) * muts.len() / shard_count,
-                capture_fuel: tc.is_some(),
-            }
-            .to_wire()
+    progress
+        .shards_total
+        .store(shard_count as u64, Ordering::Relaxed);
+    let specs: Vec<ShardSpec> = (0..shard_count)
+        .map(|s| ShardSpec {
+            os,
+            cfg: *cfg,
+            mut_start: s * muts.len() / shard_count,
+            mut_end: (s + 1) * muts.len() / shard_count,
+            capture_fuel: tc.is_some(),
         })
         .collect();
 
-    // The in-process pool still speaks the wire protocol: specs go in
-    // as bytes, results come back as bytes, so the thread worker and a
-    // future remote worker run the identical code path.
     let result_slots: Vec<Mutex<Option<ShardResult>>> =
         specs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|_| {
-                    exec::stats::install_sink(Arc::clone(&counters));
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(wire_spec) = specs.get(i) else { break };
-                        let spec = ShardSpec::from_wire(wire_spec).expect("wire spec round-trips");
-                        let wire_result = execute_shard(&spec).to_wire();
-                        let result =
-                            ShardResult::from_wire(&wire_result).expect("wire result round-trips");
-                        *result_slots[i].lock().expect("shard slot poisoned") = Some(result);
+    let fleet_warnings = Mutex::new(Vec::new());
+
+    if fleet.process {
+        match worker_command() {
+            Some(cmd) => {
+                let wire: Vec<Vec<u8>> = specs.iter().map(ShardSpec::to_wire).collect();
+                let sup = Supervisor {
+                    specs: &specs,
+                    wire: &wire,
+                    slots: &result_slots,
+                    queue: ShardQueue::new(specs.len()),
+                    progress,
+                    warnings: &fleet_warnings,
+                    cmd,
+                    deadline: heartbeat_deadline(cfg),
+                    max_retries: fleet.effective_max_shard_retries(),
+                    quarantine_after: fleet.effective_quarantine_after(),
+                };
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| sup.slot_loop());
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("fleet worker panicked");
+                });
+                // Every slot retired (quarantine or spawn failure) with
+                // shards still pending: finish on the thread pool
+                // rather than abort.
+                let leftover: Vec<usize> =
+                    sup.queue.drain_pending().iter().map(|j| j.idx).collect();
+                if !leftover.is_empty() {
+                    fleet_warnings.lock().expect("fleet warnings poisoned").push(format!(
+                        "fleet degraded: no worker process survived; executing {} remaining \
+                         shard(s) on the in-process pool",
+                        leftover.len()
+                    ));
+                    progress.degrade();
+                    run_shards_threaded(
+                        &specs,
+                        &leftover,
+                        workers,
+                        &result_slots,
+                        &counters,
+                        progress,
+                        &fleet_warnings,
+                    );
+                }
+            }
+            None => {
+                fleet_warnings.lock().expect("fleet warnings poisoned").push(
+                    "fleet degraded: no worker binary found (set BALLISTA_WORKER_CMD or \
+                     install fleet_worker next to this executable); executing on the \
+                     in-process pool"
+                        .to_owned(),
+                );
+                progress.degrade();
+                let todo: Vec<usize> = (0..specs.len()).collect();
+                run_shards_threaded(
+                    &specs,
+                    &todo,
+                    workers,
+                    &result_slots,
+                    &counters,
+                    progress,
+                    &fleet_warnings,
+                );
+            }
         }
-    })
-    .expect("fleet scope panicked");
+    } else {
+        let todo: Vec<usize> = (0..specs.len()).collect();
+        run_shards_threaded(
+            &specs,
+            &todo,
+            workers,
+            &result_slots,
+            &counters,
+            progress,
+            &fleet_warnings,
+        );
+    }
 
     // Merge: place every MuT's records back at its catalog index. Shard
     // ranges partition the catalog, so this is a permutation-free
@@ -296,7 +1185,7 @@ pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConf
         let shard = slot
             .into_inner()
             .expect("shard slot poisoned")
-            .expect("every shard executed");
+            .expect("every shard executed or degraded to the pool");
         debug_assert_eq!(shard.mut_start, records.len(), "shards merge in catalog order");
         retries += shard.quarantine_retries;
         warnings.extend(shard.warnings);
@@ -307,6 +1196,7 @@ pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConf
             })
         }));
     }
+    warnings.extend(fleet_warnings.into_inner().expect("fleet warnings poisoned"));
     let degraded = records.iter().any(Option::is_none);
     let mut session = Session::new();
     let (tallies, replayed) = replay_pass(os, cfg, &preps, &records, &mut session, &mut tc);
@@ -340,5 +1230,6 @@ pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConf
         stats: Some(stats),
         warnings,
         degraded,
+        fleet_degraded: progress.degraded.load(Ordering::Relaxed),
     }
 }

@@ -49,7 +49,7 @@ use sim_kernel::variant::OsVariant;
 
 use crate::cache::ResultCache;
 use crate::campaign::{fingerprint, CampaignConfig, CampaignFingerprint};
-use crate::fleet::{run_campaign_fleet, FleetConfig};
+use crate::fleet::{run_campaign_fleet_observed, FleetConfig, FleetProgress};
 use crate::telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +94,12 @@ pub struct CampaignSpec {
     /// Fleet worker count; `0` → auto.
     #[serde(default)]
     pub workers: usize,
+    /// Execute shards on supervised worker processes (see
+    /// [`FleetConfig::process`]); off by default. Does not affect the
+    /// campaign fingerprint — process isolation is an execution detail,
+    /// not a different campaign.
+    #[serde(default)]
+    pub process: bool,
 }
 
 impl CampaignSpec {
@@ -110,6 +116,7 @@ impl CampaignSpec {
             fuel_budget: 0,
             shards: 0,
             workers: 0,
+            process: false,
         }
     }
 
@@ -133,6 +140,8 @@ impl CampaignSpec {
         FleetConfig {
             shards: self.shards,
             workers: self.workers,
+            process: self.process,
+            ..FleetConfig::default()
         }
     }
 }
@@ -185,10 +194,13 @@ pub struct ServerMetrics {
 }
 
 /// One in-flight campaign: the leader publishes the serialized report
-/// (or its panic) and wakes every coalesced follower.
+/// (or its panic) and wakes every coalesced follower. The supervisor
+/// feeds `progress` while the campaign runs, so `GET /campaign/<fp>`
+/// can answer with live shard/case counts instead of a bare `running`.
 struct InFlight {
     done: Mutex<Option<Result<Arc<Vec<u8>>, String>>>,
     cv: Condvar,
+    progress: Arc<FleetProgress>,
 }
 
 impl InFlight {
@@ -498,14 +510,28 @@ fn get_campaign(stream: &mut TcpStream, state: &State, request: &Request) -> io:
         .inflight
         .lock()
         .expect("inflight table poisoned")
-        .contains_key(&fp.as_u64());
-    if running {
+        .get(&fp.as_u64())
+        .map(|flight| Arc::clone(&flight.progress));
+    if let Some(progress) = running {
+        // Live progress for the in-flight campaign, fed by the fleet
+        // supervisor (or the thread pool) as shards complete.
+        let p = progress.snapshot();
+        let body = format!(
+            r#"{{"status":"running","shards_done":{},"shards_total":{},"cases_done":{},"worker_deaths":{},"shard_retries":{},"workers_live":{},"degraded":{}}}"#,
+            p.shards_done,
+            p.shards_total,
+            p.cases_done,
+            p.worker_deaths,
+            p.shard_retries,
+            p.workers_live,
+            p.degraded,
+        );
         respond(
             stream,
             202,
             "Accepted",
             &[],
-            br#"{"status":"running"}"#,
+            body.as_bytes(),
             request.keep_alive,
         )
     } else {
@@ -577,6 +603,7 @@ fn post_campaign(stream: &mut TcpStream, state: &State, request: &Request) -> io
                 let flight = Arc::new(InFlight {
                     done: Mutex::new(None),
                     cv: Condvar::new(),
+                    progress: Arc::new(FleetProgress::default()),
                 });
                 inflight.insert(fp.as_u64(), Arc::clone(&flight));
                 (flight, true)
@@ -586,8 +613,17 @@ fn post_campaign(stream: &mut TcpStream, state: &State, request: &Request) -> io
     let result = if leader {
         state.cache_misses.fetch_add(1, Ordering::Relaxed);
         state.inflight_depth.fetch_add(1, Ordering::Relaxed);
+        // The fingerprint lands in the log before execution so an
+        // observer (the CI chaos job, an operator) can poll
+        // `GET /campaign/<fp>` while the campaign is in flight.
+        eprintln!("campaign {fp} executing");
         let ran = catch_unwind(AssertUnwindSafe(|| {
-            run_campaign_fleet(spec.os, &spec.config(), &spec.fleet())
+            run_campaign_fleet_observed(
+                spec.os,
+                &spec.config(),
+                &spec.fleet(),
+                Some(&flight.progress),
+            )
         }));
         let result = match ran {
             Ok(report) => {

@@ -279,6 +279,25 @@ pub struct Metrics {
     pub requests_coalesced: AtomicU64,
     /// Fleet shards executed to completion.
     pub shards_executed: AtomicU64,
+    /// Supervised fleet workers that died, hung past their heartbeat
+    /// deadline, or replied with garbage mid-campaign.
+    pub worker_deaths: AtomicU64,
+    /// Replacement worker processes spawned into a slot after a death.
+    pub worker_respawns: AtomicU64,
+    /// Worker slots quarantined after consecutive failures.
+    pub workers_quarantined: AtomicU64,
+    /// Shards re-executed after a worker failure.
+    pub shard_retries: AtomicU64,
+    /// Shards pushed back onto the supervisor queue to wait for a
+    /// healthy worker.
+    pub shard_requeues: AtomicU64,
+    /// Malformed wire buffers (spec or result) rejected by the engine.
+    pub wire_protocol_faults: AtomicU64,
+    /// Fleet campaigns that degraded from process workers to the
+    /// in-process thread pool.
+    pub fleet_degradations: AtomicU64,
+    /// Shard-retry backoff delays, milliseconds.
+    pub backoff_ms: Histogram,
 }
 
 /// The slot in [`Metrics::classes`] for a CRASH class, in severity
@@ -371,6 +390,23 @@ pub struct HostMetrics {
     pub requests_coalesced: u64,
     /// Fleet shards executed.
     pub shards_executed: u64,
+    /// Supervised fleet workers that died, hung, or replied with
+    /// garbage.
+    pub worker_deaths: u64,
+    /// Replacement workers spawned after a death.
+    pub worker_respawns: u64,
+    /// Worker slots quarantined after consecutive failures.
+    pub workers_quarantined: u64,
+    /// Shards re-executed after a worker failure.
+    pub shard_retries: u64,
+    /// Shards requeued to wait for a healthy worker.
+    pub shard_requeues: u64,
+    /// Malformed wire buffers rejected.
+    pub wire_protocol_faults: u64,
+    /// Fleet campaigns degraded to the in-process pool.
+    pub fleet_degradations: u64,
+    /// Shard-retry backoff histogram, milliseconds.
+    pub backoff_ms: HistogramSnapshot,
 }
 
 /// A point-in-time copy of the [`Metrics`] registry, split into the
@@ -616,6 +652,14 @@ impl Hub {
                 cache_evictions: ld(&m.cache_evictions),
                 requests_coalesced: ld(&m.requests_coalesced),
                 shards_executed: ld(&m.shards_executed),
+                worker_deaths: ld(&m.worker_deaths),
+                worker_respawns: ld(&m.worker_respawns),
+                workers_quarantined: ld(&m.workers_quarantined),
+                shard_retries: ld(&m.shard_retries),
+                shard_requeues: ld(&m.shard_requeues),
+                wire_protocol_faults: ld(&m.wire_protocol_faults),
+                fleet_degradations: ld(&m.fleet_degradations),
+                backoff_ms: m.backoff_ms.snapshot(),
             },
         }
     }
@@ -779,6 +823,60 @@ pub fn on_request_coalesced() {
 pub fn on_shard_executed() {
     with_hub(|h| {
         h.metrics.shards_executed.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A supervised fleet worker died, hung past its heartbeat deadline, or
+/// replied with garbage.
+pub fn on_worker_death() {
+    with_hub(|h| {
+        h.metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A replacement worker process was spawned into a slot after a death.
+pub fn on_worker_respawn() {
+    with_hub(|h| {
+        h.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A worker slot was quarantined after consecutive failures.
+pub fn on_worker_quarantined() {
+    with_hub(|h| {
+        h.metrics.workers_quarantined.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A shard is being re-executed after a worker failure, `backoff_ms`
+/// milliseconds of exponential backoff after the failure.
+pub fn on_shard_retry(backoff_ms: u64) {
+    with_hub(|h| {
+        h.metrics.shard_retries.fetch_add(1, Ordering::Relaxed);
+        h.metrics.backoff_ms.record(backoff_ms);
+    });
+}
+
+/// A shard was pushed back onto the supervisor queue to wait for a
+/// healthy worker.
+pub fn on_shard_requeue() {
+    with_hub(|h| {
+        h.metrics.shard_requeues.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A malformed wire buffer (spec or result) was rejected by the engine.
+pub fn on_wire_protocol_fault() {
+    with_hub(|h| {
+        h.metrics.wire_protocol_faults.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A fleet campaign degraded from process workers to the in-process
+/// thread pool.
+pub fn on_fleet_degraded() {
+    with_hub(|h| {
+        h.metrics.fleet_degradations.fetch_add(1, Ordering::Relaxed);
     });
 }
 

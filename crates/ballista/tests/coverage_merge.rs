@@ -50,6 +50,7 @@ fn chunk_coverages(os: OsVariant, chunks: usize) -> Vec<Coverage> {
                 stats: None,
                 warnings: Vec::new(),
                 degraded: false,
+                fleet_degraded: false,
             };
             Coverage::from_report(&sub, &cfg())
         })

@@ -73,6 +73,7 @@ fn all_engines_bit_identical_on_every_variant() {
             &FleetConfig {
                 shards: 8,
                 workers: 2,
+                ..FleetConfig::default()
             },
         );
         let check = oracle::check_cross_engine("serial", &serial, "fleet-8x2", &fleet);

@@ -97,6 +97,30 @@ pub struct ServeBench {
     pub hit_rate: f64,
 }
 
+/// The supervised-fleet measurements (`fleet_bench --supervised`):
+/// campaign throughput with shards executing on supervised worker
+/// processes instead of in-process threads, cache-cold and cache-hit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedFleetBench {
+    /// Worker processes requested.
+    pub workers: usize,
+    /// Shard count requested (`0` → auto).
+    pub shards: usize,
+    /// Per-MuT cap of the benchmarked spec.
+    pub cap: usize,
+    /// Cache-cold wall-clock of the supervised campaign, milliseconds.
+    pub cold_wall_ms: f64,
+    /// Sustained case rate of the cold supervised campaign.
+    pub cold_cases_per_sec: f64,
+    /// Cache-hit-path served requests per second for the same spec.
+    pub hit_requests_per_sec: f64,
+    /// Worker deaths observed during the cold run (expected `0` on a
+    /// healthy host; non-zero means the numbers include retry cost).
+    pub worker_deaths: u64,
+    /// Whether the cold run degraded below process isolation.
+    pub degraded: bool,
+}
+
 /// The `BENCH_campaign.json` artifact.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignBench {
@@ -120,6 +144,10 @@ pub struct CampaignBench {
     /// run).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub serve: Option<ServeBench>,
+    /// Supervised-fleet measurements (absent until
+    /// `fleet_bench --supervised` has run).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fleet: Option<SupervisedFleetBench>,
 }
 
 /// Loads the existing artifact, if present and parseable.

@@ -5,7 +5,7 @@
 //! ```text
 //! fleet_bench [--addr HOST:PORT] [--os win95] [--cap 200]
 //!             [--identical 1000] [--distinct 3] [--clients 8]
-//!             [--dump-report PATH]
+//!             [--supervised] [--workers 4] [--dump-report PATH]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on a loopback port
@@ -17,6 +17,13 @@
 //! 2. **Hit**: `--identical` POSTs of the first spec, spread over
 //!    `--clients` persistent keep-alive connections; every one must be
 //!    served from the cache. Reports served requests/second.
+//!
+//! With `--supervised` a third phase measures the process fleet: one
+//! cache-cold campaign at a fresh cap with `process: true` and
+//! `--workers` supervised worker processes (the sibling `fleet_worker`
+//! binary is used unless `BALLISTA_WORKER_CMD` is already set), then the
+//! identical spec re-POSTed over the persistent clients for the hit
+//! rate. Recorded in the `fleet` section of the artifact.
 //!
 //! `--dump-report` writes the identical-spec response body to a file so
 //! CI can `jq`-diff the served tallies against a direct engine run.
@@ -37,6 +44,8 @@ struct Args {
     identical: usize,
     distinct: usize,
     clients: usize,
+    supervised: bool,
+    workers: usize,
     dump_report: Option<std::path::PathBuf>,
 }
 
@@ -48,6 +57,8 @@ fn parse_args() -> Args {
         identical: 1000,
         distinct: 3,
         clients: 8,
+        supervised: false,
+        workers: 4,
         dump_report: None,
     };
     let mut it = std::env::args().skip(1);
@@ -79,12 +90,19 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--clients takes a number");
             }
+            "--supervised" => args.supervised = true,
+            "--workers" => {
+                args.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes a number");
+            }
             "--dump-report" => args.dump_report = Some(value("--dump-report").into()),
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: fleet_bench [--addr HOST:PORT] [--os short_name] [--cap N] \
-                     [--identical N] [--distinct M] [--clients C] [--dump-report PATH]"
+                     [--identical N] [--distinct M] [--clients C] [--supervised] \
+                     [--workers W] [--dump-report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -163,6 +181,84 @@ fn metrics(addr: &str) -> ServerMetrics {
     let (status, body) = Client::connect(addr).request("GET", "/metrics", b"");
     assert_eq!(status, 200, "metrics endpoint");
     serde_json::from_slice(&body).expect("metrics parse")
+}
+
+/// The supervised-fleet phase: one cache-cold campaign on process
+/// workers (fresh cap → fresh fingerprint, since process/worker knobs
+/// do not change the fingerprint), then the hit path for the same spec.
+fn run_supervised(args: &Args, addr: &str, cold_cap: usize) -> bench::SupervisedFleetBench {
+    // Point the supervisor at the sibling fleet_worker binary unless
+    // the caller already routed it elsewhere.
+    if std::env::var_os("BALLISTA_WORKER_CMD").is_none() {
+        let worker = std::env::current_exe()
+            .expect("current exe")
+            .with_file_name("fleet_worker");
+        assert!(
+            worker.exists(),
+            "{} not built — build it or set BALLISTA_WORKER_CMD",
+            worker.display()
+        );
+        std::env::set_var("BALLISTA_WORKER_CMD", &worker);
+    }
+
+    let spec = serde_json::to_vec(&CampaignSpec {
+        cap: cold_cap,
+        workers: args.workers,
+        process: true,
+        ..CampaignSpec::new(args.os)
+    })
+    .expect("spec serializes");
+
+    let mut client = Client::connect(addr);
+    let t0 = Instant::now();
+    let (status, body) = client.request("POST", "/campaign", &spec);
+    let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "supervised cold request");
+    let report: ballista::campaign::CampaignReport =
+        serde_json::from_slice(&body).expect("supervised report parses");
+    let deaths = report
+        .warnings
+        .iter()
+        .filter(|w| w.starts_with("fleet worker"))
+        .count() as u64;
+    eprintln!(
+        "supervised cold: {} cases on {} workers in {:.0}ms{}",
+        report.total_cases,
+        args.workers,
+        cold_wall_ms,
+        if report.fleet_degraded { " (DEGRADED)" } else { "" }
+    );
+
+    let per_client = args.identical.div_ceil(args.clients.max(1));
+    let fired = per_client * args.clients;
+    let t1 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..args.clients {
+            let spec = &spec;
+            let expected = &body;
+            s.spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..per_client {
+                    let (status, served) = client.request("POST", "/campaign", spec);
+                    assert_eq!(status, 200, "supervised hit request");
+                    assert_eq!(&served, expected, "hits must serve identical bytes");
+                }
+            });
+        }
+    });
+    let hit_rps = fired as f64 / t1.elapsed().as_secs_f64().max(1e-9);
+    eprintln!("supervised hit: {fired} requests — {hit_rps:.0} req/s");
+
+    bench::SupervisedFleetBench {
+        workers: args.workers,
+        shards: 0,
+        cap: cold_cap,
+        cold_wall_ms,
+        cold_cases_per_sec: report.total_cases as f64 / (cold_wall_ms / 1e3).max(1e-9),
+        hit_requests_per_sec: hit_rps,
+        worker_deaths: deaths,
+        degraded: report.fleet_degraded,
+    }
 }
 
 fn main() {
@@ -244,6 +340,11 @@ fn main() {
         eprintln!("wrote served report to {}", path.display());
     }
 
+    // Supervised-fleet phase at a cap no earlier phase has cached.
+    let fleet = args
+        .supervised
+        .then(|| run_supervised(&args, &addr, args.cap + args.distinct));
+
     // Record the serving row, preserving the other artifact sections.
     let previous = bench::load();
     let serve = bench::ServeBench {
@@ -260,6 +361,9 @@ fn main() {
     match previous {
         Some(mut artifact) => {
             artifact.serve = Some(serve);
+            if let Some(fleet) = fleet.clone() {
+                artifact.fleet = Some(fleet);
+            }
             bench::store(&artifact);
         }
         None => bench::store(&bench::CampaignBench {
@@ -271,6 +375,7 @@ fn main() {
             variants: Vec::new(),
             calibration: None,
             serve: Some(serve),
+            fleet,
         }),
     }
 

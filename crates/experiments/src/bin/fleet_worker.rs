@@ -1,0 +1,18 @@
+//! Supervised fleet worker: executes [`ballista::fleet::ShardSpec`]s
+//! received as length-prefixed frames on stdin and answers each with
+//! heartbeat frames plus a [`ballista::fleet::ShardResult`] frame on
+//! stdout, until the supervisor closes the pipe.
+//!
+//! Spawned by the fleet supervisor (`FleetConfig::process`), never run
+//! by hand; honors the `BALLISTA_FLEET_FAULT` /
+//! `BALLISTA_FLEET_SHARD_DELAY_MS` chaos latches documented in
+//! [`ballista::fleet`].
+
+fn main() {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    if let Err(e) = ballista::fleet::worker_loop(stdin, stdout) {
+        eprintln!("fleet_worker: {e}");
+        std::process::exit(1);
+    }
+}

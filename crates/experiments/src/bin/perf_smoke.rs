@@ -83,7 +83,8 @@ fn main() {
         per_campaign_parallelism: 1,
         variants,
         calibration: previous.as_ref().and_then(|b| b.calibration.clone()),
-        serve: previous.and_then(|b| b.serve),
+        serve: previous.as_ref().and_then(|b| b.serve.clone()),
+        fleet: previous.and_then(|b| b.fleet),
     });
     if stats.cases_per_sec < floor {
         eprintln!(

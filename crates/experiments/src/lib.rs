@@ -104,6 +104,7 @@ fn degraded_placeholder(os: OsVariant) -> CampaignReport {
             os.short_name()
         )],
         degraded: true,
+        fleet_degraded: false,
     }
 }
 
@@ -203,8 +204,10 @@ pub fn run_all_oses(cap: usize) -> MultiOsResults {
         per_campaign_parallelism: per_campaign,
         variants: reports.iter().map(bench::VariantBench::from_report).collect(),
         calibration: Some(calibration),
-        // A prior fleet_bench's serving section survives the rewrite.
+        // A prior fleet_bench's serving and supervised-fleet sections
+        // survive the rewrite.
         serve: bench::load().and_then(|b| b.serve),
+        fleet: bench::load().and_then(|b| b.fleet),
     };
     bench::store(&artifact);
     let warnings: Vec<String> = reports

@@ -198,6 +198,7 @@ mod tests {
                     stats: None,
                     warnings: Vec::new(),
                     degraded: false,
+                    fleet_degraded: false,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
@@ -206,6 +207,7 @@ mod tests {
                     stats: None,
                     warnings: Vec::new(),
                     degraded: false,
+                    fleet_degraded: false,
                 },
             ],
             warnings: Vec::new(),

@@ -201,6 +201,7 @@ mod tests {
             stats: None,
             warnings: Vec::new(),
             degraded: false,
+            fleet_degraded: false,
         }
     }
 

@@ -21,14 +21,30 @@ fn degraded_footer(results: &MultiOsResults) -> String {
         .filter(|r| r.degraded)
         .map(|r| r.os.short_name())
         .collect();
-    if degraded.is_empty() {
+    let mut out = if degraded.is_empty() {
         String::new()
     } else {
         format!(
             "!! PARTIAL DATA: degraded variant(s) {} — see report warnings\n",
             degraded.join(", ")
         )
+    };
+    // Fleet degradation is softer: process isolation was lost but the
+    // tallies are complete, so note it without the PARTIAL DATA banner.
+    let fleet: Vec<&str> = results
+        .reports
+        .iter()
+        .filter(|r| r.fleet_degraded)
+        .map(|r| r.os.short_name())
+        .collect();
+    if !fleet.is_empty() {
+        out.push_str(&format!(
+            "note: fleet degraded to in-process execution on {} — tallies complete; \
+             see report warnings\n",
+            fleet.join(", ")
+        ));
     }
+    out
 }
 
 /// Renders Table 1: robustness failure rates by MuT, one row per OS.
@@ -251,6 +267,7 @@ mod tests {
                     stats: None,
                     warnings: Vec::new(),
                     degraded: false,
+                    fleet_degraded: false,
                 },
                 CampaignReport {
                     os: OsVariant::WinNt4,
@@ -263,6 +280,7 @@ mod tests {
                     stats: None,
                     warnings: Vec::new(),
                     degraded: false,
+                    fleet_degraded: false,
                 },
             ],
             warnings: Vec::new(),

@@ -182,6 +182,7 @@ mod tests {
             stats: None,
             warnings: Vec::new(),
             degraded: false,
+            fleet_degraded: false,
         }
     }
 
