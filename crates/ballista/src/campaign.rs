@@ -300,6 +300,17 @@ pub struct CampaignStats {
     /// probes inflated `restores` by one per catastrophic MuT).
     #[serde(default)]
     pub probe_provisions: u64,
+    /// Filesystem crash images the crashcon engine materialized (one
+    /// pristine-tree clone per crash point). Counted apart from
+    /// `restores_fast`/`restores_full`: a crash-point snapshot is not a
+    /// machine restore, and `restores` must keep equaling executed
+    /// cases. 0 for the classic campaign engines.
+    #[serde(default)]
+    pub crashcon_snapshots: u64,
+    /// Crash images remounted into the crashcon verification kernel.
+    /// 0 for the classic campaign engines.
+    #[serde(default)]
+    pub crashcon_remounts: u64,
 }
 
 /// Per-MuT campaign results.
@@ -996,6 +1007,8 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         restores_fast: counters.restores_fast.load(Ordering::Relaxed),
         restores_full: counters.restores_full.load(Ordering::Relaxed),
         probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
+        crashcon_snapshots: counters.crashcon_snapshots.load(Ordering::Relaxed),
+        crashcon_remounts: counters.crashcon_remounts.load(Ordering::Relaxed),
     };
     CampaignReport {
         os,
@@ -1017,7 +1030,23 @@ pub(crate) fn plan_fingerprint(
     cfg: &CampaignConfig,
     preps: &[PreparedMut<'_>],
 ) -> CampaignFingerprint {
+    plan_fingerprint_tagged(None, os, cfg, preps)
+}
+
+/// [`plan_fingerprint`] with an optional engine-mode tag folded in first.
+/// Alternate campaign modes over the same plan (e.g. the crashcon
+/// engine) hash a distinct tag so their journals and cache entries can
+/// never collide with a classic campaign's.
+pub(crate) fn plan_fingerprint_tagged(
+    mode_tag: Option<&str>,
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    preps: &[PreparedMut<'_>],
+) -> CampaignFingerprint {
     let mut h = PlanHasher::new();
+    if let Some(tag) = mode_tag {
+        h.write_str(tag);
+    }
     h.write_str(os.short_name());
     h.write_u64(cfg.cap as u64);
     h.write_u64(u64::from(cfg.record_raw));
@@ -1258,6 +1287,8 @@ pub fn run_campaign_journaled(
         restores_fast: counters.restores_fast.load(Ordering::Relaxed),
         restores_full: counters.restores_full.load(Ordering::Relaxed),
         probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
+        crashcon_snapshots: counters.crashcon_snapshots.load(Ordering::Relaxed),
+        crashcon_remounts: counters.crashcon_remounts.load(Ordering::Relaxed),
     };
     Ok(CampaignReport {
         os,

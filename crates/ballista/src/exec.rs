@@ -64,6 +64,15 @@ pub mod stats {
     /// Cached boot templates dropped because a restore produced a
     /// corrupted (already-dead) machine.
     pub static TEMPLATE_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+    /// Filesystem crash images materialized by the crashcon engine (one
+    /// clone of the pristine tree per crash point). Counted apart from
+    /// [`static@RESTORES`]: a crash-point snapshot is not a machine
+    /// restore, and billing it as one would wreck the `restores == cases`
+    /// invariant the campaign stats keep.
+    pub static CRASHCON_SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+    /// Crash images "remounted" into the crashcon engine's resident
+    /// verification kernel (one per evaluated crash point).
+    pub static CRASHCON_REMOUNTS: AtomicU64 = AtomicU64::new(0);
 
     /// A private provisioning-counter set one campaign can install on its
     /// worker threads (via [`install_sink`]) to get **exact** per-campaign
@@ -87,6 +96,11 @@ pub mod stats {
         pub boot_nanos: AtomicU64,
         /// Nanoseconds spent restoring while installed.
         pub restore_nanos: AtomicU64,
+        /// Crashcon crash-point snapshots while installed (never part of
+        /// `restores`).
+        pub crashcon_snapshots: AtomicU64,
+        /// Crashcon crash-image remounts while installed.
+        pub crashcon_remounts: AtomicU64,
     }
 
     impl Counters {
@@ -169,6 +183,21 @@ pub mod stats {
         });
     }
 
+    /// Records a batch of crashcon crash-point snapshots and remounts
+    /// (one pair per evaluated crash point, flushed per case). Kept out of
+    /// `restores` entirely — see [`static@CRASHCON_SNAPSHOTS`].
+    pub(crate) fn record_crashcon(snapshots: u64, remounts: u64) {
+        CRASHCON_SNAPSHOTS.fetch_add(snapshots, Ordering::Relaxed);
+        CRASHCON_REMOUNTS.fetch_add(remounts, Ordering::Relaxed);
+        crate::telemetry::on_crashcon(snapshots, remounts);
+        SINK.with(|s| {
+            if let Some(c) = s.borrow().as_deref() {
+                c.crashcon_snapshots.fetch_add(snapshots, Ordering::Relaxed);
+                c.crashcon_remounts.fetch_add(remounts, Ordering::Relaxed);
+            }
+        });
+    }
+
     pub(super) fn record_probe() {
         PROBE_PROVISIONS.fetch_add(1, Ordering::Relaxed);
         SINK.with(|s| {
@@ -201,6 +230,8 @@ pub mod stats {
         PROBE_PROVISIONS.store(0, Ordering::Relaxed);
         BOOT_NANOS.store(0, Ordering::Relaxed);
         RESTORE_NANOS.store(0, Ordering::Relaxed);
+        CRASHCON_SNAPSHOTS.store(0, Ordering::Relaxed);
+        CRASHCON_REMOUNTS.store(0, Ordering::Relaxed);
     }
 }
 
@@ -209,9 +240,30 @@ pub mod stats {
 /// way the paper's harness contained test-task failures. Disarmed (the
 /// default) it costs one mutex lock per MuT.
 pub mod fault {
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
     static WORKER_PANIC: Mutex<Option<(String, u32)>> = Mutex::new(None);
+
+    /// When armed, the crashcon engine's crash-image construction tears
+    /// every rename apart — the source leaves its directory but the
+    /// destination insert is lost, exactly the torn state a non-atomic
+    /// rename would leak across a crash. Exists to prove the crashcon
+    /// oracle *can* fail: a correct filesystem passes every crash point,
+    /// so without this latch the oracle's red path would be dead code.
+    static BROKEN_RENAME: AtomicBool = AtomicBool::new(false);
+
+    /// Arms or disarms the torn-rename injection for crashcon crash
+    /// images.
+    pub fn arm_broken_rename(on: bool) {
+        BROKEN_RENAME.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the torn-rename injection is armed.
+    #[must_use]
+    pub fn broken_rename_armed() -> bool {
+        BROKEN_RENAME.load(Ordering::SeqCst)
+    }
 
     /// Arms an injected panic: the next `times` campaign-worker visits to
     /// `mut_name` panic *outside* the per-case exception fence, as a bug
@@ -546,6 +598,45 @@ impl CaseRunner {
             residue_probed: kernel.residue_probed,
             fuel_used: kernel.fuel.consumed(),
         }
+    }
+
+    /// [`CaseRunner::execute`] with the filesystem's crash-op recorder
+    /// switched on for the duration of the case: returns the case result
+    /// plus the drained [`FsOp`](sim_kernel::fs::FsOp) log (and whether
+    /// the [`sim_kernel::fs::MAX_OPLOG`] bound truncated it). Recording is
+    /// (re-)enabled per case because the in-place reset replaces the
+    /// whole filesystem — recorder state included — whenever the previous
+    /// case structurally touched it.
+    #[must_use]
+    pub fn execute_recorded(
+        &mut self,
+        os: OsVariant,
+        mut_: &Mut,
+        pools: &[Vec<TestValue>],
+        combo: &[usize],
+        session: &mut Session,
+        fuel_budget: u64,
+    ) -> (CaseResult, Vec<sim_kernel::fs::FsOp>, bool) {
+        let kernel = self.provision(os.machine_flavor());
+        kernel.fuel = sim_kernel::clock::FuelMeter::with_budget(fuel_budget);
+        kernel.residue = session.residue;
+        kernel.fs.set_crash_recording(true);
+        let (raw, any_exceptional) = run_on(kernel, os, mut_, pools, combo);
+        let (ops, truncated) = kernel.fs.take_oplog();
+        kernel.fs.set_crash_recording(false);
+        session.note(raw, any_exceptional);
+        if crate::telemetry::enabled() {
+            crate::telemetry::on_case_executed();
+            crate::telemetry::on_case_profile(os, mut_.group.label(), &kernel.subsys);
+        }
+        let result = CaseResult {
+            raw,
+            class: classify(raw, any_exceptional),
+            any_exceptional,
+            residue_probed: kernel.residue_probed,
+            fuel_used: kernel.fuel.consumed(),
+        };
+        (result, ops, truncated)
     }
 }
 

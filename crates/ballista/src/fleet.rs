@@ -165,6 +165,13 @@ pub struct ShardSpec {
     /// when the coordinator is tracing).
     #[serde(default)]
     pub capture_fuel: bool,
+    /// Run the shard in crashcon mode: each case executes with the
+    /// filesystem op recorder armed and the wire records carry packed
+    /// [`crate::crashcon::CaseVerdict`]s (with the aux counts on the
+    /// fuel channel) instead of campaign outcome bytes. Absent in specs
+    /// from older coordinators, which deserializes to `false`.
+    #[serde(default)]
+    pub crashcon: bool,
 }
 
 impl ShardSpec {
@@ -378,6 +385,20 @@ pub fn execute_shard_observed(
     for m in muts.iter().take(end).skip(spec.mut_start) {
         let prep = prepare(&registry, m, &spec.cfg);
         telemetry::on_mut_begin(prep.plan.cases.len() as u64);
+        if spec.crashcon {
+            let (packed, aux) =
+                crate::crashcon::crash_mut_records(spec.os, &prep, spec.cfg.effective_fuel_budget());
+            cases_done += packed.len() as u64;
+            out.muts.push(Some(WireCleanMut {
+                records: packed,
+                fuel: Some(aux),
+            }));
+            on_progress(Heartbeat {
+                muts_done: out.muts.len() as u64,
+                cases_done,
+            });
+            continue;
+        }
         let mut retries = 0u64;
         let clean = clean_mut_quarantined(
             spec.os,
@@ -1050,6 +1071,173 @@ pub fn run_campaign_fleet(os: OsVariant, cfg: &CampaignConfig, fleet: &FleetConf
     run_campaign_fleet_observed(os, cfg, fleet, None)
 }
 
+/// Runs a **crashcon** campaign on the fleet: the same shard dispatch,
+/// supervision, and degradation machinery as [`run_campaign_fleet`],
+/// with each shard executing in crashcon mode ([`ShardSpec::crashcon`])
+/// — packed [`crate::crashcon::CaseVerdict`] bytes ride the record
+/// channel and the aux counts ride the fuel channel. Crashcon cases are
+/// residue-free, so the merge is a pure commutative fold per MuT (no
+/// replay pass), and the tallies are **bit-identical** to the serial
+/// engine's on every shard/worker split.
+#[must_use]
+pub fn run_crashcon_fleet(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    fleet: &FleetConfig,
+) -> crate::crashcon::CrashconReport {
+    let t0 = Instant::now();
+    exec::stats::reset();
+    let counters = Arc::new(exec::stats::Counters::default());
+    exec::stats::install_sink(Arc::clone(&counters));
+    let muts = catalog::catalog_for(os);
+    let shard_count = fleet.effective_shards(muts.len());
+    let workers = fleet.effective_workers().min(shard_count);
+    let progress = FleetProgress::default();
+    progress
+        .shards_total
+        .store(shard_count as u64, Ordering::Relaxed);
+    let specs: Vec<ShardSpec> = (0..shard_count)
+        .map(|s| ShardSpec {
+            os,
+            cfg: *cfg,
+            mut_start: s * muts.len() / shard_count,
+            mut_end: (s + 1) * muts.len() / shard_count,
+            capture_fuel: true,
+            crashcon: true,
+        })
+        .collect();
+    let result_slots: Vec<Mutex<Option<ShardResult>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    let fleet_warnings = Mutex::new(Vec::new());
+    dispatch_shards(
+        &specs,
+        fleet,
+        workers,
+        cfg,
+        &result_slots,
+        &counters,
+        &progress,
+        &fleet_warnings,
+    );
+    // Merge: fold each MuT's wire records into its tally at its catalog
+    // index. Records are pure per-case verdicts, so the fold is
+    // order-free and the shard partition is invisible in the result.
+    let mut tallies = Vec::with_capacity(muts.len());
+    for slot in result_slots {
+        let shard = slot
+            .into_inner()
+            .expect("shard slot poisoned")
+            .expect("every shard executed or degraded to the pool");
+        debug_assert_eq!(shard.mut_start, tallies.len(), "shards merge in catalog order");
+        for wire in shard.muts {
+            let m = &muts[tallies.len()];
+            let wire = wire.expect("crashcon shards do not quarantine MuTs");
+            let aux = wire.fuel.expect("crashcon records always carry aux counts");
+            tallies.push(crate::crashcon::fold_records(
+                m.name, m.group, &wire.records, &aux,
+            ));
+        }
+    }
+    let warnings = fleet_warnings.into_inner().expect("fleet warnings poisoned");
+    exec::stats::clear_sink();
+    crate::crashcon::assemble(os, workers, tallies, warnings, 0, 0, &counters, t0)
+}
+
+
+/// Runs every shard spec to completion, filling `result_slots`: worker
+/// processes under the [`Supervisor`] when `fleet.process` is set (with
+/// graceful degradation to the in-process pool), plain worker threads
+/// otherwise. Shared verbatim by the classic fleet campaign and the
+/// crashcon fleet engine — the shard protocol is mode-agnostic.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_shards(
+    specs: &[ShardSpec],
+    fleet: &FleetConfig,
+    workers: usize,
+    cfg: &CampaignConfig,
+    result_slots: &[Mutex<Option<ShardResult>>],
+    counters: &Arc<exec::stats::Counters>,
+    progress: &FleetProgress,
+    fleet_warnings: &Mutex<Vec<String>>,
+) {
+    if fleet.process {
+        match worker_command() {
+            Some(cmd) => {
+                let wire: Vec<Vec<u8>> = specs.iter().map(ShardSpec::to_wire).collect();
+                let sup = Supervisor {
+                    specs,
+                    wire: &wire,
+                    slots: result_slots,
+                    queue: ShardQueue::new(specs.len()),
+                    progress,
+                    warnings: fleet_warnings,
+                    cmd,
+                    deadline: heartbeat_deadline(cfg),
+                    max_retries: fleet.effective_max_shard_retries(),
+                    quarantine_after: fleet.effective_quarantine_after(),
+                };
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| sup.slot_loop());
+                    }
+                });
+                // Every slot retired (quarantine or spawn failure) with
+                // shards still pending: finish on the thread pool
+                // rather than abort.
+                let leftover: Vec<usize> =
+                    sup.queue.drain_pending().iter().map(|j| j.idx).collect();
+                if !leftover.is_empty() {
+                    fleet_warnings.lock().expect("fleet warnings poisoned").push(format!(
+                        "fleet degraded: no worker process survived; executing {} remaining \
+                         shard(s) on the in-process pool",
+                        leftover.len()
+                    ));
+                    progress.degrade();
+                    run_shards_threaded(
+                        specs,
+                        &leftover,
+                        workers,
+                        result_slots,
+                        counters,
+                        progress,
+                        fleet_warnings,
+                    );
+                }
+            }
+            None => {
+                fleet_warnings.lock().expect("fleet warnings poisoned").push(
+                    "fleet degraded: no worker binary found (set BALLISTA_WORKER_CMD or \
+                     install fleet_worker next to this executable); executing on the \
+                     in-process pool"
+                        .to_owned(),
+                );
+                progress.degrade();
+                let todo: Vec<usize> = (0..specs.len()).collect();
+                run_shards_threaded(
+                    specs,
+                    &todo,
+                    workers,
+                    result_slots,
+                    counters,
+                    progress,
+                    fleet_warnings,
+                );
+            }
+        }
+    } else {
+        let todo: Vec<usize> = (0..specs.len()).collect();
+        run_shards_threaded(
+            specs,
+            &todo,
+            workers,
+            result_slots,
+            counters,
+            progress,
+            fleet_warnings,
+        );
+    }
+}
+
 /// [`run_campaign_fleet`] with live progress: the supervisor (or the
 /// thread pool) updates `progress` as shards complete, so the serving
 /// layer can answer in-flight `GET /campaign/<fp>` requests with real
@@ -1091,89 +1279,23 @@ pub fn run_campaign_fleet_observed(
             mut_start: s * muts.len() / shard_count,
             mut_end: (s + 1) * muts.len() / shard_count,
             capture_fuel: tc.is_some(),
+            crashcon: false,
         })
         .collect();
 
     let result_slots: Vec<Mutex<Option<ShardResult>>> =
         specs.iter().map(|_| Mutex::new(None)).collect();
     let fleet_warnings = Mutex::new(Vec::new());
-
-    if fleet.process {
-        match worker_command() {
-            Some(cmd) => {
-                let wire: Vec<Vec<u8>> = specs.iter().map(ShardSpec::to_wire).collect();
-                let sup = Supervisor {
-                    specs: &specs,
-                    wire: &wire,
-                    slots: &result_slots,
-                    queue: ShardQueue::new(specs.len()),
-                    progress,
-                    warnings: &fleet_warnings,
-                    cmd,
-                    deadline: heartbeat_deadline(cfg),
-                    max_retries: fleet.effective_max_shard_retries(),
-                    quarantine_after: fleet.effective_quarantine_after(),
-                };
-                std::thread::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(|| sup.slot_loop());
-                    }
-                });
-                // Every slot retired (quarantine or spawn failure) with
-                // shards still pending: finish on the thread pool
-                // rather than abort.
-                let leftover: Vec<usize> =
-                    sup.queue.drain_pending().iter().map(|j| j.idx).collect();
-                if !leftover.is_empty() {
-                    fleet_warnings.lock().expect("fleet warnings poisoned").push(format!(
-                        "fleet degraded: no worker process survived; executing {} remaining \
-                         shard(s) on the in-process pool",
-                        leftover.len()
-                    ));
-                    progress.degrade();
-                    run_shards_threaded(
-                        &specs,
-                        &leftover,
-                        workers,
-                        &result_slots,
-                        &counters,
-                        progress,
-                        &fleet_warnings,
-                    );
-                }
-            }
-            None => {
-                fleet_warnings.lock().expect("fleet warnings poisoned").push(
-                    "fleet degraded: no worker binary found (set BALLISTA_WORKER_CMD or \
-                     install fleet_worker next to this executable); executing on the \
-                     in-process pool"
-                        .to_owned(),
-                );
-                progress.degrade();
-                let todo: Vec<usize> = (0..specs.len()).collect();
-                run_shards_threaded(
-                    &specs,
-                    &todo,
-                    workers,
-                    &result_slots,
-                    &counters,
-                    progress,
-                    &fleet_warnings,
-                );
-            }
-        }
-    } else {
-        let todo: Vec<usize> = (0..specs.len()).collect();
-        run_shards_threaded(
-            &specs,
-            &todo,
-            workers,
-            &result_slots,
-            &counters,
-            progress,
-            &fleet_warnings,
-        );
-    }
+    dispatch_shards(
+        &specs,
+        fleet,
+        workers,
+        cfg,
+        &result_slots,
+        &counters,
+        progress,
+        &fleet_warnings,
+    );
 
     // Merge: place every MuT's records back at its catalog index. Shard
     // ranges partition the catalog, so this is a permutation-free
@@ -1222,6 +1344,8 @@ pub fn run_campaign_fleet_observed(
         restores_fast: counters.restores_fast.load(Ordering::Relaxed),
         restores_full: counters.restores_full.load(Ordering::Relaxed),
         probe_provisions: counters.probe_provisions.load(Ordering::Relaxed),
+        crashcon_snapshots: counters.crashcon_snapshots.load(Ordering::Relaxed),
+        crashcon_remounts: counters.crashcon_remounts.load(Ordering::Relaxed),
     };
     CampaignReport {
         os,

@@ -71,6 +71,7 @@ pub mod campaign;
 pub mod catalog;
 pub mod coverage;
 pub mod crash;
+pub mod crashcon;
 pub mod datatype;
 pub mod exec;
 pub mod fleet;

@@ -298,6 +298,11 @@ pub struct Metrics {
     pub fleet_degradations: AtomicU64,
     /// Shard-retry backoff delays, milliseconds.
     pub backoff_ms: Histogram,
+    /// Crashcon filesystem crash images materialized (one pristine-tree
+    /// clone per crash point; never counted under `restores`).
+    pub crashcon_snapshots: AtomicU64,
+    /// Crashcon crash images remounted into the verification kernel.
+    pub crashcon_remounts: AtomicU64,
 }
 
 /// The slot in [`Metrics::classes`] for a CRASH class, in severity
@@ -407,6 +412,11 @@ pub struct HostMetrics {
     pub fleet_degradations: u64,
     /// Shard-retry backoff histogram, milliseconds.
     pub backoff_ms: HistogramSnapshot,
+    /// Crashcon crash-point snapshots (filesystem images, not machine
+    /// restores).
+    pub crashcon_snapshots: u64,
+    /// Crashcon crash-image remounts.
+    pub crashcon_remounts: u64,
 }
 
 /// A point-in-time copy of the [`Metrics`] registry, split into the
@@ -660,6 +670,8 @@ impl Hub {
                 wire_protocol_faults: ld(&m.wire_protocol_faults),
                 fleet_degradations: ld(&m.fleet_degradations),
                 backoff_ms: m.backoff_ms.snapshot(),
+                crashcon_snapshots: ld(&m.crashcon_snapshots),
+                crashcon_remounts: ld(&m.crashcon_remounts),
             },
         }
     }
@@ -699,6 +711,19 @@ pub fn on_restore(nanos: u64, fast: bool) {
             h.metrics.restores_full.fetch_add(1, Ordering::Relaxed);
         }
         h.metrics.restore_ns.record(nanos);
+    });
+}
+
+/// A batch of crashcon crash-point snapshots and remounts (flushed per
+/// case by the crashcon engine).
+pub fn on_crashcon(snapshots: u64, remounts: u64) {
+    with_hub(|h| {
+        h.metrics
+            .crashcon_snapshots
+            .fetch_add(snapshots, Ordering::Relaxed);
+        h.metrics
+            .crashcon_remounts
+            .fetch_add(remounts, Ordering::Relaxed);
     });
 }
 

@@ -107,6 +107,61 @@ fn all_engines_bit_identical_on_every_variant() {
     assert!(live.is_empty(), "live tally self-check: {live:?}");
 }
 
+/// Crashcon row of the matrix, plus the oracle's red path. One test
+/// function on purpose: the torn-rename latch is process-global, and
+/// the clean-matrix half asserts zero inconsistencies — interleaving
+/// them as separate tests would race the latch.
+#[test]
+fn crashcon_engines_match_serial_and_torn_rename_is_flagged() {
+    use ballista::crashcon::run_crashcon;
+    use ballista::exec::fault;
+    use ballista::fleet::run_crashcon_fleet;
+
+    for os in OsVariant::ALL {
+        let name = os.short_name();
+        let serial = run_crashcon(os, &cfg(1));
+        assert!(
+            serial.consistent(),
+            "{name}: the unbroken filesystem must pass every bounded crash point"
+        );
+        let parallel = run_crashcon(os, &cfg(8));
+        assert_eq!(
+            serial.muts, parallel.muts,
+            "{name}: crashcon parallel-8 tallies diverged from serial"
+        );
+        let fleet = run_crashcon_fleet(
+            os,
+            &cfg(1),
+            &FleetConfig {
+                shards: 8,
+                workers: 2,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(
+            serial.muts, fleet.muts,
+            "{name}: crashcon fleet-8x2 tallies diverged from serial"
+        );
+    }
+
+    // Red path: a filesystem whose rename tears across a crash (source
+    // removed, destination insert lost) must be flagged, and the
+    // divergence attributed to the rename oracle. A correct filesystem
+    // passes every crash point, so without this check the oracle's FAIL
+    // verdict would be dead code.
+    fault::arm_broken_rename(true);
+    let broken = run_crashcon(OsVariant::WinNt4, &cfg(1));
+    fault::arm_broken_rename(false);
+    assert!(
+        !broken.consistent(),
+        "torn renames must produce inconsistent crash images"
+    );
+    assert!(
+        broken.muts.iter().any(|t| t.viol_rename > 0),
+        "torn-rename inconsistencies must be attributed to the rename oracle"
+    );
+}
+
 /// The batched resident-machine loop against legacy boot-per-case
 /// provisioning: dirty-state reset-in-place must not change a single
 /// tally. Legacy mode is the pre-snapshot cost model (full eager-zero

@@ -22,6 +22,7 @@ fn valid_spec_wire() -> Vec<u8> {
         mut_start: 3,
         mut_end: 9,
         capture_fuel: true,
+        crashcon: false,
     }
     .to_wire()
 }

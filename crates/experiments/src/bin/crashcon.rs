@@ -1,0 +1,272 @@
+//! Crashcon runner: drives the bounded crash-consistency campaign
+//! (`ballista::crashcon`) across OS variants, proves the four engines
+//! bit-identical, diffs the serial tallies against the golden corpus
+//! under `results/golden/crashcon_<os>.json`, and exits non-zero on any
+//! divergence or inconsistency regression.
+//!
+//! ```text
+//! crashcon                        # all seven variants at cap 200
+//! crashcon --os win95 --os wince  # a subset (CI smoke)
+//! crashcon --cap 100              # smaller stimulus (golden diff skipped
+//! #                                 unless the corpus was blessed at 100)
+//! crashcon --bless                # regenerate results/golden/crashcon_<os>.json
+//! ```
+//!
+//! Per variant it runs: the serial engine (reference), the parallel
+//! engine at 2 and 8 workers, a fresh journaled run, a journaled run
+//! split at the mid-case boundary and resumed, and the fleet engine at
+//! 8 shards × 2 workers — every rerun must produce tallies
+//! **bit-identical** to the reference. The full per-variant reports are
+//! written to `results/crashcon.json` for CI upload.
+
+use ballista::campaign::CampaignConfig;
+use ballista::crashcon::{run_crashcon, run_crashcon_journaled, CrashconReport};
+use ballista::fleet::{run_crashcon_fleet, FleetConfig};
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use ballista::persist::atomic_write;
+use serde::{Deserialize, Serialize};
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The cap the checked-in golden corpus is pinned at.
+const GOLDEN_CAP: usize = 200;
+
+fn cfg(cap: usize, parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    experiments::results_dir().join("golden")
+}
+
+/// One variant's pinned crashcon tallies: the cap they were produced at
+/// plus the serialized per-MuT tallies of the serial reference engine.
+#[derive(Serialize, Deserialize)]
+struct GoldenEntry {
+    cap: usize,
+    muts: Vec<ballista::crashcon::CrashTally>,
+}
+
+/// The `results/crashcon.json` artifact.
+#[derive(Serialize)]
+struct CrashconArtifact {
+    cap: usize,
+    variants: Vec<CrashconReport>,
+}
+
+/// Compares an engine rerun against the serial reference tally-for-tally
+/// and records a failure line per diverging MuT set.
+fn check_identical(
+    failures: &mut Vec<String>,
+    name: &str,
+    engine: &str,
+    reference: &CrashconReport,
+    rerun: &CrashconReport,
+) {
+    if reference.muts == rerun.muts {
+        return;
+    }
+    let diverged: Vec<&str> = reference
+        .muts
+        .iter()
+        .zip(&rerun.muts)
+        .filter(|(a, b)| a != b)
+        .map(|(a, _)| a.name.as_str())
+        .collect();
+    failures.push(format!(
+        "[{name}] {engine} tallies diverged from serial (MuTs: {})",
+        if diverged.is_empty() {
+            "catalog shape changed".to_owned()
+        } else {
+            diverged.join(", ")
+        }
+    ));
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let mut bless = false;
+    let mut cap = std::env::var("BALLISTA_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(GOLDEN_CAP);
+    let mut selected: Vec<OsVariant> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bless" => bless = true,
+            "--cap" => {
+                cap = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: crashcon [--cap N] [--os NAME]... [--bless]");
+                    std::process::exit(2)
+                });
+            }
+            "--os" => {
+                let name = it.next().unwrap_or_default();
+                match OsVariant::from_short_name(&name) {
+                    Some(os) => selected.push(os),
+                    None => {
+                        eprintln!("unknown OS variant {name:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("usage: crashcon [--cap N] [--os NAME]... [--bless]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = OsVariant::ALL.to_vec();
+    }
+    eprintln!("=== Crashcon engine matrix (cap = {cap}) ===");
+    let serial_cfg = cfg(cap, 1);
+    let journal_dir = std::env::temp_dir().join("ballista-crashcon");
+    fs::create_dir_all(&journal_dir).expect("journal scratch dir");
+    fs::create_dir_all(golden_dir()).expect("golden dir must be creatable");
+
+    let mut failures = Vec::new();
+    let mut reports = Vec::new();
+    let mut rendered = String::new();
+
+    for os in selected {
+        let name = os.short_name();
+        let serial = run_crashcon(os, &serial_cfg);
+        eprintln!(
+            "  [{name}] serial: {} cases, {} points, {} inconsistent",
+            serial.total_cases, serial.total_points, serial.total_inconsistent
+        );
+
+        for workers in [2usize, 8] {
+            let parallel = run_crashcon(os, &cfg(cap, workers));
+            check_identical(
+                &mut failures,
+                name,
+                &format!("parallel-{workers}"),
+                &serial,
+                &parallel,
+            );
+        }
+
+        let journal = journal_dir.join(format!("{name}.jrn"));
+        let _ = fs::remove_file(&journal);
+        match run_crashcon_journaled(os, &serial_cfg, &journal, false) {
+            Ok(journaled) => {
+                check_identical(&mut failures, name, "journaled", &serial, &journaled);
+                // Split at the mid-case boundary — the byte-exact state
+                // of a run SIGKILLed between appends — and resume.
+                let boundary = HEADER_LEN + (journaled.total_cases / 2) * RECORD_LEN;
+                match fs::read(&journal).and_then(|bytes| {
+                    fs::write(&journal, &bytes[..boundary.min(bytes.len())])?;
+                    run_crashcon_journaled(os, &serial_cfg, &journal, true)
+                }) {
+                    Ok(resumed) => {
+                        check_identical(&mut failures, name, "split-resume", &serial, &resumed);
+                        if !resumed.warnings.iter().any(|w| w.contains("resumed from journal")) {
+                            failures.push(format!(
+                                "[{name}] split-resume did not actually replay the journal"
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("[{name}] split-resume failed: {e}")),
+                }
+            }
+            Err(e) => failures.push(format!("[{name}] journaled run failed: {e}")),
+        }
+        let _ = fs::remove_file(&journal);
+
+        let fleet = run_crashcon_fleet(
+            os,
+            &serial_cfg,
+            &FleetConfig {
+                shards: 8,
+                workers: 2,
+                ..FleetConfig::default()
+            },
+        );
+        check_identical(&mut failures, name, "fleet-8x2", &serial, &fleet);
+
+        // Golden corpus: pinned serial tallies per variant.
+        let path = golden_dir().join(format!("crashcon_{name}.json"));
+        let entry = GoldenEntry {
+            cap,
+            muts: serial.muts.clone(),
+        };
+        if bless {
+            let json = serde_json::to_string_pretty(&entry).expect("golden serializes");
+            atomic_write(&path, json.as_bytes()).expect("golden must be writable");
+            eprintln!("  blessed {}", path.display());
+        } else {
+            match fs::read(&path) {
+                Ok(bytes) => match serde_json::from_slice::<GoldenEntry>(&bytes) {
+                    Ok(golden) if golden.cap != cap => failures.push(format!(
+                        "[{name}] golden corpus pinned at cap {}, run used cap {cap}",
+                        golden.cap
+                    )),
+                    Ok(golden) => {
+                        let got = serde_json::to_string(&entry.muts).expect("serializable");
+                        let want = serde_json::to_string(&golden.muts).expect("serializable");
+                        if got != want {
+                            let diverged: Vec<&str> = entry
+                                .muts
+                                .iter()
+                                .zip(&golden.muts)
+                                .filter(|(a, b)| a != b)
+                                .map(|(a, _)| a.name.as_str())
+                                .collect();
+                            failures.push(format!(
+                                "[{name}] crashcon tallies drifted from the golden corpus \
+                                 (MuTs: {}); rerun with --bless only if the change is intended",
+                                if diverged.is_empty() {
+                                    "catalog shape changed".to_owned()
+                                } else {
+                                    diverged.join(", ")
+                                }
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("[{name}] unparsable golden corpus: {e}")),
+                },
+                Err(_) => failures.push(format!(
+                    "[{name}] no golden corpus at {}; run crashcon --bless",
+                    path.display()
+                )),
+            }
+        }
+
+        rendered.push_str(&report::crashcon::crashcon_table(&serial));
+        rendered.push('\n');
+        reports.push(serial);
+    }
+
+    print!("{rendered}");
+    experiments::write_artifact("crashcon.txt", &rendered);
+    let artifact = CrashconArtifact {
+        cap,
+        variants: reports,
+    };
+    experiments::write_artifact(
+        "crashcon.json",
+        &serde_json::to_string_pretty(&artifact).expect("crashcon artifact serializes"),
+    );
+
+    if failures.is_empty() {
+        eprintln!("crashcon: engine matrix bit-identical, golden corpus clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("crashcon: FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod conformance;
+pub mod crashcon;
 pub mod figures;
 pub mod normalize;
 pub mod progress;

@@ -308,6 +308,17 @@ impl AddressSpace {
         self.dirty.len()
     }
 
+    /// Base addresses of the regions touched since the last
+    /// [`AddressSpace::mark_clean`], in touch order. Lets harness layers
+    /// that snapshot *around* the address space (e.g. the crashcon
+    /// remount loop) assert their own bookkeeping stays O(touched) —
+    /// swapping a filesystem image into a resident kernel must not dirty
+    /// any memory region.
+    #[must_use]
+    pub fn dirty_bases(&self) -> &[u64] {
+        &self.dirty
+    }
+
     /// Declares the current state pristine: subsequent mutations start a new
     /// dirty journal. Called when a machine image is captured as a restore
     /// baseline.

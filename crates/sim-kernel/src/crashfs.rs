@@ -1,0 +1,421 @@
+//! Bounded crash-image construction over a recorded filesystem op log.
+//!
+//! This is the sim-kernel half of the B3 port ("Finding Crash-Consistency
+//! Bugs with Bounded Black-Box Crash Testing"): given the [`FsOp`] log one
+//! test case recorded, enumerate every bounded crash point, build the
+//! filesystem image a crash at that point would leave behind, and "remount"
+//! it. The consistency *oracles* live in `ballista::crashcon`, judged
+//! against the independent flat model in this module — the image is built
+//! by replaying ops through the real [`FileSystem`] mutators while the
+//! model is a pure fold over the same ops, so a filesystem bug shows up as
+//! a divergence instead of being believed twice.
+//!
+//! Crash points are bounded two ways, both faithful to B3:
+//!
+//! * the op log itself is capped at [`crate::fs::MAX_OPLOG`] ops, and
+//! * reordering is limited to dropping **one** op from a window of
+//!   [`REORDER_WINDOW`] ops immediately before the crash — and never an op
+//!   at or before the last durability [`FsOp::Barrier`], so the flushed
+//!   prefix survives every simulated crash by construction.
+
+use crate::fs::{FileSystem, FsOp, OpenOptions, SeekFrom};
+use std::collections::BTreeMap;
+
+/// How many trailing (unflushed) ops are eligible for drop-one reordering
+/// at each crash point. B3's `seq-2`/`seq-3` bounds motivate a small
+/// constant; 3 keeps enumeration linear-ish while still exercising the
+/// remove-then-insert window inside `rename`.
+pub const REORDER_WINDOW: usize = 3;
+
+/// One simulated crash: persist `ops[..keep]`, optionally dropping the op
+/// at index `dropped` (always `>` the last barrier index and within
+/// [`REORDER_WINDOW`] of `keep`) to model an unflushed write the disk
+/// reordered past the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Number of leading ops that reached the disk.
+    pub keep: usize,
+    /// Index of one op inside the kept prefix that did *not* reach the
+    /// disk (bounded reordering), or `None` for a pure prefix crash.
+    pub dropped: Option<usize>,
+}
+
+/// Enumerates every bounded crash point of an op log, in deterministic
+/// order: for each prefix length the pure-prefix point first, then the
+/// drop-one variants nearest the crash first.
+#[must_use]
+pub fn crash_points(ops: &[FsOp]) -> Vec<CrashPoint> {
+    let mut points = Vec::new();
+    let mut last_barrier: Option<usize> = None;
+    for keep in 0..=ops.len() {
+        points.push(CrashPoint { keep, dropped: None });
+        if keep >= 2 {
+            // Drop-one candidates: strictly after the last barrier inside
+            // the prefix, within the reorder window, and not the final op
+            // (dropping ops[keep-1] is just the `keep-1` prefix point).
+            let floor = last_barrier.map_or(0, |b| b + 1);
+            let lo = floor.max(keep.saturating_sub(REORDER_WINDOW + 1));
+            for j in (lo..keep - 1).rev() {
+                if !ops[j].is_barrier() {
+                    points.push(CrashPoint {
+                        keep,
+                        dropped: Some(j),
+                    });
+                }
+            }
+        }
+        if keep < ops.len() && ops[keep].is_barrier() {
+            last_barrier = Some(keep);
+        }
+    }
+    points
+}
+
+/// Index of the last [`FsOp::Barrier`] within `ops[..keep]`, if any. Ops
+/// up to and including that barrier form the *flushed prefix* the
+/// durability oracle holds every crash image to.
+#[must_use]
+pub fn last_barrier_in_prefix(ops: &[FsOp], keep: usize) -> Option<usize> {
+    ops[..keep].iter().rposition(FsOp::is_barrier)
+}
+
+/// Replays recorded ops onto `fs` through the real filesystem mutators,
+/// materializing the post-crash image for one [`CrashPoint`]. Ops whose
+/// *structural* preconditions no longer hold (possible only after a drop)
+/// fail exactly as the real mutator fails and are skipped — a crashed disk
+/// does not half-apply an update it never received. The read-only
+/// attribute is cleared before replaying each data op: a recorded op
+/// already reached the disk when it ran (possibly through a descriptor
+/// opened before the attribute flipped), attribute bits cannot veto raw
+/// sectors, and the flat model deliberately does not track them.
+///
+/// `break_rename` is the seeded fault for the oracle's own test: a broken
+/// rename removes the source but loses the destination insert — precisely
+/// the torn state the two-step `rename` would leak if a crash were
+/// possible between its halves.
+pub fn apply_ops(fs: &mut FileSystem, ops: &[FsOp], point: CrashPoint, break_rename: bool) {
+    for (i, op) in ops[..point.keep].iter().enumerate() {
+        if point.dropped == Some(i) {
+            continue;
+        }
+        match op {
+            FsOp::CreateFile { path, content, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.create_file(path, content.clone());
+            }
+            FsOp::Mkdir { path, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.mkdir(path);
+            }
+            FsOp::Rmdir { path, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.rmdir(path);
+            }
+            FsOp::Unlink { path, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.set_readonly(path, false);
+                let _ = fs.unlink(path);
+            }
+            FsOp::Rename { from, to, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                if fs.rename(from, to).is_ok() && break_rename {
+                    remove_tree(fs, to);
+                }
+            }
+            FsOp::SetReadonly { path, readonly, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.set_readonly(path, *readonly);
+            }
+            FsOp::Truncate { path, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.set_readonly(path, false);
+                let _ = fs.open(path, OpenOptions::write_only().truncate(true))
+                    .and_then(|ofd| fs.close(ofd));
+            }
+            FsOp::Write { path, offset, data, at_ms } => {
+                fs.set_now_ms(*at_ms);
+                let _ = fs.set_readonly(path, false);
+                if let Ok(ofd) = fs.open(path, OpenOptions::write_only()) {
+                    let _ = fs
+                        .seek(ofd, SeekFrom::Start(*offset))
+                        .and_then(|_| fs.write(ofd, data));
+                    let _ = fs.close(ofd);
+                }
+            }
+            FsOp::Barrier { .. } => {}
+        }
+    }
+}
+
+/// Removes a path and everything under it, clearing read-only bits as it
+/// goes. Only the seeded broken-rename fault uses this — it models the
+/// destination subtree never reaching the disk.
+fn remove_tree(fs: &mut FileSystem, path: &str) {
+    let _ = fs.set_readonly(path, false);
+    if let Ok(children) = fs.list_dir(path) {
+        for child in children {
+            remove_tree(fs, &format!("{path}/{child}"));
+        }
+        let _ = fs.rmdir(path);
+    } else {
+        let _ = fs.unlink(path);
+    }
+}
+
+/// One entry of the independent flat model: what a path should hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecNode {
+    /// A directory.
+    Dir,
+    /// A regular file with exactly this content.
+    File(Vec<u8>),
+}
+
+/// The independent flat model of a filesystem tree: normalized absolute
+/// path → expected node, root implicit. Built two ways that must agree —
+/// [`spec_of_ops`] folds the op log purely (no [`FileSystem`] code), and
+/// [`flatten`] walks a real remounted image. The crashcon oracles compare
+/// them.
+pub type SpecTree = BTreeMap<String, SpecNode>;
+
+fn spec_parent_ok(spec: &SpecTree, path: &str) -> bool {
+    match path.rfind('/') {
+        Some(0) | None => true, // parent is the root
+        Some(i) => matches!(spec.get(&path[..i]), Some(SpecNode::Dir)),
+    }
+}
+
+fn spec_has_children(spec: &SpecTree, path: &str) -> bool {
+    let prefix = format!("{path}/");
+    spec.range(prefix.clone()..).next().is_some_and(|(k, _)| k.starts_with(&prefix))
+}
+
+/// Pure fold of a (possibly drop-one-reordered) op log into the expected
+/// tree, replicating the mutators' precondition checks on the flat map —
+/// deliberately sharing no code with [`FileSystem`]. Read-only tracking is
+/// intentionally out of model scope: attribute bits are metadata the
+/// durability oracle does not judge, and `unlink` in a recorded log
+/// already succeeded against the real attribute state.
+#[must_use]
+pub fn spec_of_ops(ops: &[FsOp], point: CrashPoint) -> SpecTree {
+    spec_of_ops_from(SpecTree::new(), ops, point)
+}
+
+/// [`spec_of_ops`] folding on top of a base tree — the flat model of the
+/// filesystem as it stood when recording started (see [`flatten_all`]).
+/// Seeding with the boot image means ops over *pre-existing* paths (a
+/// workload renaming `/README.TXT`, say) are modeled instead of silently
+/// falling outside the oracle's domain.
+#[must_use]
+pub fn spec_of_ops_from(base: SpecTree, ops: &[FsOp], point: CrashPoint) -> SpecTree {
+    let mut spec = base;
+    for (i, op) in ops[..point.keep].iter().enumerate() {
+        if point.dropped == Some(i) {
+            continue;
+        }
+        match op {
+            FsOp::CreateFile { path, content, .. } => {
+                if spec_parent_ok(&spec, path) && !spec.contains_key(path) {
+                    spec.insert(path.clone(), SpecNode::File(content.clone()));
+                }
+            }
+            FsOp::Mkdir { path, .. } => {
+                if spec_parent_ok(&spec, path) && !spec.contains_key(path) {
+                    spec.insert(path.clone(), SpecNode::Dir);
+                }
+            }
+            FsOp::Rmdir { path, .. } => {
+                if matches!(spec.get(path), Some(SpecNode::Dir)) && !spec_has_children(&spec, path)
+                {
+                    spec.remove(path);
+                }
+            }
+            FsOp::Unlink { path, .. } => {
+                if matches!(spec.get(path), Some(SpecNode::File(_))) {
+                    spec.remove(path);
+                }
+            }
+            FsOp::Rename { from, to, .. } => {
+                if spec.contains_key(from)
+                    && spec_parent_ok(&spec, to)
+                    && !spec.contains_key(to)
+                    && !to.starts_with(&format!("{from}/"))
+                {
+                    // Move the node and its whole subtree.
+                    let prefix = format!("{from}/");
+                    let moved: Vec<(String, SpecNode)> = spec
+                        .range(from.clone()..)
+                        .take_while(|(k, _)| *k == from || k.starts_with(&prefix))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    for (k, _) in &moved {
+                        spec.remove(k);
+                    }
+                    for (k, v) in moved {
+                        let suffix = &k[from.len()..];
+                        spec.insert(format!("{to}{suffix}"), v);
+                    }
+                }
+            }
+            FsOp::SetReadonly { .. } => {}
+            FsOp::Truncate { path, .. } => {
+                if let Some(SpecNode::File(content)) = spec.get_mut(path) {
+                    content.clear();
+                }
+            }
+            FsOp::Write { path, offset, data, .. } => {
+                if let Some(SpecNode::File(content)) = spec.get_mut(path) {
+                    let off = *offset as usize;
+                    if off > content.len() {
+                        content.resize(off, 0);
+                    }
+                    let overlap = (content.len() - off).min(data.len());
+                    content[off..off + overlap].copy_from_slice(&data[..overlap]);
+                    content.extend_from_slice(&data[overlap..]);
+                }
+            }
+            FsOp::Barrier { .. } => {}
+        }
+    }
+    spec
+}
+
+/// Flat model of an entire real filesystem tree, boot image included.
+/// [`Verifier`](../../ballista/crashcon/struct.Verifier.html)-style
+/// harnesses build this once from the pristine image and seed
+/// [`spec_of_ops_from`] with it, so crash images are judged over
+/// pre-existing paths too.
+#[must_use]
+pub fn flatten_all(fs: &FileSystem) -> SpecTree {
+    fn walk(fs: &FileSystem, dir: &str, out: &mut SpecTree) {
+        let Ok(children) = fs.list_dir(dir) else { return };
+        for name in children {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            match fs.stat(&path) {
+                Ok(st) if st.is_dir => {
+                    out.insert(path.clone(), SpecNode::Dir);
+                    walk(fs, &path, out);
+                }
+                Ok(_) => {
+                    if let Ok(content) = fs.read_file(&path) {
+                        out.insert(path, SpecNode::File(content));
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    let mut out = SpecTree::new();
+    walk(fs, "/", &mut out);
+    out
+}
+
+/// Walks a real filesystem into the flat model, restricted to paths the
+/// spec knows about plus anything under them — the crashcon oracles only
+/// judge state the recorded workload created; the boot image (motd,
+/// README.TXT, …) is background.
+///
+/// # Errors
+///
+/// A description of the structural defect if the walk trips over one
+/// (which the well-formedness oracle will have reported first).
+pub fn flatten(fs: &FileSystem, under: &SpecTree) -> Result<SpecTree, String> {
+    let mut out = SpecTree::new();
+    for path in under.keys() {
+        let Ok(stat) = fs.stat(path) else { continue };
+        if stat.is_dir {
+            out.insert(path.clone(), SpecNode::Dir);
+        } else {
+            let content = fs
+                .read_file(path)
+                .map_err(|e| format!("{path}: unreadable file: {e}"))?;
+            out.insert(path.clone(), SpecNode::File(content));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_demo() -> Vec<FsOp> {
+        vec![
+            FsOp::Mkdir { path: "/w".into(), at_ms: 1 },
+            FsOp::CreateFile { path: "/w/a".into(), content: b"v1".to_vec(), at_ms: 2 },
+            FsOp::Barrier { at_ms: 3 },
+            FsOp::CreateFile { path: "/w/a.tmp".into(), content: b"v2".to_vec(), at_ms: 4 },
+            FsOp::Unlink { path: "/w/a".into(), at_ms: 5 },
+            FsOp::Rename { from: "/w/a.tmp".into(), to: "/w/a".into(), at_ms: 6 },
+        ]
+    }
+
+    #[test]
+    fn crash_points_bounded_and_deterministic() {
+        let ops = ops_demo();
+        let points = crash_points(&ops);
+        let again = crash_points(&ops);
+        assert_eq!(points, again);
+        // Prefix points: one per boundary.
+        assert_eq!(points.iter().filter(|p| p.dropped.is_none()).count(), ops.len() + 1);
+        // No drop at or before the barrier (index 2), never the last op,
+        // always within the window.
+        for p in &points {
+            if let Some(j) = p.dropped {
+                if let Some(b) = last_barrier_in_prefix(&ops, p.keep) {
+                    assert!(j > b, "dropped flushed op {j} (barrier at {b})");
+                }
+                assert!(j < p.keep - 1);
+                assert!(p.keep - j <= REORDER_WINDOW + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_and_replay_agree_on_full_log() {
+        let ops = ops_demo();
+        let full = CrashPoint { keep: ops.len(), dropped: None };
+        let spec = spec_of_ops(&ops, full);
+        let mut fs = FileSystem::new_posix();
+        apply_ops(&mut fs, &ops, full, false);
+        let image = flatten(&fs, &spec).unwrap();
+        assert_eq!(image, spec);
+        assert_eq!(spec.get("/w/a"), Some(&SpecNode::File(b"v2".to_vec())));
+        assert!(!spec.contains_key("/w/a.tmp"));
+    }
+
+    #[test]
+    fn broken_rename_diverges_from_spec() {
+        let ops = ops_demo();
+        let full = CrashPoint { keep: ops.len(), dropped: None };
+        let spec = spec_of_ops(&ops, full);
+        let mut fs = FileSystem::new_posix();
+        apply_ops(&mut fs, &ops, full, true);
+        let image = flatten(&fs, &spec).unwrap();
+        assert_ne!(image, spec, "torn rename must be visible");
+        assert!(!fs.exists("/w/a"), "destination lost by the broken rename");
+    }
+
+    #[test]
+    fn dropping_an_unflushed_op_keeps_flushed_prefix() {
+        let ops = ops_demo();
+        // Crash after everything, with the unlink (index 4) lost.
+        let point = CrashPoint { keep: ops.len(), dropped: Some(4) };
+        let mut fs = FileSystem::new_posix();
+        apply_ops(&mut fs, &ops, point, false);
+        // The flushed "/w/a" = v1 was never unlinked; the rename then
+        // failed (destination exists) — exactly what the spec predicts.
+        let spec = spec_of_ops(&ops, point);
+        let image = flatten(&fs, &spec).unwrap();
+        assert_eq!(image, spec);
+        assert_eq!(
+            fs.read_file("/w/a").unwrap(),
+            b"v1",
+            "flushed write survived"
+        );
+    }
+}

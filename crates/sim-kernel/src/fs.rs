@@ -214,6 +214,129 @@ struct OpenFile {
 /// Identifier of an open-file description.
 pub type OfdId = u64;
 
+/// One recorded persistence-relevant filesystem mutation — a crash point
+/// candidate for the bounded crash-consistency campaign (`ballista::crashcon`,
+/// after B3's bounded black-box crash testing). Ops are recorded only while
+/// [`FileSystem::set_crash_recording`] is on, only *after* the mutation
+/// succeeded, and always with normalized paths (case-folded, drive letter
+/// stripped, `.`/`..` resolved), so replaying the log onto a pristine
+/// filesystem is spelling-independent. `at_ms` is the filesystem clock at the
+/// time of the op — the kernel drives that clock from the fuel meter, which is
+/// what makes crash points deterministic across hosts and engines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsOp {
+    /// A regular file came into existence with `content`.
+    CreateFile {
+        /// Normalized absolute path.
+        path: String,
+        /// Initial content (usually empty — `open(create)` path).
+        content: Vec<u8>,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// A directory was created.
+    Mkdir {
+        /// Normalized absolute path.
+        path: String,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// An empty directory was removed.
+    Rmdir {
+        /// Normalized absolute path.
+        path: String,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// A regular file was removed.
+    Unlink {
+        /// Normalized absolute path.
+        path: String,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// A file or directory moved. The two-step remove-then-insert inside
+    /// [`FileSystem::rename`] is exactly the non-atomicity window the
+    /// crashcon rename oracle probes.
+    Rename {
+        /// Normalized source path.
+        from: String,
+        /// Normalized destination path.
+        to: String,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// The read-only attribute changed.
+    SetReadonly {
+        /// Normalized absolute path.
+        path: String,
+        /// New read-only state.
+        readonly: bool,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// An existing file was truncated to zero length (`open` with
+    /// `truncate`).
+    Truncate {
+        /// Normalized absolute path.
+        path: String,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// Bytes were written through an open-file description. `offset` is the
+    /// *effective* offset (append mode already resolved to end-of-file), so
+    /// replay needs no descriptor state.
+    Write {
+        /// Normalized absolute path of the file behind the descriptor.
+        path: String,
+        /// Effective byte offset the write landed at.
+        offset: u64,
+        /// The bytes written.
+        data: Vec<u8>,
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+    /// A durability barrier: [`FileSystem::flush`], or the implicit flush
+    /// when a descriptor that was open for writing is closed. Everything
+    /// recorded before a barrier must survive any later crash (the
+    /// prefix-durability oracle); only ops after the last barrier are
+    /// eligible for bounded reordering.
+    Barrier {
+        /// Fuel-clock timestamp.
+        at_ms: u64,
+    },
+}
+
+impl FsOp {
+    /// The op's fuel-clock timestamp.
+    #[must_use]
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            FsOp::CreateFile { at_ms, .. }
+            | FsOp::Mkdir { at_ms, .. }
+            | FsOp::Rmdir { at_ms, .. }
+            | FsOp::Unlink { at_ms, .. }
+            | FsOp::Rename { at_ms, .. }
+            | FsOp::SetReadonly { at_ms, .. }
+            | FsOp::Truncate { at_ms, .. }
+            | FsOp::Write { at_ms, .. }
+            | FsOp::Barrier { at_ms } => *at_ms,
+        }
+    }
+
+    /// Whether this op is a durability barrier.
+    #[must_use]
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, FsOp::Barrier { .. })
+    }
+}
+
+/// Hard cap on recorded ops per recording window. A runaway MuT writing in a
+/// loop would otherwise make crash-point enumeration quadratic in an
+/// unbounded log; B3's whole premise is that a *bounded* workload suffices.
+/// Recording past the cap is dropped (the log is marked truncated).
+pub const MAX_OPLOG: usize = 256;
+
 /// The in-memory filesystem.
 ///
 /// See the [module documentation](self) for scope and an example on the
@@ -246,6 +369,18 @@ pub struct FileSystem {
     /// rationale as `gen`.
     #[serde(default)]
     open_gen: u64,
+    /// Crash-op recording switch. Off by default; the crashcon engine turns
+    /// it on per case and drains the log afterwards. Not compared by
+    /// `PartialEq` and not part of the durable image — it is harness
+    /// bookkeeping, like the generation counters.
+    #[serde(default)]
+    recording: bool,
+    /// The recorded op log (empty unless `recording` was on).
+    #[serde(default)]
+    oplog: Vec<FsOp>,
+    /// Whether the log hit [`MAX_OPLOG`] and dropped ops.
+    #[serde(default)]
+    oplog_truncated: bool,
 }
 
 /// Equality is structural — the generation counter and timestamp source are
@@ -279,7 +414,100 @@ impl FileSystem {
             open_limit: None,
             gen: 0,
             open_gen: 0,
+            recording: false,
+            oplog: Vec::new(),
+            oplog_truncated: false,
         }
+    }
+
+    /// Turns crash-op recording on or off. Turning it on clears any stale
+    /// log so each recording window observes exactly one case.
+    pub fn set_crash_recording(&mut self, on: bool) {
+        self.recording = on;
+        if on {
+            self.oplog.clear();
+            self.oplog_truncated = false;
+        }
+    }
+
+    /// Whether crash-op recording is currently on.
+    #[must_use]
+    pub fn crash_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Drains the recorded op log, returning it together with the
+    /// truncation flag (`true` when [`MAX_OPLOG`] dropped ops).
+    pub fn take_oplog(&mut self) -> (Vec<FsOp>, bool) {
+        let truncated = self.oplog_truncated;
+        self.oplog_truncated = false;
+        (std::mem::take(&mut self.oplog), truncated)
+    }
+
+    /// Appends a recorded op, honoring the [`MAX_OPLOG`] bound. The closure
+    /// keeps the (allocating) op construction off the hot path when
+    /// recording is off — every mutator pays one branch and nothing else.
+    fn record(&mut self, op: impl FnOnce(&FileSystem) -> Option<FsOp>) {
+        if !self.recording {
+            return;
+        }
+        if self.oplog.len() >= MAX_OPLOG {
+            self.oplog_truncated = true;
+            return;
+        }
+        // Re-borrow immutably for path normalization inside the closure.
+        let this: &FileSystem = self;
+        if let Some(op) = op(this) {
+            self.oplog.push(op);
+        }
+    }
+
+    /// Normalizes `path` to the canonical absolute spelling recorded in
+    /// [`FsOp`]s: case-folded on case-insensitive filesystems, drive letter
+    /// stripped, `.`/`..` resolved, components joined with `/`. Returns
+    /// `None` for invalid paths (which cannot have passed a mutator's
+    /// validation anyway).
+    #[must_use]
+    pub fn normalize_path(&self, path: &str) -> Option<String> {
+        let parts = self.components(path).ok()?;
+        let mut out = String::with_capacity(path.len() + 1);
+        for p in &parts {
+            out.push('/');
+            out.push_str(p);
+        }
+        if out.is_empty() {
+            out.push('/');
+        }
+        Some(out)
+    }
+
+    /// Resolves the normalized path of a live node by walking from the
+    /// root — recording-path only (descriptor-based ops need a path for
+    /// replay). Returns `None` for unreachable (unlinked-while-open) nodes,
+    /// whose writes cannot survive into any remounted image anyway.
+    fn path_of_node(&self, target: u64) -> Option<String> {
+        fn walk(fs: &FileSystem, cur: u64, target: u64, acc: &mut String) -> bool {
+            if cur == target {
+                if acc.is_empty() {
+                    acc.push('/');
+                }
+                return true;
+            }
+            if let Some(Node::Dir { children, .. }) = &fs.nodes[cur as usize] {
+                for (name, &id) in children {
+                    let len = acc.len();
+                    acc.push('/');
+                    acc.push_str(name);
+                    if walk(fs, id, target, acc) {
+                        return true;
+                    }
+                    acc.truncate(len);
+                }
+            }
+            false
+        }
+        let mut acc = String::new();
+        walk(self, 0, target, &mut acc).then_some(acc)
     }
 
     /// Current structural generation (see the field documentation).
@@ -512,6 +740,13 @@ impl FileSystem {
             return Err(FsError::Exists);
         }
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::CreateFile {
+                path: fs.normalize_path(path)?,
+                content: content.clone(),
+                at_ms: fs.now_ms,
+            })
+        });
         let id = self.alloc_node(Node::File { content, attrs });
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
@@ -535,6 +770,12 @@ impl FileSystem {
             return Err(FsError::Exists);
         }
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::Mkdir {
+                path: fs.normalize_path(path)?,
+                at_ms: fs.now_ms,
+            })
+        });
         let attrs = FileAttrs {
             readonly: false,
             created_ms: self.now_ms,
@@ -569,6 +810,12 @@ impl FileSystem {
             _ => return Err(FsError::NotADirectory),
         }
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::Rmdir {
+                path: fs.normalize_path(path)?,
+                at_ms: fs.now_ms,
+            })
+        });
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
         };
@@ -600,6 +847,12 @@ impl FileSystem {
             None => return Err(FsError::NotFound),
         }
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::Unlink {
+                path: fs.normalize_path(path)?,
+                at_ms: fs.now_ms,
+            })
+        });
         let Some(Node::Dir { children, .. }) = &mut self.nodes[parent as usize] else {
             unreachable!("checked above");
         };
@@ -627,7 +880,26 @@ impl FileSystem {
         if children.contains_key(&to_name) {
             return Err(FsError::Exists);
         }
+        // Renaming a directory into its own subtree (or onto itself) would
+        // detach it from the root and leave an orphaned cycle. Real kernels
+        // reject this before touching anything (POSIX `EINVAL`, Windows
+        // `ERROR_SHARING_VIOLATION`); paths are compared case-folded so the
+        // guard matches lookup semantics on case-insensitive variants.
+        if matches!(self.nodes[id as usize], Some(Node::Dir { .. })) {
+            let nf = self.normalize_path(from).ok_or(FsError::InvalidPath)?;
+            let nt = self.normalize_path(to).ok_or(FsError::InvalidPath)?;
+            if nt == nf || nt.starts_with(&format!("{nf}/")) {
+                return Err(FsError::InvalidPath);
+            }
+        }
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::Rename {
+                from: fs.normalize_path(from)?,
+                to: fs.normalize_path(to)?,
+                at_ms: fs.now_ms,
+            })
+        });
         let Some(Node::Dir { children, .. }) = &mut self.nodes[from_parent as usize] else {
             unreachable!("checked above");
         };
@@ -674,6 +946,13 @@ impl FileSystem {
     pub fn set_readonly(&mut self, path: &str, readonly: bool) -> Result<(), FsError> {
         let id = self.lookup(path)?;
         self.touch();
+        self.record(|fs| {
+            Some(FsOp::SetReadonly {
+                path: fs.normalize_path(path)?,
+                readonly,
+                at_ms: fs.now_ms,
+            })
+        });
         match self.nodes[id as usize].as_mut().expect("live node") {
             Node::File { attrs, .. } | Node::Dir { attrs, .. } => attrs.readonly = readonly,
         }
@@ -731,6 +1010,12 @@ impl FileSystem {
         }
         if opts.truncate && opts.write {
             self.touch();
+            self.record(|fs| {
+                Some(FsOp::Truncate {
+                    path: fs.normalize_path(path)?,
+                    at_ms: fs.now_ms,
+                })
+            });
             let now = self.now_ms;
             let Some(Node::File { content, attrs }) = self.nodes[node_id as usize].as_mut() else {
                 unreachable!("checked above");
@@ -758,11 +1043,33 @@ impl FileSystem {
     ///
     /// [`FsError::BadDescriptor`] for unknown ids.
     pub fn close(&mut self, ofd: OfdId) -> Result<(), FsError> {
+        let Some(of) = self.open.get(&ofd) else {
+            return Err(FsError::BadDescriptor);
+        };
+        // Closing a descriptor that was open for writing is an implicit
+        // durability barrier (fsync-on-close semantics), recorded for the
+        // crashcon prefix-durability oracle.
+        let flushes = of.opts.write;
+        self.touch_open();
+        self.open.remove(&ofd);
+        if flushes {
+            self.record(|fs| Some(FsOp::Barrier { at_ms: fs.now_ms }));
+        }
+        Ok(())
+    }
+
+    /// Flushes an open-file description: a durability barrier with no other
+    /// observable effect. Everything written before the barrier must survive
+    /// any crash simulated after it (the crashcon prefix-durability oracle).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadDescriptor`] for unknown ids.
+    pub fn flush(&mut self, ofd: OfdId) -> Result<(), FsError> {
         if !self.open.contains_key(&ofd) {
             return Err(FsError::BadDescriptor);
         }
-        self.touch_open();
-        self.open.remove(&ofd);
+        self.record(|fs| Some(FsOp::Barrier { at_ms: fs.now_ms }));
         Ok(())
     }
 
@@ -827,6 +1134,15 @@ impl FileSystem {
         content.extend_from_slice(&data[overlap..]);
         of.offset += data.len() as u64;
         attrs.modified_ms = now;
+        let node = of.node;
+        self.record(|fs| {
+            Some(FsOp::Write {
+                path: fs.path_of_node(node)?,
+                offset: off as u64,
+                data: data.to_vec(),
+                at_ms: fs.now_ms,
+            })
+        });
         Ok(data.len())
     }
 
@@ -937,6 +1253,74 @@ impl FileSystem {
         self.open.insert(target, of);
         self.next_ofd = self.next_ofd.max(target + 1);
         Ok(target)
+    }
+
+    /// Reads a whole file by path without touching descriptor state (the
+    /// crashcon oracle's read path — oracles must not perturb the image
+    /// they are judging).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] for directories, plus resolution errors.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let id = self.lookup(path)?;
+        match self.nodes[id as usize].as_ref().expect("live node") {
+            Node::File { content, .. } => Ok(content.clone()),
+            Node::Dir { .. } => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// Number of live (allocated, non-freed) nodes, reachable or not.
+    /// Compared against [`FileSystem::validate_tree`]'s reachable count by
+    /// the crashcon well-formedness oracle to detect orphaned nodes.
+    #[must_use]
+    pub fn live_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Structurally validates the node tree: every child id must be in
+    /// bounds and live, and no node may be reachable twice (aliasing or a
+    /// cycle). Returns the reachable node count on success and a
+    /// description of the first defect otherwise.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the structural defect.
+    pub fn validate_tree(&self) -> Result<usize, String> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0u64];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            let idx = id as usize;
+            if idx >= self.nodes.len() {
+                return Err(format!("child id {id} out of bounds"));
+            }
+            if seen[idx] {
+                return Err(format!("node {id} reachable twice (cycle or aliasing)"));
+            }
+            seen[idx] = true;
+            count += 1;
+            match &self.nodes[idx] {
+                None => return Err(format!("dangling child id {id}")),
+                Some(Node::Dir { children, .. }) => stack.extend(children.values().copied()),
+                Some(Node::File { .. }) => {}
+            }
+        }
+        Ok(count)
+    }
+
+    /// Whether every open-file description references a live regular file.
+    /// A remounted crash image must additionally have an *empty* open
+    /// table (descriptors do not survive a crash) — the crashcon oracle
+    /// checks both.
+    #[must_use]
+    pub fn open_table_valid(&self) -> bool {
+        self.open.values().all(|of| {
+            matches!(
+                self.nodes.get(of.node as usize),
+                Some(Some(Node::File { .. }))
+            )
+        })
     }
 }
 
@@ -1058,6 +1442,28 @@ mod tests {
         fs.rename("/a", "/c").unwrap();
         assert!(!fs.exists("/a"));
         assert_eq!(fs.stat("/c").unwrap().size, 1);
+    }
+
+    #[test]
+    fn rename_rejects_moving_dir_into_own_subtree() {
+        let mut fs = FileSystem::new_posix();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        assert_eq!(
+            fs.rename("/a", "/a/b/c").unwrap_err(),
+            FsError::InvalidPath
+        );
+        assert_eq!(fs.rename("/a", "/a/c").unwrap_err(), FsError::InvalidPath);
+        assert_eq!(fs.rename("/a", "/a").unwrap_err(), FsError::Exists);
+        // The tree must be untouched: still well formed, nothing orphaned.
+        fs.validate_tree().unwrap();
+        assert!(fs.exists("/a/b"));
+
+        // Case-insensitive variants must apply the same guard case-folded.
+        let mut win = FileSystem::new_windows();
+        win.mkdir("/D").unwrap();
+        assert_eq!(win.rename("/d", "/D/e").unwrap_err(), FsError::InvalidPath);
+        win.validate_tree().unwrap();
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod clock;
 pub mod crash;
+pub mod crashfs;
 pub mod env;
 pub mod fs;
 pub mod heap;

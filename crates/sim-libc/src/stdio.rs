@@ -326,7 +326,10 @@ pub fn fflush(k: &mut Kernel, profile: LibcProfile, stream: SimPtr) -> ApiResult
     match resolve_file(k, profile, stream, "fflush", true)? {
         FileRef::SystemDead => Ok(ApiReturn::ok(0)),
         FileRef::Error(e) => Ok(ApiReturn::err(EOF, e)),
-        FileRef::Live(_) => Ok(ApiReturn::ok(0)), // in-memory fs: always flushed
+        FileRef::Live(ofd) => {
+            let _ = k.fs.flush(ofd); // durability barrier for crashcon
+            Ok(ApiReturn::ok(0))
+        }
     }
 }
 

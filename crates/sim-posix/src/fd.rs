@@ -311,6 +311,9 @@ pub fn fsync(k: &mut Kernel, fd: i64) -> ApiResult {
     if !fd_ok(k, fd) {
         return Ok(errno_return(errno::EBADF));
     }
+    if fd >= FIRST_FILE_FD {
+        let _ = k.fs.flush(fd as u64); // durability barrier for crashcon
+    }
     Ok(ApiReturn::ok(0))
 }
 

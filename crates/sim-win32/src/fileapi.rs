@@ -283,7 +283,10 @@ pub fn SetEndOfFile(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResu
 pub fn FlushFileBuffers(k: &mut Kernel, profile: Win32Profile, h: Handle) -> ApiResult {
     k.charge_call_to(Subsystem::Fs);
     match file_ofd(k, h) {
-        Ok(_) => Ok(ApiReturn::ok(TRUE)),
+        Ok(ofd) => {
+            let _ = k.fs.flush(ofd); // durability barrier for crashcon
+            Ok(ApiReturn::ok(TRUE))
+        }
         Err(e) => Ok(bad_handle_return(profile, e, TRUE)),
     }
 }

@@ -3,9 +3,12 @@
 //! the pinned per-variant tallies under `results/golden/`. The corpus is
 //! regenerable only through `conformance --bless`; an unexpected diff
 //! here means a kernel, catalog, pool or sampling change silently moved
-//! observed robustness behaviour.
+//! observed robustness behaviour. The crash-consistency corpus
+//! (`crashcon_<os>.json`, blessed by `crashcon --bless`) is pinned the
+//! same way.
 
 use ballista::campaign::{run_campaign, CampaignConfig, MutTally};
+use ballista::crashcon::{run_crashcon, CrashTally};
 use serde::Deserialize;
 use sim_kernel::variant::OsVariant;
 use std::fs;
@@ -20,10 +23,22 @@ struct GoldenEntry {
     muts: Vec<MutTally>,
 }
 
+#[derive(Deserialize)]
+struct CrashconGoldenEntry {
+    cap: usize,
+    muts: Vec<CrashTally>,
+}
+
 fn golden_path(os: OsVariant) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../results/golden")
         .join(format!("{}.json", os.short_name()))
+}
+
+fn crashcon_golden_path(os: OsVariant) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/golden")
+        .join(format!("crashcon_{}.json", os.short_name()))
 }
 
 #[test]
@@ -67,6 +82,54 @@ fn serial_tallies_match_golden_corpus_on_every_variant() {
                 "{name}: live tallies drifted from the golden corpus \
                  (diverged MuTs: {diverged:?}); if the behaviour change is \
                  intentional, re-bless with `conformance -- --bless`"
+            );
+        }
+    }
+}
+
+#[test]
+fn crashcon_tallies_match_golden_corpus_on_every_variant() {
+    let cfg = CampaignConfig {
+        cap: GOLDEN_CAP,
+        record_raw: true,
+        isolation_probe: true,
+        perfect_cleanup: false,
+        parallelism: 1,
+        fuel_budget: 0,
+    };
+    for os in OsVariant::ALL {
+        let name = os.short_name();
+        let path = crashcon_golden_path(os);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing crashcon golden corpus {} ({e}); regenerate with \
+                 `cargo run --release -p experiments --bin crashcon -- --bless`",
+                path.display()
+            )
+        });
+        let golden: CrashconGoldenEntry =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: corrupt corpus: {e}"));
+        assert_eq!(golden.cap, GOLDEN_CAP, "{name}: corpus blessed at a different cap");
+
+        let report = run_crashcon(os, &cfg);
+        assert!(
+            report.consistent(),
+            "{name}: the unbroken filesystem must pass every bounded crash point"
+        );
+        let live = serde_json::to_string(&report.muts).expect("serialize");
+        let pinned = serde_json::to_string(&golden.muts).expect("serialize");
+        if live != pinned {
+            let diverged: Vec<&str> = report
+                .muts
+                .iter()
+                .zip(&golden.muts)
+                .filter(|(a, b)| a != b)
+                .map(|(a, _)| a.name.as_str())
+                .collect();
+            panic!(
+                "{name}: live crashcon tallies drifted from the golden corpus \
+                 (diverged MuTs: {diverged:?}); if the behaviour change is \
+                 intentional, re-bless with `crashcon -- --bless`"
             );
         }
     }
