@@ -7,6 +7,11 @@
 //! protocol at all — changing the cap, the fuel budget, the catalog or
 //! the sampling logic changes the key, and stale entries simply become
 //! unreachable. A million identical requests cost one campaign.
+//! Alternate campaign modes ride the same key space through their mode
+//! tags: a crashcon fingerprint folds `crashcon/1` and an adaptive one
+//! folds `adaptive/1` plus the adaptive knobs (see [`crate::adaptive`]),
+//! so a pinned-plan campaign and a classic campaign over the same
+//! catalog can never alias each other's entries.
 //!
 //! The value is the byte-exact serialized [`CampaignReport`]: the
 //! vendored serializer emits map fields in declaration order, so the

@@ -582,6 +582,21 @@ fn run_mut_campaign_traced(
     tc: &mut Option<TraceCollector>,
 ) -> MutTally {
     let prep = prepare(registry, mut_, cfg);
+    run_prepared_mut_traced(os, &prep, cfg, session, tc)
+}
+
+/// The sequential per-MuT engine body over an explicit [`PreparedMut`]:
+/// the prep carries whatever plan the caller chose (the fixed sample, or
+/// an adaptive pinned plan), so every campaign mode funnels through one
+/// execution/tally loop.
+pub(crate) fn run_prepared_mut_traced(
+    os: OsVariant,
+    prep: &PreparedMut<'_>,
+    cfg: &CampaignConfig,
+    session: &mut Session,
+    tc: &mut Option<TraceCollector>,
+) -> MutTally {
+    let mut_ = prep.mut_;
     let mut tally = empty_tally(mut_, prep.plan.cases.len());
     if let Some(tc) = tc.as_mut() {
         tc.begin_mut(mut_.name, mut_.group.label(), prep.plan.cases.len());
@@ -871,14 +886,14 @@ pub(crate) fn replay_pass(
 #[allow(clippy::too_many_arguments)] // engine plumbing: session + telemetry channels
 fn run_mut_quarantined(
     os: OsVariant,
-    mut_: &Mut,
-    registry: &TypeRegistry,
+    prep: &PreparedMut<'_>,
     cfg: &CampaignConfig,
     session: &mut Session,
     warnings: &mut Vec<String>,
     tc: &mut Option<TraceCollector>,
     retries: &mut u64,
 ) -> (MutTally, bool) {
+    let mut_ = prep.mut_;
     let mut attempts = 0u32;
     loop {
         // Each attempt works on a copy so a mid-MuT panic cannot leave a
@@ -886,7 +901,7 @@ fn run_mut_quarantined(
         let mut attempt_session = session.clone();
         let run = catch_unwind(AssertUnwindSafe(|| {
             exec::fault::maybe_panic(mut_.name);
-            run_mut_campaign_traced(os, mut_, registry, cfg, &mut attempt_session, tc)
+            run_prepared_mut_traced(os, prep, cfg, &mut attempt_session, tc)
         }));
         match run {
             Ok(tally) => {
@@ -907,7 +922,7 @@ fn run_mut_quarantined(
                         "quarantined {}: {MAX_MUT_RETRIES} retry exhausted; its tally is empty and this report is partial",
                         mut_.name
                     ));
-                    let planned = prepare(registry, mut_, cfg).plan.cases.len();
+                    let planned = prep.plan.cases.len();
                     // The trace shows the quarantined MuT as an empty
                     // span, same as the parallel engine's replay pass.
                     if let Some(tc) = tc.as_mut() {
@@ -933,6 +948,20 @@ fn run_mut_quarantined(
 /// campaign.
 #[must_use]
 pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
+    let registry = catalog::registry_for(os);
+    let muts = catalog::catalog_for(os);
+    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+    run_campaign_prepared(os, cfg, &preps)
+}
+
+/// [`run_campaign`] over caller-supplied preps — the shared engine body
+/// behind the classic campaign (fixed per-MuT samples) and the adaptive
+/// campaign (a pinned plan per MuT). `preps` must be in catalog order.
+pub(crate) fn run_campaign_prepared(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    preps: &[PreparedMut<'_>],
+) -> CampaignReport {
     let t0 = Instant::now();
     // Keep the process-lifetime statics from accumulating across
     // campaigns; the report itself is built from this campaign's private
@@ -943,23 +972,20 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
     exec::stats::install_sink(Arc::clone(&counters));
     telemetry::on_campaign_begin();
     let mut tc = TraceCollector::begin(os, cfg.cap as u64);
-    let registry = catalog::registry_for(os);
-    let muts = catalog::catalog_for(os);
-    let workers = cfg.workers().min(muts.len().max(1));
+    let workers = cfg.workers().min(preps.len().max(1));
     let mut session = Session::new();
     let mut warnings = Vec::new();
     let mut degraded = false;
     let mut retries = 0u64;
     let (tallies, replayed) = if workers <= 1 {
-        let mut tallies = Vec::with_capacity(muts.len());
-        for m in &muts {
+        let mut tallies = Vec::with_capacity(preps.len());
+        for prep in preps {
             if telemetry::enabled() {
-                telemetry::on_mut_begin(prepare(&registry, m, cfg).plan.cases.len() as u64);
+                telemetry::on_mut_begin(prep.plan.cases.len() as u64);
             }
             let (tally, quarantined) = run_mut_quarantined(
                 os,
-                m,
-                &registry,
+                prep,
                 cfg,
                 &mut session,
                 &mut warnings,
@@ -971,10 +997,9 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         }
         (tallies, 0)
     } else {
-        let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
         let (records, mut clean_warnings, clean_retries) = clean_pass(
             os,
-            &preps,
+            preps,
             workers,
             cfg.effective_fuel_budget(),
             &counters,
@@ -983,7 +1008,7 @@ pub fn run_campaign(os: OsVariant, cfg: &CampaignConfig) -> CampaignReport {
         retries += clean_retries;
         warnings.append(&mut clean_warnings);
         degraded = records.iter().any(Option::is_none);
-        replay_pass(os, cfg, &preps, &records, &mut session, &mut tc)
+        replay_pass(os, cfg, preps, &records, &mut session, &mut tc)
     };
     if let Some(tc) = tc {
         tc.finish();
@@ -1109,16 +1134,32 @@ pub fn run_campaign_journaled(
     journal_path: &Path,
     resume: bool,
 ) -> std::io::Result<CampaignReport> {
+    let registry = catalog::registry_for(os);
+    let muts = catalog::catalog_for(os);
+    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+    let hash = plan_fingerprint(os, cfg, &preps).as_u64();
+    run_campaign_journaled_prepared(os, cfg, &preps, hash, journal_path, resume)
+}
+
+/// [`run_campaign_journaled`] over caller-supplied preps and plan hash —
+/// the journal machinery itself is plan-agnostic: it stamps whatever
+/// hash the caller derived (the classic fingerprint, or an adaptive
+/// mode-tagged one) and replays records against whatever plan the preps
+/// carry. `preps` must be in catalog order.
+pub(crate) fn run_campaign_journaled_prepared(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    preps: &[PreparedMut<'_>],
+    hash: u64,
+    journal_path: &Path,
+    resume: bool,
+) -> std::io::Result<CampaignReport> {
     let t0 = Instant::now();
     exec::stats::reset();
     let counters = Arc::new(exec::stats::Counters::default());
     exec::stats::install_sink(Arc::clone(&counters));
     telemetry::on_campaign_begin();
     let mut tc = TraceCollector::begin(os, cfg.cap as u64);
-    let registry = catalog::registry_for(os);
-    let muts = catalog::catalog_for(os);
-    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
-    let hash = plan_fingerprint(os, cfg, &preps).as_u64();
     let mut warnings = Vec::new();
     let (mut journal, recovered) = if resume {
         let (journal, recovery) = Journal::open_resume(journal_path, hash)?;

@@ -18,9 +18,11 @@
 
 use crate::campaign::{CampaignConfig, CampaignReport, MutTally};
 use crate::catalog;
-use crate::sampling;
+use crate::crash::{FailureClass, RawOutcome};
+use crate::sampling::{self, CaseSet};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Labels for the outcome-class counters, in severity order. `ErrorReport`
 /// is the robust-error column (not a CRASH failure); `SuspectedHindering`
@@ -75,6 +77,39 @@ pub struct Coverage {
     pub executed_cases: u64,
 }
 
+/// The [`CLASS_LABELS`] entry one case result folds into — the exact
+/// mapping the engines' tally fold uses: `Hindering` and a `Pass` whose
+/// raw outcome was a reported error both land in the robust-error
+/// column, everything else keeps its class name.
+#[must_use]
+pub fn class_label(class: FailureClass, raw: RawOutcome) -> &'static str {
+    match class {
+        FailureClass::Catastrophic => "Catastrophic",
+        FailureClass::Restart => "Restart",
+        FailureClass::Abort => "Abort",
+        FailureClass::Silent => "Silent",
+        FailureClass::Hindering => "ErrorReport",
+        FailureClass::Pass => {
+            if raw == RawOutcome::ReturnedError {
+                "ErrorReport"
+            } else {
+                "Pass"
+            }
+        }
+    }
+}
+
+/// Coverage gained between two [`Coverage`] snapshots — the per-round
+/// feedback signal of the adaptive explorer and the y-axis of the
+/// coverage curve in `results/adaptive_<os>.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CoverageGain {
+    /// Pool values touched now that were untouched before.
+    pub new_values: u64,
+    /// Primary outcome classes observed now that were unobserved before.
+    pub new_classes: u64,
+}
+
 impl Coverage {
     /// Reconstructs what `report` exercised. The sampling plans are
     /// deterministic (seeded from MuT names), so the executed prefix of
@@ -82,6 +117,28 @@ impl Coverage {
     /// values every case drew, with no hot-path instrumentation.
     #[must_use]
     pub fn from_report(report: &CampaignReport, cfg: &CampaignConfig) -> Self {
+        Self::from_report_inner(report, cfg, None)
+    }
+
+    /// [`Coverage::from_report`] for a report executed under **explicit
+    /// plans** (e.g. an adaptive campaign's pinned plan, keyed by MuT
+    /// name) instead of the fixed name-seeded samples. A MuT missing
+    /// from `plans` falls back to its fixed plan, so a partially pinned
+    /// catalog still reconstructs.
+    #[must_use]
+    pub fn from_report_with_plans(
+        report: &CampaignReport,
+        cfg: &CampaignConfig,
+        plans: &BTreeMap<String, Arc<CaseSet>>,
+    ) -> Self {
+        Self::from_report_inner(report, cfg, Some(plans))
+    }
+
+    fn from_report_inner(
+        report: &CampaignReport,
+        cfg: &CampaignConfig,
+        plans: Option<&BTreeMap<String, Arc<CaseSet>>>,
+    ) -> Self {
         let registry = catalog::registry_for(report.os);
         let muts = catalog::catalog_for(report.os);
         let mut cov = Coverage::default();
@@ -92,11 +149,14 @@ impl Coverage {
                 continue; // foreign tally (not in this variant's catalog)
             };
             let pools = crate::campaign::resolve_pools(&registry, mut_);
-            let plan = if pools.is_empty() {
-                std::sync::Arc::new(sampling::single_case())
-            } else {
-                let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
-                sampling::enumerate_shared(&dims, cfg.cap, mut_.name)
+            let pinned = plans.and_then(|p| p.get(&tally.name)).cloned();
+            let plan = match pinned {
+                Some(plan) => plan,
+                None if pools.is_empty() => Arc::new(sampling::single_case()),
+                None => {
+                    let dims: Vec<usize> = pools.iter().map(Vec::len).collect();
+                    sampling::enumerate_shared(&dims, cfg.cap, mut_.name)
+                }
             };
             let entry = cov.muts.entry(tally.name.clone()).or_default();
             entry.planned += tally.planned as u64;
@@ -157,6 +217,53 @@ impl Coverage {
         }
         self.planned_cases += other.planned_cases;
         self.executed_cases += other.executed_cases;
+    }
+
+    /// Records one pool-value draw incrementally — the explore-phase
+    /// path, where coverage is observed case by case instead of being
+    /// reconstructed from a finished report. `pool_size` keeps the
+    /// denominator honest on first touch (sizes take the max, like
+    /// [`Coverage::merge`]).
+    pub fn touch_value(&mut self, ty: &str, value: &str, pool_size: u64) {
+        let slot = self.pools.entry(ty.to_owned()).or_default();
+        slot.size = slot.size.max(pool_size);
+        if !slot.touched.contains(value) {
+            slot.touched.insert(value.to_owned());
+        }
+    }
+
+    /// Records one observed outcome class incrementally (a
+    /// [`CLASS_LABELS`] entry, see [`class_label`]).
+    pub fn observe_class(&mut self, label: &str) {
+        *self.classes.entry(label.to_owned()).or_default() += 1;
+    }
+
+    /// What this snapshot covers that `prev` did not: the incremental
+    /// coverage-gain metric the adaptive explorer folds back into its
+    /// sampling weights after every round. `prev` must be an earlier
+    /// snapshot of the same growing map (gain is counted, not negative
+    /// drift — a value in `prev` but not in `self` contributes nothing).
+    #[must_use]
+    pub fn gain_since(&self, prev: &Coverage) -> CoverageGain {
+        let new_values = self
+            .pools
+            .iter()
+            .map(|(ty, pc)| match prev.pools.get(ty) {
+                Some(old) => pc.touched.difference(&old.touched).count() as u64,
+                None => pc.touched.len() as u64,
+            })
+            .sum();
+        let new_classes = CLASS_LABELS
+            .iter()
+            .filter(|l| {
+                self.classes.get(**l).copied().unwrap_or(0) > 0
+                    && prev.classes.get(**l).copied().unwrap_or(0) == 0
+            })
+            .count() as u64;
+        CoverageGain {
+            new_values,
+            new_classes,
+        }
     }
 
     /// Distinct test values drawn at least once, across all pools.
@@ -348,5 +455,49 @@ mod tests {
         let shortfalls = cov.check_floor(&impossible);
         assert!(shortfalls.len() >= 4, "{shortfalls:?}");
         assert!(shortfalls.iter().any(|s| s.contains("value coverage")));
+    }
+
+    #[test]
+    fn incremental_recording_and_gain() {
+        let mut cov = Coverage::default();
+        cov.touch_value("HANDLE", "NULL", 9);
+        cov.touch_value("HANDLE", "NULL", 9); // idempotent
+        cov.observe_class("Abort");
+        let before = cov.clone();
+        cov.touch_value("HANDLE", "closed", 9);
+        cov.touch_value("DWORD", "MAXDWORD", 5);
+        cov.observe_class("Abort");
+        cov.observe_class("Silent");
+        let gain = cov.gain_since(&before);
+        assert_eq!(gain.new_values, 2);
+        assert_eq!(gain.new_classes, 1, "Silent is new, Abort is not");
+        assert_eq!(cov.gain_since(&cov).new_values, 0);
+        assert_eq!(cov.values_touched(), 3);
+        assert_eq!(cov.values_total(), 14);
+    }
+
+    #[test]
+    fn class_label_matches_tally_fold() {
+        use crate::crash::{FailureClass, RawOutcome};
+        assert_eq!(
+            class_label(FailureClass::Pass, RawOutcome::ReturnedError),
+            "ErrorReport"
+        );
+        assert_eq!(class_label(FailureClass::Pass, RawOutcome::ReturnedSuccess), "Pass");
+        assert_eq!(
+            class_label(FailureClass::Hindering, RawOutcome::ReturnedError),
+            "ErrorReport"
+        );
+        assert_eq!(
+            class_label(FailureClass::Silent, RawOutcome::ReturnedSuccess),
+            "Silent"
+        );
+        for label in [
+            class_label(FailureClass::Catastrophic, RawOutcome::SystemCrash),
+            class_label(FailureClass::Restart, RawOutcome::TaskHang),
+            class_label(FailureClass::Abort, RawOutcome::TaskAbort),
+        ] {
+            assert!(CLASS_LABELS.contains(&label));
+        }
     }
 }

@@ -65,6 +65,7 @@ use std::time::{Duration, Instant};
 
 use sim_kernel::variant::OsVariant;
 
+use crate::adaptive::AdaptiveConfig;
 use crate::campaign::{
     clean_mut_quarantined, prepare, replay_pass, CampaignConfig, CampaignReport, CampaignStats,
     CleanMut, CleanRecords,
@@ -172,6 +173,14 @@ pub struct ShardSpec {
     /// from older coordinators, which deserializes to `false`.
     #[serde(default)]
     pub crashcon: bool,
+    /// Run the shard over an **adaptive pinned plan** instead of the
+    /// fixed samples: the worker re-derives the pinned plan from these
+    /// knobs (deterministic, memoized per process — see
+    /// [`crate::adaptive::pinned_plan_shared`]) and executes each MuT's
+    /// pinned case list. Absent in specs from older coordinators, which
+    /// deserializes to `None` (classic mode).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl ShardSpec {
@@ -375,6 +384,13 @@ pub fn execute_shard_observed(
     let registry = catalog::registry_for(spec.os);
     let muts = catalog::catalog_for(spec.os);
     let end = spec.mut_end.min(muts.len());
+    // Adaptive shards execute the pinned plan: the worker re-derives it
+    // from the spec's knobs (one explore per process, memoized), so the
+    // wire stays small and every worker pins the identical plan.
+    let pin = spec
+        .adaptive
+        .as_ref()
+        .map(|a| crate::adaptive::pinned_plan_shared(spec.os, &spec.cfg, a));
     let mut out = ShardResult {
         mut_start: spec.mut_start,
         muts: Vec::with_capacity(end.saturating_sub(spec.mut_start)),
@@ -382,8 +398,11 @@ pub fn execute_shard_observed(
         quarantine_retries: 0,
     };
     let mut cases_done = 0u64;
-    for m in muts.iter().take(end).skip(spec.mut_start) {
-        let prep = prepare(&registry, m, &spec.cfg);
+    for (m_idx, m) in muts.iter().enumerate().take(end).skip(spec.mut_start) {
+        let mut prep = prepare(&registry, m, &spec.cfg);
+        if let Some(pin) = &pin {
+            prep.plan = Arc::clone(&pin.muts[m_idx].plan);
+        }
         telemetry::on_mut_begin(prep.plan.cases.len() as u64);
         if spec.crashcon {
             let (packed, aux) =
@@ -1104,6 +1123,7 @@ pub fn run_crashcon_fleet(
             mut_end: (s + 1) * muts.len() / shard_count,
             capture_fuel: true,
             crashcon: true,
+            adaptive: None,
         })
         .collect();
     let result_slots: Vec<Mutex<Option<ShardResult>>> =
@@ -1249,6 +1269,23 @@ pub fn run_campaign_fleet_observed(
     fleet: &FleetConfig,
     progress: Option<&FleetProgress>,
 ) -> CampaignReport {
+    run_fleet_engine(os, cfg, fleet, progress, None)
+}
+
+/// The shared fleet-engine body behind the classic and adaptive
+/// campaigns: with `adaptive` set, the coordinator derives the pinned
+/// plan (before the stats epoch, so exploration never pollutes the
+/// campaign counters), replays against pinned preps, and stamps every
+/// shard spec with the adaptive knobs so workers re-derive the same
+/// plan. Tallies stay bit-identical to the matching in-process engine
+/// either way.
+pub(crate) fn run_fleet_engine(
+    os: OsVariant,
+    cfg: &CampaignConfig,
+    fleet: &FleetConfig,
+    progress: Option<&FleetProgress>,
+    adaptive: Option<&AdaptiveConfig>,
+) -> CampaignReport {
     let own_progress;
     let progress = match progress {
         Some(p) => p,
@@ -1257,6 +1294,7 @@ pub fn run_campaign_fleet_observed(
             &own_progress
         }
     };
+    let pin = adaptive.map(|a| crate::adaptive::pinned_plan_shared(os, cfg, a));
     let t0 = Instant::now();
     exec::stats::reset();
     let counters = Arc::new(exec::stats::Counters::default());
@@ -1265,7 +1303,10 @@ pub fn run_campaign_fleet_observed(
     let mut tc = TraceCollector::begin(os, cfg.cap as u64);
     let registry = catalog::registry_for(os);
     let muts = catalog::catalog_for(os);
-    let preps: Vec<_> = muts.iter().map(|m| prepare(&registry, m, cfg)).collect();
+    let preps: Vec<_> = match &pin {
+        Some(pin) => crate::adaptive::pinned_preps(&registry, &muts, pin),
+        None => muts.iter().map(|m| prepare(&registry, m, cfg)).collect(),
+    };
 
     let shard_count = fleet.effective_shards(muts.len());
     let workers = fleet.effective_workers().min(shard_count);
@@ -1280,6 +1321,7 @@ pub fn run_campaign_fleet_observed(
             mut_end: (s + 1) * muts.len() / shard_count,
             capture_fuel: tc.is_some(),
             crashcon: false,
+            adaptive: adaptive.copied(),
         })
         .collect();
 

@@ -21,8 +21,10 @@
 //!
 //! `plan_hash` fingerprints everything that determines the case sequence
 //! (variant, config knobs, and the MuT plan — which folds in the per-MuT
-//! sampling seeds); a journal whose hash disagrees with the resuming
-//! campaign is ignored rather than misapplied. Fixed-width records make
+//! sampling seeds; adaptive campaigns stamp their mode-tagged
+//! fingerprint, which additionally pins the explore knobs the pinned
+//! plan was derived from); a journal whose hash disagrees with the
+//! resuming campaign is ignored rather than misapplied. Fixed-width records make
 //! torn-write recovery trivial: on open, the journal truncates itself to
 //! the longest prefix of checksum-valid records, so a case is either
 //! fully recorded or not recorded at all — never half-counted.

@@ -41,6 +41,10 @@
 //! * [`telemetry`] — zero-cost-when-disabled observability: structured
 //!   per-case tracing (Chrome/Perfetto JSONL), a metrics registry, and
 //!   `TELEMETRY_PROFILE`-gated subsystem profiling hooks.
+//! * [`adaptive`] — coverage-guided adaptive sampling: a weighted
+//!   explore phase folds live coverage back into case selection, then
+//!   pins the discovered plan for deterministic, fingerprint-addressed
+//!   replay through every engine.
 //! * [`sequence`] — the paper's future-work extension: two-call
 //!   sequence-dependent failure testing.
 //! * [`load`] — the paper's other future-work extension: heavy-load
@@ -66,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod cache;
 pub mod campaign;
 pub mod catalog;

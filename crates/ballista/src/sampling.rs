@@ -37,7 +37,11 @@ pub fn combination_count(dims: &[usize]) -> u64 {
     dims.iter().map(|&d| d as u64).product()
 }
 
-fn decode(mut linear: u64, dims: &[usize]) -> Combo {
+/// Decodes a linear (lexicographic) index into a combination — the
+/// inverse of [`encode`]. Public for the adaptive explorer's
+/// collision-probe fallback, which walks linear indices directly.
+#[must_use]
+pub fn decode(mut linear: u64, dims: &[usize]) -> Combo {
     // Mixed-radix decode, least-significant dimension last (lexicographic).
     let mut combo = vec![0usize; dims.len()];
     for (slot, &d) in combo.iter_mut().zip(dims).rev() {
@@ -45,6 +49,54 @@ fn decode(mut linear: u64, dims: &[usize]) -> Combo {
         linear /= d as u64;
     }
     combo
+}
+
+/// The linear (lexicographic) index of a combination — the exact inverse
+/// of the mixed-radix decode [`enumerate`] uses, with the *last*
+/// dimension least significant. The adaptive explorer keys its
+/// pinned-case dedup set on this index, so the encoding must stay in
+/// lock-step with the decode above.
+///
+/// # Panics
+///
+/// Debug-asserts that the combo matches the dims (same length, every
+/// index in range); release builds produce a nonsensical index for a
+/// mismatched combo rather than panicking.
+#[must_use]
+pub fn encode(combo: &[usize], dims: &[usize]) -> u64 {
+    debug_assert_eq!(combo.len(), dims.len());
+    let mut linear = 0u64;
+    for (&c, &d) in combo.iter().zip(dims) {
+        debug_assert!(c < d);
+        linear = linear * d as u64 + c as u64;
+    }
+    linear
+}
+
+/// Draws one index from a finite distribution given by integer
+/// `weights`, via cumulative inverse sampling on the caller's RNG —
+/// the deterministic weighted sampler behind the adaptive explorer.
+/// Zero-weight entries are never drawn unless *every* weight is zero,
+/// in which case the draw degrades to uniform (a campaign must not
+/// wedge because a weighting rule zeroed out).
+///
+/// # Panics
+///
+/// Panics when `weights` is empty.
+pub fn weighted_index(rng: &mut impl RngExt, weights: &[u64]) -> usize {
+    assert!(!weights.is_empty(), "weighted draw over an empty pool");
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return rng.random_range(0..weights.len() as u64) as usize;
+    }
+    let mut r = rng.random_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if r < w {
+            return i;
+        }
+        r -= w;
+    }
+    weights.len() - 1
 }
 
 /// Deterministic FNV-1a over the seed name (stable across runs and
@@ -205,5 +257,44 @@ mod tests {
     #[should_panic(expected = "empty pool")]
     fn empty_pool_panics() {
         let _ = enumerate(&[3, 0], 10, "broken");
+    }
+
+    #[test]
+    fn encode_inverts_decode() {
+        let dims = [4, 7, 3];
+        for linear in 0..combination_count(&dims) {
+            let combo = decode(linear, &dims);
+            assert_eq!(encode(&combo, &dims), linear);
+        }
+        // And over the sampled (capped) path too.
+        let set = enumerate(&[9, 9, 9, 9], 100, "encode_roundtrip");
+        let seen: HashSet<u64> = set.cases.iter().map(|c| encode(c, &set.dims)).collect();
+        assert_eq!(seen.len(), set.cases.len(), "linear indices stay distinct");
+    }
+
+    #[test]
+    fn weighted_draw_is_deterministic_and_biased() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            assert_eq!(
+                weighted_index(&mut a, &[1, 64, 1]),
+                weighted_index(&mut b, &[1, 64, 1])
+            );
+        }
+        // The heavy entry dominates the draw.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..600 {
+            counts[weighted_index(&mut rng, &[1, 64, 1])] += 1;
+        }
+        assert!(counts[1] > 500, "{counts:?}");
+        // Zero weights never win unless all weights are zero.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut rng, &[0, 0, 7, 0]), 2);
+        }
+        let uniform = weighted_index(&mut rng, &[0, 0, 0]);
+        assert!(uniform < 3);
     }
 }

@@ -47,6 +47,7 @@ use std::time::Instant;
 
 use sim_kernel::variant::OsVariant;
 
+use crate::adaptive::{fingerprint_adaptive, run_adaptive_fleet_observed, AdaptiveConfig};
 use crate::cache::ResultCache;
 use crate::campaign::{fingerprint, CampaignConfig, CampaignFingerprint};
 use crate::fleet::{run_campaign_fleet_observed, FleetConfig, FleetProgress};
@@ -100,6 +101,20 @@ pub struct CampaignSpec {
     /// not a different campaign.
     #[serde(default)]
     pub process: bool,
+    /// Adaptive mode: explore rounds. `0` (the default) means a
+    /// **classic** fixed-plan campaign; any non-zero value selects the
+    /// adaptive engine with that many rounds (and folds the
+    /// `adaptive/1` mode tag plus all three adaptive knobs into the
+    /// fingerprint).
+    #[serde(default)]
+    pub adaptive_rounds: usize,
+    /// Adaptive explore seed (meaningful only with `adaptive_rounds`).
+    #[serde(default)]
+    pub adaptive_seed: u64,
+    /// Adaptive rare-outcome bonus; `0` → the mode default (meaningful
+    /// only with `adaptive_rounds`).
+    #[serde(default)]
+    pub adaptive_rare_bonus: u64,
 }
 
 impl CampaignSpec {
@@ -117,6 +132,9 @@ impl CampaignSpec {
             shards: 0,
             workers: 0,
             process: false,
+            adaptive_rounds: 0,
+            adaptive_seed: 0,
+            adaptive_rare_bonus: 0,
         }
     }
 
@@ -143,6 +161,17 @@ impl CampaignSpec {
             process: self.process,
             ..FleetConfig::default()
         }
+    }
+
+    /// The adaptive mode this spec denotes: `Some` iff `adaptive_rounds`
+    /// is non-zero.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<AdaptiveConfig> {
+        (self.adaptive_rounds != 0).then_some(AdaptiveConfig {
+            rounds: self.adaptive_rounds,
+            seed: self.adaptive_seed,
+            rare_bonus: self.adaptive_rare_bonus,
+        })
     }
 }
 
@@ -263,7 +292,10 @@ impl State {
         {
             return *fp;
         }
-        let fp = fingerprint(spec.os, &spec.config());
+        let fp = match spec.adaptive() {
+            Some(acfg) => fingerprint_adaptive(spec.os, &spec.config(), &acfg),
+            None => fingerprint(spec.os, &spec.config()),
+        };
         self.fingerprints
             .lock()
             .expect("fingerprint memo poisoned")
@@ -617,13 +649,20 @@ fn post_campaign(stream: &mut TcpStream, state: &State, request: &Request) -> io
         // observer (the CI chaos job, an operator) can poll
         // `GET /campaign/<fp>` while the campaign is in flight.
         eprintln!("campaign {fp} executing");
-        let ran = catch_unwind(AssertUnwindSafe(|| {
-            run_campaign_fleet_observed(
+        let ran = catch_unwind(AssertUnwindSafe(|| match spec.adaptive() {
+            Some(acfg) => run_adaptive_fleet_observed(
+                spec.os,
+                &spec.config(),
+                &acfg,
+                &spec.fleet(),
+                Some(&flight.progress),
+            ),
+            None => run_campaign_fleet_observed(
                 spec.os,
                 &spec.config(),
                 &spec.fleet(),
                 Some(&flight.progress),
-            )
+            ),
         }));
         let result = match ran {
             Ok(report) => {

@@ -303,6 +303,15 @@ pub struct Metrics {
     pub crashcon_snapshots: AtomicU64,
     /// Crashcon crash images remounted into the verification kernel.
     pub crashcon_remounts: AtomicU64,
+    /// Adaptive explore rounds completed on this host. Host-half
+    /// because exploration is memoized per process: an engine that
+    /// reuses a pinned plan runs zero rounds.
+    pub adaptive_rounds: AtomicU64,
+    /// Pool values first touched during adaptive exploration (summed
+    /// over rounds — the area under the coverage-gain curve).
+    pub adaptive_coverage_gain: AtomicU64,
+    /// Cases frozen into adaptive pinned plans on this host.
+    pub adaptive_pinned_cases: AtomicU64,
 }
 
 /// The slot in [`Metrics::classes`] for a CRASH class, in severity
@@ -417,6 +426,12 @@ pub struct HostMetrics {
     pub crashcon_snapshots: u64,
     /// Crashcon crash-image remounts.
     pub crashcon_remounts: u64,
+    /// Adaptive explore rounds completed on this host.
+    pub adaptive_rounds: u64,
+    /// Pool values first touched during adaptive exploration.
+    pub adaptive_coverage_gain: u64,
+    /// Cases frozen into adaptive pinned plans on this host.
+    pub adaptive_pinned_cases: u64,
 }
 
 /// A point-in-time copy of the [`Metrics`] registry, split into the
@@ -672,6 +687,9 @@ impl Hub {
                 backoff_ms: m.backoff_ms.snapshot(),
                 crashcon_snapshots: ld(&m.crashcon_snapshots),
                 crashcon_remounts: ld(&m.crashcon_remounts),
+                adaptive_rounds: ld(&m.adaptive_rounds),
+                adaptive_coverage_gain: ld(&m.adaptive_coverage_gain),
+                adaptive_pinned_cases: ld(&m.adaptive_pinned_cases),
             },
         }
     }
@@ -724,6 +742,26 @@ pub fn on_crashcon(snapshots: u64, remounts: u64) {
         h.metrics
             .crashcon_remounts
             .fetch_add(remounts, Ordering::Relaxed);
+    });
+}
+
+/// One adaptive explore round completed, first-touching `new_values`
+/// pool values (fired by [`crate::adaptive::explore`] per round).
+pub fn on_adaptive_round(new_values: u64) {
+    with_hub(|h| {
+        h.metrics.adaptive_rounds.fetch_add(1, Ordering::Relaxed);
+        h.metrics
+            .adaptive_coverage_gain
+            .fetch_add(new_values, Ordering::Relaxed);
+    });
+}
+
+/// An adaptive explore phase pinned `cases` cases into a replay plan.
+pub fn on_adaptive_pinned(cases: u64) {
+    with_hub(|h| {
+        h.metrics
+            .adaptive_pinned_cases
+            .fetch_add(cases, Ordering::Relaxed);
     });
 }
 

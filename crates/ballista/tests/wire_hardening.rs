@@ -23,6 +23,7 @@ fn valid_spec_wire() -> Vec<u8> {
         mut_end: 9,
         capture_fuel: true,
         crashcon: false,
+        adaptive: None,
     }
     .to_wire()
 }

@@ -1,0 +1,146 @@
+//! Adaptive-mode determinism acceptance (ISSUE: coverage-guided
+//! adaptive sampling).
+//!
+//! The adaptive mode's whole correctness story is "explore once, pin,
+//! then replay like any fixed plan". This suite holds it to that:
+//!
+//! * same seed + config ⇒ the identical pinned plan (digest-equal
+//!   across independent explores), and **bit-identical tallies** across
+//!   the serial, parallel, journaled, and supervised-fleet engines;
+//! * a proptest: for arbitrary (seed, cap, rounds) knobs, the pinned
+//!   plan replays bit-identically through a journal that is truncated
+//!   at an arbitrary record boundary — the SIGKILL-shaped state — and
+//!   resumed.
+
+use ballista::adaptive::{
+    explore, pinned_plan_shared, run_adaptive, run_adaptive_fleet, run_adaptive_journaled,
+    AdaptiveConfig,
+};
+use ballista::campaign::{CampaignConfig, CampaignReport};
+use ballista::fleet::FleetConfig;
+use ballista::journal::{HEADER_LEN, RECORD_LEN};
+use proptest::prelude::*;
+use sim_kernel::variant::OsVariant;
+use std::fs;
+use std::path::PathBuf;
+
+fn cfg(cap: usize, parallelism: usize) -> CampaignConfig {
+    CampaignConfig {
+        cap,
+        record_raw: false,
+        isolation_probe: false,
+        perfect_cleanup: false,
+        parallelism,
+        fuel_budget: 0,
+    }
+}
+
+/// The bit-identity contract compares tallies, not timing metadata.
+fn tallies(report: &CampaignReport) -> String {
+    serde_json::to_string(&report.muts).expect("tallies serialize")
+}
+
+fn scratch_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ballista-adaptive-tests");
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{}-{tag}.jrn", std::process::id()))
+}
+
+#[test]
+fn pinned_plan_is_reproducible_and_engines_agree_bit_for_bit() {
+    let os = OsVariant::Win95;
+    let serial_cfg = cfg(120, 1);
+    let acfg = AdaptiveConfig::default();
+
+    // Two independent explores pin the identical plan.
+    let pin = pinned_plan_shared(os, &serial_cfg, &acfg);
+    let fresh = explore(os, &serial_cfg, &acfg);
+    assert_eq!(pin.digest(), fresh.digest(), "explore is not reproducible");
+
+    let serial = run_adaptive(os, &serial_cfg, &acfg);
+    let reference = tallies(&serial);
+    assert!(serial.total_cases > 0);
+
+    // Parallel engine (pin key ignores parallelism, as it must).
+    for workers in [2usize, 8] {
+        let parallel = run_adaptive(os, &cfg(120, workers), &acfg);
+        assert_eq!(
+            reference,
+            tallies(&parallel),
+            "parallel-{workers} tallies diverged from serial"
+        );
+    }
+
+    // Journaled engine: fresh run, then a mid-campaign truncation + resume.
+    let journal = scratch_journal("engine-matrix");
+    let _ = fs::remove_file(&journal);
+    let journaled =
+        run_adaptive_journaled(os, &serial_cfg, &acfg, &journal, false).expect("journaled run");
+    assert_eq!(reference, tallies(&journaled), "journaled diverged");
+    let boundary = HEADER_LEN + (journaled.total_cases / 2) * RECORD_LEN;
+    let bytes = fs::read(&journal).expect("journal readable");
+    fs::write(&journal, &bytes[..boundary.min(bytes.len())]).expect("journal truncatable");
+    let resumed =
+        run_adaptive_journaled(os, &serial_cfg, &acfg, &journal, true).expect("resumed run");
+    assert_eq!(reference, tallies(&resumed), "split-resume diverged");
+    assert!(
+        resumed.warnings.iter().any(|w| w.contains("resumed from journal")),
+        "split-resume did not actually replay the journal: {:?}",
+        resumed.warnings
+    );
+    let _ = fs::remove_file(&journal);
+
+    // Supervised fleet (in-process pool), two shard/worker splits.
+    for (shards, workers) in [(4usize, 2usize), (9, 3)] {
+        let fleet = run_adaptive_fleet(
+            os,
+            &serial_cfg,
+            &acfg,
+            &FleetConfig {
+                shards,
+                workers,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(
+            reference,
+            tallies(&fleet),
+            "fleet-{shards}x{workers} tallies diverged from serial"
+        );
+    }
+}
+
+proptest! {
+    /// Any pinned plan replays bit-identically after a journal resume:
+    /// for arbitrary adaptive knobs, truncating the journal at an
+    /// arbitrary record boundary (the byte-exact state of a run
+    /// SIGKILLed between appends) and resuming reproduces the
+    /// uninterrupted tallies exactly.
+    #[test]
+    fn any_pinned_plan_survives_journal_resume(
+        seed in 0u64..1_000,
+        cap in 12usize..32,
+        rounds in 1usize..4,
+        cut_permille in 0usize..1_000,
+    ) {
+        let os = OsVariant::Win98;
+        let c = cfg(cap, 1);
+        let acfg = AdaptiveConfig { rounds, seed, rare_bonus: 0 };
+        let reference = run_adaptive(os, &c, &acfg);
+
+        let journal = scratch_journal(&format!("prop-{seed}-{cap}-{rounds}-{cut_permille}"));
+        let _ = fs::remove_file(&journal);
+        let journaled = run_adaptive_journaled(os, &c, &acfg, &journal, false)
+            .expect("journaled run");
+        prop_assert_eq!(tallies(&reference), tallies(&journaled));
+
+        let keep = journaled.total_cases * cut_permille / 1_000;
+        let boundary = HEADER_LEN + keep * RECORD_LEN;
+        let bytes = fs::read(&journal).expect("journal readable");
+        fs::write(&journal, &bytes[..boundary.min(bytes.len())]).expect("journal truncatable");
+        let resumed = run_adaptive_journaled(os, &c, &acfg, &journal, true)
+            .expect("resumed run");
+        prop_assert_eq!(tallies(&reference), tallies(&resumed));
+        let _ = fs::remove_file(&journal);
+    }
+}
